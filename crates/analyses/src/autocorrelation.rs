@@ -1,0 +1,255 @@
+//! Time-lag autocorrelation of a variable over a sliding window —
+//! SENSEI's classic `Autocorrelation` analysis, adapted to the tabular
+//! data model.
+//!
+//! The analysis keeps the last `window` snapshots of one variable and,
+//! once the window is full, reports the normalized autocorrelation
+//! coefficient for each lag `1..window`:
+//!
+//! `r(k) = Σ_i Σ_t (v_i(t) - m)(v_i(t+k) - m) / ((W-k) Σ_i var_i)`
+//!
+//! summed over elements `i` and window positions `t`, reduced across
+//! ranks. Element identity must be stable across the window (Newton++
+//! keeps body order stable while repartitioning is disabled, matching
+//! the paper's run configuration).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use devsim::KernelCost;
+use parking_lot::Mutex;
+use sensei::{
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+};
+
+use crate::common::{array_host, collect_arrays};
+
+/// Autocorrelation coefficients at one step (global across ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutocorrelationResult {
+    /// Step the window ended at.
+    pub step: u64,
+    /// Variable name.
+    pub variable: String,
+    /// `corr[k-1]` is the lag-`k` coefficient.
+    pub corr: Vec<f64>,
+}
+
+/// Shared sink for results.
+pub type AutocorrSink = Arc<Mutex<Vec<AutocorrelationResult>>>;
+
+/// The `autocorrelation` back-end.
+///
+/// ```xml
+/// <analysis type="autocorrelation" variable="vx" window="8"/>
+/// ```
+pub struct Autocorrelation {
+    controls: BackendControls,
+    variable: String,
+    window: usize,
+    history: VecDeque<Vec<f64>>,
+    sink: Option<AutocorrSink>,
+    last: Option<AutocorrelationResult>,
+}
+
+impl Autocorrelation {
+    /// Autocorrelation of `variable` over a `window`-step sliding window.
+    pub fn new(variable: impl Into<String>, window: usize) -> Self {
+        assert!(window >= 2, "autocorrelation needs a window of at least 2");
+        Autocorrelation {
+            controls: BackendControls::default(),
+            variable: variable.into(),
+            window,
+            history: VecDeque::new(),
+            sink: None,
+            last: None,
+        }
+    }
+
+    /// Record results into `sink`.
+    pub fn with_sink(mut self, sink: AutocorrSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Set the execution-model controls.
+    pub fn with_controls(mut self, controls: BackendControls) -> Self {
+        self.controls = controls;
+        self
+    }
+
+    /// The most recent result, if the window has filled at least once.
+    pub fn last(&self) -> Option<&AutocorrelationResult> {
+        self.last.as_ref()
+    }
+
+    /// Local numerators per lag plus the variance denominator:
+    /// `(Σ_i Σ_t dv_i(t) dv_i(t+k) for k in 1..W, Σ_i Σ_t dv_i(t)^2, n)`.
+    fn local_sums(history: &VecDeque<Vec<f64>>) -> (Vec<f64>, f64, u64) {
+        let w = history.len();
+        let n = history[0].len();
+        // Per-element temporal mean.
+        let mut mean = vec![0.0; n];
+        for snap in history {
+            for (m, v) in mean.iter_mut().zip(snap) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= w as f64;
+        }
+        let mut numers = vec![0.0; w - 1];
+        let mut denom = 0.0;
+        for t in 0..w {
+            let snap_t = &history[t];
+            for i in 0..n {
+                let dv = snap_t[i] - mean[i];
+                denom += dv * dv;
+                for k in 1..(w - t) {
+                    numers[k - 1] += dv * (history[t + k][i] - mean[i]);
+                }
+            }
+        }
+        (numers, denom, n as u64)
+    }
+}
+
+impl AnalysisAdaptor for Autocorrelation {
+    fn name(&self) -> &str {
+        "autocorrelation"
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        let md = data.mesh_metadata(0)?;
+        let mesh = data.mesh(&md.name)?;
+        let mut snapshot = Vec::new();
+        for array in collect_arrays(&mesh, &self.variable)? {
+            snapshot.extend(array_host(&array)?);
+        }
+        if let Some(prev) = self.history.back() {
+            if prev.len() != snapshot.len() {
+                // Element identity broke (e.g. repartitioning); restart.
+                self.history.clear();
+            }
+        }
+        self.history.push_back(snapshot);
+        if self.history.len() > self.window {
+            self.history.pop_front();
+        }
+        if self.history.len() < self.window {
+            return Ok(true);
+        }
+
+        let n_total: u64 = self.history[0].len() as u64;
+        let cost = KernelCost {
+            flops: (self.window * self.window) as f64 * n_total as f64,
+            bytes: 8.0 * (self.window as f64) * n_total as f64,
+        };
+        let (numers, denom, _) =
+            ctx.node.host().run("autocorrelation", cost, || Self::local_sums(&self.history));
+
+        // Reduce numerators and denominator across ranks.
+        let mut payload = numers;
+        payload.push(denom);
+        let reduced = ctx.comm.allreduce(payload, |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        });
+        let denom = *reduced.last().expect("denominator present");
+        let w = self.window as f64;
+        let corr: Vec<f64> = reduced[..self.window - 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &num)| {
+                let k = (i + 1) as f64;
+                if denom > 0.0 {
+                    num / (denom * (w - k) / w)
+                } else {
+                    f64::NAN
+                }
+            })
+            .collect();
+        let result =
+            AutocorrelationResult { step: data.time_step(), variable: self.variable.clone(), corr };
+        if let Some(sink) = &self.sink {
+            if ctx.comm.rank() == 0 {
+                sink.lock().push(result.clone());
+            }
+        }
+        self.last = Some(result);
+        Ok(true)
+    }
+}
+
+/// Register the `autocorrelation` type with a registry.
+pub fn register(registry: &mut AnalysisRegistry) {
+    registry.register("autocorrelation", |el, _ctx| {
+        let variable = el.req_attr("variable").map_err(Error::Xml)?.to_string();
+        let window = el.parse_attr_or::<usize>("window", 8).map_err(Error::Xml)?;
+        if window < 2 {
+            return Err(Error::Config("autocorrelation window must be >= 2".into()));
+        }
+        Ok(Box::new(Autocorrelation::new(variable, window)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_of(series: &[Vec<f64>]) -> VecDeque<Vec<f64>> {
+        series.iter().cloned().collect()
+    }
+
+    #[test]
+    fn constant_signal_has_zero_variance() {
+        let h = window_of(&[vec![5.0], vec![5.0], vec![5.0]]);
+        let (numers, denom, n) = Autocorrelation::local_sums(&h);
+        assert_eq!(denom, 0.0);
+        assert_eq!(n, 1);
+        assert!(numers.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn alternating_signal_has_negative_lag1() {
+        // +1, -1, +1, -1: lag-1 products are all negative.
+        let h = window_of(&[vec![1.0], vec![-1.0], vec![1.0], vec![-1.0]]);
+        let (numers, denom, _) = Autocorrelation::local_sums(&h);
+        assert!(numers[0] < 0.0, "lag-1 numerator {numers:?}");
+        assert!(numers[1] > 0.0, "lag-2 numerator {numers:?}");
+        assert!(denom > 0.0);
+    }
+
+    #[test]
+    fn linear_trend_has_positive_short_lags() {
+        let h = window_of(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let (numers, _, _) = Autocorrelation::local_sums(&h);
+        assert!(numers[0] > 0.0);
+    }
+
+    #[test]
+    fn multiple_elements_accumulate() {
+        let one = window_of(&[vec![1.0], vec![2.0]]);
+        let two = window_of(&[vec![1.0, 1.0], vec![2.0, 2.0]]);
+        let (n1, d1, _) = Autocorrelation::local_sums(&one);
+        let (n2, d2, _) = Autocorrelation::local_sums(&two);
+        assert!((n2[0] - 2.0 * n1[0]).abs() < 1e-12);
+        assert!((d2 - 2.0 * d1).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "window of at least 2")]
+    fn tiny_window_rejected() {
+        Autocorrelation::new("x", 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Shared helpers for the analysis back-ends.
+
+use sensei::{Error, Result};
+use svtk::{ArrayRef, DataObject, FieldAssociation, HamrDataArray, TableData};
+
+/// The tables making up a mesh (bare table or multiblock's local blocks).
+pub(crate) fn local_tables(obj: &DataObject) -> Result<Vec<TableData>> {
+    match obj {
+        DataObject::Table(t) => Ok(vec![t.clone()]),
+        DataObject::Multi(mb) => {
+            let mut out = Vec::new();
+            for (_, block) in mb.local_blocks() {
+                match block {
+                    DataObject::Table(t) => out.push(t.clone()),
+                    other => {
+                        return Err(Error::Analysis(format!(
+                            "analysis needs tabular blocks, got {}",
+                            other.class_name()
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        other => {
+            Err(Error::Analysis(format!("analysis needs tabular data, got {}", other.class_name())))
+        }
+    }
+}
+
+/// Every local array named `name` in `obj`, whatever the dataset kind:
+/// table columns, image point/cell data, and multiblock blocks thereof.
+/// This is what lets one back-end serve both Newton++'s particle tables
+/// and the oscillators miniapp's grids.
+pub(crate) fn collect_arrays(obj: &DataObject, name: &str) -> Result<Vec<ArrayRef>> {
+    let mut out = Vec::new();
+    collect_into(obj, name, &mut out)?;
+    if out.is_empty() {
+        return Err(Error::NoSuchArray { mesh: obj.class_name().into(), array: name.to_string() });
+    }
+    Ok(out)
+}
+
+fn collect_into(obj: &DataObject, name: &str, out: &mut Vec<ArrayRef>) -> Result<()> {
+    match obj {
+        DataObject::Table(t) => {
+            if let Some(col) = t.column(name) {
+                out.push(col.clone());
+            }
+        }
+        DataObject::Image(img) => {
+            for assoc in [FieldAssociation::Point, FieldAssociation::Cell] {
+                if let Some(a) = img.data(assoc).array(name) {
+                    out.push(a.clone());
+                }
+            }
+        }
+        DataObject::Multi(mb) => {
+            for (_, block) in mb.local_blocks() {
+                collect_into(block, name, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Downcast an erased array to `f64`, or report the mismatch.
+pub(crate) fn as_f64(array: &ArrayRef) -> Result<&HamrDataArray<f64>> {
+    svtk::downcast::<f64>(array).ok_or_else(|| {
+        Error::Analysis(format!(
+            "array '{}' is {}, expected double",
+            array.name(),
+            array.type_name()
+        ))
+    })
+}
+
+/// Read an erased array's values to the host (moving them if needed).
+pub(crate) fn array_host(array: &ArrayRef) -> Result<Vec<f64>> {
+    let typed = as_f64(array)?;
+    let view = typed.host_accessible()?;
+    typed.synchronize()?;
+    Ok(view.to_vec()?)
+}
+
+/// Read one `f64` column of a table to the host (moving it if needed).
+pub(crate) fn column_host(table: &TableData, name: &str) -> Result<Vec<f64>> {
+    let col = table
+        .column(name)
+        .ok_or_else(|| Error::NoSuchArray { mesh: "table".into(), array: name.to_string() })?;
+    array_host(col)
+}

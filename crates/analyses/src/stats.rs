@@ -1,0 +1,248 @@
+//! Descriptive statistics: count, min, max, mean, and standard deviation
+//! of chosen variables, reduced across ranks each step.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use devsim::KernelCost;
+use parking_lot::Mutex;
+use sensei::{
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+};
+
+use crate::common::{array_host, collect_arrays};
+
+/// Statistics of one variable at one step (global across ranks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableStats {
+    /// Step.
+    pub step: u64,
+    /// Variable name.
+    pub variable: String,
+    /// Number of finite values.
+    pub count: u64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+/// Shared sink for results.
+pub type StatsSink = Arc<Mutex<Vec<VariableStats>>>;
+
+/// Partial sums reduced across ranks: (count, sum, sumsq, min, max).
+type Partial = (u64, f64, f64, f64, f64);
+
+fn partial_of(values: &[f64]) -> Partial {
+    let mut p: Partial = (0, 0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY);
+    for &v in values {
+        if v.is_finite() {
+            p.0 += 1;
+            p.1 += v;
+            p.2 += v * v;
+            p.3 = p.3.min(v);
+            p.4 = p.4.max(v);
+        }
+    }
+    p
+}
+
+fn merge(a: Partial, b: Partial) -> Partial {
+    (a.0 + b.0, a.1 + b.1, a.2 + b.2, a.3.min(b.3), a.4.max(b.4))
+}
+
+/// The `descriptive_stats` back-end.
+///
+/// ```xml
+/// <analysis type="descriptive_stats" variables="mass,ke,speed"/>
+/// ```
+pub struct DescriptiveStats {
+    controls: BackendControls,
+    variables: Vec<String>,
+    sink: Option<StatsSink>,
+    output: Option<PathBuf>,
+    history: Vec<VariableStats>,
+}
+
+impl DescriptiveStats {
+    /// Statistics over the named variables.
+    pub fn new(variables: Vec<String>) -> Self {
+        assert!(!variables.is_empty(), "need at least one variable");
+        DescriptiveStats {
+            controls: BackendControls::default(),
+            variables,
+            sink: None,
+            output: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record every step's results into `sink`.
+    pub fn with_sink(mut self, sink: StatsSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Write a CSV of all recorded statistics at finalize (rank 0).
+    pub fn with_output(mut self, path: impl Into<PathBuf>) -> Self {
+        self.output = Some(path.into());
+        self
+    }
+
+    /// Set the execution-model controls.
+    pub fn with_controls(mut self, controls: BackendControls) -> Self {
+        self.controls = controls;
+        self
+    }
+
+    /// CSV rendition of the recorded history.
+    pub fn to_csv(history: &[VariableStats]) -> String {
+        let mut out = String::from("step,variable,count,min,max,mean,std\n");
+        for s in history {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                s.step, s.variable, s.count, s.min, s.max, s.mean, s.std
+            ));
+        }
+        out
+    }
+}
+
+impl AnalysisAdaptor for DescriptiveStats {
+    fn name(&self) -> &str {
+        "descriptive_stats"
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        let md = data.mesh_metadata(0)?;
+        let mesh = data.mesh(&md.name)?;
+        for var in &self.variables {
+            let mut local: Partial = (0, 0.0, 0.0, f64::INFINITY, f64::NEG_INFINITY);
+            for array in collect_arrays(&mesh, var)? {
+                let vals = array_host(&array)?;
+                let part = ctx.node.host().run(
+                    "descriptive_stats",
+                    KernelCost { flops: 4.0 * vals.len() as f64, bytes: 8.0 * vals.len() as f64 },
+                    || partial_of(&vals),
+                );
+                local = merge(local, part);
+            }
+            let (count, sum, sumsq, min, max) = ctx.comm.allreduce(local, merge);
+            let mean = if count > 0 { sum / count as f64 } else { f64::NAN };
+            let var_ = if count > 0 { (sumsq / count as f64 - mean * mean).max(0.0) } else { f64::NAN };
+            let stats = VariableStats {
+                step: data.time_step(),
+                variable: var.clone(),
+                count,
+                min,
+                max,
+                mean,
+                std: var_.sqrt(),
+            };
+            if let Some(sink) = &self.sink {
+                if ctx.comm.rank() == 0 {
+                    sink.lock().push(stats.clone());
+                }
+            }
+            self.history.push(stats);
+        }
+        Ok(true)
+    }
+
+    fn finalize(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        if let Some(path) = &self.output {
+            if ctx.comm.rank() == 0 {
+                if let Some(dir) = path.parent() {
+                    std::fs::create_dir_all(dir).ok();
+                }
+                std::fs::write(path, Self::to_csv(&self.history))
+                    .map_err(|e| Error::Analysis(format!("writing stats: {e}")))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Register the `descriptive_stats` type with a registry.
+pub fn register(registry: &mut AnalysisRegistry) {
+    registry.register("descriptive_stats", |el, _ctx| {
+        let vars_attr = el.req_attr("variables").map_err(Error::Xml)?;
+        let variables: Vec<String> = vars_attr
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if variables.is_empty() {
+            return Err(Error::Config("descriptive_stats needs variables".into()));
+        }
+        let mut s = DescriptiveStats::new(variables);
+        if let Some(out) = el.attr("output") {
+            s = s.with_output(out);
+        }
+        Ok(Box::new(s))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partials_compute_known_moments() {
+        let (count, sum, sumsq, min, max) = partial_of(&[1.0, 2.0, 3.0, f64::NAN]);
+        assert_eq!(count, 3);
+        assert_eq!(sum, 6.0);
+        assert_eq!(sumsq, 14.0);
+        assert_eq!((min, max), (1.0, 3.0));
+    }
+
+    #[test]
+    fn merge_is_associative_on_samples() {
+        let a = partial_of(&[1.0, 5.0]);
+        let b = partial_of(&[2.0]);
+        let c = partial_of(&[-3.0, 4.0]);
+        let lhs = merge(merge(a, b), c);
+        let rhs = merge(a, merge(b, c));
+        assert_eq!(lhs.0, rhs.0);
+        assert!((lhs.1 - rhs.1).abs() < 1e-12);
+        assert_eq!((lhs.3, lhs.4), (rhs.3, rhs.4));
+        // And equals the whole-sample partial.
+        let whole = partial_of(&[1.0, 5.0, 2.0, -3.0, 4.0]);
+        assert_eq!(lhs.0, whole.0);
+        assert!((lhs.2 - whole.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_entry() {
+        let history = vec![VariableStats {
+            step: 2,
+            variable: "mass".into(),
+            count: 10,
+            min: 0.5,
+            max: 1.5,
+            mean: 1.0,
+            std: 0.25,
+        }];
+        let csv = DescriptiveStats::to_csv(&history);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("2,mass,10,0.5,1.5,1,0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_variable_list_rejected() {
+        DescriptiveStats::new(vec![]);
+    }
+}

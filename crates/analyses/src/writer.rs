@@ -1,0 +1,116 @@
+//! A *post hoc* I/O back-end: dump the particle table as VTK legacy
+//! polydata every `k` steps (the "I/O for post hoc visualization" that
+//! the paper's runs disabled, available as a switchable back-end).
+
+use std::path::PathBuf;
+
+use newtonpp::BodySet;
+use sensei::{
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+};
+
+use crate::common::{column_host, local_tables};
+
+/// The `particle_writer` back-end.
+///
+/// ```xml
+/// <analysis type="particle_writer" output="out_dir" every="10"/>
+/// ```
+///
+/// Each rank writes its local bodies to
+/// `<output>/bodies_<step>_<rank>.vtk` (the standard per-rank pieces a
+/// post-processing tool stitches together).
+pub struct ParticleWriter {
+    controls: BackendControls,
+    output: PathBuf,
+    every: u64,
+    written: Vec<PathBuf>,
+}
+
+impl ParticleWriter {
+    /// Write into `output` every `every` steps.
+    pub fn new(output: impl Into<PathBuf>, every: u64) -> Self {
+        assert!(every > 0, "write interval must be positive");
+        ParticleWriter {
+            controls: BackendControls::default(),
+            output: output.into(),
+            every,
+            written: Vec::new(),
+        }
+    }
+
+    /// Set the execution-model controls.
+    pub fn with_controls(mut self, controls: BackendControls) -> Self {
+        self.controls = controls;
+        self
+    }
+
+    /// Paths written so far by this rank.
+    pub fn written(&self) -> &[PathBuf] {
+        &self.written
+    }
+}
+
+impl AnalysisAdaptor for ParticleWriter {
+    fn name(&self) -> &str {
+        "particle_writer"
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        let step = data.time_step();
+        if !step.is_multiple_of(self.every) {
+            return Ok(true);
+        }
+        let md = data.mesh_metadata(0)?;
+        let mesh = data.mesh(&md.name)?;
+        let tables = local_tables(&mesh)?;
+        let mut bodies = BodySet::new();
+        for t in &tables {
+            let (x, y, z) = (column_host(t, "x")?, column_host(t, "y")?, column_host(t, "z")?);
+            let (vx, vy, vz) =
+                (column_host(t, "vx")?, column_host(t, "vy")?, column_host(t, "vz")?);
+            let m = column_host(t, "mass")?;
+            for i in 0..x.len() {
+                bodies.push([x[i], y[i], z[i]], [vx[i], vy[i], vz[i]], m[i]);
+            }
+        }
+        std::fs::create_dir_all(&self.output)
+            .map_err(|e| Error::Analysis(format!("creating output dir: {e}")))?;
+        let path = self.output.join(format!("bodies_{:06}_{:04}.vtk", step, ctx.comm.rank()));
+        newtonpp::io::write_vtk_file(&path, &format!("step {step}"), &bodies)
+            .map_err(|e| Error::Analysis(format!("writing VTK: {e}")))?;
+        self.written.push(path);
+        Ok(true)
+    }
+}
+
+/// Register the `particle_writer` type with a registry.
+pub fn register(registry: &mut AnalysisRegistry) {
+    registry.register("particle_writer", |el, _ctx| {
+        let output = el.req_attr("output").map_err(Error::Xml)?.to_string();
+        let every = el.parse_attr_or::<u64>("every", 1).map_err(Error::Xml)?;
+        if every == 0 {
+            return Err(Error::Config("particle_writer interval must be positive".into()));
+        }
+        Ok(Box::new(ParticleWriter::new(output, every)))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        ParticleWriter::new("/tmp/x", 0);
+    }
+}

@@ -1,0 +1,230 @@
+//! End-to-end tests of the additional back-ends: all four coupled to
+//! Newton++ through the bridge, instantiated from one XML configuration.
+
+use std::sync::Arc;
+
+use analyses::{Autocorrelation, DescriptiveStats, Histogram, ParticleWriter};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::{
+    AnalysisRegistry, BackendControls, Bridge, ConfigurableAnalysis, CreateContext, DeviceSpec,
+    ExecutionMethod,
+};
+
+const BODIES: usize = 200;
+
+fn newton_cfg() -> NewtonConfig {
+    NewtonConfig {
+        ic: IcKind::Uniform(UniformIc {
+            n: BODIES,
+            seed: 12,
+            half_width: 1.0,
+            mass_range: (0.5, 1.5),
+            velocity_scale: 0.2,
+            central_mass: 25.0,
+        }),
+        dt: 1e-4,
+        grav: Gravity { g: 1.0, eps: 0.05 },
+        x_extent: (-2.0, 2.0),
+        repartition_every: None,
+    }
+}
+
+#[test]
+fn histogram_counts_every_body_on_host_and_device() {
+    for device in [DeviceSpec::Host, DeviceSpec::Auto] {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = sink.clone();
+        World::new(2).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(2));
+            let mut sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+            let h = Histogram::new("mass", 16)
+                .with_sink(sink2.clone())
+                .with_controls(BackendControls { device, ..Default::default() });
+            let mut bridge = Bridge::new(node);
+            bridge.add_analysis(Box::new(h), &comm).unwrap();
+            for _ in 0..2 {
+                let t = sim.step(&comm).unwrap();
+                bridge.execute(&NewtonAdaptor::new(&sim), &comm, t).unwrap();
+            }
+            bridge.finalize(&comm).unwrap();
+        });
+        let results = sink.lock();
+        assert_eq!(results.len(), 2);
+        for r in results.iter() {
+            assert_eq!(r.total() as usize, BODIES, "placement {device:?}");
+            assert_eq!(r.counts.len(), 16);
+            // Mass range from the IC (plus the heavy central body).
+            assert!(r.range.0 >= 0.5 - 1e-9 && r.range.1 <= 25.0 + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn histogram_host_and_device_agree() {
+    let run = |device| {
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let sink2 = sink.clone();
+        World::new(2).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(2));
+            let sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+            let h = Histogram::new("speed", 8)
+                .with_range(0.0, 1.0)
+                .with_sink(sink2.clone())
+                .with_controls(BackendControls { device, ..Default::default() });
+            let mut bridge = Bridge::new(node);
+            bridge.add_analysis(Box::new(h), &comm).unwrap();
+            bridge.execute(&NewtonAdaptor::new(&sim), &comm, std::time::Duration::ZERO).unwrap();
+            bridge.finalize(&comm).unwrap();
+        });
+        let r = sink.lock();
+        r[0].counts.clone()
+    };
+    assert_eq!(run(DeviceSpec::Host), run(DeviceSpec::Auto));
+}
+
+#[test]
+fn descriptive_stats_match_direct_computation() {
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+        let s = DescriptiveStats::new(vec!["mass".into(), "ke".into()]).with_sink(sink2.clone());
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(s), &comm).unwrap();
+        bridge.execute(&NewtonAdaptor::new(&sim), &comm, std::time::Duration::ZERO).unwrap();
+        bridge.finalize(&comm).unwrap();
+    });
+    let results = sink.lock();
+    assert_eq!(results.len(), 2, "one entry per variable");
+    let mass = results.iter().find(|r| r.variable == "mass").unwrap();
+    assert_eq!(mass.count as usize, BODIES);
+    // IC: masses uniform in [0.5, 1.5) plus one 25.0 body.
+    assert_eq!(mass.max, 25.0);
+    assert!(mass.min >= 0.5 && mass.min < 1.5);
+    assert!(mass.mean > 0.9 && mass.mean < 1.3, "mean {}", mass.mean);
+    assert!(mass.std > 0.0);
+}
+
+#[test]
+fn autocorrelation_of_a_near_linear_signal_matches_theory() {
+    let sink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+        // Over a few tiny dt steps each body's velocity is approximately
+        // linear in time (constant acceleration), so the demeaned window
+        // has an exact analytic autocorrelation signature.
+        let a = Autocorrelation::new("vx", 4).with_sink(sink2.clone());
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(a), &comm).unwrap();
+        for _ in 0..6 {
+            let t = sim.step(&comm).unwrap();
+            bridge.execute(&NewtonAdaptor::new(&sim), &comm, t).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    let results = sink.lock();
+    // Window of 4 fills at the 4th execute: results from steps 4..6.
+    assert_eq!(results.len(), 3);
+    for r in results.iter() {
+        assert_eq!(r.corr.len(), 3);
+        // A linear trend v(t) = a + b t demeaned over a window of 4 has
+        // deviations (-1.5, -0.5, 0.5, 1.5) b; with the (W-k)/W
+        // normalization: r(1) = 1/3, r(2) = -3/5, r(3) = -9/5.
+        assert!((r.corr[0] - 1.0 / 3.0).abs() < 0.05, "lag 1: {:?}", r.corr);
+        assert!((r.corr[1] + 0.6).abs() < 0.05, "lag 2: {:?}", r.corr);
+        assert!((r.corr[2] + 1.8).abs() < 0.05, "lag 3: {:?}", r.corr);
+    }
+}
+
+#[test]
+fn particle_writer_emits_vtk_pieces() {
+    let dir = std::env::temp_dir().join(format!("analyses_writer_{}", std::process::id()));
+    let dir2 = dir.clone();
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+        let w = ParticleWriter::new(&dir2, 2);
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(w), &comm).unwrap();
+        for _ in 0..4 {
+            let t = sim.step(&comm).unwrap();
+            bridge.execute(&NewtonAdaptor::new(&sim), &comm, t).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    // Steps 1..=4, every 2 -> steps 2 and 4, 2 ranks each.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    files.sort();
+    assert_eq!(files.len(), 4, "files: {files:?}");
+    assert!(files[0].starts_with("bodies_000002_"));
+    assert!(files[3].starts_with("bodies_000004_"));
+    let content = std::fs::read_to_string(dir.join(&files[0])).unwrap();
+    assert!(content.starts_with("# vtk DataFile"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn all_backends_compose_from_one_xml_configuration() {
+    let dir = std::env::temp_dir().join(format!("analyses_xml_{}", std::process::id()));
+    let xml = format!(
+        r#"<sensei>
+          <analysis type="histogram" variable="mass" bins="8" mode="asynchronous" device="-1"/>
+          <analysis type="descriptive_stats" variables="ke,speed"/>
+          <analysis type="autocorrelation" variable="vy" window="3"/>
+          <analysis type="particle_writer" output="{}" every="2"/>
+        </sensei>"#,
+        dir.display()
+    );
+    let xml2 = xml.clone();
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut registry = AnalysisRegistry::new();
+        analyses::register_all(&mut registry);
+        let cfg = ConfigurableAnalysis::from_xml(&xml2).unwrap();
+        let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
+        let backends = cfg.instantiate(&registry, &ctx).unwrap();
+        assert_eq!(backends.len(), 4);
+        assert_eq!(backends[0].controls().execution, ExecutionMethod::Asynchronous);
+
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+        let mut bridge = Bridge::new(node);
+        for b in backends {
+            bridge.add_analysis(b, &comm).unwrap();
+        }
+        for _ in 0..4 {
+            let t = sim.step(&comm).unwrap();
+            bridge.execute(&NewtonAdaptor::new(&sim), &comm, t).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    assert!(std::fs::read_dir(&dir).unwrap().count() > 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_backend_configs_are_rejected() {
+    let mut registry = AnalysisRegistry::new();
+    analyses::register_all(&mut registry);
+    let node = SimNode::new(NodeConfig::fast_test(1));
+    let ctx = CreateContext { node, rank: 0, size: 1 };
+    for xml in [
+        r#"<sensei><analysis type="histogram" bins="8"/></sensei>"#, // no variable
+        r#"<sensei><analysis type="histogram" variable="m" bins="0"/></sensei>"#,
+        r#"<sensei><analysis type="histogram" variable="m" min="2" max="1"/></sensei>"#,
+        r#"<sensei><analysis type="descriptive_stats" variables=""/></sensei>"#,
+        r#"<sensei><analysis type="autocorrelation" variable="x" window="1"/></sensei>"#,
+        r#"<sensei><analysis type="particle_writer" output="x" every="0"/></sensei>"#,
+    ] {
+        let cfg = ConfigurableAnalysis::from_xml(xml).unwrap();
+        assert!(cfg.instantiate(&registry, &ctx).is_err(), "should reject: {xml}");
+    }
+}

@@ -1,0 +1,86 @@
+//! The §2 ablation: zero-copy in-place access vs moved access vs deep
+//! copy through the HDA access API.
+//!
+//! The paper's data-model extensions exist so that "when the back-end
+//! can access the data in place, no additional work is done". This bench
+//! quantifies exactly that: a direct (same-location, even cross-PM)
+//! grant costs a refcount bump, while mismatched-location grants pay an
+//! allocation plus a transfer, and deep copies always pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use devsim::{NodeConfig, SimNode};
+use hamr::{Allocator, HamrStream, Pm, StreamMode};
+use svtk::HamrDataArray;
+
+fn access_paths(c: &mut Criterion) {
+    let node = SimNode::new(NodeConfig::fast_test(2));
+    let mut group = c.benchmark_group("access_api");
+
+    for &n in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+
+        // Device-resident array managed by the OpenMP PM.
+        let on_dev0 = HamrDataArray::<f64>::from_slice(
+            "a",
+            node.clone(),
+            &data,
+            1,
+            Allocator::OpenMp,
+            Some(0),
+            HamrStream::default_stream(),
+            StreamMode::Sync,
+        )
+        .unwrap();
+
+        // Zero-copy: already on the requested device; cross-PM (CUDA view
+        // of OpenMP-managed memory) is still in place.
+        group.bench_with_input(BenchmarkId::new("zero_copy_same_device_cross_pm", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(on_dev0.cuda_accessible(0).unwrap()));
+        });
+
+        // Moved: requested on the other device -> temp + d2d transfer.
+        group.bench_with_input(BenchmarkId::new("moved_d2d", n), &n, |b, _| {
+            b.iter(|| {
+                let v = on_dev0.device_accessible(1, Pm::Cuda).unwrap();
+                on_dev0.synchronize().unwrap();
+                std::hint::black_box(v);
+            });
+        });
+
+        // Moved: requested on the host -> temp + d2h transfer.
+        group.bench_with_input(BenchmarkId::new("moved_d2h", n), &n, |b, _| {
+            b.iter(|| {
+                let v = on_dev0.host_accessible().unwrap();
+                on_dev0.synchronize().unwrap();
+                std::hint::black_box(v);
+            });
+        });
+
+        // Deep copy (what async execution pays per array per iteration).
+        group.bench_with_input(BenchmarkId::new("deep_copy", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(on_dev0.deep_copy("copy").unwrap()));
+        });
+
+        // Host-resident array: host access is in place.
+        let on_host = HamrDataArray::<f64>::from_slice(
+            "h",
+            node.clone(),
+            &data,
+            1,
+            Allocator::Malloc,
+            None,
+            HamrStream::default_stream(),
+            StreamMode::Sync,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("zero_copy_host", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(on_host.host_accessible().unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, access_paths);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Allocation + initialization across the `svtkAllocator` variants
+//! (§2 "Initialization"), including the async-allocator path that
+//! requires an explicit stream.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use devsim::{NodeConfig, SimNode};
+use hamr::{Allocator, HamrBuffer, HamrStream, StreamMode};
+
+fn allocators(c: &mut Criterion) {
+    let node = SimNode::new(NodeConfig::fast_test(1));
+    let mut group = c.benchmark_group("allocators");
+    const N: usize = 100_000;
+
+    for alloc in Allocator::ALL {
+        let device = if alloc.is_device() { Some(0) } else { None };
+        let stream = if alloc.is_stream_ordered() {
+            HamrStream::new(node.device(0).unwrap().create_stream())
+        } else {
+            HamrStream::default_stream()
+        };
+        group.bench_with_input(BenchmarkId::new("alloc_fill", alloc.name()), &alloc, |b, &alloc| {
+            b.iter(|| {
+                let buf = HamrBuffer::<f64>::new_init(
+                    node.clone(),
+                    N,
+                    1.5,
+                    alloc,
+                    device,
+                    stream.clone(),
+                    StreamMode::Sync,
+                )
+                .unwrap();
+                std::hint::black_box(buf);
+            });
+        });
+    }
+
+    // Sync vs async stream mode on the same allocator: async submission
+    // returns immediately; synchronization is amortized over a batch.
+    let stream = HamrStream::new(node.device(0).unwrap().create_stream());
+    group.bench_function("cuda_async_mode_batch8", |b| {
+        b.iter(|| {
+            let bufs: Vec<_> = (0..8)
+                .map(|_| {
+                    HamrBuffer::<f64>::new_init(
+                        node.clone(),
+                        N / 8,
+                        2.5,
+                        Allocator::CudaAsync,
+                        Some(0),
+                        stream.clone(),
+                        StreamMode::Async,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            bufs[7].synchronize().unwrap();
+            std::hint::black_box(bufs);
+        });
+    });
+    group.bench_function("cuda_sync_mode_batch8", |b| {
+        b.iter(|| {
+            let bufs: Vec<_> = (0..8)
+                .map(|_| {
+                    HamrBuffer::<f64>::new_init(
+                        node.clone(),
+                        N / 8,
+                        2.5,
+                        Allocator::Cuda,
+                        Some(0),
+                        HamrStream::default_stream(),
+                        StreamMode::Sync,
+                    )
+                    .unwrap()
+                })
+                .collect();
+            std::hint::black_box(bufs);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, allocators);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Stream-ordered data movement: h2d / d2h / d2d transfer cost by size,
+//! and synchronous vs asynchronous submission (the overlap the paper's
+//! async allocators and stream modes exist to enable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use devsim::{NodeConfig, SimNode};
+
+fn transfers(c: &mut Criterion) {
+    let node = SimNode::new(NodeConfig::fast_test(2));
+    let d0 = node.device(0).unwrap();
+    let d1 = node.device(1).unwrap();
+    let stream = d0.create_stream();
+
+    let mut group = c.benchmark_group("data_movement");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        group.throughput(Throughput::Bytes((n * 8) as u64));
+        let host = node.host_alloc_f64(n);
+        let dev0 = d0.alloc_f64(n).unwrap();
+        let dev1 = d1.alloc_f64(n).unwrap();
+
+        group.bench_with_input(BenchmarkId::new("h2d", n), &n, |b, _| {
+            b.iter(|| {
+                stream.copy(&host, &dev0).unwrap();
+                stream.synchronize().unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("d2h", n), &n, |b, _| {
+            b.iter(|| {
+                stream.copy(&dev0, &host).unwrap();
+                stream.synchronize().unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("d2d", n), &n, |b, _| {
+            b.iter(|| {
+                stream.copy(&dev0, &dev1).unwrap();
+                stream.synchronize().unwrap();
+            });
+        });
+
+        // Async submission: enqueue a batch, synchronize once — the
+        // pattern the stream-ordered API exists for.
+        group.bench_with_input(BenchmarkId::new("h2d_batched_async", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..8 {
+                    stream.copy(&host, &dev0).unwrap();
+                }
+                stream.synchronize().unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("h2d_batched_sync_each", n), &n, |b, _| {
+            b.iter(|| {
+                for _ in 0..8 {
+                    stream.copy(&host, &dev0).unwrap();
+                    stream.synchronize().unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, transfers);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 2: total run time for lockstep vs asynchronous in situ, for
+//! each of the four placements (8 cases).
+//!
+//! Each Criterion sample is one complete (scaled-down) run: simulation
+//! init, `steps` solver iterations with in situ processing every
+//! iteration, and finalization — exactly what the paper's Figure 2
+//! reports. Absolute numbers reflect the simulated node's time model;
+//! the comparisons (async < lockstep; dedicated placements slower) are
+//! the reproduced result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{run_case, CaseConfig};
+use sensei::{ExecutionMethod, Placement};
+
+fn scaled_case(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
+    CaseConfig {
+        bodies: 1024,
+        steps: 3,
+        resolution: 32,
+        instances: 3,
+        ..CaseConfig::small(placement, execution)
+    }
+}
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2_total_runtime");
+    group.sample_size(10);
+    for placement in Placement::paper_placements() {
+        for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+            let cfg = scaled_case(placement, execution);
+            let id = format!("{}/{}", placement.label().replace(' ', "_"), execution.name());
+            group.bench_function(&id, |b| {
+                b.iter(|| std::hint::black_box(run_case(&cfg)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

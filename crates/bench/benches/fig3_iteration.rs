@@ -1,0 +1,51 @@
+//! Figure 3: average time per iteration spent in the solver and in in
+//! situ processing, per placement × execution method.
+//!
+//! `iter_custom` reports the *per-iteration* cost (mean solver + mean
+//! apparent in situ) from an instrumented run — the quantity stacked in
+//! the paper's Figure 3. Comparing `lockstep` and `asynchronous`
+//! variants of a placement shows both of the paper's findings: the
+//! apparent in situ cost collapses under async while the solver itself
+//! slows down.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{run_case, CaseConfig};
+use sensei::{ExecutionMethod, Placement};
+
+fn scaled_case(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
+    CaseConfig {
+        bodies: 1024,
+        steps: 4,
+        resolution: 32,
+        instances: 3,
+        ..CaseConfig::small(placement, execution)
+    }
+}
+
+fn fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_iteration");
+    group.sample_size(10);
+    for placement in Placement::paper_placements() {
+        for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+            let cfg = scaled_case(placement, execution);
+            let id = format!("{}/{}", placement.label().replace(' ', "_"), execution.name());
+            group.bench_function(&id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        let out = run_case(&cfg);
+                        total += out.mean_solver + out.mean_insitu;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

@@ -1,0 +1,257 @@
+//! The experiment harness: regenerates Table 1, Figure 2, and Figure 3.
+//!
+//! ```text
+//! harness [table1|figure2|figure3|all] [--bodies N] [--steps N]
+//!         [--resolution N] [--instances N] [--devices N] [--scale F]
+//!         [--out DIR]
+//! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
+//!         [--scale F]
+//! ```
+//!
+//! `run-config` runs Newton++ against a SENSEI XML configuration (the
+//! files under `configs/sensei_xml/`), with back-end selection, placement,
+//! and execution method all controlled by the XML, as in the paper's
+//! appendix.
+//!
+//! `figure2`/`figure3` run the full 8-case matrix (4 placements × 2
+//! execution methods) and print the paper-shaped bar charts plus CSV
+//! files under `--out` (default `results/`).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use bench::{ascii_bars, ascii_stack, bench_node_config, run_case, AggregatedCase, CaseConfig};
+use sensei::{ExecutionMethod, Placement};
+
+fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
+    let mut mode = "all".to_string();
+    let mut cfg = CaseConfig::small(Placement::Host, ExecutionMethod::Lockstep);
+    let mut out = PathBuf::from("results");
+    let mut xml = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
+        };
+        match args[i].as_str() {
+            "table1" | "figure2" | "figure3" | "all" => mode = args[i].clone(),
+            "run-config" => {
+                mode = "run-config".into();
+                xml = Some(PathBuf::from(next(&mut i)));
+            }
+            "--bodies" => cfg.bodies = next(&mut i).parse().expect("--bodies"),
+            "--steps" => cfg.steps = next(&mut i).parse().expect("--steps"),
+            "--resolution" => cfg.resolution = next(&mut i).parse().expect("--resolution"),
+            "--instances" => cfg.instances = next(&mut i).parse().expect("--instances"),
+            "--devices" => cfg.num_devices = next(&mut i).parse().expect("--devices"),
+            "--scale" => cfg.time_scale = next(&mut i).parse().expect("--scale"),
+            "--out" => out = PathBuf::from(next(&mut i)),
+            other => panic!("unknown argument '{other}'"),
+        }
+        i += 1;
+    }
+    (mode, cfg, out, xml)
+}
+
+/// Run Newton++ against a SENSEI XML configuration: back-end selection,
+/// placement, and execution method all come from the file.
+fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
+    use devsim::SimNode;
+    use minimpi::World;
+    use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+    use sensei::{AnalysisRegistry, Bridge, ConfigurableAnalysis, CreateContext};
+
+    let xml = std::fs::read_to_string(xml_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", xml_path.display()));
+    let node = SimNode::new(bench_node_config(base.num_devices, base.time_scale));
+    let ranks = base.num_devices;
+    let (bodies, steps, seed) = (base.bodies, base.steps, base.seed);
+    println!("running {} on {ranks} ranks, {bodies} bodies, {steps} steps", xml_path.display());
+
+    let summaries = World::new(ranks).run(move |comm| {
+        let node = node.clone();
+        let mut registry = AnalysisRegistry::new();
+        binning::register(&mut registry);
+        analyses::register_all(&mut registry);
+        let config = ConfigurableAnalysis::from_xml(&xml).expect("parse XML");
+        let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
+        let backends = config.instantiate(&registry, &ctx).expect("instantiate");
+        if comm.rank() == 0 {
+            println!("instantiated {} back-ends", backends.len());
+            for b in &backends {
+                println!(
+                    "  {}: {} on {:?}",
+                    b.name(),
+                    b.controls().execution.name(),
+                    b.controls().device
+                );
+            }
+        }
+
+        let newton_cfg = NewtonConfig {
+            ic: IcKind::Uniform(UniformIc {
+                n: bodies,
+                seed,
+                half_width: 1.0,
+                mass_range: (0.5, 1.5),
+                velocity_scale: 0.1,
+                central_mass: bodies as f64,
+            }),
+            dt: 1e-4,
+            grav: Gravity { g: 1.0, eps: 0.05 },
+            x_extent: (-2.0, 2.0),
+            repartition_every: None,
+        };
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank() % node.num_devices(), newton_cfg)
+            .expect("init simulation");
+        let mut bridge = Bridge::new(node);
+        for b in backends {
+            bridge.add_analysis(b, &comm).expect("attach");
+        }
+        for _ in 0..steps {
+            let solver = sim.step(&comm).expect("step");
+            let adaptor = NewtonAdaptor::new(&sim);
+            bridge.execute(&adaptor, &comm, solver).expect("in situ");
+        }
+        bridge.finalize(&comm).expect("finalize").summary()
+    });
+    for (rank, s) in summaries.iter().enumerate() {
+        println!(
+            "rank {rank}: {} iterations, mean solver {:.2} ms, apparent in situ {:.2} ms, total {:.3} s",
+            s.iterations,
+            s.mean_solver.as_secs_f64() * 1e3,
+            s.mean_insitu.as_secs_f64() * 1e3,
+            s.total_runtime.as_secs_f64()
+        );
+    }
+}
+
+fn case_label(c: &CaseConfig) -> String {
+    format!("{:<20} {}", c.placement.label(), c.execution.name())
+}
+
+fn print_table1(base: &CaseConfig) {
+    println!("\nTable 1: runs made to investigate in situ placement");
+    println!("(paper: 128 nodes / 512 GPUs; here: 1 simulated node / {} devices)\n", base.num_devices);
+    println!("  In-Situ    In-Situ       Ranks                 In-Situ");
+    println!("  Method                   per node       Total  Location");
+    for placement in Placement::paper_placements() {
+        for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+            let ranks = placement.ranks_per_node(base.num_devices);
+            println!(
+                "  {:<10} {:<13} {:<14} {:<6} {}",
+                execution.name(),
+                "",
+                ranks,
+                ranks, // single-node: total == per node
+                placement.label()
+            );
+        }
+    }
+}
+
+fn run_matrix(base: &CaseConfig) -> Vec<AggregatedCase> {
+    let cases = CaseConfig::matrix(base);
+    let mut results = Vec::with_capacity(cases.len());
+    for (i, case) in cases.iter().enumerate() {
+        let t0 = Instant::now();
+        eprint!(
+            "[{}/{}] {} / {} ... ",
+            i + 1,
+            cases.len(),
+            case.placement.label(),
+            case.execution.name()
+        );
+        let out = run_case(case);
+        eprintln!("done in {:.2?} (total={:.3?})", t0.elapsed(), out.total);
+        results.push(out);
+    }
+    results
+}
+
+fn write_csv(path: &PathBuf, results: &[AggregatedCase]) {
+    let mut csv = String::from("placement,execution,ranks,total_s,mean_solver_s,mean_insitu_s\n");
+    for r in results {
+        csv.push_str(&format!(
+            "{},{},{},{:.6},{:.6},{:.6}\n",
+            r.config.placement.label().replace(' ', "_"),
+            r.config.execution.name(),
+            r.ranks,
+            r.total.as_secs_f64(),
+            r.mean_solver.as_secs_f64(),
+            r.mean_insitu.as_secs_f64(),
+        ));
+    }
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let (mode, base, out_dir, xml) = parse_args();
+    if mode == "run-config" {
+        run_config(&xml.expect("run-config needs an XML path"), &base);
+        return;
+    }
+    let node_cfg = bench_node_config(base.num_devices, base.time_scale);
+    println!("== SENSEI heterogeneous-extensions experiment harness ==");
+    println!(
+        "workload: {} bodies, {} steps, {} binning instances x 10 ops on {}^2 bins",
+        base.bodies, base.steps, base.instances, base.resolution
+    );
+    println!(
+        "time model: device {:.1e} F/s {:.1e} B/s, host {} slots x {:.1e} F/s, scale {}",
+        node_cfg.device.flops_per_sec,
+        node_cfg.device.bytes_per_sec,
+        node_cfg.host.slots,
+        node_cfg.host.flops_per_sec,
+        node_cfg.time_scale
+    );
+
+    if mode == "table1" || mode == "all" {
+        print_table1(&base);
+    }
+    if mode == "figure2" || mode == "figure3" || mode == "all" {
+        let results = run_matrix(&base);
+
+        // Figure 2: total run time per case, grouped by placement.
+        let rows: Vec<(String, std::time::Duration)> =
+            results.iter().map(|r| (case_label(&r.config), r.total)).collect();
+        println!("\n{}", ascii_bars("Figure 2: total run time (lockstep vs asynchronous)", &rows, 50));
+
+        // Figure 3: mean per-iteration solver + in situ stacks.
+        let stacks: Vec<(String, std::time::Duration, std::time::Duration)> = results
+            .iter()
+            .map(|r| (case_label(&r.config), r.mean_solver, r.mean_insitu))
+            .collect();
+        println!(
+            "{}",
+            ascii_stack("Figure 3: average time per iteration (solver + apparent in situ)", &stacks, 50)
+        );
+
+        write_csv(&out_dir.join("figure2_figure3.csv"), &results);
+
+        // The qualitative findings of §4.4, checked on this run.
+        println!("\n§4.4 shape checks:");
+        for placement in Placement::paper_placements() {
+            let find = |m: ExecutionMethod| {
+                results
+                    .iter()
+                    .find(|r| r.config.placement == placement && r.config.execution == m)
+                    .expect("matrix is complete")
+            };
+            let lock = find(ExecutionMethod::Lockstep);
+            let asyn = find(ExecutionMethod::Asynchronous);
+            println!(
+                "  {:<22} async/lockstep total = {:.2}  (async {} lockstep); solver slowdown x{:.2}; apparent insitu {:.1} ms",
+                placement.label(),
+                asyn.total.as_secs_f64() / lock.total.as_secs_f64(),
+                if asyn.total < lock.total { "beats" } else { "does NOT beat" },
+                asyn.mean_solver.as_secs_f64() / lock.mean_solver.as_secs_f64().max(1e-12),
+                asyn.mean_insitu.as_secs_f64() * 1e3,
+            );
+        }
+    }
+}

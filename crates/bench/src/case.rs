@@ -1,0 +1,232 @@
+//! Running one experimental case: a placement × execution-method
+//! combination on the simulated node.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use devsim::{DeviceParams, HostParams, LinkParams, NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use sensei::{BackendControls, Bridge, ExecutionMethod, Placement};
+
+use binning::BinningAnalysis;
+
+use crate::workload::paper_binning_specs;
+
+/// One row of the experiment matrix (Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct CaseConfig {
+    /// In situ placement.
+    pub placement: Placement,
+    /// Execution method.
+    pub execution: ExecutionMethod,
+    /// Devices on the node (Perlmutter: 4).
+    pub num_devices: usize,
+    /// Global body count.
+    pub bodies: usize,
+    /// Simulation steps (in situ runs every iteration, as in §4.3).
+    pub steps: u64,
+    /// Binning mesh resolution per axis (paper: 256).
+    pub resolution: usize,
+    /// Number of binning-operator instances to run (paper: 9; smaller for
+    /// quick benches). Each instance reduces all ten variables.
+    pub instances: usize,
+    /// Multiplier on modeled durations (see `devsim::timemodel`).
+    pub time_scale: f64,
+    /// IC seed.
+    pub seed: u64,
+}
+
+impl CaseConfig {
+    /// A reduced-scale default: full 9-instance workload, 4 devices.
+    pub fn small(placement: Placement, execution: ExecutionMethod) -> Self {
+        CaseConfig {
+            placement,
+            execution,
+            num_devices: 4,
+            bodies: 2048,
+            steps: 10,
+            resolution: 64,
+            instances: 9,
+            time_scale: 1.0,
+            seed: 20230817,
+        }
+    }
+
+    /// The paper's 8-case matrix at a given base scale.
+    pub fn matrix(base: &CaseConfig) -> Vec<CaseConfig> {
+        let mut cases = Vec::new();
+        for placement in Placement::paper_placements() {
+            for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+                cases.push(CaseConfig { placement, execution, ..*base });
+            }
+        }
+        cases
+    }
+}
+
+/// The modeled node used for benchmarking: slowed-down device and host
+/// throughputs so that modeled service time dominates the real closure
+/// time, making scheduling behaviour (overlap, contention) the measured
+/// quantity. Parameters are printed by the harness for transparency.
+pub fn bench_node_config(num_devices: usize, time_scale: f64) -> NodeConfig {
+    NodeConfig {
+        num_devices,
+        device: DeviceParams {
+            slots: 1,
+            flops_per_sec: 5e9,
+            bytes_per_sec: 5e10,
+            launch_overhead: Duration::from_micros(100),
+            memory_bytes: 4 << 30,
+        },
+        host: HostParams { slots: num_devices, flops_per_sec: 2.5e9, bytes_per_sec: 2.5e10 },
+        link: LinkParams {
+            h2d_bytes_per_sec: 5e9,
+            d2d_bytes_per_sec: 2e10,
+            latency: Duration::from_micros(20),
+        },
+        time_scale,
+    }
+}
+
+/// Per-rank outcome of a case.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseOutcome {
+    /// Total wall time on this rank (init + steps + in situ + finalize).
+    pub total: Duration,
+    /// Mean solver time per iteration.
+    pub mean_solver: Duration,
+    /// Mean *apparent* in situ time per iteration.
+    pub mean_insitu: Duration,
+}
+
+/// A case aggregated over ranks.
+#[derive(Debug, Clone)]
+pub struct AggregatedCase {
+    /// The configuration that produced this outcome.
+    pub config: CaseConfig,
+    /// MPI ranks used (Table 1's "Ranks per node").
+    pub ranks: usize,
+    /// Max total wall time over ranks (Figure 2).
+    pub total: Duration,
+    /// Mean over ranks of the per-iteration solver time (Figure 3, cyan).
+    pub mean_solver: Duration,
+    /// Mean over ranks of the per-iteration apparent in situ time
+    /// (Figure 3, red/blue).
+    pub mean_insitu: Duration,
+}
+
+/// Run one case: spin up the node, one rank per simulation device, wire
+/// Newton++ to the binning workload through the bridge, run `steps`
+/// iterations with in situ processing at every iteration, finalize.
+pub fn run_case(cfg: &CaseConfig) -> AggregatedCase {
+    let ranks = cfg.placement.ranks_per_node(cfg.num_devices);
+    let node = SimNode::new(bench_node_config(cfg.num_devices, cfg.time_scale));
+    let cfg_copy = *cfg;
+
+    let outcomes: Vec<CaseOutcome> = World::new(ranks).run(move |comm| {
+        run_rank(node.clone(), &comm, &cfg_copy)
+    });
+
+    let total = outcomes.iter().map(|o| o.total).max().unwrap_or(Duration::ZERO);
+    let mean = |f: fn(&CaseOutcome) -> Duration| -> Duration {
+        outcomes.iter().map(f).sum::<Duration>() / outcomes.len().max(1) as u32
+    };
+    AggregatedCase {
+        config: *cfg,
+        ranks,
+        total,
+        mean_solver: mean(|o| o.mean_solver),
+        mean_insitu: mean(|o| o.mean_insitu),
+    }
+}
+
+fn run_rank(node: Arc<SimNode>, comm: &minimpi::Comm, cfg: &CaseConfig) -> CaseOutcome {
+    let t_start = std::time::Instant::now();
+
+    // Simulation placement: one rank per simulation device.
+    let sim_selector = cfg.placement.sim_selector(cfg.num_devices);
+    let sim_device = sensei::select_device(comm.rank(), cfg.num_devices, &sim_selector);
+
+    let newton_cfg = NewtonConfig {
+        ic: IcKind::Uniform(UniformIc {
+            n: cfg.bodies,
+            seed: cfg.seed,
+            half_width: 1.0,
+            mass_range: (0.5, 1.5),
+            velocity_scale: 0.1,
+            central_mass: cfg.bodies as f64,
+        }),
+        dt: 1e-4,
+        grav: Gravity { g: 1.0, eps: 0.05 },
+        x_extent: (-2.0, 2.0),
+        // "body repartitioning [was] disabled during the runs" (§4.3).
+        repartition_every: None,
+    };
+    let mut sim = Newton::new(node.clone(), comm, sim_device, newton_cfg)
+        .expect("simulation initialization");
+
+    // In situ placement through the back-end controls.
+    let (device_spec, selector) = cfg.placement.insitu_spec(cfg.num_devices);
+    let controls =
+        BackendControls { execution: cfg.execution, device: device_spec, selector, ..Default::default() };
+
+    let mut bridge = Bridge::new(node.clone());
+    for spec in paper_binning_specs(cfg.resolution).into_iter().take(cfg.instances) {
+        let analysis = BinningAnalysis::new(spec).with_controls(controls);
+        bridge.add_analysis(Box::new(analysis), comm).expect("attach analysis");
+    }
+
+    for _ in 0..cfg.steps {
+        let solver_time = sim.step(comm).expect("solver step");
+        let adaptor = NewtonAdaptor::new(&sim);
+        bridge.execute(&adaptor, comm, solver_time).expect("in situ execute");
+    }
+    let profiler = bridge.finalize(comm).expect("finalize");
+    let summary = profiler.summary();
+
+    CaseOutcome {
+        total: t_start.elapsed(),
+        mean_solver: summary.mean_solver,
+        mean_insitu: summary.mean_insitu,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny, time-model-free case for functional testing.
+    fn tiny(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
+        CaseConfig {
+            placement,
+            execution,
+            num_devices: 4,
+            bodies: 64,
+            steps: 2,
+            resolution: 8,
+            instances: 2,
+            time_scale: 0.0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn all_eight_cases_run_to_completion() {
+        for cfg in CaseConfig::matrix(&tiny(Placement::Host, ExecutionMethod::Lockstep)) {
+            let out = run_case(&cfg);
+            assert_eq!(out.ranks, cfg.placement.ranks_per_node(4));
+            assert!(out.total > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn table1_rank_counts() {
+        let base = tiny(Placement::Host, ExecutionMethod::Lockstep);
+        let ranks: Vec<usize> = CaseConfig::matrix(&base)
+            .iter()
+            .map(|c| c.placement.ranks_per_node(c.num_devices))
+            .collect();
+        assert_eq!(ranks, vec![4, 4, 4, 4, 3, 3, 2, 2]);
+    }
+}

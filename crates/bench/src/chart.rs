@@ -1,0 +1,83 @@
+//! ASCII renditions of the paper's bar charts, so the harness output can
+//! be compared against Figures 2 and 3 at a glance.
+
+use std::time::Duration;
+
+/// Render labeled values as horizontal bars (Figure 2's layout: one bar
+/// per case, grouped by placement).
+pub fn ascii_bars(title: &str, rows: &[(String, Duration)], width: usize) -> String {
+    let max = rows.iter().map(|(_, v)| v.as_secs_f64()).fold(0.0, f64::max);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, value) in rows {
+        let secs = value.as_secs_f64();
+        let n = if max > 0.0 { (secs / max * width as f64).round() as usize } else { 0 };
+        out.push_str(&format!("  {label:<label_w$}  {:>9.3}s  |{}\n", secs, "#".repeat(n)));
+    }
+    out
+}
+
+/// Render stacked (solver, in situ) pairs (Figure 3's layout: per-case
+/// stacks of mean per-iteration times).
+pub fn ascii_stack(
+    title: &str,
+    rows: &[(String, Duration, Duration)],
+    width: usize,
+) -> String {
+    let max = rows
+        .iter()
+        .map(|(_, a, b)| a.as_secs_f64() + b.as_secs_f64())
+        .fold(0.0, f64::max);
+    let label_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
+    let mut out = format!("{title}\n");
+    for (label, solver, insitu) in rows {
+        let (s, i) = (solver.as_secs_f64(), insitu.as_secs_f64());
+        let scale = if max > 0.0 { width as f64 / max } else { 0.0 };
+        let ns = (s * scale).round() as usize;
+        let ni = (i * scale).round() as usize;
+        out.push_str(&format!(
+            "  {label:<label_w$}  solver {:>9.4}s + insitu {:>9.4}s  |{}{}\n",
+            s,
+            i,
+            "=".repeat(ns),
+            "#".repeat(ni)
+        ));
+    }
+    out.push_str("  legend: = solver, # in situ (apparent)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bars_scale_to_width() {
+        let rows = vec![
+            ("a".to_string(), Duration::from_secs(1)),
+            ("bb".to_string(), Duration::from_secs(2)),
+        ];
+        let s = ascii_bars("t", &rows, 10);
+        assert!(s.contains("|#####\n"), "half-length bar:\n{s}");
+        assert!(s.contains("|##########\n"), "full-length bar:\n{s}");
+    }
+
+    #[test]
+    fn stack_contains_both_segments() {
+        let rows = vec![(
+            "case".to_string(),
+            Duration::from_millis(30),
+            Duration::from_millis(10),
+        )];
+        let s = ascii_stack("t", &rows, 40);
+        assert!(s.contains("==="));
+        assert!(s.contains("#"));
+        assert!(s.contains("legend"));
+    }
+
+    #[test]
+    fn empty_rows_do_not_panic() {
+        assert!(ascii_bars("t", &[], 10).contains('t'));
+        assert!(ascii_stack("t", &[], 10).contains("legend"));
+    }
+}

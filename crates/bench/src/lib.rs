@@ -1,0 +1,17 @@
+//! # bench — the experiment harness
+//!
+//! Reproduces the paper's empirical evaluation (§4.3–§4.4): Newton++
+//! coupled through SENSEI to the data-binning analysis on a simulated
+//! four-device node, swept over the four in situ placements × two
+//! execution methods of Table 1. The paper's 128-node/512-GPU runs scale
+//! down to one simulated node; body counts, steps, and the time model
+//! are configurable so the *shapes* — who wins, by what factor — can be
+//! compared against the paper's Figures 2 and 3.
+
+mod case;
+mod chart;
+mod workload;
+
+pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
+pub use chart::{ascii_bars, ascii_stack};
+pub use workload::{paper_binning_specs, COORDINATE_SYSTEMS, VARIABLE_OPS};

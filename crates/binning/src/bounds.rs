@@ -1,0 +1,86 @@
+//! On-the-fly axis bounds: local min/max of the coordinate columns,
+//! combined across MPI ranks.
+
+use minimpi::Comm;
+use sensei::Result;
+
+/// Min/max of a host-resident column, skipping non-finite values.
+pub fn minmax_host(col: &[f64]) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &v in col {
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo, hi)
+}
+
+/// Combine per-rank `(lo, hi)` pairs into the global bounds with an
+/// allreduce (§4.2: bounds "obtained on the fly by calculating the
+/// minimum and maximum of the respective coordinate variables").
+pub fn global_bounds(comm: &Comm, local: (f64, f64)) -> (f64, f64) {
+    comm.allreduce(local, |a, b| (a.0.min(b.0), a.1.max(b.1)))
+}
+
+/// Widen possibly degenerate bounds into a usable bin range: empty data
+/// becomes the unit interval, a single point gets a symmetric margin.
+pub fn usable_range(lo: f64, hi: f64) -> (f64, f64) {
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if hi > lo {
+        return (lo, hi);
+    }
+    // All values identical: center a unit-ish interval on them.
+    let pad = if lo == 0.0 { 0.5 } else { lo.abs() * 0.5 };
+    (lo - pad, hi + pad)
+}
+
+/// Full pipeline for one axis: local min/max → allreduce → usable range.
+pub fn axis_bounds(comm: &Comm, local_col: &[f64]) -> Result<(f64, f64)> {
+    let local = minmax_host(local_col);
+    let (lo, hi) = global_bounds(comm, local);
+    Ok(usable_range(lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minimpi::World;
+
+    #[test]
+    fn host_minmax_skips_nonfinite() {
+        let (lo, hi) = minmax_host(&[1.0, f64::NAN, -2.0, f64::INFINITY, 3.0]);
+        assert_eq!((lo, hi), (-2.0, 3.0));
+    }
+
+    #[test]
+    fn empty_column_gives_unit_interval() {
+        let (lo, hi) = minmax_host(&[]);
+        assert_eq!(usable_range(lo, hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn degenerate_column_is_padded() {
+        let (lo, hi) = usable_range(4.0, 4.0);
+        assert!(lo < 4.0 && hi > 4.0);
+        let (lo, hi) = usable_range(0.0, 0.0);
+        assert_eq!((lo, hi), (-0.5, 0.5));
+        let (lo, hi) = usable_range(-3.0, -3.0);
+        assert!(lo < -3.0 && hi > -3.0);
+    }
+
+    #[test]
+    fn bounds_reduce_across_ranks() {
+        let got = World::new(4).run(|c| {
+            // rank r holds values around r*10.
+            let col: Vec<f64> = vec![c.rank() as f64 * 10.0, c.rank() as f64 * 10.0 + 5.0];
+            axis_bounds(&c, &col).unwrap()
+        });
+        for (lo, hi) in got {
+            assert_eq!((lo, hi), (0.0, 35.0));
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! The device (accelerator) binning implementation.
+//!
+//! Binning on a device requires atomic memory updates "to deal with races
+//! between GPU threads accessing the same bin" (§4.4) — the kernel here
+//! uses the simulated device's CAS-based `atomic_add`/`atomic_min`/
+//! `atomic_max`, so concurrent kernels sharing an output buffer stay
+//! correct, and the cost of atomic traffic is part of the kernel's
+//! modeled service time.
+
+use std::sync::Arc;
+
+use devsim::{CellBuffer, KernelCost, SimNode, Stream};
+use sensei::{Error, Result};
+
+use crate::grid::GridParams;
+use crate::host_impl::identity;
+use crate::spec::BinOp;
+
+/// Modeled cost of binning `n` rows: a few flops of index arithmetic per
+/// row plus the reads of the coordinate/value columns and the atomic
+/// read-modify-write on the bins.
+fn bin_cost(n: usize) -> KernelCost {
+    KernelCost { flops: 20.0 * n as f64, bytes: 5.0 * 8.0 * n as f64 }
+}
+
+/// Bin one variable on `device`: allocates the per-bin accumulation
+/// buffer on the device, initializes it to the reduction's identity, and
+/// runs the binning kernel on `stream`. Returns the device-resident
+/// accumulation buffer (synchronize the stream before copying it out).
+///
+/// `xs`, `ys`, and (for non-count ops) `values` must be resident on
+/// `device` — obtain them with the HDA access API, which moves them only
+/// if needed.
+#[allow(clippy::too_many_arguments)] // mirrors the CUDA kernel-launch shape
+pub fn bin_device(
+    node: &Arc<SimNode>,
+    device: usize,
+    stream: &Arc<Stream>,
+    xs: &CellBuffer,
+    ys: &CellBuffer,
+    values: Option<&CellBuffer>,
+    op: BinOp,
+    grid: GridParams,
+) -> Result<CellBuffer> {
+    let n = xs.len();
+    if ys.len() != n {
+        return Err(Error::Analysis("coordinate columns must be co-occurring".into()));
+    }
+    if op != BinOp::Count {
+        match values {
+            Some(v) if v.len() == n => {}
+            Some(_) => return Err(Error::Analysis("value column must be co-occurring".into())),
+            None => return Err(Error::Analysis(format!("operation {} needs a value column", op.name()))),
+        }
+    }
+
+    let bins = node.device(device)?.alloc_cells(grid.num_bins())?;
+
+    // Initialize the accumulation buffer to the reduction identity.
+    let init = identity(op);
+    let bins_for_init = bins.clone();
+    stream
+        .launch("bin_init", KernelCost::bytes((grid.num_bins() * 8) as f64), move |scope| {
+            bins_for_init.f64_view(scope)?.fill(init);
+            Ok(())
+        })
+        .map_err(Error::Device)?;
+
+    // The binning kernel proper.
+    let xs = xs.clone();
+    let ys = ys.clone();
+    let values = values.cloned();
+    let out = bins.clone();
+    stream
+        .launch("bin_reduce", bin_cost(n), move |scope| {
+            let xv = xs.f64_view(scope)?;
+            let yv = ys.f64_view(scope)?;
+            let vv = values.as_ref().map(|v| v.f64_view(scope)).transpose()?;
+            let bv = out.f64_view(scope)?;
+            for i in 0..xv.len() {
+                let Some(b) = grid.bin_index(xv.get(i), yv.get(i)) else { continue };
+                match op {
+                    BinOp::Count => bv.atomic_add(b, 1.0),
+                    BinOp::Sum | BinOp::Average => {
+                        bv.atomic_add(b, vv.as_ref().expect("validated above").get(i))
+                    }
+                    BinOp::Min => bv.atomic_min(b, vv.as_ref().expect("validated above").get(i)),
+                    BinOp::Max => bv.atomic_max(b, vv.as_ref().expect("validated above").get(i)),
+                }
+            }
+            Ok(())
+        })
+        .map_err(Error::Device)?;
+
+    Ok(bins)
+}
+
+/// Compute the minimum and maximum of a device-resident column — the
+/// on-the-fly bounds computation of §4.2, run where the data lives.
+/// Returns host values after synchronizing the reduction.
+pub fn minmax_device(
+    node: &Arc<SimNode>,
+    device: usize,
+    stream: &Arc<Stream>,
+    col: &CellBuffer,
+) -> Result<(f64, f64)> {
+    let scratch = node.device(device)?.alloc_cells(2)?;
+    let col2 = col.clone();
+    let s2 = scratch.clone();
+    stream
+        .launch(
+            "minmax",
+            KernelCost { flops: 2.0 * col.len() as f64, bytes: 8.0 * col.len() as f64 },
+            move |scope| {
+                let c = col2.f64_view(scope)?;
+                let s = s2.f64_view(scope)?;
+                s.set(0, f64::INFINITY);
+                s.set(1, f64::NEG_INFINITY);
+                for i in 0..c.len() {
+                    let v = c.get(i);
+                    if v.is_finite() {
+                        s.atomic_min(0, v);
+                        s.atomic_max(1, v);
+                    }
+                }
+                Ok(())
+            },
+        )
+        .map_err(Error::Device)?;
+    let host = node.host_alloc_f64(2);
+    stream.copy(&scratch, &host).map_err(Error::Device)?;
+    stream.synchronize().map_err(Error::Device)?;
+    let v = host.host_f64().map_err(Error::Device)?;
+    Ok((v.get(0), v.get(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host_impl::bin_host;
+    use devsim::NodeConfig;
+
+    fn upload(node: &Arc<SimNode>, stream: &Arc<Stream>, device: usize, data: &[f64]) -> CellBuffer {
+        let host = node.host_alloc_f64(data.len());
+        host.host_f64().unwrap().copy_from_slice(data);
+        let dev = node.device(device).unwrap().alloc_f64(data.len()).unwrap();
+        stream.copy(&host, &dev).unwrap();
+        dev
+    }
+
+    fn download(node: &Arc<SimNode>, stream: &Arc<Stream>, buf: &CellBuffer) -> Vec<f64> {
+        let host = node.host_alloc_f64(buf.len());
+        stream.copy(buf, &host).unwrap();
+        stream.synchronize().unwrap();
+        host.host_f64().unwrap().to_vec()
+    }
+
+    #[test]
+    fn device_binning_matches_host_for_every_op() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let grid = GridParams::new(8, 8, [-1.0, -1.0], [1.0, 1.0]);
+
+        // Pseudo-random but deterministic test data.
+        let n = 500;
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 37 % 200) as f64 / 100.0) - 1.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 53 % 200) as f64 / 100.0) - 1.0).collect();
+        let vs: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 30.0).collect();
+
+        let dx = upload(&node, &stream, 0, &xs);
+        let dy = upload(&node, &stream, 0, &ys);
+        let dv = upload(&node, &stream, 0, &vs);
+
+        for op in [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average] {
+            let vals = if op == BinOp::Count { None } else { Some(&dv) };
+            let dbins = bin_device(&node, 0, &stream, &dx, &dy, vals, op, grid).unwrap();
+            let got = download(&node, &stream, &dbins);
+            let host_vals: &[f64] = if op == BinOp::Count { &[] } else { &vs };
+            let expect = bin_host(&xs, &ys, host_vals, op, &grid);
+            for (b, (g, e)) in got.iter().zip(&expect).enumerate() {
+                assert!(
+                    (g - e).abs() < 1e-9 || (g.is_infinite() && e.is_infinite()),
+                    "op {:?} bin {b}: device {g} vs host {e}",
+                    op
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minmax_matches_scalar_reduction() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let data = [3.5, -1.25, 7.0, 0.0, 2.5];
+        let d = upload(&node, &stream, 0, &data);
+        let (lo, hi) = minmax_device(&node, 0, &stream, &d).unwrap();
+        assert_eq!(lo, -1.25);
+        assert_eq!(hi, 7.0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let grid = GridParams::new(2, 2, [0.0, 0.0], [1.0, 1.0]);
+        let a = node.device(0).unwrap().alloc_f64(4).unwrap();
+        let b = node.device(0).unwrap().alloc_f64(3).unwrap();
+        assert!(bin_device(&node, 0, &stream, &a, &b, None, BinOp::Count, grid).is_err());
+        assert!(bin_device(&node, 0, &stream, &a, &a, None, BinOp::Sum, grid).is_err());
+        assert!(bin_device(&node, 0, &stream, &a, &a, Some(&b), BinOp::Sum, grid).is_err());
+    }
+
+    #[test]
+    fn wrong_device_surfaces_as_stream_error() {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let stream = node.device(1).unwrap().create_stream();
+        let grid = GridParams::new(2, 2, [0.0, 0.0], [1.0, 1.0]);
+        // Buffers live on device 0, kernel launched on device 1.
+        let a = node.device(0).unwrap().alloc_f64(4).unwrap();
+        bin_device(&node, 1, &stream, &a, &a, None, BinOp::Count, grid).unwrap();
+        assert!(stream.synchronize().is_err());
+    }
+}

@@ -1,0 +1,108 @@
+//! The binning mesh geometry and bin arithmetic shared by the host and
+//! device implementations.
+
+/// Geometry of the 2-D binning mesh.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridParams {
+    /// Cells along the first axis.
+    pub nx: usize,
+    /// Cells along the second axis.
+    pub ny: usize,
+    /// Lower bounds per axis.
+    pub lo: [f64; 2],
+    /// Upper bounds per axis.
+    pub hi: [f64; 2],
+}
+
+impl GridParams {
+    /// Construct; panics on degenerate configuration.
+    pub fn new(nx: usize, ny: usize, lo: [f64; 2], hi: [f64; 2]) -> Self {
+        assert!(nx > 0 && ny > 0, "binning mesh needs at least one cell per axis");
+        assert!(hi[0] > lo[0] && hi[1] > lo[1], "binning bounds are degenerate: {lo:?}..{hi:?}");
+        GridParams { nx, ny, lo, hi }
+    }
+
+    /// Total number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Flat bin index for a coordinate pair; `None` when outside the mesh.
+    /// Values exactly on the upper bound land in the last cell, so on-the-
+    /// fly bounds (min/max of the coordinates) keep every row in range.
+    #[inline]
+    pub fn bin_index(&self, x: f64, y: f64) -> Option<usize> {
+        let i = Self::axis_index(x, self.lo[0], self.hi[0], self.nx)?;
+        let j = Self::axis_index(y, self.lo[1], self.hi[1], self.ny)?;
+        Some(j * self.nx + i)
+    }
+
+    #[inline]
+    fn axis_index(v: f64, lo: f64, hi: f64, n: usize) -> Option<usize> {
+        if !v.is_finite() || v < lo || v > hi {
+            return None;
+        }
+        let t = (v - lo) / (hi - lo) * n as f64;
+        Some((t as usize).min(n - 1))
+    }
+
+    /// The equivalent `svtk::ImageData` skeleton for result publication.
+    pub fn to_image(&self) -> svtk::ImageData {
+        svtk::ImageData::from_bounds(
+            [self.nx, self.ny, 1],
+            [self.lo[0], self.lo[1], 0.0],
+            [self.hi[0], self.hi[1], 1.0],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> GridParams {
+        GridParams::new(4, 2, [0.0, 0.0], [4.0, 2.0])
+    }
+
+    #[test]
+    fn bin_index_interior() {
+        let g = grid();
+        assert_eq!(g.bin_index(0.5, 0.5), Some(0));
+        assert_eq!(g.bin_index(3.5, 0.5), Some(3));
+        assert_eq!(g.bin_index(0.5, 1.5), Some(4));
+        assert_eq!(g.bin_index(3.5, 1.5), Some(7));
+    }
+
+    #[test]
+    fn upper_bound_is_inclusive() {
+        let g = grid();
+        assert_eq!(g.bin_index(4.0, 2.0), Some(7));
+        assert_eq!(g.bin_index(0.0, 0.0), Some(0));
+    }
+
+    #[test]
+    fn outside_and_nonfinite_are_rejected() {
+        let g = grid();
+        assert_eq!(g.bin_index(-0.01, 1.0), None);
+        assert_eq!(g.bin_index(4.01, 1.0), None);
+        assert_eq!(g.bin_index(1.0, 2.5), None);
+        assert_eq!(g.bin_index(f64::NAN, 1.0), None);
+        assert_eq!(g.bin_index(1.0, f64::INFINITY), None);
+    }
+
+    #[test]
+    fn agrees_with_image_data_locate() {
+        let g = grid();
+        let img = g.to_image();
+        for (x, y) in [(0.1, 0.1), (3.9, 1.9), (2.0, 1.0), (4.0, 2.0)] {
+            let ijk = img.locate([x, y, 0.5]).unwrap();
+            assert_eq!(g.bin_index(x, y), Some(img.cell_index(ijk)), "at ({x},{y})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_bounds_panic() {
+        GridParams::new(2, 2, [1.0, 0.0], [1.0, 1.0]);
+    }
+}

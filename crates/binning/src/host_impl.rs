@@ -1,0 +1,158 @@
+//! The host (CPU) binning implementation.
+
+use crate::grid::GridParams;
+use crate::spec::BinOp;
+
+/// Initial value for a reduction's accumulation buffer.
+pub fn identity(op: BinOp) -> f64 {
+    match op {
+        BinOp::Count | BinOp::Sum | BinOp::Average => 0.0,
+        BinOp::Min => f64::INFINITY,
+        BinOp::Max => f64::NEG_INFINITY,
+    }
+}
+
+/// Fold one value into an accumulator.
+#[inline]
+pub fn accumulate(op: BinOp, acc: f64, v: f64) -> f64 {
+    match op {
+        BinOp::Count => acc + 1.0,
+        BinOp::Sum | BinOp::Average => acc + v,
+        BinOp::Min => acc.min(v),
+        BinOp::Max => acc.max(v),
+    }
+}
+
+/// Bin one variable on the host: returns the per-bin accumulation buffer
+/// (average returns the running sum; finalize with the count separately).
+///
+/// `values` may be empty for [`BinOp::Count`]. Rows outside the mesh are
+/// dropped, as in the paper's implementation.
+///
+/// # Panics
+/// Panics when the coordinate arrays' lengths differ, or a non-count
+/// reduction's value array length differs from the coordinates.
+pub fn bin_host(xs: &[f64], ys: &[f64], values: &[f64], op: BinOp, grid: &GridParams) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "coordinate columns must be co-occurring");
+    if op != BinOp::Count {
+        assert_eq!(values.len(), xs.len(), "value column must be co-occurring");
+    }
+    let mut bins = vec![identity(op); grid.num_bins()];
+    for i in 0..xs.len() {
+        if let Some(b) = grid.bin_index(xs[i], ys[i]) {
+            let v = if op == BinOp::Count { 0.0 } else { values[i] };
+            bins[b] = accumulate(op, bins[b], v);
+        }
+    }
+    bins
+}
+
+/// Finalize an accumulation buffer into presentable values:
+/// * min/max: bins that never saw a value become NaN;
+/// * average: running sum divided by count (NaN where count is zero);
+/// * count/sum: unchanged.
+pub fn finalize(op: BinOp, bins: &mut [f64], counts: &[f64]) {
+    match op {
+        BinOp::Count | BinOp::Sum => {}
+        BinOp::Min => {
+            for b in bins.iter_mut() {
+                if *b == f64::INFINITY {
+                    *b = f64::NAN;
+                }
+            }
+        }
+        BinOp::Max => {
+            for b in bins.iter_mut() {
+                if *b == f64::NEG_INFINITY {
+                    *b = f64::NAN;
+                }
+            }
+        }
+        BinOp::Average => {
+            assert_eq!(bins.len(), counts.len(), "average needs a matching count buffer");
+            for (b, &c) in bins.iter_mut().zip(counts) {
+                *b = if c > 0.0 { *b / c } else { f64::NAN };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid2x2() -> GridParams {
+        GridParams::new(2, 2, [0.0, 0.0], [2.0, 2.0])
+    }
+
+    // Four points, one per quadrant cell, values 10/20/30/40.
+    const XS: [f64; 4] = [0.5, 1.5, 0.5, 1.5];
+    const YS: [f64; 4] = [0.5, 0.5, 1.5, 1.5];
+    const VS: [f64; 4] = [10.0, 20.0, 30.0, 40.0];
+
+    #[test]
+    fn count_histogram() {
+        let bins = bin_host(&XS, &YS, &[], BinOp::Count, &grid2x2());
+        assert_eq!(bins, vec![1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sum_per_bin() {
+        let bins = bin_host(&XS, &YS, &VS, BinOp::Sum, &grid2x2());
+        assert_eq!(bins, vec![10.0, 20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn min_max_and_empty_bins() {
+        // All four points into cell 0.
+        let xs = [0.1, 0.2, 0.3, 0.4];
+        let ys = [0.1, 0.2, 0.3, 0.4];
+        let g = grid2x2();
+        let mut mins = bin_host(&xs, &ys, &VS, BinOp::Min, &g);
+        let mut maxs = bin_host(&xs, &ys, &VS, BinOp::Max, &g);
+        let counts = bin_host(&xs, &ys, &[], BinOp::Count, &g);
+        finalize(BinOp::Min, &mut mins, &counts);
+        finalize(BinOp::Max, &mut maxs, &counts);
+        assert_eq!(mins[0], 10.0);
+        assert_eq!(maxs[0], 40.0);
+        for b in 1..4 {
+            assert!(mins[b].is_nan(), "empty bin min must be NaN");
+            assert!(maxs[b].is_nan(), "empty bin max must be NaN");
+        }
+    }
+
+    #[test]
+    fn average_divides_by_count() {
+        let xs = [0.5, 0.6, 1.5];
+        let ys = [0.5, 0.6, 1.7];
+        let vs = [2.0, 4.0, 9.0];
+        let g = grid2x2();
+        let counts = bin_host(&xs, &ys, &[], BinOp::Count, &g);
+        let mut avg = bin_host(&xs, &ys, &vs, BinOp::Average, &g);
+        finalize(BinOp::Average, &mut avg, &counts);
+        assert_eq!(avg[0], 3.0);
+        assert_eq!(avg[3], 9.0);
+        assert!(avg[1].is_nan() && avg[2].is_nan());
+    }
+
+    #[test]
+    fn out_of_range_rows_are_dropped() {
+        let xs = [0.5, 10.0, f64::NAN];
+        let ys = [0.5, 0.5, 0.5];
+        let vs = [1.0, 2.0, 3.0];
+        let bins = bin_host(&xs, &ys, &vs, BinOp::Sum, &grid2x2());
+        assert_eq!(bins.iter().sum::<f64>(), 1.0);
+    }
+
+    #[test]
+    fn empty_input_yields_identity_grid() {
+        let bins = bin_host(&[], &[], &[], BinOp::Count, &grid2x2());
+        assert_eq!(bins, vec![0.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "co-occurring")]
+    fn mismatched_columns_panic() {
+        bin_host(&[1.0], &[1.0, 2.0], &[], BinOp::Count, &grid2x2());
+    }
+}

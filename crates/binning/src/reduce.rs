@@ -1,0 +1,99 @@
+//! Cross-rank reduction of per-rank binning grids.
+//!
+//! Each rank bins its local rows; the global result is the element-wise
+//! combination of all per-rank grids under the operation's own semantics
+//! (sums add, minima take min, ...). Averages are reduced as
+//! (sum, count) pairs and finalized after the reduction — reducing
+//! per-rank averages would weight ranks, not rows.
+
+use minimpi::Comm;
+
+use crate::spec::BinOp;
+
+/// Element-wise combination of two accumulation grids under `op`.
+pub fn merge_grids(op: BinOp, mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "grids must have identical shape");
+    match op {
+        BinOp::Count | BinOp::Sum | BinOp::Average => {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += *y;
+            }
+        }
+        BinOp::Min => {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x = x.min(*y);
+            }
+        }
+        BinOp::Max => {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x = x.max(*y);
+            }
+        }
+    }
+    a
+}
+
+/// Allreduce a per-rank accumulation grid into the global grid.
+pub fn allreduce_grid(comm: &Comm, op: BinOp, local: Vec<f64>) -> Vec<f64> {
+    comm.allreduce(local, move |a, b| merge_grids(op, a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridParams;
+    use crate::host_impl::{bin_host, finalize};
+    use minimpi::World;
+
+    #[test]
+    fn merge_semantics_per_op() {
+        let a = vec![1.0, f64::INFINITY, 5.0];
+        let b = vec![2.0, 3.0, f64::NEG_INFINITY];
+        assert_eq!(merge_grids(BinOp::Sum, a.clone(), b.clone()), vec![3.0, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(merge_grids(BinOp::Min, a.clone(), b.clone()), vec![1.0, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(merge_grids(BinOp::Max, a, b), vec![2.0, f64::INFINITY, 5.0]);
+    }
+
+    #[test]
+    fn distributed_binning_equals_serial_binning() {
+        // 4 ranks each bin a slice of a global dataset; the reduced grid
+        // must equal binning the whole dataset serially.
+        let n = 400;
+        let xs: Vec<f64> = (0..n).map(|i| (i * 29 % 100) as f64 / 100.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i * 31 % 100) as f64 / 100.0).collect();
+        let vs: Vec<f64> = (0..n).map(|i| i as f64 * 0.5 - 100.0).collect();
+        let grid = GridParams::new(5, 5, [0.0, 0.0], [1.0, 1.0]);
+
+        for op in [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average] {
+            let serial_vals: &[f64] = if op == BinOp::Count { &[] } else { &vs };
+            let mut serial = bin_host(&xs, &ys, serial_vals, op, &grid);
+            let serial_counts = bin_host(&xs, &ys, &[], BinOp::Count, &grid);
+            finalize(op, &mut serial, &serial_counts);
+
+            let (xs2, ys2, vs2, g2) = (xs.clone(), ys.clone(), vs.clone(), grid);
+            let got = World::new(4).run(move |comm| {
+                let chunk = n / comm.size();
+                let s = comm.rank() * chunk;
+                let e = if comm.rank() + 1 == comm.size() { n } else { s + chunk };
+                let local_vals: &[f64] = if op == BinOp::Count { &[] } else { &vs2[s..e] };
+                let local = bin_host(&xs2[s..e], &ys2[s..e], local_vals, op, &g2);
+                let mut global = allreduce_grid(&comm, op, local);
+                let counts = allreduce_grid(
+                    &comm,
+                    BinOp::Count,
+                    bin_host(&xs2[s..e], &ys2[s..e], &[], BinOp::Count, &g2),
+                );
+                finalize(op, &mut global, &counts);
+                global
+            });
+            for rank_grid in got {
+                for (i, (g, e)) in rank_grid.iter().zip(&serial).enumerate() {
+                    assert!(
+                        (g - e).abs() < 1e-9 || (g.is_nan() && e.is_nan()),
+                        "op {op:?} bin {i}: {g} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the binning invariants: conservation, ordering, and
+//! host/device agreement over arbitrary data.
+
+use std::sync::Arc;
+
+use binning::{device_impl, host_impl, reduce, BinOp, GridParams};
+use devsim::{CellBuffer, NodeConfig, SimNode, Stream};
+use proptest::prelude::*;
+
+fn rows() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    proptest::collection::vec(
+        (
+            -1.5f64..1.5, // x (grid covers [-1, 1]: some rows fall outside)
+            -1.5f64..1.5, // y
+            -10.0f64..10.0, // value
+        ),
+        0..200,
+    )
+}
+
+fn grid() -> GridParams {
+    GridParams::new(7, 5, [-1.0, -1.0], [1.0, 1.0])
+}
+
+fn split3(v: &[(f64, f64, f64)]) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    let xs = v.iter().map(|r| r.0).collect();
+    let ys = v.iter().map(|r| r.1).collect();
+    let vs = v.iter().map(|r| r.2).collect();
+    (xs, ys, vs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Total count equals the number of in-range rows; total sum equals
+    /// the sum of in-range values.
+    #[test]
+    fn conservation(data in rows()) {
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+        let counts = host_impl::bin_host(&xs, &ys, &[], BinOp::Count, &g);
+        let sums = host_impl::bin_host(&xs, &ys, &vs, BinOp::Sum, &g);
+        let in_range: Vec<&(f64, f64, f64)> =
+            data.iter().filter(|r| g.bin_index(r.0, r.1).is_some()).collect();
+        prop_assert_eq!(counts.iter().sum::<f64>() as usize, in_range.len());
+        let expect: f64 = in_range.iter().map(|r| r.2).sum();
+        prop_assert!((sums.iter().sum::<f64>() - expect).abs() < 1e-9);
+    }
+
+    /// Per bin: min <= avg <= max, and empty bins are NaN after finalize.
+    #[test]
+    fn per_bin_ordering(data in rows()) {
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+        let counts = host_impl::bin_host(&xs, &ys, &[], BinOp::Count, &g);
+        let mut mins = host_impl::bin_host(&xs, &ys, &vs, BinOp::Min, &g);
+        let mut maxs = host_impl::bin_host(&xs, &ys, &vs, BinOp::Max, &g);
+        let mut avgs = host_impl::bin_host(&xs, &ys, &vs, BinOp::Average, &g);
+        host_impl::finalize(BinOp::Min, &mut mins, &counts);
+        host_impl::finalize(BinOp::Max, &mut maxs, &counts);
+        host_impl::finalize(BinOp::Average, &mut avgs, &counts);
+        for b in 0..g.num_bins() {
+            if counts[b] == 0.0 {
+                prop_assert!(mins[b].is_nan() && maxs[b].is_nan() && avgs[b].is_nan());
+            } else {
+                prop_assert!(mins[b] <= avgs[b] + 1e-12, "bin {b}");
+                prop_assert!(avgs[b] <= maxs[b] + 1e-12, "bin {b}");
+            }
+        }
+    }
+
+    /// Binning is partition-invariant: splitting the rows arbitrarily and
+    /// merging the partial grids equals binning everything at once.
+    #[test]
+    fn partition_invariance(data in rows(), split_at in 0usize..200) {
+        let g = grid();
+        let k = split_at.min(data.len());
+        for op in [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max] {
+            let (xs, ys, vs) = split3(&data);
+            let vals: &[f64] = if op == BinOp::Count { &[] } else { &vs };
+            let whole = host_impl::bin_host(&xs, &ys, vals, op, &g);
+
+            let (xa, ya, va) = split3(&data[..k]);
+            let (xb, yb, vb) = split3(&data[k..]);
+            let pa = host_impl::bin_host(&xa, &ya, if op == BinOp::Count { &[] } else { &va }, op, &g);
+            let pb = host_impl::bin_host(&xb, &yb, if op == BinOp::Count { &[] } else { &vb }, op, &g);
+            let merged = reduce::merge_grids(op, pa, pb);
+            for (m, w) in merged.iter().zip(&whole) {
+                prop_assert!((m - w).abs() < 1e-9 || (m.is_infinite() && w.is_infinite()));
+            }
+        }
+    }
+}
+
+fn upload(node: &Arc<SimNode>, stream: &Arc<Stream>, data: &[f64]) -> CellBuffer {
+    let host = node.host_alloc_f64(data.len());
+    host.host_f64().unwrap().copy_from_slice(data);
+    let dev = node.device(0).unwrap().alloc_f64(data.len()).unwrap();
+    stream.copy(&host, &dev).unwrap();
+    dev
+}
+
+proptest! {
+    // Device runs spin up threads; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The device kernel agrees with the host implementation exactly.
+    #[test]
+    fn device_matches_host(data in rows()) {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+        let dx = upload(&node, &stream, &xs);
+        let dy = upload(&node, &stream, &ys);
+        let dv = upload(&node, &stream, &vs);
+        for op in [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max] {
+            let vals = if op == BinOp::Count { None } else { Some(&dv) };
+            let dbins = device_impl::bin_device(&node, 0, &stream, &dx, &dy, vals, op, g).unwrap();
+            let host_out = node.host_alloc_f64(g.num_bins());
+            stream.copy(&dbins, &host_out).unwrap();
+            stream.synchronize().unwrap();
+            let got = host_out.host_f64().unwrap().to_vec();
+            let host_vals: &[f64] = if op == BinOp::Count { &[] } else { &vs };
+            let expect = host_impl::bin_host(&xs, &ys, host_vals, op, &g);
+            for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
+                prop_assert!(
+                    (a - b).abs() < 1e-9 || (a.is_infinite() && b.is_infinite()),
+                    "op {:?} bin {i}: {a} vs {b}", op
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! A simulated accelerator: memory space, kernel slots, and streams.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+use crate::memory::{AllocGuard, CellBuffer, MemSpace};
+use crate::sem::Semaphore;
+use crate::stats::NodeStats;
+use crate::stream::Stream;
+use crate::timemodel::{DeviceParams, LinkParams};
+
+/// Shared interior of a device, referenced by its streams.
+pub(crate) struct DeviceCore {
+    pub id: usize,
+    pub params: DeviceParams,
+    pub slots: Semaphore,
+    used_bytes: Mutex<usize>,
+}
+
+/// One simulated accelerator on a [`crate::SimNode`].
+///
+/// A device owns a bounded memory space (allocate with
+/// [`Device::alloc_f64`] / [`Device::alloc_cells`]) and executes kernels
+/// submitted through its [`Stream`]s. At most `params.slots` kernels run
+/// concurrently; additional kernels queue, which is how a shared in situ
+/// device slows down the simulation in the paper's *same device* placement.
+pub struct Device {
+    core: Arc<DeviceCore>,
+    stats: Arc<NodeStats>,
+    link: LinkParams,
+    time_scale: f64,
+    default_stream: Mutex<Option<Arc<Stream>>>,
+}
+
+impl Device {
+    pub(crate) fn new(
+        id: usize,
+        params: DeviceParams,
+        stats: Arc<NodeStats>,
+        link: LinkParams,
+        time_scale: f64,
+    ) -> Device {
+        Device {
+            core: Arc::new(DeviceCore {
+                id,
+                params,
+                slots: Semaphore::new(params.slots),
+                used_bytes: Mutex::new(0),
+            }),
+            stats,
+            link,
+            time_scale,
+            default_stream: Mutex::new(None),
+        }
+    }
+
+    /// This device's id on the node.
+    pub fn id(&self) -> usize {
+        self.core.id
+    }
+
+    /// The modeled device parameters.
+    pub fn params(&self) -> &DeviceParams {
+        &self.core.params
+    }
+
+    /// Bytes currently allocated on the device.
+    pub fn used_bytes(&self) -> usize {
+        *self.core.used_bytes.lock()
+    }
+
+    /// Bytes still available on the device.
+    pub fn free_bytes(&self) -> usize {
+        self.core.params.memory_bytes - self.used_bytes()
+    }
+
+    /// Allocate `len` 64-bit cells in this device's memory space.
+    pub fn alloc_cells(&self, len: usize) -> Result<CellBuffer> {
+        let bytes = len * 8;
+        {
+            let mut used = self.core.used_bytes.lock();
+            let free = self.core.params.memory_bytes - *used;
+            if bytes > free {
+                return Err(Error::OutOfMemory { device: self.core.id, requested: bytes, free });
+            }
+            *used += bytes;
+        }
+        NodeStats::bump(&self.stats.device_allocs);
+        NodeStats::add(&self.stats.device_alloc_bytes, bytes as u64);
+        let core = self.core.clone();
+        let guard = Arc::new(AllocGuard {
+            bytes,
+            on_drop: Box::new(move |b| {
+                *core.used_bytes.lock() -= b;
+            }),
+        });
+        Ok(CellBuffer::new(len, MemSpace::Device(self.core.id), Some(guard)))
+    }
+
+    /// Allocate `len` `f64` elements on this device.
+    pub fn alloc_f64(&self, len: usize) -> Result<CellBuffer> {
+        self.alloc_cells(len)
+    }
+
+    /// Allocate `len` cells of universally addressable (managed) memory
+    /// homed on this device: directly accessible from host code and from
+    /// kernels on any device (`cudaMallocManaged`). Charged against this
+    /// device's capacity.
+    pub fn alloc_unified(&self, len: usize) -> Result<CellBuffer> {
+        let buf = self.alloc_cells(len)?;
+        // Re-wrap with the unified space, keeping the capacity guard.
+        Ok(buf.with_space(MemSpace::Unified(self.core.id)))
+    }
+
+    /// Create a new stream issuing to this device.
+    pub fn create_stream(&self) -> Arc<Stream> {
+        Stream::spawn(self.core.clone(), self.stats.clone(), self.link, self.time_scale)
+    }
+
+    /// The device's lazily created default stream (the "null stream").
+    pub fn default_stream(&self) -> Arc<Stream> {
+        let mut slot = self.default_stream.lock();
+        slot.get_or_insert_with(|| {
+            Stream::spawn(self.core.clone(), self.stats.clone(), self.link, self.time_scale)
+        })
+        .clone()
+    }
+}

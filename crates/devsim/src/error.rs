@@ -1,0 +1,55 @@
+//! Error type for simulated-device operations.
+
+use std::fmt;
+
+use crate::memory::MemSpace;
+
+/// Result alias for devsim operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the simulated node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Requested device id does not exist on the node.
+    NoSuchDevice { device: usize, available: usize },
+    /// Device memory capacity would be exceeded.
+    OutOfMemory { device: usize, requested: usize, free: usize },
+    /// A kernel or view tried to touch memory from the wrong space, e.g.
+    /// host code reading device-resident cells without a transfer.
+    WrongSpace { expected: MemSpace, actual: MemSpace },
+    /// A kernel was launched on a stream of one device with a buffer
+    /// resident on another.
+    CrossDeviceAccess { stream_device: usize, buffer_space: MemSpace },
+    /// Source and destination of a copy have different lengths.
+    CopyLengthMismatch { src: usize, dst: usize },
+    /// The stream's worker thread is gone (node shut down).
+    StreamClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchDevice { device, available } => {
+                write!(f, "device {device} does not exist (node has {available})")
+            }
+            Error::OutOfMemory { device, requested, free } => {
+                write!(f, "device {device} out of memory: requested {requested} bytes, {free} free")
+            }
+            Error::WrongSpace { expected, actual } => {
+                write!(f, "memory space mismatch: expected {expected:?}, buffer lives in {actual:?}")
+            }
+            Error::CrossDeviceAccess { stream_device, buffer_space } => {
+                write!(
+                    f,
+                    "kernel on device {stream_device} cannot access buffer in {buffer_space:?} directly"
+                )
+            }
+            Error::CopyLengthMismatch { src, dst } => {
+                write!(f, "copy length mismatch: src has {src} cells, dst has {dst}")
+            }
+            Error::StreamClosed => write!(f, "stream worker has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,105 @@
+//! Events: completion markers recorded on streams, awaitable from the host
+//! or from other streams (the CUDA event idiom).
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    signaled: Mutex<bool>,
+    cond: Condvar,
+}
+
+/// A one-shot completion marker.
+///
+/// Record it on a [`crate::Stream`] with `stream.record(&event)`; wait for
+/// it from the host with [`Event::wait`], or make another stream wait with
+/// `stream.wait_event(&event)`. Events can be re-armed with
+/// [`Event::reset`] for reuse across iterations.
+#[derive(Clone)]
+pub struct Event {
+    inner: Arc<Inner>,
+}
+
+impl Default for Event {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Event {
+    /// A fresh, unsignaled event.
+    pub fn new() -> Self {
+        Event { inner: Arc::new(Inner { signaled: Mutex::new(false), cond: Condvar::new() }) }
+    }
+
+    /// Mark the event complete and wake all waiters.
+    pub fn signal(&self) {
+        let mut s = self.inner.signaled.lock();
+        *s = true;
+        drop(s);
+        self.inner.cond.notify_all();
+    }
+
+    /// Block until the event has been signaled.
+    pub fn wait(&self) {
+        let mut s = self.inner.signaled.lock();
+        while !*s {
+            self.inner.cond.wait(&mut s);
+        }
+    }
+
+    /// Non-blocking completion check.
+    pub fn is_signaled(&self) -> bool {
+        *self.inner.signaled.lock()
+    }
+
+    /// Re-arm the event for reuse.
+    pub fn reset(&self) {
+        *self.inner.signaled.lock() = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_unsignaled_and_signals() {
+        let e = Event::new();
+        assert!(!e.is_signaled());
+        e.signal();
+        assert!(e.is_signaled());
+        e.wait(); // must not block once signaled
+    }
+
+    #[test]
+    fn wait_blocks_until_signal_from_other_thread() {
+        let e = Event::new();
+        let e2 = e.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            e2.signal();
+        });
+        e.wait();
+        assert!(e.is_signaled());
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn reset_rearms() {
+        let e = Event::new();
+        e.signal();
+        e.reset();
+        assert!(!e.is_signaled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let e = Event::new();
+        let f = e.clone();
+        f.signal();
+        assert!(e.is_signaled());
+    }
+}

@@ -1,0 +1,51 @@
+//! The host executor: bounded CPU capacity for in situ work on the host.
+//!
+//! The paper's *host* placement moves in situ processing onto the CPU
+//! cores left idle by a GPU-resident simulation. [`HostExec`] models that
+//! capacity as `slots` concurrent host tasks, each charged a modeled
+//! duration for its [`KernelCost`]. When asynchronous in situ work and the
+//! solver's host-side phases contend for these slots, the solver slows
+//! down — the effect Figure 3 of the paper shows.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::sem::Semaphore;
+use crate::stats::NodeStats;
+use crate::timemodel::{self, HostParams, KernelCost};
+
+/// Bounded-capacity executor for host-placed work.
+pub struct HostExec {
+    params: HostParams,
+    slots: Semaphore,
+    stats: Arc<NodeStats>,
+    time_scale: f64,
+}
+
+impl HostExec {
+    pub(crate) fn new(params: HostParams, stats: Arc<NodeStats>, time_scale: f64) -> Self {
+        HostExec { params, slots: Semaphore::new(params.slots), stats, time_scale }
+    }
+
+    /// The modeled host parameters.
+    pub fn params(&self) -> &HostParams {
+        &self.params
+    }
+
+    /// Run `f` on the calling thread while holding a host slot; the slot is
+    /// held for at least the modeled duration of `cost`.
+    pub fn run<R>(&self, _name: &str, cost: KernelCost, f: impl FnOnce() -> R) -> R {
+        let duration = timemodel::host_duration(cost, &self.params, self.time_scale);
+        let result = self.slots.with(|| {
+            let t0 = Instant::now();
+            let r = f();
+            let elapsed = t0.elapsed();
+            if duration > elapsed {
+                std::thread::sleep(duration - elapsed);
+            }
+            r
+        });
+        NodeStats::bump(&self.stats.host_tasks);
+        result
+    }
+}

@@ -1,0 +1,498 @@
+//! Memory spaces, buffers, and access views.
+//!
+//! All simulated memory is an array of 64-bit cells (`AtomicU64`). Using
+//! atomic cells makes concurrent kernels on multi-slot devices race-safe
+//! and gives kernels a faithful `atomicAdd` — the operation the paper
+//! singles out as the reason data binning "is not an ideal algorithm for
+//! GPUs". Typed access is by bit reinterpretation (`f64`/`u64`).
+//!
+//! The space discipline is enforced at the API level:
+//!
+//! * host code can obtain [`HostF64View`]/[`HostU64View`] only for buffers
+//!   whose [`MemSpace`] is `Host`;
+//! * kernels obtain [`F64View`]/[`U64View`] through a [`KernelScope`],
+//!   which proves the code is running on a particular device and checks
+//!   the buffer is resident there.
+//!
+//! Moving data between spaces requires a [`crate::Stream`] copy, exactly
+//! like a real accelerator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+
+/// Where a buffer's cells live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// Ordinary host memory: directly accessible by host code.
+    Host,
+    /// Memory of device `id`: accessible only from kernels on that device.
+    Device(usize),
+    /// Universally addressable (managed) memory homed on device `id`:
+    /// accessible from host code and from kernels on *any* device, with
+    /// migration handled by the runtime (`cudaMallocManaged`-style).
+    Unified(usize),
+}
+
+impl MemSpace {
+    /// The device id the memory is homed on, or `None` for host memory.
+    pub fn device(&self) -> Option<usize> {
+        match self {
+            MemSpace::Host => None,
+            MemSpace::Device(d) | MemSpace::Unified(d) => Some(*d),
+        }
+    }
+
+    /// True when host code may access the cells directly.
+    pub fn host_accessible(&self) -> bool {
+        matches!(self, MemSpace::Host | MemSpace::Unified(_))
+    }
+
+    /// True when a kernel on `device` may access the cells directly.
+    pub fn device_accessible(&self, device: usize) -> bool {
+        match self {
+            MemSpace::Host => false,
+            MemSpace::Device(d) => *d == device,
+            MemSpace::Unified(_) => true,
+        }
+    }
+}
+
+/// Capacity accounting for a device allocation; returns the bytes to the
+/// device when the last clone of the buffer drops.
+pub(crate) struct AllocGuard {
+    pub bytes: usize,
+    pub on_drop: Box<dyn Fn(usize) + Send + Sync>,
+}
+
+impl Drop for AllocGuard {
+    fn drop(&mut self) {
+        (self.on_drop)(self.bytes);
+    }
+}
+
+/// A buffer of 64-bit cells in some memory space.
+///
+/// Cloning is shallow (the clones share the cells), which is how zero-copy
+/// handoff between the simulation and the in situ layer is expressed.
+#[derive(Clone)]
+pub struct CellBuffer {
+    cells: Arc<[AtomicU64]>,
+    space: MemSpace,
+    #[allow(dead_code)] // held for its Drop side effect (capacity release)
+    guard: Option<Arc<AllocGuard>>,
+}
+
+impl CellBuffer {
+    pub(crate) fn new(len: usize, space: MemSpace, guard: Option<Arc<AllocGuard>>) -> Self {
+        let cells: Arc<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        CellBuffer { cells, space, guard }
+    }
+
+    /// Number of 64-bit cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the buffer holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The memory space the cells live in.
+    pub fn space(&self) -> MemSpace {
+        self.space
+    }
+
+    /// True when both buffers share the same cells (zero-copy aliases).
+    pub fn same_allocation(&self, other: &CellBuffer) -> bool {
+        Arc::ptr_eq(&self.cells, &other.cells)
+    }
+
+    /// Host-side `f64` view. Fails unless the buffer is host-resident.
+    pub fn host_f64(&self) -> Result<HostF64View> {
+        self.require_host()?;
+        Ok(HostF64View { cells: self.cells.clone() })
+    }
+
+    /// Host-side `u64` view. Fails unless the buffer is host-resident.
+    pub fn host_u64(&self) -> Result<HostU64View> {
+        self.require_host()?;
+        Ok(HostU64View { cells: self.cells.clone() })
+    }
+
+    /// Kernel-side `f64` view; `scope` proves execution on the right device.
+    pub fn f64_view(&self, scope: &KernelScope) -> Result<F64View> {
+        self.require_device(scope)?;
+        Ok(F64View { cells: self.cells.clone() })
+    }
+
+    /// Kernel-side `u64` view; `scope` proves execution on the right device.
+    pub fn u64_view(&self, scope: &KernelScope) -> Result<U64View> {
+        self.require_device(scope)?;
+        Ok(U64View { cells: self.cells.clone() })
+    }
+
+    fn require_host(&self) -> Result<()> {
+        if self.space.host_accessible() {
+            Ok(())
+        } else {
+            Err(Error::WrongSpace { expected: MemSpace::Host, actual: self.space })
+        }
+    }
+
+    fn require_device(&self, scope: &KernelScope) -> Result<()> {
+        if self.space.device_accessible(scope.device) {
+            Ok(())
+        } else {
+            Err(Error::CrossDeviceAccess { stream_device: scope.device, buffer_space: self.space })
+        }
+    }
+
+    /// The same cells re-labeled with a different memory space (used by
+    /// the unified-memory allocator, which shares the capacity guard).
+    pub(crate) fn with_space(&self, space: MemSpace) -> CellBuffer {
+        CellBuffer { cells: self.cells.clone(), space, guard: self.guard.clone() }
+    }
+
+    /// Raw cell copy used by the transfer engine. Not public: user code
+    /// must go through stream copies.
+    pub(crate) fn copy_cells_from(&self, src: &CellBuffer) -> Result<()> {
+        if self.len() != src.len() {
+            return Err(Error::CopyLengthMismatch { src: src.len(), dst: self.len() });
+        }
+        for (d, s) in self.cells.iter().zip(src.cells.iter()) {
+            d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CellBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CellBuffer")
+            .field("len", &self.len())
+            .field("space", &self.space)
+            .finish()
+    }
+}
+
+/// Proof that the current closure is executing as a kernel on `device`.
+/// Constructed only by the stream worker.
+pub struct KernelScope {
+    pub(crate) device: usize,
+}
+
+impl KernelScope {
+    /// The device this kernel is running on.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+}
+
+macro_rules! f64_ops {
+    ($name:ident) => {
+        impl $name {
+            /// Number of elements.
+            pub fn len(&self) -> usize {
+                self.cells.len()
+            }
+
+            /// True when the view is empty.
+            pub fn is_empty(&self) -> bool {
+                self.cells.is_empty()
+            }
+
+            /// Read element `i`.
+            #[inline]
+            pub fn get(&self, i: usize) -> f64 {
+                f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+            }
+
+            /// Write element `i`.
+            #[inline]
+            pub fn set(&self, i: usize, v: f64) {
+                self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+            }
+
+            /// Atomic `+=` on element `i` (CAS loop) — the `atomicAdd` the
+            /// paper's binning kernel depends on.
+            #[inline]
+            pub fn atomic_add(&self, i: usize, v: f64) {
+                let cell = &self.cells[i];
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let next = (f64::from_bits(cur) + v).to_bits();
+                    match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => return,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+
+            /// Atomic minimum on element `i`.
+            #[inline]
+            pub fn atomic_min(&self, i: usize, v: f64) {
+                self.atomic_rmw(i, |cur| cur.min(v));
+            }
+
+            /// Atomic maximum on element `i`.
+            #[inline]
+            pub fn atomic_max(&self, i: usize, v: f64) {
+                self.atomic_rmw(i, |cur| cur.max(v));
+            }
+
+            #[inline]
+            fn atomic_rmw(&self, i: usize, f: impl Fn(f64) -> f64) {
+                let cell = &self.cells[i];
+                let mut cur = cell.load(Ordering::Relaxed);
+                loop {
+                    let next = f(f64::from_bits(cur)).to_bits();
+                    if next == cur {
+                        return;
+                    }
+                    match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                        Ok(_) => return,
+                        Err(seen) => cur = seen,
+                    }
+                }
+            }
+
+            /// Copy all elements out into a `Vec`.
+            pub fn to_vec(&self) -> Vec<f64> {
+                (0..self.len()).map(|i| self.get(i)).collect()
+            }
+
+            /// Fill every element with `v`.
+            pub fn fill(&self, v: f64) {
+                for c in self.cells.iter() {
+                    c.store(v.to_bits(), Ordering::Relaxed);
+                }
+            }
+
+            /// Copy from a slice; panics if lengths differ.
+            pub fn copy_from_slice(&self, src: &[f64]) {
+                assert_eq!(src.len(), self.len(), "copy_from_slice length mismatch");
+                for (c, v) in self.cells.iter().zip(src) {
+                    c.store(v.to_bits(), Ordering::Relaxed);
+                }
+            }
+        }
+    };
+}
+
+macro_rules! u64_ops {
+    ($name:ident) => {
+        impl $name {
+            /// Number of elements.
+            pub fn len(&self) -> usize {
+                self.cells.len()
+            }
+
+            /// True when the view is empty.
+            pub fn is_empty(&self) -> bool {
+                self.cells.is_empty()
+            }
+
+            /// Read element `i`.
+            #[inline]
+            pub fn get(&self, i: usize) -> u64 {
+                self.cells[i].load(Ordering::Relaxed)
+            }
+
+            /// Write element `i`.
+            #[inline]
+            pub fn set(&self, i: usize, v: u64) {
+                self.cells[i].store(v, Ordering::Relaxed);
+            }
+
+            /// Atomic increment, returning the previous value.
+            #[inline]
+            pub fn atomic_add(&self, i: usize, v: u64) -> u64 {
+                self.cells[i].fetch_add(v, Ordering::Relaxed)
+            }
+
+            /// Copy all elements out into a `Vec`.
+            pub fn to_vec(&self) -> Vec<u64> {
+                (0..self.len()).map(|i| self.get(i)).collect()
+            }
+        }
+    };
+}
+
+/// `f64` view of a device-resident buffer, usable only inside a kernel.
+pub struct F64View {
+    cells: Arc<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for F64View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F64View(len={})", self.cells.len())
+    }
+}
+f64_ops!(F64View);
+
+/// `u64` view of a device-resident buffer, usable only inside a kernel.
+pub struct U64View {
+    cells: Arc<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for U64View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "U64View(len={})", self.cells.len())
+    }
+}
+u64_ops!(U64View);
+
+/// `f64` view of a host-resident buffer, usable from host code.
+pub struct HostF64View {
+    cells: Arc<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for HostF64View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HostF64View(len={})", self.cells.len())
+    }
+}
+f64_ops!(HostF64View);
+
+/// `u64` view of a host-resident buffer, usable from host code.
+pub struct HostU64View {
+    cells: Arc<[AtomicU64]>,
+}
+
+impl std::fmt::Debug for HostU64View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HostU64View(len={})", self.cells.len())
+    }
+}
+u64_ops!(HostU64View);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host_buf(n: usize) -> CellBuffer {
+        CellBuffer::new(n, MemSpace::Host, None)
+    }
+
+    #[test]
+    fn host_view_reads_and_writes() {
+        let b = host_buf(4);
+        let v = b.host_f64().unwrap();
+        v.set(0, 1.5);
+        v.set(3, -2.25);
+        assert_eq!(v.get(0), 1.5);
+        assert_eq!(v.get(3), -2.25);
+        assert_eq!(v.to_vec(), vec![1.5, 0.0, 0.0, -2.25]);
+    }
+
+    #[test]
+    fn device_buffer_refuses_host_view() {
+        let b = CellBuffer::new(4, MemSpace::Device(1), None);
+        let err = b.host_f64().unwrap_err();
+        assert_eq!(err, Error::WrongSpace { expected: MemSpace::Host, actual: MemSpace::Device(1) });
+    }
+
+    #[test]
+    fn kernel_scope_gates_device_views() {
+        let b = CellBuffer::new(4, MemSpace::Device(2), None);
+        let right = KernelScope { device: 2 };
+        let wrong = KernelScope { device: 0 };
+        assert!(b.f64_view(&right).is_ok());
+        assert!(matches!(b.f64_view(&wrong), Err(Error::CrossDeviceAccess { .. })));
+        // Host buffers are also not implicitly visible to kernels.
+        let hb = host_buf(2);
+        assert!(hb.f64_view(&right).is_err());
+    }
+
+    #[test]
+    fn clones_alias_the_same_cells() {
+        let a = host_buf(2);
+        let b = a.clone();
+        a.host_f64().unwrap().set(1, 7.0);
+        assert_eq!(b.host_f64().unwrap().get(1), 7.0);
+        assert!(a.same_allocation(&b));
+        assert!(!a.same_allocation(&host_buf(2)));
+    }
+
+    #[test]
+    fn atomic_add_sums_under_contention() {
+        let b = host_buf(1);
+        let v = std::sync::Arc::new(b.host_f64().unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let v = v.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        v.atomic_add(0, 1.0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(v.get(0), 4000.0);
+    }
+
+    #[test]
+    fn atomic_min_max_converge() {
+        let b = host_buf(2);
+        let v = b.host_f64().unwrap();
+        v.set(0, f64::INFINITY);
+        v.set(1, f64::NEG_INFINITY);
+        for x in [3.0, -1.0, 7.0, 0.5] {
+            v.atomic_min(0, x);
+            v.atomic_max(1, x);
+        }
+        assert_eq!(v.get(0), -1.0);
+        assert_eq!(v.get(1), 7.0);
+    }
+
+    #[test]
+    fn u64_counter_view() {
+        let b = host_buf(3);
+        let v = b.host_u64().unwrap();
+        assert_eq!(v.atomic_add(1, 5), 0);
+        assert_eq!(v.atomic_add(1, 2), 5);
+        assert_eq!(v.to_vec(), vec![0, 7, 0]);
+    }
+
+    #[test]
+    fn copy_cells_requires_equal_lengths() {
+        let a = host_buf(3);
+        let b = host_buf(4);
+        assert!(matches!(a.copy_cells_from(&b), Err(Error::CopyLengthMismatch { .. })));
+    }
+
+    #[test]
+    fn alloc_guard_runs_on_last_drop() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let released = Arc::new(AtomicUsize::new(0));
+        let r2 = released.clone();
+        let guard = Arc::new(AllocGuard {
+            bytes: 128,
+            on_drop: Box::new(move |b| {
+                r2.fetch_add(b, Ordering::SeqCst);
+            }),
+        });
+        let a = CellBuffer::new(1, MemSpace::Device(0), Some(guard));
+        let b = a.clone();
+        drop(a);
+        assert_eq!(released.load(Ordering::SeqCst), 0, "still one live clone");
+        drop(b);
+        assert_eq!(released.load(Ordering::SeqCst), 128);
+    }
+
+    #[test]
+    fn fill_and_copy_from_slice() {
+        let b = host_buf(3);
+        let v = b.host_f64().unwrap();
+        v.fill(9.0);
+        assert_eq!(v.to_vec(), vec![9.0; 3]);
+        v.copy_from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+}

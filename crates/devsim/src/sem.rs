@@ -1,0 +1,112 @@
+//! A counting semaphore modeling a device's concurrent-kernel capacity.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counting semaphore. A device with `slots = k` admits `k` kernels at a
+/// time; further launches queue on the semaphore, which is exactly the
+/// serialization a saturated GPU imposes on extra streams.
+pub(crate) struct Semaphore {
+    permits: Mutex<usize>,
+    released: Condvar,
+}
+
+impl Semaphore {
+    pub fn new(permits: usize) -> Self {
+        assert!(permits > 0, "a device needs at least one kernel slot");
+        Semaphore { permits: Mutex::new(permits), released: Condvar::new() }
+    }
+
+    /// Block until a permit is available, then take it.
+    pub fn acquire(&self) {
+        let mut p = self.permits.lock();
+        while *p == 0 {
+            self.released.wait(&mut p);
+        }
+        *p -= 1;
+    }
+
+    /// Return a permit.
+    pub fn release(&self) {
+        let mut p = self.permits.lock();
+        *p += 1;
+        drop(p);
+        self.released.notify_one();
+    }
+
+    /// Run `f` while holding a permit.
+    pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquire();
+        let guard = ReleaseOnDrop(self);
+        let r = f();
+        drop(guard);
+        r
+    }
+}
+
+struct ReleaseOnDrop<'a>(&'a Semaphore);
+
+impl Drop for ReleaseOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        let s = Semaphore::new(2);
+        s.acquire();
+        s.acquire();
+        s.release();
+        s.acquire();
+        s.release();
+        s.release();
+    }
+
+    #[test]
+    fn concurrency_never_exceeds_permits() {
+        const PERMITS: usize = 3;
+        let sem = Arc::new(Semaphore::new(PERMITS));
+        let active = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                let sem = sem.clone();
+                let active = active.clone();
+                let peak = peak.clone();
+                std::thread::spawn(move || {
+                    sem.with(|| {
+                        let now = active.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(5));
+                        active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) <= PERMITS);
+        assert_eq!(active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn with_releases_on_panic() {
+        let sem = Arc::new(Semaphore::new(1));
+        let s2 = sem.clone();
+        let _ = std::thread::spawn(move || {
+            s2.with(|| panic!("kernel fault"));
+        })
+        .join();
+        // Permit must have been returned despite the panic.
+        sem.acquire();
+        sem.release();
+    }
+}

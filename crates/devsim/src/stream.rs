@@ -1,0 +1,262 @@
+//! Streams: in-order, asynchronous command queues.
+//!
+//! A [`Stream`] mirrors a CUDA/HIP stream: commands (kernels, copies,
+//! event records/waits) execute strictly in submission order, but
+//! asynchronously with respect to the submitting thread. Each stream owns
+//! a worker thread; kernels additionally contend for their device's
+//! concurrent-kernel slots, so two streams on one device serialize when
+//! the device is saturated while streams on different devices overlap
+//! freely — the behaviour the paper's placement study depends on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::device::DeviceCore;
+use crate::error::{Error, Result};
+use crate::event::Event;
+use crate::memory::{CellBuffer, KernelScope, MemSpace};
+use crate::stats::NodeStats;
+use crate::timemodel::{self, KernelCost, LinkParams};
+
+type Cmd = Box<dyn FnOnce(&WorkerCtx, &mut Duration) + Send>;
+
+/// Modeled remainders below this floor are not slept inline (the OS
+/// overshoot would dwarf them); they accumulate in the stream's deficit
+/// and are slept in one batch when the queue drains, preserving total
+/// modeled time without per-operation overshoot.
+const SLEEP_FLOOR: Duration = Duration::from_millis(1);
+
+/// Sleep `remaining` now if it is large enough to be slept accurately,
+/// otherwise defer it to the stream's deficit.
+fn sleep_or_defer(remaining: Duration, deficit: &mut Duration) {
+    if remaining >= SLEEP_FLOOR {
+        std::thread::sleep(remaining);
+    } else {
+        *deficit += remaining;
+    }
+}
+
+pub(crate) struct WorkerCtx {
+    device: Option<Arc<DeviceCore>>,
+    stats: Arc<NodeStats>,
+    link: LinkParams,
+    time_scale: f64,
+}
+
+struct Shared {
+    pending: Mutex<u64>,
+    idle: Condvar,
+    /// First asynchronous failure (sticky until the next synchronize).
+    error: Mutex<Option<Error>>,
+    submitted: AtomicU64,
+}
+
+/// An in-order asynchronous command queue bound to one device.
+///
+/// Streams are created by [`crate::Device::create_stream`]; they are cheap
+/// to share behind an `Arc` and safe to submit to from any thread
+/// (submissions from one thread retain their order).
+pub struct Stream {
+    device_id: usize,
+    tx: Sender<Cmd>,
+    shared: Arc<Shared>,
+}
+
+impl Stream {
+    pub(crate) fn spawn(
+        device: Arc<DeviceCore>,
+        stats: Arc<NodeStats>,
+        link: LinkParams,
+        time_scale: f64,
+    ) -> Arc<Stream> {
+        let (tx, rx) = unbounded::<Cmd>();
+        let shared = Arc::new(Shared {
+            pending: Mutex::new(0),
+            idle: Condvar::new(),
+            error: Mutex::new(None),
+            submitted: AtomicU64::new(0),
+        });
+        let device_id = device.id;
+        let ctx = WorkerCtx { device: Some(device), stats, link, time_scale };
+        let worker_shared = shared.clone();
+        std::thread::Builder::new()
+            .name(format!("devsim-stream-d{device_id}"))
+            .spawn(move || {
+                let mut deficit = Duration::ZERO;
+                while let Ok(cmd) = rx.recv() {
+                    cmd(&ctx, &mut deficit);
+                    // Flush deferred modeled time before reporting idle.
+                    if rx.is_empty() && !deficit.is_zero() {
+                        std::thread::sleep(deficit);
+                        deficit = Duration::ZERO;
+                    }
+                    let mut p = worker_shared.pending.lock();
+                    *p -= 1;
+                    if *p == 0 {
+                        worker_shared.idle.notify_all();
+                    }
+                }
+            })
+            .expect("spawn stream worker");
+        Arc::new(Stream { device_id, tx, shared })
+    }
+
+    /// The device this stream issues to.
+    pub fn device(&self) -> usize {
+        self.device_id
+    }
+
+    /// Number of commands ever submitted (diagnostic).
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    fn enqueue(&self, cmd: Cmd) -> Result<()> {
+        *self.shared.pending.lock() += 1;
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.tx.send(cmd).map_err(|_| {
+            // Undo the pending count if the worker is gone.
+            *self.shared.pending.lock() -= 1;
+            Error::StreamClosed
+        })
+    }
+
+    /// Launch a kernel: enqueue `body` to run on the device, occupying a
+    /// device slot for at least the modeled duration of `cost`.
+    ///
+    /// `body` receives a [`KernelScope`] with which it creates device-side
+    /// views of buffers. Errors returned by `body` (and panics inside it)
+    /// are captured and surface from the next [`Stream::synchronize`].
+    pub fn launch<F>(&self, name: &str, cost: KernelCost, body: F) -> Result<()>
+    where
+        F: FnOnce(&KernelScope) -> KernelResult + Send + 'static,
+    {
+        let shared = self.shared.clone();
+        let name = name.to_string();
+        self.enqueue(Box::new(move |ctx, deficit| {
+            let dev = ctx.device.as_ref().expect("kernel launched on a device stream");
+            let duration = timemodel::kernel_duration(cost, &dev.params, ctx.time_scale);
+            dev.slots.with(|| {
+                let t0 = Instant::now();
+                let scope = KernelScope { device: dev.id };
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&scope)));
+                let elapsed = t0.elapsed();
+                if duration > elapsed {
+                    // Long kernels sleep while holding the slot (they are
+                    // the contention carriers); short remainders defer.
+                    sleep_or_defer(duration - elapsed, deficit);
+                }
+                match outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err(e)) => {
+                        let mut err = shared.error.lock();
+                        err.get_or_insert(e);
+                    }
+                    Err(_) => {
+                        // A panicking kernel poisons the stream with a
+                        // generic error; the panic message went to stderr.
+                        let mut err = shared.error.lock();
+                        err.get_or_insert(Error::StreamClosed);
+                        eprintln!("devsim: kernel '{name}' panicked on device {}", dev.id);
+                    }
+                }
+            });
+            NodeStats::bump(&ctx.stats.kernels_launched);
+        }))
+    }
+
+    /// Enqueue an ordered copy of all cells from `src` to `dst`.
+    ///
+    /// Direction (h2d / d2h / d2d / h2h) is derived from the buffers'
+    /// memory spaces; the transfer holds the stream for the modeled link
+    /// time. Lengths must match (checked at submission).
+    pub fn copy(&self, src: &CellBuffer, dst: &CellBuffer) -> Result<()> {
+        if src.len() != dst.len() {
+            return Err(Error::CopyLengthMismatch { src: src.len(), dst: dst.len() });
+        }
+        let src = src.clone();
+        let dst = dst.clone();
+        let shared = self.shared.clone();
+        self.enqueue(Box::new(move |ctx, deficit| {
+            let bytes = src.len() * 8;
+            let host_involved =
+                src.space() == MemSpace::Host || dst.space() == MemSpace::Host;
+            let duration =
+                timemodel::transfer_duration(bytes, host_involved, &ctx.link, ctx.time_scale);
+            let t0 = Instant::now();
+            let result = dst.copy_cells_from(&src);
+            if let Err(e) = result {
+                shared.error.lock().get_or_insert(e);
+            }
+            let elapsed = t0.elapsed();
+            if duration > elapsed {
+                sleep_or_defer(duration - elapsed, deficit);
+            }
+            // Unified memory is homed on a device; count it as device-side.
+            let is_host = |s: MemSpace| s == MemSpace::Host;
+            match (is_host(src.space()), is_host(dst.space())) {
+                (true, true) => NodeStats::bump(&ctx.stats.copies_h2h),
+                (true, false) => {
+                    NodeStats::bump(&ctx.stats.copies_h2d);
+                    NodeStats::add(&ctx.stats.bytes_h2d, bytes as u64);
+                }
+                (false, true) => {
+                    NodeStats::bump(&ctx.stats.copies_d2h);
+                    NodeStats::add(&ctx.stats.bytes_d2h, bytes as u64);
+                }
+                (false, false) => {
+                    NodeStats::bump(&ctx.stats.copies_d2d);
+                    NodeStats::add(&ctx.stats.bytes_d2d, bytes as u64);
+                }
+            }
+        }))
+    }
+
+    /// Enqueue an event record: the event signals once every previously
+    /// submitted command on this stream has completed.
+    pub fn record(&self, event: &Event) -> Result<()> {
+        let event = event.clone();
+        self.enqueue(Box::new(move |_, deficit| {
+            // Events order later work: deferred modeled time must elapse
+            // before the event is visible.
+            if !deficit.is_zero() {
+                std::thread::sleep(*deficit);
+                *deficit = Duration::ZERO;
+            }
+            event.signal()
+        }))
+    }
+
+    /// Enqueue a wait: commands submitted after this one do not execute
+    /// until `event` has been signaled (cross-stream ordering).
+    pub fn wait_event(&self, event: &Event) -> Result<()> {
+        let event = event.clone();
+        self.enqueue(Box::new(move |_, _| event.wait()))
+    }
+
+    /// Block the calling thread until every submitted command has
+    /// completed; returns (and clears) the first asynchronous error.
+    pub fn synchronize(&self) -> Result<()> {
+        let mut p = self.shared.pending.lock();
+        while *p > 0 {
+            self.shared.idle.wait(&mut p);
+        }
+        drop(p);
+        match self.shared.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// True when no submitted command is outstanding.
+    pub fn is_idle(&self) -> bool {
+        *self.shared.pending.lock() == 0
+    }
+}
+
+/// Result type kernels return; `Err` surfaces at the next synchronize.
+pub type KernelResult = Result<()>;

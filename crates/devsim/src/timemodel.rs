@@ -1,0 +1,188 @@
+//! The virtual-time cost model.
+//!
+//! Every kernel and transfer in the simulator both *executes* (its closure
+//! runs on real memory) and *occupies* its device for a modeled service
+//! time. The service time is `launch overhead + flops/throughput +
+//! bytes/bandwidth`, scaled by the node-wide `time_scale`. With
+//! `time_scale = 0` the simulator degenerates to "as fast as the host can
+//! run the closures", which is what unit tests use; benchmarks use a scale
+//! that makes the modeled time dominate, so scheduling behaviour — overlap,
+//! contention, placement — matches a real multi-accelerator node.
+
+use std::time::Duration;
+
+/// Work metadata for a kernel launch, used to derive its modeled duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations the kernel performs.
+    pub flops: f64,
+    /// Bytes of device memory traffic the kernel generates.
+    pub bytes: f64,
+}
+
+impl KernelCost {
+    /// A free kernel: executes with launch overhead only.
+    pub const ZERO: KernelCost = KernelCost { flops: 0.0, bytes: 0.0 };
+
+    /// Cost with compute work only.
+    pub fn flops(flops: f64) -> Self {
+        KernelCost { flops, bytes: 0.0 }
+    }
+
+    /// Cost with memory traffic only.
+    pub fn bytes(bytes: f64) -> Self {
+        KernelCost { flops: 0.0, bytes }
+    }
+}
+
+/// Modeled characteristics of one simulated accelerator.
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceParams {
+    /// Concurrent-kernel capacity: how many kernels may be resident at once.
+    /// 1 models the common case of large kernels saturating the device.
+    pub slots: usize,
+    /// Peak compute throughput used to convert flops into time.
+    pub flops_per_sec: f64,
+    /// Device-memory bandwidth used to convert kernel bytes into time.
+    pub bytes_per_sec: f64,
+    /// Fixed per-launch overhead.
+    pub launch_overhead: Duration,
+    /// Memory capacity; allocations beyond it fail with `OutOfMemory`.
+    pub memory_bytes: usize,
+}
+
+impl Default for DeviceParams {
+    /// Loosely A100-shaped: ~10 TF/s sustained FP64-ish, 1 TB/s HBM,
+    /// 10 µs launch overhead, 40 GB memory.
+    fn default() -> Self {
+        DeviceParams {
+            slots: 1,
+            flops_per_sec: 10e12,
+            bytes_per_sec: 1e12,
+            launch_overhead: Duration::from_micros(10),
+            memory_bytes: 40 << 30,
+        }
+    }
+}
+
+/// Modeled characteristics of the host CPU complex.
+#[derive(Debug, Clone, Copy)]
+pub struct HostParams {
+    /// Concurrent host-task capacity (≈ cores available for in situ work).
+    pub slots: usize,
+    /// Host compute throughput (per slot).
+    pub flops_per_sec: f64,
+    /// Host memory bandwidth (per slot).
+    pub bytes_per_sec: f64,
+}
+
+impl Default for HostParams {
+    /// Loosely one Milan socket spread over a few worker slots.
+    fn default() -> Self {
+        HostParams { slots: 4, flops_per_sec: 0.5e12, bytes_per_sec: 100e9 }
+    }
+}
+
+/// Modeled characteristics of the host↔device and device↔device links.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkParams {
+    /// Host↔device bandwidth (PCIe/NVLink-C2C class).
+    pub h2d_bytes_per_sec: f64,
+    /// Device↔device bandwidth (NVLink class).
+    pub d2d_bytes_per_sec: f64,
+    /// Per-transfer latency.
+    pub latency: Duration,
+}
+
+impl Default for LinkParams {
+    fn default() -> Self {
+        LinkParams {
+            h2d_bytes_per_sec: 25e9,
+            d2d_bytes_per_sec: 100e9,
+            latency: Duration::from_micros(5),
+        }
+    }
+}
+
+/// Convert a kernel cost to a modeled duration on a device.
+pub fn kernel_duration(cost: KernelCost, p: &DeviceParams, time_scale: f64) -> Duration {
+    if time_scale == 0.0 {
+        return Duration::ZERO;
+    }
+    let secs = cost.flops / p.flops_per_sec + cost.bytes / p.bytes_per_sec;
+    scale(p.launch_overhead, secs, time_scale)
+}
+
+/// Convert a host-task cost to a modeled duration on one host slot.
+pub fn host_duration(cost: KernelCost, p: &HostParams, time_scale: f64) -> Duration {
+    if time_scale == 0.0 {
+        return Duration::ZERO;
+    }
+    let secs = cost.flops / p.flops_per_sec + cost.bytes / p.bytes_per_sec;
+    scale(Duration::ZERO, secs, time_scale)
+}
+
+/// Convert a transfer size to a modeled duration on a link.
+pub fn transfer_duration(bytes: usize, host_involved: bool, p: &LinkParams, time_scale: f64) -> Duration {
+    if time_scale == 0.0 {
+        return Duration::ZERO;
+    }
+    let bw = if host_involved { p.h2d_bytes_per_sec } else { p.d2d_bytes_per_sec };
+    scale(p.latency, bytes as f64 / bw, time_scale)
+}
+
+fn scale(fixed: Duration, secs: f64, time_scale: f64) -> Duration {
+    let total = fixed.as_secs_f64() + secs;
+    Duration::from_secs_f64((total * time_scale).clamp(0.0, 3600.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_time_scale_disables_modeling() {
+        let p = DeviceParams::default();
+        assert_eq!(kernel_duration(KernelCost::flops(1e15), &p, 0.0), Duration::ZERO);
+        assert_eq!(transfer_duration(1 << 30, true, &LinkParams::default(), 0.0), Duration::ZERO);
+        assert_eq!(host_duration(KernelCost::flops(1e15), &HostParams::default(), 0.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn kernel_duration_scales_linearly_with_flops() {
+        let p = DeviceParams { launch_overhead: Duration::ZERO, ..DeviceParams::default() };
+        let d1 = kernel_duration(KernelCost::flops(1e10), &p, 1.0);
+        let d2 = kernel_duration(KernelCost::flops(2e10), &p, 1.0);
+        assert!((d2.as_secs_f64() - 2.0 * d1.as_secs_f64()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let p = DeviceParams::default();
+        let d = kernel_duration(KernelCost::ZERO, &p, 1.0);
+        assert_eq!(d, p.launch_overhead);
+    }
+
+    #[test]
+    fn d2d_is_faster_than_h2d() {
+        let link = LinkParams::default();
+        let h = transfer_duration(1 << 20, true, &link, 1.0);
+        let d = transfer_duration(1 << 20, false, &link, 1.0);
+        assert!(d < h);
+    }
+
+    #[test]
+    fn time_scale_compresses_durations() {
+        let p = DeviceParams { launch_overhead: Duration::ZERO, ..DeviceParams::default() };
+        let full = kernel_duration(KernelCost::flops(1e12), &p, 1.0);
+        let tenth = kernel_duration(KernelCost::flops(1e12), &p, 0.1);
+        assert!((full.as_secs_f64() / tenth.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn durations_are_clamped_to_sane_bounds() {
+        let p = DeviceParams { flops_per_sec: 1.0, ..DeviceParams::default() };
+        let d = kernel_duration(KernelCost::flops(1e30), &p, 1.0);
+        assert!(d <= Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,206 @@
+//! Programming models and their allocators (the paper's `svtkAllocator`).
+
+/// A programming model (PM) whose runtime can own memory and execute code.
+///
+/// The paper's extensions mediate between codes written in *different* PMs
+/// (its evaluation couples an OpenMP-offload simulation to a CUDA
+/// analysis). In this reproduction every PM maps onto the same simulated
+/// runtime, but the PM is tracked end-to-end so that cross-PM access is
+/// observable and the interoperability paths are exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pm {
+    /// Plain host C++/Rust.
+    Host,
+    /// NVIDIA CUDA.
+    Cuda,
+    /// AMD HIP.
+    Hip,
+    /// OpenMP target offload.
+    OpenMp,
+    /// SYCL (the paper's planned future extension, implemented here).
+    Sycl,
+    /// Kokkos (third-party portability layer; future work in the paper).
+    Kokkos,
+}
+
+impl Pm {
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Pm::Host => "host",
+            Pm::Cuda => "cuda",
+            Pm::Hip => "hip",
+            Pm::OpenMp => "openmp",
+            Pm::Sycl => "sycl",
+            Pm::Kokkos => "kokkos",
+        }
+    }
+}
+
+/// The allocator used to obtain (and later release) a buffer's memory —
+/// a direct transcription of the paper's `svtkAllocator` enumeration.
+///
+/// The CUDA and HIP allocators come in synchronous and asynchronous
+/// variants, a universally addressable (UVA) variant, and a page-locked
+/// host variant, matching §2 "Initialization".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Allocator {
+    /// Host memory via `malloc`.
+    Malloc,
+    /// Host memory via C++ `new`.
+    New,
+    /// `cudaMalloc`: device memory, synchronous.
+    Cuda,
+    /// `cudaMallocAsync`: device memory, stream-ordered.
+    CudaAsync,
+    /// `cudaMallocManaged`: universally addressable memory.
+    CudaUva,
+    /// `cudaMallocHost`: page-locked host memory.
+    CudaHostPinned,
+    /// `hipMalloc`: device memory, synchronous.
+    Hip,
+    /// `hipMallocAsync`: device memory, stream-ordered.
+    HipAsync,
+    /// `omp_target_alloc`: device memory through OpenMP offload.
+    OpenMp,
+    /// `sycl::malloc_device`: device memory through SYCL.
+    SyclDevice,
+    /// `sycl::malloc_shared`: universally addressable SYCL memory.
+    SyclShared,
+    /// `Kokkos::kokkos_malloc` in the default device memory space.
+    Kokkos,
+}
+
+impl Allocator {
+    /// The programming model this allocator belongs to.
+    pub fn pm(&self) -> Pm {
+        match self {
+            Allocator::Malloc | Allocator::New => Pm::Host,
+            Allocator::Cuda | Allocator::CudaAsync | Allocator::CudaUva | Allocator::CudaHostPinned => {
+                Pm::Cuda
+            }
+            Allocator::Hip | Allocator::HipAsync => Pm::Hip,
+            Allocator::OpenMp => Pm::OpenMp,
+            Allocator::SyclDevice | Allocator::SyclShared => Pm::Sycl,
+            Allocator::Kokkos => Pm::Kokkos,
+        }
+    }
+
+    /// True when the allocation lives in device memory.
+    ///
+    /// UVA memory is managed: we place it on the device (migration on
+    /// access is modeled by the access API's temporaries). Page-locked
+    /// allocations are host memory.
+    pub fn is_device(&self) -> bool {
+        matches!(
+            self,
+            Allocator::Cuda
+                | Allocator::CudaAsync
+                | Allocator::CudaUva
+                | Allocator::Hip
+                | Allocator::HipAsync
+                | Allocator::OpenMp
+                | Allocator::SyclDevice
+                | Allocator::SyclShared
+                | Allocator::Kokkos
+        )
+    }
+
+    /// True when the allocation is universally addressable (managed):
+    /// accessible in place from the host and every device.
+    pub fn is_unified(&self) -> bool {
+        matches!(self, Allocator::CudaUva | Allocator::SyclShared)
+    }
+
+    /// True when allocation/deallocation are stream-ordered and require a
+    /// stream at initialization.
+    pub fn is_stream_ordered(&self) -> bool {
+        matches!(self, Allocator::CudaAsync | Allocator::HipAsync)
+    }
+
+    /// Human-readable name, matching the C++ enum spelling.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Allocator::Malloc => "malloc",
+            Allocator::New => "new",
+            Allocator::Cuda => "cuda",
+            Allocator::CudaAsync => "cuda_async",
+            Allocator::CudaUva => "cuda_uva",
+            Allocator::CudaHostPinned => "cuda_host_pinned",
+            Allocator::Hip => "hip",
+            Allocator::HipAsync => "hip_async",
+            Allocator::OpenMp => "openmp",
+            Allocator::SyclDevice => "sycl_device",
+            Allocator::SyclShared => "sycl_shared",
+            Allocator::Kokkos => "kokkos",
+        }
+    }
+
+    /// All allocator variants (useful for exhaustive tests/benches).
+    pub const ALL: [Allocator; 12] = [
+        Allocator::Malloc,
+        Allocator::New,
+        Allocator::Cuda,
+        Allocator::CudaAsync,
+        Allocator::CudaUva,
+        Allocator::CudaHostPinned,
+        Allocator::Hip,
+        Allocator::HipAsync,
+        Allocator::OpenMp,
+        Allocator::SyclDevice,
+        Allocator::SyclShared,
+        Allocator::Kokkos,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pm_classification() {
+        assert_eq!(Allocator::Malloc.pm(), Pm::Host);
+        assert_eq!(Allocator::New.pm(), Pm::Host);
+        assert_eq!(Allocator::Cuda.pm(), Pm::Cuda);
+        assert_eq!(Allocator::CudaHostPinned.pm(), Pm::Cuda);
+        assert_eq!(Allocator::HipAsync.pm(), Pm::Hip);
+        assert_eq!(Allocator::OpenMp.pm(), Pm::OpenMp);
+        assert_eq!(Allocator::SyclDevice.pm(), Pm::Sycl);
+        assert_eq!(Allocator::SyclShared.pm(), Pm::Sycl);
+        assert_eq!(Allocator::Kokkos.pm(), Pm::Kokkos);
+    }
+
+    #[test]
+    fn unified_classification() {
+        assert!(Allocator::CudaUva.is_unified());
+        assert!(Allocator::SyclShared.is_unified());
+        assert!(!Allocator::Cuda.is_unified());
+        assert!(!Allocator::SyclDevice.is_unified());
+    }
+
+    #[test]
+    fn device_residency() {
+        assert!(!Allocator::Malloc.is_device());
+        assert!(!Allocator::New.is_device());
+        assert!(!Allocator::CudaHostPinned.is_device());
+        assert!(Allocator::Cuda.is_device());
+        assert!(Allocator::CudaUva.is_device());
+        assert!(Allocator::OpenMp.is_device());
+    }
+
+    #[test]
+    fn stream_ordering() {
+        assert!(Allocator::CudaAsync.is_stream_ordered());
+        assert!(Allocator::HipAsync.is_stream_ordered());
+        assert!(!Allocator::Cuda.is_stream_ordered());
+        assert!(!Allocator::OpenMp.is_stream_ordered());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = Allocator::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Allocator::ALL.len());
+    }
+}

@@ -1,0 +1,179 @@
+//! Element types storable in HAMR buffers.
+//!
+//! The simulated device memory is an array of 64-bit cells; every
+//! supported element type defines a lossless round-trip through a cell.
+//! Narrow types are widened (one element per cell) — a simulator
+//! simplification documented in DESIGN.md; capacity accounting still uses
+//! the *logical* element size so memory-footprint experiments stay honest.
+
+/// A scalar type that HAMR buffers can manage.
+pub trait Element: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
+    /// C++-style type name (used by the data model for diagnostics).
+    const TYPE_NAME: &'static str;
+
+    /// Logical size in bytes (what a real implementation would allocate).
+    const LOGICAL_SIZE: usize;
+
+    /// Encode into a 64-bit cell.
+    fn to_cell(self) -> u64;
+
+    /// Decode from a 64-bit cell.
+    fn from_cell(cell: u64) -> Self;
+
+    /// The additive identity, used by fills and reductions.
+    fn zero() -> Self;
+}
+
+impl Element for f64 {
+    const TYPE_NAME: &'static str = "double";
+    const LOGICAL_SIZE: usize = 8;
+    fn to_cell(self) -> u64 {
+        self.to_bits()
+    }
+    fn from_cell(cell: u64) -> Self {
+        f64::from_bits(cell)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Element for f32 {
+    const TYPE_NAME: &'static str = "float";
+    const LOGICAL_SIZE: usize = 4;
+    fn to_cell(self) -> u64 {
+        self.to_bits() as u64
+    }
+    fn from_cell(cell: u64) -> Self {
+        f32::from_bits(cell as u32)
+    }
+    fn zero() -> Self {
+        0.0
+    }
+}
+
+impl Element for i64 {
+    const TYPE_NAME: &'static str = "long long";
+    const LOGICAL_SIZE: usize = 8;
+    fn to_cell(self) -> u64 {
+        self as u64
+    }
+    fn from_cell(cell: u64) -> Self {
+        cell as i64
+    }
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl Element for i32 {
+    const TYPE_NAME: &'static str = "int";
+    const LOGICAL_SIZE: usize = 4;
+    fn to_cell(self) -> u64 {
+        self as i64 as u64
+    }
+    fn from_cell(cell: u64) -> Self {
+        cell as i64 as i32
+    }
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl Element for u64 {
+    const TYPE_NAME: &'static str = "unsigned long long";
+    const LOGICAL_SIZE: usize = 8;
+    fn to_cell(self) -> u64 {
+        self
+    }
+    fn from_cell(cell: u64) -> Self {
+        cell
+    }
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl Element for u32 {
+    const TYPE_NAME: &'static str = "unsigned int";
+    const LOGICAL_SIZE: usize = 4;
+    fn to_cell(self) -> u64 {
+        self as u64
+    }
+    fn from_cell(cell: u64) -> Self {
+        cell as u32
+    }
+    fn zero() -> Self {
+        0
+    }
+}
+
+impl Element for u8 {
+    const TYPE_NAME: &'static str = "unsigned char";
+    const LOGICAL_SIZE: usize = 1;
+    fn to_cell(self) -> u64 {
+        self as u64
+    }
+    fn from_cell(cell: u64) -> Self {
+        cell as u8
+    }
+    fn zero() -> Self {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Element>(v: T) {
+        assert_eq!(T::from_cell(v.to_cell()), v);
+    }
+
+    #[test]
+    fn f64_roundtrips_including_special_values() {
+        for v in [0.0, -0.0, 1.5, -3.25e300, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+            roundtrip(v);
+        }
+        assert!(f64::from_cell(f64::NAN.to_cell()).is_nan());
+    }
+
+    #[test]
+    fn f32_roundtrips() {
+        for v in [0.0f32, -1.25, 3.4e38, f32::INFINITY] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn signed_integers_preserve_sign() {
+        roundtrip(-1i64);
+        roundtrip(i64::MIN);
+        roundtrip(i64::MAX);
+        roundtrip(-1i32);
+        roundtrip(i32::MIN);
+        roundtrip(i32::MAX);
+    }
+
+    #[test]
+    fn unsigned_integers_roundtrip() {
+        roundtrip(u64::MAX);
+        roundtrip(u32::MAX);
+        roundtrip(255u8);
+    }
+
+    #[test]
+    fn logical_sizes_match_c_types() {
+        assert_eq!(f64::LOGICAL_SIZE, 8);
+        assert_eq!(f32::LOGICAL_SIZE, 4);
+        assert_eq!(i32::LOGICAL_SIZE, 4);
+        assert_eq!(u8::LOGICAL_SIZE, 1);
+    }
+
+    #[test]
+    fn type_names_match_vtk_spellings() {
+        assert_eq!(f64::TYPE_NAME, "double");
+        assert_eq!(i32::TYPE_NAME, "int");
+        assert_eq!(u8::TYPE_NAME, "unsigned char");
+    }
+}

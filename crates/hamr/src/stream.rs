@@ -1,0 +1,123 @@
+//! `svtkStream` / `svtkStreamMode`: PM-stream abstraction and
+//! synchronization behaviour.
+
+use std::sync::Arc;
+
+use devsim::{SimNode, Stream};
+
+/// Synchronization behaviour of buffer operations (`svtkStreamMode`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StreamMode {
+    /// Operations complete before the API call returns.
+    #[default]
+    Sync,
+    /// Operations are enqueued and the call returns immediately; the user
+    /// inserts synchronization points ([`crate::HamrBuffer::synchronize`])
+    /// as needed. Enables overlap of allocation, movement, and compute.
+    Async,
+}
+
+/// An abstraction over PM-native streams (`svtkStream`).
+///
+/// In the C++ implementation this type interconverts with `cudaStream_t`,
+/// `hipStream_t`, etc. Here every PM is backed by the simulated runtime,
+/// so the conversion target is [`devsim::Stream`]; `From`/`Into` provide
+/// the same interchangeability.
+#[derive(Clone, Default)]
+pub struct HamrStream {
+    inner: Option<Arc<Stream>>,
+}
+
+impl HamrStream {
+    /// The PM's default stream (resolved per device at use time).
+    pub fn default_stream() -> Self {
+        HamrStream { inner: None }
+    }
+
+    /// Wrap an explicit stream.
+    pub fn new(stream: Arc<Stream>) -> Self {
+        HamrStream { inner: Some(stream) }
+    }
+
+    /// True when this is the default stream marker.
+    pub fn is_default(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// The underlying stream, if explicit.
+    pub fn get(&self) -> Option<&Arc<Stream>> {
+        self.inner.as_ref()
+    }
+
+    /// Resolve to a concrete stream for work on `device` (falling back to
+    /// that device's default stream), or for host-side ordering use the
+    /// stream of `fallback_device`.
+    pub fn resolve(&self, node: &SimNode, device: usize) -> Arc<Stream> {
+        match &self.inner {
+            Some(s) => s.clone(),
+            None => node
+                .device(device)
+                .expect("resolve called with a valid device")
+                .default_stream(),
+        }
+    }
+
+    /// Block until all work submitted to this stream has completed.
+    /// No-op for the default-stream marker (each device's default stream
+    /// is synchronized through the owning buffer instead).
+    pub fn synchronize(&self) -> crate::Result<()> {
+        if let Some(s) = &self.inner {
+            s.synchronize()?;
+        }
+        Ok(())
+    }
+}
+
+impl From<Arc<Stream>> for HamrStream {
+    fn from(s: Arc<Stream>) -> Self {
+        HamrStream::new(s)
+    }
+}
+
+impl std::fmt::Debug for HamrStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(s) => write!(f, "HamrStream(device {})", s.device()),
+            None => write!(f, "HamrStream(default)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::NodeConfig;
+
+    #[test]
+    fn default_marker_resolves_to_device_default_stream() {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let s = HamrStream::default_stream();
+        assert!(s.is_default());
+        let r0 = s.resolve(&node, 0);
+        let r1 = s.resolve(&node, 1);
+        assert_eq!(r0.device(), 0);
+        assert_eq!(r1.device(), 1);
+        // Resolving twice yields the same cached default stream.
+        assert!(Arc::ptr_eq(&r0, &s.resolve(&node, 0)));
+    }
+
+    #[test]
+    fn explicit_stream_roundtrips_through_conversions() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let raw = node.device(0).unwrap().create_stream();
+        let s: HamrStream = raw.clone().into();
+        assert!(!s.is_default());
+        assert!(Arc::ptr_eq(s.get().unwrap(), &raw));
+        assert!(Arc::ptr_eq(&s.resolve(&node, 0), &raw));
+    }
+
+    #[test]
+    fn synchronize_on_default_marker_is_ok() {
+        HamrStream::default_stream().synchronize().unwrap();
+    }
+}

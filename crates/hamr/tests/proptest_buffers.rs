@@ -1,0 +1,113 @@
+//! Property tests on the memory resource: any data, any allocator, any
+//! access path — the bytes always survive.
+
+use std::sync::Arc;
+
+use devsim::{NodeConfig, SimNode};
+use hamr::{Allocator, HamrBuffer, HamrStream, Pm, StreamMode};
+use proptest::prelude::*;
+
+fn node() -> Arc<SimNode> {
+    SimNode::new(NodeConfig::fast_test(2))
+}
+
+fn allocator_strategy() -> impl Strategy<Value = Allocator> {
+    proptest::sample::select(Allocator::ALL.to_vec())
+}
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    // Any bit pattern except NaN (NaN breaks equality comparison, not the
+    // storage; NaN round-tripping is covered by unit tests).
+    proptest::num::f64::ANY.prop_filter("finite or inf", |v| !v.is_nan())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// from_slice -> to_vec is the identity for every allocator.
+    #[test]
+    fn roundtrip_through_any_allocator(
+        data in proptest::collection::vec(finite_f64(), 0..64),
+        alloc in allocator_strategy(),
+    ) {
+        let n = node();
+        let device = if alloc.is_device() { Some(0) } else { None };
+        let stream = if alloc.is_stream_ordered() {
+            HamrStream::new(n.device(0).unwrap().create_stream())
+        } else {
+            HamrStream::default_stream()
+        };
+        let buf = HamrBuffer::<f64>::from_slice(n, &data, alloc, device, stream, StreamMode::Sync)
+            .unwrap();
+        prop_assert_eq!(buf.to_vec().unwrap(), data);
+    }
+
+    /// The data read through *any* access path equals the managed data.
+    #[test]
+    fn every_access_path_sees_the_same_bytes(
+        data in proptest::collection::vec(finite_f64(), 1..48),
+        target_dev in 0usize..2,
+        pm in proptest::sample::select(vec![Pm::Cuda, Pm::Hip, Pm::OpenMp, Pm::Sycl, Pm::Kokkos]),
+    ) {
+        let n = node();
+        let buf = HamrBuffer::<f64>::from_slice(
+            n.clone(), &data, Allocator::OpenMp, Some(0),
+            HamrStream::default_stream(), StreamMode::Sync,
+        ).unwrap();
+
+        // Host path.
+        let hv = buf.host_accessible().unwrap();
+        buf.synchronize().unwrap();
+        prop_assert_eq!(hv.to_vec().unwrap(), data.clone());
+
+        // Device path: move (or not) to `target_dev` under any PM, then
+        // read back through a stream copy.
+        let dv = buf.device_accessible(target_dev, pm).unwrap();
+        buf.synchronize().unwrap();
+        prop_assert_eq!(dv.is_direct(), target_dev == 0);
+        let host = n.host_alloc_f64(data.len());
+        let stream = n.device(target_dev).unwrap().default_stream();
+        stream.copy(dv.cells(), &host).unwrap();
+        stream.synchronize().unwrap();
+        prop_assert_eq!(host.host_f64().unwrap().to_vec(), data);
+    }
+
+    /// Zero-copy invariant: same-device access never allocates or copies,
+    /// regardless of the requesting PM.
+    #[test]
+    fn same_device_access_is_always_free(
+        len in 1usize..64,
+        pm in proptest::sample::select(vec![Pm::Cuda, Pm::Hip, Pm::OpenMp, Pm::Sycl, Pm::Kokkos]),
+    ) {
+        let n = node();
+        let buf = HamrBuffer::<f64>::new_init(
+            n.clone(), len, 1.5, Allocator::Cuda, Some(1),
+            HamrStream::default_stream(), StreamMode::Sync,
+        ).unwrap();
+        let copies_before = n.stats().total_copies();
+        let used_before = n.device(1).unwrap().used_bytes();
+        let view = buf.device_accessible(1, pm).unwrap();
+        prop_assert!(view.is_direct());
+        prop_assert_eq!(n.stats().total_copies(), copies_before);
+        prop_assert_eq!(n.device(1).unwrap().used_bytes(), used_before);
+    }
+
+    /// move_to round trips preserve content through arbitrary residency
+    /// sequences.
+    #[test]
+    fn residency_walks_preserve_content(
+        data in proptest::collection::vec(finite_f64(), 1..32),
+        walk in proptest::collection::vec(proptest::option::of(0usize..2), 1..5),
+    ) {
+        let n = node();
+        let buf = HamrBuffer::<f64>::from_slice(
+            n, &data, Allocator::Malloc, None,
+            HamrStream::default_stream(), StreamMode::Sync,
+        ).unwrap();
+        for target in walk {
+            buf.move_to(target).unwrap();
+            prop_assert_eq!(buf.device(), target);
+            prop_assert_eq!(buf.to_vec().unwrap(), data.clone());
+        }
+    }
+}

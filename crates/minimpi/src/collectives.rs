@@ -1,0 +1,382 @@
+//! Collective operations over a [`Comm`].
+//!
+//! Every rank of the communicator must call each collective in the same
+//! order (the standard MPI contract). Internally each collective claims a
+//! fresh slice of the reserved tag space so that back-to-back collectives
+//! and user point-to-point traffic can never cross-match.
+
+use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
+use crate::error::{Error, Result};
+
+/// Sub-tags within one collective's tag slice.
+const SLOT_DATA: u64 = 0;
+const SLOT_RESULT: u64 = 1;
+const SLOTS_PER_COLLECTIVE: u64 = 4;
+
+impl Comm {
+    /// Claim the tag slice for the next collective on this communicator.
+    fn next_coll_tag(&self) -> u64 {
+        let seq = self.coll_seq.get();
+        self.coll_seq.set(seq + 1);
+        COLLECTIVE_TAG_BASE + seq * SLOTS_PER_COLLECTIVE
+    }
+
+    /// Broadcast `value` from `root` to every rank. Non-root ranks pass
+    /// their own (ignored) `value`; all ranks return the root's value.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Result<T> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.coll_send(dst, tag + SLOT_DATA, value.clone());
+                }
+            }
+            Ok(value)
+        } else {
+            self.coll_recv(root, tag + SLOT_DATA)
+        }
+    }
+
+    /// Reduce every rank's `value` with `op` at `root`. Returns
+    /// `Some(result)` on the root and `None` elsewhere. The fold is applied
+    /// in rank order, so non-commutative `op`s behave deterministically.
+    pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Result<Option<T>>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut parts: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            parts[root] = Some(value);
+            for (src, part) in parts.iter_mut().enumerate() {
+                if src != root {
+                    *part = Some(self.coll_recv(src, tag + SLOT_DATA)?);
+                }
+            }
+            let mut acc: Option<T> = None;
+            for part in parts.into_iter().flatten() {
+                acc = Some(match acc {
+                    None => part,
+                    Some(a) => op(a, part),
+                });
+            }
+            Ok(acc)
+        } else {
+            self.coll_send(root, tag + SLOT_DATA, value);
+            Ok(None)
+        }
+    }
+
+    /// Reduce with `op` and distribute the result to every rank.
+    pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let reduced = self.reduce(0, value, op).expect("rank 0 is always valid");
+        self.bcast(0, reduced)
+            .expect("rank 0 is always valid")
+            .expect("root always holds the reduced value")
+    }
+
+    /// Gather every rank's `value` at `root`, in rank order.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Result<Option<Vec<T>>> {
+        let tag = self.next_coll_tag();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(value);
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.coll_recv(src, tag + SLOT_DATA)?);
+                }
+            }
+            Ok(Some(out.into_iter().map(|v| v.expect("all ranks filled")).collect()))
+        } else {
+            self.coll_send(root, tag + SLOT_DATA, value);
+            Ok(None)
+        }
+    }
+
+    /// Gather every rank's `value` and hand the full rank-ordered vector to
+    /// every rank.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value).expect("rank 0 is always valid");
+        let tag = self.next_coll_tag();
+        if self.rank() == 0 {
+            let all = gathered.expect("root has the gathered vector");
+            for dst in 1..self.size() {
+                self.coll_send(dst, tag + SLOT_RESULT, all.clone());
+            }
+            all
+        } else {
+            self.coll_recv(0, tag + SLOT_RESULT).expect("root broadcasts to all")
+        }
+    }
+
+    /// Personalized all-to-all: `values[i]` is delivered to rank `i`; the
+    /// result's slot `j` holds what rank `j` sent to this rank.
+    pub fn alltoall<T: Send + 'static>(&self, values: Vec<T>) -> Result<Vec<T>> {
+        if values.len() != self.size() {
+            return Err(Error::LengthMismatch { expected: self.size(), got: values.len() });
+        }
+        let tag = self.next_coll_tag();
+        let mut own: Option<T> = None;
+        for (dst, v) in values.into_iter().enumerate() {
+            if dst == self.rank() {
+                own = Some(v);
+            } else {
+                self.coll_send(dst, tag + SLOT_DATA, v);
+            }
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            if src == self.rank() {
+                out.push(own.take().expect("own slot set above"));
+            } else {
+                out.push(self.coll_recv(src, tag + SLOT_DATA)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Variable-size personalized all-to-all over vectors, the primitive
+    /// Newton++'s body repartitioning is built on.
+    pub fn alltoallv<T: Send + 'static>(&self, values: Vec<Vec<T>>) -> Result<Vec<Vec<T>>> {
+        self.alltoall(values)
+    }
+
+    /// Inclusive prefix reduction: rank `i` returns
+    /// `op(...op(op(v0, v1), v2)..., vi)`.
+    pub fn scan<T, F>(&self, value: T, op: F) -> Result<T>
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let tag = self.next_coll_tag();
+        let acc = if self.rank() == 0 {
+            value
+        } else {
+            let prev: T = self.coll_recv(self.rank() - 1, tag + SLOT_DATA)?;
+            op(prev, value)
+        };
+        if self.rank() + 1 < self.size() {
+            self.coll_send(self.rank() + 1, tag + SLOT_DATA, acc.clone());
+        }
+        Ok(acc)
+    }
+
+    /// Partition the communicator by `color`; ranks sharing a color form a
+    /// new communicator, ordered by `(key, parent rank)`. Collective.
+    pub fn split(&self, color: u64, key: u64) -> Comm {
+        // Root collects (color, key) from everyone, forms the groups, and
+        // reserves one fresh communicator id per group.
+        let triples = self
+            .gather(0, (color, key, self.rank()))
+            .expect("rank 0 is always valid");
+        let assignment: Vec<(u64, usize, usize)> = if self.rank() == 0 {
+            let mut triples = triples.expect("root gathered");
+            triples.sort_unstable();
+            let mut colors: Vec<u64> = triples.iter().map(|t| t.0).collect();
+            colors.dedup();
+            let base = self.shared().reserve_comm_ids(colors.len() as u64);
+            // Per parent rank: (new comm id, new rank, new size).
+            let mut out = vec![(0u64, 0usize, 0usize); self.size()];
+            for (gi, &color) in colors.iter().enumerate() {
+                let members: Vec<usize> =
+                    triples.iter().filter(|t| t.0 == color).map(|t| t.2).collect();
+                for (new_rank, &parent_rank) in members.iter().enumerate() {
+                    out[parent_rank] = (base + gi as u64, new_rank, members.len());
+                }
+            }
+            out
+        } else {
+            Vec::new()
+        };
+        let assignment = self.bcast(0, assignment).expect("rank 0 is always valid");
+        let (id, new_rank, new_size) = assignment[self.rank()];
+        self.make(id, new_rank, new_size)
+    }
+
+    /// Duplicate the communicator: same group, fresh id and tag space.
+    /// Collective.
+    pub fn dup(&self) -> Comm {
+        let id = if self.rank() == 0 { self.shared().reserve_comm_ids(1) } else { 0 };
+        let id = self.bcast(0, id).expect("rank 0 is always valid");
+        self.make(id, self.rank(), self.size())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::World;
+
+    #[test]
+    fn bcast_from_each_root() {
+        for root in 0..4 {
+            let got = World::new(4).run(move |c| {
+                let v = if c.rank() == root { 42 + root } else { 0 };
+                c.bcast(root, v).unwrap()
+            });
+            assert_eq!(got, vec![42 + root; 4]);
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_sequential() {
+        let got = World::new(6).run(|c| c.reduce(2, c.rank() as i64 + 1, |a, b| a + b).unwrap());
+        assert_eq!(got[2], Some(21));
+        for (r, v) in got.iter().enumerate() {
+            if r != 2 {
+                assert_eq!(*v, None);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_is_rank_ordered_for_noncommutative_op() {
+        // String concatenation is non-commutative; rank order must hold.
+        let got = World::new(4).run(|c| {
+            c.reduce(0, c.rank().to_string(), |a, b| a + &b).unwrap()
+        });
+        assert_eq!(got[0].as_deref(), Some("0123"));
+    }
+
+    #[test]
+    fn allreduce_min_and_max() {
+        let vals = [5i64, -3, 9, 0];
+        let mins = World::new(4).run(move |c| c.allreduce(vals[c.rank()], i64::min));
+        assert_eq!(mins, vec![-3; 4]);
+        let maxs = World::new(4).run(move |c| c.allreduce(vals[c.rank()], i64::max));
+        assert_eq!(maxs, vec![9; 4]);
+    }
+
+    #[test]
+    fn gather_orders_by_rank() {
+        let got = World::new(5).run(|c| c.gather(1, c.rank() * 10).unwrap());
+        assert_eq!(got[1], Some(vec![0, 10, 20, 30, 40]));
+        assert_eq!(got[0], None);
+    }
+
+    #[test]
+    fn allgather_gives_everyone_everything() {
+        let got = World::new(4).run(|c| c.allgather(format!("r{}", c.rank())));
+        for v in got {
+            assert_eq!(v, vec!["r0", "r1", "r2", "r3"]);
+        }
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        let got = World::new(3).run(|c| {
+            let outgoing: Vec<u32> = (0..3).map(|d| (c.rank() * 10 + d) as u32).collect();
+            c.alltoall(outgoing).unwrap()
+        });
+        // rank r receives j*10 + r from each rank j
+        for (r, incoming) in got.iter().enumerate() {
+            let expect: Vec<u32> = (0..3).map(|j| (j * 10 + r) as u32).collect();
+            assert_eq!(*incoming, expect);
+        }
+    }
+
+    #[test]
+    fn alltoallv_moves_variable_payloads() {
+        let got = World::new(3).run(|c| {
+            let outgoing: Vec<Vec<usize>> = (0..3).map(|d| vec![c.rank(); d]).collect();
+            c.alltoallv(outgoing).unwrap()
+        });
+        for (r, incoming) in got.iter().enumerate() {
+            for (j, part) in incoming.iter().enumerate() {
+                assert_eq!(*part, vec![j; r]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_length_mismatch_errors() {
+        World::new(2).run(|c| {
+            assert!(c.alltoall(vec![1, 2, 3]).is_err());
+            // Recover the collective sequence so both ranks stay aligned.
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn scan_inclusive_prefix_sum() {
+        let got = World::new(5).run(|c| c.scan(c.rank() as i64 + 1, |a, b| a + b).unwrap());
+        assert_eq!(got, vec![1, 3, 6, 10, 15]);
+    }
+
+    #[test]
+    fn split_by_parity() {
+        let got = World::new(6).run(|c| {
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            // Sum of parent ranks within the sub-communicator.
+            let s = sub.allreduce(c.rank(), |a, b| a + b);
+            (sub.rank(), sub.size(), s)
+        });
+        // evens: 0,2,4 -> sum 6; odds: 1,3,5 -> sum 9
+        assert_eq!(got[0], (0, 3, 6));
+        assert_eq!(got[2], (1, 3, 6));
+        assert_eq!(got[4], (2, 3, 6));
+        assert_eq!(got[1], (0, 3, 9));
+        assert_eq!(got[3], (1, 3, 9));
+        assert_eq!(got[5], (2, 3, 9));
+    }
+
+    #[test]
+    fn split_key_reorders_ranks() {
+        let got = World::new(4).run(|c| {
+            // Reverse order via descending keys.
+            let sub = c.split(0, (c.size() - c.rank()) as u64);
+            sub.rank()
+        });
+        assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn dup_isolates_tag_space() {
+        let ok = World::new(2).run(|c| {
+            let d = c.dup();
+            if c.rank() == 0 {
+                c.send(1, 5, 1u8).unwrap();
+                d.send(1, 5, 2u8).unwrap();
+                true
+            } else {
+                // Receive in the opposite order: messages must not cross
+                // between the two communicators.
+                let on_dup: u8 = d.recv(0, 5).unwrap();
+                let on_parent: u8 = c.recv(0, 5).unwrap();
+                on_dup == 2 && on_parent == 1
+            }
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn back_to_back_collectives_do_not_cross_match() {
+        let got = World::new(4).run(|c| {
+            let a = c.allreduce(1u64, |a, b| a + b);
+            let b = c.allreduce(10u64, |a, b| a + b);
+            let g = c.allgather(c.rank());
+            (a, b, g)
+        });
+        for (a, b, g) in got {
+            assert_eq!(a, 4);
+            assert_eq!(b, 40);
+            assert_eq!(g, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        let got = World::new(1).run(|c| {
+            let a = c.allreduce(7, |a, b| a + b);
+            let g = c.allgather(3u8);
+            let s = c.scan(5, |a, b| a + b).unwrap();
+            let t = c.alltoall(vec![9i32]).unwrap();
+            (a, g, s, t)
+        });
+        assert_eq!(got[0], (7, vec![3u8], 5, vec![9i32]));
+    }
+}

@@ -1,0 +1,277 @@
+//! The communicator handle and point-to-point operations.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::barrier::Barrier;
+use crate::error::{Error, Result};
+use crate::mailbox::{Key, Mailbox};
+use crate::ANY_SOURCE;
+
+/// State shared by every rank of a [`crate::World`].
+pub(crate) struct WorldShared {
+    pub mailbox: Mailbox,
+    /// One reusable barrier per communicator id.
+    barriers: Mutex<HashMap<u64, Arc<Barrier>>>,
+    /// Source of fresh communicator ids (the world communicator is id 0).
+    next_comm_id: AtomicU64,
+}
+
+impl WorldShared {
+    pub fn new() -> Self {
+        WorldShared {
+            mailbox: Mailbox::new(),
+            barriers: Mutex::new(HashMap::new()),
+            next_comm_id: AtomicU64::new(1),
+        }
+    }
+
+    /// All members of a communicator call this with the same `(id, n)`; the
+    /// first caller creates the barrier and the rest share it.
+    pub fn barrier_for(&self, id: u64, n: usize) -> Arc<Barrier> {
+        self.barriers.lock().entry(id).or_insert_with(|| Arc::new(Barrier::new(n))).clone()
+    }
+
+    /// Reserve `count` consecutive fresh communicator ids, returning the first.
+    pub fn reserve_comm_ids(&self, count: u64) -> u64 {
+        self.next_comm_id.fetch_add(count, Ordering::Relaxed)
+    }
+}
+
+/// A communicator: this rank's endpoint for messaging with its peers.
+///
+/// `Comm` is deliberately not `Clone`: collective calls keep an internal
+/// sequence number that must stay in lockstep across ranks, and cloning
+/// would silently fork it. Use [`Comm::dup`] (a collective) to obtain an
+/// independent communicator over the same group, as in MPI.
+pub struct Comm {
+    shared: Arc<WorldShared>,
+    comm_id: u64,
+    rank: usize,
+    size: usize,
+    barrier: Arc<Barrier>,
+    /// Per-rank collective sequence number; advances identically on every
+    /// rank because collectives must be called in the same order everywhere.
+    pub(crate) coll_seq: Cell<u64>,
+}
+
+/// Tag space reserved for collectives; user tags must stay below this.
+pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+impl Comm {
+    pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, size: usize) -> Self {
+        let barrier = shared.barrier_for(comm_id, size);
+        Comm { shared, comm_id, rank, size, barrier, coll_seq: Cell::new(0) }
+    }
+
+    /// This rank's index within the communicator, in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<()> {
+        if rank < self.size {
+            Ok(())
+        } else {
+            Err(Error::RankOutOfRange { rank, size: self.size })
+        }
+    }
+
+    fn key(&self, src: usize, dst: usize, tag: u64) -> Key {
+        Key { comm: self.comm_id, src, dst, tag }
+    }
+
+    /// Send `value` to `dst` with matching `tag`. Buffered: never blocks.
+    pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) -> Result<()> {
+        self.check_rank(dst)?;
+        debug_assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^63");
+        self.shared.mailbox.post(self.key(self.rank, dst, tag), Box::new(value));
+        Ok(())
+    }
+
+    /// Block until a message with `tag` from `src` arrives and return it.
+    /// Pass [`crate::ANY_SOURCE`] as `src` to match any sender (use
+    /// [`Comm::recv_any`] if you also need the source rank).
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T> {
+        if src == ANY_SOURCE {
+            return self.recv_any(tag).map(|(_, v)| v);
+        }
+        self.check_rank(src)?;
+        self.shared.mailbox.take(self.key(src, self.rank, tag))
+    }
+
+    /// Blocking receive from any source; returns `(source_rank, value)`.
+    pub fn recv_any<T: Send + 'static>(&self, tag: u64) -> Result<(usize, T)> {
+        self.shared.mailbox.take_any(self.comm_id, self.rank, tag)
+    }
+
+    /// Receive with a timeout; [`Error::Timeout`] if nothing matched in time.
+    pub fn recv_timeout<T: Send + 'static>(&self, src: usize, tag: u64, timeout: Duration) -> Result<T> {
+        self.check_rank(src)?;
+        self.shared.mailbox.take_timeout(self.key(src, self.rank, tag), timeout)
+    }
+
+    /// Non-blocking receive: `None` if no matching message is queued.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<Option<T>> {
+        self.check_rank(src)?;
+        self.shared.mailbox.try_take(self.key(src, self.rank, tag)).transpose()
+    }
+
+    /// Combined send to `dst` and receive from `src` on the same tag, safe
+    /// against the cyclic-exchange deadlock because sends are buffered.
+    pub fn sendrecv<T: Send + 'static>(&self, dst: usize, src: usize, tag: u64, value: T) -> Result<T> {
+        self.send(dst, tag, value)?;
+        self.recv(src, tag)
+    }
+
+    /// Wait until every rank of the communicator has reached the barrier.
+    pub fn barrier(&self) {
+        self.barrier.wait();
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<WorldShared> {
+        &self.shared
+    }
+
+    /// Internal: send on the reserved collective tag space.
+    pub(crate) fn coll_send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.shared.mailbox.post(self.key(self.rank, dst, tag), Box::new(value));
+    }
+
+    /// Internal: receive on the reserved collective tag space.
+    pub(crate) fn coll_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Result<T> {
+        self.shared.mailbox.take(self.key(src, self.rank, tag))
+    }
+
+    /// Internal: construct a sibling communicator handle (used by split/dup).
+    pub(crate) fn make(&self, comm_id: u64, rank: usize, size: usize) -> Comm {
+        Comm::new(self.shared.clone(), comm_id, rank, size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Error, World, ANY_SOURCE};
+    use std::time::Duration;
+
+    #[test]
+    fn rank_and_size_are_consistent() {
+        let got = World::new(3).run(|c| (c.rank(), c.size()));
+        assert_eq!(got, vec![(0, 3), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn ring_exchange_delivers_in_order() {
+        let got = World::new(4).run(|c| {
+            let next = (c.rank() + 1) % c.size();
+            let prev = (c.rank() + c.size() - 1) % c.size();
+            for i in 0..5u32 {
+                c.send(next, 7, (c.rank() as u32, i)).unwrap();
+            }
+            (0..5u32).map(|_| c.recv::<(u32, u32)>(prev, 7).unwrap()).collect::<Vec<_>>()
+        });
+        for (rank, msgs) in got.iter().enumerate() {
+            let prev = (rank + 4 - 1) % 4;
+            let expect: Vec<_> = (0..5).map(|i| (prev as u32, i)).collect();
+            assert_eq!(*msgs, expect);
+        }
+    }
+
+    #[test]
+    fn send_to_invalid_rank_errors() {
+        World::new(2).run(|c| {
+            assert!(matches!(c.send(5, 0, 1u8), Err(Error::RankOutOfRange { rank: 5, size: 2 })));
+        });
+    }
+
+    #[test]
+    fn recv_any_source_reports_sender() {
+        let got = World::new(3).run(|c| {
+            if c.rank() == 0 {
+                let mut seen = vec![];
+                for _ in 0..2 {
+                    let (src, v): (usize, u64) = c.recv_any(3).unwrap();
+                    seen.push((src, v));
+                }
+                seen.sort_unstable();
+                seen
+            } else {
+                c.send(0, 3, c.rank() as u64 * 10).unwrap();
+                vec![]
+            }
+        });
+        assert_eq!(got[0], vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn recv_with_wildcard_constant() {
+        let got = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.recv::<i32>(ANY_SOURCE, 0).unwrap()
+            } else {
+                c.send(0, 0, 17i32).unwrap();
+                0
+            }
+        });
+        assert_eq!(got[0], 17);
+    }
+
+    #[test]
+    fn sendrecv_cyclic_shift_does_not_deadlock() {
+        let got = World::new(5).run(|c| {
+            let dst = (c.rank() + 1) % c.size();
+            let src = (c.rank() + c.size() - 1) % c.size();
+            c.sendrecv(dst, src, 0, c.rank()).unwrap()
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        World::new(2).run(|c| {
+            if c.rank() == 0 {
+                let err = c.recv_timeout::<i32>(1, 0, Duration::from_millis(10)).unwrap_err();
+                assert_eq!(err, Error::Timeout);
+            }
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn try_recv_sees_buffered_message_after_barrier() {
+        World::new(2).run(|c| {
+            if c.rank() == 1 {
+                c.send(0, 2, 5u8).unwrap();
+            }
+            c.barrier();
+            if c.rank() == 0 {
+                assert_eq!(c.try_recv::<u8>(1, 2).unwrap(), Some(5));
+                assert_eq!(c.try_recv::<u8>(1, 2).unwrap(), None);
+            }
+        });
+    }
+
+    #[test]
+    fn moves_non_clone_payloads() {
+        struct Token(#[allow(dead_code)] Vec<u8>);
+        let ok = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, Token(vec![1, 2, 3])).unwrap();
+                true
+            } else {
+                c.recv::<Token>(0, 0).unwrap().0 == vec![1, 2, 3]
+            }
+        });
+        assert!(ok.iter().all(|&b| b));
+    }
+}

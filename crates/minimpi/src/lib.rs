@@ -1,0 +1,49 @@
+//! # minimpi — an in-process MPI-style communicator
+//!
+//! `minimpi` provides the message-passing substrate used throughout this
+//! reproduction of the SENSEI heterogeneous-architecture extensions. The
+//! original system runs across nodes with MPI; here every MPI *rank* is an
+//! OS thread inside one process, and all communication happens through
+//! shared memory. The API mirrors the MPI subset that SENSEI, Newton++, and
+//! the data-binning analysis actually exercise:
+//!
+//! * point-to-point: [`Comm::send`], [`Comm::recv`], [`Comm::sendrecv`]
+//! * collectives: [`Comm::barrier`], [`Comm::bcast`], [`Comm::reduce`],
+//!   [`Comm::allreduce`], [`Comm::gather`], [`Comm::allgather`],
+//!   [`Comm::alltoall`], [`Comm::alltoallv`], [`Comm::scan`]
+//! * communicator management: [`Comm::split`], [`Comm::dup`]
+//!
+//! # Semantics
+//!
+//! As in MPI, every rank of a communicator must call each collective in the
+//! same order. Messages are matched on `(source, destination, tag)` in FIFO
+//! order. Message payloads are moved (not serialized); any `Send + 'static`
+//! type can be sent, and [`Comm::recv`] returns an error if the queued
+//! payload's type does not match the requested type.
+//!
+//! # Example
+//!
+//! ```
+//! use minimpi::World;
+//!
+//! let sums = World::new(4).run(|comm| {
+//!     let r = comm.rank() as i64;
+//!     comm.allreduce(r, |a, b| a + b)
+//! });
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//! ```
+
+mod barrier;
+mod collectives;
+mod comm;
+mod error;
+mod mailbox;
+pub mod ops;
+mod world;
+
+pub use comm::Comm;
+pub use error::{Error, Result};
+pub use world::World;
+
+/// Wildcard source for [`Comm::recv_any`]: match a message from any rank.
+pub const ANY_SOURCE: usize = usize::MAX;

@@ -1,0 +1,96 @@
+//! Predefined reduction operators, mirroring `MPI_SUM` / `MPI_MIN` /
+//! `MPI_MAX`, plus element-wise variants over vectors — the shapes the
+//! data-binning analysis reduces across ranks.
+
+/// Element-wise sum of two equally sized vectors.
+///
+/// # Panics
+/// Panics if the lengths differ; cross-rank reductions in this codebase
+/// always reduce equally shaped grids.
+pub fn vec_sum(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_sum requires equal lengths");
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x += *y;
+    }
+    a
+}
+
+/// Element-wise minimum of two equally sized vectors.
+pub fn vec_min(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_min requires equal lengths");
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = x.min(*y);
+    }
+    a
+}
+
+/// Element-wise maximum of two equally sized vectors.
+pub fn vec_max(mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_max requires equal lengths");
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x = x.max(*y);
+    }
+    a
+}
+
+/// Sum that ignores NaN padding (empty bins are NaN before finalization).
+pub fn nan_aware_min(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, _) => b,
+        (_, true) => a,
+        _ => a.min(b),
+    }
+}
+
+/// Max counterpart of [`nan_aware_min`].
+pub fn nan_aware_max(a: f64, b: f64) -> f64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, _) => b,
+        (_, true) => a,
+        _ => a.max(b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sum_adds_elementwise() {
+        assert_eq!(vec_sum(vec![1.0, 2.0], vec![10.0, 20.0]), vec![11.0, 22.0]);
+    }
+
+    #[test]
+    fn vec_min_max_elementwise() {
+        assert_eq!(vec_min(vec![1.0, 5.0], vec![2.0, 3.0]), vec![1.0, 3.0]);
+        assert_eq!(vec_max(vec![1.0, 5.0], vec![2.0, 3.0]), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn vec_sum_rejects_mismatched_lengths() {
+        vec_sum(vec![1.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn nan_aware_ops_skip_nan() {
+        assert_eq!(nan_aware_min(f64::NAN, 3.0), 3.0);
+        assert_eq!(nan_aware_min(3.0, f64::NAN), 3.0);
+        assert_eq!(nan_aware_min(2.0, 3.0), 2.0);
+        assert!(nan_aware_min(f64::NAN, f64::NAN).is_nan());
+        assert_eq!(nan_aware_max(f64::NAN, 3.0), 3.0);
+        assert_eq!(nan_aware_max(5.0, 3.0), 5.0);
+    }
+
+    #[test]
+    fn works_as_allreduce_operator() {
+        use crate::World;
+        let got = World::new(3).run(|c| {
+            let local = vec![c.rank() as f64; 4];
+            c.allreduce(local, vec_sum)
+        });
+        for v in got {
+            assert_eq!(v, vec![3.0; 4]);
+        }
+    }
+}

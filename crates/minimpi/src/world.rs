@@ -1,0 +1,123 @@
+//! The [`World`]: spawns one thread per rank and hands each a [`Comm`].
+
+use std::sync::Arc;
+
+use crate::comm::{Comm, WorldShared};
+
+/// A fixed-size group of ranks, each run on its own OS thread.
+///
+/// This replaces `mpirun -n <N>`: [`World::run`] spawns `N` scoped threads,
+/// passes each a rank-`i` [`Comm`] over the world communicator, and returns
+/// the per-rank results in rank order.
+pub struct World {
+    n: usize,
+}
+
+impl World {
+    /// Create a world of `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a world needs at least one rank");
+        World { n }
+    }
+
+    /// Number of ranks this world will spawn.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Run `f` on every rank concurrently and collect the results in rank
+    /// order. `f` may borrow from the caller's stack (scoped threads).
+    ///
+    /// # Panics
+    /// If any rank panics, the panic is propagated after all ranks have
+    /// been joined.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Comm) -> R + Send + Sync,
+    {
+        let shared = Arc::new(WorldShared::new());
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.n)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    let n = self.n;
+                    scope.spawn(move || f(Comm::new(shared, 0, rank, n)))
+                })
+                .collect();
+            let mut results = Vec::with_capacity(self.n);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(p) => panic = Some(p),
+                }
+            }
+            if let Some(p) = panic {
+                std::panic::resume_unwind(p);
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_rank_order() {
+        let got = World::new(8).run(|c| c.rank() * c.rank());
+        assert_eq!(got, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn closures_can_borrow_caller_state() {
+        let data = [10, 20, 30];
+        let got = World::new(3).run(|c| data[c.rank()] + 1);
+        assert_eq!(got, vec![11, 21, 31]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        World::new(0);
+    }
+
+    #[test]
+    fn worlds_are_isolated_from_each_other() {
+        // Two sequential worlds must not share mailboxes or barriers.
+        let a = World::new(2).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 1u8).unwrap();
+            }
+            c.barrier();
+            c.rank()
+        });
+        let b = World::new(2).run(|c| {
+            // A fresh world: no stale message from world `a` may appear.
+            if c.rank() == 1 {
+                assert_eq!(c.try_recv::<u8>(0, 0).unwrap(), None);
+            }
+            c.barrier();
+            c.rank()
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rank_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            World::new(2).run(|c| {
+                if c.rank() == 1 {
+                    panic!("rank 1 exploded");
+                }
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Spatial domain decomposition: each MPI rank owns a slab of the volume.
+
+use crate::body::BodySet;
+
+/// A 1-D slab decomposition of the simulated volume along x.
+///
+/// "Each MPI rank owns a unique spatial subdomain of the simulated
+/// volume" (§4.1). Slabs along one axis keep ownership arithmetic O(1)
+/// while exercising the same migration machinery a full octree
+/// decomposition would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Domain {
+    /// Lower bound of the decomposed axis.
+    pub lo: f64,
+    /// Upper bound of the decomposed axis.
+    pub hi: f64,
+    /// Number of slabs (= MPI ranks).
+    pub slabs: usize,
+}
+
+impl Domain {
+    /// Construct; panics on degenerate input.
+    pub fn new(lo: f64, hi: f64, slabs: usize) -> Self {
+        assert!(hi > lo, "domain range is degenerate");
+        assert!(slabs > 0, "need at least one slab");
+        Domain { lo, hi, slabs }
+    }
+
+    /// The rank owning position `x`. Positions outside the domain clamp
+    /// to the boundary slabs (bodies that escape the volume stay owned
+    /// by the edge ranks).
+    pub fn owner_of(&self, x: f64) -> usize {
+        if !x.is_finite() {
+            return 0;
+        }
+        let t = (x - self.lo) / (self.hi - self.lo) * self.slabs as f64;
+        (t.floor().max(0.0) as usize).min(self.slabs - 1)
+    }
+
+    /// The slab bounds `[lo, hi)` of `rank`.
+    pub fn slab(&self, rank: usize) -> (f64, f64) {
+        assert!(rank < self.slabs);
+        let w = (self.hi - self.lo) / self.slabs as f64;
+        (self.lo + w * rank as f64, self.lo + w * (rank + 1) as f64)
+    }
+
+    /// Filter `all` down to the bodies `rank` owns.
+    pub fn select_owned(&self, all: &BodySet, rank: usize) -> BodySet {
+        let mut mine = BodySet::new();
+        for i in 0..all.len() {
+            if self.owner_of(all.x[i]) == rank {
+                mine.push(
+                    [all.x[i], all.y[i], all.z[i]],
+                    [all.vx[i], all.vy[i], all.vz[i]],
+                    all.m[i],
+                );
+            }
+        }
+        mine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_partitions_the_axis() {
+        let d = Domain::new(-2.0, 2.0, 4);
+        assert_eq!(d.owner_of(-1.9), 0);
+        assert_eq!(d.owner_of(-0.5), 1);
+        assert_eq!(d.owner_of(0.5), 2);
+        assert_eq!(d.owner_of(1.9), 3);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let d = Domain::new(0.0, 1.0, 3);
+        assert_eq!(d.owner_of(-5.0), 0);
+        assert_eq!(d.owner_of(5.0), 2);
+        assert_eq!(d.owner_of(1.0), 2, "upper boundary belongs to the last slab");
+        assert_eq!(d.owner_of(f64::NAN), 0);
+    }
+
+    #[test]
+    fn slabs_tile_the_domain() {
+        let d = Domain::new(-1.0, 1.0, 4);
+        let mut cursor = -1.0;
+        for r in 0..4 {
+            let (lo, hi) = d.slab(r);
+            assert!((lo - cursor).abs() < 1e-12);
+            cursor = hi;
+        }
+        assert!((cursor - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn select_owned_covers_every_body_exactly_once() {
+        let d = Domain::new(-1.0, 1.0, 3);
+        let mut all = BodySet::new();
+        for i in 0..30 {
+            all.push([-0.99 + 0.066 * i as f64, 0.0, 0.0], [0.0; 3], 1.0);
+        }
+        let total: usize = (0..3).map(|r| d.select_owned(&all, r).len()).sum();
+        assert_eq!(total, 30);
+        for r in 0..3 {
+            let mine = d.select_owned(&all, r);
+            let (lo, hi) = d.slab(r);
+            for &x in &mine.x {
+                assert!(x >= lo - 1e-12 && x < hi + 1e-12);
+            }
+        }
+    }
+}

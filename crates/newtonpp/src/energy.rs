@@ -1,0 +1,97 @@
+//! Conservation diagnostics: energies and momentum.
+
+use crate::body::BodySet;
+use crate::forces::Gravity;
+
+/// Total kinetic energy `Σ ½ m v²`.
+pub fn kinetic_energy(b: &BodySet) -> f64 {
+    (0..b.len())
+        .map(|i| 0.5 * b.m[i] * (b.vx[i] * b.vx[i] + b.vy[i] * b.vy[i] + b.vz[i] * b.vz[i]))
+        .sum()
+}
+
+/// Total (softened) gravitational potential energy over unique pairs.
+pub fn potential_energy(b: &BodySet, grav: &Gravity) -> f64 {
+    let mut pe = 0.0;
+    for i in 0..b.len() {
+        for j in (i + 1)..b.len() {
+            let dx = b.x[j] - b.x[i];
+            let dy = b.y[j] - b.y[i];
+            let dz = b.z[j] - b.z[i];
+            let r = (dx * dx + dy * dy + dz * dz + grav.eps * grav.eps).sqrt();
+            if r > 0.0 {
+                pe -= grav.g * b.m[i] * b.m[j] / r;
+            }
+        }
+    }
+    pe
+}
+
+/// Total linear momentum `Σ m v`.
+pub fn total_momentum(b: &BodySet) -> [f64; 3] {
+    let mut p = [0.0; 3];
+    for i in 0..b.len() {
+        p[0] += b.m[i] * b.vx[i];
+        p[1] += b.m[i] * b.vy[i];
+        p[2] += b.m[i] * b.vz[i];
+    }
+    p
+}
+
+/// Total angular momentum about the origin `Σ m (r × v)`.
+pub fn angular_momentum(b: &BodySet) -> [f64; 3] {
+    let mut l = [0.0; 3];
+    for i in 0..b.len() {
+        l[0] += b.m[i] * (b.y[i] * b.vz[i] - b.z[i] * b.vy[i]);
+        l[1] += b.m[i] * (b.z[i] * b.vx[i] - b.x[i] * b.vz[i]);
+        l[2] += b.m[i] * (b.x[i] * b.vy[i] - b.y[i] * b.vx[i]);
+    }
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> BodySet {
+        let mut b = BodySet::new();
+        b.push([0.0; 3], [1.0, 0.0, 0.0], 2.0);
+        b.push([3.0, 4.0, 0.0], [0.0, -1.0, 0.0], 4.0);
+        b
+    }
+
+    #[test]
+    fn kinetic_energy_of_known_pair() {
+        // 0.5*2*1 + 0.5*4*1 = 3
+        assert_eq!(kinetic_energy(&pair()), 3.0);
+    }
+
+    #[test]
+    fn potential_energy_of_known_pair() {
+        // r = 5, PE = -G m1 m2 / r = -8/5.
+        let pe = potential_energy(&pair(), &Gravity { g: 1.0, eps: 0.0 });
+        assert!((pe + 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn momentum_of_known_pair() {
+        let p = total_momentum(&pair());
+        assert_eq!(p, [2.0, -4.0, 0.0]);
+    }
+
+    #[test]
+    fn angular_momentum_of_circular_motion() {
+        let mut b = BodySet::new();
+        b.push([1.0, 0.0, 0.0], [0.0, 2.0, 0.0], 3.0);
+        // L_z = m (x*vy - y*vx) = 3 * 2 = 6.
+        assert_eq!(angular_momentum(&b), [0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_set_has_zero_everything() {
+        let b = BodySet::new();
+        assert_eq!(kinetic_energy(&b), 0.0);
+        assert_eq!(potential_energy(&b, &Gravity::default()), 0.0);
+        assert_eq!(total_momentum(&b), [0.0; 3]);
+    }
+}

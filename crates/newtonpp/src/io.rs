@@ -1,0 +1,94 @@
+//! VTK-compatible output for *post hoc* visualization (§4.1: Newton++
+//! "has a VTK compatible output format for post processing and
+//! visualization"). Legacy ASCII polydata: points + per-point scalars
+//! and vectors — loadable by ParaView/VisIt.
+
+use std::io::{self, Write};
+
+use crate::body::BodySet;
+
+/// Write `bodies` as VTK legacy polydata with `mass` scalars and
+/// `velocity` vectors.
+pub fn write_vtk<W: Write>(w: &mut W, title: &str, bodies: &BodySet) -> io::Result<()> {
+    let n = bodies.len();
+    writeln!(w, "# vtk DataFile Version 3.0")?;
+    writeln!(w, "{title}")?;
+    writeln!(w, "ASCII")?;
+    writeln!(w, "DATASET POLYDATA")?;
+    writeln!(w, "POINTS {n} double")?;
+    for i in 0..n {
+        writeln!(w, "{} {} {}", bodies.x[i], bodies.y[i], bodies.z[i])?;
+    }
+    writeln!(w, "VERTICES {n} {}", 2 * n)?;
+    for i in 0..n {
+        writeln!(w, "1 {i}")?;
+    }
+    writeln!(w, "POINT_DATA {n}")?;
+    writeln!(w, "SCALARS mass double 1")?;
+    writeln!(w, "LOOKUP_TABLE default")?;
+    for i in 0..n {
+        writeln!(w, "{}", bodies.m[i])?;
+    }
+    writeln!(w, "VECTORS velocity double")?;
+    for i in 0..n {
+        writeln!(w, "{} {} {}", bodies.vx[i], bodies.vy[i], bodies.vz[i])?;
+    }
+    Ok(())
+}
+
+/// Convenience: write to a file path.
+pub fn write_vtk_file(path: &std::path::Path, title: &str, bodies: &BodySet) -> io::Result<()> {
+    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+    write_vtk(&mut f, title, bodies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BodySet {
+        let mut b = BodySet::new();
+        b.push([1.0, 2.0, 3.0], [0.1, 0.2, 0.3], 5.0);
+        b.push([-1.0, 0.0, 0.5], [0.0, -0.1, 0.0], 2.5);
+        b
+    }
+
+    #[test]
+    fn produces_well_formed_legacy_vtk() {
+        let mut out = Vec::new();
+        write_vtk(&mut out, "test bodies", &sample()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# vtk DataFile Version 3.0\ntest bodies\nASCII\n"));
+        assert!(text.contains("POINTS 2 double"));
+        assert!(text.contains("1 2 3"));
+        assert!(text.contains("VERTICES 2 4"));
+        assert!(text.contains("POINT_DATA 2"));
+        assert!(text.contains("SCALARS mass double 1"));
+        assert!(text.contains("VECTORS velocity double"));
+        assert!(text.contains("0.1 0.2 0.3"));
+    }
+
+    #[test]
+    fn counts_match_body_count() {
+        let mut out = Vec::new();
+        write_vtk(&mut out, "t", &sample()).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Two coordinate lines between POINTS and VERTICES.
+        let pts: Vec<&str> = text
+            .lines()
+            .skip_while(|l| !l.starts_with("POINTS"))
+            .skip(1)
+            .take_while(|l| !l.starts_with("VERTICES"))
+            .collect();
+        assert_eq!(pts.len(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("newtonpp_io_{}.vtk", std::process::id()));
+        write_vtk_file(&path, "file test", &sample()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("POINTS 2 double"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

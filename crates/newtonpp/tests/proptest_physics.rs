@@ -1,0 +1,117 @@
+//! Property tests on the physics: conservation laws and reversibility
+//! hold for arbitrary (well-posed) body configurations.
+
+use minimpi::World;
+use newtonpp::energy::total_momentum;
+use newtonpp::forces::{accelerations_host, Gravity};
+use newtonpp::integrator::Leapfrog;
+use newtonpp::repartition::repartition;
+use newtonpp::{BodySet, Domain};
+use proptest::prelude::*;
+
+fn bodies_strategy(max_n: usize) -> impl Strategy<Value = BodySet> {
+    proptest::collection::vec(
+        (
+            (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), // position
+            (-0.5f64..0.5, -0.5f64..0.5, -0.5f64..0.5), // velocity
+            0.1f64..5.0,                                // mass
+        ),
+        1..max_n,
+    )
+    .prop_map(|rows| {
+        let mut b = BodySet::new();
+        for (p, v, m) in rows {
+            b.push([p.0, p.1, p.2], [v.0, v.1, v.2], m);
+        }
+        b
+    })
+}
+
+const GRAV: Gravity = Gravity { g: 1.0, eps: 0.1 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Newton's third law: total force over a closed system is zero.
+    #[test]
+    fn forces_sum_to_zero(bodies in bodies_strategy(12)) {
+        let acc = accelerations_host(&bodies, &bodies, &GRAV);
+        for k in 0..3 {
+            let net: f64 = acc.iter().enumerate().map(|(i, a)| bodies.m[i] * a[k]).sum();
+            prop_assert!(net.abs() < 1e-9, "net force component {k} = {net}");
+        }
+    }
+
+    /// Linear momentum is conserved by the integrator.
+    #[test]
+    fn momentum_conservation(mut bodies in bodies_strategy(10)) {
+        let p0 = total_momentum(&bodies);
+        let mut lf = Leapfrog::new(1e-3, GRAV);
+        for _ in 0..50 {
+            lf.step(&mut bodies);
+        }
+        let p1 = total_momentum(&bodies);
+        for k in 0..3 {
+            prop_assert!((p1[k] - p0[k]).abs() < 1e-8, "component {k}");
+        }
+    }
+
+    /// Time reversibility: stepping forward then backward recovers the
+    /// initial state to round-off.
+    #[test]
+    fn time_reversibility(bodies in bodies_strategy(8), steps in 1usize..40) {
+        let initial = bodies.clone();
+        let mut state = bodies;
+        let mut fwd = Leapfrog::new(1e-3, GRAV);
+        for _ in 0..steps {
+            fwd.step(&mut state);
+        }
+        let mut bwd = Leapfrog::new(-1e-3, GRAV);
+        for _ in 0..steps {
+            bwd.step(&mut state);
+        }
+        for i in 0..state.len() {
+            prop_assert!((state.x[i] - initial.x[i]).abs() < 1e-8, "body {i} x");
+            prop_assert!((state.vx[i] - initial.vx[i]).abs() < 1e-8, "body {i} vx");
+            prop_assert!((state.vz[i] - initial.vz[i]).abs() < 1e-8, "body {i} vz");
+        }
+    }
+}
+
+proptest! {
+    // Spawning worlds is heavier; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Repartitioning conserves bodies and mass and establishes ownership
+    /// for arbitrary distributions.
+    #[test]
+    fn repartition_invariants(
+        positions in proptest::collection::vec(-3.0f64..3.0, 0..40),
+        ranks in 1usize..4,
+    ) {
+        let p2 = positions.clone();
+        let results = World::new(ranks).run(move |comm| {
+            let domain = Domain::new(-2.0, 2.0, comm.size());
+            // Deal positions round-robin to ranks as the starting state.
+            let mut mine = BodySet::new();
+            for (i, &x) in p2.iter().enumerate() {
+                if i % comm.size() == comm.rank() {
+                    mine.push([x, 0.0, 0.0], [0.0; 3], 1.0 + i as f64);
+                }
+            }
+            let after = repartition(&comm, &domain, mine);
+            let owned = after.x.iter().all(|&x| domain.owner_of(x) == comm.rank());
+            let count = comm.allreduce(after.len(), |a, b| a + b);
+            let mass = comm.allreduce(after.total_mass(), |a, b| a + b);
+            (owned, count, mass, after.is_consistent())
+        });
+        let expect_mass: f64 =
+            (0..positions.len()).map(|i| 1.0 + i as f64).sum();
+        for (owned, count, mass, consistent) in results {
+            prop_assert!(owned);
+            prop_assert!(consistent);
+            prop_assert_eq!(count, positions.len());
+            prop_assert!((mass - expect_mass).abs() < 1e-9);
+        }
+    }
+}

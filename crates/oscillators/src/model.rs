@@ -1,0 +1,220 @@
+//! Oscillator sources and their field contributions.
+
+/// The temporal behaviour of a source (the miniapp's three kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OscillatorKind {
+    /// `sin(ω t)` — steady oscillation.
+    Periodic,
+    /// `exp(-ζ ω t) sin(ω √(1-ζ²) t)` — damped oscillation.
+    Damped,
+    /// `exp(-ω t)` — pure decay.
+    Decay,
+}
+
+impl OscillatorKind {
+    /// The spelling used in `.osc` files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OscillatorKind::Periodic => "periodic",
+            OscillatorKind::Damped => "damped",
+            OscillatorKind::Decay => "decay",
+        }
+    }
+
+    /// Parse the `.osc` spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "periodic" => Some(OscillatorKind::Periodic),
+            "damped" => Some(OscillatorKind::Damped),
+            "decay" => Some(OscillatorKind::Decay),
+            _ => None,
+        }
+    }
+}
+
+/// One oscillator source: a Gaussian spatial envelope around `center`
+/// modulated by a temporal term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Oscillator {
+    /// Temporal behaviour.
+    pub kind: OscillatorKind,
+    /// Source position.
+    pub center: [f64; 3],
+    /// Envelope radius (the Gaussian's sigma).
+    pub radius: f64,
+    /// Angular frequency ω (decay rate for [`OscillatorKind::Decay`]).
+    pub omega: f64,
+    /// Damping ratio ζ in `[0, 1)` (damped kind only).
+    pub zeta: f64,
+    /// Amplitude.
+    pub amplitude: f64,
+}
+
+impl Oscillator {
+    /// A periodic source.
+    pub fn periodic(center: [f64; 3], radius: f64, omega: f64, amplitude: f64) -> Self {
+        Oscillator { kind: OscillatorKind::Periodic, center, radius, omega, zeta: 0.0, amplitude }
+    }
+
+    /// A damped source.
+    pub fn damped(center: [f64; 3], radius: f64, omega: f64, zeta: f64, amplitude: f64) -> Self {
+        assert!((0.0..1.0).contains(&zeta), "damping ratio must be in [0, 1)");
+        Oscillator { kind: OscillatorKind::Damped, center, radius, omega, zeta, amplitude }
+    }
+
+    /// A decaying source.
+    pub fn decay(center: [f64; 3], radius: f64, omega: f64, amplitude: f64) -> Self {
+        Oscillator { kind: OscillatorKind::Decay, center, radius, omega, zeta: 0.0, amplitude }
+    }
+
+    /// The temporal factor at time `t`.
+    #[inline]
+    pub fn temporal(&self, t: f64) -> f64 {
+        match self.kind {
+            OscillatorKind::Periodic => (self.omega * t).sin(),
+            OscillatorKind::Damped => {
+                let wd = self.omega * (1.0 - self.zeta * self.zeta).sqrt();
+                (-self.zeta * self.omega * t).exp() * (wd * t).sin()
+            }
+            OscillatorKind::Decay => (-self.omega * t).exp(),
+        }
+    }
+
+    /// The field contribution at point `p` and time `t`:
+    /// `A · exp(-|p-c|² / 2r²) · temporal(t)`.
+    #[inline]
+    pub fn evaluate(&self, p: [f64; 3], t: f64) -> f64 {
+        let dx = p[0] - self.center[0];
+        let dy = p[1] - self.center[1];
+        let dz = p[2] - self.center[2];
+        let d2 = dx * dx + dy * dy + dz * dz;
+        let envelope = (-d2 / (2.0 * self.radius * self.radius)).exp();
+        self.amplitude * envelope * self.temporal(t)
+    }
+
+    /// Parse one `.osc` line: `kind x y z radius omega zeta [amplitude]`.
+    /// Empty lines and `#` comments yield `None`.
+    pub fn parse_line(line: &str) -> Result<Option<Oscillator>, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(None);
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() < 7 {
+            return Err(format!("expected 'kind x y z radius omega zeta [amplitude]', got '{line}'"));
+        }
+        let kind = OscillatorKind::parse(parts[0])
+            .ok_or_else(|| format!("unknown oscillator kind '{}'", parts[0]))?;
+        let num = |s: &str| s.parse::<f64>().map_err(|_| format!("bad number '{s}' in '{line}'"));
+        let (x, y, z) = (num(parts[1])?, num(parts[2])?, num(parts[3])?);
+        let radius = num(parts[4])?;
+        let omega = num(parts[5])?;
+        let zeta = num(parts[6])?;
+        let amplitude = if parts.len() > 7 { num(parts[7])? } else { 1.0 };
+        if radius <= 0.0 {
+            return Err(format!("radius must be positive in '{line}'"));
+        }
+        if kind == OscillatorKind::Damped && !(0.0..1.0).contains(&zeta) {
+            return Err(format!("damping ratio must be in [0, 1) in '{line}'"));
+        }
+        Ok(Some(Oscillator { kind, center: [x, y, z], radius, omega, zeta, amplitude }))
+    }
+
+    /// Parse a whole `.osc` document.
+    pub fn parse_file(text: &str) -> Result<Vec<Oscillator>, String> {
+        let mut out = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            match Self::parse_line(line) {
+                Ok(Some(o)) => out.push(o),
+                Ok(None) => {}
+                Err(e) => return Err(format!("line {}: {e}", i + 1)),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_oscillates_with_known_period() {
+        let o = Oscillator::periodic([0.0; 3], 1.0, std::f64::consts::TAU, 2.0);
+        // At the center the envelope is 1: value = 2 sin(2π t).
+        assert!(o.evaluate([0.0; 3], 0.0).abs() < 1e-12);
+        assert!((o.evaluate([0.0; 3], 0.25) - 2.0).abs() < 1e-12);
+        assert!((o.evaluate([0.0; 3], 0.75) + 2.0).abs() < 1e-12);
+        assert!(o.evaluate([0.0; 3], 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn envelope_decays_with_distance() {
+        let o = Oscillator::decay([0.0; 3], 0.5, 0.0, 1.0);
+        // omega = 0 -> temporal factor 1: pure spatial Gaussian.
+        let at = |d: f64| o.evaluate([d, 0.0, 0.0], 0.0);
+        assert!((at(0.0) - 1.0).abs() < 1e-12);
+        assert!(at(0.5) < at(0.25));
+        assert!((at(0.5) - (-0.5f64).exp()).abs() < 1e-12, "one sigma: e^-1/2");
+        assert!(at(5.0) < 1e-10);
+    }
+
+    #[test]
+    fn damped_amplitude_shrinks_over_periods() {
+        let o = Oscillator::damped([0.0; 3], 1.0, 10.0, 0.2, 1.0);
+        let early: f64 = (0..100).map(|i| o.temporal(i as f64 * 0.01).abs()).fold(0.0, f64::max);
+        let late: f64 = (0..100).map(|i| o.temporal(2.0 + i as f64 * 0.01).abs()).fold(0.0, f64::max);
+        assert!(late < early * 0.1, "late {late} vs early {early}");
+    }
+
+    #[test]
+    fn decay_is_monotone() {
+        let o = Oscillator::decay([0.0; 3], 1.0, 2.0, 1.0);
+        let mut prev = f64::INFINITY;
+        for i in 0..10 {
+            let v = o.temporal(i as f64 * 0.3);
+            assert!(v < prev && v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn osc_file_roundtrip() {
+        let text = "\
+# SENSEI oscillators configuration
+periodic  0.5 0.5 0.5   0.2  6.28 0
+damped    0.2 0.8 0.1   0.1  12.0 0.1  2.5
+
+decay     0.0 0.0 0.0   0.4  1.0  0
+";
+        let oscs = Oscillator::parse_file(text).unwrap();
+        assert_eq!(oscs.len(), 3);
+        assert_eq!(oscs[0].kind, OscillatorKind::Periodic);
+        assert_eq!(oscs[1].kind, OscillatorKind::Damped);
+        assert_eq!(oscs[1].amplitude, 2.5);
+        assert_eq!(oscs[2].kind, OscillatorKind::Decay);
+        assert_eq!(oscs[2].radius, 0.4);
+    }
+
+    #[test]
+    fn bad_osc_lines_error_with_position() {
+        for bad in [
+            "wobbly 0 0 0 1 1 0",
+            "periodic 0 0 0 1 1",
+            "periodic 0 0 zero 1 1 0",
+            "periodic 0 0 0 -1 1 0",
+            "damped 0 0 0 1 1 1.5",
+        ] {
+            assert!(Oscillator::parse_line(bad).is_err(), "should reject: {bad}");
+        }
+        let err = Oscillator::parse_file("periodic 0 0 0 1 1 0\njunk").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    #[test]
+    fn kind_names_roundtrip() {
+        for k in [OscillatorKind::Periodic, OscillatorKind::Damped, OscillatorKind::Decay] {
+            assert_eq!(OscillatorKind::parse(k.name()), Some(k));
+        }
+    }
+}

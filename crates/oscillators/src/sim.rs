@@ -1,0 +1,423 @@
+//! The block-decomposed, device-offloaded field evaluation and its
+//! SENSEI data adaptor.
+
+use std::sync::Arc;
+
+use devsim::{CellBuffer, KernelCost, SimNode, Stream};
+use hamr::{Allocator, HamrStream, StreamMode};
+use minimpi::Comm;
+use sensei::{ArrayMetadata, DataAdaptor, Error, MeshMetadata, Result};
+use svtk::{DataObject, FieldAssociation, HamrDataArray, ImageData, MultiBlock};
+
+use crate::model::Oscillator;
+
+/// Configuration of the miniapp.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OscillatorsConfig {
+    /// The oscillator sources.
+    pub oscillators: Vec<Oscillator>,
+    /// Global grid cells per axis.
+    pub cells: [usize; 3],
+    /// Domain bounds.
+    pub bounds: ([f64; 3], [f64; 3]),
+    /// Time step.
+    pub dt: f64,
+}
+
+impl OscillatorsConfig {
+    /// A small default: one damped source on a 16³ unit grid.
+    pub fn small() -> Self {
+        OscillatorsConfig {
+            oscillators: vec![Oscillator::damped([0.5, 0.5, 0.5], 0.25, 6.0, 0.1, 1.0)],
+            cells: [16, 16, 16],
+            bounds: ([0.0; 3], [1.0; 3]),
+            dt: 0.01,
+        }
+    }
+}
+
+/// One rank's slab of the global grid (split along x, in cells).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Extent {
+    /// First owned cell index along x.
+    x0: usize,
+    /// One past the last owned cell index along x.
+    x1: usize,
+}
+
+fn slab(cells_x: usize, rank: usize, size: usize) -> Extent {
+    let base = cells_x / size;
+    let rem = cells_x % size;
+    let x0 = rank * base + rank.min(rem);
+    let width = base + usize::from(rank < rem);
+    Extent { x0, x1: x0 + width }
+}
+
+/// The oscillators simulation on one rank.
+///
+/// The field is point-centered on the rank's block of the global grid
+/// and lives in device memory; every step one kernel re-evaluates it at
+/// the new time (cost `O(points × oscillators)`).
+pub struct OscillatorsSim {
+    node: Arc<SimNode>,
+    device: usize,
+    stream: Arc<Stream>,
+    cfg: OscillatorsConfig,
+    extent: Extent,
+    ranks: usize,
+    rank: usize,
+    field: CellBuffer,
+    time: f64,
+    step: u64,
+}
+
+impl OscillatorsSim {
+    /// Set up the rank's block and evaluate the field at `t = 0`.
+    pub fn new(
+        node: Arc<SimNode>,
+        comm: &Comm,
+        device: usize,
+        cfg: OscillatorsConfig,
+    ) -> Result<OscillatorsSim> {
+        assert!(
+            cfg.cells[0] >= comm.size(),
+            "need at least one x-slab of cells per rank ({} cells, {} ranks)",
+            cfg.cells[0],
+            comm.size()
+        );
+        let extent = slab(cfg.cells[0], comm.rank(), comm.size());
+        let stream = node.device(device)?.create_stream();
+        // Point-centered block: local x-points = local cells + 1 (blocks
+        // share their boundary points, as VTK extents do).
+        let n = Self::local_points_of(&cfg, extent);
+        let field = node.device(device)?.alloc_f64(n)?;
+        let mut sim = OscillatorsSim {
+            node,
+            device,
+            stream,
+            cfg,
+            extent,
+            ranks: comm.size(),
+            rank: comm.rank(),
+            field,
+            time: 0.0,
+            step: 0,
+        };
+        sim.evaluate()?;
+        Ok(sim)
+    }
+
+    fn local_points_of(cfg: &OscillatorsConfig, e: Extent) -> usize {
+        (e.x1 - e.x0 + 1) * (cfg.cells[1] + 1) * (cfg.cells[2] + 1)
+    }
+
+    /// Number of field points this rank owns.
+    pub fn local_points(&self) -> usize {
+        Self::local_points_of(&self.cfg, self.extent)
+    }
+
+    /// Grid spacing per axis.
+    pub fn spacing(&self) -> [f64; 3] {
+        let (lo, hi) = self.cfg.bounds;
+        [
+            (hi[0] - lo[0]) / self.cfg.cells[0] as f64,
+            (hi[1] - lo[1]) / self.cfg.cells[1] as f64,
+            (hi[2] - lo[2]) / self.cfg.cells[2] as f64,
+        ]
+    }
+
+    /// Re-evaluate the field on the device at the current time.
+    fn evaluate(&mut self) -> Result<()> {
+        let n = self.local_points();
+        let oscillators = self.cfg.oscillators.clone();
+        let spacing = self.spacing();
+        let origin = [
+            self.cfg.bounds.0[0] + spacing[0] * self.extent.x0 as f64,
+            self.cfg.bounds.0[1],
+            self.cfg.bounds.0[2],
+        ];
+        let nx = self.extent.x1 - self.extent.x0 + 1;
+        let ny = self.cfg.cells[1] + 1;
+        let t = self.time;
+        let field = self.field.clone();
+        let cost = KernelCost {
+            flops: 25.0 * n as f64 * oscillators.len() as f64,
+            bytes: 8.0 * n as f64,
+        };
+        self.stream
+            .launch("oscillators_eval", cost, move |scope| {
+                let f = field.f64_view(scope)?;
+                for idx in 0..f.len() {
+                    let i = idx % nx;
+                    let j = (idx / nx) % ny;
+                    let k = idx / (nx * ny);
+                    let p = [
+                        origin[0] + spacing[0] * i as f64,
+                        origin[1] + spacing[1] * j as f64,
+                        origin[2] + spacing[2] * k as f64,
+                    ];
+                    let mut v = 0.0;
+                    for o in &oscillators {
+                        v += o.evaluate(p, t);
+                    }
+                    f.set(idx, v);
+                }
+                Ok(())
+            })
+            .map_err(Error::Device)
+    }
+
+    /// Advance one step: bump the clock and re-evaluate. Returns the
+    /// solver wall time.
+    pub fn step(&mut self, _comm: &Comm) -> Result<std::time::Duration> {
+        let t0 = std::time::Instant::now();
+        self.time += self.cfg.dt;
+        self.step += 1;
+        self.evaluate()?;
+        self.stream.synchronize().map_err(Error::Device)?;
+        Ok(t0.elapsed())
+    }
+
+    /// Download the local field to the host (diagnostics and tests).
+    pub fn local_field(&self) -> Result<Vec<f64>> {
+        let host = self.node.host_alloc_f64(self.field.len());
+        self.stream.copy(&self.field, &host).map_err(Error::Device)?;
+        self.stream.synchronize().map_err(Error::Device)?;
+        Ok(host.host_f64().map_err(Error::Device)?.to_vec())
+    }
+
+    /// The local block as `ImageData` with the field adopted zero-copy.
+    fn local_block(&self) -> Result<ImageData> {
+        let spacing = self.spacing();
+        let (lo, _) = self.cfg.bounds;
+        let local_cells = [self.extent.x1 - self.extent.x0, self.cfg.cells[1], self.cfg.cells[2]];
+        let block_lo = [lo[0] + spacing[0] * self.extent.x0 as f64, lo[1], lo[2]];
+        let block_hi = [
+            lo[0] + spacing[0] * self.extent.x1 as f64,
+            lo[1] + spacing[1] * self.cfg.cells[1] as f64,
+            lo[2] + spacing[2] * self.cfg.cells[2] as f64,
+        ];
+        let mut img = ImageData::from_bounds(local_cells, block_lo, block_hi);
+        let arr = HamrDataArray::<f64>::adopt(
+            "data",
+            self.node.clone(),
+            self.field.clone(),
+            1,
+            Allocator::OpenMp,
+            HamrStream::new(self.stream.clone()),
+            StreamMode::Async,
+        )?;
+        img.data_mut(FieldAssociation::Point).set_array(arr.as_array_ref());
+        Ok(img)
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Completed steps.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The device this rank's block lives on.
+    pub fn device(&self) -> usize {
+        self.device
+    }
+
+    /// The node.
+    pub fn node(&self) -> &Arc<SimNode> {
+        &self.node
+    }
+}
+
+/// SENSEI data adaptor: publishes the block-decomposed grid as the mesh
+/// `mesh` (a [`MultiBlock`] with one block per rank; this rank's block is
+/// populated, others are empty).
+pub struct OscillatorsAdaptor<'a> {
+    sim: &'a OscillatorsSim,
+}
+
+impl<'a> OscillatorsAdaptor<'a> {
+    /// Wrap the simulation.
+    pub fn new(sim: &'a OscillatorsSim) -> Self {
+        OscillatorsAdaptor { sim }
+    }
+}
+
+impl DataAdaptor for OscillatorsAdaptor<'_> {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        Ok(MeshMetadata {
+            name: "mesh".into(),
+            arrays: vec![ArrayMetadata {
+                name: "data".into(),
+                association: FieldAssociation::Point,
+                components: 1,
+                type_name: "double",
+                device: Some(self.sim.device),
+            }],
+        })
+    }
+
+    fn mesh(&self, name: &str) -> Result<DataObject> {
+        if name != "mesh" {
+            return Err(Error::NoSuchMesh { name: name.to_string() });
+        }
+        let mut mb = MultiBlock::new(self.sim.ranks);
+        mb.set_block(self.sim.rank, DataObject::Image(self.sim.local_block()?));
+        Ok(DataObject::Multi(mb))
+    }
+
+    fn time(&self) -> f64 {
+        self.sim.time
+    }
+
+    fn time_step(&self) -> u64 {
+        self.sim.step
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use devsim::NodeConfig;
+    use minimpi::World;
+
+    fn cfg() -> OscillatorsConfig {
+        OscillatorsConfig {
+            oscillators: vec![
+                Oscillator::periodic([0.5, 0.5, 0.5], 0.2, 6.0, 1.0),
+                Oscillator::decay([0.1, 0.1, 0.1], 0.3, 0.5, 2.0),
+            ],
+            cells: [12, 8, 4],
+            bounds: ([0.0; 3], [1.2, 0.8, 0.4]),
+            dt: 0.05,
+        }
+    }
+
+    /// Host reference field evaluation over the rank's block.
+    fn reference_field(cfg: &OscillatorsConfig, e: Extent, t: f64) -> Vec<f64> {
+        let sx = (cfg.bounds.1[0] - cfg.bounds.0[0]) / cfg.cells[0] as f64;
+        let sy = (cfg.bounds.1[1] - cfg.bounds.0[1]) / cfg.cells[1] as f64;
+        let sz = (cfg.bounds.1[2] - cfg.bounds.0[2]) / cfg.cells[2] as f64;
+        let (nx, ny, nz) = (e.x1 - e.x0 + 1, cfg.cells[1] + 1, cfg.cells[2] + 1);
+        let mut out = Vec::with_capacity(nx * ny * nz);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let p = [
+                        cfg.bounds.0[0] + sx * (e.x0 + i) as f64,
+                        cfg.bounds.0[1] + sy * j as f64,
+                        cfg.bounds.0[2] + sz * k as f64,
+                    ];
+                    out.push(cfg.oscillators.iter().map(|o| o.evaluate(p, t)).sum());
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn slabs_tile_the_x_axis() {
+        for (cells, ranks) in [(12, 3), (13, 3), (7, 2), (5, 5)] {
+            let mut covered = 0;
+            for r in 0..ranks {
+                let e = slab(cells, r, ranks);
+                assert_eq!(e.x0, covered, "contiguous");
+                assert!(e.x1 > e.x0, "nonempty");
+                covered = e.x1;
+            }
+            assert_eq!(covered, cells);
+        }
+    }
+
+    #[test]
+    fn device_field_matches_reference() {
+        let results = World::new(3).run(|comm| {
+            let node = SimNode::new(NodeConfig::fast_test(3));
+            let mut sim = OscillatorsSim::new(node, &comm, comm.rank(), cfg()).unwrap();
+            sim.step(&comm).unwrap();
+            sim.step(&comm).unwrap();
+            (sim.local_field().unwrap(), sim.extent, sim.time())
+        });
+        let c = cfg();
+        for (field, extent, t) in results {
+            let expect = reference_field(&c, extent, t);
+            assert_eq!(field.len(), expect.len());
+            for (a, b) in field.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptor_publishes_one_populated_block_per_rank() {
+        World::new(2).run(|comm| {
+            let node = SimNode::new(NodeConfig::fast_test(2));
+            let sim = OscillatorsSim::new(node, &comm, comm.rank(), cfg()).unwrap();
+            let adaptor = OscillatorsAdaptor::new(&sim);
+            let mesh = adaptor.mesh("mesh").unwrap();
+            let mb = mesh.as_multi().unwrap();
+            assert_eq!(mb.num_blocks(), 2);
+            assert_eq!(mb.num_local_blocks(), 1);
+            let (idx, block) = mb.local_blocks().next().unwrap();
+            assert_eq!(idx, comm.rank());
+            let img = block.as_image().unwrap();
+            let arr = img.data(FieldAssociation::Point).array("data").unwrap();
+            assert_eq!(arr.num_tuples(), sim.local_points());
+            // Zero-copy: the published array aliases the device field.
+            let typed = svtk::downcast::<f64>(arr).unwrap();
+            assert!(typed.data().same_allocation(&sim.field));
+            assert!(adaptor.mesh("bogus").is_err());
+        });
+    }
+
+    #[test]
+    fn blocks_share_boundary_points_consistently() {
+        // The field value at a shared block boundary must be identical on
+        // both owning ranks (same world coordinates, same sources).
+        let results = World::new(2).run(|comm| {
+            let node = SimNode::new(NodeConfig::fast_test(2));
+            let sim = OscillatorsSim::new(node, &comm, comm.rank(), cfg()).unwrap();
+            let field = sim.local_field().unwrap();
+            let nx = sim.extent.x1 - sim.extent.x0 + 1;
+            // The x-line at (j=0, k=0): rank 0's last point and rank 1's
+            // first point are the same world point.
+            if comm.rank() == 0 {
+                field[nx - 1]
+            } else {
+                field[0]
+            }
+        });
+        assert!((results[0] - results[1]).abs() < 1e-15);
+    }
+
+    #[test]
+    fn time_advances_with_steps() {
+        World::new(1).run(|comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let mut sim = OscillatorsSim::new(node, &comm, 0, cfg()).unwrap();
+            assert_eq!(sim.step_count(), 0);
+            assert_eq!(sim.time(), 0.0);
+            sim.step(&comm).unwrap();
+            assert_eq!(sim.step_count(), 1);
+            assert!((sim.time() - 0.05).abs() < 1e-15);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one x-slab")]
+    fn too_many_ranks_rejected() {
+        World::new(4).run(|comm| {
+            let node = SimNode::new(NodeConfig::fast_test(4));
+            let mut c = cfg();
+            c.cells = [2, 4, 4];
+            let _ = OscillatorsSim::new(node, &comm, comm.rank(), c);
+        });
+    }
+}

@@ -1,0 +1,105 @@
+//! The two adaptor interfaces SENSEI mediates between.
+//!
+//! A simulation exposes its state through a [`DataAdaptor`]; a back-end
+//! consumes it through an [`AnalysisAdaptor`]. The bridge connects the
+//! two, applying the execution-model extensions (placement, lockstep vs
+//! asynchronous execution).
+
+use std::sync::Arc;
+
+use devsim::SimNode;
+use minimpi::Comm;
+use svtk::{DataObject, FieldAssociation};
+
+use crate::controls::BackendControls;
+use crate::error::Result;
+
+/// Description of one array available on a mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayMetadata {
+    /// Array name.
+    pub name: String,
+    /// Centering.
+    pub association: FieldAssociation,
+    /// Components per tuple.
+    pub components: usize,
+    /// Element type name ("double", ...).
+    pub type_name: &'static str,
+    /// Current residency (`None` = host).
+    pub device: Option<usize>,
+}
+
+/// Description of one mesh a simulation publishes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeshMetadata {
+    /// Mesh name (how analyses request it).
+    pub name: String,
+    /// Arrays attached to the mesh.
+    pub arrays: Vec<ArrayMetadata>,
+}
+
+/// The simulation side of the coupling: read-only access to the
+/// simulation's current state in data-model form.
+pub trait DataAdaptor: Send {
+    /// Number of meshes the simulation publishes.
+    fn num_meshes(&self) -> usize;
+
+    /// Metadata for mesh `i`.
+    fn mesh_metadata(&self, i: usize) -> Result<MeshMetadata>;
+
+    /// The named mesh with its data arrays attached. Implementations
+    /// should return zero-copy handles to the simulation's own arrays
+    /// (the consuming back-end decides whether it needs a deep copy).
+    fn mesh(&self, name: &str) -> Result<DataObject>;
+
+    /// Current simulated time.
+    fn time(&self) -> f64;
+
+    /// Current time step.
+    fn time_step(&self) -> u64;
+}
+
+/// Per-invocation context handed to analysis back-ends.
+pub struct ExecContext<'a> {
+    /// The communicator the back-end should use for cross-rank reduction.
+    /// Under asynchronous execution this is a dedicated duplicate owned by
+    /// the in situ thread, so analysis traffic cannot interfere with the
+    /// simulation's communication.
+    pub comm: &'a Comm,
+    /// The heterogeneous node the rank runs on.
+    pub node: &'a Arc<SimNode>,
+}
+
+impl<'a> ExecContext<'a> {
+    /// Construct a context.
+    pub fn new(comm: &'a Comm, node: &'a Arc<SimNode>) -> Self {
+        ExecContext { comm, node }
+    }
+}
+
+/// The back-end side of the coupling.
+///
+/// Implementations embed a [`BackendControls`] (the paper defines these
+/// controls in the back-end base class so every back-end inherits them)
+/// and expose it through [`controls`](Self::controls) /
+/// [`controls_mut`](Self::controls_mut).
+pub trait AnalysisAdaptor: Send {
+    /// The back-end's type name (matches the XML `type` attribute).
+    fn name(&self) -> &str;
+
+    /// The shared execution-model controls.
+    fn controls(&self) -> &BackendControls;
+
+    /// Mutable access to the controls (used by the bridge and the
+    /// run-time configuration).
+    fn controls_mut(&mut self) -> &mut BackendControls;
+
+    /// Process the simulation's current state. Returns `Ok(true)` to
+    /// continue, `Ok(false)` to request the simulation stop.
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool>;
+
+    /// Called once after the last `execute`; flush outputs here.
+    fn finalize(&mut self, _ctx: &ExecContext<'_>) -> Result<()> {
+        Ok(())
+    }
+}

@@ -1,0 +1,188 @@
+//! The simulation-facing bridge: initialize, execute per iteration,
+//! finalize.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use devsim::SimNode;
+use minimpi::Comm;
+
+use crate::adaptor::{AnalysisAdaptor, DataAdaptor, ExecContext};
+use crate::error::{Error, Result};
+use crate::execution::ExecutionMethod;
+use crate::profiler::Profiler;
+use crate::snapshot::SnapshotAdaptor;
+
+enum BackendSlot {
+    /// Executes inline; may access simulation arrays zero-copy.
+    Lockstep(Box<dyn AnalysisAdaptor>),
+    /// Executes on its own thread against deep-copied snapshots.
+    Async(AsyncRunner),
+}
+
+/// A persistent in situ worker thread owning one asynchronous back-end
+/// and a dedicated duplicate communicator.
+struct AsyncRunner {
+    name: String,
+    controls: crate::BackendControls,
+    tx: Option<Sender<Arc<SnapshotAdaptor>>>,
+    handle: Option<std::thread::JoinHandle<Result<()>>>,
+}
+
+impl AsyncRunner {
+    fn spawn(mut adaptor: Box<dyn AnalysisAdaptor>, comm: Comm, node: Arc<SimNode>) -> Self {
+        let name = adaptor.name().to_string();
+        let controls = *adaptor.controls();
+        let (tx, rx) = unbounded::<Arc<SnapshotAdaptor>>();
+        let thread_name = format!("sensei-insitu-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || -> Result<()> {
+                let ctx = ExecContext::new(&comm, &node);
+                for snapshot in rx {
+                    adaptor.execute(snapshot.as_ref(), &ctx)?;
+                }
+                adaptor.finalize(&ctx)
+            })
+            .expect("spawn in situ worker");
+        AsyncRunner { name, controls, tx: Some(tx), handle: Some(handle) }
+    }
+
+    fn submit(&self, snapshot: Arc<SnapshotAdaptor>) -> Result<()> {
+        match &self.tx {
+            Some(tx) => tx.send(snapshot).map_err(|_| {
+                Error::Analysis(format!("in situ worker '{}' terminated early", self.name))
+            }),
+            None => Err(Error::Finalized),
+        }
+    }
+
+    /// Close the queue and wait for all outstanding work plus finalize.
+    fn drain(&mut self) -> Result<()> {
+        self.tx = None; // closing the channel ends the worker loop
+        match self.handle.take() {
+            Some(h) => h
+                .join()
+                .map_err(|_| Error::Analysis(format!("in situ worker '{}' panicked", self.name)))?,
+            None => Ok(()),
+        }
+    }
+}
+
+/// The SENSEI bridge: the single instrumentation point a simulation calls.
+///
+/// Back-ends are attached with [`Bridge::add_analysis`] (directly or from
+/// XML via [`crate::ConfigurableAnalysis`]); every iteration the
+/// simulation calls [`Bridge::execute`] with its data adaptor; at shutdown
+/// [`Bridge::finalize`] drains asynchronous workers and returns the
+/// [`Profiler`] with the run's per-iteration timings.
+pub struct Bridge {
+    node: Arc<SimNode>,
+    slots: Vec<BackendSlot>,
+    profiler: Profiler,
+    finalized: bool,
+}
+
+impl Bridge {
+    /// A bridge for one rank on `node`.
+    pub fn new(node: Arc<SimNode>) -> Self {
+        Bridge { node, slots: Vec::new(), profiler: Profiler::new(), finalized: false }
+    }
+
+    /// Attach a back-end. The back-end's [`ExecutionMethod`] decides its
+    /// slot: lockstep back-ends run inline; asynchronous back-ends get a
+    /// persistent worker thread and a dedicated duplicate of `comm`
+    /// (collective: every rank must attach the same back-ends in the same
+    /// order).
+    pub fn add_analysis(&mut self, adaptor: Box<dyn AnalysisAdaptor>, comm: &Comm) -> Result<()> {
+        if self.finalized {
+            return Err(Error::Finalized);
+        }
+        let slot = match adaptor.controls().execution {
+            ExecutionMethod::Lockstep => BackendSlot::Lockstep(adaptor),
+            ExecutionMethod::Asynchronous => {
+                let dup = comm.dup();
+                BackendSlot::Async(AsyncRunner::spawn(adaptor, dup, self.node.clone()))
+            }
+        };
+        self.slots.push(slot);
+        Ok(())
+    }
+
+    /// Number of attached back-ends.
+    pub fn num_backends(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Process the simulation's current state through every back-end.
+    ///
+    /// `solver_time` is the solver cost of the iteration just completed
+    /// (recorded alongside the measured apparent in situ cost). Returns
+    /// `Ok(false)` when a lockstep back-end requests the simulation stop.
+    pub fn execute(
+        &mut self,
+        data: &dyn DataAdaptor,
+        comm: &Comm,
+        solver_time: Duration,
+    ) -> Result<bool> {
+        if self.finalized {
+            return Err(Error::Finalized);
+        }
+        let step = data.time_step();
+        let t0 = Instant::now();
+        let mut proceed = true;
+        // One deep-copied snapshot per iteration, shared by every
+        // asynchronous back-end (§4.3: "the in situ code deep copies the
+        // relevant data" — once, not once per back-end).
+        let mut snapshot: Option<Arc<SnapshotAdaptor>> = None;
+        for slot in &mut self.slots {
+            match slot {
+                BackendSlot::Lockstep(adaptor) => {
+                    if !adaptor.controls().due_at(step) {
+                        continue;
+                    }
+                    let ctx = ExecContext::new(comm, &self.node);
+                    proceed &= adaptor.execute(data, &ctx)?;
+                }
+                BackendSlot::Async(runner) => {
+                    if !runner.controls.due_at(step) {
+                        continue;
+                    }
+                    // Deep copy, hand off, return immediately (§4.3).
+                    if snapshot.is_none() {
+                        snapshot = Some(Arc::new(SnapshotAdaptor::capture(data)?));
+                    }
+                    runner.submit(snapshot.clone().expect("captured above"))?;
+                }
+            }
+        }
+        let apparent = t0.elapsed();
+        self.profiler.record(step, solver_time, apparent);
+        Ok(proceed)
+    }
+
+    /// Finalize every back-end (draining asynchronous queues) and return
+    /// the run's profiler.
+    pub fn finalize(mut self, comm: &Comm) -> Result<Profiler> {
+        self.finalized = true;
+        let mut first_err = None;
+        for slot in &mut self.slots {
+            let result = match slot {
+                BackendSlot::Lockstep(adaptor) => {
+                    let ctx = ExecContext::new(comm, &self.node);
+                    adaptor.finalize(&ctx)
+                }
+                BackendSlot::Async(runner) => runner.drain(),
+            };
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
+            }
+        }
+        self.profiler.stop();
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(std::mem::take(&mut self.profiler)),
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! `ConfigurableAnalysis`: back-end selection from run-time XML.
+//!
+//! The paper's experiments are "orchestrated by SENSEI using its XML
+//! configuration feature" (§4.3) — the 90 binning operations are 9
+//! sequential `data_binning` instances configured from one file. The
+//! execution-model extensions surface in the XML as the `mode`
+//! (lockstep/asynchronous) and `device` / `n_use` / `stride` / `offset`
+//! attributes, available on *every* analysis element.
+//!
+//! ```xml
+//! <sensei>
+//!   <analysis type="data_binning" enabled="1"
+//!             mode="asynchronous" device="-2" n_use="1" offset="3">
+//!     ...back-end specific content...
+//!   </analysis>
+//! </sensei>
+//! ```
+
+use xmlcfg::Element;
+
+use crate::adaptor::AnalysisAdaptor;
+use crate::controls::{BackendControls, DeviceSpec};
+use crate::device_select::DeviceSelector;
+use crate::error::{Error, Result};
+use crate::execution::ExecutionMethod;
+use crate::registry::{AnalysisRegistry, CreateContext};
+
+/// One `<analysis>` entry of a configuration.
+pub struct BackendConfig {
+    /// The back-end type name.
+    pub type_name: String,
+    /// Whether the entry is enabled.
+    pub enabled: bool,
+    /// Execution-model controls parsed from the element's attributes.
+    pub controls: BackendControls,
+    /// The full element, for back-end specific parameters.
+    pub element: Element,
+}
+
+/// A parsed SENSEI run-time configuration.
+pub struct ConfigurableAnalysis {
+    configs: Vec<BackendConfig>,
+}
+
+impl ConfigurableAnalysis {
+    /// Parse a configuration document.
+    pub fn from_xml(xml: &str) -> Result<Self> {
+        let root = xmlcfg::parse(xml)?;
+        Self::from_element(&root)
+    }
+
+    /// Parse from an already-built DOM.
+    pub fn from_element(root: &Element) -> Result<Self> {
+        if root.name != "sensei" {
+            return Err(Error::Config(format!("expected <sensei> root, found <{}>", root.name)));
+        }
+        let mut configs = Vec::new();
+        for el in root.find_all("analysis") {
+            let type_name = el.req_attr("type").map_err(Error::Xml)?.to_string();
+            let enabled = el.parse_attr_or::<u8>("enabled", 1).map_err(Error::Xml)? != 0;
+            let execution = match el.attr("mode") {
+                None => ExecutionMethod::Lockstep,
+                Some(s) => ExecutionMethod::parse(s)
+                    .ok_or_else(|| Error::Config(format!("bad mode '{s}'")))?,
+            };
+            let device_code = el.parse_attr_or::<i64>("device", -2).map_err(Error::Xml)?;
+            let device = DeviceSpec::from_code(device_code)
+                .ok_or_else(|| Error::Config(format!("bad device code {device_code}")))?;
+            let selector = DeviceSelector {
+                n_use: el.parse_attr::<usize>("n_use").map_err(Error::Xml)?,
+                stride: el.parse_attr_or::<usize>("stride", 1).map_err(Error::Xml)?,
+                offset: el.parse_attr_or::<usize>("offset", 0).map_err(Error::Xml)?,
+            };
+            let frequency = el.parse_attr_or::<u64>("frequency", 1).map_err(Error::Xml)?;
+            configs.push(BackendConfig {
+                type_name,
+                enabled,
+                controls: BackendControls { execution, device, selector, frequency },
+                element: el.clone(),
+            });
+        }
+        Ok(ConfigurableAnalysis { configs })
+    }
+
+    /// All entries (including disabled ones).
+    pub fn configs(&self) -> &[BackendConfig] {
+        &self.configs
+    }
+
+    /// Instantiate every enabled back-end via `registry`, with the parsed
+    /// execution-model controls applied.
+    pub fn instantiate(
+        &self,
+        registry: &AnalysisRegistry,
+        ctx: &CreateContext,
+    ) -> Result<Vec<Box<dyn AnalysisAdaptor>>> {
+        let mut backends = Vec::new();
+        for cfg in self.configs.iter().filter(|c| c.enabled) {
+            let mut backend = registry.create(&cfg.type_name, &cfg.element, ctx)?;
+            *backend.controls_mut() = cfg.controls;
+            backends.push(backend);
+        }
+        Ok(backends)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::{DataAdaptor, ExecContext};
+    use devsim::{NodeConfig, SimNode};
+
+    const XML: &str = r#"
+        <sensei>
+          <analysis type="binning" mode="asynchronous" device="-2"
+                    n_use="1" offset="3" stride="1">
+            <axes>x,y</axes>
+          </analysis>
+          <analysis type="binning" enabled="0"/>
+          <analysis type="writer" device="-1"/>
+          <analysis type="probe" device="2"/>
+        </sensei>"#;
+
+    #[test]
+    fn parses_all_entries_and_controls() {
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        assert_eq!(cfg.configs().len(), 4);
+
+        let b = &cfg.configs()[0];
+        assert_eq!(b.type_name, "binning");
+        assert!(b.enabled);
+        assert_eq!(b.controls.execution, ExecutionMethod::Asynchronous);
+        assert_eq!(b.controls.device, DeviceSpec::Auto);
+        assert_eq!(b.controls.selector, DeviceSelector { n_use: Some(1), stride: 1, offset: 3 });
+        assert_eq!(b.element.find_child("axes").unwrap().text(), "x,y");
+
+        assert!(!cfg.configs()[1].enabled);
+        assert_eq!(cfg.configs()[2].controls.device, DeviceSpec::Host);
+        assert_eq!(cfg.configs()[3].controls.device, DeviceSpec::Explicit(2));
+        assert_eq!(cfg.configs()[3].controls.execution, ExecutionMethod::Lockstep);
+    }
+
+    #[test]
+    fn bad_root_mode_and_device_are_rejected() {
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml("<nope/>"),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><analysis type="x" mode="weird"/></sensei>"#),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><analysis type="x" device="-9"/></sensei>"#),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><analysis/></sensei>"#),
+            Err(Error::Xml(_))
+        ));
+    }
+
+    struct Probe {
+        controls: BackendControls,
+        label: String,
+    }
+
+    impl AnalysisAdaptor for Probe {
+        fn name(&self) -> &str {
+            &self.label
+        }
+        fn controls(&self) -> &BackendControls {
+            &self.controls
+        }
+        fn controls_mut(&mut self) -> &mut BackendControls {
+            &mut self.controls
+        }
+        fn execute(&mut self, _d: &dyn DataAdaptor, _c: &ExecContext<'_>) -> Result<bool> {
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn instantiate_applies_controls_and_skips_disabled() {
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        let mut reg = AnalysisRegistry::new();
+        for t in ["binning", "writer", "probe"] {
+            reg.register(t, move |el, _| {
+                Ok(Box::new(Probe {
+                    controls: BackendControls::default(),
+                    label: el.attr_or("type", "?").to_string(),
+                }) as Box<dyn AnalysisAdaptor>)
+            });
+        }
+        let ctx = CreateContext { node: SimNode::new(NodeConfig::fast_test(4)), rank: 0, size: 1 };
+        let backends = cfg.instantiate(&reg, &ctx).unwrap();
+        assert_eq!(backends.len(), 3, "the disabled entry is skipped");
+        assert_eq!(backends[0].controls().execution, ExecutionMethod::Asynchronous);
+        assert_eq!(backends[0].controls().selector.offset, 3);
+        assert_eq!(backends[1].controls().device, DeviceSpec::Host);
+    }
+}

@@ -1,0 +1,123 @@
+//! Automatic device selection — Eq. (1) of the paper.
+
+/// User-tunable parameters of the automatic device-selection rule.
+///
+/// The defaults reproduce the paper's: `n_u = n_a` (use every device),
+/// `s = 1`, `d_0 = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceSelector {
+    /// Devices to use per node (`n_u`); `None` means "all available".
+    pub n_use: Option<usize>,
+    /// Stride between consecutive ranks' devices (`s`).
+    pub stride: usize,
+    /// First device to assign (`d_0`).
+    pub offset: usize,
+}
+
+impl Default for DeviceSelector {
+    fn default() -> Self {
+        DeviceSelector { n_use: None, stride: 1, offset: 0 }
+    }
+}
+
+/// Evaluate Eq. (1): `d = (r mod n_u * s + d_0) mod n_a`.
+///
+/// * `rank` — the MPI rank of the querying process (`r`);
+/// * `n_avail` — devices on the node (`n_a`), from a system query.
+///
+/// As in C, `r mod n_u * s` parses as `(r mod n_u) * s`.
+///
+/// # Panics
+/// Panics if `n_avail == 0`, or the selector requests zero devices or a
+/// zero stride — configurations the C++ implementation also rejects.
+pub fn select_device(rank: usize, n_avail: usize, sel: &DeviceSelector) -> usize {
+    assert!(n_avail > 0, "device selection requires at least one device");
+    let n_use = sel.n_use.unwrap_or(n_avail);
+    assert!(n_use > 0, "n_use must be positive");
+    assert!(sel.stride > 0, "stride must be positive");
+    (rank % n_use * sel.stride + sel.offset) % n_avail
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_round_robin_over_all_devices() {
+        let sel = DeviceSelector::default();
+        let got: Vec<_> = (0..8).map(|r| select_device(r, 4, &sel)).collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn n_use_restricts_the_pool() {
+        // Use 2 of 4 devices: ranks alternate between devices 0 and 1.
+        let sel = DeviceSelector { n_use: Some(2), ..Default::default() };
+        let got: Vec<_> = (0..6).map(|r| select_device(r, 4, &sel)).collect();
+        assert_eq!(got, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn stride_spreads_ranks() {
+        // Stride 2 over 4 devices: 0, 2, 0, 2 ... with n_u = 2.
+        let sel = DeviceSelector { n_use: Some(2), stride: 2, offset: 0 };
+        let got: Vec<_> = (0..4).map(|r| select_device(r, 4, &sel)).collect();
+        assert_eq!(got, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn offset_shifts_the_assignment() {
+        // Offset 3 on a 4-device node: rank 0 -> device 3, rank 1 -> 0, ...
+        let sel = DeviceSelector { offset: 3, ..Default::default() };
+        let got: Vec<_> = (0..4).map(|r| select_device(r, 4, &sel)).collect();
+        assert_eq!(got, vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn dedicated_device_shape() {
+        // The paper's 1-dedicated-device placement: 3 simulation ranks on
+        // devices 0..2 (n_u = 3), in situ pinned to device 3 via
+        // n_u = 1, offset = 3.
+        let sim = DeviceSelector { n_use: Some(3), ..Default::default() };
+        let insitu = DeviceSelector { n_use: Some(1), offset: 3, ..Default::default() };
+        for r in 0..3 {
+            assert_eq!(select_device(r, 4, &sim), r);
+            assert_eq!(select_device(r, 4, &insitu), 3);
+        }
+    }
+
+    #[test]
+    fn two_dedicated_devices_shape() {
+        // The paper's 2-dedicated placement: 2 ranks per node, sim on
+        // devices 0..1, in situ paired on devices 2..3.
+        let sim = DeviceSelector { n_use: Some(2), ..Default::default() };
+        let insitu = DeviceSelector { n_use: Some(2), offset: 2, ..Default::default() };
+        assert_eq!(select_device(0, 4, &sim), 0);
+        assert_eq!(select_device(1, 4, &sim), 1);
+        assert_eq!(select_device(0, 4, &insitu), 2);
+        assert_eq!(select_device(1, 4, &insitu), 3);
+    }
+
+    #[test]
+    fn result_is_always_a_valid_device() {
+        for n_avail in 1..6 {
+            for n_use in 1..6 {
+                for stride in 1..4 {
+                    for offset in 0..6 {
+                        let sel = DeviceSelector { n_use: Some(n_use), stride, offset };
+                        for rank in 0..12 {
+                            let d = select_device(rank, n_avail, &sel);
+                            assert!(d < n_avail, "d={d} out of range n_a={n_avail}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_rejected() {
+        select_device(0, 0, &DeviceSelector::default());
+    }
+}

@@ -1,0 +1,69 @@
+//! Error type for the mediation layer.
+
+use std::fmt;
+
+/// Result alias for sensei operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the SENSEI core.
+#[derive(Debug, Clone)]
+pub enum Error {
+    /// A requested mesh does not exist on the data adaptor.
+    NoSuchMesh { name: String },
+    /// A requested array does not exist on a mesh.
+    NoSuchArray { mesh: String, array: String },
+    /// The data model or memory resource failed.
+    Hamr(hamr::Error),
+    /// The simulated runtime failed.
+    Device(devsim::Error),
+    /// Run-time configuration problems.
+    Config(String),
+    /// XML parse failure in the run-time configuration.
+    Xml(xmlcfg::Error),
+    /// No factory registered for an analysis type.
+    UnknownAnalysisType { type_name: String },
+    /// The analysis back-end failed.
+    Analysis(String),
+    /// An operation was attempted on a finalized bridge or runner.
+    Finalized,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchMesh { name } => write!(f, "no mesh named '{name}'"),
+            Error::NoSuchArray { mesh, array } => {
+                write!(f, "mesh '{mesh}' has no array named '{array}'")
+            }
+            Error::Hamr(e) => write!(f, "memory resource error: {e}"),
+            Error::Device(e) => write!(f, "device error: {e}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Xml(e) => write!(f, "XML error: {e}"),
+            Error::UnknownAnalysisType { type_name } => {
+                write!(f, "no analysis back-end registered for type '{type_name}'")
+            }
+            Error::Analysis(m) => write!(f, "analysis error: {m}"),
+            Error::Finalized => write!(f, "operation on a finalized object"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<hamr::Error> for Error {
+    fn from(e: hamr::Error) -> Self {
+        Error::Hamr(e)
+    }
+}
+
+impl From<devsim::Error> for Error {
+    fn from(e: devsim::Error) -> Self {
+        Error::Device(e)
+    }
+}
+
+impl From<xmlcfg::Error> for Error {
+    fn from(e: xmlcfg::Error) -> Self {
+        Error::Xml(e)
+    }
+}

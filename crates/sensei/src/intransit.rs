@@ -1,0 +1,333 @@
+//! In-transit execution: M simulation ranks forward their data to N
+//! dedicated analysis ranks for processing.
+//!
+//! Besides running analyses *in situ* (sharing the simulation's
+//! resources), SENSEI supports *in transit* processing, where data moves
+//! off the simulation's ranks to a separate set of endpoints (the
+//! M-to-N redistribution of Loring et al., EGPGV 2020 — reference \[13\]
+//! of the paper). This module provides the minimal, faithful version of
+//! that capability on top of `minimpi`:
+//!
+//! * [`partition`] splits the world into a simulation group and an
+//!   analysis group (the paper's placement question, taken off-node);
+//! * [`TransitSender`] is an [`AnalysisAdaptor`] attached to the
+//!   simulation-side bridge: each execute serializes the published mesh
+//!   and ships it to the owning analysis rank (producer `p` feeds
+//!   consumer `p mod N`);
+//! * [`serve_analysis`] is the analysis-rank event loop: it assembles
+//!   each step's blocks from its producers, exposes them through a
+//!   [`DataAdaptor`], and drives ordinary back-ends — the same
+//!   back-ends that run in situ run in transit unchanged.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use devsim::SimNode;
+use minimpi::Comm;
+use svtk::{DataObject, MultiBlock, TableData};
+
+use crate::adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
+use crate::controls::BackendControls;
+use crate::error::{Error, Result};
+
+/// Message tag reserved for in-transit traffic.
+const TRANSIT_TAG: u64 = 0x5e4e5e1;
+
+/// One rank's role after [`partition`].
+pub enum Role {
+    /// A simulation rank, with the simulation sub-communicator.
+    Simulation(Comm),
+    /// An analysis rank, with the analysis sub-communicator.
+    Analysis(Comm),
+}
+
+/// Split the world: the last `analysis_ranks` ranks become analysis
+/// endpoints, the rest run the simulation. Collective.
+///
+/// # Panics
+/// Panics unless `0 < analysis_ranks < world.size()`.
+pub fn partition(world: &Comm, analysis_ranks: usize) -> Role {
+    assert!(
+        analysis_ranks > 0 && analysis_ranks < world.size(),
+        "need at least one simulation and one analysis rank"
+    );
+    let sim_ranks = world.size() - analysis_ranks;
+    let is_analysis = world.rank() >= sim_ranks;
+    let sub = world.split(u64::from(is_analysis), world.rank() as u64);
+    if is_analysis {
+        Role::Analysis(sub)
+    } else {
+        Role::Simulation(sub)
+    }
+}
+
+/// The analysis world-rank that consumes data from simulation world-rank
+/// `producer` (the M-to-N mapping `p -> sim_ranks + (p mod N)`).
+pub fn consumer_of(producer: usize, sim_ranks: usize, analysis_ranks: usize) -> usize {
+    sim_ranks + producer % analysis_ranks
+}
+
+/// The simulation world-ranks feeding analysis world-rank `consumer`.
+pub fn producers_of(consumer: usize, sim_ranks: usize, analysis_ranks: usize) -> Vec<usize> {
+    (0..sim_ranks).filter(|&p| consumer_of(p, sim_ranks, analysis_ranks) == consumer).collect()
+}
+
+/// A serialized mesh in flight (host representation of the columns).
+#[derive(Debug, Clone)]
+struct Payload {
+    step: u64,
+    time: f64,
+    columns: Vec<(String, Vec<f64>)>,
+}
+
+enum TransitMsg {
+    Step(Payload),
+    Done,
+}
+
+/// The simulation-side forwarder: an analysis back-end whose "analysis"
+/// is shipping the data to an analysis rank.
+///
+/// Attach it to the bridge like any back-end; it honours the shared
+/// [`BackendControls`] (e.g. `frequency`). Data is downloaded to the
+/// host before sending — in transit always pays the movement the paper's
+/// zero-copy in situ path avoids, which is exactly the trade-off between
+/// the two modes.
+pub struct TransitSender {
+    controls: BackendControls,
+    world: Comm,
+    mesh: String,
+    consumer: usize,
+}
+
+impl TransitSender {
+    /// A sender forwarding `mesh`. `world` is the world communicator (or
+    /// a duplicate); `sim_ranks`/`analysis_ranks` describe the partition.
+    pub fn new(world: Comm, mesh: impl Into<String>, analysis_ranks: usize) -> Self {
+        let sim_ranks = world.size() - analysis_ranks;
+        let consumer = consumer_of(world.rank(), sim_ranks, analysis_ranks);
+        TransitSender { controls: BackendControls::default(), world, mesh: mesh.into(), consumer }
+    }
+
+    fn serialize(&self, data: &dyn DataAdaptor) -> Result<Payload> {
+        let mesh = data.mesh(&self.mesh)?;
+        let mut columns = Vec::new();
+        collect_columns(&mesh, &mut columns)?;
+        Ok(Payload { step: data.time_step(), time: data.time(), columns })
+    }
+}
+
+fn collect_columns(obj: &DataObject, out: &mut Vec<(String, Vec<f64>)>) -> Result<()> {
+    match obj {
+        DataObject::Table(t) => {
+            for col in t.columns() {
+                let typed = svtk::downcast::<f64>(col).ok_or_else(|| {
+                    Error::Analysis(format!(
+                        "in transit supports double columns; '{}' is {}",
+                        col.name(),
+                        col.type_name()
+                    ))
+                })?;
+                out.push((col.name().to_string(), typed.to_vec()?));
+            }
+        }
+        DataObject::Multi(mb) => {
+            for (_, block) in mb.local_blocks() {
+                collect_columns(block, out)?;
+            }
+        }
+        other => {
+            return Err(Error::Analysis(format!(
+                "in transit currently forwards tabular data, got {}",
+                other.class_name()
+            )))
+        }
+    }
+    Ok(())
+}
+
+impl AnalysisAdaptor for TransitSender {
+    fn name(&self) -> &str {
+        "in_transit_sender"
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, _ctx: &ExecContext<'_>) -> Result<bool> {
+        let payload = self.serialize(data)?;
+        self.world
+            .send(self.consumer, TRANSIT_TAG, TransitMsg::Step(payload))
+            .map_err(|e| Error::Analysis(format!("in transit send: {e}")))?;
+        Ok(true)
+    }
+
+    fn finalize(&mut self, _ctx: &ExecContext<'_>) -> Result<()> {
+        self.world
+            .send(self.consumer, TRANSIT_TAG, TransitMsg::Done)
+            .map_err(|e| Error::Analysis(format!("in transit shutdown: {e}")))
+    }
+}
+
+/// A [`DataAdaptor`] over the blocks one analysis rank assembled for one
+/// step.
+struct ReceivedAdaptor {
+    mesh: String,
+    blocks: MultiBlock,
+    step: u64,
+    time: f64,
+}
+
+impl DataAdaptor for ReceivedAdaptor {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        let arrays = self
+            .blocks
+            .local_blocks()
+            .next()
+            .and_then(|(_, b)| b.as_table().cloned())
+            .map(|t| {
+                t.columns()
+                    .iter()
+                    .map(|c| ArrayMetadata {
+                        name: c.name().to_string(),
+                        association: svtk::FieldAssociation::Point,
+                        components: c.num_components(),
+                        type_name: c.type_name(),
+                        device: c.device(),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(MeshMetadata { name: self.mesh.clone(), arrays })
+    }
+
+    fn mesh(&self, name: &str) -> Result<DataObject> {
+        if name == self.mesh {
+            Ok(DataObject::Multi(self.blocks.clone()))
+        } else {
+            Err(Error::NoSuchMesh { name: name.to_string() })
+        }
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+}
+
+/// The analysis-rank event loop: receive step data from every producer
+/// feeding this rank, run the back-ends once per fully assembled step,
+/// and finalize when every producer has shut down. Returns the number of
+/// steps processed.
+///
+/// Back-ends see an [`ExecContext`] whose communicator is the *analysis*
+/// sub-communicator, so their cross-rank reductions span the analysis
+/// group — every analysis rank must therefore observe the same sequence
+/// of steps (guaranteed when all producers forward every step).
+pub fn serve_analysis(
+    world: &Comm,
+    analysis_comm: &Comm,
+    node: &Arc<SimNode>,
+    mesh: impl Into<String>,
+    mut backends: Vec<Box<dyn AnalysisAdaptor>>,
+) -> Result<u64> {
+    let mesh = mesh.into();
+    let analysis_ranks = analysis_comm.size();
+    let sim_ranks = world.size() - analysis_ranks;
+    let producers = producers_of(world.rank(), sim_ranks, analysis_ranks);
+    let total_blocks = sim_ranks;
+
+    // step -> (producer world-rank -> payload)
+    let mut pending: BTreeMap<u64, BTreeMap<usize, Payload>> = BTreeMap::new();
+    let mut live = producers.len();
+    let mut steps_done = 0u64;
+    let ctx_comm = analysis_comm;
+
+    while live > 0 {
+        let (src, msg): (usize, TransitMsg) = world
+            .recv_any(TRANSIT_TAG)
+            .map_err(|e| Error::Analysis(format!("in transit recv: {e}")))?;
+        match msg {
+            TransitMsg::Done => live -= 1,
+            TransitMsg::Step(payload) => {
+                let step = payload.step;
+                let entry = pending.entry(step).or_default();
+                entry.insert(src, payload);
+                if entry.len() == producers.len() {
+                    let parts = pending.remove(&step).expect("entry exists");
+                    let time = parts.values().next().expect("nonempty").time;
+                    let mut blocks = MultiBlock::new(total_blocks);
+                    for (producer, payload) in parts {
+                        let mut table = TableData::new();
+                        for (name, values) in payload.columns {
+                            let arr = svtk::HamrDataArray::<f64>::from_slice(
+                                name,
+                                node.clone(),
+                                &values,
+                                1,
+                                svtk::Allocator::Malloc,
+                                None,
+                                svtk::HamrStream::default_stream(),
+                                svtk::StreamMode::Sync,
+                            )?;
+                            table.set_column(arr.as_array_ref());
+                        }
+                        blocks.set_block(producer, DataObject::Table(table));
+                    }
+                    let adaptor =
+                        ReceivedAdaptor { mesh: mesh.clone(), blocks, step, time };
+                    let ctx = ExecContext::new(ctx_comm, node);
+                    for b in &mut backends {
+                        if b.controls().due_at(step) {
+                            b.execute(&adaptor, &ctx)?;
+                        }
+                    }
+                    steps_done += 1;
+                }
+            }
+        }
+    }
+    if !pending.is_empty() {
+        return Err(Error::Analysis(format!(
+            "{} step(s) left partially assembled at shutdown",
+            pending.len()
+        )));
+    }
+    let ctx = ExecContext::new(ctx_comm, node);
+    for b in &mut backends {
+        b.finalize(&ctx)?;
+    }
+    Ok(steps_done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m_to_n_mapping_covers_all_producers() {
+        for (m, n) in [(4, 2), (5, 2), (3, 1), (6, 3)] {
+            // Every producer has exactly one consumer in the analysis range.
+            for p in 0..m {
+                let c = consumer_of(p, m, n);
+                assert!(c >= m && c < m + n, "consumer {c} out of range");
+                assert!(producers_of(c, m, n).contains(&p));
+            }
+            // Consumers partition the producers.
+            let total: usize = (m..m + n).map(|c| producers_of(c, m, n).len()).sum();
+            assert_eq!(total, m);
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! # sensei — the generic *in situ* framework, extended for heterogeneous
+//! architectures
+//!
+//! SENSEI couples simulation codes to back-end data-processing and
+//! visualization libraries through a single instrumentation, with run-time
+//! switching between back-ends. This crate reproduces the core mediation
+//! layer together with the two extension sets the SC-W 2023 paper
+//! contributes:
+//!
+//! **Data-model extensions (§2)** live in the [`svtk`]/[`hamr`] crates
+//! (re-exported here): heterogeneous data arrays with PM interoperability
+//! and zero-copy transfer.
+//!
+//! **Execution-model extensions (§3)** live here:
+//!
+//! * [`ExecutionMethod`] — *lockstep* (simulation and in situ take turns)
+//!   or *asynchronous* (in situ deep-copies its inputs and runs in a
+//!   separate thread, concurrently with the simulation);
+//! * [`Placement`] — run-time control over whether in situ work runs on
+//!   the host, on the data's device, or on dedicated device(s);
+//! * [`DeviceSelector`] — automatic device selection, Eq. (1):
+//!   `d = (r mod n_u * s + d_0) mod n_a`;
+//! * [`BackendControls`] — the new control parameters, defined once and
+//!   available to every analysis back-end (the paper puts them in the
+//!   back-end base class);
+//! * [`ConfigurableAnalysis`] — back-end instantiation from SENSEI's
+//!   run-time XML configuration;
+//! * [`intransit`] — M-to-N in-transit processing on dedicated
+//!   analysis ranks (the off-node counterpart of the placement study);
+//! * [`Bridge`] — the simulation-facing instrumentation
+//!   (initialize / execute-per-iteration / finalize) with a built-in
+//!   [`Profiler`] recording per-iteration solver and in situ times
+//!   (the data behind the paper's Figures 2 and 3).
+
+mod adaptor;
+mod bridge;
+mod configurable;
+mod controls;
+mod device_select;
+mod error;
+mod execution;
+pub mod intransit;
+mod placement;
+mod profiler;
+mod registry;
+mod snapshot;
+
+pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
+pub use bridge::Bridge;
+pub use configurable::{BackendConfig, ConfigurableAnalysis};
+pub use controls::{BackendControls, DeviceSpec};
+pub use device_select::{select_device, DeviceSelector};
+pub use error::{Error, Result};
+pub use execution::ExecutionMethod;
+pub use placement::Placement;
+pub use profiler::{IterationRecord, ProfileSummary, Profiler};
+pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
+pub use snapshot::SnapshotAdaptor;

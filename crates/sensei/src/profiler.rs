@@ -1,0 +1,143 @@
+//! Per-iteration timing, the data behind the paper's Figures 2 and 3.
+
+use std::time::{Duration, Instant};
+
+/// Timings for one simulation iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IterationRecord {
+    /// Simulation time step.
+    pub step: u64,
+    /// Time spent in the solver this iteration.
+    pub solver: Duration,
+    /// *Apparent* in situ cost this iteration: for lockstep execution the
+    /// full analysis time, for asynchronous execution just the deep copy
+    /// and thread hand-off (the analysis itself overlaps the solver).
+    pub insitu: Duration,
+}
+
+/// Aggregate view of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSummary {
+    /// Iterations recorded.
+    pub iterations: usize,
+    /// Mean solver time per iteration (Figure 3's cyan bars).
+    pub mean_solver: Duration,
+    /// Mean apparent in situ time per iteration (Figure 3's red/blue bars).
+    pub mean_insitu: Duration,
+    /// Total wall-clock from profiler start to finalize (Figure 2).
+    pub total_runtime: Duration,
+}
+
+/// Records per-iteration solver/in situ costs and the total run time.
+#[derive(Debug)]
+pub struct Profiler {
+    records: Vec<IterationRecord>,
+    started: Instant,
+    total: Option<Duration>,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Profiler {
+    /// Start the run clock.
+    pub fn new() -> Self {
+        Profiler { records: Vec::new(), started: Instant::now(), total: None }
+    }
+
+    /// Record one iteration.
+    pub fn record(&mut self, step: u64, solver: Duration, insitu: Duration) {
+        self.records.push(IterationRecord { step, solver, insitu });
+    }
+
+    /// Stop the run clock (idempotent; called by the bridge at finalize).
+    pub fn stop(&mut self) {
+        if self.total.is_none() {
+            self.total = Some(self.started.elapsed());
+        }
+    }
+
+    /// The recorded iterations.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Aggregate the run.
+    pub fn summary(&self) -> ProfileSummary {
+        let n = self.records.len();
+        let sum = |f: fn(&IterationRecord) -> Duration| -> Duration {
+            self.records.iter().map(f).sum()
+        };
+        ProfileSummary {
+            iterations: n,
+            mean_solver: if n == 0 { Duration::ZERO } else { sum(|r| r.solver) / n as u32 },
+            mean_insitu: if n == 0 { Duration::ZERO } else { sum(|r| r.insitu) / n as u32 },
+            total_runtime: self.total.unwrap_or_else(|| self.started.elapsed()),
+        }
+    }
+
+    /// Dump the records as CSV (`step,solver_s,insitu_s`), the format the
+    /// analysis scripts in the paper's reproducibility appendix consume.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("step,solver_s,insitu_s\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{:.9},{:.9}\n",
+                r.step,
+                r.solver.as_secs_f64(),
+                r.insitu.as_secs_f64()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_profiler() {
+        let p = Profiler::new();
+        let s = p.summary();
+        assert_eq!(s.iterations, 0);
+        assert_eq!(s.mean_solver, Duration::ZERO);
+        assert_eq!(s.mean_insitu, Duration::ZERO);
+    }
+
+    #[test]
+    fn means_are_computed_per_iteration() {
+        let mut p = Profiler::new();
+        p.record(0, Duration::from_millis(10), Duration::from_millis(2));
+        p.record(1, Duration::from_millis(30), Duration::from_millis(4));
+        let s = p.summary();
+        assert_eq!(s.iterations, 2);
+        assert_eq!(s.mean_solver, Duration::from_millis(20));
+        assert_eq!(s.mean_insitu, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn stop_freezes_total_runtime() {
+        let mut p = Profiler::new();
+        std::thread::sleep(Duration::from_millis(10));
+        p.stop();
+        let t1 = p.summary().total_runtime;
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(p.summary().total_runtime, t1, "stop() freezes the clock");
+        assert!(t1 >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_record() {
+        let mut p = Profiler::new();
+        p.record(5, Duration::from_secs(1), Duration::from_millis(500));
+        let csv = p.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "step,solver_s,insitu_s");
+        assert!(lines[1].starts_with("5,1.0"));
+    }
+}

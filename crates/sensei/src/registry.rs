@@ -1,0 +1,144 @@
+//! The analysis back-end registry.
+//!
+//! SENSEI's run-time configuration names back-ends by type
+//! (`<analysis type="data_binning" .../>`); the registry maps those names
+//! to factory functions so the set of available back-ends is open — any
+//! crate can register one.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use devsim::SimNode;
+use xmlcfg::Element;
+
+use crate::adaptor::AnalysisAdaptor;
+use crate::error::{Error, Result};
+
+/// Context available to back-end factories.
+pub struct CreateContext {
+    /// The heterogeneous node the rank runs on.
+    pub node: Arc<SimNode>,
+    /// This process's MPI rank.
+    pub rank: usize,
+    /// Communicator size.
+    pub size: usize,
+}
+
+/// A factory building one analysis back-end from its XML element.
+pub type AnalysisFactory =
+    Box<dyn Fn(&Element, &CreateContext) -> Result<Box<dyn AnalysisAdaptor>> + Send + Sync>;
+
+/// Maps XML `type` names to back-end factories.
+#[derive(Default)]
+pub struct AnalysisRegistry {
+    factories: HashMap<String, AnalysisFactory>,
+}
+
+impl AnalysisRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        AnalysisRegistry::default()
+    }
+
+    /// Register (or replace) a factory for `type_name`.
+    pub fn register(
+        &mut self,
+        type_name: impl Into<String>,
+        factory: impl Fn(&Element, &CreateContext) -> Result<Box<dyn AnalysisAdaptor>> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(type_name.into(), Box::new(factory));
+    }
+
+    /// True when a factory is registered for `type_name`.
+    pub fn contains(&self, type_name: &str) -> bool {
+        self.factories.contains_key(type_name)
+    }
+
+    /// Registered type names, sorted.
+    pub fn type_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Build a back-end for `type_name` from its XML element.
+    pub fn create(
+        &self,
+        type_name: &str,
+        element: &Element,
+        ctx: &CreateContext,
+    ) -> Result<Box<dyn AnalysisAdaptor>> {
+        let factory = self
+            .factories
+            .get(type_name)
+            .ok_or_else(|| Error::UnknownAnalysisType { type_name: type_name.to_string() })?;
+        factory(element, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptor::{DataAdaptor, ExecContext};
+    use crate::controls::BackendControls;
+    use devsim::NodeConfig;
+
+    struct NoopAnalysis {
+        controls: BackendControls,
+        label: String,
+    }
+
+    impl AnalysisAdaptor for NoopAnalysis {
+        fn name(&self) -> &str {
+            &self.label
+        }
+        fn controls(&self) -> &BackendControls {
+            &self.controls
+        }
+        fn controls_mut(&mut self) -> &mut BackendControls {
+            &mut self.controls
+        }
+        fn execute(&mut self, _d: &dyn DataAdaptor, _c: &ExecContext<'_>) -> Result<bool> {
+            Ok(true)
+        }
+    }
+
+    fn ctx() -> CreateContext {
+        CreateContext { node: SimNode::new(NodeConfig::fast_test(1)), rank: 0, size: 1 }
+    }
+
+    #[test]
+    fn register_and_create() {
+        let mut reg = AnalysisRegistry::new();
+        reg.register("noop", |el, _ctx| {
+            Ok(Box::new(NoopAnalysis {
+                controls: BackendControls::default(),
+                label: el.attr_or("label", "noop").to_string(),
+            }))
+        });
+        assert!(reg.contains("noop"));
+        assert_eq!(reg.type_names(), vec!["noop"]);
+
+        let el = Element::new("analysis").with_attr("label", "my-noop");
+        let backend = reg.create("noop", &el, &ctx()).unwrap();
+        assert_eq!(backend.name(), "my-noop");
+    }
+
+    #[test]
+    fn unknown_type_is_an_error() {
+        let reg = AnalysisRegistry::new();
+        let el = Element::new("analysis");
+        assert!(matches!(
+            reg.create("mystery", &el, &ctx()),
+            Err(Error::UnknownAnalysisType { .. })
+        ));
+    }
+
+    #[test]
+    fn factory_errors_propagate() {
+        let mut reg = AnalysisRegistry::new();
+        reg.register("fails", |_, _| Err(Error::Config("bad params".into())));
+        let el = Element::new("analysis");
+        assert!(matches!(reg.create("fails", &el, &ctx()), Err(Error::Config(_))));
+    }
+}

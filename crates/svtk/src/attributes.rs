@@ -1,0 +1,154 @@
+//! Field data: named array collections with a centering association.
+
+use crate::data_array::ArrayRef;
+
+/// Where an array's values are centered on a dataset — VTK's point/cell
+/// data plus uncentered field data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FieldAssociation {
+    /// Node-centered values (one tuple per mesh point / table row).
+    Point,
+    /// Cell-centered values (one tuple per mesh cell).
+    Cell,
+    /// Uncentered global values.
+    Field,
+}
+
+impl FieldAssociation {
+    /// Name used in run-time XML configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FieldAssociation::Point => "point",
+            FieldAssociation::Cell => "cell",
+            FieldAssociation::Field => "field",
+        }
+    }
+
+    /// Parse from the XML spelling.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim() {
+            "point" | "node" => Some(FieldAssociation::Point),
+            "cell" => Some(FieldAssociation::Cell),
+            "field" => Some(FieldAssociation::Field),
+            _ => None,
+        }
+    }
+}
+
+/// An ordered, named collection of data arrays (VTK's `vtkFieldData` /
+/// `vtkPointData` / `vtkCellData` role).
+#[derive(Default, Clone)]
+pub struct FieldData {
+    arrays: Vec<ArrayRef>,
+}
+
+impl FieldData {
+    /// An empty collection.
+    pub fn new() -> Self {
+        FieldData::default()
+    }
+
+    /// Add (or replace, by name) an array.
+    pub fn set_array(&mut self, array: ArrayRef) {
+        if let Some(slot) = self.arrays.iter_mut().find(|a| a.name() == array.name()) {
+            *slot = array;
+        } else {
+            self.arrays.push(array);
+        }
+    }
+
+    /// Look up an array by name.
+    pub fn array(&self, name: &str) -> Option<&ArrayRef> {
+        self.arrays.iter().find(|a| a.name() == name)
+    }
+
+    /// Remove an array by name; returns it if present.
+    pub fn remove(&mut self, name: &str) -> Option<ArrayRef> {
+        let idx = self.arrays.iter().position(|a| a.name() == name)?;
+        Some(self.arrays.remove(idx))
+    }
+
+    /// Arrays in insertion order.
+    pub fn arrays(&self) -> &[ArrayRef] {
+        &self.arrays
+    }
+
+    /// Array names in insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.arrays.iter().map(|a| a.name())
+    }
+
+    /// Number of arrays.
+    pub fn len(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// True when no arrays are held.
+    pub fn is_empty(&self) -> bool {
+        self.arrays.is_empty()
+    }
+}
+
+impl std::fmt::Debug for FieldData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.arrays.iter().map(|a| a.name())).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hamr_array::HamrDataArray;
+    use crate::{Allocator, HamrStream, StreamMode};
+    use devsim::{NodeConfig, SimNode};
+
+    fn arr(name: &str, v: &[f64]) -> ArrayRef {
+        HamrDataArray::from_slice(
+            name,
+            SimNode::new(NodeConfig::fast_test(1)),
+            v,
+            1,
+            Allocator::Malloc,
+            None,
+            HamrStream::default_stream(),
+            StreamMode::Sync,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn set_get_remove() {
+        let mut fd = FieldData::new();
+        fd.set_array(arr("mass", &[1.0]));
+        fd.set_array(arr("vx", &[2.0]));
+        assert_eq!(fd.len(), 2);
+        assert!(fd.array("mass").is_some());
+        assert!(fd.array("nope").is_none());
+        assert_eq!(fd.names().collect::<Vec<_>>(), vec!["mass", "vx"]);
+        let removed = fd.remove("mass").unwrap();
+        assert_eq!(removed.name(), "mass");
+        assert_eq!(fd.len(), 1);
+        assert!(fd.remove("mass").is_none());
+    }
+
+    #[test]
+    fn set_replaces_by_name_in_place() {
+        let mut fd = FieldData::new();
+        fd.set_array(arr("x", &[1.0]));
+        fd.set_array(arr("y", &[2.0]));
+        fd.set_array(arr("x", &[9.0, 10.0]));
+        assert_eq!(fd.len(), 2);
+        assert_eq!(fd.array("x").unwrap().num_tuples(), 2);
+        // Order preserved: x still first.
+        assert_eq!(fd.names().collect::<Vec<_>>(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn association_names_roundtrip() {
+        for a in [FieldAssociation::Point, FieldAssociation::Cell, FieldAssociation::Field] {
+            assert_eq!(FieldAssociation::parse(a.name()), Some(a));
+        }
+        assert_eq!(FieldAssociation::parse("node"), Some(FieldAssociation::Point));
+        assert_eq!(FieldAssociation::parse("bogus"), None);
+    }
+}

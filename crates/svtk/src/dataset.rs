@@ -1,0 +1,125 @@
+//! The type-erased data object SENSEI adaptors exchange.
+
+use crate::image_data::ImageData;
+use crate::multiblock::MultiBlock;
+use crate::table::TableData;
+
+/// Any dataset the SENSEI mediation layer can carry — the role
+/// `vtkDataObject` plays in the C++ implementation.
+#[derive(Clone, Debug)]
+pub enum DataObject {
+    /// Tabular data (e.g. Newton++'s bodies).
+    Table(TableData),
+    /// A uniform Cartesian mesh (e.g. a binned result).
+    Image(ImageData),
+    /// A collection of blocks distributed over MPI ranks.
+    Multi(MultiBlock),
+}
+
+impl DataObject {
+    /// Human-readable class name.
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            DataObject::Table(_) => "TableData",
+            DataObject::Image(_) => "ImageData",
+            DataObject::Multi(_) => "MultiBlock",
+        }
+    }
+
+    /// The table inside, if this is tabular data.
+    pub fn as_table(&self) -> Option<&TableData> {
+        match self {
+            DataObject::Table(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The image inside, if this is a uniform mesh.
+    pub fn as_image(&self) -> Option<&ImageData> {
+        match self {
+            DataObject::Image(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The multiblock inside, if this is a block collection.
+    pub fn as_multi(&self) -> Option<&MultiBlock> {
+        match self {
+            DataObject::Multi(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Deep-copy the object: every attached array gets a fresh allocation
+    /// with the same placement. This is the snapshot the asynchronous
+    /// execution method takes so the simulation can immediately overwrite
+    /// its own arrays (§4.3).
+    pub fn deep_copy(&self) -> hamr::Result<DataObject> {
+        match self {
+            DataObject::Table(t) => {
+                let mut copy = TableData::new();
+                for col in t.columns() {
+                    copy.set_column(col.deep_copy_erased()?);
+                }
+                Ok(DataObject::Table(copy))
+            }
+            DataObject::Image(img) => {
+                let mut copy = img.clone_structure();
+                for assoc in [crate::FieldAssociation::Point, crate::FieldAssociation::Cell] {
+                    for arr in img.data(assoc).arrays() {
+                        copy.data_mut(assoc).set_array(arr.deep_copy_erased()?);
+                    }
+                }
+                Ok(DataObject::Image(copy))
+            }
+            DataObject::Multi(mb) => {
+                let mut copy = MultiBlock::new(mb.num_blocks());
+                for (i, block) in mb.local_blocks() {
+                    copy.set_block(i, block.deep_copy()?);
+                }
+                Ok(DataObject::Multi(copy))
+            }
+        }
+    }
+}
+
+impl From<TableData> for DataObject {
+    fn from(t: TableData) -> Self {
+        DataObject::Table(t)
+    }
+}
+
+impl From<ImageData> for DataObject {
+    fn from(i: ImageData) -> Self {
+        DataObject::Image(i)
+    }
+}
+
+impl From<MultiBlock> for DataObject {
+    fn from(m: MultiBlock) -> Self {
+        DataObject::Multi(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_and_downcasts() {
+        let t: DataObject = TableData::new().into();
+        assert_eq!(t.class_name(), "TableData");
+        assert!(t.as_table().is_some());
+        assert!(t.as_image().is_none());
+
+        let i: DataObject = ImageData::from_bounds([1, 1, 1], [0.0; 3], [1.0; 3]).into();
+        assert_eq!(i.class_name(), "ImageData");
+        assert!(i.as_image().is_some());
+        assert!(i.as_multi().is_none());
+
+        let m: DataObject = MultiBlock::new(2).into();
+        assert_eq!(m.class_name(), "MultiBlock");
+        assert!(m.as_multi().is_some());
+        assert!(m.as_table().is_none());
+    }
+}

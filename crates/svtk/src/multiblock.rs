@@ -1,0 +1,86 @@
+//! Multiblock datasets: globally indexed blocks, locally populated.
+//!
+//! SENSEI represents distributed data as a block collection with one
+//! global index space; each MPI rank populates the blocks it owns and
+//! leaves the rest empty. The mediation layer never gathers blocks — it
+//! hands each rank's local blocks to the analysis, which reduces across
+//! ranks itself.
+
+use crate::dataset::DataObject;
+
+/// A fixed-size collection of optionally present data blocks.
+#[derive(Clone, Debug, Default)]
+pub struct MultiBlock {
+    blocks: Vec<Option<Box<DataObject>>>,
+}
+
+impl MultiBlock {
+    /// A collection of `n` empty block slots.
+    pub fn new(n: usize) -> Self {
+        MultiBlock { blocks: (0..n).map(|_| None).collect() }
+    }
+
+    /// Number of block slots (the global block count).
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Populate block `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn set_block(&mut self, i: usize, data: DataObject) {
+        self.blocks[i] = Some(Box::new(data));
+    }
+
+    /// Block `i`, if locally present.
+    pub fn block(&self, i: usize) -> Option<&DataObject> {
+        self.blocks.get(i).and_then(|b| b.as_deref())
+    }
+
+    /// Clear block `i`.
+    pub fn clear_block(&mut self, i: usize) {
+        if let Some(b) = self.blocks.get_mut(i) {
+            *b = None;
+        }
+    }
+
+    /// Iterate over locally present blocks as `(index, data)`.
+    pub fn local_blocks(&self) -> impl Iterator<Item = (usize, &DataObject)> {
+        self.blocks.iter().enumerate().filter_map(|(i, b)| b.as_deref().map(|d| (i, d)))
+    }
+
+    /// Number of locally present blocks.
+    pub fn num_local_blocks(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableData;
+
+    #[test]
+    fn sparse_population() {
+        let mut mb = MultiBlock::new(4);
+        assert_eq!(mb.num_blocks(), 4);
+        assert_eq!(mb.num_local_blocks(), 0);
+        mb.set_block(2, TableData::new().into());
+        assert_eq!(mb.num_local_blocks(), 1);
+        assert!(mb.block(2).is_some());
+        assert!(mb.block(0).is_none());
+        assert!(mb.block(9).is_none());
+        let local: Vec<usize> = mb.local_blocks().map(|(i, _)| i).collect();
+        assert_eq!(local, vec![2]);
+        mb.clear_block(2);
+        assert_eq!(mb.num_local_blocks(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_out_of_range_panics() {
+        let mut mb = MultiBlock::new(1);
+        mb.set_block(3, TableData::new().into());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests on the data-model geometry and containers.
+
+use proptest::prelude::*;
+use svtk::ImageData;
+
+fn mesh_strategy() -> impl Strategy<Value = ImageData> {
+    (
+        (1usize..12, 1usize..12, 1usize..4),
+        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0),
+        (0.1f64..5.0, 0.1f64..5.0, 0.1f64..5.0),
+    )
+        .prop_map(|(cells, lo, extent)| {
+            ImageData::from_bounds(
+                [cells.0, cells.1, cells.2],
+                [lo.0, lo.1, lo.2],
+                [lo.0 + extent.0, lo.1 + extent.1, lo.2 + extent.2],
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// cell_index is a bijection from cell coordinates to 0..num_cells.
+    #[test]
+    fn cell_index_is_a_bijection(mesh in mesh_strategy()) {
+        let cd = mesh.cell_dims();
+        let mut seen = vec![false; mesh.num_cells()];
+        for k in 0..cd[2] {
+            for j in 0..cd[1] {
+                for i in 0..cd[0] {
+                    let idx = mesh.cell_index([i, j, k]);
+                    prop_assert!(idx < seen.len());
+                    prop_assert!(!seen[idx], "duplicate index {idx}");
+                    seen[idx] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    /// Every interior point locates to a valid cell; points outside the
+    /// bounds locate to None.
+    #[test]
+    fn locate_respects_bounds(mesh in mesh_strategy(), t in (0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0)) {
+        let (lo, hi) = mesh.bounds();
+        let p = [
+            lo[0] + t.0 * (hi[0] - lo[0]),
+            lo[1] + t.1 * (hi[1] - lo[1]),
+            lo[2] + t.2 * (hi[2] - lo[2]),
+        ];
+        let ijk = mesh.locate(p);
+        prop_assert!(ijk.is_some(), "interior point {p:?} must locate");
+        let ijk = ijk.unwrap();
+        let cd = mesh.cell_dims();
+        prop_assert!(ijk[0] < cd[0] && ijk[1] < cd[1] && ijk[2] < cd[2]);
+
+        // Clearly outside on each axis: None.
+        let span = hi[0] - lo[0];
+        prop_assert!(mesh.locate([hi[0] + span, p[1], p[2]]).is_none());
+        prop_assert!(mesh.locate([lo[0] - span, p[1], p[2]]).is_none());
+    }
+
+    /// locate is consistent with the cell's geometric extent: the located
+    /// cell's bounds contain the point.
+    #[test]
+    fn located_cell_contains_the_point(mesh in mesh_strategy(), t in (0.001f64..0.999, 0.001f64..0.999, 0.001f64..0.999)) {
+        let (lo, hi) = mesh.bounds();
+        let p = [
+            lo[0] + t.0 * (hi[0] - lo[0]),
+            lo[1] + t.1 * (hi[1] - lo[1]),
+            lo[2] + t.2 * (hi[2] - lo[2]),
+        ];
+        let ijk = mesh.locate(p).unwrap();
+        let s = mesh.spacing();
+        let o = mesh.origin();
+        for a in 0..3 {
+            let cell_lo = o[a] + s[a] * ijk[a] as f64;
+            let cell_hi = cell_lo + s[a];
+            prop_assert!(
+                p[a] >= cell_lo - 1e-9 && p[a] <= cell_hi + 1e-9,
+                "axis {a}: point {} outside cell [{cell_lo}, {cell_hi}]",
+                p[a]
+            );
+        }
+    }
+
+    /// Point and cell counts follow the dims arithmetic.
+    #[test]
+    fn counts_match_dims(mesh in mesh_strategy()) {
+        let d = mesh.dims();
+        let cd = mesh.cell_dims();
+        prop_assert_eq!(mesh.num_points(), d[0] * d[1] * d[2]);
+        prop_assert_eq!(mesh.num_cells(), cd[0] * cd[1] * cd[2]);
+        prop_assert_eq!(d[0], cd[0] + 1);
+        // Bounds round-trip through spacing.
+        let (lo, hi) = mesh.bounds();
+        let s = mesh.spacing();
+        for a in 0..3 {
+            prop_assert!((lo[a] + s[a] * cd[a] as f64 - hi[a]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! The document object model: elements, attributes, and text.
+
+use std::str::FromStr;
+
+use crate::error::{Error, Result};
+
+/// A child of an element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A text run (entity-decoded; whitespace-only runs are dropped by the
+    /// parser).
+    Text(String),
+}
+
+/// An XML element: name, ordered attributes, ordered children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order (duplicates rejected at parse time).
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// A new element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element { name: name.into(), ..Default::default() }
+    }
+
+    /// Builder: add an attribute.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Builder: add a child element.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder: add a text child.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Look up an attribute value.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attributes.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Attribute value or a default.
+    pub fn attr_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.attr(key).unwrap_or(default)
+    }
+
+    /// Required attribute value.
+    pub fn req_attr(&self, key: &str) -> Result<&str> {
+        self.attr(key).ok_or_else(|| Error::MissingAttribute {
+            element: self.name.clone(),
+            attribute: key.to_string(),
+        })
+    }
+
+    /// Parse an attribute as `T`; `None` when absent, `Err` on bad syntax.
+    pub fn parse_attr<T: FromStr>(&self, key: &str) -> Result<Option<T>> {
+        match self.attr(key) {
+            None => Ok(None),
+            Some(raw) => raw.trim().parse::<T>().map(Some).map_err(|_| Error::BadAttribute {
+                element: self.name.clone(),
+                attribute: key.to_string(),
+                value: raw.to_string(),
+            }),
+        }
+    }
+
+    /// Parse an attribute as `T`, falling back to `default` when absent.
+    pub fn parse_attr_or<T: FromStr>(&self, key: &str, default: T) -> Result<T> {
+        Ok(self.parse_attr(key)?.unwrap_or(default))
+    }
+
+    /// Child elements, in order.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// First child element with the given tag name.
+    pub fn find_child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given tag name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Concatenated text content of direct text children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out.trim().to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("analysis")
+            .with_attr("type", "data_binning")
+            .with_attr("device", "2")
+            .with_child(Element::new("axes").with_text("x,y"))
+            .with_child(Element::new("axes").with_text("x,z"))
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = sample();
+        assert_eq!(e.attr("type"), Some("data_binning"));
+        assert_eq!(e.attr("missing"), None);
+        assert_eq!(e.attr_or("missing", "dflt"), "dflt");
+        assert_eq!(e.req_attr("type").unwrap(), "data_binning");
+        assert!(matches!(e.req_attr("nope"), Err(Error::MissingAttribute { .. })));
+    }
+
+    #[test]
+    fn typed_attr_parsing() {
+        let e = sample();
+        assert_eq!(e.parse_attr::<i32>("device").unwrap(), Some(2));
+        assert_eq!(e.parse_attr::<i32>("missing").unwrap(), None);
+        assert_eq!(e.parse_attr_or::<i32>("missing", 7).unwrap(), 7);
+        let bad = Element::new("x").with_attr("n", "abc");
+        assert!(matches!(bad.parse_attr::<u32>("n"), Err(Error::BadAttribute { .. })));
+    }
+
+    #[test]
+    fn child_navigation() {
+        let e = sample();
+        assert_eq!(e.child_elements().count(), 2);
+        assert_eq!(e.find_child("axes").unwrap().text(), "x,y");
+        let all: Vec<_> = e.find_all("axes").map(|a| a.text()).collect();
+        assert_eq!(all, vec!["x,y", "x,z"]);
+        assert!(e.find_child("nope").is_none());
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let e = Element::new("t").with_text("  hello ").with_child(Element::new("b")).with_text("world  ");
+        assert_eq!(e.text(), "hello world");
+    }
+}

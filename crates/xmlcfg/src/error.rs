@@ -1,0 +1,44 @@
+//! Parse errors with line/column positions.
+
+use std::fmt;
+
+/// Result alias for xmlcfg operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// An XML parse or lookup error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Unexpected input at a position.
+    Syntax { line: usize, col: usize, message: String },
+    /// A closing tag did not match the open element.
+    MismatchedTag { line: usize, col: usize, open: String, close: String },
+    /// Input ended inside a construct.
+    UnexpectedEof { context: &'static str },
+    /// The document contains no root element.
+    NoRoot,
+    /// A required attribute is missing.
+    MissingAttribute { element: String, attribute: String },
+    /// An attribute failed to parse as the requested type.
+    BadAttribute { element: String, attribute: String, value: String },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Syntax { line, col, message } => write!(f, "{line}:{col}: {message}"),
+            Error::MismatchedTag { line, col, open, close } => {
+                write!(f, "{line}:{col}: closing tag </{close}> does not match <{open}>")
+            }
+            Error::UnexpectedEof { context } => write!(f, "unexpected end of input in {context}"),
+            Error::NoRoot => write!(f, "document has no root element"),
+            Error::MissingAttribute { element, attribute } => {
+                write!(f, "element <{element}> is missing required attribute '{attribute}'")
+            }
+            Error::BadAttribute { element, attribute, value } => {
+                write!(f, "element <{element}>: attribute '{attribute}'='{value}' failed to parse")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}

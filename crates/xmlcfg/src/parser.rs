@@ -1,0 +1,399 @@
+//! Recursive-descent parser for the supported XML subset.
+
+use crate::dom::{Element, Node};
+use crate::error::{Error, Result};
+
+/// Parse a document and return its root element.
+///
+/// Accepts an optional `<?xml ...?>` declaration, comments anywhere
+/// between markup, one root element, nested elements with single- or
+/// double-quoted attributes, self-closing tags, text with the five
+/// predefined entities, and numeric character references.
+pub fn parse(input: &str) -> Result<Element> {
+    let mut p = Parser { chars: input.chars().collect(), pos: 0, line: 1, col: 1 };
+    p.skip_prolog()?;
+    let root = match p.parse_element()? {
+        Some(e) => e,
+        None => return Err(Error::NoRoot),
+    };
+    p.skip_misc()?;
+    if !p.at_eof() {
+        return Err(p.syntax("content after the root element"));
+    }
+    Ok(root)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Parser {
+    fn at_eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn syntax(&self, message: impl Into<String>) -> Error {
+        Error::Syntax { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.syntax(format!("expected '{expected}', found '{c}'"))),
+            None => Err(Error::UnexpectedEof { context: "markup" }),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        s.chars().enumerate().all(|(i, c)| self.peek_at(i) == Some(c))
+    }
+
+    fn skip_literal(&mut self, s: &str) {
+        for _ in s.chars() {
+            self.bump();
+        }
+    }
+
+    /// Declaration + leading comments/whitespace.
+    fn skip_prolog(&mut self) -> Result<()> {
+        self.skip_ws();
+        if self.starts_with("<?xml") {
+            self.skip_literal("<?xml");
+            loop {
+                if self.starts_with("?>") {
+                    self.skip_literal("?>");
+                    break;
+                }
+                if self.bump().is_none() {
+                    return Err(Error::UnexpectedEof { context: "declaration" });
+                }
+            }
+        }
+        self.skip_misc()
+    }
+
+    /// Comments and whitespace between markup.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        self.skip_literal("<!--");
+        loop {
+            if self.starts_with("-->") {
+                self.skip_literal("-->");
+                return Ok(());
+            }
+            if self.bump().is_none() {
+                return Err(Error::UnexpectedEof { context: "comment" });
+            }
+        }
+    }
+
+    fn is_name_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_' || c == ':'
+    }
+
+    fn is_name_char(c: char) -> bool {
+        Self::is_name_start(c) || c.is_ascii_digit() || c == '-' || c == '.'
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(c) if Self::is_name_start(c) => {}
+            Some(c) => return Err(self.syntax(format!("invalid name start '{c}'"))),
+            None => return Err(Error::UnexpectedEof { context: "name" }),
+        }
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if Self::is_name_char(c) {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(name)
+    }
+
+    /// Parse one element; `None` when the next markup is not an open tag.
+    fn parse_element(&mut self) -> Result<Option<Element>> {
+        if self.peek() != Some('<') || self.peek_at(1) == Some('/') {
+            return Ok(None);
+        }
+        self.eat('<')?;
+        let (open_line, open_col) = (self.line, self.col);
+        let name = self.parse_name()?;
+        let mut element = Element::new(&name);
+
+        // Attributes.
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some('>') | Some('/') => break,
+                Some(c) if Parser::is_name_start(c) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    self.eat('=')?;
+                    self.skip_ws();
+                    let quote = match self.bump() {
+                        Some(q @ ('"' | '\'')) => q,
+                        Some(c) => return Err(self.syntax(format!("expected quote, found '{c}'"))),
+                        None => return Err(Error::UnexpectedEof { context: "attribute" }),
+                    };
+                    let mut raw = String::new();
+                    loop {
+                        match self.bump() {
+                            Some(c) if c == quote => break,
+                            Some(c) => raw.push(c),
+                            None => return Err(Error::UnexpectedEof { context: "attribute value" }),
+                        }
+                    }
+                    if element.attr(&key).is_some() {
+                        return Err(self.syntax(format!("duplicate attribute '{key}'")));
+                    }
+                    element.attributes.push((key, decode_entities(&raw, self)?));
+                }
+                Some(c) => return Err(self.syntax(format!("unexpected '{c}' in tag"))),
+                None => return Err(Error::UnexpectedEof { context: "tag" }),
+            }
+        }
+
+        // Self-closing?
+        if self.peek() == Some('/') {
+            self.bump();
+            self.eat('>')?;
+            return Ok(Some(element));
+        }
+        self.eat('>')?;
+
+        // Content.
+        loop {
+            // Text run up to the next markup.
+            let mut text = String::new();
+            while let Some(c) = self.peek() {
+                if c == '<' {
+                    break;
+                }
+                text.push(c);
+                self.bump();
+            }
+            if !text.trim().is_empty() {
+                element.children.push(Node::Text(decode_entities(text.trim(), self)?));
+            }
+            if self.at_eof() {
+                return Err(Error::UnexpectedEof { context: "element content" });
+            }
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+                continue;
+            }
+            if self.starts_with("</") {
+                self.skip_literal("</");
+                let close = self.parse_name()?;
+                self.skip_ws();
+                self.eat('>')?;
+                if close != name {
+                    return Err(Error::MismatchedTag {
+                        line: open_line,
+                        col: open_col,
+                        open: name,
+                        close,
+                    });
+                }
+                return Ok(Some(element));
+            }
+            match self.parse_element()? {
+                Some(child) => element.children.push(Node::Element(child)),
+                None => return Err(self.syntax("expected element or closing tag")),
+            }
+        }
+    }
+}
+
+/// Decode `&lt; &gt; &amp; &quot; &apos;` and `&#NN;` / `&#xNN;`.
+fn decode_entities(s: &str, p: &Parser) -> Result<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let mut entity = String::new();
+        loop {
+            match chars.next() {
+                Some(';') => break,
+                Some(c) if entity.len() < 10 => entity.push(c),
+                _ => return Err(p.syntax(format!("bad entity '&{entity}'"))),
+            }
+        }
+        match entity.as_str() {
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "amp" => out.push('&'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ => {
+                let code = entity
+                    .strip_prefix("#x")
+                    .map(|h| u32::from_str_radix(h, 16))
+                    .or_else(|| entity.strip_prefix('#').map(|d| d.parse::<u32>()))
+                    .ok_or_else(|| p.syntax(format!("unknown entity '&{entity};'")))?
+                    .map_err(|_| p.syntax(format!("bad character reference '&{entity};'")))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| p.syntax(format!("invalid code point {code}")))?,
+                );
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_document() {
+        let e = parse("<root/>").unwrap();
+        assert_eq!(e.name, "root");
+        assert!(e.attributes.is_empty());
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn declaration_and_comments_are_skipped() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!-- header -->\n<a/>\n<!-- trailer -->").unwrap();
+        assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn attributes_both_quote_styles() {
+        let e = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(e.attr("x"), Some("1"));
+        assert_eq!(e.attr("y"), Some("two"));
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let e = parse("<a><b>hi</b><c><d/></c>tail</a>").unwrap();
+        assert_eq!(e.find_child("b").unwrap().text(), "hi");
+        assert!(e.find_child("c").unwrap().find_child("d").is_some());
+        assert_eq!(e.text(), "tail");
+    }
+
+    #[test]
+    fn entities_decode() {
+        let e = parse("<a t=\"&lt;&amp;&gt;\">&quot;x&apos; &#65;&#x42;</a>").unwrap();
+        assert_eq!(e.attr("t"), Some("<&>"));
+        assert_eq!(e.text(), "\"x' AB");
+    }
+
+    #[test]
+    fn comments_inside_content() {
+        let e = parse("<a>one<!-- skip --><b/>two</a>").unwrap();
+        assert_eq!(e.children.len(), 3);
+        assert_eq!(e.text(), "onetwo");
+    }
+
+    #[test]
+    fn mismatched_tag_is_an_error() {
+        assert!(matches!(parse("<a><b></a></b>"), Err(Error::MismatchedTag { .. })));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(matches!(parse("<a>"), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(parse("<a b=\"x/>"), Err(Error::UnexpectedEof { .. })));
+        assert!(matches!(parse("<!-- never ends"), Err(Error::UnexpectedEof { .. }) | Err(Error::NoRoot)));
+    }
+
+    #[test]
+    fn duplicate_attributes_rejected() {
+        assert!(matches!(parse("<a x=\"1\" x=\"2\"/>"), Err(Error::Syntax { .. })));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(matches!(parse("<a/><b/>"), Err(Error::Syntax { .. })));
+        assert!(matches!(parse("<a/>junk"), Err(Error::Syntax { .. })));
+    }
+
+    #[test]
+    fn empty_input_has_no_root() {
+        assert!(matches!(parse(""), Err(Error::NoRoot)));
+        assert!(matches!(parse("   \n <!-- only comment -->"), Err(Error::NoRoot)));
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse("<a>\n  <b x=1/>\n</a>").unwrap_err();
+        match err {
+            Error::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sensei_appendix_shaped_config_parses() {
+        let xml = r#"<?xml version="1.0"?>
+        <sensei>
+          <!-- data binning on a dedicated device -->
+          <analysis type="data_binning" enabled="1"
+                    mode="asynchronous" device="-2">
+            <mesh name="bodies"/>
+            <axes>x,y</axes>
+            <operations>sum(mass),min(vx),max(vy),avg(vz)</operations>
+            <resolution x="256" y="256"/>
+          </analysis>
+          <analysis type="data_binning" enabled="0">
+            <axes>x,z</axes>
+          </analysis>
+        </sensei>"#;
+        let root = parse(xml).unwrap();
+        assert_eq!(root.name, "sensei");
+        let analyses: Vec<_> = root.find_all("analysis").collect();
+        assert_eq!(analyses.len(), 2);
+        assert_eq!(analyses[0].parse_attr::<i32>("device").unwrap(), Some(-2));
+        assert_eq!(analyses[0].find_child("resolution").unwrap().parse_attr::<usize>("x").unwrap(), Some(256));
+        assert_eq!(analyses[1].attr("enabled"), Some("0"));
+    }
+}

@@ -1,0 +1,106 @@
+//! Serialize a DOM back to XML text.
+
+use crate::dom::{Element, Node};
+
+/// Write `root` as an indented XML document (no declaration).
+pub fn write(root: &Element) -> String {
+    let mut out = String::new();
+    write_element(root, 0, &mut out);
+    out
+}
+
+fn write_element(e: &Element, depth: usize, out: &mut String) {
+    indent(depth, out);
+    out.push('<');
+    out.push_str(&e.name);
+    for (k, v) in &e.attributes {
+        out.push(' ');
+        out.push_str(k);
+        out.push_str("=\"");
+        escape(v, true, out);
+        out.push('"');
+    }
+    if e.children.is_empty() {
+        out.push_str("/>\n");
+        return;
+    }
+    // Pure-text elements render inline; mixed/nested content indents.
+    if e.children.iter().all(|n| matches!(n, Node::Text(_))) {
+        out.push('>');
+        for n in &e.children {
+            if let Node::Text(t) = n {
+                escape(t, false, out);
+            }
+        }
+        out.push_str("</");
+        out.push_str(&e.name);
+        out.push_str(">\n");
+        return;
+    }
+    out.push_str(">\n");
+    for n in &e.children {
+        match n {
+            Node::Element(child) => write_element(child, depth + 1, out),
+            Node::Text(t) => {
+                indent(depth + 1, out);
+                escape(t, false, out);
+                out.push('\n');
+            }
+        }
+    }
+    indent(depth, out);
+    out.push_str("</");
+    out.push_str(&e.name);
+    out.push_str(">\n");
+}
+
+fn indent(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn escape(s: &str, in_attr: bool, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' if in_attr => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_self_closing_and_nested() {
+        let e = Element::new("a")
+            .with_attr("k", "v")
+            .with_child(Element::new("b"))
+            .with_child(Element::new("c").with_text("t"));
+        let xml = write(&e);
+        assert_eq!(xml, "<a k=\"v\">\n  <b/>\n  <c>t</c>\n</a>\n");
+    }
+
+    #[test]
+    fn escapes_special_characters() {
+        let e = Element::new("a").with_attr("q", "a\"<b>").with_text("1 < 2 & 3");
+        let xml = write(&e);
+        assert!(xml.contains("q=\"a&quot;&lt;b&gt;\""));
+        assert!(xml.contains("1 &lt; 2 &amp; 3"));
+    }
+
+    #[test]
+    fn parse_write_roundtrip_preserves_structure() {
+        let src = r#"<sensei><analysis type="binning" device="2"><axes>x,y</axes><res x="64"/></analysis></sensei>"#;
+        let doc = parse(src).unwrap();
+        let rewritten = write(&doc);
+        let reparsed = parse(&rewritten).unwrap();
+        assert_eq!(doc, reparsed);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property test: writing a random DOM and re-parsing it is the identity.
+
+use proptest::prelude::*;
+use xmlcfg::{Element, Node};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+/// Attribute/text content; arbitrary printable chars exercise escaping.
+/// Leading/trailing whitespace is excluded from text because the parser
+/// deliberately trims it (configuration semantics, not document fidelity).
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_filter("no raw control sequences", |s| !s.contains('\''))
+}
+
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9<>&\"' .,=/-]{1,16}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("nonempty after trim", |s| !s.is_empty())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                if e.attr(&k).is_none() {
+                    e.attributes.push((k, v));
+                }
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    if e.attr(&k).is_none() {
+                        e.attributes.push((k, v));
+                    }
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn write_then_parse_is_identity(root in element_strategy()) {
+        let xml = xmlcfg::write(&root);
+        let reparsed = xmlcfg::parse(&xml).unwrap();
+        prop_assert_eq!(root, reparsed);
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(s in "\\PC{0,64}") {
+        let _ = xmlcfg::parse(&s);
+    }
+}

@@ -1,0 +1,117 @@
+//! In-transit processing: the simulation's ranks forward data to
+//! dedicated analysis ranks instead of analyzing in place.
+//!
+//! Run with: `cargo run --release --example in_transit`
+//!
+//! This is the off-node counterpart of the paper's placement question:
+//! rather than borrowing the simulation's host cores or devices, the
+//! analysis gets its own ranks and the data is shipped M-to-N. The same
+//! back-ends run unchanged.
+
+use std::sync::Arc;
+
+use binning::{BinOp, BinningAnalysis, BinningSpec, ResultSink, VarOp};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::intransit::{self, Role, TransitSender};
+use sensei::{BackendControls, Bridge, DeviceSpec};
+
+const SIM_RANKS: usize = 3;
+const ANALYSIS_RANKS: usize = 1;
+const STEPS: u64 = 8;
+
+fn main() {
+    let results: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink = results.clone();
+
+    World::new(SIM_RANKS + ANALYSIS_RANKS).run(move |world| {
+        let node = SimNode::new(NodeConfig::fast_test(SIM_RANKS.max(2)));
+        // A duplicate of the world carries the transit traffic, keeping it
+        // off the simulation's own tag space.
+        let transit_comm = world.dup();
+
+        match intransit::partition(&world, ANALYSIS_RANKS) {
+            Role::Simulation(sim_comm) => {
+                let cfg = NewtonConfig {
+                    ic: IcKind::Uniform(UniformIc {
+                        n: 1500,
+                        seed: 5,
+                        half_width: 1.0,
+                        mass_range: (0.5, 1.5),
+                        velocity_scale: 0.1,
+                        central_mass: 300.0,
+                    }),
+                    dt: 1e-4,
+                    grav: Gravity { g: 1.0, eps: 0.05 },
+                    x_extent: (-2.0, 2.0),
+                    repartition_every: None,
+                };
+                let mut sim = Newton::new(
+                    node.clone(),
+                    &sim_comm,
+                    sim_comm.rank() % node.num_devices(),
+                    cfg,
+                )
+                .expect("init");
+                // The forwarder is attached like any analysis back-end.
+                let sender = TransitSender::new(transit_comm, "bodies", ANALYSIS_RANKS);
+                let mut bridge = Bridge::new(node);
+                bridge.add_analysis(Box::new(sender), &sim_comm).expect("attach sender");
+                for _ in 0..STEPS {
+                    let t = sim.step(&sim_comm).expect("step");
+                    bridge.execute(&NewtonAdaptor::new(&sim), &sim_comm, t).expect("forward");
+                }
+                let profiler = bridge.finalize(&sim_comm).expect("finalize");
+                if sim_comm.rank() == 0 {
+                    println!(
+                        "simulation: {} steps forwarded, apparent transit cost {:.2} ms/iter",
+                        profiler.records().len(),
+                        profiler.summary().mean_insitu.as_secs_f64() * 1e3
+                    );
+                }
+            }
+            Role::Analysis(analysis_comm) => {
+                // The analysis endpoint runs the ordinary binning back-end
+                // against whatever arrives.
+                let mut spec = BinningSpec::new(
+                    "bodies",
+                    ("x", "y"),
+                    32,
+                    vec![
+                        VarOp { var: String::new(), op: BinOp::Count },
+                        VarOp { var: "mass".into(), op: BinOp::Sum },
+                    ],
+                );
+                spec.bounds = Some(([-1.5, 1.5], [-1.5, 1.5]));
+                let analysis = BinningAnalysis::new(spec)
+                    .with_sink(sink.clone())
+                    .with_controls(BackendControls {
+                        device: DeviceSpec::Host,
+                        ..Default::default()
+                    });
+                let steps = intransit::serve_analysis(
+                    &transit_comm,
+                    &analysis_comm,
+                    &node,
+                    "bodies",
+                    vec![Box::new(analysis)],
+                )
+                .expect("serve");
+                println!("analysis rank {}: processed {steps} steps", analysis_comm.rank());
+            }
+        }
+    });
+
+    let results = results.lock();
+    assert_eq!(results.len() as u64, STEPS);
+    let last = results.last().unwrap();
+    println!(
+        "final step {}: {} bodies binned, total mass {:.1}",
+        last.step,
+        last.array("count").unwrap().iter().sum::<f64>(),
+        last.array("sum_mass").unwrap().iter().sum::<f64>()
+    );
+    println!("in_transit OK");
+}

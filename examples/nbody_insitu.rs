@@ -1,0 +1,122 @@
+//! The paper's full pipeline at example scale: Newton++ coupled through
+//! SENSEI to in situ data binning, with zero-copy device-resident data.
+//!
+//! Run with: `cargo run --release --example nbody_insitu`
+//!
+//! Reproduces the Figure 1 pipeline: an n-body run initialized from
+//! uniform random distributions with a massive body at the origin, data
+//! binning of the sum of mass in the x-y plane every iteration, energy
+//! diagnostics, and a VTK dump of the final state.
+
+use std::sync::Arc;
+
+use binning::{BinOp, BinningAnalysis, BinningSpec, ResultSink, VarOp};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::energy::{kinetic_energy, potential_energy};
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod};
+
+fn main() {
+    const RANKS: usize = 2;
+    const BODIES: usize = 2000;
+    const STEPS: u64 = 25;
+
+    let results: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink = results.clone();
+    let node = SimNode::new(NodeConfig::fast_test(RANKS));
+    let node2 = node.clone();
+
+    let energies: Vec<(f64, f64)> = World::new(RANKS).run(move |comm| {
+        let cfg = NewtonConfig {
+            ic: IcKind::Uniform(UniformIc {
+                n: BODIES,
+                seed: 7,
+                half_width: 1.0,
+                mass_range: (0.5, 1.5),
+                velocity_scale: 0.1,
+                central_mass: 500.0,
+            }),
+            dt: 2e-4,
+            grav: Gravity { g: 1.0, eps: 0.1 },
+            x_extent: (-2.0, 2.0),
+            repartition_every: Some(10),
+        };
+        let mut sim = Newton::new(node2.clone(), &comm, comm.rank(), cfg).expect("init");
+
+        // In situ: asynchronous binning of mass onto a 64x64 x-y mesh,
+        // placed on the same device as the simulation.
+        let spec = BinningSpec::new(
+            "bodies",
+            ("x", "y"),
+            64,
+            vec![
+                VarOp { var: "mass".into(), op: BinOp::Sum },
+                VarOp { var: String::new(), op: BinOp::Count },
+            ],
+        );
+        let analysis = BinningAnalysis::new(spec).with_sink(sink.clone()).with_controls(
+            BackendControls {
+                execution: ExecutionMethod::Asynchronous,
+                device: DeviceSpec::Auto,
+                ..Default::default()
+            },
+        );
+        let mut bridge = Bridge::new(node2.clone());
+        bridge.add_analysis(Box::new(analysis), &comm).expect("attach");
+
+        // Energy before.
+        let before = sim.download().expect("download");
+        let e0 = comm.allreduce(
+            kinetic_energy(&before) + potential_energy(&before, &cfg.grav) / comm.size() as f64,
+            |a, b| a + b,
+        );
+
+        for _ in 0..STEPS {
+            let solver = sim.step(&comm).expect("step");
+            let adaptor = NewtonAdaptor::new(&sim);
+            bridge.execute(&adaptor, &comm, solver).expect("in situ");
+        }
+        let profiler = bridge.finalize(&comm).expect("finalize");
+
+        // Energy after (potential needs the global set; approximate with
+        // the per-rank slab + cross terms omitted for the demo printout).
+        let after = sim.download().expect("download");
+        let e1 = comm.allreduce(
+            kinetic_energy(&after) + potential_energy(&after, &cfg.grav) / comm.size() as f64,
+            |a, b| a + b,
+        );
+        if comm.rank() == 0 {
+            let s = profiler.summary();
+            println!(
+                "rank 0: {} iterations, mean solver {:.2} ms, apparent in situ {:.2} ms",
+                s.iterations,
+                s.mean_solver.as_secs_f64() * 1e3,
+                s.mean_insitu.as_secs_f64() * 1e3
+            );
+            // Dump the final local state for post hoc visualization.
+            let out = std::env::temp_dir().join("nbody_final.vtk");
+            newtonpp::io::write_vtk_file(&out, "newton++ final state", &after).expect("vtk");
+            println!("wrote {}", out.display());
+        }
+        (e0, e1)
+    });
+
+    let results = results.lock();
+    println!("collected {} in situ results", results.len());
+    let last = results.last().expect("results recorded");
+    let mass: f64 = last.array("sum_mass").unwrap().iter().sum();
+    let count: f64 = last.array("count").unwrap().iter().sum();
+    println!(
+        "final binning (step {}): {} bodies on the mesh, total mass {:.1}",
+        last.step, count, mass
+    );
+    println!("local-energy drift per rank: {:?}", energies
+        .iter()
+        .map(|(a, b)| format!("{:.2}%", ((b - a) / a.abs() * 100.0)))
+        .collect::<Vec<_>>());
+    assert_eq!(results.len() as u64, STEPS, "one result per iteration");
+    assert_eq!(count as usize, BODIES);
+    println!("nbody_insitu OK");
+}

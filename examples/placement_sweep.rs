@@ -1,0 +1,70 @@
+//! The paper's evaluation question at example scale: "given a fixed
+//! number of compute nodes, each with multiple accelerators and CPU
+//! cores, what is the most effective way to utilize the available
+//! resources for in situ processing?"
+//!
+//! Run with: `cargo run --release --example placement_sweep`
+//!
+//! Sweeps the four in situ placements × two execution methods of Table 1
+//! and prints the Figure 2/Figure 3 quantities (use the `harness` binary
+//! in `crates/bench` for the full-scale version with CSV output).
+
+use bench::{ascii_bars, ascii_stack, run_case, CaseConfig};
+use sensei::{ExecutionMethod, Placement};
+
+fn main() {
+    let base = CaseConfig {
+        bodies: 1024,
+        steps: 4,
+        resolution: 32,
+        instances: 3,
+        ..CaseConfig::small(Placement::Host, ExecutionMethod::Lockstep)
+    };
+    println!(
+        "sweeping 4 placements x 2 execution methods ({} bodies, {} steps, {} binning instances)\n",
+        base.bodies, base.steps, base.instances
+    );
+
+    let mut results = Vec::new();
+    for case in CaseConfig::matrix(&base) {
+        eprint!("  {} / {} ... ", case.placement.label(), case.execution.name());
+        let out = run_case(&case);
+        eprintln!("{:.3?}", out.total);
+        results.push(out);
+    }
+
+    let bars: Vec<(String, std::time::Duration)> = results
+        .iter()
+        .map(|r| (format!("{:<20} {}", r.config.placement.label(), r.config.execution.name()), r.total))
+        .collect();
+    println!("\n{}", ascii_bars("total run time (cf. paper Figure 2)", &bars, 44));
+
+    let stacks: Vec<(String, std::time::Duration, std::time::Duration)> = results
+        .iter()
+        .map(|r| {
+            (
+                format!("{:<20} {}", r.config.placement.label(), r.config.execution.name()),
+                r.mean_solver,
+                r.mean_insitu,
+            )
+        })
+        .collect();
+    println!("{}", ascii_stack("per-iteration breakdown (cf. paper Figure 3)", &stacks, 44));
+
+    // The headline finding: asynchronous execution reduces total run time
+    // across placements, despite slowing the solver down.
+    let mut async_wins = 0;
+    for placement in Placement::paper_placements() {
+        let get = |m| {
+            results
+                .iter()
+                .find(|r| r.config.placement == placement && r.config.execution == m)
+                .unwrap()
+        };
+        if get(ExecutionMethod::Asynchronous).total < get(ExecutionMethod::Lockstep).total {
+            async_wins += 1;
+        }
+    }
+    println!("asynchronous execution reduced total run time in {async_wins}/4 placements");
+    println!("placement_sweep OK");
+}

@@ -1,0 +1,104 @@
+//! Run-time configuration: select and place analysis back-ends from
+//! SENSEI's XML without recompiling — the mechanism the paper's runs use
+//! ("orchestrated by SENSEI using its XML configuration feature", §4.3).
+//!
+//! Run with: `cargo run --example xml_configured`
+
+use std::sync::Arc;
+
+use binning::ResultSink;
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::{AnalysisRegistry, Bridge, ConfigurableAnalysis, CreateContext};
+
+/// The same shape as the configurations in the paper's reproducibility
+/// appendix: several data-binning instances with different coordinate
+/// systems, execution methods, and placements, plus a disabled entry.
+const CONFIG: &str = r#"<?xml version="1.0"?>
+<sensei>
+  <!-- spatial binning, asynchronous, automatic device selection -->
+  <analysis type="data_binning" enabled="1" mode="asynchronous" device="-2">
+    <axes>x,y</axes>
+    <operations>count(),sum(mass),avg(speed)</operations>
+    <resolution x="32" y="32"/>
+  </analysis>
+
+  <!-- velocity-space binning, lockstep, pinned to the host -->
+  <analysis type="data_binning" enabled="1" mode="lockstep" device="-1">
+    <axes>vx,vy</axes>
+    <operations>count(),max(ke)</operations>
+    <resolution x="16" y="16"/>
+  </analysis>
+
+  <!-- switched off without touching code -->
+  <analysis type="data_binning" enabled="0">
+    <axes>x,z</axes>
+    <operations>count()</operations>
+  </analysis>
+</sensei>"#;
+
+fn main() {
+    let results: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink = results.clone();
+
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+
+        // Parse once, instantiate through the registry on every rank.
+        let mut registry = AnalysisRegistry::new();
+        binning::register(&mut registry);
+        let config = ConfigurableAnalysis::from_xml(CONFIG).expect("parse config");
+        let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
+        let backends = config.instantiate(&registry, &ctx).expect("instantiate");
+        if comm.rank() == 0 {
+            println!(
+                "configured {} of {} analyses (registry knows: {:?})",
+                backends.len(),
+                config.configs().len(),
+                registry.type_names()
+            );
+            for b in &backends {
+                println!(
+                    "  {}: {} on {:?}",
+                    b.name(),
+                    b.controls().execution.name(),
+                    b.controls().device
+                );
+            }
+        }
+
+        let mut bridge = Bridge::new(node.clone());
+        for b in backends {
+            bridge.add_analysis(b, &comm).expect("attach");
+        }
+
+        let cfg = NewtonConfig {
+            ic: IcKind::Uniform(UniformIc { n: 500, seed: 3, ..Default::default() }),
+            dt: 1e-4,
+            grav: Gravity { g: 1.0, eps: 0.1 },
+            x_extent: (-2.0, 2.0),
+            repartition_every: None,
+        };
+        let mut sim = Newton::new(node, &comm, comm.rank(), cfg).expect("init");
+
+        // Wire the first back-end's sink manually is not possible through
+        // XML (sinks are programmatic); this example just runs the
+        // configured pipeline and reports through the profiler.
+        let _ = &sink;
+        for _ in 0..3 {
+            let solver = sim.step(&comm).expect("step");
+            let adaptor = NewtonAdaptor::new(&sim);
+            bridge.execute(&adaptor, &comm, solver).expect("execute");
+        }
+        let profiler = bridge.finalize(&comm).expect("finalize");
+        if comm.rank() == 0 {
+            println!(
+                "ran {} steps through the XML-configured pipeline",
+                profiler.records().len()
+            );
+        }
+    });
+    println!("xml_configured OK");
+}

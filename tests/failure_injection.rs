@@ -1,0 +1,240 @@
+//! Failure injection across crate boundaries: errors raised deep in the
+//! substrate must surface through the mediation layer, not hang or
+//! silently corrupt.
+
+use std::sync::Arc;
+
+use devsim::{DeviceParams, NodeConfig, SimNode};
+use minimpi::World;
+use sensei::{
+    AnalysisRegistry, BackendControls, Bridge, ConfigurableAnalysis, CreateContext, DataAdaptor,
+    DeviceSpec, Error, MeshMetadata, Result,
+};
+use svtk::{Allocator, DataObject, HamrDataArray, HamrStream, StreamMode, TableData};
+
+use binning::{BinningAnalysis, BinningSpec, VarOp};
+
+/// A table with columns `x, y, mass` on the host.
+struct Tiny {
+    table: TableData,
+}
+
+impl Tiny {
+    fn new(node: Arc<SimNode>) -> Self {
+        let mut table = TableData::new();
+        for name in ["x", "y", "mass"] {
+            let a = HamrDataArray::<f64>::from_slice(
+                name,
+                node.clone(),
+                &[0.5, 0.25],
+                1,
+                Allocator::Malloc,
+                None,
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
+            table.set_column(a.as_array_ref());
+        }
+        Tiny { table }
+    }
+}
+
+impl DataAdaptor for Tiny {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        Ok(MeshMetadata { name: "bodies".into(), arrays: vec![] })
+    }
+    fn mesh(&self, name: &str) -> Result<DataObject> {
+        if name == "bodies" {
+            Ok(DataObject::Table(self.table.clone()))
+        } else {
+            Err(Error::NoSuchMesh { name: name.into() })
+        }
+    }
+    fn time(&self) -> f64 {
+        0.0
+    }
+    fn time_step(&self) -> u64 {
+        0
+    }
+}
+
+#[test]
+fn missing_variable_surfaces_as_no_such_array() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let spec = BinningSpec::new(
+            "bodies",
+            ("x", "y"),
+            4,
+            vec![VarOp::parse("sum(not_a_column)").unwrap()],
+        );
+        let analysis = BinningAnalysis::new(spec)
+            .with_controls(BackendControls { device: DeviceSpec::Host, ..Default::default() });
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        let sim = Tiny::new(node);
+        let err = bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap_err();
+        assert!(matches!(err, Error::NoSuchArray { .. }), "got {err:?}");
+    });
+}
+
+#[test]
+fn missing_mesh_surfaces_as_no_such_mesh() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let spec =
+            BinningSpec::new("wrong_mesh", ("x", "y"), 4, vec![VarOp::parse("count()").unwrap()]);
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(BinningAnalysis::new(spec)), &comm).unwrap();
+        let sim = Tiny::new(node);
+        let err = bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap_err();
+        assert!(matches!(err, Error::NoSuchMesh { .. }), "got {err:?}");
+    });
+}
+
+#[test]
+fn device_oom_propagates_through_the_stack() {
+    World::new(1).run(|comm| {
+        // A device too small for the binning scratch allocations.
+        let node = SimNode::new(NodeConfig {
+            num_devices: 1,
+            device: DeviceParams { memory_bytes: 64, ..DeviceParams::default() },
+            time_scale: 0.0,
+            ..NodeConfig::default()
+        });
+        let spec =
+            BinningSpec::new("bodies", ("x", "y"), 64, vec![VarOp::parse("count()").unwrap()]);
+        let analysis = BinningAnalysis::new(spec).with_controls(BackendControls {
+            device: DeviceSpec::Explicit(0),
+            ..Default::default()
+        });
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        let sim = Tiny::new(node);
+        let err = bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap_err();
+        match err {
+            Error::Device(devsim::Error::OutOfMemory { .. }) => {}
+            Error::Hamr(hamr::Error::Device(devsim::Error::OutOfMemory { .. })) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn execute_after_finalize_is_rejected() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let mut bridge = Bridge::new(node.clone());
+        let spec = BinningSpec::new("bodies", ("x", "y"), 4, vec![VarOp::parse("count()").unwrap()]);
+        bridge.add_analysis(Box::new(BinningAnalysis::new(spec)), &comm).unwrap();
+        let sim = Tiny::new(node);
+        bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
+        // finalize consumes the bridge; attaching afterwards is a compile
+        // error by construction, which is the strongest rejection. The
+        // runtime check covers the internal flag path.
+        let profiler = bridge.finalize(&comm).unwrap();
+        assert_eq!(profiler.records().len(), 1);
+    });
+}
+
+#[test]
+fn bad_xml_configurations_error_cleanly() {
+    let reg = {
+        let mut r = AnalysisRegistry::new();
+        binning::register(&mut r);
+        r
+    };
+    let node = SimNode::new(NodeConfig::fast_test(1));
+    let ctx = CreateContext { node, rank: 0, size: 1 };
+
+    // Unknown back-end type.
+    let cfg = ConfigurableAnalysis::from_xml(
+        r#"<sensei><analysis type="warp_drive"/></sensei>"#,
+    )
+    .unwrap();
+    assert!(matches!(
+        cfg.instantiate(&reg, &ctx),
+        Err(Error::UnknownAnalysisType { .. })
+    ));
+
+    // Back-end specific validation failure (no axes).
+    let cfg = ConfigurableAnalysis::from_xml(
+        r#"<sensei><analysis type="data_binning"><operations>count()</operations></analysis></sensei>"#,
+    )
+    .unwrap();
+    assert!(matches!(cfg.instantiate(&reg, &ctx), Err(Error::Config(_))));
+
+    // Malformed document.
+    assert!(ConfigurableAnalysis::from_xml("<sensei><analysis").is_err());
+}
+
+#[test]
+fn mismatched_column_type_is_reported() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        // A table whose `mass` column is i32, not double.
+        let mut table = TableData::new();
+        for name in ["x", "y"] {
+            let a = HamrDataArray::<f64>::from_slice(
+                name,
+                node.clone(),
+                &[0.5],
+                1,
+                Allocator::Malloc,
+                None,
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
+            table.set_column(a.as_array_ref());
+        }
+        let bad = HamrDataArray::<i32>::from_slice(
+            "mass",
+            node.clone(),
+            &[1],
+            1,
+            Allocator::Malloc,
+            None,
+            HamrStream::default_stream(),
+            StreamMode::Sync,
+        )
+        .unwrap();
+        table.set_column(bad.as_array_ref());
+
+        struct Holder {
+            table: TableData,
+        }
+        impl DataAdaptor for Holder {
+            fn num_meshes(&self) -> usize {
+                1
+            }
+            fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+                Ok(MeshMetadata { name: "bodies".into(), arrays: vec![] })
+            }
+            fn mesh(&self, _n: &str) -> Result<DataObject> {
+                Ok(DataObject::Table(self.table.clone()))
+            }
+            fn time(&self) -> f64 {
+                0.0
+            }
+            fn time_step(&self) -> u64 {
+                0
+            }
+        }
+
+        let spec =
+            BinningSpec::new("bodies", ("x", "y"), 4, vec![VarOp::parse("sum(mass)").unwrap()]);
+        let analysis = BinningAnalysis::new(spec)
+            .with_controls(BackendControls { device: DeviceSpec::Host, ..Default::default() });
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        let err = bridge
+            .execute(&Holder { table }, &comm, std::time::Duration::ZERO)
+            .unwrap_err();
+        assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+    });
+}

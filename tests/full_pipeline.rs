@@ -1,0 +1,160 @@
+//! End-to-end integration: Newton++ → SENSEI bridge → data binning,
+//! across ranks, placements, and execution methods, checked for physical
+//! and numerical consistency.
+
+use std::sync::Arc;
+
+use binning::{BinOp, BinningAnalysis, BinningSpec, ResultSink, VarOp};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod};
+
+const BODIES: usize = 256;
+const STEPS: u64 = 4;
+
+fn newton_cfg() -> NewtonConfig {
+    NewtonConfig {
+        ic: IcKind::Uniform(UniformIc {
+            n: BODIES,
+            seed: 99,
+            half_width: 1.0,
+            mass_range: (0.5, 1.5),
+            velocity_scale: 0.1,
+            central_mass: 50.0,
+        }),
+        dt: 1e-4,
+        grav: Gravity { g: 1.0, eps: 0.05 },
+        x_extent: (-2.0, 2.0),
+        repartition_every: None,
+    }
+}
+
+fn mass_spec() -> BinningSpec {
+    BinningSpec::new(
+        "bodies",
+        ("x", "y"),
+        16,
+        vec![
+            VarOp { var: String::new(), op: BinOp::Count },
+            VarOp { var: "mass".into(), op: BinOp::Sum },
+            VarOp { var: "ke".into(), op: BinOp::Sum },
+        ],
+    )
+}
+
+/// Run the full pipeline and return the per-step results (recorded on
+/// rank 0 by the sink).
+fn run_pipeline(
+    ranks: usize,
+    execution: ExecutionMethod,
+    device: DeviceSpec,
+) -> Vec<binning::BinnedResult> {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(ranks).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(ranks.max(2)));
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank(), newton_cfg()).unwrap();
+        let analysis = BinningAnalysis::new(mass_spec())
+            .with_sink(sink2.clone())
+            .with_controls(BackendControls { execution, device, ..Default::default() });
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        for _ in 0..STEPS {
+            let solver = sim.step(&comm).unwrap();
+            let adaptor = NewtonAdaptor::new(&sim);
+            bridge.execute(&adaptor, &comm, solver).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    let out = sink.lock().clone();
+    out
+}
+
+#[test]
+fn binning_conserves_bodies_and_mass_every_step() {
+    let results = run_pipeline(3, ExecutionMethod::Lockstep, DeviceSpec::Auto);
+    assert_eq!(results.len() as u64, STEPS);
+    let mass0: f64 = results[0].array("sum_mass").unwrap().iter().sum();
+    for (i, r) in results.iter().enumerate() {
+        let count: f64 = r.array("count").unwrap().iter().sum();
+        assert_eq!(count as usize, BODIES, "step {i}: all bodies binned (auto bounds)");
+        let mass: f64 = r.array("sum_mass").unwrap().iter().sum();
+        assert!((mass - mass0).abs() < 1e-9, "step {i}: mass conserved in binning");
+        let ke: f64 = r.array("sum_ke").unwrap().iter().sum();
+        assert!(ke > 0.0, "step {i}: kinetic energy positive");
+    }
+}
+
+#[test]
+fn async_results_equal_lockstep_results() {
+    // The asynchronous method operates on deep-copied snapshots; the
+    // numbers it produces must be identical to lockstep's.
+    let lock = run_pipeline(2, ExecutionMethod::Lockstep, DeviceSpec::Auto);
+    let asyn = run_pipeline(2, ExecutionMethod::Asynchronous, DeviceSpec::Auto);
+    assert_eq!(lock.len(), asyn.len());
+    for (l, a) in lock.iter().zip(&asyn) {
+        assert_eq!(l.step, a.step);
+        for name in ["count", "sum_mass", "sum_ke"] {
+            let lv = l.array(name).unwrap();
+            let av = a.array(name).unwrap();
+            assert_eq!(lv, av, "step {}: '{name}' must match bit-for-bit", l.step);
+        }
+    }
+}
+
+#[test]
+fn host_and_device_placements_agree() {
+    let host = run_pipeline(2, ExecutionMethod::Lockstep, DeviceSpec::Host);
+    let dev = run_pipeline(2, ExecutionMethod::Lockstep, DeviceSpec::Auto);
+    for (h, d) in host.iter().zip(&dev) {
+        for name in ["count", "sum_mass"] {
+            let hv = h.array(name).unwrap();
+            let dv = d.array(name).unwrap();
+            for (i, (a, b)) in hv.iter().zip(dv).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-9,
+                    "step {} bin {i}: host {a} vs device {b}",
+                    h.step
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_rank_pipeline_works() {
+    let results = run_pipeline(1, ExecutionMethod::Asynchronous, DeviceSpec::Explicit(0));
+    assert_eq!(results.len() as u64, STEPS);
+    assert_eq!(results[0].array("count").unwrap().iter().sum::<f64>() as usize, BODIES);
+}
+
+#[test]
+fn repartitioning_and_in_situ_compose() {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(2).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut cfg = newton_cfg();
+        cfg.repartition_every = Some(2);
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank(), cfg).unwrap();
+        let analysis = BinningAnalysis::new(mass_spec()).with_sink(sink2.clone());
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        for _ in 0..STEPS {
+            let solver = sim.step(&comm).unwrap();
+            let adaptor = NewtonAdaptor::new(&sim);
+            bridge.execute(&adaptor, &comm, solver).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    let results = sink.lock();
+    for r in results.iter() {
+        assert_eq!(
+            r.array("count").unwrap().iter().sum::<f64>() as usize,
+            BODIES,
+            "bodies survive migration"
+        );
+    }
+}

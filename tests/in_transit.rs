@@ -1,0 +1,187 @@
+//! End-to-end in-transit processing: simulation ranks forward their data
+//! to dedicated analysis ranks, where the same back-ends that run in
+//! situ run unchanged — and produce identical results.
+
+use std::sync::Arc;
+
+use binning::{BinOp, BinningAnalysis, BinningSpec, ResultSink, VarOp};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
+use parking_lot::Mutex;
+use sensei::intransit::{self, Role, TransitSender};
+use sensei::{AnalysisAdaptor, BackendControls, Bridge, DeviceSpec};
+
+const BODIES: usize = 240;
+const STEPS: u64 = 3;
+
+fn newton_cfg() -> NewtonConfig {
+    NewtonConfig {
+        ic: IcKind::Uniform(UniformIc {
+            n: BODIES,
+            seed: 77,
+            half_width: 1.0,
+            mass_range: (0.5, 1.5),
+            velocity_scale: 0.1,
+            central_mass: 40.0,
+        }),
+        dt: 1e-4,
+        grav: Gravity { g: 1.0, eps: 0.05 },
+        x_extent: (-2.0, 2.0),
+        repartition_every: None,
+    }
+}
+
+fn spec() -> BinningSpec {
+    let mut s = BinningSpec::new(
+        "bodies",
+        ("x", "y"),
+        8,
+        vec![
+            VarOp { var: String::new(), op: BinOp::Count },
+            VarOp { var: "mass".into(), op: BinOp::Sum },
+        ],
+    );
+    s.bounds = Some(([-1.5, 1.5], [-1.5, 1.5]));
+    s
+}
+
+/// Run the simulation on `sim_ranks` ranks with in situ binning (the
+/// reference results).
+fn run_in_situ(sim_ranks: usize) -> Vec<binning::BinnedResult> {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(sim_ranks).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut sim = Newton::new(node.clone(), &comm, comm.rank() % 2, newton_cfg()).unwrap();
+        let analysis = BinningAnalysis::new(spec())
+            .with_sink(sink2.clone())
+            .with_controls(BackendControls { device: DeviceSpec::Host, ..Default::default() });
+        let mut bridge = Bridge::new(node);
+        bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        for _ in 0..STEPS {
+            let t = sim.step(&comm).unwrap();
+            bridge.execute(&NewtonAdaptor::new(&sim), &comm, t).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    let r = sink.lock().clone();
+    r
+}
+
+/// Run the same simulation with `sim_ranks` producers forwarding to
+/// `analysis_ranks` in-transit consumers running the same binning.
+fn run_in_transit(sim_ranks: usize, analysis_ranks: usize) -> Vec<binning::BinnedResult> {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(sim_ranks + analysis_ranks).run(move |world| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let transit_comm = world.dup();
+        match intransit::partition(&world, analysis_ranks) {
+            Role::Simulation(sim_comm) => {
+                let mut sim =
+                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg()).unwrap();
+                let sender = TransitSender::new(transit_comm, "bodies", analysis_ranks);
+                let mut bridge = Bridge::new(node);
+                bridge.add_analysis(Box::new(sender), &sim_comm).unwrap();
+                for _ in 0..STEPS {
+                    let t = sim.step(&sim_comm).unwrap();
+                    bridge.execute(&NewtonAdaptor::new(&sim), &sim_comm, t).unwrap();
+                }
+                bridge.finalize(&sim_comm).unwrap();
+            }
+            Role::Analysis(analysis_comm) => {
+                let analysis = BinningAnalysis::new(spec())
+                    .with_sink(sink2.clone())
+                    .with_controls(BackendControls {
+                        device: DeviceSpec::Host,
+                        ..Default::default()
+                    });
+                let steps = intransit::serve_analysis(
+                    &transit_comm,
+                    &analysis_comm,
+                    &node,
+                    "bodies",
+                    vec![Box::new(analysis)],
+                )
+                .unwrap();
+                assert_eq!(steps, STEPS);
+            }
+        }
+    });
+    let r = sink.lock().clone();
+    r
+}
+
+#[test]
+fn in_transit_matches_in_situ_exactly() {
+    let in_situ = run_in_situ(2);
+    // 2 producers -> 1 consumer.
+    let transit = run_in_transit(2, 1);
+    assert_eq!(in_situ.len(), transit.len());
+    for (a, b) in in_situ.iter().zip(&transit) {
+        assert_eq!(a.step, b.step);
+        for name in ["count", "sum_mass"] {
+            assert_eq!(a.array(name).unwrap(), b.array(name).unwrap(), "array {name} at step {}", a.step);
+        }
+    }
+}
+
+#[test]
+fn m_to_n_with_multiple_consumers() {
+    // 4 producers -> 2 consumers; the analysis group reduces across its
+    // own communicator, so results are still global and identical.
+    let in_situ = run_in_situ(4);
+    let transit = run_in_transit(4, 2);
+    assert_eq!(in_situ.len(), transit.len());
+    for (a, b) in in_situ.iter().zip(&transit) {
+        for name in ["count", "sum_mass"] {
+            assert_eq!(a.array(name).unwrap(), b.array(name).unwrap());
+        }
+        assert_eq!(a.array("count").unwrap().iter().sum::<f64>() as usize, BODIES);
+    }
+}
+
+#[test]
+fn sender_honours_frequency() {
+    // Producers forward every 2nd step only; consumers see ceil(3/2)+...
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    World::new(3).run(move |world| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let transit_comm = world.dup();
+        match intransit::partition(&world, 1) {
+            Role::Simulation(sim_comm) => {
+                let mut sim =
+                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg()).unwrap();
+                let mut sender = TransitSender::new(transit_comm, "bodies", 1);
+                sender.controls_mut().frequency = 2;
+                let mut bridge = Bridge::new(node);
+                bridge.add_analysis(Box::new(sender), &sim_comm).unwrap();
+                for _ in 0..4 {
+                    let t = sim.step(&sim_comm).unwrap();
+                    bridge.execute(&NewtonAdaptor::new(&sim), &sim_comm, t).unwrap();
+                }
+                bridge.finalize(&sim_comm).unwrap();
+            }
+            Role::Analysis(analysis_comm) => {
+                let analysis = BinningAnalysis::new(spec())
+                    .with_sink(sink2.clone())
+                    .with_controls(BackendControls {
+                        device: DeviceSpec::Host,
+                        ..Default::default()
+                    });
+                let steps = intransit::serve_analysis(
+                    &transit_comm,
+                    &analysis_comm,
+                    &node,
+                    "bodies",
+                    vec![Box::new(analysis)],
+                )
+                .unwrap();
+                assert_eq!(steps, 2, "steps 2 and 4 only");
+            }
+        }
+    });
+    assert_eq!(sink.lock().len(), 2);
+}
