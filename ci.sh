@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The checks CI runs, runnable locally: formatting, lints, tier-1 build
+# and tests. Everything is offline — the workspace vendors its few
+# dependencies as path crates.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test -q"
+cargo test -q
+
+echo "ci.sh: all checks passed"

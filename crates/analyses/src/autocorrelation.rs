@@ -19,7 +19,8 @@ use std::sync::Arc;
 use devsim::KernelCost;
 use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, DataRequirements, Error,
+    ExecContext, Result, ANY_MESH,
 };
 
 use crate::common::{array_host, collect_arrays};
@@ -125,6 +126,10 @@ impl AnalysisAdaptor for Autocorrelation {
 
     fn controls_mut(&mut self) -> &mut BackendControls {
         &mut self.controls
+    }
+
+    fn required_arrays(&self) -> DataRequirements {
+        DataRequirements::none().with_named(ANY_MESH, [self.variable.clone()])
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {

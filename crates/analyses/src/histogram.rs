@@ -7,7 +7,8 @@ use devsim::KernelCost;
 use hamr::Pm;
 use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, DataRequirements, Error,
+    ExecContext, Result, ANY_MESH,
 };
 
 use crate::common::{array_host, as_f64, collect_arrays};
@@ -113,6 +114,13 @@ impl AnalysisAdaptor for Histogram {
         &mut self.controls
     }
 
+    fn required_arrays(&self) -> DataRequirements {
+        // The back-end histograms whichever mesh is published first, so it
+        // cannot name the mesh statically; the wildcard scopes the
+        // requirement to the one variable on any mesh.
+        DataRequirements::none().with_named(ANY_MESH, [self.variable.clone()])
+    }
+
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
         // Histogram the first published mesh (tabular or grid data alike).
         let md = data.mesh_metadata(0)?;
@@ -152,7 +160,10 @@ impl AnalysisAdaptor for Histogram {
                     let vals = array_host(array)?;
                     ctx.node.host().run(
                         "histogram",
-                        KernelCost { flops: 5.0 * vals.len() as f64, bytes: 8.0 * vals.len() as f64 },
+                        KernelCost {
+                            flops: 5.0 * vals.len() as f64,
+                            bytes: 8.0 * vals.len() as f64,
+                        },
                         || Self::bin_host(&vals, lo, hi, self.bins),
                     )
                 }

@@ -7,7 +7,8 @@ use std::sync::Arc;
 use devsim::KernelCost;
 use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, DataRequirements, Error,
+    ExecContext, Result, ANY_MESH,
 };
 
 use crate::common::{array_host, collect_arrays};
@@ -125,6 +126,10 @@ impl AnalysisAdaptor for DescriptiveStats {
         &mut self.controls
     }
 
+    fn required_arrays(&self) -> DataRequirements {
+        DataRequirements::none().with_named(ANY_MESH, self.variables.iter().cloned())
+    }
+
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
         let md = data.mesh_metadata(0)?;
         let mesh = data.mesh(&md.name)?;
@@ -141,7 +146,8 @@ impl AnalysisAdaptor for DescriptiveStats {
             }
             let (count, sum, sumsq, min, max) = ctx.comm.allreduce(local, merge);
             let mean = if count > 0 { sum / count as f64 } else { f64::NAN };
-            let var_ = if count > 0 { (sumsq / count as f64 - mean * mean).max(0.0) } else { f64::NAN };
+            let var_ =
+                if count > 0 { (sumsq / count as f64 - mean * mean).max(0.0) } else { f64::NAN };
             let stats = VariableStats {
                 step: data.time_step(),
                 variable: var.clone(),
@@ -179,11 +185,8 @@ impl AnalysisAdaptor for DescriptiveStats {
 pub fn register(registry: &mut AnalysisRegistry) {
     registry.register("descriptive_stats", |el, _ctx| {
         let vars_attr = el.req_attr("variables").map_err(Error::Xml)?;
-        let variables: Vec<String> = vars_attr
-            .split(',')
-            .map(|s| s.trim().to_string())
-            .filter(|s| !s.is_empty())
-            .collect();
+        let variables: Vec<String> =
+            vars_attr.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect();
         if variables.is_empty() {
             return Err(Error::Config("descriptive_stats needs variables".into()));
         }

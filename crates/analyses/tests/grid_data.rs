@@ -129,12 +129,9 @@ fn asynchronous_execution_works_for_grid_meshes() {
     World::new(2).run(move |comm| {
         let node = SimNode::new(NodeConfig::fast_test(2));
         let mut sim = OscillatorsSim::new(node.clone(), &comm, comm.rank(), cfg()).unwrap();
-        let s = DescriptiveStats::new(vec!["data".into()])
-            .with_sink(sink2.clone())
-            .with_controls(BackendControls {
-                execution: ExecutionMethod::Asynchronous,
-                ..Default::default()
-            });
+        let s = DescriptiveStats::new(vec!["data".into()]).with_sink(sink2.clone()).with_controls(
+            BackendControls { execution: ExecutionMethod::Asynchronous, ..Default::default() },
+        );
         let mut bridge = Bridge::new(node);
         bridge.add_analysis(Box::new(s), &comm).unwrap();
         for _ in 0..3 {

@@ -36,9 +36,13 @@ fn access_paths(c: &mut Criterion) {
 
         // Zero-copy: already on the requested device; cross-PM (CUDA view
         // of OpenMP-managed memory) is still in place.
-        group.bench_with_input(BenchmarkId::new("zero_copy_same_device_cross_pm", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(on_dev0.cuda_accessible(0).unwrap()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("zero_copy_same_device_cross_pm", n),
+            &n,
+            |b, _| {
+                b.iter(|| std::hint::black_box(on_dev0.cuda_accessible(0).unwrap()));
+            },
+        );
 
         // Moved: requested on the other device -> temp + d2d transfer.
         group.bench_with_input(BenchmarkId::new("moved_d2d", n), &n, |b, _| {

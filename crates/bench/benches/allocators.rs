@@ -19,21 +19,25 @@ fn allocators(c: &mut Criterion) {
         } else {
             HamrStream::default_stream()
         };
-        group.bench_with_input(BenchmarkId::new("alloc_fill", alloc.name()), &alloc, |b, &alloc| {
-            b.iter(|| {
-                let buf = HamrBuffer::<f64>::new_init(
-                    node.clone(),
-                    N,
-                    1.5,
-                    alloc,
-                    device,
-                    stream.clone(),
-                    StreamMode::Sync,
-                )
-                .unwrap();
-                std::hint::black_box(buf);
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("alloc_fill", alloc.name()),
+            &alloc,
+            |b, &alloc| {
+                b.iter(|| {
+                    let buf = HamrBuffer::<f64>::new_init(
+                        node.clone(),
+                        N,
+                        1.5,
+                        alloc,
+                        device,
+                        stream.clone(),
+                        StreamMode::Sync,
+                    )
+                    .unwrap();
+                    std::hint::black_box(buf);
+                });
+            },
+        );
     }
 
     // Sync vs async stream mode on the same allocator: async submission

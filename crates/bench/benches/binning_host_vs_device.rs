@@ -46,16 +46,26 @@ fn binning_paths(c: &mut Criterion) {
         let (dx, dy, dv) = (upload(&node, &xs), upload(&node, &ys), upload(&node, &vs));
         group.bench_with_input(BenchmarkId::new("device_sum_atomic", n), &n, |b, _| {
             b.iter(|| {
-                let bins =
-                    device_impl::bin_device(&node, 0, &stream, &dx, &dy, Some(&dv), BinOp::Sum, grid)
-                        .unwrap();
+                let bins = device_impl::bin_device(
+                    &node,
+                    0,
+                    &stream,
+                    &dx,
+                    &dy,
+                    Some(&dv),
+                    BinOp::Sum,
+                    grid,
+                )
+                .unwrap();
                 stream.synchronize().unwrap();
                 std::hint::black_box(bins);
             });
         });
 
         group.bench_with_input(BenchmarkId::new("host_count", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(host_impl::bin_host(&xs, &ys, &[], BinOp::Count, &grid)));
+            b.iter(|| {
+                std::hint::black_box(host_impl::bin_host(&xs, &ys, &[], BinOp::Count, &grid))
+            });
         });
         group.bench_with_input(BenchmarkId::new("device_count_atomic", n), &n, |b, _| {
             b.iter(|| {

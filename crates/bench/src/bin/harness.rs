@@ -104,8 +104,9 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
             x_extent: (-2.0, 2.0),
             repartition_every: None,
         };
-        let mut sim = Newton::new(node.clone(), &comm, comm.rank() % node.num_devices(), newton_cfg)
-            .expect("init simulation");
+        let mut sim =
+            Newton::new(node.clone(), &comm, comm.rank() % node.num_devices(), newton_cfg)
+                .expect("init simulation");
         let mut bridge = Bridge::new(node);
         for b in backends {
             bridge.add_analysis(b, &comm).expect("attach");
@@ -115,9 +116,10 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
             let adaptor = NewtonAdaptor::new(&sim);
             bridge.execute(&adaptor, &comm, solver).expect("in situ");
         }
-        bridge.finalize(&comm).expect("finalize").summary()
+        let profiler = bridge.finalize(&comm).expect("finalize");
+        (profiler.summary(), profiler.backend_breakdown())
     });
-    for (rank, s) in summaries.iter().enumerate() {
+    for (rank, (s, backends)) in summaries.iter().enumerate() {
         println!(
             "rank {rank}: {} iterations, mean solver {:.2} ms, apparent in situ {:.2} ms, total {:.3} s",
             s.iterations,
@@ -125,6 +127,14 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
             s.mean_insitu.as_secs_f64() * 1e3,
             s.total_runtime.as_secs_f64()
         );
+        for b in backends {
+            println!(
+                "    {:<24} {:>3} dispatches, mean apparent {:.3} ms",
+                b.backend,
+                b.dispatches,
+                b.mean_apparent.as_secs_f64() * 1e3
+            );
+        }
     }
 }
 
@@ -134,7 +144,10 @@ fn case_label(c: &CaseConfig) -> String {
 
 fn print_table1(base: &CaseConfig) {
     println!("\nTable 1: runs made to investigate in situ placement");
-    println!("(paper: 128 nodes / 512 GPUs; here: 1 simulated node / {} devices)\n", base.num_devices);
+    println!(
+        "(paper: 128 nodes / 512 GPUs; here: 1 simulated node / {} devices)\n",
+        base.num_devices
+    );
     println!("  In-Situ    In-Situ       Ranks                 In-Situ");
     println!("  Method                   per node       Total  Location");
     for placement in Placement::paper_placements() {
@@ -189,6 +202,27 @@ fn write_csv(path: &PathBuf, results: &[AggregatedCase]) {
     println!("wrote {}", path.display());
 }
 
+fn write_backend_csv(path: &PathBuf, results: &[AggregatedCase]) {
+    let mut csv =
+        String::from("placement,execution,backend,dispatches,mean_apparent_s,total_apparent_s\n");
+    for r in results {
+        for b in &r.backends {
+            csv.push_str(&format!(
+                "{},{},{},{},{:.9},{:.9}\n",
+                r.config.placement.label().replace(' ', "_"),
+                r.config.execution.name(),
+                b.backend,
+                b.dispatches,
+                b.mean_apparent.as_secs_f64(),
+                b.total_apparent.as_secs_f64(),
+            ));
+        }
+    }
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, csv).expect("write CSV");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let (mode, base, out_dir, xml) = parse_args();
     if mode == "run-config" {
@@ -219,19 +253,41 @@ fn main() {
         // Figure 2: total run time per case, grouped by placement.
         let rows: Vec<(String, std::time::Duration)> =
             results.iter().map(|r| (case_label(&r.config), r.total)).collect();
-        println!("\n{}", ascii_bars("Figure 2: total run time (lockstep vs asynchronous)", &rows, 50));
+        println!(
+            "\n{}",
+            ascii_bars("Figure 2: total run time (lockstep vs asynchronous)", &rows, 50)
+        );
 
         // Figure 3: mean per-iteration solver + in situ stacks.
-        let stacks: Vec<(String, std::time::Duration, std::time::Duration)> = results
-            .iter()
-            .map(|r| (case_label(&r.config), r.mean_solver, r.mean_insitu))
-            .collect();
+        let stacks: Vec<(String, std::time::Duration, std::time::Duration)> =
+            results.iter().map(|r| (case_label(&r.config), r.mean_solver, r.mean_insitu)).collect();
         println!(
             "{}",
-            ascii_stack("Figure 3: average time per iteration (solver + apparent in situ)", &stacks, 50)
+            ascii_stack(
+                "Figure 3: average time per iteration (solver + apparent in situ)",
+                &stacks,
+                50
+            )
         );
 
         write_csv(&out_dir.join("figure2_figure3.csv"), &results);
+
+        // Per-backend apparent-cost breakdown (what each attached
+        // instance cost the simulation per dispatch, averaged over ranks).
+        println!("\nPer-backend apparent-cost breakdown:");
+        for r in &results {
+            println!("  {}", case_label(&r.config));
+            for b in &r.backends {
+                println!(
+                    "    {:<24} {:>4} dispatches, mean apparent {:.3} ms, total {:.3} s",
+                    b.backend,
+                    b.dispatches,
+                    b.mean_apparent.as_secs_f64() * 1e3,
+                    b.total_apparent.as_secs_f64()
+                );
+            }
+        }
+        write_backend_csv(&out_dir.join("backend_breakdown.csv"), &results);
 
         // The qualitative findings of §4.4, checked on this run.
         println!("\n§4.4 shape checks:");

@@ -19,15 +19,8 @@ pub fn ascii_bars(title: &str, rows: &[(String, Duration)], width: usize) -> Str
 
 /// Render stacked (solver, in situ) pairs (Figure 3's layout: per-case
 /// stacks of mean per-iteration times).
-pub fn ascii_stack(
-    title: &str,
-    rows: &[(String, Duration, Duration)],
-    width: usize,
-) -> String {
-    let max = rows
-        .iter()
-        .map(|(_, a, b)| a.as_secs_f64() + b.as_secs_f64())
-        .fold(0.0, f64::max);
+pub fn ascii_stack(title: &str, rows: &[(String, Duration, Duration)], width: usize) -> String {
+    let max = rows.iter().map(|(_, a, b)| a.as_secs_f64() + b.as_secs_f64()).fold(0.0, f64::max);
     let label_w = rows.iter().map(|(l, _, _)| l.len()).max().unwrap_or(0);
     let mut out = format!("{title}\n");
     for (label, solver, insitu) in rows {
@@ -64,11 +57,7 @@ mod tests {
 
     #[test]
     fn stack_contains_both_segments() {
-        let rows = vec![(
-            "case".to_string(),
-            Duration::from_millis(30),
-            Duration::from_millis(10),
-        )];
+        let rows = vec![("case".to_string(), Duration::from_millis(30), Duration::from_millis(10))];
         let s = ascii_stack("t", &rows, 40);
         assert!(s.contains("==="));
         assert!(s.contains("#"));

@@ -6,8 +6,10 @@ use std::sync::Arc;
 use hamr::Pm;
 use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, Error, ExecContext, Result,
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, DataRequirements, Error,
+    ExecContext, Result,
 };
+use svtk::FieldAssociation;
 use svtk::{DataObject, HamrDataArray, TableData};
 
 use crate::bounds;
@@ -147,10 +149,9 @@ impl BinningAnalysis {
     }
 
     fn column<'t>(table: &'t TableData, name: &str) -> Result<&'t HamrDataArray<f64>> {
-        let col = table.column(name).ok_or_else(|| Error::NoSuchArray {
-            mesh: "table".into(),
-            array: name.to_string(),
-        })?;
+        let col = table
+            .column(name)
+            .ok_or_else(|| Error::NoSuchArray { mesh: "table".into(), array: name.to_string() })?;
         svtk::downcast::<f64>(col).ok_or_else(|| {
             Error::Analysis(format!("column '{name}' is {}, binning needs double", col.type_name()))
         })
@@ -226,7 +227,12 @@ impl BinningAnalysis {
                     Fetched::Device { views, .. } => {
                         let d = device.expect("device fetch implies device placement");
                         let stream = ctx.node.device(d)?.default_stream();
-                        device_impl::minmax_device(ctx.node, d, &stream, views[name.as_str()].cells())?
+                        device_impl::minmax_device(
+                            ctx.node,
+                            d,
+                            &stream,
+                            views[name.as_str()].cells(),
+                        )?
                     }
                 };
                 per_axis[a][0] = per_axis[a][0].min(lo);
@@ -254,8 +260,10 @@ impl BinningAnalysis {
         let mut all_ops = vec![VarOp { var: String::new(), op: BinOp::Count }];
         all_ops.extend(self.spec.ops.iter().cloned());
 
-        let mut results: Vec<(VarOp, Vec<f64>)> =
-            all_ops.iter().map(|vo| (vo.clone(), vec![host_impl::identity(vo.op); grid.num_bins()])).collect();
+        let mut results: Vec<(VarOp, Vec<f64>)> = all_ops
+            .iter()
+            .map(|vo| (vo.clone(), vec![host_impl::identity(vo.op); grid.num_bins()]))
+            .collect();
 
         for f in fetched {
             match f {
@@ -290,8 +298,9 @@ impl BinningAnalysis {
                         } else {
                             Some(views[vo.var.as_str()].cells())
                         };
-                        let dbins =
-                            device_impl::bin_device(ctx.node, d, &stream, xs, ys, vals, vo.op, grid)?;
+                        let dbins = device_impl::bin_device(
+                            ctx.node, d, &stream, xs, ys, vals, vo.op, grid,
+                        )?;
                         let host = ctx.node.host_alloc_f64(grid.num_bins());
                         stream.copy(&dbins, &host).map_err(Error::Device)?;
                         staged.push(host);
@@ -332,6 +341,16 @@ impl AnalysisAdaptor for BinningAnalysis {
 
     fn controls_mut(&mut self) -> &mut BackendControls {
         &mut self.controls
+    }
+
+    fn required_arrays(&self) -> DataRequirements {
+        // Binning reads exactly the axis and operand columns of its mesh,
+        // so an asynchronous snapshot need not copy anything else.
+        DataRequirements::none().with_arrays(
+            &self.spec.mesh,
+            FieldAssociation::Point,
+            self.spec.required_variables(),
+        )
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {

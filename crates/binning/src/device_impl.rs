@@ -50,7 +50,12 @@ pub fn bin_device(
         match values {
             Some(v) if v.len() == n => {}
             Some(_) => return Err(Error::Analysis("value column must be co-occurring".into())),
-            None => return Err(Error::Analysis(format!("operation {} needs a value column", op.name()))),
+            None => {
+                return Err(Error::Analysis(format!(
+                    "operation {} needs a value column",
+                    op.name()
+                )))
+            }
         }
     }
 
@@ -140,7 +145,12 @@ mod tests {
     use crate::host_impl::bin_host;
     use devsim::NodeConfig;
 
-    fn upload(node: &Arc<SimNode>, stream: &Arc<Stream>, device: usize, data: &[f64]) -> CellBuffer {
+    fn upload(
+        node: &Arc<SimNode>,
+        stream: &Arc<Stream>,
+        device: usize,
+        data: &[f64],
+    ) -> CellBuffer {
         let host = node.host_alloc_f64(data.len());
         host.host_f64().unwrap().copy_from_slice(data);
         let dev = node.device(device).unwrap().alloc_f64(data.len()).unwrap();

@@ -28,6 +28,6 @@ mod adaptor;
 mod grid;
 mod spec;
 
-pub use adaptor::{register, BinningAnalysis, BinnedResult, ResultSink};
+pub use adaptor::{register, BinnedResult, BinningAnalysis, ResultSink};
 pub use grid::GridParams;
 pub use spec::{BinOp, BinningSpec, VarOp};

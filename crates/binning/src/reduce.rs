@@ -49,8 +49,14 @@ mod tests {
     fn merge_semantics_per_op() {
         let a = vec![1.0, f64::INFINITY, 5.0];
         let b = vec![2.0, 3.0, f64::NEG_INFINITY];
-        assert_eq!(merge_grids(BinOp::Sum, a.clone(), b.clone()), vec![3.0, f64::INFINITY, f64::NEG_INFINITY]);
-        assert_eq!(merge_grids(BinOp::Min, a.clone(), b.clone()), vec![1.0, 3.0, f64::NEG_INFINITY]);
+        assert_eq!(
+            merge_grids(BinOp::Sum, a.clone(), b.clone()),
+            vec![3.0, f64::INFINITY, f64::NEG_INFINITY]
+        );
+        assert_eq!(
+            merge_grids(BinOp::Min, a.clone(), b.clone()),
+            vec![1.0, 3.0, f64::NEG_INFINITY]
+        );
         assert_eq!(merge_grids(BinOp::Max, a, b), vec![2.0, f64::INFINITY, 5.0]);
     }
 

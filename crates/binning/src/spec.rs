@@ -133,11 +133,8 @@ impl BinningSpec {
     /// </analysis>
     /// ```
     pub fn from_element(el: &Element) -> Result<BinningSpec> {
-        let mesh = el
-            .find_child("mesh")
-            .and_then(|m| m.attr("name"))
-            .unwrap_or("bodies")
-            .to_string();
+        let mesh =
+            el.find_child("mesh").and_then(|m| m.attr("name")).unwrap_or("bodies").to_string();
         let axes_el =
             el.find_child("axes").ok_or_else(|| Error::Config("missing <axes>".into()))?;
         let axes_txt = axes_el.text();
@@ -146,7 +143,11 @@ impl BinningSpec {
         let ay = parts.next().filter(|s| !s.is_empty());
         let (ax, ay) = match (ax, ay, parts.next()) {
             (Some(a), Some(b), None) => (a.to_string(), b.to_string()),
-            _ => return Err(Error::Config(format!("<axes> must name two variables, got '{axes_txt}'"))),
+            _ => {
+                return Err(Error::Config(format!(
+                    "<axes> must name two variables, got '{axes_txt}'"
+                )))
+            }
         };
 
         let ops_el = el
@@ -210,8 +211,14 @@ mod tests {
 
     #[test]
     fn varop_parsing() {
-        assert_eq!(VarOp::parse("sum(mass)").unwrap(), VarOp { var: "mass".into(), op: BinOp::Sum });
-        assert_eq!(VarOp::parse(" avg( vx ) ").unwrap(), VarOp { var: "vx".into(), op: BinOp::Average });
+        assert_eq!(
+            VarOp::parse("sum(mass)").unwrap(),
+            VarOp { var: "mass".into(), op: BinOp::Sum }
+        );
+        assert_eq!(
+            VarOp::parse(" avg( vx ) ").unwrap(),
+            VarOp { var: "vx".into(), op: BinOp::Average }
+        );
         assert_eq!(VarOp::parse("count()").unwrap(), VarOp { var: "".into(), op: BinOp::Count });
         assert_eq!(VarOp::parse("count").unwrap().op, BinOp::Count);
         assert!(VarOp::parse("frobnicate(x)").is_err());

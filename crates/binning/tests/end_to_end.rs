@@ -24,7 +24,13 @@ struct Particles {
 }
 
 impl Particles {
-    fn new(node: Arc<SimNode>, device: Option<usize>, xs: Vec<f64>, ys: Vec<f64>, mass: Vec<f64>) -> Self {
+    fn new(
+        node: Arc<SimNode>,
+        device: Option<usize>,
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        mass: Vec<f64>,
+    ) -> Self {
         let alloc = if device.is_some() { Allocator::OpenMp } else { Allocator::Malloc };
         let mut table = TableData::new();
         for (name, data) in [("x", &xs), ("y", &ys), ("mass", &mass)] {
@@ -85,14 +91,21 @@ fn rank_particles(node: Arc<SimNode>, device: Option<usize>, rank: usize) -> Par
     Particles::new(node, device, vec![cx], vec![cy], vec![rank as f64 + 1.0])
 }
 
-fn run_case(ranks: usize, device_spec: DeviceSpec, execution: ExecutionMethod) -> Vec<binning::BinnedResult> {
+fn run_case(
+    ranks: usize,
+    device_spec: DeviceSpec,
+    execution: ExecutionMethod,
+) -> Vec<binning::BinnedResult> {
     let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
     let sink2 = sink.clone();
     World::new(ranks).run(move |comm| {
         let node = SimNode::new(NodeConfig::fast_test(2));
-        let analysis = BinningAnalysis::new(spec())
-            .with_sink(sink2.clone())
-            .with_controls(BackendControls { execution, device: device_spec, ..Default::default() });
+        let analysis =
+            BinningAnalysis::new(spec()).with_sink(sink2.clone()).with_controls(BackendControls {
+                execution,
+                device: device_spec,
+                ..Default::default()
+            });
         let mut bridge = Bridge::new(node.clone());
         bridge.add_analysis(Box::new(analysis), &comm).unwrap();
         let device = match device_spec {

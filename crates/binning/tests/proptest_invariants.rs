@@ -10,8 +10,8 @@ use proptest::prelude::*;
 fn rows() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
     proptest::collection::vec(
         (
-            -1.5f64..1.5, // x (grid covers [-1, 1]: some rows fall outside)
-            -1.5f64..1.5, // y
+            -1.5f64..1.5,   // x (grid covers [-1, 1]: some rows fall outside)
+            -1.5f64..1.5,   // y
             -10.0f64..10.0, // value
         ),
         0..200,

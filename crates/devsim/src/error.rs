@@ -36,7 +36,10 @@ impl fmt::Display for Error {
                 write!(f, "device {device} out of memory: requested {requested} bytes, {free} free")
             }
             Error::WrongSpace { expected, actual } => {
-                write!(f, "memory space mismatch: expected {expected:?}, buffer lives in {actual:?}")
+                write!(
+                    f,
+                    "memory space mismatch: expected {expected:?}, buffer lives in {actual:?}"
+                )
             }
             Error::CrossDeviceAccess { stream_device, buffer_space } => {
                 write!(

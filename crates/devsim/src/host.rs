@@ -35,8 +35,22 @@ impl HostExec {
     /// Run `f` on the calling thread while holding a host slot; the slot is
     /// held for at least the modeled duration of `cost`.
     pub fn run<R>(&self, _name: &str, cost: KernelCost, f: impl FnOnce() -> R) -> R {
+        self.run_inner(cost, f, false)
+    }
+
+    /// Like [`HostExec::run`], but acquires the slot through the urgent
+    /// lane, ahead of any queued normal tasks. The simulation's own
+    /// host-side phases (staging, MPI exchange) use this: its ranks own
+    /// their cores, and host-placed in situ work runs in the idle cycles
+    /// around them rather than convoying the solver behind a queue of
+    /// analysis kernels.
+    pub fn run_urgent<R>(&self, _name: &str, cost: KernelCost, f: impl FnOnce() -> R) -> R {
+        self.run_inner(cost, f, true)
+    }
+
+    fn run_inner<R>(&self, cost: KernelCost, f: impl FnOnce() -> R, urgent: bool) -> R {
         let duration = timemodel::host_duration(cost, &self.params, self.time_scale);
-        let result = self.slots.with(|| {
+        let timed = || {
             let t0 = Instant::now();
             let r = f();
             let elapsed = t0.elapsed();
@@ -44,7 +58,8 @@ impl HostExec {
                 std::thread::sleep(duration - elapsed);
             }
             r
-        });
+        };
+        let result = if urgent { self.slots.with_urgent(timed) } else { self.slots.with(timed) };
         NodeStats::bump(&self.stats.host_tasks);
         result
     }

@@ -171,10 +171,7 @@ impl CellBuffer {
 
 impl std::fmt::Debug for CellBuffer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CellBuffer")
-            .field("len", &self.len())
-            .field("space", &self.space)
-            .finish()
+        f.debug_struct("CellBuffer").field("len", &self.len()).field("space", &self.space).finish()
     }
 }
 
@@ -224,7 +221,12 @@ macro_rules! f64_ops {
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let next = (f64::from_bits(cur) + v).to_bits();
-                    match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    match cell.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
                         Ok(_) => return,
                         Err(seen) => cur = seen,
                     }
@@ -252,7 +254,12 @@ macro_rules! f64_ops {
                     if next == cur {
                         return;
                     }
-                    match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+                    match cell.compare_exchange_weak(
+                        cur,
+                        next,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    ) {
                         Ok(_) => return,
                         Err(seen) => cur = seen,
                     }
@@ -392,7 +399,10 @@ mod tests {
     fn device_buffer_refuses_host_view() {
         let b = CellBuffer::new(4, MemSpace::Device(1), None);
         let err = b.host_f64().unwrap_err();
-        assert_eq!(err, Error::WrongSpace { expected: MemSpace::Host, actual: MemSpace::Device(1) });
+        assert_eq!(
+            err,
+            Error::WrongSpace { expected: MemSpace::Host, actual: MemSpace::Device(1) }
+        );
     }
 
     #[test]

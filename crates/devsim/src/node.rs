@@ -79,7 +79,9 @@ impl SimNode {
 
     /// Access device `id`.
     pub fn device(&self, id: usize) -> Result<&Device> {
-        self.devices.get(id).ok_or(Error::NoSuchDevice { device: id, available: self.devices.len() })
+        self.devices
+            .get(id)
+            .ok_or(Error::NoSuchDevice { device: id, available: self.devices.len() })
     }
 
     /// The host executor.
@@ -311,7 +313,12 @@ mod tests {
     fn host_exec_bounds_concurrency_and_models_time() {
         let cfg = NodeConfig {
             num_devices: 1,
-            host: HostParams { slots: 1, flops_per_sec: 1e9, bytes_per_sec: 1e12 },
+            host: HostParams {
+                slots: 1,
+                flops_per_sec: 1e9,
+                bytes_per_sec: 1e12,
+                ..HostParams::default()
+            },
             time_scale: 1.0,
             ..NodeConfig::default()
         };

@@ -5,37 +5,74 @@ use parking_lot::{Condvar, Mutex};
 /// Counting semaphore. A device with `slots = k` admits `k` kernels at a
 /// time; further launches queue on the semaphore, which is exactly the
 /// serialization a saturated GPU imposes on extra streams.
+///
+/// The semaphore has two lanes: urgent acquires are served before normal
+/// ones whenever permits free up. The host executor uses the urgent lane
+/// for the simulation's own host phases, so oversubscribed in situ worker
+/// threads fill idle capacity instead of convoying the solver.
 pub(crate) struct Semaphore {
-    permits: Mutex<usize>,
+    state: Mutex<State>,
     released: Condvar,
+}
+
+struct State {
+    permits: usize,
+    urgent_waiting: usize,
 }
 
 impl Semaphore {
     pub fn new(permits: usize) -> Self {
         assert!(permits > 0, "a device needs at least one kernel slot");
-        Semaphore { permits: Mutex::new(permits), released: Condvar::new() }
+        Semaphore {
+            state: Mutex::new(State { permits, urgent_waiting: 0 }),
+            released: Condvar::new(),
+        }
     }
 
-    /// Block until a permit is available, then take it.
+    /// Block until a permit is available, then take it. Yields to any
+    /// urgent waiter first.
     pub fn acquire(&self) {
-        let mut p = self.permits.lock();
-        while *p == 0 {
-            self.released.wait(&mut p);
+        let mut s = self.state.lock();
+        while s.permits == 0 || s.urgent_waiting > 0 {
+            self.released.wait(&mut s);
         }
-        *p -= 1;
+        s.permits -= 1;
+    }
+
+    /// Block until a permit is available, then take it, ahead of any
+    /// normal waiters.
+    pub fn acquire_urgent(&self) {
+        let mut s = self.state.lock();
+        s.urgent_waiting += 1;
+        while s.permits == 0 {
+            self.released.wait(&mut s);
+        }
+        s.urgent_waiting -= 1;
+        s.permits -= 1;
     }
 
     /// Return a permit.
     pub fn release(&self) {
-        let mut p = self.permits.lock();
-        *p += 1;
-        drop(p);
-        self.released.notify_one();
+        let mut s = self.state.lock();
+        s.permits += 1;
+        drop(s);
+        // Wake everyone: a freed permit must reach an urgent waiter even
+        // if a normal waiter happens to be first in the wait queue.
+        self.released.notify_all();
     }
 
     /// Run `f` while holding a permit.
     pub fn with<R>(&self, f: impl FnOnce() -> R) -> R {
         self.acquire();
+        let guard = ReleaseOnDrop(self);
+        let r = f();
+        drop(guard);
+        r
+    }
+
+    /// Run `f` while holding a permit acquired through the urgent lane.
+    pub fn with_urgent<R>(&self, f: impl FnOnce() -> R) -> R {
+        self.acquire_urgent();
         let guard = ReleaseOnDrop(self);
         let r = f();
         drop(guard);
@@ -95,6 +132,42 @@ mod tests {
         }
         assert!(peak.load(Ordering::SeqCst) <= PERMITS);
         assert_eq!(active.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn urgent_acquire_jumps_the_queue() {
+        let sem = Arc::new(Semaphore::new(1));
+        sem.acquire();
+
+        // A crowd of normal waiters queued on the one permit.
+        let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let normals: Vec<_> = (0..4)
+            .map(|i| {
+                let sem = sem.clone();
+                let order = order.clone();
+                std::thread::spawn(move || {
+                    sem.with(|| order.lock().push(format!("normal{i}")));
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+
+        let urgent = {
+            let sem = sem.clone();
+            let order = order.clone();
+            std::thread::spawn(move || {
+                sem.with_urgent(|| order.lock().push("urgent".into()));
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+
+        sem.release();
+        urgent.join().unwrap();
+        for h in normals {
+            h.join().unwrap();
+        }
+        assert_eq!(order.lock()[0], "urgent", "urgent waiter is served first");
+        assert_eq!(order.lock().len(), 5);
     }
 
     #[test]

@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
+use std::sync::mpsc::{channel, Sender};
+
 use parking_lot::{Condvar, Mutex};
 
 use crate::device::DeviceCore;
@@ -73,7 +74,7 @@ impl Stream {
         link: LinkParams,
         time_scale: f64,
     ) -> Arc<Stream> {
-        let (tx, rx) = unbounded::<Cmd>();
+        let (tx, rx) = channel::<Cmd>();
         let shared = Arc::new(Shared {
             pending: Mutex::new(0),
             idle: Condvar::new(),
@@ -89,12 +90,16 @@ impl Stream {
                 let mut deficit = Duration::ZERO;
                 while let Ok(cmd) = rx.recv() {
                     cmd(&ctx, &mut deficit);
+                    let mut p = worker_shared.pending.lock();
                     // Flush deferred modeled time before reporting idle.
-                    if rx.is_empty() && !deficit.is_zero() {
+                    // `pending` counts submitted-but-unfinished commands,
+                    // so 1 here means this was the last queued command.
+                    if *p == 1 && !deficit.is_zero() {
+                        drop(p);
                         std::thread::sleep(deficit);
                         deficit = Duration::ZERO;
+                        p = worker_shared.pending.lock();
                     }
-                    let mut p = worker_shared.pending.lock();
                     *p -= 1;
                     if *p == 0 {
                         worker_shared.idle.notify_all();
@@ -143,7 +148,8 @@ impl Stream {
             dev.slots.with(|| {
                 let t0 = Instant::now();
                 let scope = KernelScope { device: dev.id };
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&scope)));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&scope)));
                 let elapsed = t0.elapsed();
                 if duration > elapsed {
                     // Long kernels sleep while holding the slot (they are
@@ -183,8 +189,7 @@ impl Stream {
         let shared = self.shared.clone();
         self.enqueue(Box::new(move |ctx, deficit| {
             let bytes = src.len() * 8;
-            let host_involved =
-                src.space() == MemSpace::Host || dst.space() == MemSpace::Host;
+            let host_involved = src.space() == MemSpace::Host || dst.space() == MemSpace::Host;
             let duration =
                 timemodel::transfer_duration(bytes, host_involved, &ctx.link, ctx.time_scale);
             let t0 = Instant::now();

@@ -74,12 +74,23 @@ pub struct HostParams {
     pub flops_per_sec: f64,
     /// Host memory bandwidth (per slot).
     pub bytes_per_sec: f64,
+    /// Fixed per-task overhead (dispatch, cache warm-up). Benchmarks set
+    /// this large enough that a host task's modeled duration dominates the
+    /// real time its closure takes, just as `DeviceParams::launch_overhead`
+    /// does for kernels — otherwise host-placed work measures the test
+    /// machine instead of the model.
+    pub task_overhead: Duration,
 }
 
 impl Default for HostParams {
     /// Loosely one Milan socket spread over a few worker slots.
     fn default() -> Self {
-        HostParams { slots: 4, flops_per_sec: 0.5e12, bytes_per_sec: 100e9 }
+        HostParams {
+            slots: 4,
+            flops_per_sec: 0.5e12,
+            bytes_per_sec: 100e9,
+            task_overhead: Duration::from_micros(5),
+        }
     }
 }
 
@@ -119,11 +130,16 @@ pub fn host_duration(cost: KernelCost, p: &HostParams, time_scale: f64) -> Durat
         return Duration::ZERO;
     }
     let secs = cost.flops / p.flops_per_sec + cost.bytes / p.bytes_per_sec;
-    scale(Duration::ZERO, secs, time_scale)
+    scale(p.task_overhead, secs, time_scale)
 }
 
 /// Convert a transfer size to a modeled duration on a link.
-pub fn transfer_duration(bytes: usize, host_involved: bool, p: &LinkParams, time_scale: f64) -> Duration {
+pub fn transfer_duration(
+    bytes: usize,
+    host_involved: bool,
+    p: &LinkParams,
+    time_scale: f64,
+) -> Duration {
     if time_scale == 0.0 {
         return Duration::ZERO;
     }
@@ -145,7 +161,10 @@ mod tests {
         let p = DeviceParams::default();
         assert_eq!(kernel_duration(KernelCost::flops(1e15), &p, 0.0), Duration::ZERO);
         assert_eq!(transfer_duration(1 << 30, true, &LinkParams::default(), 0.0), Duration::ZERO);
-        assert_eq!(host_duration(KernelCost::flops(1e15), &HostParams::default(), 0.0), Duration::ZERO);
+        assert_eq!(
+            host_duration(KernelCost::flops(1e15), &HostParams::default(), 0.0),
+            Duration::ZERO
+        );
     }
 
     #[test]

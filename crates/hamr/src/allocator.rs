@@ -76,9 +76,10 @@ impl Allocator {
     pub fn pm(&self) -> Pm {
         match self {
             Allocator::Malloc | Allocator::New => Pm::Host,
-            Allocator::Cuda | Allocator::CudaAsync | Allocator::CudaUva | Allocator::CudaHostPinned => {
-                Pm::Cuda
-            }
+            Allocator::Cuda
+            | Allocator::CudaAsync
+            | Allocator::CudaUva
+            | Allocator::CudaHostPinned => Pm::Cuda,
             Allocator::Hip | Allocator::HipAsync => Pm::Hip,
             Allocator::OpenMp => Pm::OpenMp,
             Allocator::SyclDevice | Allocator::SyclShared => Pm::Sycl,

@@ -61,11 +61,17 @@ impl<T: Element> HamrBuffer<T> {
             }
             (true, Some(d)) => (node.device(d)?.alloc_cells(len)?, Some(d)),
             (true, None) => {
-                return Err(Error::PlacementMismatch { allocator: allocator.name(), wanted_device: false })
+                return Err(Error::PlacementMismatch {
+                    allocator: allocator.name(),
+                    wanted_device: false,
+                })
             }
             (false, None) => (node.host_alloc_f64(len), None),
             (false, Some(_)) => {
-                return Err(Error::PlacementMismatch { allocator: allocator.name(), wanted_device: true })
+                return Err(Error::PlacementMismatch {
+                    allocator: allocator.name(),
+                    wanted_device: true,
+                })
             }
         };
         Ok(HamrBuffer {
@@ -422,9 +428,15 @@ mod tests {
     fn host_allocators_allocate_on_host() {
         let n = node(1);
         for alloc in [Allocator::Malloc, Allocator::New, Allocator::CudaHostPinned] {
-            let b: HamrBuffer<f64> =
-                HamrBuffer::new(n.clone(), 8, alloc, None, HamrStream::default_stream(), StreamMode::Sync)
-                    .unwrap();
+            let b: HamrBuffer<f64> = HamrBuffer::new(
+                n.clone(),
+                8,
+                alloc,
+                None,
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
             assert_eq!(b.device(), None);
             assert_eq!(b.len(), 8);
             assert!(b.host_accessible().unwrap().is_direct());
@@ -435,9 +447,15 @@ mod tests {
     fn device_allocators_allocate_on_device() {
         let n = node(2);
         for alloc in [Allocator::Cuda, Allocator::CudaUva, Allocator::Hip, Allocator::OpenMp] {
-            let b: HamrBuffer<f64> =
-                HamrBuffer::new(n.clone(), 8, alloc, Some(1), HamrStream::default_stream(), StreamMode::Sync)
-                    .unwrap();
+            let b: HamrBuffer<f64> = HamrBuffer::new(
+                n.clone(),
+                8,
+                alloc,
+                Some(1),
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
             assert_eq!(b.device(), Some(1));
             assert_eq!(b.pm(), alloc.pm());
         }
@@ -466,12 +484,26 @@ mod tests {
         let n = node(1);
         // Device allocator without a device.
         assert!(matches!(
-            HamrBuffer::<f64>::new(n.clone(), 4, Allocator::Cuda, None, HamrStream::default_stream(), StreamMode::Sync),
+            HamrBuffer::<f64>::new(
+                n.clone(),
+                4,
+                Allocator::Cuda,
+                None,
+                HamrStream::default_stream(),
+                StreamMode::Sync
+            ),
             Err(Error::PlacementMismatch { .. })
         ));
         // Host allocator with a device.
         assert!(matches!(
-            HamrBuffer::<f64>::new(n, 4, Allocator::Malloc, Some(0), HamrStream::default_stream(), StreamMode::Sync),
+            HamrBuffer::<f64>::new(
+                n,
+                4,
+                Allocator::Malloc,
+                Some(0),
+                HamrStream::default_stream(),
+                StreamMode::Sync
+            ),
             Err(Error::PlacementMismatch { .. })
         ));
     }
@@ -644,12 +676,24 @@ mod tests {
         let n = node(1);
         let host_cells = n.host_alloc_f64(2);
         assert!(matches!(
-            HamrBuffer::<f64>::adopt(n.clone(), host_cells, Allocator::Cuda, HamrStream::default_stream(), StreamMode::Sync),
+            HamrBuffer::<f64>::adopt(
+                n.clone(),
+                host_cells,
+                Allocator::Cuda,
+                HamrStream::default_stream(),
+                StreamMode::Sync
+            ),
             Err(Error::PlacementMismatch { .. })
         ));
         let dev_cells = n.device(0).unwrap().alloc_f64(2).unwrap();
         assert!(matches!(
-            HamrBuffer::<f64>::adopt(n, dev_cells, Allocator::Malloc, HamrStream::default_stream(), StreamMode::Sync),
+            HamrBuffer::<f64>::adopt(
+                n,
+                dev_cells,
+                Allocator::Malloc,
+                HamrStream::default_stream(),
+                StreamMode::Sync
+            ),
             Err(Error::PlacementMismatch { .. })
         ));
     }

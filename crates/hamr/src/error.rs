@@ -27,9 +27,15 @@ impl fmt::Display for Error {
             }
             Error::PlacementMismatch { allocator, wanted_device } => {
                 if *wanted_device {
-                    write!(f, "allocator {allocator} allocates host memory but a device was requested")
+                    write!(
+                        f,
+                        "allocator {allocator} allocates host memory but a device was requested"
+                    )
                 } else {
-                    write!(f, "allocator {allocator} allocates device memory but no device was given")
+                    write!(
+                        f,
+                        "allocator {allocator} allocates device memory but no device was given"
+                    )
                 }
             }
             Error::IndexOutOfBounds { index, len } => {

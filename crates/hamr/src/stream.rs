@@ -55,10 +55,9 @@ impl HamrStream {
     pub fn resolve(&self, node: &SimNode, device: usize) -> Arc<Stream> {
         match &self.inner {
             Some(s) => s.clone(),
-            None => node
-                .device(device)
-                .expect("resolve called with a valid device")
-                .default_stream(),
+            None => {
+                node.device(device).expect("resolve called with a valid device").default_stream()
+            }
         }
     }
 

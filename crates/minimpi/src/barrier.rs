@@ -25,7 +25,11 @@ pub(crate) struct Barrier {
 impl Barrier {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "barrier requires at least one participant");
-        Barrier { n, state: Mutex::new(State { remaining: n, generation: 0 }), tripped: Condvar::new() }
+        Barrier {
+            n,
+            state: Mutex::new(State { remaining: n, generation: 0 }),
+            tripped: Condvar::new(),
+        }
     }
 
     /// Block until all `n` participants have called `wait` in this

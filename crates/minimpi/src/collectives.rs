@@ -171,9 +171,7 @@ impl Comm {
     pub fn split(&self, color: u64, key: u64) -> Comm {
         // Root collects (color, key) from everyone, forms the groups, and
         // reserves one fresh communicator id per group.
-        let triples = self
-            .gather(0, (color, key, self.rank()))
-            .expect("rank 0 is always valid");
+        let triples = self.gather(0, (color, key, self.rank())).expect("rank 0 is always valid");
         let assignment: Vec<(u64, usize, usize)> = if self.rank() == 0 {
             let mut triples = triples.expect("root gathered");
             triples.sort_unstable();
@@ -236,9 +234,7 @@ mod tests {
     #[test]
     fn reduce_is_rank_ordered_for_noncommutative_op() {
         // String concatenation is non-commutative; rank order must hold.
-        let got = World::new(4).run(|c| {
-            c.reduce(0, c.rank().to_string(), |a, b| a + &b).unwrap()
-        });
+        let got = World::new(4).run(|c| c.reduce(0, c.rank().to_string(), |a, b| a + &b).unwrap());
         assert_eq!(got[0].as_deref(), Some("0123"));
     }
 

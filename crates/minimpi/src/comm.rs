@@ -116,7 +116,12 @@ impl Comm {
     }
 
     /// Receive with a timeout; [`Error::Timeout`] if nothing matched in time.
-    pub fn recv_timeout<T: Send + 'static>(&self, src: usize, tag: u64, timeout: Duration) -> Result<T> {
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<T> {
         self.check_rank(src)?;
         self.shared.mailbox.take_timeout(self.key(src, self.rank, tag), timeout)
     }
@@ -129,7 +134,13 @@ impl Comm {
 
     /// Combined send to `dst` and receive from `src` on the same tag, safe
     /// against the cyclic-exchange deadlock because sends are buffered.
-    pub fn sendrecv<T: Send + 'static>(&self, dst: usize, src: usize, tag: u64, value: T) -> Result<T> {
+    pub fn sendrecv<T: Send + 'static>(
+        &self,
+        dst: usize,
+        src: usize,
+        tag: u64,
+        value: T,
+    ) -> Result<T> {
         self.send(dst, tag, value)?;
         self.recv(src, tag)
     }

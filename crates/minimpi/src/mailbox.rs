@@ -84,12 +84,15 @@ impl Mailbox {
 
     /// Block until a message for `dst` with `tag` arrives from *any* source
     /// on communicator `comm`; returns the source rank alongside the payload.
-    pub fn take_any<T: Send + 'static>(&self, comm: u64, dst: usize, tag: u64) -> Result<(usize, T)> {
+    pub fn take_any<T: Send + 'static>(
+        &self,
+        comm: u64,
+        dst: usize,
+        tag: u64,
+    ) -> Result<(usize, T)> {
         let mut q = self.queues.lock();
         loop {
-            let hit = q
-                .queues_matching(comm, dst, tag)
-                .next();
+            let hit = q.queues_matching(comm, dst, tag).next();
             if let Some(key) = hit {
                 let payload = Self::pop(&mut q.map, key).expect("queue vanished under lock");
                 return Self::downcast(payload).map(|v| (key.src, v));

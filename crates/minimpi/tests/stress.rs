@@ -40,9 +40,8 @@ fn concurrent_collectives_on_duplicate_communicators() {
     // Every rank's worker d must have computed the same sequence of
     // global sums: sum over ranks of (rank + d*round).
     for d in 0..DUPS {
-        let expect: u64 = (0..ROUNDS)
-            .map(|round| (0..3).map(|r| (r + d * round) as u64).sum::<u64>())
-            .sum();
+        let expect: u64 =
+            (0..ROUNDS).map(|round| (0..3).map(|r| (r + d * round) as u64).sum::<u64>()).sum();
         for rank_result in &results {
             assert_eq!(rank_result[d], expect, "duplicate {d}");
         }

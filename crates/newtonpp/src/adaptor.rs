@@ -111,11 +111,11 @@ impl DataAdaptor for NewtonAdaptor<'_> {
 mod tests {
     use super::*;
     use crate::forces::Gravity;
-    use svtk::DataArray;
     use crate::ic::UniformIc;
     use crate::sim::{IcKind, NewtonConfig};
     use devsim::{NodeConfig, SimNode};
     use minimpi::World;
+    use svtk::DataArray;
 
     fn cfg() -> NewtonConfig {
         NewtonConfig {

@@ -59,7 +59,16 @@ pub fn accelerations_host(targets: &BodySet, sources: &BodySet, grav: &Gravity) 
         let (xi, yi, zi) = (targets.x[i], targets.y[i], targets.z[i]);
         let mut a = [0.0; 3];
         for j in 0..sources.len() {
-            let da = pair_accel(xi, yi, zi, sources.x[j], sources.y[j], sources.z[j], sources.m[j], grav);
+            let da = pair_accel(
+                xi,
+                yi,
+                zi,
+                sources.x[j],
+                sources.y[j],
+                sources.z[j],
+                sources.m[j],
+                grav,
+            );
             a[0] += da[0];
             a[1] += da[1];
             a[2] += da[2];

@@ -203,16 +203,22 @@ impl Newton {
         let (vx, vy, vz) = (self.state.vx.clone(), self.state.vy.clone(), self.state.vz.clone());
         let (ax, ay, az) = (self.state.ax.clone(), self.state.ay.clone(), self.state.az.clone());
         self.stream
-            .launch("nbody_kick", KernelCost { flops: 6.0 * n as f64, bytes: 96.0 * n as f64 }, move |scope| {
-                let (vx, vy, vz) = (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
-                let (ax, ay, az) = (ax.f64_view(scope)?, ay.f64_view(scope)?, az.f64_view(scope)?);
-                for i in 0..vx.len() {
-                    vx.set(i, vx.get(i) + ax.get(i) * half_dt);
-                    vy.set(i, vy.get(i) + ay.get(i) * half_dt);
-                    vz.set(i, vz.get(i) + az.get(i) * half_dt);
-                }
-                Ok(())
-            })
+            .launch(
+                "nbody_kick",
+                KernelCost { flops: 6.0 * n as f64, bytes: 96.0 * n as f64 },
+                move |scope| {
+                    let (vx, vy, vz) =
+                        (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
+                    let (ax, ay, az) =
+                        (ax.f64_view(scope)?, ay.f64_view(scope)?, az.f64_view(scope)?);
+                    for i in 0..vx.len() {
+                        vx.set(i, vx.get(i) + ax.get(i) * half_dt);
+                        vy.set(i, vy.get(i) + ay.get(i) * half_dt);
+                        vz.set(i, vz.get(i) + az.get(i) * half_dt);
+                    }
+                    Ok(())
+                },
+            )
             .map_err(Error::Device)
     }
 
@@ -222,16 +228,21 @@ impl Newton {
         let (x, y, z) = (self.state.x.clone(), self.state.y.clone(), self.state.z.clone());
         let (vx, vy, vz) = (self.state.vx.clone(), self.state.vy.clone(), self.state.vz.clone());
         self.stream
-            .launch("nbody_drift", KernelCost { flops: 6.0 * n as f64, bytes: 96.0 * n as f64 }, move |scope| {
-                let (x, y, z) = (x.f64_view(scope)?, y.f64_view(scope)?, z.f64_view(scope)?);
-                let (vx, vy, vz) = (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
-                for i in 0..x.len() {
-                    x.set(i, x.get(i) + vx.get(i) * dt);
-                    y.set(i, y.get(i) + vy.get(i) * dt);
-                    z.set(i, z.get(i) + vz.get(i) * dt);
-                }
-                Ok(())
-            })
+            .launch(
+                "nbody_drift",
+                KernelCost { flops: 6.0 * n as f64, bytes: 96.0 * n as f64 },
+                move |scope| {
+                    let (x, y, z) = (x.f64_view(scope)?, y.f64_view(scope)?, z.f64_view(scope)?);
+                    let (vx, vy, vz) =
+                        (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
+                    for i in 0..x.len() {
+                        x.set(i, x.get(i) + vx.get(i) * dt);
+                        y.set(i, y.get(i) + vy.get(i) * dt);
+                        z.set(i, z.get(i) + vz.get(i) * dt);
+                    }
+                    Ok(())
+                },
+            )
             .map_err(Error::Device)
     }
 
@@ -247,9 +258,8 @@ impl Newton {
         // Pack on device into the staging layout via four ordered copies.
         let pack = self.node.host_alloc_f64(n);
         let mut bundle = vec![0.0f64; 4 * n];
-        for (k, buf) in [&self.state.x, &self.state.y, &self.state.z, &self.state.m]
-            .into_iter()
-            .enumerate()
+        for (k, buf) in
+            [&self.state.x, &self.state.y, &self.state.z, &self.state.m].into_iter().enumerate()
         {
             self.stream.copy(buf, &pack).map_err(Error::Device)?;
             self.stream.synchronize().map_err(Error::Device)?;
@@ -262,8 +272,11 @@ impl Newton {
 
         // Allgather across ranks; charged as host work (this is the
         // MPI/staging phase of the solver that competes with host-placed
-        // in situ processing).
-        let gathered: Vec<Vec<f64>> = self.node.host().run(
+        // in situ processing). The urgent lane keeps the blocking
+        // collective from queueing behind asynchronous in situ kernels —
+        // a rank stuck behind analysis work would hold every other rank
+        // inside the allgather.
+        let gathered: Vec<Vec<f64>> = self.node.host().run_urgent(
             "nbody_exchange",
             KernelCost::bytes((self.n_global * 4 * 8) as f64),
             || comm.allgather(bundle),
@@ -457,8 +470,12 @@ impl Newton {
                 "nbody_derived",
                 KernelCost { flops: 10.0 * n as f64, bytes: 72.0 * n as f64 },
                 move |scope| {
-                    let (vx, vy, vz, m) =
-                        (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?, m.f64_view(scope)?);
+                    let (vx, vy, vz, m) = (
+                        vx.f64_view(scope)?,
+                        vy.f64_view(scope)?,
+                        vz.f64_view(scope)?,
+                        m.f64_view(scope)?,
+                    );
                     let (px, py, pz, ke, speed) = (
                         px.f64_view(scope)?,
                         py.f64_view(scope)?,
@@ -570,9 +587,8 @@ mod tests {
         for all in got {
             assert_eq!(all.len(), reference.len());
             // Compare as mass-sorted sets (rank ordering differs).
-            let mut got_sorted: Vec<(f64, f64, f64)> = (0..all.len())
-                .map(|i| (all.m[i], all.x[i], all.vy[i]))
-                .collect();
+            let mut got_sorted: Vec<(f64, f64, f64)> =
+                (0..all.len()).map(|i| (all.m[i], all.x[i], all.vy[i])).collect();
             let mut ref_sorted: Vec<(f64, f64, f64)> = (0..reference.len())
                 .map(|i| (reference.m[i], reference.x[i], reference.vy[i]))
                 .collect();

@@ -101,7 +101,9 @@ impl Oscillator {
         }
         let parts: Vec<&str> = line.split_whitespace().collect();
         if parts.len() < 7 {
-            return Err(format!("expected 'kind x y z radius omega zeta [amplitude]', got '{line}'"));
+            return Err(format!(
+                "expected 'kind x y z radius omega zeta [amplitude]', got '{line}'"
+            ));
         }
         let kind = OscillatorKind::parse(parts[0])
             .ok_or_else(|| format!("unknown oscillator kind '{}'", parts[0]))?;
@@ -163,7 +165,8 @@ mod tests {
     fn damped_amplitude_shrinks_over_periods() {
         let o = Oscillator::damped([0.0; 3], 1.0, 10.0, 0.2, 1.0);
         let early: f64 = (0..100).map(|i| o.temporal(i as f64 * 0.01).abs()).fold(0.0, f64::max);
-        let late: f64 = (0..100).map(|i| o.temporal(2.0 + i as f64 * 0.01).abs()).fold(0.0, f64::max);
+        let late: f64 =
+            (0..100).map(|i| o.temporal(2.0 + i as f64 * 0.01).abs()).fold(0.0, f64::max);
         assert!(late < early * 0.1, "late {late} vs early {early}");
     }
 

@@ -140,10 +140,8 @@ impl OscillatorsSim {
         let ny = self.cfg.cells[1] + 1;
         let t = self.time;
         let field = self.field.clone();
-        let cost = KernelCost {
-            flops: 25.0 * n as f64 * oscillators.len() as f64,
-            bytes: 8.0 * n as f64,
-        };
+        let cost =
+            KernelCost { flops: 25.0 * n as f64 * oscillators.len() as f64, bytes: 8.0 * n as f64 };
         self.stream
             .launch("oscillators_eval", cost, move |scope| {
                 let f = field.f64_view(scope)?;

@@ -1,0 +1,506 @@
+//! The [`Strategy`] trait, combinators, and base strategy impls.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values for which `pred` holds (retrying generation).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        reason: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, pred, reason }
+    }
+
+    /// Build recursive structures: `recurse` receives the strategy for
+    /// the previous depth level and returns the strategy for one level
+    /// deeper. `depth` bounds recursion; the size hints are accepted for
+    /// API compatibility but unused.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current).boxed();
+            let l = leaf.clone();
+            // A leaf 1 time in 4 at every level varies the actual depth.
+            current = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.below(4) == 0 {
+                    l.generate(rng)
+                } else {
+                    branch.generate(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erase the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy::new(move |rng: &mut TestRng| inner.generate(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy { gen: self.gen.clone() }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    pub(crate) fn new(f: impl Fn(&mut TestRng) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+    reason: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 candidates in a row", self.reason);
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---- ranges ----------------------------------------------------------
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range must be non-empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range must be non-empty");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f32, f64);
+
+// ---- tuples ----------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ---- any::<T>() ------------------------------------------------------
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over every value of `T` (see [`any`]).
+#[derive(Clone, Copy, Debug)]
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: any representable value.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+// ---- regex-literal string strategies ---------------------------------
+
+/// `&str` literals act as regex strategies over a small, commonly used
+/// subset: literal characters, character classes (`[a-z0-9_]`, `[ -~]`),
+/// the `\PC` printable-character escape, and quantifiers `{n}`, `{m,n}`,
+/// `*`, `+`, `?`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let n = atom.min_reps + rng.below(atom.max_reps - atom.min_reps + 1);
+            for _ in 0..n {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Inclusive character ranges a class can draw from.
+#[derive(Debug, Clone)]
+struct CharClass {
+    ranges: Vec<(char, char)>,
+}
+
+impl CharClass {
+    fn single(c: char) -> Self {
+        CharClass { ranges: vec![(c, c)] }
+    }
+
+    /// `\PC`: any non-control character. Printable ASCII plus a few
+    /// multi-byte characters so UTF-8 handling gets exercised.
+    fn printable() -> Self {
+        CharClass { ranges: vec![(' ', '~'), ('\u{00e9}', '\u{00ea}'), ('\u{03b1}', '\u{03b4}')] }
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u32 = self.ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+        let mut pick = rng.below(total as usize) as u32;
+        for &(lo, hi) in &self.ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if pick < span {
+                return char::from_u32(lo as u32 + pick).expect("in-range scalar");
+            }
+            pick -= span;
+        }
+        unreachable!("pick < total");
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: CharClass,
+    min_reps: usize,
+    max_reps: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let class = match chars[i] {
+            '[' => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated class in '{pattern}'"));
+                let class = parse_class(&chars[i + 1..end], pattern);
+                i = end + 1;
+                class
+            }
+            '\\' => {
+                let next =
+                    *chars.get(i + 1).unwrap_or_else(|| panic!("dangling \\ in '{pattern}'"));
+                if next == 'P' || next == 'p' {
+                    // \PC / \pC style category escape: treat as printable.
+                    i += 3;
+                    CharClass::printable()
+                } else {
+                    i += 2;
+                    CharClass::single(next)
+                }
+            }
+            '.' => {
+                i += 1;
+                CharClass::printable()
+            }
+            c => {
+                i += 1;
+                CharClass::single(c)
+            }
+        };
+        // Optional quantifier.
+        let (min_reps, max_reps) = match chars.get(i) {
+            Some('{') => {
+                let end = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unterminated quantifier in '{pattern}'"));
+                let body: String = chars[i + 1..end].iter().collect();
+                i = end + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("quantifier lower bound"),
+                        hi.trim().parse().expect("quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("quantifier count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { class, min_reps, max_reps });
+    }
+    atoms
+}
+
+fn parse_class(body: &[char], pattern: &str) -> CharClass {
+    assert!(!body.is_empty(), "empty class in '{pattern}'");
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        let lo = body[i];
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let hi = body[i + 2];
+            assert!(lo <= hi, "inverted range in '{pattern}'");
+            ranges.push((lo, hi));
+            i += 3;
+        } else if i + 2 == body.len() && body[i + 1] == '-' {
+            // Trailing '-' is a literal.
+            ranges.push((lo, lo));
+            ranges.push(('-', '-'));
+            i += 2;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    CharClass { ranges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case(11)
+    }
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (0usize..3).generate(&mut r);
+            assert!(v < 3);
+            let (a, b) = ((0u8..3), (-5i64..6)).generate(&mut r);
+            assert!(a < 3);
+            assert!((-5..6).contains(&b));
+            let f = (0.25f64..0.75).generate(&mut r);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_filter_and_just() {
+        let mut r = rng();
+        let s = (0usize..10).prop_map(|v| v * 2).prop_filter("even >= 4", |&v| v >= 4);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 2 == 0 && v >= 4);
+        }
+        assert_eq!(Just(7).generate(&mut r), 7);
+    }
+
+    #[test]
+    fn regex_literals_match_their_own_pattern() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let name = "[a-z][a-z0-9_]{0,8}".generate(&mut r);
+            assert!(!name.is_empty() && name.len() <= 9);
+            assert!(name.chars().next().unwrap().is_ascii_lowercase());
+            assert!(name.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+
+            let printable = "\\PC{0,64}".generate(&mut r);
+            assert!(printable.chars().count() <= 64);
+            assert!(printable.chars().all(|c| !c.is_control()));
+
+            let ascii = "[ -~]{0,12}".generate(&mut r);
+            assert!(ascii.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn vec_option_select_any() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(0usize..5, 1..4).generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+            let o = crate::option::of(0usize..5).generate(&mut r);
+            assert!(o.is_none() || o.unwrap() < 5);
+            let s = crate::sample::select(vec!["a", "b"]).generate(&mut r);
+            assert!(s == "a" || s == "b");
+            let _: u64 = any::<u64>().generate(&mut r);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        fn leaves_in_range(t: &Tree) -> bool {
+            match t {
+                Tree::Leaf(v) => *v < 10,
+                Tree::Node(cs) => cs.iter().all(leaves_in_range),
+            }
+        }
+        let strat = (0u8..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            let t = strat.generate(&mut r);
+            assert!(depth(&t) <= 4);
+            assert!(leaves_in_range(&t));
+        }
+    }
+}

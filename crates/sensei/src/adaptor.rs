@@ -13,6 +13,7 @@ use svtk::{DataObject, FieldAssociation};
 
 use crate::controls::BackendControls;
 use crate::error::Result;
+use crate::requirements::DataRequirements;
 
 /// Description of one array available on a mesh.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -93,6 +94,14 @@ pub trait AnalysisAdaptor: Send {
     /// Mutable access to the controls (used by the bridge and the
     /// run-time configuration).
     fn controls_mut(&mut self) -> &mut BackendControls;
+
+    /// The arrays this back-end reads, used to limit what asynchronous
+    /// execution deep-copies into its snapshot. The default — everything —
+    /// is always correct; back-ends that know their inputs should narrow
+    /// it so snapshots copy (and hold) only what is used.
+    fn required_arrays(&self) -> DataRequirements {
+        DataRequirements::All
+    }
 
     /// Process the simulation's current state. Returns `Ok(true)` to
     /// continue, `Ok(false)` to request the simulation stop.

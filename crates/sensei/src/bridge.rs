@@ -1,74 +1,25 @@
 //! The simulation-facing bridge: initialize, execute per iteration,
 //! finalize.
+//!
+//! The bridge no longer hard-codes the two execution methods; each
+//! attached back-end is wrapped in an [`ExecutionEngine`] resolved from
+//! an [`EngineRegistry`] by the back-end's execution-mode name. Snapshot
+//! capture is requirements-driven: per iteration the bridge unions the
+//! [`crate::DataRequirements`] of the due snapshot-consuming engines and
+//! deep-copies exactly that.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Sender};
 use devsim::SimNode;
 use minimpi::Comm;
 
-use crate::adaptor::{AnalysisAdaptor, DataAdaptor, ExecContext};
+use crate::adaptor::{AnalysisAdaptor, DataAdaptor};
+use crate::engine::{EngineContext, EngineRegistry, ExecutionEngine};
 use crate::error::{Error, Result};
-use crate::execution::ExecutionMethod;
 use crate::profiler::Profiler;
+use crate::requirements::DataRequirements;
 use crate::snapshot::SnapshotAdaptor;
-
-enum BackendSlot {
-    /// Executes inline; may access simulation arrays zero-copy.
-    Lockstep(Box<dyn AnalysisAdaptor>),
-    /// Executes on its own thread against deep-copied snapshots.
-    Async(AsyncRunner),
-}
-
-/// A persistent in situ worker thread owning one asynchronous back-end
-/// and a dedicated duplicate communicator.
-struct AsyncRunner {
-    name: String,
-    controls: crate::BackendControls,
-    tx: Option<Sender<Arc<SnapshotAdaptor>>>,
-    handle: Option<std::thread::JoinHandle<Result<()>>>,
-}
-
-impl AsyncRunner {
-    fn spawn(mut adaptor: Box<dyn AnalysisAdaptor>, comm: Comm, node: Arc<SimNode>) -> Self {
-        let name = adaptor.name().to_string();
-        let controls = *adaptor.controls();
-        let (tx, rx) = unbounded::<Arc<SnapshotAdaptor>>();
-        let thread_name = format!("sensei-insitu-{name}");
-        let handle = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || -> Result<()> {
-                let ctx = ExecContext::new(&comm, &node);
-                for snapshot in rx {
-                    adaptor.execute(snapshot.as_ref(), &ctx)?;
-                }
-                adaptor.finalize(&ctx)
-            })
-            .expect("spawn in situ worker");
-        AsyncRunner { name, controls, tx: Some(tx), handle: Some(handle) }
-    }
-
-    fn submit(&self, snapshot: Arc<SnapshotAdaptor>) -> Result<()> {
-        match &self.tx {
-            Some(tx) => tx.send(snapshot).map_err(|_| {
-                Error::Analysis(format!("in situ worker '{}' terminated early", self.name))
-            }),
-            None => Err(Error::Finalized),
-        }
-    }
-
-    /// Close the queue and wait for all outstanding work plus finalize.
-    fn drain(&mut self) -> Result<()> {
-        self.tx = None; // closing the channel ends the worker loop
-        match self.handle.take() {
-            Some(h) => h
-                .join()
-                .map_err(|_| Error::Analysis(format!("in situ worker '{}' panicked", self.name)))?,
-            None => Ok(()),
-        }
-    }
-}
 
 /// The SENSEI bridge: the single instrumentation point a simulation calls.
 ///
@@ -76,50 +27,68 @@ impl AsyncRunner {
 /// XML via [`crate::ConfigurableAnalysis`]); every iteration the
 /// simulation calls [`Bridge::execute`] with its data adaptor; at shutdown
 /// [`Bridge::finalize`] drains asynchronous workers and returns the
-/// [`Profiler`] with the run's per-iteration timings.
+/// [`Profiler`] with the run's per-iteration timings (including a
+/// per-backend apparent-time breakdown).
 pub struct Bridge {
     node: Arc<SimNode>,
-    slots: Vec<BackendSlot>,
+    engines: Vec<Attached>,
+    registry: EngineRegistry,
     profiler: Profiler,
     finalized: bool,
 }
 
+/// One attached back-end: its engine plus the label the profiler uses
+/// (the back-end name, suffixed `#2`, `#3`, ... for repeated instances so
+/// the breakdown keeps them apart).
+struct Attached {
+    label: String,
+    engine: Box<dyn ExecutionEngine>,
+}
+
 impl Bridge {
-    /// A bridge for one rank on `node`.
+    /// A bridge for one rank on `node`, with the built-in engines
+    /// (lockstep inline, asynchronous threaded).
     pub fn new(node: Arc<SimNode>) -> Self {
-        Bridge { node, slots: Vec::new(), profiler: Profiler::new(), finalized: false }
+        Self::with_engines(node, EngineRegistry::with_defaults())
     }
 
-    /// Attach a back-end. The back-end's [`ExecutionMethod`] decides its
-    /// slot: lockstep back-ends run inline; asynchronous back-ends get a
-    /// persistent worker thread and a dedicated duplicate of `comm`
+    /// A bridge dispatching through a caller-supplied engine registry —
+    /// the hook for replacing how a mode executes (or adding new modes)
+    /// without changing the bridge.
+    pub fn with_engines(node: Arc<SimNode>, registry: EngineRegistry) -> Self {
+        Bridge { node, engines: Vec::new(), registry, profiler: Profiler::new(), finalized: false }
+    }
+
+    /// Attach a back-end. Its [`crate::ExecutionMethod`]'s name selects
+    /// the engine from the registry: lockstep back-ends run inline;
+    /// asynchronous back-ends get a persistent worker thread with a
+    /// bounded snapshot queue and a dedicated duplicate of `comm`
     /// (collective: every rank must attach the same back-ends in the same
     /// order).
     pub fn add_analysis(&mut self, adaptor: Box<dyn AnalysisAdaptor>, comm: &Comm) -> Result<()> {
         if self.finalized {
             return Err(Error::Finalized);
         }
-        let slot = match adaptor.controls().execution {
-            ExecutionMethod::Lockstep => BackendSlot::Lockstep(adaptor),
-            ExecutionMethod::Asynchronous => {
-                let dup = comm.dup();
-                BackendSlot::Async(AsyncRunner::spawn(adaptor, dup, self.node.clone()))
-            }
-        };
-        self.slots.push(slot);
+        let mode = adaptor.controls().execution.name();
+        let name = adaptor.name().to_string();
+        let ctx = EngineContext { comm, node: &self.node };
+        let engine = self.registry.create(mode, adaptor, &ctx)?;
+        let copies = self.engines.iter().filter(|a| a.engine.backend_name() == name).count();
+        let label = if copies == 0 { name } else { format!("{}#{}", name, copies + 1) };
+        self.engines.push(Attached { label, engine });
         Ok(())
     }
 
     /// Number of attached back-ends.
     pub fn num_backends(&self) -> usize {
-        self.slots.len()
+        self.engines.len()
     }
 
     /// Process the simulation's current state through every back-end.
     ///
     /// `solver_time` is the solver cost of the iteration just completed
     /// (recorded alongside the measured apparent in situ cost). Returns
-    /// `Ok(false)` when a lockstep back-end requests the simulation stop.
+    /// `Ok(false)` when a back-end requests the simulation stop.
     pub fn execute(
         &mut self,
         data: &dyn DataAdaptor,
@@ -131,31 +100,34 @@ impl Bridge {
         }
         let step = data.time_step();
         let t0 = Instant::now();
-        let mut proceed = true;
-        // One deep-copied snapshot per iteration, shared by every
-        // asynchronous back-end (§4.3: "the in situ code deep copies the
-        // relevant data" — once, not once per back-end).
-        let mut snapshot: Option<Arc<SnapshotAdaptor>> = None;
-        for slot in &mut self.slots {
-            match slot {
-                BackendSlot::Lockstep(adaptor) => {
-                    if !adaptor.controls().due_at(step) {
-                        continue;
-                    }
-                    let ctx = ExecContext::new(comm, &self.node);
-                    proceed &= adaptor.execute(data, &ctx)?;
-                }
-                BackendSlot::Async(runner) => {
-                    if !runner.controls.due_at(step) {
-                        continue;
-                    }
-                    // Deep copy, hand off, return immediately (§4.3).
-                    if snapshot.is_none() {
-                        snapshot = Some(Arc::new(SnapshotAdaptor::capture(data)?));
-                    }
-                    runner.submit(snapshot.clone().expect("captured above"))?;
+
+        // One deep-copied snapshot per iteration, shared by every due
+        // snapshot-consuming engine (§4.3: "the in situ code deep copies
+        // the relevant data" — once, not once per back-end), containing
+        // the union of their declared requirements and nothing else.
+        let mut requirements: Option<DataRequirements> = None;
+        for a in &self.engines {
+            if a.engine.needs_snapshot() && a.engine.controls().due_at(step) {
+                let req = a.engine.requirements();
+                match &mut requirements {
+                    Some(union) => union.union_with(&req),
+                    None => requirements = Some(req),
                 }
             }
+        }
+        let snapshot = match &requirements {
+            Some(req) => Some(Arc::new(SnapshotAdaptor::capture_with(data, req)?)),
+            None => None,
+        };
+
+        let mut proceed = true;
+        for a in &mut self.engines {
+            if !a.engine.controls().due_at(step) {
+                continue;
+            }
+            let te0 = Instant::now();
+            proceed &= a.engine.dispatch(data, snapshot.as_ref(), comm, &self.node)?;
+            self.profiler.record_backend(step, a.label.as_str(), te0.elapsed());
         }
         let apparent = t0.elapsed();
         self.profiler.record(step, solver_time, apparent);
@@ -167,15 +139,8 @@ impl Bridge {
     pub fn finalize(mut self, comm: &Comm) -> Result<Profiler> {
         self.finalized = true;
         let mut first_err = None;
-        for slot in &mut self.slots {
-            let result = match slot {
-                BackendSlot::Lockstep(adaptor) => {
-                    let ctx = ExecContext::new(comm, &self.node);
-                    adaptor.finalize(&ctx)
-                }
-                BackendSlot::Async(runner) => runner.drain(),
-            };
-            if let Err(e) = result {
+        for a in &mut self.engines {
+            if let Err(e) = a.engine.finalize(comm, &self.node) {
                 first_err.get_or_insert(e);
             }
         }

@@ -4,13 +4,15 @@
 //! configuration feature" (§4.3) — the 90 binning operations are 9
 //! sequential `data_binning` instances configured from one file. The
 //! execution-model extensions surface in the XML as the `mode`
-//! (lockstep/asynchronous) and `device` / `n_use` / `stride` / `offset`
-//! attributes, available on *every* analysis element.
+//! (lockstep/asynchronous), `device` / `n_use` / `stride` / `offset`,
+//! and `queue_depth` / `overflow` (asynchronous backpressure) attributes,
+//! available on *every* analysis element.
 //!
 //! ```xml
 //! <sensei>
 //!   <analysis type="data_binning" enabled="1"
-//!             mode="asynchronous" device="-2" n_use="1" offset="3">
+//!             mode="asynchronous" device="-2" n_use="1" offset="3"
+//!             queue_depth="4" overflow="block">
 //!     ...back-end specific content...
 //!   </analysis>
 //! </sensei>
@@ -23,6 +25,7 @@ use crate::controls::{BackendControls, DeviceSpec};
 use crate::device_select::DeviceSelector;
 use crate::error::{Error, Result};
 use crate::execution::ExecutionMethod;
+use crate::queue::OverflowPolicy;
 use crate::registry::{AnalysisRegistry, CreateContext};
 
 /// One `<analysis>` entry of a configuration.
@@ -35,6 +38,35 @@ pub struct BackendConfig {
     pub controls: BackendControls,
     /// The full element, for back-end specific parameters.
     pub element: Element,
+}
+
+impl BackendConfig {
+    /// Rebuild the `<analysis>` element: back-end specific children are
+    /// preserved from the source document, while every execution-model
+    /// control is written back as an attribute (so
+    /// parse → [`ConfigurableAnalysis::to_xml`] → parse round-trips).
+    pub fn to_element(&self) -> Element {
+        let mut el = self.element.clone();
+        let set = |el: &mut Element, key: &str, value: String| {
+            el.attributes.retain(|(k, _)| k != key);
+            el.attributes.push((key.to_string(), value));
+        };
+        set(&mut el, "type", self.type_name.clone());
+        set(&mut el, "enabled", (self.enabled as u8).to_string());
+        let c = &self.controls;
+        set(&mut el, "mode", c.execution.name().to_string());
+        set(&mut el, "device", c.device.code().to_string());
+        match c.selector.n_use {
+            Some(n) => set(&mut el, "n_use", n.to_string()),
+            None => el.attributes.retain(|(k, _)| k != "n_use"),
+        }
+        set(&mut el, "stride", c.selector.stride.to_string());
+        set(&mut el, "offset", c.selector.offset.to_string());
+        set(&mut el, "frequency", c.frequency.to_string());
+        set(&mut el, "queue_depth", c.queue_depth.to_string());
+        set(&mut el, "overflow", c.overflow.name().to_string());
+        el
+    }
 }
 
 /// A parsed SENSEI run-time configuration.
@@ -72,10 +104,29 @@ impl ConfigurableAnalysis {
                 offset: el.parse_attr_or::<usize>("offset", 0).map_err(Error::Xml)?,
             };
             let frequency = el.parse_attr_or::<u64>("frequency", 1).map_err(Error::Xml)?;
+            let defaults = BackendControls::default();
+            let queue_depth = el
+                .parse_attr_or::<usize>("queue_depth", defaults.queue_depth)
+                .map_err(Error::Xml)?;
+            if queue_depth == 0 {
+                return Err(Error::Config("queue_depth must be at least 1".into()));
+            }
+            let overflow = match el.attr("overflow") {
+                None => defaults.overflow,
+                Some(s) => OverflowPolicy::parse(s)
+                    .ok_or_else(|| Error::Config(format!("bad overflow policy '{s}'")))?,
+            };
             configs.push(BackendConfig {
                 type_name,
                 enabled,
-                controls: BackendControls { execution, device, selector, frequency },
+                controls: BackendControls {
+                    execution,
+                    device,
+                    selector,
+                    frequency,
+                    queue_depth,
+                    overflow,
+                },
                 element: el.clone(),
             });
         }
@@ -85,6 +136,17 @@ impl ConfigurableAnalysis {
     /// All entries (including disabled ones).
     pub fn configs(&self) -> &[BackendConfig] {
         &self.configs
+    }
+
+    /// Serialize back to XML text. Parsing the result yields the same
+    /// entries and controls (attributes are normalized: defaults are
+    /// written out explicitly).
+    pub fn to_xml(&self) -> String {
+        let mut root = Element::new("sensei");
+        for cfg in &self.configs {
+            root.children.push(xmlcfg::Node::Element(cfg.to_element()));
+        }
+        xmlcfg::write(&root)
     }
 
     /// Instantiate every enabled back-end via `registry`, with the parsed
@@ -113,11 +175,12 @@ mod tests {
     const XML: &str = r#"
         <sensei>
           <analysis type="binning" mode="asynchronous" device="-2"
-                    n_use="1" offset="3" stride="1">
+                    n_use="1" offset="3" stride="1"
+                    queue_depth="8" overflow="drop_oldest">
             <axes>x,y</axes>
           </analysis>
           <analysis type="binning" enabled="0"/>
-          <analysis type="writer" device="-1"/>
+          <analysis type="writer" device="-1" overflow="error"/>
           <analysis type="probe" device="2"/>
         </sensei>"#;
 
@@ -132,20 +195,57 @@ mod tests {
         assert_eq!(b.controls.execution, ExecutionMethod::Asynchronous);
         assert_eq!(b.controls.device, DeviceSpec::Auto);
         assert_eq!(b.controls.selector, DeviceSelector { n_use: Some(1), stride: 1, offset: 3 });
+        assert_eq!(b.controls.queue_depth, 8);
+        assert_eq!(b.controls.overflow, OverflowPolicy::DropOldest);
         assert_eq!(b.element.find_child("axes").unwrap().text(), "x,y");
 
         assert!(!cfg.configs()[1].enabled);
+        assert_eq!(cfg.configs()[1].controls.queue_depth, 4, "queue_depth defaults to 4");
         assert_eq!(cfg.configs()[2].controls.device, DeviceSpec::Host);
+        assert_eq!(cfg.configs()[2].controls.overflow, OverflowPolicy::Error);
         assert_eq!(cfg.configs()[3].controls.device, DeviceSpec::Explicit(2));
         assert_eq!(cfg.configs()[3].controls.execution, ExecutionMethod::Lockstep);
+        assert_eq!(cfg.configs()[3].controls.overflow, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn bad_queue_depth_and_overflow_are_rejected() {
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><analysis type="x" queue_depth="0"/></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><analysis type="x" overflow="discard"/></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn xml_round_trips_through_to_xml() {
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        let text = cfg.to_xml();
+        let again = ConfigurableAnalysis::from_xml(&text).unwrap();
+        assert_eq!(again.configs().len(), cfg.configs().len());
+        for (a, b) in cfg.configs().iter().zip(again.configs()) {
+            assert_eq!(a.type_name, b.type_name);
+            assert_eq!(a.enabled, b.enabled);
+            assert_eq!(a.controls, b.controls);
+        }
+        // Back-end specific children survive the round trip.
+        assert_eq!(again.configs()[0].element.find_child("axes").unwrap().text(), "x,y");
+        // And the controls are normalized into explicit attributes.
+        assert!(text.contains(r#"queue_depth="8""#));
+        assert!(text.contains(r#"overflow="drop_oldest""#));
+        assert!(text.contains(r#"overflow="block""#), "defaults written explicitly");
     }
 
     #[test]
     fn bad_root_mode_and_device_are_rejected() {
-        assert!(matches!(
-            ConfigurableAnalysis::from_xml("<nope/>"),
-            Err(Error::Config(_))
-        ));
+        assert!(matches!(ConfigurableAnalysis::from_xml("<nope/>"), Err(Error::Config(_))));
         assert!(matches!(
             ConfigurableAnalysis::from_xml(r#"<sensei><analysis type="x" mode="weird"/></sensei>"#),
             Err(Error::Config(_))

@@ -8,6 +8,7 @@
 
 use crate::device_select::{select_device, DeviceSelector};
 use crate::execution::ExecutionMethod;
+use crate::queue::OverflowPolicy;
 
 /// Where an analysis should run, before rank-specific resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,6 +56,11 @@ pub struct BackendControls {
     /// Execute every `frequency` steps (1 = every iteration, as in the
     /// paper's runs). The bridge skips the back-end on other steps.
     pub frequency: u64,
+    /// Maximum snapshots in flight for asynchronous execution (each holds
+    /// a deep copy of the back-end's required arrays). Minimum 1.
+    pub queue_depth: usize,
+    /// What snapshot submission does when `queue_depth` is reached.
+    pub overflow: OverflowPolicy,
 }
 
 impl Default for BackendControls {
@@ -64,6 +70,8 @@ impl Default for BackendControls {
             device: DeviceSpec::default(),
             selector: DeviceSelector::default(),
             frequency: 1,
+            queue_depth: 4,
+            overflow: OverflowPolicy::default(),
         }
     }
 }
@@ -132,6 +140,8 @@ mod tests {
         assert_eq!(c.resolve_device(5, 4), Some(1));
         assert_eq!(c.frequency, 1);
         assert!(c.due_at(0) && c.due_at(1) && c.due_at(7));
+        assert_eq!(c.queue_depth, 4);
+        assert_eq!(c.overflow, OverflowPolicy::Block);
     }
 
     #[test]

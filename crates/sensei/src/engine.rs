@@ -1,0 +1,389 @@
+//! The pluggable execution-engine layer.
+//!
+//! An [`ExecutionEngine`] owns one analysis back-end and decides *how* it
+//! runs relative to the simulation. The two engines the paper describes
+//! (§3) ship here — [`InlineEngine`] for lockstep and [`ThreadedEngine`]
+//! for asynchronous execution — and the bridge resolves a back-end's
+//! [`crate::ExecutionMethod`] to an engine through an [`EngineRegistry`],
+//! so alternative engines (a pool, an in-transit sender, a recording
+//! harness) can be plugged in without touching the bridge.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use devsim::SimNode;
+use minimpi::Comm;
+
+use crate::adaptor::{AnalysisAdaptor, DataAdaptor, ExecContext};
+use crate::controls::BackendControls;
+use crate::error::{Error, Result};
+use crate::queue::{bounded, BoundedSender, SendError};
+use crate::requirements::DataRequirements;
+use crate::snapshot::SnapshotAdaptor;
+
+/// How a back-end's work is scheduled relative to the simulation.
+///
+/// The bridge calls [`dispatch`](Self::dispatch) for every iteration the
+/// back-end is due and [`finalize`](Self::finalize) once at shutdown.
+/// Engines that run the analysis on another thread report the *apparent*
+/// cost (what the simulation waits for) through the bridge's timing of
+/// `dispatch`; the analysis itself overlaps the solver.
+pub trait ExecutionEngine: Send {
+    /// The owned back-end's instance name (for profiling and errors).
+    fn backend_name(&self) -> &str;
+
+    /// The owned back-end's execution-model controls.
+    fn controls(&self) -> &BackendControls;
+
+    /// What the back-end needs deep-copied when it runs off a snapshot.
+    fn requirements(&self) -> DataRequirements;
+
+    /// True when `dispatch` consumes a deep-copied snapshot instead of
+    /// accessing the simulation's live data.
+    fn needs_snapshot(&self) -> bool;
+
+    /// Run (or hand off) one iteration. `snapshot` is `Some` iff
+    /// [`needs_snapshot`](Self::needs_snapshot); it may contain the union
+    /// of several back-ends' requirements. Returns `Ok(false)` when the
+    /// back-end requests the simulation stop.
+    fn dispatch(
+        &mut self,
+        data: &dyn DataAdaptor,
+        snapshot: Option<&Arc<SnapshotAdaptor>>,
+        comm: &Comm,
+        node: &Arc<SimNode>,
+    ) -> Result<bool>;
+
+    /// Complete all outstanding work and finalize the back-end.
+    fn finalize(&mut self, comm: &Comm, node: &Arc<SimNode>) -> Result<()>;
+}
+
+/// Lockstep execution: the back-end runs inline on the simulation's
+/// thread, with zero-copy access to the live data (§3's lockstep method).
+pub struct InlineEngine {
+    adaptor: Box<dyn AnalysisAdaptor>,
+}
+
+impl InlineEngine {
+    /// Wrap `adaptor` for inline execution.
+    pub fn new(adaptor: Box<dyn AnalysisAdaptor>) -> Self {
+        InlineEngine { adaptor }
+    }
+}
+
+impl ExecutionEngine for InlineEngine {
+    fn backend_name(&self) -> &str {
+        self.adaptor.name()
+    }
+
+    fn controls(&self) -> &BackendControls {
+        self.adaptor.controls()
+    }
+
+    fn requirements(&self) -> DataRequirements {
+        self.adaptor.required_arrays()
+    }
+
+    fn needs_snapshot(&self) -> bool {
+        false
+    }
+
+    fn dispatch(
+        &mut self,
+        data: &dyn DataAdaptor,
+        _snapshot: Option<&Arc<SnapshotAdaptor>>,
+        comm: &Comm,
+        node: &Arc<SimNode>,
+    ) -> Result<bool> {
+        let ctx = ExecContext::new(comm, node);
+        self.adaptor.execute(data, &ctx)
+    }
+
+    fn finalize(&mut self, comm: &Comm, node: &Arc<SimNode>) -> Result<()> {
+        let ctx = ExecContext::new(comm, node);
+        self.adaptor.finalize(&ctx)
+    }
+}
+
+/// Asynchronous execution: a persistent worker thread owns the back-end
+/// and a dedicated duplicate communicator; `dispatch` hands a deep-copied
+/// snapshot through a bounded queue and returns immediately (§4.3).
+///
+/// The queue depth and overflow policy come from the back-end's
+/// [`BackendControls`]; a worker that fails or panics surfaces as
+/// [`Error::Analysis`] from the next `dispatch` or from `finalize`.
+pub struct ThreadedEngine {
+    name: String,
+    controls: BackendControls,
+    requirements: DataRequirements,
+    tx: Option<BoundedSender<Arc<SnapshotAdaptor>>>,
+    handle: Option<std::thread::JoinHandle<Result<()>>>,
+}
+
+impl ThreadedEngine {
+    /// Move `adaptor` onto a new worker thread. `comm` must be a
+    /// dedicated duplicate (the worker owns it; analysis traffic must not
+    /// interfere with the simulation's communicator).
+    pub fn spawn(mut adaptor: Box<dyn AnalysisAdaptor>, comm: Comm, node: Arc<SimNode>) -> Self {
+        let name = adaptor.name().to_string();
+        let controls = *adaptor.controls();
+        let requirements = adaptor.required_arrays();
+        let (tx, rx) = bounded::<Arc<SnapshotAdaptor>>(controls.queue_depth, controls.overflow);
+        let thread_name = format!("sensei-insitu-{name}");
+        let handle = std::thread::Builder::new()
+            .name(thread_name)
+            .spawn(move || -> Result<()> {
+                let ctx = ExecContext::new(&comm, &node);
+                while let Some(snapshot) = rx.recv() {
+                    adaptor.execute(snapshot.as_ref(), &ctx)?;
+                }
+                adaptor.finalize(&ctx)
+            })
+            .expect("spawn in situ worker");
+        ThreadedEngine { name, controls, requirements, tx: Some(tx), handle: Some(handle) }
+    }
+
+    /// Join the worker and translate its exit into a `Result` (used both
+    /// when a send finds the worker gone and at finalize).
+    fn join_worker(&mut self) -> Result<()> {
+        match self.handle.take() {
+            Some(h) => match h.join() {
+                Ok(result) => result,
+                Err(_) => Err(Error::Analysis(format!("in situ worker '{}' panicked", self.name))),
+            },
+            None => Ok(()),
+        }
+    }
+}
+
+impl ExecutionEngine for ThreadedEngine {
+    fn backend_name(&self) -> &str {
+        &self.name
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn requirements(&self) -> DataRequirements {
+        self.requirements.clone()
+    }
+
+    fn needs_snapshot(&self) -> bool {
+        true
+    }
+
+    fn dispatch(
+        &mut self,
+        _data: &dyn DataAdaptor,
+        snapshot: Option<&Arc<SnapshotAdaptor>>,
+        _comm: &Comm,
+        _node: &Arc<SimNode>,
+    ) -> Result<bool> {
+        let snapshot = snapshot.expect("bridge captures a snapshot for snapshot engines");
+        let tx = self.tx.as_ref().ok_or(Error::Finalized)?;
+        match tx.send(snapshot.clone()) {
+            Ok(_) => Ok(true),
+            Err(SendError::Full) => Err(Error::Analysis(format!(
+                "in situ queue for '{}' is full ({} snapshots in flight, overflow policy \
+                 'error')",
+                self.name, self.controls.queue_depth
+            ))),
+            Err(SendError::Disconnected) => {
+                // The worker exited early — an analysis error or a panic.
+                // Joining it (non-blocking: the thread is gone) recovers
+                // the reason.
+                self.tx = None;
+                match self.join_worker() {
+                    Ok(()) => Err(Error::Analysis(format!(
+                        "in situ worker '{}' terminated early",
+                        self.name
+                    ))),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+
+    fn finalize(&mut self, _comm: &Comm, _node: &Arc<SimNode>) -> Result<()> {
+        if let Some(tx) = self.tx.take() {
+            // Closing the queue ends the worker loop after it drains.
+            tx.close();
+        }
+        self.join_worker()
+    }
+}
+
+/// Context an [`EngineFactory`] builds an engine in.
+pub struct EngineContext<'a> {
+    /// The simulation's communicator. Engines needing their own duplicate
+    /// (threaded engines) call [`Comm::dup`] — collectively, so every
+    /// rank must attach the same back-ends in the same order.
+    pub comm: &'a Comm,
+    /// The heterogeneous node the rank runs on.
+    pub node: &'a Arc<SimNode>,
+}
+
+/// Builds an [`ExecutionEngine`] around a back-end.
+pub type EngineFactory = Box<
+    dyn Fn(Box<dyn AnalysisAdaptor>, &EngineContext<'_>) -> Result<Box<dyn ExecutionEngine>>
+        + Send
+        + Sync,
+>;
+
+/// Maps execution-mode names (the XML `mode` spellings) to engine
+/// factories. The bridge looks a back-end's
+/// [`crate::ExecutionMethod::name`] up here, so replacing or extending
+/// how a mode executes is a registration, not a bridge change.
+pub struct EngineRegistry {
+    factories: HashMap<String, EngineFactory>,
+}
+
+impl EngineRegistry {
+    /// A registry with no engines (register your own).
+    pub fn empty() -> Self {
+        EngineRegistry { factories: HashMap::new() }
+    }
+
+    /// The built-in engines: `lockstep` → [`InlineEngine`],
+    /// `asynchronous` → [`ThreadedEngine`].
+    pub fn with_defaults() -> Self {
+        let mut reg = EngineRegistry::empty();
+        reg.register("lockstep", |adaptor, _ctx| {
+            Ok(Box::new(InlineEngine::new(adaptor)) as Box<dyn ExecutionEngine>)
+        });
+        reg.register("asynchronous", |adaptor, ctx| {
+            Ok(Box::new(ThreadedEngine::spawn(adaptor, ctx.comm.dup(), ctx.node.clone()))
+                as Box<dyn ExecutionEngine>)
+        });
+        reg
+    }
+
+    /// Register (or replace) the factory for `mode`.
+    pub fn register(
+        &mut self,
+        mode: impl Into<String>,
+        factory: impl Fn(Box<dyn AnalysisAdaptor>, &EngineContext<'_>) -> Result<Box<dyn ExecutionEngine>>
+            + Send
+            + Sync
+            + 'static,
+    ) {
+        self.factories.insert(mode.into(), Box::new(factory));
+    }
+
+    /// True when a factory is registered for `mode`.
+    pub fn contains(&self, mode: &str) -> bool {
+        self.factories.contains_key(mode)
+    }
+
+    /// Registered mode names, sorted.
+    pub fn mode_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Build the engine for `mode` around `adaptor`.
+    pub fn create(
+        &self,
+        mode: &str,
+        adaptor: Box<dyn AnalysisAdaptor>,
+        ctx: &EngineContext<'_>,
+    ) -> Result<Box<dyn ExecutionEngine>> {
+        let factory = self.factories.get(mode).ok_or_else(|| {
+            Error::Config(format!("no execution engine registered for mode '{mode}'"))
+        })?;
+        factory(adaptor, ctx)
+    }
+}
+
+impl Default for EngineRegistry {
+    /// [`EngineRegistry::with_defaults`].
+    fn default() -> Self {
+        EngineRegistry::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::execution::ExecutionMethod;
+    use devsim::NodeConfig;
+    use minimpi::World;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct Counting {
+        controls: BackendControls,
+        executes: Arc<AtomicU64>,
+    }
+
+    impl AnalysisAdaptor for Counting {
+        fn name(&self) -> &str {
+            "counting"
+        }
+        fn controls(&self) -> &BackendControls {
+            &self.controls
+        }
+        fn controls_mut(&mut self) -> &mut BackendControls {
+            &mut self.controls
+        }
+        fn required_arrays(&self) -> DataRequirements {
+            DataRequirements::none().with_mesh("bodies")
+        }
+        fn execute(&mut self, _d: &dyn DataAdaptor, _c: &ExecContext<'_>) -> Result<bool> {
+            self.executes.fetch_add(1, Ordering::SeqCst);
+            Ok(true)
+        }
+    }
+
+    #[test]
+    fn default_registry_has_both_paper_modes() {
+        let reg = EngineRegistry::with_defaults();
+        for m in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+            assert!(reg.contains(m.name()), "missing engine for {}", m.name());
+        }
+        assert_eq!(reg.mode_names(), vec!["asynchronous", "lockstep"]);
+        assert!(!reg.contains("warp"));
+    }
+
+    #[test]
+    fn unknown_mode_is_a_config_error() {
+        let reg = EngineRegistry::empty();
+        World::new(1).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let adaptor = Box::new(Counting {
+                controls: BackendControls::default(),
+                executes: Arc::new(AtomicU64::new(0)),
+            });
+            let err = reg
+                .create("lockstep", adaptor, &EngineContext { comm: &comm, node: &node })
+                .err()
+                .expect("empty registry rejects");
+            assert!(matches!(err, Error::Config(_)), "got {err:?}");
+        });
+    }
+
+    #[test]
+    fn engines_expose_backend_controls_and_requirements() {
+        let executes = Arc::new(AtomicU64::new(0));
+        let e2 = executes.clone();
+        World::new(1).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let controls = BackendControls {
+                execution: ExecutionMethod::Asynchronous,
+                frequency: 2,
+                ..Default::default()
+            };
+            let adaptor = Box::new(Counting { controls, executes: e2.clone() });
+            let reg = EngineRegistry::with_defaults();
+            let mut engine = reg
+                .create("asynchronous", adaptor, &EngineContext { comm: &comm, node: &node })
+                .unwrap();
+            assert_eq!(engine.backend_name(), "counting");
+            assert_eq!(engine.controls().frequency, 2);
+            assert!(engine.needs_snapshot());
+            assert_eq!(engine.requirements(), DataRequirements::none().with_mesh("bodies"));
+            engine.finalize(&comm, &node).unwrap();
+        });
+    }
+}

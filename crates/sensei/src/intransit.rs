@@ -286,8 +286,7 @@ pub fn serve_analysis(
                         }
                         blocks.set_block(producer, DataObject::Table(table));
                     }
-                    let adaptor =
-                        ReceivedAdaptor { mesh: mesh.clone(), blocks, step, time };
+                    let adaptor = ReceivedAdaptor { mesh: mesh.clone(), blocks, step, time };
                     let ctx = ExecContext::new(ctx_comm, node);
                     for b in &mut backends {
                         if b.controls().due_at(step) {

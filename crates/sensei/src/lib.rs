@@ -23,26 +23,39 @@
 //! * [`BackendControls`] — the new control parameters, defined once and
 //!   available to every analysis back-end (the paper puts them in the
 //!   back-end base class);
+//! * [`ExecutionEngine`] — the pluggable layer that decides *how* a mode
+//!   executes: the built-in [`InlineEngine`] runs lockstep back-ends in
+//!   the simulation's thread; [`ThreadedEngine`] gives each asynchronous
+//!   back-end a persistent worker fed through a bounded snapshot queue
+//!   with a configurable [`OverflowPolicy`] (block / drop-oldest / error).
+//!   New modes register through an [`EngineRegistry`];
+//! * [`DataRequirements`] — what each back-end declares it reads
+//!   ([`AnalysisAdaptor::required_arrays`]); asynchronous snapshots deep
+//!   copy only the union of the due back-ends' requirements;
 //! * [`ConfigurableAnalysis`] — back-end instantiation from SENSEI's
-//!   run-time XML configuration;
+//!   run-time XML configuration (including `queue_depth` / `overflow`);
 //! * [`intransit`] — M-to-N in-transit processing on dedicated
 //!   analysis ranks (the off-node counterpart of the placement study);
 //! * [`Bridge`] — the simulation-facing instrumentation
 //!   (initialize / execute-per-iteration / finalize) with a built-in
-//!   [`Profiler`] recording per-iteration solver and in situ times
-//!   (the data behind the paper's Figures 2 and 3).
+//!   [`Profiler`] recording per-iteration solver and in situ times plus a
+//!   per-backend apparent-cost breakdown (the data behind the paper's
+//!   Figures 2 and 3).
 
 mod adaptor;
 mod bridge;
 mod configurable;
 mod controls;
 mod device_select;
+mod engine;
 mod error;
 mod execution;
 pub mod intransit;
 mod placement;
 mod profiler;
+pub mod queue;
 mod registry;
+mod requirements;
 mod snapshot;
 
 pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
@@ -50,9 +63,14 @@ pub use bridge::Bridge;
 pub use configurable::{BackendConfig, ConfigurableAnalysis};
 pub use controls::{BackendControls, DeviceSpec};
 pub use device_select::{select_device, DeviceSelector};
+pub use engine::{
+    EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine, ThreadedEngine,
+};
 pub use error::{Error, Result};
 pub use execution::ExecutionMethod;
 pub use placement::Placement;
-pub use profiler::{IterationRecord, ProfileSummary, Profiler};
+pub use profiler::{BackendBreakdown, BackendSample, IterationRecord, ProfileSummary, Profiler};
+pub use queue::OverflowPolicy;
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
+pub use requirements::{ArraySelection, DataRequirements, MeshRequirements, ANY_MESH};
 pub use snapshot::SnapshotAdaptor;

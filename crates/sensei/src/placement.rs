@@ -75,10 +75,9 @@ impl Placement {
     pub fn insitu_spec(&self, n_devices: usize) -> (DeviceSpec, DeviceSelector) {
         match self {
             Placement::Host => (DeviceSpec::Host, DeviceSelector::default()),
-            Placement::SameDevice => (
-                DeviceSpec::Auto,
-                DeviceSelector { n_use: Some(n_devices), stride: 1, offset: 0 },
-            ),
+            Placement::SameDevice => {
+                (DeviceSpec::Auto, DeviceSelector { n_use: Some(n_devices), stride: 1, offset: 0 })
+            }
             Placement::DedicatedDevices(k) => (
                 DeviceSpec::Auto,
                 DeviceSelector { n_use: Some(*k), stride: 1, offset: n_devices - k },

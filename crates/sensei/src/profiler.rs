@@ -28,10 +28,37 @@ pub struct ProfileSummary {
     pub total_runtime: Duration,
 }
 
+/// One back-end's apparent cost at one step (what the simulation waited
+/// for: the full analysis under lockstep, the copy + hand-off under
+/// asynchronous execution).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendSample {
+    /// Simulation time step.
+    pub step: u64,
+    /// Back-end instance name.
+    pub backend: String,
+    /// Apparent cost of dispatching this back-end.
+    pub apparent: Duration,
+}
+
+/// One back-end's aggregate apparent cost over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendBreakdown {
+    /// Back-end instance name.
+    pub backend: String,
+    /// Dispatches recorded.
+    pub dispatches: usize,
+    /// Total apparent time across dispatches.
+    pub total_apparent: Duration,
+    /// Mean apparent time per dispatch.
+    pub mean_apparent: Duration,
+}
+
 /// Records per-iteration solver/in situ costs and the total run time.
 #[derive(Debug)]
 pub struct Profiler {
     records: Vec<IterationRecord>,
+    backend_samples: Vec<BackendSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -45,12 +72,54 @@ impl Default for Profiler {
 impl Profiler {
     /// Start the run clock.
     pub fn new() -> Self {
-        Profiler { records: Vec::new(), started: Instant::now(), total: None }
+        Profiler {
+            records: Vec::new(),
+            backend_samples: Vec::new(),
+            started: Instant::now(),
+            total: None,
+        }
     }
 
     /// Record one iteration.
     pub fn record(&mut self, step: u64, solver: Duration, insitu: Duration) {
         self.records.push(IterationRecord { step, solver, insitu });
+    }
+
+    /// Record one back-end's apparent cost at `step`.
+    pub fn record_backend(&mut self, step: u64, backend: impl Into<String>, apparent: Duration) {
+        self.backend_samples.push(BackendSample { step, backend: backend.into(), apparent });
+    }
+
+    /// Every recorded per-backend sample, in dispatch order.
+    pub fn backend_samples(&self) -> &[BackendSample] {
+        &self.backend_samples
+    }
+
+    /// Per-backend aggregate apparent costs, in first-dispatch order.
+    pub fn backend_breakdown(&self) -> Vec<BackendBreakdown> {
+        let mut order: Vec<String> = Vec::new();
+        for s in &self.backend_samples {
+            if !order.contains(&s.backend) {
+                order.push(s.backend.clone());
+            }
+        }
+        order
+            .into_iter()
+            .map(|backend| {
+                let samples = self.backend_samples.iter().filter(|s| s.backend == backend);
+                let (mut n, mut total) = (0usize, Duration::ZERO);
+                for s in samples {
+                    n += 1;
+                    total += s.apparent;
+                }
+                BackendBreakdown {
+                    backend,
+                    dispatches: n,
+                    total_apparent: total,
+                    mean_apparent: if n == 0 { Duration::ZERO } else { total / n as u32 },
+                }
+            })
+            .collect()
     }
 
     /// Stop the run clock (idempotent; called by the bridge at finalize).
@@ -68,9 +137,8 @@ impl Profiler {
     /// Aggregate the run.
     pub fn summary(&self) -> ProfileSummary {
         let n = self.records.len();
-        let sum = |f: fn(&IterationRecord) -> Duration| -> Duration {
-            self.records.iter().map(f).sum()
-        };
+        let sum =
+            |f: fn(&IterationRecord) -> Duration| -> Duration { self.records.iter().map(f).sum() };
         ProfileSummary {
             iterations: n,
             mean_solver: if n == 0 { Duration::ZERO } else { sum(|r| r.solver) / n as u32 },
@@ -90,6 +158,15 @@ impl Profiler {
                 r.solver.as_secs_f64(),
                 r.insitu.as_secs_f64()
             ));
+        }
+        out
+    }
+
+    /// Dump the per-backend samples as CSV (`step,backend,apparent_s`).
+    pub fn backend_csv(&self) -> String {
+        let mut out = String::from("step,backend,apparent_s\n");
+        for s in &self.backend_samples {
+            out.push_str(&format!("{},{},{:.9}\n", s.step, s.backend, s.apparent.as_secs_f64()));
         }
         out
     }
@@ -128,6 +205,28 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         assert_eq!(p.summary().total_runtime, t1, "stop() freezes the clock");
         assert!(t1 >= Duration::from_millis(9));
+    }
+
+    #[test]
+    fn backend_breakdown_aggregates_per_backend() {
+        let mut p = Profiler::new();
+        p.record_backend(0, "binning", Duration::from_millis(4));
+        p.record_backend(0, "histogram", Duration::from_millis(1));
+        p.record_backend(1, "binning", Duration::from_millis(6));
+        let bd = p.backend_breakdown();
+        assert_eq!(bd.len(), 2);
+        assert_eq!(bd[0].backend, "binning");
+        assert_eq!(bd[0].dispatches, 2);
+        assert_eq!(bd[0].total_apparent, Duration::from_millis(10));
+        assert_eq!(bd[0].mean_apparent, Duration::from_millis(5));
+        assert_eq!(bd[1].backend, "histogram");
+        assert_eq!(bd[1].dispatches, 1);
+
+        let csv = p.backend_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "step,backend,apparent_s");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("0,binning,0.004"));
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl AnalysisRegistry {
     pub fn register(
         &mut self,
         type_name: impl Into<String>,
-        factory: impl Fn(&Element, &CreateContext) -> Result<Box<dyn AnalysisAdaptor>> + Send + Sync + 'static,
+        factory: impl Fn(&Element, &CreateContext) -> Result<Box<dyn AnalysisAdaptor>>
+            + Send
+            + Sync
+            + 'static,
     ) {
         self.factories.insert(type_name.into(), Box::new(factory));
     }

@@ -1,9 +1,10 @@
 //! Deep-copied simulation snapshots for asynchronous execution.
 
-use svtk::{DataArray, DataObject, FieldAssociation};
+use svtk::{DataArray, DataObject, FieldAssociation, MultiBlock, TableData};
 
 use crate::adaptor::{ArrayMetadata, DataAdaptor, MeshMetadata};
 use crate::error::Result;
+use crate::requirements::{DataRequirements, MeshRequirements};
 
 /// A [`DataAdaptor`] over a deep copy of another adaptor's state.
 ///
@@ -27,11 +28,23 @@ impl SnapshotAdaptor {
     /// keeps the apparent per-iteration cost of asynchronous execution
     /// in the few-millisecond range the paper reports.
     pub fn capture(src: &dyn DataAdaptor) -> Result<Self> {
+        Self::capture_with(src, &DataRequirements::All)
+    }
+
+    /// Deep-copy only the state `requirements` asks for: meshes absent
+    /// from the requirements are skipped entirely, and within a copied
+    /// mesh only the selected arrays are duplicated. The snapshot's
+    /// memory footprint and copy time scale with what the due back-ends
+    /// declared, not with everything the simulation publishes.
+    pub fn capture_with(src: &dyn DataAdaptor, requirements: &DataRequirements) -> Result<Self> {
         let mut meshes = Vec::with_capacity(src.num_meshes());
         for i in 0..src.num_meshes() {
             let md = src.mesh_metadata(i)?;
+            let Some(mesh_req) = requirements.mesh_requirements(&md.name) else {
+                continue;
+            };
             let obj = src.mesh(&md.name)?;
-            meshes.push((md.name, obj.deep_copy()?));
+            meshes.push((md.name, partial_copy(&obj, &mesh_req)?));
         }
         for (_, obj) in &meshes {
             synchronize_object(obj)?;
@@ -61,6 +74,41 @@ impl SnapshotAdaptor {
             }
         }
         MeshMetadata { name: name.to_string(), arrays }
+    }
+}
+
+/// Deep-copy the arrays of `obj` that `req` selects, preserving the
+/// dataset structure (copies are enqueued stream-ordered; the caller
+/// synchronizes once at the end). Table columns count as point data.
+fn partial_copy(obj: &DataObject, req: &MeshRequirements) -> Result<DataObject> {
+    match obj {
+        DataObject::Table(t) => {
+            let mut copy = TableData::new();
+            for col in t.columns() {
+                if req.wants(FieldAssociation::Point, col.name()) {
+                    copy.set_column(col.deep_copy_erased()?);
+                }
+            }
+            Ok(DataObject::Table(copy))
+        }
+        DataObject::Image(img) => {
+            let mut copy = img.clone_structure();
+            for assoc in [FieldAssociation::Point, FieldAssociation::Cell] {
+                for arr in img.data(assoc).arrays() {
+                    if req.wants(assoc, arr.name()) {
+                        copy.data_mut(assoc).set_array(arr.deep_copy_erased()?);
+                    }
+                }
+            }
+            Ok(DataObject::Image(copy))
+        }
+        DataObject::Multi(mb) => {
+            let mut copy = MultiBlock::new(mb.num_blocks());
+            for (i, block) in mb.local_blocks() {
+                copy.set_block(i, partial_copy(block, req)?);
+            }
+            Ok(DataObject::Multi(copy))
+        }
     }
 }
 
@@ -221,6 +269,34 @@ mod tests {
         assert_eq!(md.arrays[0].name, "x");
         assert_eq!(md.arrays[0].type_name, "double");
         assert_eq!(md.arrays[0].device, Some(0));
+    }
+
+    #[test]
+    fn capture_with_skips_unrequested_meshes_and_arrays() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::new(node);
+
+        // Mesh not in the requirements: skipped entirely.
+        let none = DataRequirements::none();
+        let snap = SnapshotAdaptor::capture_with(&sim, &none).unwrap();
+        assert_eq!(snap.num_meshes(), 0);
+        assert_eq!(snap.time_step(), 7, "time/step still captured");
+
+        // Mesh requested but with a different column name: structure
+        // copied, array left out.
+        let other =
+            DataRequirements::none().with_arrays("bodies", FieldAssociation::Point, ["nope"]);
+        let snap = SnapshotAdaptor::capture_with(&sim, &other).unwrap();
+        assert_eq!(snap.num_meshes(), 1);
+        assert_eq!(snap.mesh_metadata(0).unwrap().arrays.len(), 0);
+
+        // The requested column is a real deep copy.
+        let x_only = DataRequirements::none().with_arrays("bodies", FieldAssociation::Point, ["x"]);
+        let snap = SnapshotAdaptor::capture_with(&sim, &x_only).unwrap();
+        let copy = snap.mesh("bodies").unwrap();
+        let cc = copy.as_table().unwrap().column("x").unwrap().clone();
+        let ch = svtk::downcast::<f64>(&cc).unwrap();
+        assert_eq!(ch.to_vec().unwrap(), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

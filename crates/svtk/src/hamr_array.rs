@@ -48,8 +48,7 @@ impl<T: Element> HamrDataArray<T> {
         stream: HamrStream,
         mode: StreamMode,
     ) -> hamr::Result<Arc<Self>> {
-        let buffer =
-            HamrBuffer::new(node, tuples * components, allocator, device, stream, mode)?;
+        let buffer = HamrBuffer::new(node, tuples * components, allocator, device, stream, mode)?;
         Ok(Arc::new(HamrDataArray { name: name.into(), components, buffer: Arc::new(buffer) }))
     }
 
@@ -66,8 +65,15 @@ impl<T: Element> HamrDataArray<T> {
         stream: HamrStream,
         mode: StreamMode,
     ) -> hamr::Result<Arc<Self>> {
-        let buffer =
-            HamrBuffer::new_init(node, tuples * components, value, allocator, device, stream, mode)?;
+        let buffer = HamrBuffer::new_init(
+            node,
+            tuples * components,
+            value,
+            allocator,
+            device,
+            stream,
+            mode,
+        )?;
         Ok(Arc::new(HamrDataArray { name: name.into(), components, buffer: Arc::new(buffer) }))
     }
 
@@ -83,7 +89,10 @@ impl<T: Element> HamrDataArray<T> {
         stream: HamrStream,
         mode: StreamMode,
     ) -> hamr::Result<Arc<Self>> {
-        assert!(components > 0 && data.len().is_multiple_of(components), "data length must be a multiple of components");
+        assert!(
+            components > 0 && data.len().is_multiple_of(components),
+            "data length must be a multiple of components"
+        );
         let buffer = HamrBuffer::from_slice(node, data, allocator, device, stream, mode)?;
         Ok(Arc::new(HamrDataArray { name: name.into(), components, buffer: Arc::new(buffer) }))
     }
@@ -106,7 +115,11 @@ impl<T: Element> HamrDataArray<T> {
     }
 
     /// Wrap an existing HAMR buffer.
-    pub fn from_buffer(name: impl Into<String>, components: usize, buffer: Arc<HamrBuffer<T>>) -> Arc<Self> {
+    pub fn from_buffer(
+        name: impl Into<String>,
+        components: usize,
+        buffer: Arc<HamrBuffer<T>>,
+    ) -> Arc<Self> {
         Arc::new(HamrDataArray { name: name.into(), components, buffer })
     }
 
@@ -216,7 +229,11 @@ impl<T: Element> HamrDataArray<T> {
                 }
             }
         }
-        Ok(Arc::new(HamrDataArray { name: name.into(), components: self.components, buffer: Arc::new(copy) }))
+        Ok(Arc::new(HamrDataArray {
+            name: name.into(),
+            components: self.components,
+            buffer: Arc::new(copy),
+        }))
     }
 
     /// Type-erase into an [`ArrayRef`].

@@ -30,11 +30,14 @@ impl TableData {
     /// a table's columns are co-occurring rows by definition.
     pub fn set_column(&mut self, array: ArrayRef) {
         let tuples = array.num_tuples();
-        if self.columns.is_empty() || (self.columns.len() == 1 && self.columns.array(array.name()).is_some()) {
+        if self.columns.is_empty()
+            || (self.columns.len() == 1 && self.columns.array(array.name()).is_some())
+        {
             self.rows = tuples;
         } else {
             assert_eq!(
-                tuples, self.rows,
+                tuples,
+                self.rows,
                 "column '{}' has {} rows, table has {}",
                 array.name(),
                 tuples,

@@ -158,7 +158,10 @@ mod tests {
 
     #[test]
     fn text_concatenates_and_trims() {
-        let e = Element::new("t").with_text("  hello ").with_child(Element::new("b")).with_text("world  ");
+        let e = Element::new("t")
+            .with_text("  hello ")
+            .with_child(Element::new("b"))
+            .with_text("world  ");
         assert_eq!(e.text(), "hello world");
     }
 }

@@ -182,7 +182,9 @@ impl Parser {
                         match self.bump() {
                             Some(c) if c == quote => break,
                             Some(c) => raw.push(c),
-                            None => return Err(Error::UnexpectedEof { context: "attribute value" }),
+                            None => {
+                                return Err(Error::UnexpectedEof { context: "attribute value" })
+                            }
                         }
                     }
                     if element.attr(&key).is_some() {
@@ -343,7 +345,10 @@ mod tests {
     fn unterminated_constructs_error() {
         assert!(matches!(parse("<a>"), Err(Error::UnexpectedEof { .. })));
         assert!(matches!(parse("<a b=\"x/>"), Err(Error::UnexpectedEof { .. })));
-        assert!(matches!(parse("<!-- never ends"), Err(Error::UnexpectedEof { .. }) | Err(Error::NoRoot)));
+        assert!(matches!(
+            parse("<!-- never ends"),
+            Err(Error::UnexpectedEof { .. }) | Err(Error::NoRoot)
+        ));
     }
 
     #[test]
@@ -393,7 +398,10 @@ mod tests {
         let analyses: Vec<_> = root.find_all("analysis").collect();
         assert_eq!(analyses.len(), 2);
         assert_eq!(analyses[0].parse_attr::<i32>("device").unwrap(), Some(-2));
-        assert_eq!(analyses[0].find_child("resolution").unwrap().parse_attr::<usize>("x").unwrap(), Some(256));
+        assert_eq!(
+            analyses[0].find_child("resolution").unwrap().parse_attr::<usize>("x").unwrap(),
+            Some(256)
+        );
         assert_eq!(analyses[1].attr("enabled"), Some("0"));
     }
 }

@@ -48,13 +48,9 @@ fn main() {
                     x_extent: (-2.0, 2.0),
                     repartition_every: None,
                 };
-                let mut sim = Newton::new(
-                    node.clone(),
-                    &sim_comm,
-                    sim_comm.rank() % node.num_devices(),
-                    cfg,
-                )
-                .expect("init");
+                let mut sim =
+                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % node.num_devices(), cfg)
+                        .expect("init");
                 // The forwarder is attached like any analysis back-end.
                 let sender = TransitSender::new(transit_comm, "bodies", ANALYSIS_RANKS);
                 let mut bridge = Bridge::new(node);
@@ -85,12 +81,9 @@ fn main() {
                     ],
                 );
                 spec.bounds = Some(([-1.5, 1.5], [-1.5, 1.5]));
-                let analysis = BinningAnalysis::new(spec)
-                    .with_sink(sink.clone())
-                    .with_controls(BackendControls {
-                        device: DeviceSpec::Host,
-                        ..Default::default()
-                    });
+                let analysis = BinningAnalysis::new(spec).with_sink(sink.clone()).with_controls(
+                    BackendControls { device: DeviceSpec::Host, ..Default::default() },
+                );
                 let steps = intransit::serve_analysis(
                     &transit_comm,
                     &analysis_comm,

@@ -16,7 +16,7 @@ use minimpi::World;
 use newtonpp::energy::{kinetic_energy, potential_energy};
 use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
 use parking_lot::Mutex;
-use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod};
+use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod, OverflowPolicy};
 
 fn main() {
     const RANKS: usize = 2;
@@ -46,7 +46,10 @@ fn main() {
         let mut sim = Newton::new(node2.clone(), &comm, comm.rank(), cfg).expect("init");
 
         // In situ: asynchronous binning of mass onto a 64x64 x-y mesh,
-        // placed on the same device as the simulation.
+        // placed on the same device as the simulation. The worker's
+        // snapshot queue holds at most 8 iterations; a submit into a full
+        // queue blocks the simulation until the worker catches up
+        // (`OverflowPolicy::DropOldest` would shed load instead).
         let spec = BinningSpec::new(
             "bodies",
             ("x", "y"),
@@ -56,13 +59,14 @@ fn main() {
                 VarOp { var: String::new(), op: BinOp::Count },
             ],
         );
-        let analysis = BinningAnalysis::new(spec).with_sink(sink.clone()).with_controls(
-            BackendControls {
+        let analysis =
+            BinningAnalysis::new(spec).with_sink(sink.clone()).with_controls(BackendControls {
                 execution: ExecutionMethod::Asynchronous,
                 device: DeviceSpec::Auto,
+                queue_depth: 8,
+                overflow: OverflowPolicy::Block,
                 ..Default::default()
-            },
-        );
+            });
         let mut bridge = Bridge::new(node2.clone());
         bridge.add_analysis(Box::new(analysis), &comm).expect("attach");
 
@@ -95,6 +99,14 @@ fn main() {
                 s.mean_solver.as_secs_f64() * 1e3,
                 s.mean_insitu.as_secs_f64() * 1e3
             );
+            for b in profiler.backend_breakdown() {
+                println!(
+                    "    {:<16} {:>3} dispatches, mean apparent {:.3} ms",
+                    b.backend,
+                    b.dispatches,
+                    b.mean_apparent.as_secs_f64() * 1e3
+                );
+            }
             // Dump the final local state for post hoc visualization.
             let out = std::env::temp_dir().join("nbody_final.vtk");
             newtonpp::io::write_vtk_file(&out, "newton++ final state", &after).expect("vtk");
@@ -112,10 +124,13 @@ fn main() {
         "final binning (step {}): {} bodies on the mesh, total mass {:.1}",
         last.step, count, mass
     );
-    println!("local-energy drift per rank: {:?}", energies
-        .iter()
-        .map(|(a, b)| format!("{:.2}%", ((b - a) / a.abs() * 100.0)))
-        .collect::<Vec<_>>());
+    println!(
+        "local-energy drift per rank: {:?}",
+        energies
+            .iter()
+            .map(|(a, b)| format!("{:.2}%", ((b - a) / a.abs() * 100.0)))
+            .collect::<Vec<_>>()
+    );
     assert_eq!(results.len() as u64, STEPS, "one result per iteration");
     assert_eq!(count as usize, BODIES);
     println!("nbody_insitu OK");

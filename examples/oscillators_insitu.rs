@@ -11,7 +11,7 @@ use devsim::{NodeConfig, SimNode};
 use minimpi::World;
 use oscillators::{Oscillator, OscillatorsAdaptor, OscillatorsConfig, OscillatorsSim};
 use parking_lot::Mutex;
-use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod};
+use sensei::{BackendControls, Bridge, DeviceSpec, ExecutionMethod, OverflowPolicy};
 
 /// The `.osc` source configuration (SENSEI's miniapp file format).
 const SOURCES: &str = "\
@@ -40,15 +40,22 @@ fn main() {
         let mut sim = OscillatorsSim::new(node.clone(), &comm, comm.rank(), cfg).expect("init");
 
         let mut bridge = Bridge::new(node);
-        // Field statistics every step, asynchronously.
+        // Field statistics every step, asynchronously: the worker keeps a
+        // bounded snapshot queue (4 deep here) and the bridge blocks the
+        // simulation when it is full, so a slow back-end exerts
+        // backpressure instead of buffering unboundedly.
         bridge
             .add_analysis(
-                Box::new(DescriptiveStats::new(vec!["data".into()]).with_sink(s2.clone()).with_controls(
-                    BackendControls {
-                        execution: ExecutionMethod::Asynchronous,
-                        ..Default::default()
-                    },
-                )),
+                Box::new(
+                    DescriptiveStats::new(vec!["data".into()]).with_sink(s2.clone()).with_controls(
+                        BackendControls {
+                            execution: ExecutionMethod::Asynchronous,
+                            queue_depth: 4,
+                            overflow: OverflowPolicy::Block,
+                            ..Default::default()
+                        },
+                    ),
+                ),
                 &comm,
             )
             .expect("attach stats");
@@ -83,7 +90,12 @@ fn main() {
     }
     let hists = hist_sink.lock();
     let last = hists.last().expect("histogram recorded");
-    println!("\nfinal field histogram ({} values in [{:.3}, {:.3}]):", last.total(), last.range.0, last.range.1);
+    println!(
+        "\nfinal field histogram ({} values in [{:.3}, {:.3}]):",
+        last.total(),
+        last.range.0,
+        last.range.1
+    );
     let max = *last.counts.iter().max().unwrap();
     for (i, &c) in last.counts.iter().enumerate() {
         let bar = "#".repeat((c * 40 / max.max(1)) as usize);

@@ -35,7 +35,9 @@ fn main() {
 
     let bars: Vec<(String, std::time::Duration)> = results
         .iter()
-        .map(|r| (format!("{:<20} {}", r.config.placement.label(), r.config.execution.name()), r.total))
+        .map(|r| {
+            (format!("{:<20} {}", r.config.placement.label(), r.config.execution.name()), r.total)
+        })
         .collect();
     println!("\n{}", ascii_bars("total run time (cf. paper Figure 2)", &bars, 44));
 

@@ -94,10 +94,7 @@ fn main() {
         }
         let profiler = bridge.finalize(&comm).expect("finalize");
         if comm.rank() == 0 {
-            println!(
-                "ran {} steps through the XML-configured pipeline",
-                profiler.records().len()
-            );
+            println!("ran {} steps through the XML-configured pipeline", profiler.records().len());
         }
     });
     println!("xml_configured OK");

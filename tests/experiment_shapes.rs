@@ -5,8 +5,19 @@
 //! wall-clock measurements of a modeled system, so exact values vary,
 //! but the orderings the paper reports must hold.
 
+use std::sync::Mutex;
+
 use bench::{run_case, CaseConfig};
 use sensei::{ExecutionMethod, Placement};
+
+/// The assertions compare wall-clock measurements, so the tests in this
+/// binary must not run concurrently with each other — each spawns a
+/// multi-rank simulation and they would contend for cores.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn cfg(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
     CaseConfig {
@@ -24,6 +35,7 @@ fn cfg(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
 
 #[test]
 fn async_apparent_insitu_cost_is_far_below_lockstep() {
+    let _serial = serial();
     // §4.4: "The apparent time spent in in situ processing when
     // asynchronous execution was used was very small ... This makes it
     // look like in situ is effectively free."
@@ -49,6 +61,7 @@ fn async_apparent_insitu_cost_is_far_below_lockstep() {
 
 #[test]
 fn async_reduces_total_runtime_for_dedicated_placements() {
+    let _serial = serial();
     // §4.4: "across all placements, executing in situ asynchronously is
     // beneficial and reduced the total run time". We assert it on the
     // dedicated placements, where the margin is widest and the check is
@@ -68,6 +81,7 @@ fn async_reduces_total_runtime_for_dedicated_placements() {
 
 #[test]
 fn dedicated_device_placement_is_slower_than_shared_placements() {
+    let _serial = serial();
     // §4.4: "The placements assigning one or two dedicated devices for in
     // situ processing made use of a reduced total number of MPI ranks ...
     // The reduced levels of concurrency led to longer run times."
@@ -86,13 +100,20 @@ fn dedicated_device_placement_is_slower_than_shared_placements() {
 
 #[test]
 fn async_execution_slows_the_solver_down() {
+    let _serial = serial();
     // §4.4: "comparing the solver time between the lockstep and
     // asynchronous cases ... the solver was slowed down across all
     // placements when the in situ was executed asynchronously." Asserted
     // on the host placement where contention is structural (in situ
-    // occupies the host slots the solver's exchange phase needs).
-    let lock = run_case(&cfg(Placement::Host, ExecutionMethod::Lockstep));
-    let asyn = run_case(&cfg(Placement::Host, ExecutionMethod::Asynchronous));
+    // occupies the host slots the solver's exchange phase needs). Run at
+    // the full 9-instance workload: with only 3 instances the host slots
+    // are mostly idle and the slowdown drowns in scheduler noise.
+    let full = |execution| CaseConfig {
+        time_scale: cfg(Placement::Host, execution).time_scale,
+        ..CaseConfig::small(Placement::Host, execution)
+    };
+    let lock = run_case(&full(ExecutionMethod::Lockstep));
+    let asyn = run_case(&full(ExecutionMethod::Asynchronous));
     assert!(
         asyn.mean_solver > lock.mean_solver,
         "async solver {:?} should exceed lockstep solver {:?}",

@@ -1,14 +1,18 @@
 //! Failure injection across crate boundaries: errors raised deep in the
 //! substrate must surface through the mediation layer, not hang or
-//! silently corrupt.
+//! silently corrupt. Includes the asynchronous backpressure paths: a full
+//! bounded queue under each overflow policy, and worker errors/panics
+//! surfacing from both `execute` and `finalize`.
 
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use devsim::{DeviceParams, NodeConfig, SimNode};
 use minimpi::World;
 use sensei::{
-    AnalysisRegistry, BackendControls, Bridge, ConfigurableAnalysis, CreateContext, DataAdaptor,
-    DeviceSpec, Error, MeshMetadata, Result,
+    AnalysisAdaptor, AnalysisRegistry, BackendControls, Bridge, ConfigurableAnalysis,
+    CreateContext, DataAdaptor, DeviceSpec, Error, ExecContext, ExecutionMethod, MeshMetadata,
+    OverflowPolicy, Result,
 };
 use svtk::{Allocator, DataObject, HamrDataArray, HamrStream, StreamMode, TableData};
 
@@ -129,7 +133,8 @@ fn execute_after_finalize_is_rejected() {
     World::new(1).run(|comm| {
         let node = SimNode::new(NodeConfig::fast_test(1));
         let mut bridge = Bridge::new(node.clone());
-        let spec = BinningSpec::new("bodies", ("x", "y"), 4, vec![VarOp::parse("count()").unwrap()]);
+        let spec =
+            BinningSpec::new("bodies", ("x", "y"), 4, vec![VarOp::parse("count()").unwrap()]);
         bridge.add_analysis(Box::new(BinningAnalysis::new(spec)), &comm).unwrap();
         let sim = Tiny::new(node);
         bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
@@ -152,14 +157,9 @@ fn bad_xml_configurations_error_cleanly() {
     let ctx = CreateContext { node, rank: 0, size: 1 };
 
     // Unknown back-end type.
-    let cfg = ConfigurableAnalysis::from_xml(
-        r#"<sensei><analysis type="warp_drive"/></sensei>"#,
-    )
-    .unwrap();
-    assert!(matches!(
-        cfg.instantiate(&reg, &ctx),
-        Err(Error::UnknownAnalysisType { .. })
-    ));
+    let cfg = ConfigurableAnalysis::from_xml(r#"<sensei><analysis type="warp_drive"/></sensei>"#)
+        .unwrap();
+    assert!(matches!(cfg.instantiate(&reg, &ctx), Err(Error::UnknownAnalysisType { .. })));
 
     // Back-end specific validation failure (no axes).
     let cfg = ConfigurableAnalysis::from_xml(
@@ -232,9 +232,306 @@ fn mismatched_column_type_is_reported() {
             .with_controls(BackendControls { device: DeviceSpec::Host, ..Default::default() });
         let mut bridge = Bridge::new(node);
         bridge.add_analysis(Box::new(analysis), &comm).unwrap();
-        let err = bridge
-            .execute(&Holder { table }, &comm, std::time::Duration::ZERO)
-            .unwrap_err();
+        let err = bridge.execute(&Holder { table }, &comm, std::time::Duration::ZERO).unwrap_err();
         assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Asynchronous backpressure and worker-failure injection.
+// ---------------------------------------------------------------------------
+
+/// A one-way latch both sides can wait on with a timeout.
+#[derive(Default)]
+struct Latch {
+    open: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn open(&self) {
+        *self.open.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Wait until opened; false on timeout.
+    fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut open = self.open.lock().unwrap();
+        while !*open {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return false;
+            }
+            let (guard, _) = self.cv.wait_timeout(open, left).unwrap();
+            open = guard;
+        }
+        true
+    }
+}
+
+/// `Tiny` with a settable time step, so queued snapshots are tellable
+/// apart.
+struct Stepped {
+    inner: Tiny,
+    step: u64,
+}
+
+impl DataAdaptor for Stepped {
+    fn num_meshes(&self) -> usize {
+        self.inner.num_meshes()
+    }
+    fn mesh_metadata(&self, i: usize) -> Result<MeshMetadata> {
+        self.inner.mesh_metadata(i)
+    }
+    fn mesh(&self, name: &str) -> Result<DataObject> {
+        self.inner.mesh(name)
+    }
+    fn time(&self) -> f64 {
+        self.step as f64
+    }
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+}
+
+/// An asynchronous back-end whose worker blocks on `release` (opened once
+/// by the test) and records the snapshot steps it processed. While the
+/// worker sits on the first snapshot the test can fill the bounded queue
+/// deterministically.
+struct Gated {
+    controls: BackendControls,
+    started: Arc<Latch>,
+    release: Arc<Latch>,
+    processed: Arc<Mutex<Vec<u64>>>,
+}
+
+impl AnalysisAdaptor for Gated {
+    fn name(&self) -> &str {
+        "gated"
+    }
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+    fn execute(&mut self, data: &dyn DataAdaptor, _ctx: &ExecContext<'_>) -> Result<bool> {
+        self.processed.lock().unwrap().push(data.time_step());
+        self.started.open();
+        assert!(self.release.wait_for(Duration::from_secs(30)), "test never released worker");
+        Ok(true)
+    }
+}
+
+fn async_controls(queue_depth: usize, overflow: OverflowPolicy) -> BackendControls {
+    BackendControls {
+        execution: ExecutionMethod::Asynchronous,
+        device: DeviceSpec::Host,
+        queue_depth,
+        overflow,
+        ..Default::default()
+    }
+}
+
+struct GatedSetup {
+    started: Arc<Latch>,
+    release: Arc<Latch>,
+    processed: Arc<Mutex<Vec<u64>>>,
+}
+
+fn gated(queue_depth: usize, overflow: OverflowPolicy) -> (Gated, GatedSetup) {
+    let setup = GatedSetup {
+        started: Arc::new(Latch::default()),
+        release: Arc::new(Latch::default()),
+        processed: Arc::new(Mutex::new(Vec::new())),
+    };
+    let adaptor = Gated {
+        controls: async_controls(queue_depth, overflow),
+        started: setup.started.clone(),
+        release: setup.release.clone(),
+        processed: setup.processed.clone(),
+    };
+    (adaptor, setup)
+}
+
+#[test]
+fn full_queue_with_error_policy_fails_the_submit() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let (adaptor, setup) = gated(2, OverflowPolicy::Error);
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let mut sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        assert!(setup.started.wait_for(Duration::from_secs(10)), "worker never started");
+
+        // Worker holds snapshot 0; these two fill the depth-2 queue.
+        for step in [1, 2] {
+            sim.step = step;
+            bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        }
+        sim.step = 3;
+        let err = bridge.execute(&sim, &comm, Duration::ZERO).unwrap_err();
+        assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+        assert!(err.to_string().contains("full"), "got {err}");
+
+        setup.release.open();
+        bridge.finalize(&comm).unwrap();
+        assert_eq!(*setup.processed.lock().unwrap(), vec![0, 1, 2], "step 3 was rejected");
+    });
+}
+
+#[test]
+fn full_queue_with_drop_oldest_policy_evicts_the_oldest_snapshot() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let (adaptor, setup) = gated(2, OverflowPolicy::DropOldest);
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let mut sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        assert!(setup.started.wait_for(Duration::from_secs(10)), "worker never started");
+
+        // Queue fills with snapshots 1 and 2; snapshot 3 evicts 1.
+        for step in [1, 2, 3] {
+            sim.step = step;
+            bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        }
+
+        setup.release.open();
+        bridge.finalize(&comm).unwrap();
+        assert_eq!(
+            *setup.processed.lock().unwrap(),
+            vec![0, 2, 3],
+            "the oldest queued snapshot was dropped, the rest kept their order"
+        );
+    });
+}
+
+#[test]
+fn full_queue_with_block_policy_waits_for_space() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let (adaptor, setup) = gated(1, OverflowPolicy::Block);
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let mut sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        assert!(setup.started.wait_for(Duration::from_secs(10)), "worker never started");
+
+        // Worker holds snapshot 0 and the depth-1 queue holds snapshot 1.
+        sim.step = 1;
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+
+        // Snapshot 2 must block until the worker (released from another
+        // thread after a delay) dequeues snapshot 1.
+        let hold = Duration::from_millis(150);
+        let release = setup.release.clone();
+        let opener = std::thread::spawn(move || {
+            std::thread::sleep(hold);
+            release.open();
+        });
+        let t0 = Instant::now();
+        sim.step = 2;
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        assert!(
+            t0.elapsed() >= hold / 2,
+            "submit returned after {:?}; it should have blocked on the full queue",
+            t0.elapsed()
+        );
+        opener.join().unwrap();
+
+        bridge.finalize(&comm).unwrap();
+        assert_eq!(*setup.processed.lock().unwrap(), vec![0, 1, 2], "nothing was dropped");
+    });
+}
+
+/// An asynchronous back-end whose worker fails on its first snapshot.
+struct Exploding {
+    controls: BackendControls,
+    by_panic: bool,
+}
+
+impl AnalysisAdaptor for Exploding {
+    fn name(&self) -> &str {
+        "exploding"
+    }
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+    fn execute(&mut self, _data: &dyn DataAdaptor, _ctx: &ExecContext<'_>) -> Result<bool> {
+        if self.by_panic {
+            panic!("injected worker panic");
+        }
+        Err(Error::Analysis("injected worker failure".into()))
+    }
+}
+
+#[test]
+fn worker_error_surfaces_from_finalize() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let adaptor =
+            Exploding { controls: async_controls(4, OverflowPolicy::Block), by_panic: false };
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        let err = bridge.finalize(&comm).unwrap_err();
+        assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+        assert!(err.to_string().contains("injected worker failure"), "got {err}");
+    });
+}
+
+#[test]
+fn worker_panic_surfaces_from_finalize() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let adaptor =
+            Exploding { controls: async_controls(4, OverflowPolicy::Block), by_panic: true };
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+        let err = bridge.finalize(&comm).unwrap_err();
+        assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+        assert!(err.to_string().contains("panicked"), "got {err}");
+    });
+}
+
+#[test]
+fn worker_death_surfaces_from_a_later_execute() {
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let adaptor =
+            Exploding { controls: async_controls(4, OverflowPolicy::Block), by_panic: false };
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(adaptor), &comm).unwrap();
+
+        let mut sim = Stepped { inner: Tiny::new(node), step: 0 };
+        bridge.execute(&sim, &comm, Duration::ZERO).unwrap();
+
+        // The worker dies on snapshot 0; a subsequent submit must fail
+        // with the worker's error rather than queueing into the void.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let err = loop {
+            std::thread::sleep(Duration::from_millis(5));
+            sim.step += 1;
+            match bridge.execute(&sim, &comm, Duration::ZERO) {
+                Ok(_) => assert!(Instant::now() < deadline, "worker death never surfaced"),
+                Err(e) => break e,
+            }
+        };
+        assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+        assert!(err.to_string().contains("injected worker failure"), "got {err}");
     });
 }

@@ -113,11 +113,7 @@ fn host_and_device_placements_agree() {
             let hv = h.array(name).unwrap();
             let dv = d.array(name).unwrap();
             for (i, (a, b)) in hv.iter().zip(dv).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-9,
-                    "step {} bin {i}: host {a} vs device {b}",
-                    h.step
-                );
+                assert!((a - b).abs() < 1e-9, "step {} bin {i}: host {a} vs device {b}", h.step);
             }
         }
     }

@@ -80,7 +80,8 @@ fn run_in_transit(sim_ranks: usize, analysis_ranks: usize) -> Vec<binning::Binne
         match intransit::partition(&world, analysis_ranks) {
             Role::Simulation(sim_comm) => {
                 let mut sim =
-                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg()).unwrap();
+                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg())
+                        .unwrap();
                 let sender = TransitSender::new(transit_comm, "bodies", analysis_ranks);
                 let mut bridge = Bridge::new(node);
                 bridge.add_analysis(Box::new(sender), &sim_comm).unwrap();
@@ -91,12 +92,9 @@ fn run_in_transit(sim_ranks: usize, analysis_ranks: usize) -> Vec<binning::Binne
                 bridge.finalize(&sim_comm).unwrap();
             }
             Role::Analysis(analysis_comm) => {
-                let analysis = BinningAnalysis::new(spec())
-                    .with_sink(sink2.clone())
-                    .with_controls(BackendControls {
-                        device: DeviceSpec::Host,
-                        ..Default::default()
-                    });
+                let analysis = BinningAnalysis::new(spec()).with_sink(sink2.clone()).with_controls(
+                    BackendControls { device: DeviceSpec::Host, ..Default::default() },
+                );
                 let steps = intransit::serve_analysis(
                     &transit_comm,
                     &analysis_comm,
@@ -122,7 +120,12 @@ fn in_transit_matches_in_situ_exactly() {
     for (a, b) in in_situ.iter().zip(&transit) {
         assert_eq!(a.step, b.step);
         for name in ["count", "sum_mass"] {
-            assert_eq!(a.array(name).unwrap(), b.array(name).unwrap(), "array {name} at step {}", a.step);
+            assert_eq!(
+                a.array(name).unwrap(),
+                b.array(name).unwrap(),
+                "array {name} at step {}",
+                a.step
+            );
         }
     }
 }
@@ -153,7 +156,8 @@ fn sender_honours_frequency() {
         match intransit::partition(&world, 1) {
             Role::Simulation(sim_comm) => {
                 let mut sim =
-                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg()).unwrap();
+                    Newton::new(node.clone(), &sim_comm, sim_comm.rank() % 2, newton_cfg())
+                        .unwrap();
                 let mut sender = TransitSender::new(transit_comm, "bodies", 1);
                 sender.controls_mut().frequency = 2;
                 let mut bridge = Bridge::new(node);
@@ -165,12 +169,9 @@ fn sender_honours_frequency() {
                 bridge.finalize(&sim_comm).unwrap();
             }
             Role::Analysis(analysis_comm) => {
-                let analysis = BinningAnalysis::new(spec())
-                    .with_sink(sink2.clone())
-                    .with_controls(BackendControls {
-                        device: DeviceSpec::Host,
-                        ..Default::default()
-                    });
+                let analysis = BinningAnalysis::new(spec()).with_sink(sink2.clone()).with_controls(
+                    BackendControls { device: DeviceSpec::Host, ..Default::default() },
+                );
                 let steps = intransit::serve_analysis(
                     &transit_comm,
                     &analysis_comm,

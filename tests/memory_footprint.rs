@@ -84,11 +84,7 @@ fn zero_copy_coupling_adds_no_device_memory() {
             .map(|c| svtk::downcast::<f64>(c).unwrap().cuda_accessible(0).unwrap())
             .collect();
         assert!(views.iter().all(|v| v.is_direct()));
-        assert_eq!(
-            dev.used_bytes(),
-            SIM_BYTES,
-            "zero-copy access must not increase the footprint"
-        );
+        assert_eq!(dev.used_bytes(), SIM_BYTES, "zero-copy access must not increase the footprint");
     });
 }
 
@@ -103,11 +99,7 @@ fn async_snapshot_doubles_the_published_footprint_until_dropped() {
         // The asynchronous method's deep copy: one extra copy of every
         // published array while the snapshot is alive...
         let snapshot = SnapshotAdaptor::capture(&sim).unwrap();
-        assert_eq!(
-            dev.used_bytes(),
-            before + SIM_BYTES,
-            "deep copy doubles the published data"
-        );
+        assert_eq!(dev.used_bytes(), before + SIM_BYTES, "deep copy doubles the published data");
         // ...released as soon as the in situ thread is done with it.
         drop(snapshot);
         assert_eq!(dev.used_bytes(), before, "snapshot memory returned");
@@ -136,5 +128,38 @@ fn mismatched_placement_pays_temporaries_that_views_release() {
         // ...which the shared-pointer semantics release with the views.
         drop(views);
         assert_eq!(dev1.used_bytes(), 0, "temporaries freed when views drop");
+    });
+}
+
+#[test]
+fn partial_snapshot_pays_only_for_the_requested_arrays() {
+    World::new(1).run(|_comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = Sim::new(node.clone());
+        let dev = node.device(0).unwrap();
+        let before = dev.used_bytes();
+
+        // A back-end that declares it reads only `a` and `c` gets a
+        // snapshot holding exactly those two columns: half the copy, half
+        // the footprint of a full deep copy.
+        let req = sensei::DataRequirements::none().with_arrays(
+            "bodies",
+            svtk::FieldAssociation::Point,
+            ["a", "c"],
+        );
+        let snapshot = SnapshotAdaptor::capture_with(&sim, &req).unwrap();
+        let copied = dev.used_bytes() - before;
+        assert_eq!(copied, 2 * N * 8, "partial snapshot copies exactly the two requested columns");
+        assert!(copied < SIM_BYTES, "strictly fewer bytes than a full snapshot");
+
+        let mesh = snapshot.mesh("bodies").unwrap();
+        let table = mesh.as_table().unwrap();
+        assert_eq!(table.columns().len(), 2);
+        assert!(table.column("a").is_some() && table.column("c").is_some());
+        assert!(table.column("b").is_none() && table.column("d").is_none());
+
+        drop(mesh);
+        drop(snapshot);
+        assert_eq!(dev.used_bytes(), before, "partial snapshot memory returned");
     });
 }

@@ -1,0 +1,218 @@
+//! Requirements-driven partial snapshots: an asynchronous back-end that
+//! declares the arrays it reads gets a snapshot with only those arrays —
+//! strictly fewer bytes deep-copied — and produces results bit-identical
+//! to a run whose snapshots copy everything the simulation publishes.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use std::time::Duration;
+
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use sensei::{
+    AnalysisAdaptor, BackendControls, Bridge, DataAdaptor, DataRequirements, DeviceSpec,
+    ExecContext, ExecutionMethod, MeshMetadata, OverflowPolicy, Result, SnapshotAdaptor,
+};
+use svtk::{Allocator, DataObject, HamrDataArray, HamrStream, StreamMode, TableData};
+
+use binning::{BinnedResult, BinningAnalysis, BinningSpec, VarOp};
+
+const N: usize = 512;
+/// Two axis columns, one operand, two columns the binning never reads.
+const COLUMNS: [&str; 5] = ["x", "y", "mass", "unused_a", "unused_b"];
+
+/// A deterministic table that changes every step.
+struct Sim {
+    table: TableData,
+    step: u64,
+}
+
+impl Sim {
+    fn at_step(node: Arc<SimNode>, step: u64) -> Self {
+        let mut table = TableData::new();
+        for (c, name) in COLUMNS.iter().enumerate() {
+            let data: Vec<f64> =
+                (0..N).map(|i| ((i * (c + 1)) as f64 * 0.125).sin() + step as f64).collect();
+            let col = HamrDataArray::<f64>::from_slice(
+                *name,
+                node.clone(),
+                &data,
+                1,
+                Allocator::OpenMp,
+                Some(0),
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
+            table.set_column(col.as_array_ref());
+        }
+        Sim { table, step }
+    }
+}
+
+impl DataAdaptor for Sim {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        Ok(MeshMetadata { name: "bodies".into(), arrays: vec![] })
+    }
+    fn mesh(&self, _name: &str) -> Result<DataObject> {
+        Ok(DataObject::Table(self.table.clone()))
+    }
+    fn time(&self) -> f64 {
+        self.step as f64
+    }
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+}
+
+/// Wraps a back-end, overriding its requirements with "copy everything" —
+/// the pre-partial-snapshot behaviour, used as the reference run.
+struct ForceFullCopy(BinningAnalysis);
+
+impl AnalysisAdaptor for ForceFullCopy {
+    fn name(&self) -> &str {
+        "force_full_copy"
+    }
+    fn controls(&self) -> &BackendControls {
+        self.0.controls()
+    }
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        self.0.controls_mut()
+    }
+    fn required_arrays(&self) -> DataRequirements {
+        DataRequirements::All
+    }
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        self.0.execute(data, ctx)
+    }
+    fn finalize(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        self.0.finalize(ctx)
+    }
+}
+
+fn spec() -> BinningSpec {
+    BinningSpec::new(
+        "bodies",
+        ("x", "y"),
+        8,
+        vec![VarOp::parse("count()").unwrap(), VarOp::parse("sum(mass)").unwrap()],
+    )
+}
+
+fn async_controls() -> BackendControls {
+    BackendControls {
+        execution: ExecutionMethod::Asynchronous,
+        device: DeviceSpec::Host,
+        queue_depth: 4,
+        overflow: OverflowPolicy::Block,
+        ..Default::default()
+    }
+}
+
+/// Run `steps` iterations with the back-end `make` builds; return its
+/// results.
+fn run(
+    make: impl Fn() -> Box<dyn AnalysisAdaptor> + Send + Sync,
+    steps: u64,
+    sink: Arc<Mutex<Vec<BinnedResult>>>,
+) -> Vec<BinnedResult> {
+    World::new(1).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(make(), &comm).expect("attach");
+        for step in 0..steps {
+            let sim = Sim::at_step(node.clone(), step);
+            bridge.execute(&sim, &comm, Duration::ZERO).expect("execute");
+        }
+        bridge.finalize(&comm).expect("finalize");
+    });
+    let results = sink.lock().clone();
+    results
+}
+
+#[test]
+fn subset_run_is_bit_identical_to_full_copy_run() {
+    let steps = 3;
+
+    // Sanity: the back-end's declaration really is a subset.
+    assert!(matches!(BinningAnalysis::new(spec()).required_arrays(), DataRequirements::Subset(_)));
+
+    let subset_sink: Arc<Mutex<Vec<BinnedResult>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = subset_sink.clone();
+    let subset_results = run(
+        move || {
+            Box::new(
+                BinningAnalysis::new(spec())
+                    .with_sink(sink.clone())
+                    .with_controls(async_controls()),
+            )
+        },
+        steps,
+        subset_sink,
+    );
+
+    let full_sink: Arc<Mutex<Vec<BinnedResult>>> = Arc::new(Mutex::new(Vec::new()));
+    let sink = full_sink.clone();
+    let full_results = run(
+        move || {
+            Box::new(ForceFullCopy(
+                BinningAnalysis::new(spec())
+                    .with_sink(sink.clone())
+                    .with_controls(async_controls()),
+            ))
+        },
+        steps,
+        full_sink,
+    );
+
+    assert_eq!(subset_results.len(), steps as usize);
+    assert_eq!(full_results.len(), steps as usize);
+    for (s, f) in subset_results.iter().zip(&full_results) {
+        assert_eq!(s.step, f.step);
+        assert_eq!(s.arrays.len(), f.arrays.len());
+        for ((sn, sv), (fn_, fv)) in s.arrays.iter().zip(&f.arrays) {
+            assert_eq!(sn, fn_);
+            assert_eq!(sv.len(), fv.len());
+            for (i, (a, b)) in sv.iter().zip(fv).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "step {} array '{}' bin {}: subset {} != full {}",
+                    s.step,
+                    sn,
+                    i,
+                    a,
+                    b
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn subset_snapshot_copies_strictly_fewer_bytes() {
+    World::new(1).run(|_comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = Sim::at_step(node.clone(), 0);
+        let dev = node.device(0).unwrap();
+        let before = dev.used_bytes();
+
+        let full = SnapshotAdaptor::capture(&sim).unwrap();
+        let full_bytes = dev.used_bytes() - before;
+        drop(full);
+
+        let req = BinningAnalysis::new(spec()).required_arrays();
+        let partial = SnapshotAdaptor::capture_with(&sim, &req).unwrap();
+        let partial_bytes = dev.used_bytes() - before;
+        drop(partial);
+
+        assert_eq!(full_bytes, COLUMNS.len() * N * 8, "full copy duplicates every column");
+        assert_eq!(partial_bytes, 3 * N * 8, "subset copies x, y, mass only");
+        assert!(partial_bytes < full_bytes, "strictly fewer bytes than the full deep copy");
+        assert_eq!(dev.used_bytes(), before);
+    });
+}
