@@ -17,4 +17,7 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+echo "== cargo bench --no-run"
+cargo bench --no-run
+
 echo "ci.sh: all checks passed"

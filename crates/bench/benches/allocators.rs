@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use devsim::{NodeConfig, SimNode};
+use devsim::{NodeConfig, PoolConfig, SimNode};
 use hamr::{Allocator, HamrBuffer, HamrStream, StreamMode};
 
 fn allocators(c: &mut Criterion) {
@@ -85,5 +85,45 @@ fn allocators(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, allocators);
+/// The caching pool A/B: the identical allocate/use/free loop with the
+/// pool serving repeats from its free lists versus raw allocation on
+/// every request.
+fn pool_ab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_pool");
+    const N: usize = 100_000;
+
+    for (label, pool_cfg) in
+        [("pooled", PoolConfig::default()), ("unpooled", PoolConfig::disabled())]
+    {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        node.pool().configure(pool_cfg);
+        let stream = HamrStream::new(node.device(0).unwrap().create_stream());
+        group.bench_with_input(BenchmarkId::new("alloc_use_free", label), &(), |b, _| {
+            b.iter(|| {
+                let buf = HamrBuffer::<f64>::new_init(
+                    node.clone(),
+                    N,
+                    1.5,
+                    Allocator::CudaAsync,
+                    Some(0),
+                    stream.clone(),
+                    StreamMode::Sync,
+                )
+                .unwrap();
+                std::hint::black_box(&buf);
+                // Dropping returns the block to the pool (or frees it raw).
+            });
+        });
+        let stats = node.device(0).unwrap().pool_stats();
+        eprintln!(
+            "memory_pool/{label}: hit rate {:.1}% ({} hits / {} raw allocs)",
+            stats.hit_rate() * 100.0,
+            stats.hits,
+            stats.raw_allocs,
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, allocators, pool_ab);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! harness [table1|figure2|figure3|all] [--bodies N] [--steps N]
 //!         [--resolution N] [--instances N] [--devices N] [--scale F]
-//!         [--out DIR]
+//!         [--pool on|off] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
@@ -47,6 +47,13 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
             "--instances" => cfg.instances = next(&mut i).parse().expect("--instances"),
             "--devices" => cfg.num_devices = next(&mut i).parse().expect("--devices"),
             "--scale" => cfg.time_scale = next(&mut i).parse().expect("--scale"),
+            "--pool" => {
+                cfg.pool = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--pool takes 'on' or 'off', got '{other}'"),
+                }
+            }
             "--out" => out = PathBuf::from(next(&mut i)),
             other => panic!("unknown argument '{other}'"),
         }
@@ -223,6 +230,40 @@ fn write_backend_csv(path: &PathBuf, results: &[AggregatedCase]) {
     println!("wrote {}", path.display());
 }
 
+/// Machine-readable pool report: one JSON object per case with the
+/// timings and the node-wide caching-pool counters. Hand-rolled — the
+/// schema is flat and the repo carries no JSON dependency.
+fn write_pool_json(path: &PathBuf, results: &[AggregatedCase]) {
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let t = r.pool_total();
+        json.push_str(&format!(
+            "  {{\"placement\": \"{}\", \"execution\": \"{}\", \"pool\": {}, \
+             \"total_s\": {:.6}, \"mean_insitu_s\": {:.9}, \
+             \"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \
+             \"bytes_from_cache\": {}, \"raw_allocs\": {}, \"raw_alloc_bytes\": {}, \
+             \"high_water_bytes\": {}}}{}\n",
+            r.config.placement.label().replace(' ', "_"),
+            r.config.execution.name(),
+            r.config.pool,
+            r.total.as_secs_f64(),
+            r.mean_insitu.as_secs_f64(),
+            t.hit_rate(),
+            t.hits,
+            t.misses,
+            t.bytes_served_from_cache,
+            t.raw_allocs,
+            t.raw_alloc_bytes,
+            t.high_water_bytes,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
 fn main() {
     let (mode, base, out_dir, xml) = parse_args();
     if mode == "run-config" {
@@ -288,6 +329,25 @@ fn main() {
             }
         }
         write_backend_csv(&out_dir.join("backend_breakdown.csv"), &results);
+
+        // Caching-pool effectiveness per case.
+        println!(
+            "\nMemory pool ({}):",
+            if base.pool { "on" } else { "off — run with --pool on to compare" }
+        );
+        for r in &results {
+            let t = r.pool_total();
+            println!(
+                "  {}  hit rate {:.1}% ({} hits / {} misses), {} raw allocs, high water {} MiB",
+                case_label(&r.config),
+                t.hit_rate() * 100.0,
+                t.hits,
+                t.misses,
+                t.raw_allocs,
+                t.high_water_bytes >> 20,
+            );
+        }
+        write_pool_json(&out_dir.join("BENCH_pool.json"), &results);
 
         // The qualitative findings of §4.4, checked on this run.
         println!("\n§4.4 shape checks:");

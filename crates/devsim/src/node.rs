@@ -6,6 +6,7 @@ use crate::device::Device;
 use crate::error::{Error, Result};
 use crate::host::HostExec;
 use crate::memory::{CellBuffer, MemSpace};
+use crate::pool::{MemoryPool, PoolConfig, PoolStats};
 use crate::stats::{NodeStats, StatsSnapshot};
 use crate::timemodel::{DeviceParams, HostParams, LinkParams};
 
@@ -24,6 +25,8 @@ pub struct NodeConfig {
     /// model entirely (tests); benchmarks use a value that makes modeled
     /// time dominate real closure time.
     pub time_scale: f64,
+    /// Caching memory-pool configuration (enabled by default).
+    pub pool: PoolConfig,
 }
 
 impl Default for NodeConfig {
@@ -34,6 +37,7 @@ impl Default for NodeConfig {
             host: HostParams::default(),
             link: LinkParams::default(),
             time_scale: 1.0,
+            pool: PoolConfig::default(),
         }
     }
 }
@@ -53,6 +57,7 @@ pub struct SimNode {
     devices: Vec<Device>,
     host: HostExec,
     stats: Arc<NodeStats>,
+    pool: Arc<MemoryPool>,
     config: NodeConfig,
 }
 
@@ -65,11 +70,21 @@ impl SimNode {
     pub fn new(config: NodeConfig) -> Arc<SimNode> {
         assert!(config.num_devices > 0, "a heterogeneous node needs at least one device");
         let stats = Arc::new(NodeStats::default());
+        let pool = MemoryPool::new(config.pool);
         let devices = (0..config.num_devices)
-            .map(|id| Device::new(id, config.device, stats.clone(), config.link, config.time_scale))
+            .map(|id| {
+                Device::new(
+                    id,
+                    config.device,
+                    stats.clone(),
+                    pool.clone(),
+                    config.link,
+                    config.time_scale,
+                )
+            })
             .collect();
         let host = HostExec::new(config.host, stats.clone(), config.time_scale);
-        Arc::new(SimNode { devices, host, stats, config })
+        Arc::new(SimNode { devices, host, stats, pool, config })
     }
 
     /// Number of devices on the node (the paper's `n_a`).
@@ -89,9 +104,28 @@ impl SimNode {
         &self.host
     }
 
-    /// Allocate `len` `f64` elements in host memory.
+    /// Allocate `len` `f64` elements in host memory (pooled, uncapped).
     pub fn host_alloc_f64(&self, len: usize) -> CellBuffer {
-        CellBuffer::new(len, MemSpace::Host, None)
+        let (buf, _raw) = self
+            .pool
+            .alloc(MemSpace::Host, len, None)
+            .expect("host memory is uncapped; allocation cannot fail");
+        buf
+    }
+
+    /// The node-wide caching memory pool (stats, trim, reconfigure).
+    pub fn pool(&self) -> &MemoryPool {
+        &self.pool
+    }
+
+    /// Pool counters summed over every memory space on the node.
+    pub fn pool_stats_total(&self) -> PoolStats {
+        self.pool.stats_total()
+    }
+
+    /// Pool counters of one memory space.
+    pub fn pool_stats(&self, space: MemSpace) -> PoolStats {
+        self.pool.stats(space)
     }
 
     /// Snapshot the node-wide operation counters.

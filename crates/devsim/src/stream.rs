@@ -48,12 +48,37 @@ pub(crate) struct WorkerCtx {
     time_scale: f64,
 }
 
+/// Monotone progress counters of one stream, shared with the memory pool.
+///
+/// `submitted` counts commands ever enqueued; `completed` counts commands
+/// whose closure has returned (and therefore dropped its buffer clones).
+/// A buffer freed after being used on the stream is safe to hand to
+/// *other* streams once `completed` reaches the `submitted` watermark
+/// observed at free time — the pool's stand-in for recording an event on
+/// the last-use stream and waiting for it, as `cudaMallocAsync` pools do.
+pub(crate) struct StreamTimeline {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+impl StreamTimeline {
+    pub(crate) fn submitted(&self) -> u64 {
+        self.submitted.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+}
+
+/// Process-wide stream id allocator (ids are never reused).
+static NEXT_STREAM_ID: AtomicU64 = AtomicU64::new(0);
+
 struct Shared {
     pending: Mutex<u64>,
     idle: Condvar,
     /// First asynchronous failure (sticky until the next synchronize).
     error: Mutex<Option<Error>>,
-    submitted: AtomicU64,
 }
 
 /// An in-order asynchronous command queue bound to one device.
@@ -62,9 +87,11 @@ struct Shared {
 /// to share behind an `Arc` and safe to submit to from any thread
 /// (submissions from one thread retain their order).
 pub struct Stream {
+    id: u64,
     device_id: usize,
     tx: Sender<Cmd>,
     shared: Arc<Shared>,
+    timeline: Arc<StreamTimeline>,
 }
 
 impl Stream {
@@ -79,17 +106,23 @@ impl Stream {
             pending: Mutex::new(0),
             idle: Condvar::new(),
             error: Mutex::new(None),
-            submitted: AtomicU64::new(0),
         });
+        let timeline =
+            Arc::new(StreamTimeline { submitted: AtomicU64::new(0), completed: AtomicU64::new(0) });
+        let id = NEXT_STREAM_ID.fetch_add(1, Ordering::Relaxed);
         let device_id = device.id;
         let ctx = WorkerCtx { device: Some(device), stats, link, time_scale };
         let worker_shared = shared.clone();
+        let worker_timeline = timeline.clone();
         std::thread::Builder::new()
             .name(format!("devsim-stream-d{device_id}"))
             .spawn(move || {
                 let mut deficit = Duration::ZERO;
                 while let Ok(cmd) = rx.recv() {
                     cmd(&ctx, &mut deficit);
+                    // The command's closure (and its buffer clones) is gone;
+                    // advance the completion watermark the pool reclaims on.
+                    worker_timeline.completed.fetch_add(1, Ordering::Release);
                     let mut p = worker_shared.pending.lock();
                     // Flush deferred modeled time before reporting idle.
                     // `pending` counts submitted-but-unfinished commands,
@@ -107,7 +140,7 @@ impl Stream {
                 }
             })
             .expect("spawn stream worker");
-        Arc::new(Stream { device_id, tx, shared })
+        Arc::new(Stream { id, device_id, tx, shared, timeline })
     }
 
     /// The device this stream issues to.
@@ -115,14 +148,24 @@ impl Stream {
         self.device_id
     }
 
+    /// Process-unique id of this stream (never reused).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Number of commands ever submitted (diagnostic).
     pub fn submitted(&self) -> u64 {
-        self.shared.submitted.load(Ordering::Relaxed)
+        self.timeline.submitted()
+    }
+
+    /// The (id, timeline) pair the pool uses to track last-use ordering.
+    pub(crate) fn use_token(&self) -> (u64, Arc<StreamTimeline>) {
+        (self.id, self.timeline.clone())
     }
 
     fn enqueue(&self, cmd: Cmd) -> Result<()> {
         *self.shared.pending.lock() += 1;
-        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        self.timeline.submitted.fetch_add(1, Ordering::Release);
         self.tx.send(cmd).map_err(|_| {
             // Undo the pending count if the worker is gone.
             *self.shared.pending.lock() -= 1;
@@ -142,12 +185,13 @@ impl Stream {
     {
         let shared = self.shared.clone();
         let name = name.to_string();
+        let stream_use = self.use_token();
         self.enqueue(Box::new(move |ctx, deficit| {
             let dev = ctx.device.as_ref().expect("kernel launched on a device stream");
             let duration = timemodel::kernel_duration(cost, &dev.params, ctx.time_scale);
             dev.slots.with(|| {
                 let t0 = Instant::now();
-                let scope = KernelScope { device: dev.id };
+                let scope = KernelScope { device: dev.id, stream: Some(stream_use) };
                 let outcome =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&scope)));
                 let elapsed = t0.elapsed();
@@ -184,6 +228,11 @@ impl Stream {
         if src.len() != dst.len() {
             return Err(Error::CopyLengthMismatch { src: src.len(), dst: dst.len() });
         }
+        // Both endpoints are used by this stream: their pooled blocks must
+        // not be handed to another stream until this copy has completed.
+        let (sid, timeline) = self.use_token();
+        src.note_stream_use(sid, &timeline);
+        dst.note_stream_use(sid, &timeline);
         let src = src.clone();
         let dst = dst.clone();
         let shared = self.shared.clone();

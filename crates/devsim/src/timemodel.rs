@@ -49,6 +49,11 @@ pub struct DeviceParams {
     pub launch_overhead: Duration,
     /// Memory capacity; allocations beyond it fail with `OutOfMemory`.
     pub memory_bytes: usize,
+    /// Fixed cost of a *raw* device allocation (`cudaMalloc`-class: the
+    /// driver call plus its implicit synchronization). Paid only when the
+    /// caching pool misses; pool hits are free, which is the entire point
+    /// of stream-ordered allocator pools.
+    pub alloc_overhead: Duration,
 }
 
 impl Default for DeviceParams {
@@ -61,6 +66,7 @@ impl Default for DeviceParams {
             bytes_per_sec: 1e12,
             launch_overhead: Duration::from_micros(10),
             memory_bytes: 40 << 30,
+            alloc_overhead: Duration::from_micros(200),
         }
     }
 }
@@ -145,6 +151,14 @@ pub fn transfer_duration(
     }
     let bw = if host_involved { p.h2d_bytes_per_sec } else { p.d2d_bytes_per_sec };
     scale(p.latency, bytes as f64 / bw, time_scale)
+}
+
+/// Modeled duration of a raw (pool-miss) device allocation.
+pub fn alloc_duration(p: &DeviceParams, time_scale: f64) -> Duration {
+    if time_scale == 0.0 {
+        return Duration::ZERO;
+    }
+    scale(p.alloc_overhead, 0.0, time_scale)
 }
 
 fn scale(fixed: Duration, secs: f64, time_scale: f64) -> Duration {

@@ -70,25 +70,82 @@ proptest! {
     }
 
     /// Capacity accounting: used bytes always equals the sum of live
-    /// allocations, and everything is released on drop.
+    /// allocations (size-class rounded, since the caching pool reserves
+    /// whole classes), and everything is released on drop.
     #[test]
-    fn capacity_accounting_is_exact(sizes in proptest::collection::vec(1usize..64, 1..12)) {
+    fn capacity_accounting_is_exact(sizes in proptest::collection::vec(1usize..200, 1..12)) {
         let node = SimNode::new(NodeConfig::fast_test(1));
         let dev = node.device(0).unwrap();
+        let class_bytes = |len: usize| node.pool().config().class_cells(len) * 8;
         let mut live = Vec::new();
         let mut expect = 0usize;
         for (i, &len) in sizes.iter().enumerate() {
             live.push(dev.alloc_f64(len).unwrap());
-            expect += len * 8;
+            expect += class_bytes(len);
             prop_assert_eq!(dev.used_bytes(), expect);
             if i % 3 == 2 {
                 let freed = live.remove(0);
-                expect -= freed.len() * 8;
+                expect -= class_bytes(freed.len());
                 drop(freed);
                 prop_assert_eq!(dev.used_bytes(), expect);
             }
         }
         drop(live);
         prop_assert_eq!(dev.used_bytes(), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Stream-ordered reclamation: while the last-use stream has not
+    /// drained past a freed block's use, the pool never hands the block
+    /// to another requester — but the same stream reuses it immediately,
+    /// and once the stream drains anyone may have it.
+    #[test]
+    fn reclaim_waits_for_last_use_stream(
+        len in 1usize..256,
+        extra_cmds in 0usize..4,
+    ) {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let dev = node.device(0).unwrap();
+        let stream = dev.create_stream();
+        let gate = devsim::Event::new();
+        let done = devsim::Event::new();
+
+        let buf = dev.alloc_f64(len).unwrap();
+        let b = buf.clone();
+        stream.launch("touch", KernelCost::ZERO, move |scope| {
+            b.f64_view(scope)?.set(0, 1.0);
+            Ok(())
+        }).unwrap();
+        stream.record(&done).unwrap();
+        stream.wait_event(&gate).unwrap();
+        for _ in 0..extra_cmds {
+            stream.launch("later", KernelCost::ZERO, |_| Ok(())).unwrap();
+        }
+        done.wait();
+        drop(buf); // stream still parked on the gate -> block is pending
+
+        // Stream-less requester: must miss (raw allocation), never the
+        // pending block.
+        let cross = dev.alloc_f64(len).unwrap();
+        prop_assert_eq!(dev.pool_stats().hits, 0);
+        prop_assert_eq!(dev.pool_stats().raw_allocs, 2);
+
+        // Same-stream requester: immediate reuse.
+        let same = dev.alloc_cells_on_stream(len, &stream).unwrap();
+        prop_assert_eq!(dev.pool_stats().hits, 1);
+
+        gate.signal();
+        stream.synchronize().unwrap();
+        drop(same);
+        drop(cross);
+
+        // Drained: the blocks are ready for anyone.
+        let after = dev.alloc_f64(len).unwrap();
+        prop_assert_eq!(dev.pool_stats().hits, 2);
+        prop_assert_eq!(dev.pool_stats().raw_allocs, 2, "no new raw allocation after drain");
+        drop(after);
     }
 }

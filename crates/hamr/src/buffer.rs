@@ -59,6 +59,13 @@ impl<T: Element> HamrBuffer<T> {
                 // directly accessible everywhere.
                 (node.device(d)?.alloc_unified(len)?, Some(d))
             }
+            (true, Some(d)) if allocator.is_stream_ordered() => {
+                // cudaMallocAsync-class allocators allocate *on the
+                // stream*: the pool may immediately recycle a block whose
+                // last use was on that same stream.
+                let s = stream.resolve(&node, d);
+                (node.device(d)?.alloc_cells_on_stream(len, &s)?, Some(d))
+            }
             (true, Some(d)) => (node.device(d)?.alloc_cells(len)?, Some(d)),
             (true, None) => {
                 return Err(Error::PlacementMismatch {
@@ -315,8 +322,10 @@ impl<T: Element> HamrBuffer<T> {
             Some(d) if d == device => Ok(AccessView::new(state.cells.clone(), true, pm_converted)),
             Some(d) => {
                 // Inter-device move, ordered on the source device's stream.
-                let temp = self.node.device(device)?.alloc_cells(self.len)?;
+                // The temporary is allocated on that stream too, so the
+                // pool can recycle a same-stream block without waiting.
                 let stream = self.stream.resolve(&self.node, d);
+                let temp = self.node.device(device)?.alloc_cells_on_stream(self.len, &stream)?;
                 stream.copy(&state.cells, &temp)?;
                 if self.mode == StreamMode::Sync {
                     stream.synchronize()?;
@@ -325,8 +334,8 @@ impl<T: Element> HamrBuffer<T> {
             }
             None => {
                 // Host-to-device move, ordered on the target's stream.
-                let temp = self.node.device(device)?.alloc_cells(self.len)?;
                 let stream = self.stream.resolve(&self.node, device);
+                let temp = self.node.device(device)?.alloc_cells_on_stream(self.len, &stream)?;
                 stream.copy(&state.cells, &temp)?;
                 if self.mode == StreamMode::Sync {
                     stream.synchronize()?;
@@ -369,13 +378,13 @@ impl<T: Element> HamrBuffer<T> {
         if state.device == target {
             return Ok(());
         }
-        let new_cells = match target {
-            None => self.node.host_alloc_f64(self.len),
-            Some(d) => self.node.device(d)?.alloc_cells(self.len)?,
-        };
         // Order the move on a stream touching whichever device is involved.
         let stream_dev = state.device.or(target).expect("host->host handled above");
         let stream = self.stream.resolve(&self.node, stream_dev);
+        let new_cells = match target {
+            None => self.node.host_alloc_f64(self.len),
+            Some(d) => self.node.device(d)?.alloc_cells_on_stream(self.len, &stream)?,
+        };
         stream.copy(&state.cells, &new_cells)?;
         stream.synchronize()?; // moves are always completed (they swap the canonical storage)
         state.cells = new_cells;

@@ -92,6 +92,40 @@ proptest! {
         prop_assert_eq!(n.device(1).unwrap().used_bytes(), used_before);
     }
 
+    /// Dropping an `AccessView` returns its temporary block to the
+    /// caching pool: live usage falls back to the baseline, and the next
+    /// same-shape access is served from cache instead of allocating.
+    #[test]
+    fn accessview_drop_returns_the_temporary_to_the_pool(
+        data in proptest::collection::vec(finite_f64(), 1..96),
+        pm in proptest::sample::select(vec![Pm::Cuda, Pm::Hip, Pm::OpenMp]),
+    ) {
+        let n = node();
+        let buf = HamrBuffer::<f64>::from_slice(
+            n.clone(), &data, Allocator::Malloc, None,
+            HamrStream::default_stream(), StreamMode::Sync,
+        ).unwrap();
+
+        // First cross-space access materializes a device temporary.
+        let dev = n.device(0).unwrap();
+        let used_baseline = dev.used_bytes();
+        let view = buf.device_accessible(0, pm).unwrap();
+        prop_assert!(!view.is_direct());
+        prop_assert!(dev.used_bytes() > used_baseline);
+
+        drop(view);
+        prop_assert_eq!(dev.used_bytes(), used_baseline, "the temp is no longer live");
+        let after_drop = dev.pool_stats();
+        prop_assert!(after_drop.cached_bytes > 0, "the temp went to the free list, not free()");
+
+        // The next identical access is a pool hit, not an allocation.
+        let view2 = buf.device_accessible(0, pm).unwrap();
+        let s = dev.pool_stats();
+        prop_assert_eq!(s.raw_allocs, after_drop.raw_allocs);
+        prop_assert_eq!(s.hits, after_drop.hits + 1);
+        drop(view2);
+    }
+
     /// move_to round trips preserve content through arbitrary residency
     /// sequences.
     #[test]

@@ -144,6 +144,15 @@ impl Bridge {
                 first_err.get_or_insert(e);
             }
         }
+        // Freeze the run's caching-pool counters into the profiler so the
+        // harness can report hit rates alongside the timings.
+        self.profiler.record_pool_stats("host", self.node.pool_stats(devsim::MemSpace::Host));
+        for d in 0..self.node.num_devices() {
+            self.profiler.record_pool_stats(
+                format!("device{d}"),
+                self.node.pool_stats(devsim::MemSpace::Device(d)),
+            );
+        }
         self.profiler.stop();
         match first_err {
             Some(e) => Err(e),

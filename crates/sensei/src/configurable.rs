@@ -10,6 +10,7 @@
 //!
 //! ```xml
 //! <sensei>
+//!   <memory_pool enabled="1" granularity="64" trim_threshold="1048576"/>
 //!   <analysis type="data_binning" enabled="1"
 //!             mode="asynchronous" device="-2" n_use="1" offset="3"
 //!             queue_depth="4" overflow="block">
@@ -17,7 +18,13 @@
 //!   </analysis>
 //! </sensei>
 //! ```
+//!
+//! The optional `<memory_pool>` element tunes the node-wide stream-aware
+//! caching allocator: `enabled` is the master switch, `granularity` the
+//! size-class width in 64-bit cells, and `trim_threshold` a per-space
+//! ceiling (bytes) on cached free-list memory (absent = unbounded).
 
+use devsim::PoolConfig;
 use xmlcfg::Element;
 
 use crate::adaptor::AnalysisAdaptor;
@@ -72,6 +79,7 @@ impl BackendConfig {
 /// A parsed SENSEI run-time configuration.
 pub struct ConfigurableAnalysis {
     configs: Vec<BackendConfig>,
+    pool: Option<PoolConfig>,
 }
 
 impl ConfigurableAnalysis {
@@ -86,6 +94,23 @@ impl ConfigurableAnalysis {
         if root.name != "sensei" {
             return Err(Error::Config(format!("expected <sensei> root, found <{}>", root.name)));
         }
+        let pool = match root.find_child("memory_pool") {
+            None => None,
+            Some(el) => {
+                let defaults = PoolConfig::default();
+                let enabled = el.parse_attr_or::<u8>("enabled", 1).map_err(Error::Xml)? != 0;
+                let granularity = el
+                    .parse_attr_or::<usize>("granularity", defaults.granularity)
+                    .map_err(Error::Xml)?;
+                if granularity == 0 {
+                    return Err(Error::Config("memory_pool granularity must be at least 1".into()));
+                }
+                let trim_threshold = el
+                    .parse_attr_or::<usize>("trim_threshold", defaults.trim_threshold)
+                    .map_err(Error::Xml)?;
+                Some(PoolConfig { enabled, granularity, trim_threshold })
+            }
+        };
         let mut configs = Vec::new();
         for el in root.find_all("analysis") {
             let type_name = el.req_attr("type").map_err(Error::Xml)?.to_string();
@@ -130,7 +155,7 @@ impl ConfigurableAnalysis {
                 element: el.clone(),
             });
         }
-        Ok(ConfigurableAnalysis { configs })
+        Ok(ConfigurableAnalysis { configs, pool })
     }
 
     /// All entries (including disabled ones).
@@ -138,11 +163,25 @@ impl ConfigurableAnalysis {
         &self.configs
     }
 
+    /// The `<memory_pool>` settings, if the document carries the element.
+    pub fn pool_config(&self) -> Option<PoolConfig> {
+        self.pool
+    }
+
     /// Serialize back to XML text. Parsing the result yields the same
     /// entries and controls (attributes are normalized: defaults are
     /// written out explicitly).
     pub fn to_xml(&self) -> String {
         let mut root = Element::new("sensei");
+        if let Some(p) = self.pool {
+            let mut el = Element::new("memory_pool");
+            el.attributes.push(("enabled".to_string(), (p.enabled as u8).to_string()));
+            el.attributes.push(("granularity".to_string(), p.granularity.to_string()));
+            if p.trim_threshold != usize::MAX {
+                el.attributes.push(("trim_threshold".to_string(), p.trim_threshold.to_string()));
+            }
+            root.children.push(xmlcfg::Node::Element(el));
+        }
         for cfg in &self.configs {
             root.children.push(xmlcfg::Node::Element(cfg.to_element()));
         }
@@ -156,6 +195,9 @@ impl ConfigurableAnalysis {
         registry: &AnalysisRegistry,
         ctx: &CreateContext,
     ) -> Result<Vec<Box<dyn AnalysisAdaptor>>> {
+        if let Some(p) = self.pool {
+            ctx.node.pool().configure(p);
+        }
         let mut backends = Vec::new();
         for cfg in self.configs.iter().filter(|c| c.enabled) {
             let mut backend = registry.create(&cfg.type_name, &cfg.element, ctx)?;
@@ -174,6 +216,7 @@ mod tests {
 
     const XML: &str = r#"
         <sensei>
+          <memory_pool enabled="1" granularity="128" trim_threshold="65536"/>
           <analysis type="binning" mode="asynchronous" device="-2"
                     n_use="1" offset="3" stride="1"
                     queue_depth="8" overflow="drop_oldest">
@@ -206,6 +249,54 @@ mod tests {
         assert_eq!(cfg.configs()[3].controls.device, DeviceSpec::Explicit(2));
         assert_eq!(cfg.configs()[3].controls.execution, ExecutionMethod::Lockstep);
         assert_eq!(cfg.configs()[3].controls.overflow, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn memory_pool_element_parses_and_round_trips() {
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        let pool = cfg.pool_config().unwrap();
+        assert!(pool.enabled);
+        assert_eq!(pool.granularity, 128);
+        assert_eq!(pool.trim_threshold, 65536);
+
+        let text = cfg.to_xml();
+        assert!(
+            text.contains(r#"<memory_pool enabled="1" granularity="128" trim_threshold="65536"/>"#)
+        );
+        let again = ConfigurableAnalysis::from_xml(&text).unwrap();
+        assert_eq!(again.pool_config(), Some(pool));
+
+        // Absent element -> no pool override; unbounded threshold stays
+        // implicit on the way back out.
+        let none = ConfigurableAnalysis::from_xml("<sensei/>").unwrap();
+        assert_eq!(none.pool_config(), None);
+        let sparse =
+            ConfigurableAnalysis::from_xml(r#"<sensei><memory_pool enabled="0"/></sensei>"#)
+                .unwrap();
+        let p = sparse.pool_config().unwrap();
+        assert!(!p.enabled);
+        assert_eq!(p.granularity, PoolConfig::default().granularity);
+        assert_eq!(p.trim_threshold, usize::MAX);
+        assert!(!sparse.to_xml().contains("trim_threshold"));
+
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><memory_pool granularity="0"/></sensei>"#),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn instantiate_applies_memory_pool_to_the_node() {
+        let cfg = ConfigurableAnalysis::from_xml(
+            r#"<sensei><memory_pool enabled="0" granularity="16"/></sensei>"#,
+        )
+        .unwrap();
+        let reg = AnalysisRegistry::new();
+        let ctx = CreateContext { node: SimNode::new(NodeConfig::fast_test(1)), rank: 0, size: 1 };
+        cfg.instantiate(&reg, &ctx).unwrap();
+        let applied = ctx.node.pool().config();
+        assert!(!applied.enabled);
+        assert_eq!(applied.granularity, 16);
     }
 
     #[test]

@@ -69,7 +69,9 @@ pub use engine::{
 pub use error::{Error, Result};
 pub use execution::ExecutionMethod;
 pub use placement::Placement;
-pub use profiler::{BackendBreakdown, BackendSample, IterationRecord, ProfileSummary, Profiler};
+pub use profiler::{
+    BackendBreakdown, BackendSample, IterationRecord, PoolSample, ProfileSummary, Profiler,
+};
 pub use queue::OverflowPolicy;
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
 pub use requirements::{ArraySelection, DataRequirements, MeshRequirements, ANY_MESH};

@@ -2,6 +2,8 @@
 
 use std::time::{Duration, Instant};
 
+use devsim::PoolStats;
+
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterationRecord {
@@ -54,11 +56,21 @@ pub struct BackendBreakdown {
     pub mean_apparent: Duration,
 }
 
+/// One memory space's caching-pool counters at the end of a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolSample {
+    /// Memory-space label (`host`, `device0`, ...).
+    pub space: String,
+    /// The pool counters for that space.
+    pub stats: PoolStats,
+}
+
 /// Records per-iteration solver/in situ costs and the total run time.
 #[derive(Debug)]
 pub struct Profiler {
     records: Vec<IterationRecord>,
     backend_samples: Vec<BackendSample>,
+    pool_samples: Vec<PoolSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -75,6 +87,7 @@ impl Profiler {
         Profiler {
             records: Vec::new(),
             backend_samples: Vec::new(),
+            pool_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -122,6 +135,26 @@ impl Profiler {
             .collect()
     }
 
+    /// Record one memory space's caching-pool counters (the bridge does
+    /// this for the host and every device at finalize).
+    pub fn record_pool_stats(&mut self, space: impl Into<String>, stats: PoolStats) {
+        self.pool_samples.push(PoolSample { space: space.into(), stats });
+    }
+
+    /// Every recorded per-space pool sample.
+    pub fn pool_samples(&self) -> &[PoolSample] {
+        &self.pool_samples
+    }
+
+    /// Pool counters summed over every recorded space.
+    pub fn pool_total(&self) -> PoolStats {
+        let mut total = PoolStats::default();
+        for s in &self.pool_samples {
+            total.accumulate(&s.stats);
+        }
+        total
+    }
+
     /// Stop the run clock (idempotent; called by the bridge at finalize).
     pub fn stop(&mut self) {
         if self.total.is_none() {
@@ -167,6 +200,31 @@ impl Profiler {
         let mut out = String::from("step,backend,apparent_s\n");
         for s in &self.backend_samples {
             out.push_str(&format!("{},{},{:.9}\n", s.step, s.backend, s.apparent.as_secs_f64()));
+        }
+        out
+    }
+
+    /// Dump the per-space pool samples as CSV.
+    pub fn pool_csv(&self) -> String {
+        let mut out = String::from(
+            "space,hits,misses,hit_rate,bytes_from_cache,raw_allocs,raw_alloc_bytes,\
+             high_water_bytes,reclaims,trims\n",
+        );
+        for s in &self.pool_samples {
+            let st = &s.stats;
+            out.push_str(&format!(
+                "{},{},{},{:.4},{},{},{},{},{},{}\n",
+                s.space,
+                st.hits,
+                st.misses,
+                st.hit_rate(),
+                st.bytes_served_from_cache,
+                st.raw_allocs,
+                st.raw_alloc_bytes,
+                st.high_water_bytes,
+                st.reclaims,
+                st.trims,
+            ));
         }
         out
     }
@@ -227,6 +285,28 @@ mod tests {
         assert_eq!(lines[0], "step,backend,apparent_s");
         assert_eq!(lines.len(), 4);
         assert!(lines[1].starts_with("0,binning,0.004"));
+    }
+
+    #[test]
+    fn pool_samples_aggregate_and_dump() {
+        let mut p = Profiler::new();
+        let host =
+            PoolStats { hits: 3, misses: 1, bytes_served_from_cache: 1536, ..Default::default() };
+        let dev = PoolStats { hits: 5, misses: 5, high_water_bytes: 4096, ..Default::default() };
+        p.record_pool_stats("host", host);
+        p.record_pool_stats("device0", dev);
+        assert_eq!(p.pool_samples().len(), 2);
+        let total = p.pool_total();
+        assert_eq!(total.hits, 8);
+        assert_eq!(total.misses, 6);
+        assert_eq!(total.high_water_bytes, 4096);
+
+        let csv = p.pool_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("space,hits,misses,hit_rate"));
+        assert!(lines[1].starts_with("host,3,1,0.7500,1536"));
+        assert!(lines[2].starts_with("device0,5,5,0.5000"));
     }
 
     #[test]

@@ -22,7 +22,9 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 fn cfg(placement: Placement, execution: ExecutionMethod) -> CaseConfig {
     CaseConfig {
         bodies: 1024,
-        steps: 5,
+        // Enough steps that warm-up costs (first-touch raw allocations
+        // before the pool is hot) amortize out of the per-iteration means.
+        steps: 8,
         resolution: 32,
         instances: 3,
         // In debug builds the unmodeled real closure time is an order of
@@ -96,6 +98,25 @@ fn dedicated_device_placement_is_slower_than_shared_placements() {
     // And it uses fewer ranks, as Table 1 records.
     assert_eq!(same.ranks, 4);
     assert_eq!(dedicated.ranks, 3);
+}
+
+#[test]
+fn async_apparent_insitu_shape_holds_with_the_pool_disabled() {
+    let _serial = serial();
+    // The caching pool is a performance layer, not a semantics layer:
+    // the paper's headline ordering must hold whether or not buffer
+    // requests are served from the pool's free lists.
+    for pool in [true, false] {
+        let mk = |execution| CaseConfig { pool, ..cfg(Placement::SameDevice, execution) };
+        let lock = run_case(&mk(ExecutionMethod::Lockstep));
+        let asyn = run_case(&mk(ExecutionMethod::Asynchronous));
+        assert!(
+            asyn.mean_insitu.as_secs_f64() < lock.mean_insitu.as_secs_f64() / 3.0,
+            "pool={pool}: async apparent {:?} should be << lockstep {:?}",
+            asyn.mean_insitu,
+            lock.mean_insitu
+        );
+    }
 }
 
 #[test]
