@@ -20,4 +20,11 @@ cargo test -q
 echo "== cargo bench --no-run"
 cargo bench --no-run
 
+echo "== harness binning smoke (fused apparent cost <= per-op)"
+# Exits non-zero if the fused arm's lockstep apparent in situ cost
+# exceeds the per-op reference, or if the fused counters are off
+# (allreduces != 1/step, kernels/downloads != 1 per (system, block)).
+cargo run --release -p bench --bin harness -- binning \
+    --bodies 512 --steps 4 --resolution 32 --out /tmp/ci_binning
+
 echo "ci.sh: all checks passed"

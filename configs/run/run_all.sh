@@ -21,6 +21,7 @@ echo
 echo "== The paper's 90-operation XML workload, both execution methods =="
 cargo run --release -p bench --bin harness -- run-config configs/sensei_xml/binning_90ops_lockstep.xml --steps 5
 cargo run --release -p bench --bin harness -- run-config configs/sensei_xml/binning_90ops_async.xml --steps 5
+cargo run --release -p bench --bin harness -- run-config configs/sensei_xml/binning_90ops_fused.xml --steps 5
 
 echo
 echo "== Criterion micro/ablation benchmarks =="

@@ -1,0 +1,58 @@
+//! Fused vs per-op binning A/B on the paper's §4.3 workload shape.
+//!
+//! Both arms run the same bounded-axis binning specs on the same
+//! simulated node; the only difference is the execution strategy:
+//!
+//! * `per_op` — one `BinningAnalysis` per coordinate system, each op
+//!   binned in its own passes/kernels and allreduced on its own (the
+//!   paper's "binning of each coordinate system was done sequentially in
+//!   a separate data binning operator instance");
+//! * `fused` — one `BinningSuite` sharing the per-step fetch, computing
+//!   every op of a coordinate system in a single pass/kernel, and packing
+//!   every grid into one allreduce per step.
+//!
+//! `iter_custom` reports the mean *apparent in situ* cost per iteration,
+//! the quantity the harness's `binning` mode asserts on.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::{run_case, CaseConfig};
+use sensei::{ExecutionMethod, Placement};
+
+fn ab_case(execution: ExecutionMethod, fused: bool) -> CaseConfig {
+    CaseConfig {
+        bodies: 1024,
+        steps: 4,
+        resolution: 32,
+        instances: 3,
+        fused,
+        bounded: true,
+        ..CaseConfig::small(Placement::SameDevice, execution)
+    }
+}
+
+fn fused_vs_perop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fused_vs_perop");
+    group.sample_size(10);
+    for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+        for fused in [false, true] {
+            let cfg = ab_case(execution, fused);
+            let id = format!("{}/{}", execution.name(), if fused { "fused" } else { "per_op" });
+            group.bench_function(&id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += run_case(&cfg).mean_insitu;
+                    }
+                    total
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fused_vs_perop);
+criterion_main!(benches);

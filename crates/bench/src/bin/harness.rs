@@ -1,12 +1,18 @@
 //! The experiment harness: regenerates Table 1, Figure 2, and Figure 3.
 //!
 //! ```text
-//! harness [table1|figure2|figure3|all] [--bodies N] [--steps N]
+//! harness [table1|figure2|figure3|binning|all] [--bodies N] [--steps N]
 //!         [--resolution N] [--instances N] [--devices N] [--scale F]
-//!         [--pool on|off] [--out DIR]
+//!         [--pool on|off] [--fused on|off] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
+//!
+//! `binning` runs the fused-vs-per-op A/B on the bounded 90-op workload
+//! (lockstep for the apparent-cost comparison, asynchronous for the
+//! collective/kernel counters), prints both arms' work counters, writes
+//! `BENCH_binning.json` under `--out`, and exits non-zero if the fused
+//! arm's apparent cost is not at or below the per-op arm's.
 //!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
@@ -17,7 +23,7 @@
 //! execution methods) and print the paper-shaped bar charts plus CSV
 //! files under `--out` (default `results/`).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use bench::{ascii_bars, ascii_stack, bench_node_config, run_case, AggregatedCase, CaseConfig};
@@ -36,7 +42,7 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
             args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
         };
         match args[i].as_str() {
-            "table1" | "figure2" | "figure3" | "all" => mode = args[i].clone(),
+            "table1" | "figure2" | "figure3" | "binning" | "all" => mode = args[i].clone(),
             "run-config" => {
                 mode = "run-config".into();
                 xml = Some(PathBuf::from(next(&mut i)));
@@ -52,6 +58,13 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
                     "on" => true,
                     "off" => false,
                     other => panic!("--pool takes 'on' or 'off', got '{other}'"),
+                }
+            }
+            "--fused" => {
+                cfg.fused = match next(&mut i).as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => panic!("--fused takes 'on' or 'off', got '{other}'"),
                 }
             }
             "--out" => out = PathBuf::from(next(&mut i)),
@@ -81,6 +94,7 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
         let node = node.clone();
         let mut registry = AnalysisRegistry::new();
         binning::register(&mut registry);
+        binning::register_suite(&mut registry);
         analyses::register_all(&mut registry);
         let config = ConfigurableAnalysis::from_xml(&xml).expect("parse XML");
         let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
@@ -264,10 +278,158 @@ fn write_pool_json(path: &PathBuf, results: &[AggregatedCase]) {
     println!("wrote {}", path.display());
 }
 
+/// Machine-readable fused-vs-per-op report: one JSON object per arm with
+/// the timings and work counters. Hand-rolled like `write_pool_json`.
+fn write_binning_json(path: &Path, results: &[AggregatedCase]) {
+    let mut json = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let c = &r.counters;
+        json.push_str(&format!(
+            "  {{\"execution\": \"{}\", \"fused\": {}, \"ranks\": {}, \"steps\": {}, \
+             \"instances\": {}, \"total_s\": {:.6}, \"mean_insitu_s\": {:.9}, \
+             \"table_passes\": {}, \"kernel_launches\": {}, \"downloads\": {}, \
+             \"allreduces\": {}, \"fetches\": {}}}{}\n",
+            r.config.execution.name(),
+            r.config.fused,
+            r.ranks,
+            r.config.steps,
+            r.config.instances,
+            r.total.as_secs_f64(),
+            r.mean_insitu.as_secs_f64(),
+            c.table_passes,
+            c.kernel_launches,
+            c.downloads,
+            c.allreduces,
+            c.fetches,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The fused-vs-per-op A/B on the bounded workload: lockstep arms for the
+/// apparent-cost comparison (apparent == actual modeled in situ time),
+/// asynchronous arms for the per-step collective/kernel counters the
+/// fused path guarantees. Exits non-zero if the fused arm costs more.
+fn run_binning(base: &CaseConfig, out_dir: &Path) {
+    let mk = |fused: bool, execution: ExecutionMethod| CaseConfig {
+        fused,
+        bounded: true,
+        placement: Placement::SameDevice,
+        execution,
+        ..*base
+    };
+    println!(
+        "\nFused vs per-op binning A/B: {} instances x {} ops, bounded axes, same-device placement",
+        base.instances, VARIABLE_OPS_PER_INSTANCE
+    );
+
+    let mut results = Vec::new();
+    for execution in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+        for fused in [true, false] {
+            let cfg = mk(fused, execution);
+            let t0 = Instant::now();
+            eprint!("{} / {} ... ", execution.name(), if fused { "fused" } else { "per-op" });
+            let out = run_case(&cfg);
+            eprintln!("done in {:.2?}", t0.elapsed());
+            results.push(out);
+        }
+    }
+
+    println!(
+        "\n  {:<14} {:<7} {:>12} {:>10} {:>10} {:>11} {:>9} {:>14}",
+        "execution",
+        "fused",
+        "passes",
+        "kernels",
+        "downloads",
+        "allreduces",
+        "fetches",
+        "insitu/iter"
+    );
+    for r in &results {
+        let c = &r.counters;
+        println!(
+            "  {:<14} {:<7} {:>12} {:>10} {:>10} {:>11} {:>9} {:>11.3} ms",
+            r.config.execution.name(),
+            r.config.fused,
+            c.table_passes,
+            c.kernel_launches,
+            c.downloads,
+            c.allreduces,
+            c.fetches,
+            r.mean_insitu.as_secs_f64() * 1e3,
+        );
+    }
+
+    // The fused path's per-step guarantees, on the asynchronous workload.
+    let async_fused = results
+        .iter()
+        .find(|r| r.config.fused && r.config.execution == ExecutionMethod::Asynchronous)
+        .expect("matrix is complete");
+    let rank_steps = async_fused.ranks as u64 * base.steps;
+    let per_block = base.instances as u64 * rank_steps;
+    assert_eq!(
+        async_fused.counters.allreduces, rank_steps,
+        "fused path must issue exactly one allreduce per step per rank"
+    );
+    assert_eq!(
+        async_fused.counters.kernel_launches, per_block,
+        "fused path must launch one kernel per (coordinate system, block)"
+    );
+    assert_eq!(
+        async_fused.counters.downloads, per_block,
+        "fused path must make one packed download per (coordinate system, block)"
+    );
+    println!(
+        "\n  verified: fused async arm did {} allreduces over {} rank-steps, \
+         {} kernel launches / downloads over {} (system, block) pairs",
+        async_fused.counters.allreduces,
+        rank_steps,
+        async_fused.counters.kernel_launches,
+        per_block
+    );
+
+    write_binning_json(&out_dir.join("BENCH_binning.json"), &results);
+
+    // The smoke assertion CI relies on: fusing must not cost more.
+    let lock_fused = results
+        .iter()
+        .find(|r| r.config.fused && r.config.execution == ExecutionMethod::Lockstep)
+        .expect("matrix is complete");
+    let lock_perop = results
+        .iter()
+        .find(|r| !r.config.fused && r.config.execution == ExecutionMethod::Lockstep)
+        .expect("matrix is complete");
+    let ratio =
+        lock_fused.mean_insitu.as_secs_f64() / lock_perop.mean_insitu.as_secs_f64().max(1e-12);
+    println!(
+        "  apparent in situ cost, lockstep: fused {:.3} ms vs per-op {:.3} ms (x{:.2})",
+        lock_fused.mean_insitu.as_secs_f64() * 1e3,
+        lock_perop.mean_insitu.as_secs_f64() * 1e3,
+        ratio,
+    );
+    if lock_fused.mean_insitu > lock_perop.mean_insitu {
+        eprintln!("FAIL: fused apparent cost exceeds the per-op reference");
+        std::process::exit(1);
+    }
+    println!("  PASS: fused apparent cost <= per-op apparent cost");
+}
+
+/// Ops per binning instance in the paper workload (10: count + 9 more).
+const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
+
 fn main() {
     let (mode, base, out_dir, xml) = parse_args();
     if mode == "run-config" {
         run_config(&xml.expect("run-config needs an XML path"), &base);
+        return;
+    }
+    if mode == "binning" {
+        run_binning(&base, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -38,6 +38,15 @@ pub struct CaseConfig {
     /// Whether the node's caching memory pool is enabled (the default);
     /// `false` reverts to raw per-request allocation for A/B comparison.
     pub pool: bool,
+    /// `true`: run the instances as one fused [`binning::BinningSuite`]
+    /// (shared per-step fetch, batched multi-op kernels, one packed
+    /// allreduce). `false` (the default): independent per-op
+    /// [`BinningAnalysis`] instances — the reference arm of the A/B.
+    pub fused: bool,
+    /// Prescribe axis bounds instead of computing them on the fly. With
+    /// bounds fixed no pre-binning bounds collective is needed, so the
+    /// fused path's packed grid reduction is the step's only allreduce.
+    pub bounded: bool,
 }
 
 impl CaseConfig {
@@ -54,6 +63,8 @@ impl CaseConfig {
             time_scale: 1.0,
             seed: 20230817,
             pool: true,
+            fused: false,
+            bounded: false,
         }
     }
 
@@ -127,6 +138,9 @@ pub struct CaseOutcome {
     pub mean_insitu: Duration,
     /// Per-backend apparent-cost breakdown on this rank.
     pub backends: Vec<sensei::BackendBreakdown>,
+    /// Work counters (passes, launches, downloads, allreduces, fetches)
+    /// summed over this rank's back-ends.
+    pub counters: sensei::CounterSnapshot,
 }
 
 /// A case aggregated over ranks.
@@ -149,6 +163,8 @@ pub struct AggregatedCase {
     /// Final node-wide caching-pool counters, one sample per memory
     /// space (empty only if the node had no spaces touched).
     pub pool: Vec<sensei::PoolSample>,
+    /// Work counters summed over every rank's back-ends.
+    pub counters: sensei::CounterSnapshot,
 }
 
 impl AggregatedCase {
@@ -192,6 +208,10 @@ pub fn run_case(cfg: &CaseConfig) -> AggregatedCase {
     let mean = |f: fn(&CaseOutcome) -> Duration| -> Duration {
         outcomes.iter().map(f).sum::<Duration>() / outcomes.len().max(1) as u32
     };
+    let mut counters = sensei::CounterSnapshot::default();
+    for o in &outcomes {
+        counters.accumulate(&o.counters);
+    }
     AggregatedCase {
         config: *cfg,
         ranks,
@@ -200,6 +220,7 @@ pub fn run_case(cfg: &CaseConfig) -> AggregatedCase {
         mean_insitu: mean(|o| o.mean_insitu),
         backends: average_backends(&outcomes),
         pool,
+        counters,
     }
 }
 
@@ -268,10 +289,31 @@ fn run_rank(node: Arc<SimNode>, comm: &minimpi::Comm, cfg: &CaseConfig) -> CaseO
         ..Default::default()
     };
 
+    let specs: Vec<binning::BinningSpec> = if cfg.bounded {
+        crate::workload::paper_binning_specs_bounded(cfg.resolution)
+    } else {
+        paper_binning_specs(cfg.resolution)
+    }
+    .into_iter()
+    .take(cfg.instances)
+    .collect();
+
     let mut bridge = Bridge::new(node.clone());
-    for spec in paper_binning_specs(cfg.resolution).into_iter().take(cfg.instances) {
-        let analysis = BinningAnalysis::new(spec).with_controls(controls);
-        bridge.add_analysis(Box::new(analysis), comm).expect("attach analysis");
+    if cfg.fused {
+        // The fused arm: one suite shares each step's fetch across every
+        // coordinate system, batches each system's ops into one kernel,
+        // and reduces all grids in one packed allreduce.
+        let suite = binning::BinningSuite::new(specs)
+            .expect("suite over paper specs")
+            .with_controls(controls);
+        bridge.add_analysis(Box::new(suite), comm).expect("attach suite");
+    } else {
+        // The per-op reference arm: independent instances, one
+        // pass/kernel/download/allreduce per operation.
+        for spec in specs {
+            let analysis = BinningAnalysis::new(spec).with_fused(false).with_controls(controls);
+            bridge.add_analysis(Box::new(analysis), comm).expect("attach analysis");
+        }
     }
 
     for _ in 0..cfg.steps {
@@ -287,6 +329,7 @@ fn run_rank(node: Arc<SimNode>, comm: &minimpi::Comm, cfg: &CaseConfig) -> CaseO
         mean_solver: summary.mean_solver,
         mean_insitu: summary.mean_insitu,
         backends: profiler.backend_breakdown(),
+        counters: profiler.counters_total(),
     }
 }
 
@@ -307,6 +350,8 @@ mod tests {
             time_scale: 0.0,
             seed: 1,
             pool: true,
+            fused: false,
+            bounded: false,
         }
     }
 
@@ -330,6 +375,26 @@ mod tests {
         assert_eq!(t.hits, 0, "disabled pool never serves from cache");
         assert_eq!(t.cached_bytes, 0);
         assert_eq!(t.raw_allocs, t.misses);
+    }
+
+    #[test]
+    fn fused_suite_packs_the_step_collectives() {
+        // The asynchronous bounded workload: the fused arm must issue
+        // exactly one allreduce per step per rank and one kernel launch +
+        // one packed download per (coordinate system, fetched block).
+        let base = tiny(Placement::SameDevice, ExecutionMethod::Asynchronous);
+        let fused = run_case(&CaseConfig { fused: true, bounded: true, ..base });
+        let ranks = fused.ranks as u64;
+        assert_eq!(fused.counters.allreduces, base.steps * ranks, "one allreduce per step");
+        let per_block = base.instances as u64 * base.steps * ranks;
+        assert_eq!(fused.counters.kernel_launches, per_block, "one fused kernel per system");
+        assert_eq!(fused.counters.downloads, per_block, "one packed download per system");
+
+        let per_op = run_case(&CaseConfig { fused: false, bounded: true, ..base });
+        assert!(per_op.counters.allreduces > fused.counters.allreduces);
+        assert!(per_op.counters.kernel_launches > fused.counters.kernel_launches);
+        assert!(per_op.counters.downloads > fused.counters.downloads);
+        assert!(per_op.counters.fetches > fused.counters.fetches);
     }
 
     #[test]

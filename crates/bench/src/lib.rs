@@ -14,4 +14,6 @@ mod workload;
 
 pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
 pub use chart::{ascii_bars, ascii_stack};
-pub use workload::{paper_binning_specs, COORDINATE_SYSTEMS, VARIABLE_OPS};
+pub use workload::{
+    paper_binning_specs, paper_binning_specs_bounded, COORDINATE_SYSTEMS, VARIABLE_OPS,
+};

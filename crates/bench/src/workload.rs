@@ -47,6 +47,31 @@ pub fn paper_binning_specs(resolution: usize) -> Vec<BinningSpec> {
         .collect()
 }
 
+/// The same nine instances with prescribed axis bounds instead of
+/// on-the-fly min/max. With bounds fixed, a binning step needs **no**
+/// pre-binning bounds collective — the fused path's single packed grid
+/// allreduce is the only communication round of the step, which is what
+/// the harness's fused-vs-per-op A/B measures and asserts on.
+pub fn paper_binning_specs_bounded(resolution: usize) -> Vec<BinningSpec> {
+    paper_binning_specs(resolution)
+        .into_iter()
+        .map(|mut s| {
+            // Positions stay inside the solver's x_extent; velocities get
+            // a generous symmetric range (out-of-range rows are dropped,
+            // identically in both A/B arms).
+            let axis = |name: &str| -> [f64; 2] {
+                if name.starts_with('v') {
+                    [-300.0, 300.0]
+                } else {
+                    [-2.0, 2.0]
+                }
+            };
+            s.bounds = Some((axis(&s.axes.0), axis(&s.axes.1)));
+            s
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -66,6 +91,20 @@ mod tests {
             for var in spec.required_variables() {
                 assert!(published.contains(&var), "variable '{var}' is not published");
             }
+        }
+    }
+
+    #[test]
+    fn bounded_specs_differ_only_in_bounds() {
+        let auto = paper_binning_specs(32);
+        let bounded = paper_binning_specs_bounded(32);
+        assert_eq!(auto.len(), bounded.len());
+        for (a, b) in auto.iter().zip(&bounded) {
+            assert_eq!(a.axes, b.axes);
+            assert_eq!(a.ops, b.ops);
+            assert!(a.bounds.is_none());
+            let (bx, by) = b.bounds.expect("bounded specs prescribe bounds");
+            assert!(bx[0] < bx[1] && by[0] < by[1]);
         }
     }
 }

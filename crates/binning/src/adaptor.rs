@@ -6,8 +6,8 @@ use std::sync::Arc;
 use hamr::Pm;
 use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisRegistry, BackendControls, DataAdaptor, DataRequirements, Error,
-    ExecContext, Result,
+    AnalysisAdaptor, AnalysisCounters, AnalysisRegistry, BackendControls, DataAdaptor,
+    DataRequirements, Error, ExecContext, Result,
 };
 use svtk::FieldAssociation;
 use svtk::{DataObject, HamrDataArray, TableData};
@@ -40,21 +40,62 @@ impl BinnedResult {
         self.arrays.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_slice())
     }
 
-    /// Publish as an `svtk::ImageData` with one cell array per output.
+    /// Publish as an `svtk::ImageData` with one cell array per output,
+    /// host-resident. Allocations go through the caching host pool.
     pub fn to_image(&self, node: &Arc<devsim::SimNode>) -> Result<svtk::ImageData> {
+        self.to_image_on(node, None)
+    }
+
+    /// Publish as an `svtk::ImageData` with one cell array per output.
+    /// With `device = Some(d)` the arrays are placed on device `d` through
+    /// one stream-ordered pooled allocation path: every array's
+    /// allocation and upload is enqueued asynchronously on a single
+    /// stream and the stream is synchronized **once** — instead of a
+    /// synchronous default-stream allocation and blocking upload per
+    /// array.
+    pub fn to_image_on(
+        &self,
+        node: &Arc<devsim::SimNode>,
+        device: Option<usize>,
+    ) -> Result<svtk::ImageData> {
         let mut img = self.grid.to_image();
-        for (name, values) in &self.arrays {
-            let arr = HamrDataArray::<f64>::from_slice(
-                name.clone(),
-                node.clone(),
-                values,
-                1,
-                hamr::Allocator::Malloc,
-                None,
-                hamr::HamrStream::default_stream(),
-                hamr::StreamMode::Sync,
-            )?;
-            img.data_mut(svtk::FieldAssociation::Cell).set_array(arr.as_array_ref());
+        match device {
+            None => {
+                for (name, values) in &self.arrays {
+                    // Host arrays come from the caching host pool; no
+                    // stream is involved.
+                    let arr = HamrDataArray::<f64>::from_slice(
+                        name.clone(),
+                        node.clone(),
+                        values,
+                        1,
+                        hamr::Allocator::Malloc,
+                        None,
+                        hamr::HamrStream::default_stream(),
+                        hamr::StreamMode::Sync,
+                    )?;
+                    img.data_mut(svtk::FieldAssociation::Cell).set_array(arr.as_array_ref());
+                }
+            }
+            Some(d) => {
+                let stream = node.device(d)?.default_stream();
+                let hstream = hamr::HamrStream::new(stream.clone());
+                for (name, values) in &self.arrays {
+                    let arr = HamrDataArray::<f64>::from_slice(
+                        name.clone(),
+                        node.clone(),
+                        values,
+                        1,
+                        hamr::Allocator::CudaAsync,
+                        Some(d),
+                        hstream.clone(),
+                        hamr::StreamMode::Async,
+                    )?;
+                    img.data_mut(svtk::FieldAssociation::Cell).set_array(arr.as_array_ref());
+                }
+                // All uploads were enqueued in order; one wait covers them.
+                stream.synchronize().map_err(Error::Device)?;
+            }
         }
         Ok(img)
     }
@@ -76,11 +117,17 @@ pub type ResultSink = Arc<Mutex<Vec<BinnedResult>>>;
 pub struct BinningAnalysis {
     controls: BackendControls,
     spec: BinningSpec,
+    /// `true` (default): single-pass fused binning, fused bounds, and one
+    /// packed allreduce for all grids. `false`: the per-op reference path
+    /// (one pass/kernel/download/allreduce per operation), kept for A/B
+    /// comparison and as the correctness reference.
+    fused: bool,
     sink: Option<ResultSink>,
     keep_results: bool,
     output_dir: Option<PathBuf>,
     last: Option<BinnedResult>,
     executes: u64,
+    counters: Arc<AnalysisCounters>,
 }
 
 impl BinningAnalysis {
@@ -89,12 +136,21 @@ impl BinningAnalysis {
         BinningAnalysis {
             controls: BackendControls::default(),
             spec,
+            fused: true,
             sink: None,
             keep_results: false,
             output_dir: None,
             last: None,
             executes: 0,
+            counters: AnalysisCounters::new(),
         }
+    }
+
+    /// Select the fused (`true`, default) or per-op reference (`false`)
+    /// execution path.
+    pub fn with_fused(mut self, fused: bool) -> Self {
+        self.fused = fused;
+        self
     }
 
     /// Send every step's result to `sink`.
@@ -121,42 +177,6 @@ impl BinningAnalysis {
         self.executes
     }
 
-    /// The tables making up the requested mesh (a bare table, or the local
-    /// blocks of a multiblock).
-    fn local_tables(obj: &DataObject) -> Result<Vec<TableData>> {
-        match obj {
-            DataObject::Table(t) => Ok(vec![t.clone()]),
-            DataObject::Multi(mb) => {
-                let mut out = Vec::new();
-                for (_, block) in mb.local_blocks() {
-                    match block {
-                        DataObject::Table(t) => out.push(t.clone()),
-                        other => {
-                            return Err(Error::Analysis(format!(
-                                "data binning needs tabular blocks, got {}",
-                                other.class_name()
-                            )))
-                        }
-                    }
-                }
-                Ok(out)
-            }
-            other => Err(Error::Analysis(format!(
-                "data binning needs tabular data, got {}",
-                other.class_name()
-            ))),
-        }
-    }
-
-    fn column<'t>(table: &'t TableData, name: &str) -> Result<&'t HamrDataArray<f64>> {
-        let col = table
-            .column(name)
-            .ok_or_else(|| Error::NoSuchArray { mesh: "table".into(), array: name.to_string() })?;
-        svtk::downcast::<f64>(col).ok_or_else(|| {
-            Error::Analysis(format!("column '{name}' is {}, binning needs double", col.type_name()))
-        })
-    }
-
     /// Fetch every required variable of `table` exactly once into the
     /// execution space (host vectors or device views), batching the
     /// synchronization: all moves are enqueued first and waited for once.
@@ -169,40 +189,16 @@ impl BinningAnalysis {
         _ctx: &ExecContext<'_>,
     ) -> Result<Fetched> {
         let vars = self.spec.required_variables();
-        match device {
-            None => {
-                let mut views = Vec::with_capacity(vars.len());
-                for name in &vars {
-                    let col = Self::column(table, name)?;
-                    views.push((name.to_string(), col, col.host_accessible()?));
-                }
-                // One blocking wait; subsequent synchronizes are free.
-                for (_, col, _) in &views {
-                    col.synchronize()?;
-                }
-                let mut data = std::collections::HashMap::new();
-                for (name, _, view) in views {
-                    data.insert(name, view.to_vec()?);
-                }
-                Ok(Fetched::Host(data))
-            }
-            Some(d) => {
-                let mut views = std::collections::HashMap::new();
-                for name in &vars {
-                    let col = Self::column(table, name)?;
-                    views.insert(name.to_string(), (col.device_accessible(d, Pm::Cuda)?, ()));
-                }
-                for name in &vars {
-                    Self::column(table, name)?.synchronize()?;
-                }
-                let n = table.num_rows();
-                let views = views.into_iter().map(|(k, (v, ()))| (k, v)).collect();
-                Ok(Fetched::Device { views, n })
-            }
-        }
+        self.counters.add_fetches(vars.len() as u64);
+        fetch_table(table, &vars, device)
     }
 
     /// Global axis bounds: manual, or min/max computed where the data is.
+    ///
+    /// Fused: one pass covers **both** axes (host single traversal /
+    /// device single kernel + packed download) and one packed allreduce
+    /// merges both axes' bounds. Per-op reference: one pass and one
+    /// allreduce per axis.
     fn compute_bounds(
         &self,
         fetched: &[Fetched],
@@ -213,11 +209,54 @@ impl BinningAnalysis {
             return Ok(b);
         }
         let mut per_axis = [[f64::INFINITY, f64::NEG_INFINITY]; 2];
+        if self.fused {
+            for f in fetched {
+                let pairs = match f {
+                    Fetched::Host(data) => {
+                        let xs = &data[self.spec.axes.0.as_str()];
+                        let ys = &data[self.spec.axes.1.as_str()];
+                        self.counters.add_table_passes(1);
+                        ctx.node.host().run(
+                            "bin_bounds_fused",
+                            devsim::KernelCost::bytes(((xs.len() + ys.len()) * 8) as f64),
+                            || bounds::minmax_multi_host(&[xs, ys]),
+                        )
+                    }
+                    Fetched::Device { views, .. } => {
+                        let d = device.expect("device fetch implies device placement");
+                        let stream = ctx.node.device(d)?.default_stream();
+                        self.counters.add_kernel_launches(1);
+                        self.counters.add_downloads(1);
+                        device_impl::minmax_multi_device(
+                            ctx.node,
+                            d,
+                            &stream,
+                            &[
+                                views[self.spec.axes.0.as_str()].cells(),
+                                views[self.spec.axes.1.as_str()].cells(),
+                            ],
+                        )?
+                    }
+                };
+                for (a, (lo, hi)) in pairs.into_iter().enumerate() {
+                    per_axis[a][0] = per_axis[a][0].min(lo);
+                    per_axis[a][1] = per_axis[a][1].max(hi);
+                }
+            }
+            let merged = bounds::global_bounds_packed(
+                ctx.comm,
+                &[(per_axis[0][0], per_axis[0][1]), (per_axis[1][0], per_axis[1][1])],
+            )?;
+            let (xlo, xhi) = bounds::usable_range(merged[0].0, merged[0].1);
+            let (ylo, yhi) = bounds::usable_range(merged[1].0, merged[1].1);
+            return Ok(([xlo, xhi], [ylo, yhi]));
+        }
         for f in fetched {
             for (a, name) in [&self.spec.axes.0, &self.spec.axes.1].into_iter().enumerate() {
                 let (lo, hi) = match f {
                     Fetched::Host(data) => {
                         let vals = &data[name.as_str()];
+                        self.counters.add_table_passes(1);
                         ctx.node.host().run(
                             "bin_bounds",
                             devsim::KernelCost::bytes((vals.len() * 8) as f64),
@@ -227,6 +266,8 @@ impl BinningAnalysis {
                     Fetched::Device { views, .. } => {
                         let d = device.expect("device fetch implies device placement");
                         let stream = ctx.node.device(d)?.default_stream();
+                        self.counters.add_kernel_launches(1);
+                        self.counters.add_downloads(1);
                         device_impl::minmax_device(
                             ctx.node,
                             d,
@@ -247,8 +288,14 @@ impl BinningAnalysis {
     }
 
     /// Compute the local accumulation grid of every operation (counts
-    /// first) over the fetched tables. On devices all kernels and result
-    /// downloads are enqueued before a single synchronization.
+    /// first) over the fetched tables.
+    ///
+    /// Fused: the bin index of each row is computed **once** and
+    /// scattered into every op's grid — one pass per fetched block on the
+    /// host, one batched multi-op kernel plus one packed download per
+    /// fetched block on a device. Per-op reference: one pass (or kernel
+    /// pair + download) per op per block. Device work is enqueued for all
+    /// blocks before a single synchronization either way.
     fn bin_all_local(
         &self,
         fetched: &[Fetched],
@@ -265,23 +312,51 @@ impl BinningAnalysis {
             .map(|vo| (vo.clone(), vec![host_impl::identity(vo.op); grid.num_bins()]))
             .collect();
 
+        // Packed downloads staged across all device blocks; synchronized
+        // once before unpacking.
+        let mut staged_packed = Vec::new();
+        let mut dev_stream = None;
+
         for f in fetched {
             match f {
                 Fetched::Host(data) => {
                     let xs = &data[self.spec.axes.0.as_str()];
                     let ys = &data[self.spec.axes.1.as_str()];
-                    for (vo, acc) in results.iter_mut() {
-                        let empty: Vec<f64> = Vec::new();
-                        let vals: &[f64] =
-                            if vo.op == BinOp::Count { &empty } else { &data[vo.var.as_str()] };
-                        let n = xs.len();
-                        let part = ctx.node.host().run(
-                            "bin_host",
-                            devsim::KernelCost { flops: 20.0 * n as f64, bytes: 40.0 * n as f64 },
-                            || host_impl::bin_host(xs, ys, vals, vo.op, &grid),
+                    let n = xs.len();
+                    if self.fused {
+                        let ops: Vec<(BinOp, Option<&[f64]>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals = if vo.op == BinOp::Count {
+                                    None
+                                } else {
+                                    Some(data[vo.var.as_str()].as_slice())
+                                };
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        self.counters.add_table_passes(1);
+                        let parts = ctx.node.host().run(
+                            "bin_fused_host",
+                            device_impl::fused_bin_cost(n, ops.len()),
+                            || host_impl::bin_all_host(xs, ys, &ops, &grid),
                         );
-                        let merged = reduce::merge_grids(vo.op, std::mem::take(acc), part);
-                        *acc = merged;
+                        for ((vo, acc), part) in results.iter_mut().zip(parts) {
+                            *acc = reduce::merge_grids(vo.op, std::mem::take(acc), part);
+                        }
+                    } else {
+                        for (vo, acc) in results.iter_mut() {
+                            let empty: Vec<f64> = Vec::new();
+                            let vals: &[f64] =
+                                if vo.op == BinOp::Count { &empty } else { &data[vo.var.as_str()] };
+                            self.counters.add_table_passes(1);
+                            let part =
+                                ctx.node.host().run("bin_host", device_impl::bin_cost(n), || {
+                                    host_impl::bin_host(xs, ys, vals, vo.op, &grid)
+                                });
+                            let merged = reduce::merge_grids(vo.op, std::mem::take(acc), part);
+                            *acc = merged;
+                        }
                     }
                 }
                 Fetched::Device { views, .. } => {
@@ -289,24 +364,67 @@ impl BinningAnalysis {
                     let stream = ctx.node.device(d)?.default_stream();
                     let xs = views[self.spec.axes.0.as_str()].cells();
                     let ys = views[self.spec.axes.1.as_str()].cells();
-                    // Enqueue every op's kernels and result download, then
-                    // wait once.
-                    let mut staged = Vec::with_capacity(results.len());
-                    for (vo, _) in results.iter() {
-                        let vals = if vo.op == BinOp::Count {
-                            None
-                        } else {
-                            Some(views[vo.var.as_str()].cells())
-                        };
-                        let dbins = device_impl::bin_device(
-                            ctx.node, d, &stream, xs, ys, vals, vo.op, grid,
-                        )?;
-                        let host = ctx.node.host_alloc_f64(grid.num_bins());
-                        stream.copy(&dbins, &host).map_err(Error::Device)?;
-                        staged.push(host);
+                    if self.fused {
+                        // One batched multi-op kernel + one packed
+                        // download for this block.
+                        let ops: Vec<(BinOp, Option<&devsim::CellBuffer>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals = if vo.op == BinOp::Count {
+                                    None
+                                } else {
+                                    Some(views[vo.var.as_str()].cells())
+                                };
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        let packed =
+                            device_impl::bin_all_device(ctx.node, d, &stream, xs, ys, &ops, grid)?;
+                        let host = ctx.node.host_alloc_f64(packed.len());
+                        stream.copy(&packed, &host).map_err(Error::Device)?;
+                        self.counters.add_kernel_launches(1);
+                        self.counters.add_downloads(1);
+                        staged_packed.push((true, vec![host]));
+                    } else {
+                        // Per-op reference: two launches (init + reduce)
+                        // and one download per op.
+                        let mut staged = Vec::with_capacity(results.len());
+                        for (vo, _) in results.iter() {
+                            let vals = if vo.op == BinOp::Count {
+                                None
+                            } else {
+                                Some(views[vo.var.as_str()].cells())
+                            };
+                            let dbins = device_impl::bin_device(
+                                ctx.node, d, &stream, xs, ys, vals, vo.op, grid,
+                            )?;
+                            let host = ctx.node.host_alloc_f64(grid.num_bins());
+                            stream.copy(&dbins, &host).map_err(Error::Device)?;
+                            self.counters.add_kernel_launches(2);
+                            self.counters.add_downloads(1);
+                            staged.push(host);
+                        }
+                        staged_packed.push((false, staged));
                     }
-                    stream.synchronize().map_err(Error::Device)?;
-                    for ((vo, acc), host) in results.iter_mut().zip(staged) {
+                    dev_stream = Some(stream);
+                }
+            }
+        }
+
+        if let Some(stream) = dev_stream {
+            stream.synchronize().map_err(Error::Device)?;
+            for (packed, buffers) in staged_packed {
+                if packed {
+                    let host = &buffers[0];
+                    let v = host.host_f64().map_err(Error::Device)?;
+                    for (seg, (vo, acc)) in results.iter_mut().enumerate() {
+                        let part: Vec<f64> = (0..grid.num_bins())
+                            .map(|b| v.get(seg * grid.num_bins() + b))
+                            .collect();
+                        *acc = reduce::merge_grids(vo.op, std::mem::take(acc), part);
+                    }
+                } else {
+                    for ((vo, acc), host) in results.iter_mut().zip(buffers) {
                         let part = host.host_f64().map_err(Error::Device)?.to_vec();
                         let merged = reduce::merge_grids(vo.op, std::mem::take(acc), part);
                         *acc = merged;
@@ -319,7 +437,7 @@ impl BinningAnalysis {
 }
 
 /// A table's required variables, resident in the execution space.
-enum Fetched {
+pub(crate) enum Fetched {
     /// Host placement: plain vectors.
     Host(std::collections::HashMap<String, Vec<f64>>),
     /// Device placement: access views (zero-copy when already resident).
@@ -328,6 +446,83 @@ enum Fetched {
         #[allow(dead_code)]
         n: usize,
     },
+}
+
+/// The tables making up the requested mesh (a bare table, or the local
+/// blocks of a multiblock).
+pub(crate) fn local_tables(obj: &DataObject) -> Result<Vec<TableData>> {
+    match obj {
+        DataObject::Table(t) => Ok(vec![t.clone()]),
+        DataObject::Multi(mb) => {
+            let mut out = Vec::new();
+            for (_, block) in mb.local_blocks() {
+                match block {
+                    DataObject::Table(t) => out.push(t.clone()),
+                    other => {
+                        return Err(Error::Analysis(format!(
+                            "data binning needs tabular blocks, got {}",
+                            other.class_name()
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        other => Err(Error::Analysis(format!(
+            "data binning needs tabular data, got {}",
+            other.class_name()
+        ))),
+    }
+}
+
+pub(crate) fn column<'t>(table: &'t TableData, name: &str) -> Result<&'t HamrDataArray<f64>> {
+    let col = table
+        .column(name)
+        .ok_or_else(|| Error::NoSuchArray { mesh: "table".into(), array: name.to_string() })?;
+    svtk::downcast::<f64>(col).ok_or_else(|| {
+        Error::Analysis(format!("column '{name}' is {}, binning needs double", col.type_name()))
+    })
+}
+
+/// Move `vars` of `table` into the execution space (host vectors or
+/// device views) with one batched synchronization: all moves are enqueued
+/// first and waited for once. Data already in place is granted zero-copy.
+pub(crate) fn fetch_table(
+    table: &TableData,
+    vars: &[&str],
+    device: Option<usize>,
+) -> Result<Fetched> {
+    match device {
+        None => {
+            let mut views = Vec::with_capacity(vars.len());
+            for name in vars {
+                let col = column(table, name)?;
+                views.push((name.to_string(), col, col.host_accessible()?));
+            }
+            // One blocking wait; subsequent synchronizes are free.
+            for (_, col, _) in &views {
+                col.synchronize()?;
+            }
+            let mut data = std::collections::HashMap::new();
+            for (name, _, view) in views {
+                data.insert(name, view.to_vec()?);
+            }
+            Ok(Fetched::Host(data))
+        }
+        Some(d) => {
+            let mut views = std::collections::HashMap::new();
+            for name in vars {
+                let col = column(table, name)?;
+                views.insert(name.to_string(), (col.device_accessible(d, Pm::Cuda)?, ()));
+            }
+            for name in vars {
+                column(table, name)?.synchronize()?;
+            }
+            let n = table.num_rows();
+            let views = views.into_iter().map(|(k, (v, ()))| (k, v)).collect();
+            Ok(Fetched::Device { views, n })
+        }
+    }
 }
 
 impl AnalysisAdaptor for BinningAnalysis {
@@ -354,8 +549,9 @@ impl AnalysisAdaptor for BinningAnalysis {
     }
 
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        let allreduces_before = ctx.comm.allreduce_count();
         let mesh = data.mesh(&self.spec.mesh)?;
-        let tables = Self::local_tables(&mesh)?;
+        let tables = local_tables(&mesh)?;
         let device = self.controls.resolve_device(ctx.comm.rank(), ctx.node.num_devices());
 
         // Fetch every required column once per table, then bin locally.
@@ -370,23 +566,47 @@ impl AnalysisAdaptor for BinningAnalysis {
         );
         let local = self.bin_all_local(&fetched, grid, device, ctx)?;
 
-        // Cross-rank reduction: counts first (averages finalize with
-        // them), then each requested operation.
-        let mut iter = local.into_iter();
-        let (_, count_local) = iter.next().expect("counts are always computed");
-        let counts = reduce::allreduce_grid(ctx.comm, BinOp::Count, count_local);
-
         let mut arrays = Vec::with_capacity(self.spec.ops.len());
-        for (vo, local_grid) in iter {
-            let values = if vo.op == BinOp::Count {
-                counts.clone()
-            } else {
-                let mut global = reduce::allreduce_grid(ctx.comm, vo.op, local_grid);
-                host_impl::finalize(vo.op, &mut global, &counts);
-                global
-            };
-            arrays.push((vo.output_name(), values));
+        if self.fused {
+            // Cross-rank reduction: every grid (counts + all ops) shares a
+            // single packed allreduce with per-segment merge semantics.
+            let (ops, packed): (Vec<VarOp>, Vec<(BinOp, Vec<f64>)>) = local
+                .into_iter()
+                .map(|(vo, g)| {
+                    let op = vo.op;
+                    (vo, (op, g))
+                })
+                .unzip();
+            let mut globals = reduce::allreduce_grids_packed(ctx.comm, packed)?.into_iter();
+            let counts = globals.next().expect("counts are always computed");
+            for (vo, mut global) in ops.into_iter().skip(1).zip(globals) {
+                let values = if vo.op == BinOp::Count {
+                    counts.clone()
+                } else {
+                    host_impl::finalize(vo.op, &mut global, &counts);
+                    global
+                };
+                arrays.push((vo.output_name(), values));
+            }
+        } else {
+            // Per-op reference: counts first (averages finalize with
+            // them), then one allreduce per requested operation.
+            let mut iter = local.into_iter();
+            let (_, count_local) = iter.next().expect("counts are always computed");
+            let counts = reduce::allreduce_grid(ctx.comm, BinOp::Count, count_local);
+
+            for (vo, local_grid) in iter {
+                let values = if vo.op == BinOp::Count {
+                    counts.clone()
+                } else {
+                    let mut global = reduce::allreduce_grid(ctx.comm, vo.op, local_grid);
+                    host_impl::finalize(vo.op, &mut global, &counts);
+                    global
+                };
+                arrays.push((vo.output_name(), values));
+            }
         }
+        self.counters.add_allreduces(ctx.comm.allreduce_count() - allreduces_before);
 
         let result = BinnedResult {
             step: data.time_step(),
@@ -414,6 +634,10 @@ impl AnalysisAdaptor for BinningAnalysis {
         }
         Ok(())
     }
+
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        Some(self.counters.clone())
+    }
 }
 
 /// Register the `data_binning` back-end type with a registry, so XML
@@ -424,6 +648,17 @@ pub fn register(registry: &mut AnalysisRegistry) {
         let mut analysis = BinningAnalysis::new(spec);
         if let Some(dir) = el.attr("output") {
             analysis = analysis.with_output_dir(dir);
+        }
+        if let Some(fused) = el.attr("fused") {
+            analysis = analysis.with_fused(match fused {
+                "on" | "true" | "1" => true,
+                "off" | "false" | "0" => false,
+                other => {
+                    return Err(Error::Config(format!(
+                        "data_binning fused attribute must be on/off, got '{other}'"
+                    )))
+                }
+            });
         }
         Ok(Box::new(analysis))
     });

@@ -1,8 +1,8 @@
 //! On-the-fly axis bounds: local min/max of the coordinate columns,
 //! combined across MPI ranks.
 
-use minimpi::Comm;
-use sensei::Result;
+use minimpi::{Comm, Segment, SegmentOp};
+use sensei::{Error, Result};
 
 /// Min/max of a host-resident column, skipping non-finite values.
 pub fn minmax_host(col: &[f64]) -> (f64, f64) {
@@ -22,6 +22,43 @@ pub fn minmax_host(col: &[f64]) -> (f64, f64) {
 /// minimum and maximum of the respective coordinate variables").
 pub fn global_bounds(comm: &Comm, local: (f64, f64)) -> (f64, f64) {
     comm.allreduce(local, |a, b| (a.0.min(b.0), a.1.max(b.1)))
+}
+
+/// Fused min/max over several host-resident columns in one traversal:
+/// each row touches every column once, instead of one full pass per
+/// column. Returns `(lo, hi)` per column, skipping non-finite values
+/// exactly like [`minmax_host`].
+pub fn minmax_multi_host(cols: &[&[f64]]) -> Vec<(f64, f64)> {
+    let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); cols.len()];
+    let rows = cols.iter().map(|c| c.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        for (k, col) in cols.iter().enumerate() {
+            let Some(&v) = col.get(i) else { continue };
+            if v.is_finite() {
+                out[k].0 = out[k].0.min(v);
+                out[k].1 = out[k].1.max(v);
+            }
+        }
+    }
+    out
+}
+
+/// Combine per-rank `(lo, hi)` pairs for **several** axes in a single
+/// packed allreduce (alternating min/max segments), instead of one
+/// allreduce per axis.
+pub fn global_bounds_packed(comm: &Comm, local: &[(f64, f64)]) -> Result<Vec<(f64, f64)>> {
+    let mut data = Vec::with_capacity(2 * local.len());
+    let mut segments = Vec::with_capacity(2 * local.len());
+    for &(lo, hi) in local {
+        data.push(lo);
+        data.push(hi);
+        segments.push(Segment::new(SegmentOp::Min, 1));
+        segments.push(Segment::new(SegmentOp::Max, 1));
+    }
+    let merged = comm
+        .allreduce_packed(data, &segments)
+        .map_err(|e| Error::Analysis(format!("packed bounds allreduce: {e}")))?;
+    Ok(merged.chunks_exact(2).map(|p| (p[0], p[1])).collect())
 }
 
 /// Widen possibly degenerate bounds into a usable bin range: empty data
@@ -70,6 +107,33 @@ mod tests {
         assert_eq!((lo, hi), (-0.5, 0.5));
         let (lo, hi) = usable_range(-3.0, -3.0);
         assert!(lo < -3.0 && hi > -3.0);
+    }
+
+    #[test]
+    fn multi_column_minmax_matches_per_column() {
+        let a = [1.0, f64::NAN, -2.0, 3.0];
+        let b = [9.0, -9.0];
+        let got = minmax_multi_host(&[&a, &b, &[]]);
+        assert_eq!(got[0], minmax_host(&a));
+        assert_eq!(got[1], minmax_host(&b));
+        assert_eq!(got[2], (f64::INFINITY, f64::NEG_INFINITY));
+        assert!(minmax_multi_host(&[]).is_empty());
+    }
+
+    #[test]
+    fn packed_bounds_match_per_axis_bounds_with_one_allreduce() {
+        let got = World::new(4).run(|c| {
+            let r = c.rank() as f64;
+            let local = vec![(r, r + 5.0), (-r, r * 10.0)];
+            let before = c.allreduce_count();
+            let packed = global_bounds_packed(&c, &local).unwrap();
+            let rounds = c.allreduce_count() - before;
+            (packed, rounds)
+        });
+        for (packed, rounds) in got {
+            assert_eq!(packed, vec![(0.0, 8.0), (-3.0, 30.0)]);
+            assert_eq!(rounds, 1, "both axes must share one allreduce round");
+        }
     }
 
     #[test]

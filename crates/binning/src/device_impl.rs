@@ -19,8 +19,19 @@ use crate::spec::BinOp;
 /// Modeled cost of binning `n` rows: a few flops of index arithmetic per
 /// row plus the reads of the coordinate/value columns and the atomic
 /// read-modify-write on the bins.
-fn bin_cost(n: usize) -> KernelCost {
+pub fn bin_cost(n: usize) -> KernelCost {
     KernelCost { flops: 20.0 * n as f64, bytes: 5.0 * 8.0 * n as f64 }
+}
+
+/// Modeled cost of the fused pass binning `num_ops` operations over `n`
+/// rows: the coordinate reads and index arithmetic are paid **once**,
+/// then each op adds its value read and atomic bin update. With
+/// `num_ops == 1` this is exactly [`bin_cost`]; for `k` ops it saves
+/// `(k-1)` coordinate traversals and index recomputations (plus `k-1`
+/// launch overheads, which the time model charges per launch).
+pub fn fused_bin_cost(n: usize, num_ops: usize) -> KernelCost {
+    let (n, k) = (n as f64, num_ops as f64);
+    KernelCost { flops: (12.0 + 8.0 * k) * n, bytes: (16.0 + 24.0 * k) * n }
 }
 
 /// Bin one variable on `device`: allocates the per-bin accumulation
@@ -100,6 +111,95 @@ pub fn bin_device(
     Ok(bins)
 }
 
+/// Bin **all** of a coordinate system's operations in one batched kernel:
+/// the packed accumulation buffer holds `ops.len()` grids back to back
+/// (segment `i` belongs to `ops[i]`), the single launch initializes every
+/// segment to its reduction identity and then walks the rows once,
+/// computing each row's bin index once and scattering it into every
+/// segment. Download the whole buffer with one `stream.copy` — one launch
+/// plus one packed download per (coordinate system, fetched block),
+/// versus two launches and one download *per op* with [`bin_device`].
+///
+/// The buffer is allocated stream-ordered on `stream`, so the caching
+/// pool can recycle the previous step's block without a device-wide sync.
+pub fn bin_all_device(
+    node: &Arc<SimNode>,
+    device: usize,
+    stream: &Arc<Stream>,
+    xs: &CellBuffer,
+    ys: &CellBuffer,
+    ops: &[(BinOp, Option<&CellBuffer>)],
+    grid: GridParams,
+) -> Result<CellBuffer> {
+    let n = xs.len();
+    if ys.len() != n {
+        return Err(Error::Analysis("coordinate columns must be co-occurring".into()));
+    }
+    for (op, values) in ops {
+        if *op != BinOp::Count {
+            match values {
+                Some(v) if v.len() == n => {}
+                Some(_) => return Err(Error::Analysis("value column must be co-occurring".into())),
+                None => {
+                    return Err(Error::Analysis(format!(
+                        "operation {} needs a value column",
+                        op.name()
+                    )))
+                }
+            }
+        }
+    }
+
+    let num_bins = grid.num_bins();
+    let packed =
+        node.device(device)?.alloc_cells_on_stream(ops.len() * num_bins, stream.as_ref())?;
+
+    let xs = xs.clone();
+    let ys = ys.clone();
+    let ops_owned: Vec<(BinOp, Option<CellBuffer>)> =
+        ops.iter().map(|(op, v)| (*op, v.cloned())).collect();
+    let out = packed.clone();
+    let cost = fused_bin_cost(n, ops.len()) + KernelCost::bytes((ops.len() * num_bins * 8) as f64);
+    stream
+        .launch("bin_fused", cost, move |scope| {
+            let xv = xs.f64_view(scope)?;
+            let yv = ys.f64_view(scope)?;
+            let views = ops_owned
+                .iter()
+                .map(|(_, v)| v.as_ref().map(|v| v.f64_view(scope)).transpose())
+                .collect::<std::result::Result<Vec<_>, _>>()?;
+            let bv = out.f64_view(scope)?;
+            for (seg, (op, _)) in ops_owned.iter().enumerate() {
+                let init = identity(*op);
+                for b in 0..num_bins {
+                    bv.set(seg * num_bins + b, init);
+                }
+            }
+            for i in 0..xv.len() {
+                let Some(b) = grid.bin_index(xv.get(i), yv.get(i)) else { continue };
+                for (seg, ((op, _), vv)) in ops_owned.iter().zip(&views).enumerate() {
+                    let slot = seg * num_bins + b;
+                    match op {
+                        BinOp::Count => bv.atomic_add(slot, 1.0),
+                        BinOp::Sum | BinOp::Average => {
+                            bv.atomic_add(slot, vv.as_ref().expect("validated above").get(i))
+                        }
+                        BinOp::Min => {
+                            bv.atomic_min(slot, vv.as_ref().expect("validated above").get(i))
+                        }
+                        BinOp::Max => {
+                            bv.atomic_max(slot, vv.as_ref().expect("validated above").get(i))
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+        .map_err(Error::Device)?;
+
+    Ok(packed)
+}
+
 /// Compute the minimum and maximum of a device-resident column — the
 /// on-the-fly bounds computation of §4.2, run where the data lives.
 /// Returns host values after synchronizing the reduction.
@@ -137,6 +237,53 @@ pub fn minmax_device(
     stream.synchronize().map_err(Error::Device)?;
     let v = host.host_f64().map_err(Error::Device)?;
     Ok((v.get(0), v.get(1)))
+}
+
+/// Fused min/max over several device-resident columns: one kernel walks
+/// all columns and one packed download returns every `(lo, hi)` pair —
+/// instead of one kernel + copy + sync per column. Columns may have
+/// different lengths; empty columns return `(+inf, -inf)` like
+/// [`crate::bounds::minmax_host`].
+pub fn minmax_multi_device(
+    node: &Arc<SimNode>,
+    device: usize,
+    stream: &Arc<Stream>,
+    cols: &[&CellBuffer],
+) -> Result<Vec<(f64, f64)>> {
+    if cols.is_empty() {
+        return Ok(Vec::new());
+    }
+    let scratch = node.device(device)?.alloc_cells_on_stream(2 * cols.len(), stream.as_ref())?;
+    let cols_owned: Vec<CellBuffer> = cols.iter().map(|c| (*c).clone()).collect();
+    let s2 = scratch.clone();
+    let total_len: usize = cols.iter().map(|c| c.len()).sum();
+    stream
+        .launch(
+            "minmax_fused",
+            KernelCost { flops: 2.0 * total_len as f64, bytes: 8.0 * total_len as f64 },
+            move |scope| {
+                let s = s2.f64_view(scope)?;
+                for (k, col) in cols_owned.iter().enumerate() {
+                    let c = col.f64_view(scope)?;
+                    s.set(2 * k, f64::INFINITY);
+                    s.set(2 * k + 1, f64::NEG_INFINITY);
+                    for i in 0..c.len() {
+                        let v = c.get(i);
+                        if v.is_finite() {
+                            s.atomic_min(2 * k, v);
+                            s.atomic_max(2 * k + 1, v);
+                        }
+                    }
+                }
+                Ok(())
+            },
+        )
+        .map_err(Error::Device)?;
+    let host = node.host_alloc_f64(2 * cols.len());
+    stream.copy(&scratch, &host).map_err(Error::Device)?;
+    stream.synchronize().map_err(Error::Device)?;
+    let v = host.host_f64().map_err(Error::Device)?;
+    Ok((0..cols.len()).map(|k| (v.get(2 * k), v.get(2 * k + 1))).collect())
 }
 
 #[cfg(test)]
@@ -195,6 +342,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fused_device_binning_matches_per_op_device_binning_bitwise() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let grid = GridParams::new(8, 8, [-1.0, -1.0], [1.0, 1.0]);
+
+        let n = 500;
+        let xs: Vec<f64> = (0..n).map(|i| ((i * 37 % 200) as f64 / 100.0) - 1.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| ((i * 53 % 200) as f64 / 100.0) - 1.0).collect();
+        let vs: Vec<f64> = (0..n).map(|i| (i as f64) * 0.25 - 30.0).collect();
+
+        let dx = upload(&node, &stream, 0, &xs);
+        let dy = upload(&node, &stream, 0, &ys);
+        let dv = upload(&node, &stream, 0, &vs);
+
+        let all = [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average];
+        let ops: Vec<(BinOp, Option<&CellBuffer>)> =
+            all.iter().map(|&op| (op, if op == BinOp::Count { None } else { Some(&dv) })).collect();
+        let packed = bin_all_device(&node, 0, &stream, &dx, &dy, &ops, grid).unwrap();
+        assert_eq!(packed.len(), all.len() * grid.num_bins());
+        let fused = download(&node, &stream, &packed);
+
+        for (seg, &op) in all.iter().enumerate() {
+            let vals = if op == BinOp::Count { None } else { Some(&dv) };
+            let dbins = bin_device(&node, 0, &stream, &dx, &dy, vals, op, grid).unwrap();
+            let reference = download(&node, &stream, &dbins);
+            let got = &fused[seg * grid.num_bins()..(seg + 1) * grid.num_bins()];
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "op {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_device_binning_validates_inputs() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let grid = GridParams::new(2, 2, [0.0, 0.0], [1.0, 1.0]);
+        let a = node.device(0).unwrap().alloc_f64(4).unwrap();
+        let b = node.device(0).unwrap().alloc_f64(3).unwrap();
+        let count_only: [(BinOp, Option<&CellBuffer>); 1] = [(BinOp::Count, None)];
+        assert!(bin_all_device(&node, 0, &stream, &a, &b, &count_only, grid).is_err());
+        let missing: [(BinOp, Option<&CellBuffer>); 1] = [(BinOp::Sum, None)];
+        assert!(bin_all_device(&node, 0, &stream, &a, &a, &missing, grid).is_err());
+        let short: [(BinOp, Option<&CellBuffer>); 1] = [(BinOp::Sum, Some(&b))];
+        assert!(bin_all_device(&node, 0, &stream, &a, &a, &short, grid).is_err());
+    }
+
+    #[test]
+    fn fused_cost_matches_per_op_cost_for_single_op() {
+        assert_eq!(fused_bin_cost(1000, 1), bin_cost(1000));
+        let k = 10;
+        let fused = fused_bin_cost(1000, k);
+        let per_op = bin_cost(1000);
+        assert!(fused.flops < k as f64 * per_op.flops);
+        assert!(fused.bytes < k as f64 * per_op.bytes);
+    }
+
+    #[test]
+    fn fused_minmax_matches_per_column_reduction() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let a = upload(&node, &stream, 0, &[3.5, -1.25, 7.0, 0.0, 2.5]);
+        let b = upload(&node, &stream, 0, &[10.0, -10.0]);
+        let got = minmax_multi_device(&node, 0, &stream, &[&a, &b]).unwrap();
+        assert_eq!(got, vec![(-1.25, 7.0), (-10.0, 10.0)]);
+        assert!(minmax_multi_device(&node, 0, &stream, &[]).unwrap().is_empty());
     }
 
     #[test]

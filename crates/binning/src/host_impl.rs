@@ -47,6 +47,48 @@ pub fn bin_host(xs: &[f64], ys: &[f64], values: &[f64], op: BinOp, grid: &GridPa
     bins
 }
 
+/// Fused single-pass binning: compute each row's bin index once and
+/// scatter it into **every** operation's grid, instead of re-traversing
+/// the coordinate columns once per operation. `ops[i]` pairs a reduction
+/// with its value column (`None` for [`BinOp::Count`]); the returned
+/// grids are index-aligned with `ops`.
+///
+/// Accumulation visits rows in the same order as [`bin_host`], so each
+/// returned grid is bit-identical to the corresponding per-op result.
+///
+/// # Panics
+/// Panics when the coordinate arrays' lengths differ, a non-count
+/// reduction's value column is missing, or its length differs from the
+/// coordinates.
+pub fn bin_all_host(
+    xs: &[f64],
+    ys: &[f64],
+    ops: &[(BinOp, Option<&[f64]>)],
+    grid: &GridParams,
+) -> Vec<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "coordinate columns must be co-occurring");
+    for (op, values) in ops {
+        if *op != BinOp::Count {
+            let v =
+                values.unwrap_or_else(|| panic!("operation {} needs a value column", op.name()));
+            assert_eq!(v.len(), xs.len(), "value column must be co-occurring");
+        }
+    }
+    let mut grids: Vec<Vec<f64>> =
+        ops.iter().map(|(op, _)| vec![identity(*op); grid.num_bins()]).collect();
+    for i in 0..xs.len() {
+        let Some(b) = grid.bin_index(xs[i], ys[i]) else { continue };
+        for ((op, values), bins) in ops.iter().zip(grids.iter_mut()) {
+            let v = match values {
+                Some(values) if *op != BinOp::Count => values[i],
+                _ => 0.0,
+            };
+            bins[b] = accumulate(*op, bins[b], v);
+        }
+    }
+    grids
+}
+
 /// Finalize an accumulation buffer into presentable values:
 /// * min/max: bins that never saw a value become NaN;
 /// * average: running sum divided by count (NaN where count is zero);
@@ -154,5 +196,42 @@ mod tests {
     #[should_panic(expected = "co-occurring")]
     fn mismatched_columns_panic() {
         bin_host(&[1.0], &[1.0, 2.0], &[], BinOp::Count, &grid2x2());
+    }
+
+    #[test]
+    fn fused_pass_matches_per_op_reference_bitwise() {
+        let g = grid2x2();
+        let ops: Vec<(BinOp, Option<&[f64]>)> = vec![
+            (BinOp::Count, None),
+            (BinOp::Sum, Some(&VS)),
+            (BinOp::Min, Some(&VS)),
+            (BinOp::Max, Some(&VS)),
+            (BinOp::Average, Some(&VS)),
+        ];
+        let fused = bin_all_host(&XS, &YS, &ops, &g);
+        for ((op, values), fused_grid) in ops.iter().zip(&fused) {
+            let reference = bin_host(&XS, &YS, values.unwrap_or(&[]), *op, &g);
+            assert_eq!(
+                fused_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "op {op:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_pass_on_empty_input_yields_identities() {
+        let ops: Vec<(BinOp, Option<&[f64]>)> =
+            vec![(BinOp::Count, None), (BinOp::Min, Some(&[])), (BinOp::Max, Some(&[]))];
+        let fused = bin_all_host(&[], &[], &ops, &grid2x2());
+        assert_eq!(fused[0], vec![0.0; 4]);
+        assert_eq!(fused[1], vec![f64::INFINITY; 4]);
+        assert_eq!(fused[2], vec![f64::NEG_INFINITY; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a value column")]
+    fn fused_pass_rejects_missing_value_column() {
+        bin_all_host(&XS, &YS, &[(BinOp::Sum, None)], &grid2x2());
     }
 }

@@ -27,7 +27,9 @@ pub mod reduce;
 mod adaptor;
 mod grid;
 mod spec;
+mod suite;
 
 pub use adaptor::{register, BinnedResult, BinningAnalysis, ResultSink};
 pub use grid::GridParams;
 pub use spec::{BinOp, BinningSpec, VarOp};
+pub use suite::{register_suite, BinningSuite};

@@ -6,36 +6,79 @@
 //! (sum, count) pairs and finalized after the reduction — reducing
 //! per-rank averages would weight ranks, not rows.
 
-use minimpi::Comm;
+use minimpi::{Comm, Segment, SegmentOp};
+use sensei::{Error, Result};
 
 use crate::spec::BinOp;
 
-/// Element-wise combination of two accumulation grids under `op`.
-pub fn merge_grids(op: BinOp, mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
-    assert_eq!(a.len(), b.len(), "grids must have identical shape");
+/// The packed-collective merge semantics of one accumulation grid:
+/// counts, sums, and average running-sums add; minima take min; maxima
+/// take max — identical to [`merge_grids`], expressed per segment.
+pub fn segment_op(op: BinOp) -> SegmentOp {
+    match op {
+        BinOp::Count | BinOp::Sum | BinOp::Average => SegmentOp::Sum,
+        BinOp::Min => SegmentOp::Min,
+        BinOp::Max => SegmentOp::Max,
+    }
+}
+
+/// Element-wise in-place combination of `part` into `acc` under `op`.
+pub fn merge_into(op: BinOp, acc: &mut [f64], part: &[f64]) {
+    assert_eq!(acc.len(), part.len(), "grids must have identical shape");
     match op {
         BinOp::Count | BinOp::Sum | BinOp::Average => {
-            for (x, y) in a.iter_mut().zip(&b) {
+            for (x, y) in acc.iter_mut().zip(part) {
                 *x += *y;
             }
         }
         BinOp::Min => {
-            for (x, y) in a.iter_mut().zip(&b) {
+            for (x, y) in acc.iter_mut().zip(part) {
                 *x = x.min(*y);
             }
         }
         BinOp::Max => {
-            for (x, y) in a.iter_mut().zip(&b) {
+            for (x, y) in acc.iter_mut().zip(part) {
                 *x = x.max(*y);
             }
         }
     }
+}
+
+/// Element-wise combination of two accumulation grids under `op`.
+pub fn merge_grids(op: BinOp, mut a: Vec<f64>, b: Vec<f64>) -> Vec<f64> {
+    merge_into(op, &mut a, &b);
     a
 }
 
 /// Allreduce a per-rank accumulation grid into the global grid.
 pub fn allreduce_grid(comm: &Comm, op: BinOp, local: Vec<f64>) -> Vec<f64> {
     comm.allreduce(local, move |a, b| merge_grids(op, a, b))
+}
+
+/// Allreduce **all** per-rank accumulation grids in one packed collective:
+/// the grids are laid back to back into a single buffer, each segment
+/// merged under its own operation's semantics, and unpacked afterwards —
+/// one communication round per step instead of one per grid. The grid
+/// layout (count and shape) must be identical on every rank.
+pub fn allreduce_grids_packed(comm: &Comm, grids: Vec<(BinOp, Vec<f64>)>) -> Result<Vec<Vec<f64>>> {
+    let mut data = Vec::with_capacity(grids.iter().map(|(_, g)| g.len()).sum());
+    let mut segments = Vec::with_capacity(grids.len());
+    let mut lens = Vec::with_capacity(grids.len());
+    for (op, grid) in grids {
+        segments.push(Segment::new(segment_op(op), grid.len()));
+        lens.push(grid.len());
+        data.extend_from_slice(&grid);
+    }
+    let merged = comm
+        .allreduce_packed(data, &segments)
+        .map_err(|e| Error::Analysis(format!("packed grid allreduce: {e}")))?;
+    let mut out = Vec::with_capacity(lens.len());
+    let mut base = 0;
+    for len in lens {
+        out.push(merged[base..base + len].to_vec());
+        base += len;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -58,6 +101,26 @@ mod tests {
             vec![1.0, 3.0, f64::NEG_INFINITY]
         );
         assert_eq!(merge_grids(BinOp::Max, a, b), vec![2.0, f64::INFINITY, 5.0]);
+    }
+
+    #[test]
+    fn packed_reduction_matches_per_grid_reduction_in_one_round() {
+        let ops = [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average];
+        let got = World::new(3).run(move |comm| {
+            let r = comm.rank() as f64;
+            let local: Vec<(BinOp, Vec<f64>)> =
+                ops.iter().map(|&op| (op, vec![r, 10.0 - r, r * r, -r])).collect();
+            let reference: Vec<Vec<f64>> =
+                local.iter().map(|(op, g)| allreduce_grid(&comm, *op, g.clone())).collect();
+            let before = comm.allreduce_count();
+            let packed = allreduce_grids_packed(&comm, local).unwrap();
+            let rounds = comm.allreduce_count() - before;
+            (packed, reference, rounds)
+        });
+        for (packed, reference, rounds) in got {
+            assert_eq!(packed, reference);
+            assert_eq!(rounds, 1, "all grids must share one allreduce round");
+        }
     }
 
     #[test]

@@ -1,0 +1,483 @@
+//! A suite of binning specs sharing one fetch per step.
+//!
+//! The paper's asynchronous workload runs many binning instances over the
+//! same particle table (nine coordinate systems, ten operations each).
+//! Run as independent [`crate::BinningAnalysis`] back-ends, every
+//! instance fetches its columns, computes its bounds, and reduces its
+//! grids on its own — nine fetches, nine (or eighteen) bounds
+//! collectives, and ninety grid allreduces per step.
+//!
+//! [`BinningSuite`] executes the same specs as one back-end on the fused
+//! path end to end:
+//!
+//! * the union of every spec's required variables is fetched/moved
+//!   **once per table per step** and shared across all specs;
+//! * on a device, each spec's fused multi-op kernel and packed download
+//!   are dispatched round-robin across a small pool of streams, so the
+//!   coordinate systems overlap instead of serializing on one stream;
+//! * auto-computed axis bounds for **all** specs share one fused min/max
+//!   pass per table and one packed bounds allreduce;
+//! * every spec's grids (counts + ops) are packed into a single segmented
+//!   buffer and reduced with **one** allreduce per step.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use minimpi::Segment;
+use sensei::{
+    AnalysisAdaptor, AnalysisCounters, AnalysisRegistry, BackendControls, DataAdaptor,
+    DataRequirements, Error, ExecContext, Result,
+};
+use svtk::FieldAssociation;
+
+use crate::adaptor::{fetch_table, local_tables, BinnedResult, Fetched, ResultSink};
+use crate::bounds;
+use crate::device_impl;
+use crate::grid::GridParams;
+use crate::host_impl;
+use crate::reduce;
+use crate::spec::{BinOp, BinningSpec, VarOp};
+
+/// Streams the suite spreads device work across; more specs than this
+/// share streams round-robin.
+const MAX_STREAMS: usize = 4;
+
+/// Layout of a step's flat accumulation buffer: every spec's grids
+/// (counts first) laid back to back. The flat buffer doubles as the
+/// packed-collective payload, so local accumulation, the allreduce, and
+/// the unpack all work on one allocation with no repacking.
+struct StepLayout {
+    /// Per spec, its ops with the implicit count grid first.
+    ops: Vec<Vec<VarOp>>,
+    /// Start of each spec's grids in the flat buffer.
+    offsets: Vec<usize>,
+    /// One segment per (spec, op), in buffer order.
+    segments: Vec<Segment>,
+    total: usize,
+}
+
+/// Merge a downloaded packed segment straight into the flat accumulator
+/// (no intermediate owned grid).
+fn merge_segment_from_view(op: BinOp, acc: &mut [f64], v: &devsim::HostF64View, base: usize) {
+    match op {
+        BinOp::Count | BinOp::Sum | BinOp::Average => {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a += v.get(base + j);
+            }
+        }
+        BinOp::Min => {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a = a.min(v.get(base + j));
+            }
+        }
+        BinOp::Max => {
+            for (j, a) in acc.iter_mut().enumerate() {
+                *a = a.max(v.get(base + j));
+            }
+        }
+    }
+}
+
+/// Many binning specs over one mesh, executed as a single fused back-end.
+pub struct BinningSuite {
+    controls: BackendControls,
+    mesh: String,
+    specs: Vec<BinningSpec>,
+    sink: Option<ResultSink>,
+    output_dir: Option<PathBuf>,
+    last: Vec<BinnedResult>,
+    executes: u64,
+    counters: Arc<AnalysisCounters>,
+    /// Device stream pool, created lazily on the first device execute.
+    streams: Vec<Arc<devsim::Stream>>,
+}
+
+impl BinningSuite {
+    /// A suite over `specs`, which must all consume the same mesh.
+    pub fn new(specs: Vec<BinningSpec>) -> Result<Self> {
+        let mesh = match specs.first() {
+            None => return Err(Error::Config("binning suite needs at least one spec".into())),
+            Some(s) => s.mesh.clone(),
+        };
+        if let Some(other) = specs.iter().find(|s| s.mesh != mesh) {
+            return Err(Error::Config(format!(
+                "binning suite specs must share one mesh: '{}' vs '{}'",
+                mesh, other.mesh
+            )));
+        }
+        Ok(BinningSuite {
+            controls: BackendControls::default(),
+            mesh,
+            specs,
+            sink: None,
+            output_dir: None,
+            last: Vec::new(),
+            executes: 0,
+            counters: AnalysisCounters::new(),
+            streams: Vec::new(),
+        })
+    }
+
+    /// Send every step's results (one per spec, in spec order) to `sink`.
+    pub fn with_sink(mut self, sink: ResultSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Write each spec's final result to `dir/spec<i>` at finalize,
+    /// rank 0 only.
+    pub fn with_output_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.output_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the execution-model controls at construction time.
+    pub fn with_controls(mut self, controls: BackendControls) -> Self {
+        self.controls = controls;
+        self
+    }
+
+    /// Number of completed executes (diagnostic).
+    pub fn executes(&self) -> u64 {
+        self.executes
+    }
+
+    /// The specs the suite computes.
+    pub fn specs(&self) -> &[BinningSpec] {
+        &self.specs
+    }
+
+    /// Union of every spec's required variables, deduped in first-seen
+    /// order (the shared per-step fetch list).
+    fn union_variables(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = Vec::new();
+        for spec in &self.specs {
+            for v in spec.required_variables() {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        }
+        vars
+    }
+
+    /// Resolve every spec's grid. Manual bounds come straight from the
+    /// spec; automatic bounds share one fused min/max pass per table over
+    /// the union of auto-bounded axis columns and a single packed
+    /// allreduce across all of them.
+    fn resolve_grids(
+        &self,
+        fetched: &[Fetched],
+        device: Option<usize>,
+        ctx: &ExecContext<'_>,
+    ) -> Result<Vec<GridParams>> {
+        // Unique axis columns of specs whose bounds are computed on the
+        // fly (specs share axes across coordinate systems).
+        let mut auto_cols: Vec<&str> = Vec::new();
+        for spec in self.specs.iter().filter(|s| s.bounds.is_none()) {
+            for ax in [spec.axes.0.as_str(), spec.axes.1.as_str()] {
+                if !auto_cols.contains(&ax) {
+                    auto_cols.push(ax);
+                }
+            }
+        }
+
+        let mut merged: HashMap<&str, (f64, f64)> = HashMap::new();
+        if !auto_cols.is_empty() {
+            let mut local = vec![(f64::INFINITY, f64::NEG_INFINITY); auto_cols.len()];
+            for f in fetched {
+                let pairs = match f {
+                    Fetched::Host(data) => {
+                        let cols: Vec<&[f64]> =
+                            auto_cols.iter().map(|c| data[*c].as_slice()).collect();
+                        let total: usize = cols.iter().map(|c| c.len()).sum();
+                        self.counters.add_table_passes(1);
+                        ctx.node.host().run(
+                            "bin_bounds_fused",
+                            devsim::KernelCost::bytes((total * 8) as f64),
+                            || bounds::minmax_multi_host(&cols),
+                        )
+                    }
+                    Fetched::Device { views, .. } => {
+                        let d = device.expect("device fetch implies device placement");
+                        let stream = ctx.node.device(d)?.default_stream();
+                        let cols: Vec<&devsim::CellBuffer> =
+                            auto_cols.iter().map(|c| views[*c].cells()).collect();
+                        self.counters.add_kernel_launches(1);
+                        self.counters.add_downloads(1);
+                        device_impl::minmax_multi_device(ctx.node, d, &stream, &cols)?
+                    }
+                };
+                for (acc, (lo, hi)) in local.iter_mut().zip(pairs) {
+                    acc.0 = acc.0.min(lo);
+                    acc.1 = acc.1.max(hi);
+                }
+            }
+            let global = bounds::global_bounds_packed(ctx.comm, &local)?;
+            for (col, pair) in auto_cols.iter().zip(global) {
+                merged.insert(col, pair);
+            }
+        }
+
+        self.specs
+            .iter()
+            .map(|spec| {
+                let (bx, by) = match spec.bounds {
+                    Some(b) => b,
+                    None => {
+                        let (xlo, xhi) = merged[spec.axes.0.as_str()];
+                        let (ylo, yhi) = merged[spec.axes.1.as_str()];
+                        let x = bounds::usable_range(xlo, xhi);
+                        let y = bounds::usable_range(ylo, yhi);
+                        ([x.0, x.1], [y.0, y.1])
+                    }
+                };
+                Ok(GridParams::new(
+                    spec.resolution.0,
+                    spec.resolution.1,
+                    [bx[0], by[0]],
+                    [bx[1], by[1]],
+                ))
+            })
+            .collect()
+    }
+
+    /// The ops of `spec`, counts first (the layout of its grids
+    /// everywhere downstream).
+    fn spec_ops(spec: &BinningSpec) -> Vec<VarOp> {
+        let mut ops = vec![VarOp { var: String::new(), op: BinOp::Count }];
+        ops.extend(spec.ops.iter().cloned());
+        ops
+    }
+
+    /// The step's flat-buffer layout over the resolved grids.
+    fn layout(&self, grids: &[GridParams]) -> StepLayout {
+        let mut ops = Vec::with_capacity(self.specs.len());
+        let mut offsets = Vec::with_capacity(self.specs.len());
+        let mut segments = Vec::new();
+        let mut total = 0;
+        for (spec, grid) in self.specs.iter().zip(grids) {
+            offsets.push(total);
+            let spec_ops = Self::spec_ops(spec);
+            for vo in &spec_ops {
+                segments.push(Segment::new(reduce::segment_op(vo.op), grid.num_bins()));
+                total += grid.num_bins();
+            }
+            ops.push(spec_ops);
+        }
+        StepLayout { ops, offsets, segments, total }
+    }
+
+    /// Local fused binning of every spec over every fetched table,
+    /// accumulated into one flat buffer laid out by `layout` — the exact
+    /// payload of the step's packed allreduce. Device work is spread
+    /// round-robin across the stream pool and synchronized once at the
+    /// end, then merged straight from the downloaded views.
+    fn bin_all_specs(
+        &mut self,
+        fetched: &[Fetched],
+        grids: &[GridParams],
+        layout: &StepLayout,
+        device: Option<usize>,
+        ctx: &ExecContext<'_>,
+    ) -> Result<Vec<f64>> {
+        let mut flat = Vec::with_capacity(layout.total);
+        for (spec_ops, grid) in layout.ops.iter().zip(grids) {
+            for vo in spec_ops {
+                flat.resize(flat.len() + grid.num_bins(), host_impl::identity(vo.op));
+            }
+        }
+
+        // (spec index, packed host buffer) downloads awaiting the sync.
+        let mut staged: Vec<(usize, devsim::CellBuffer)> = Vec::new();
+        let mut used_streams = false;
+
+        for f in fetched {
+            match f {
+                Fetched::Host(data) => {
+                    for (si, (spec, grid)) in self.specs.iter().zip(grids).enumerate() {
+                        let xs = &data[spec.axes.0.as_str()];
+                        let ys = &data[spec.axes.1.as_str()];
+                        let all_ops = &layout.ops[si];
+                        let ops: Vec<(BinOp, Option<&[f64]>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals = (vo.op != BinOp::Count)
+                                    .then(|| data[vo.var.as_str()].as_slice());
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        self.counters.add_table_passes(1);
+                        let parts = ctx.node.host().run(
+                            "bin_fused_host",
+                            device_impl::fused_bin_cost(xs.len(), ops.len()),
+                            || host_impl::bin_all_host(xs, ys, &ops, grid),
+                        );
+                        let (off, nb) = (layout.offsets[si], grid.num_bins());
+                        for ((k, vo), part) in all_ops.iter().enumerate().zip(parts) {
+                            let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
+                            reduce::merge_into(vo.op, seg, &part);
+                        }
+                    }
+                }
+                Fetched::Device { views, .. } => {
+                    let d = device.expect("device fetch implies device placement");
+                    if self.streams.is_empty() {
+                        let n = MAX_STREAMS.min(self.specs.len().max(1));
+                        let dev = ctx.node.device(d)?;
+                        self.streams = (0..n).map(|_| dev.create_stream()).collect();
+                    }
+                    used_streams = true;
+                    for (si, (spec, grid)) in self.specs.iter().zip(grids).enumerate() {
+                        let stream = &self.streams[si % self.streams.len()];
+                        let xs = views[spec.axes.0.as_str()].cells();
+                        let ys = views[spec.axes.1.as_str()].cells();
+                        let all_ops = &layout.ops[si];
+                        let ops: Vec<(BinOp, Option<&devsim::CellBuffer>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals =
+                                    (vo.op != BinOp::Count).then(|| views[vo.var.as_str()].cells());
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        let packed =
+                            device_impl::bin_all_device(ctx.node, d, stream, xs, ys, &ops, *grid)?;
+                        let host = ctx.node.host_alloc_f64(packed.len());
+                        stream.copy(&packed, &host).map_err(Error::Device)?;
+                        self.counters.add_kernel_launches(1);
+                        self.counters.add_downloads(1);
+                        staged.push((si, host));
+                    }
+                }
+            }
+        }
+
+        if used_streams {
+            for stream in &self.streams {
+                stream.synchronize().map_err(Error::Device)?;
+            }
+            for (si, host) in staged {
+                let v = host.host_f64().map_err(Error::Device)?;
+                let (off, nb) = (layout.offsets[si], grids[si].num_bins());
+                for (k, vo) in layout.ops[si].iter().enumerate() {
+                    let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
+                    merge_segment_from_view(vo.op, seg, &v, k * nb);
+                }
+            }
+        }
+        Ok(flat)
+    }
+}
+
+impl AnalysisAdaptor for BinningSuite {
+    fn name(&self) -> &str {
+        "binning_suite"
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn controls_mut(&mut self) -> &mut BackendControls {
+        &mut self.controls
+    }
+
+    fn required_arrays(&self) -> DataRequirements {
+        DataRequirements::none().with_arrays(
+            &self.mesh,
+            FieldAssociation::Point,
+            self.union_variables(),
+        )
+    }
+
+    fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
+        let allreduces_before = ctx.comm.allreduce_count();
+        let mesh = data.mesh(&self.mesh)?;
+        let tables = local_tables(&mesh)?;
+        let device = self.controls.resolve_device(ctx.comm.rank(), ctx.node.num_devices());
+
+        // One fetch of the union of every spec's variables per table.
+        let vars = self.union_variables();
+        self.counters.add_fetches(vars.len() as u64 * tables.len() as u64);
+        let fetched: Vec<Fetched> =
+            tables.iter().map(|t| fetch_table(t, &vars, device)).collect::<Result<_>>()?;
+
+        let grids = self.resolve_grids(&fetched, device, ctx)?;
+        let layout = self.layout(&grids);
+        let flat = self.bin_all_specs(&fetched, &grids, &layout, device, ctx)?;
+
+        // The flat accumulator IS the packed-collective payload: one
+        // allreduce covers every spec's grids, with no repacking.
+        let merged = ctx
+            .comm
+            .allreduce_packed(flat, &layout.segments)
+            .map_err(|e| Error::Analysis(format!("packed grid allreduce: {e}")))?;
+
+        let mut step_results = Vec::with_capacity(self.specs.len());
+        for (si, (spec, grid)) in self.specs.iter().zip(&grids).enumerate() {
+            let (off, nb) = (layout.offsets[si], grid.num_bins());
+            let counts = merged[off..off + nb].to_vec();
+            let mut arrays = Vec::with_capacity(spec.ops.len());
+            for (k, vo) in layout.ops[si].iter().enumerate().skip(1) {
+                let values = if vo.op == BinOp::Count {
+                    counts.clone()
+                } else {
+                    let mut global = merged[off + k * nb..off + (k + 1) * nb].to_vec();
+                    host_impl::finalize(vo.op, &mut global, &counts);
+                    global
+                };
+                arrays.push((vo.output_name(), values));
+            }
+            step_results.push(BinnedResult {
+                step: data.time_step(),
+                time: data.time(),
+                axes: spec.axes.clone(),
+                grid: *grid,
+                arrays,
+            });
+        }
+        self.counters.add_allreduces(ctx.comm.allreduce_count() - allreduces_before);
+
+        if let Some(sink) = &self.sink {
+            if ctx.comm.rank() == 0 {
+                sink.lock().extend(step_results.iter().cloned());
+            }
+        }
+        self.last = step_results;
+        self.executes += 1;
+        Ok(true)
+    }
+
+    fn finalize(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
+        if let Some(dir) = &self.output_dir {
+            if ctx.comm.rank() == 0 {
+                for (i, result) in self.last.iter().enumerate() {
+                    crate::io::write_result(&dir.join(format!("spec{i}")), result)
+                        .map_err(|e| Error::Analysis(format!("writing results: {e}")))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        Some(self.counters.clone())
+    }
+}
+
+/// Register the `binning_suite` back-end type: one `<analysis>` element
+/// holding one `<instance>` child per spec, each with the same content as
+/// a `data_binning` element.
+pub fn register_suite(registry: &mut AnalysisRegistry) {
+    registry.register("binning_suite", |el, _ctx| {
+        let specs: Vec<BinningSpec> =
+            el.find_all("instance").map(BinningSpec::from_element).collect::<Result<_>>()?;
+        let mut suite = BinningSuite::new(specs)?;
+        if let Some(dir) = el.attr("output") {
+            suite = suite.with_output_dir(dir);
+        }
+        Ok(Box::new(suite))
+    });
+}

@@ -69,6 +69,42 @@ proptest! {
         }
     }
 
+    /// The fused single-pass scatter is bit-identical to the per-op
+    /// reference for **every** operation, over arbitrary data (including
+    /// empty inputs and empty bins — Min/Max identities survive intact).
+    #[test]
+    fn fused_host_pass_is_bit_identical_per_op(data in rows()) {
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+        let ops: Vec<(BinOp, Option<&[f64]>)> = vec![
+            (BinOp::Count, None),
+            (BinOp::Sum, Some(&vs)),
+            (BinOp::Min, Some(&vs)),
+            (BinOp::Max, Some(&vs)),
+            (BinOp::Average, Some(&vs)),
+        ];
+        let fused = host_impl::bin_all_host(&xs, &ys, &ops, &g);
+        let counts = fused[0].clone();
+        for ((op, vals), fused_grid) in ops.iter().zip(&fused) {
+            let reference = host_impl::bin_host(&xs, &ys, vals.unwrap_or(&[]), *op, &g);
+            prop_assert_eq!(
+                fused_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "op {:?}", op
+            );
+            // Finalized grids are NaN-free except where the bin is empty.
+            let mut fin = fused_grid.clone();
+            host_impl::finalize(*op, &mut fin, &counts);
+            for (b, v) in fin.iter().enumerate() {
+                if counts[b] > 0.0 {
+                    prop_assert!(!v.is_nan(), "op {:?} bin {b} has data but is NaN", op);
+                } else if matches!(op, BinOp::Min | BinOp::Max | BinOp::Average) {
+                    prop_assert!(v.is_nan(), "op {:?} empty bin {b} must finalize to NaN", op);
+                }
+            }
+        }
+    }
+
     /// Binning is partition-invariant: splitting the rows arbitrarily and
     /// merging the partial grids equals binning everything at once.
     #[test]
@@ -129,6 +165,43 @@ proptest! {
                     "op {:?} bin {i}: {a} vs {b}", op
                 );
             }
+        }
+    }
+
+    /// The fused multi-op device kernel is bit-identical to the per-op
+    /// device kernels for every operation over arbitrary data.
+    #[test]
+    fn fused_device_pass_is_bit_identical_per_op(data in rows()) {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let stream = node.device(0).unwrap().create_stream();
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+        let dx = upload(&node, &stream, &xs);
+        let dy = upload(&node, &stream, &ys);
+        let dv = upload(&node, &stream, &vs);
+        let all = [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average];
+        let ops: Vec<(BinOp, Option<&CellBuffer>)> = all
+            .iter()
+            .map(|&op| (op, if op == BinOp::Count { None } else { Some(&dv) }))
+            .collect();
+        let packed = device_impl::bin_all_device(&node, 0, &stream, &dx, &dy, &ops, g).unwrap();
+        let host_out = node.host_alloc_f64(packed.len());
+        stream.copy(&packed, &host_out).unwrap();
+        stream.synchronize().unwrap();
+        let fused = host_out.host_f64().unwrap().to_vec();
+        for (seg, &op) in all.iter().enumerate() {
+            let vals = if op == BinOp::Count { None } else { Some(&dv) };
+            let dbins = device_impl::bin_device(&node, 0, &stream, &dx, &dy, vals, op, g).unwrap();
+            let ref_out = node.host_alloc_f64(g.num_bins());
+            stream.copy(&dbins, &ref_out).unwrap();
+            stream.synchronize().unwrap();
+            let reference = ref_out.host_f64().unwrap().to_vec();
+            let got = &fused[seg * g.num_bins()..(seg + 1) * g.num_bins()];
+            prop_assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "op {:?}", op
+            );
         }
     }
 }

@@ -1,0 +1,284 @@
+//! Fused-suite equivalence: a [`binning::BinningSuite`] (shared per-step
+//! fetch, batched kernels, one packed allreduce) must produce grids
+//! bit-identical to independent per-op [`binning::BinningAnalysis`]
+//! instances, while doing provably less work per step.
+
+use std::sync::Arc;
+
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use parking_lot::Mutex;
+use sensei::{
+    AnalysisAdaptor, BackendControls, Bridge, DataAdaptor, DeviceSpec, MeshMetadata, Result,
+};
+use svtk::{Allocator, DataObject, HamrDataArray, HamrStream, StreamMode, TableData};
+
+use binning::{BinOp, BinnedResult, BinningAnalysis, BinningSpec, BinningSuite, ResultSink, VarOp};
+
+/// Particle table with four columns; each rank owns a deterministic
+/// pseudo-random slice.
+struct Particles {
+    table: TableData,
+    step: u64,
+}
+
+impl Particles {
+    fn new(node: Arc<SimNode>, device: Option<usize>, rank: usize) -> Self {
+        let n = 200;
+        let col = |seed: usize| -> Vec<f64> {
+            (0..n).map(|i| (((i * seed + rank * 7919) % 1000) as f64) / 500.0 - 1.0).collect()
+        };
+        let alloc = if device.is_some() { Allocator::OpenMp } else { Allocator::Malloc };
+        let mut table = TableData::new();
+        for (name, seed) in [("x", 37), ("y", 53), ("z", 71), ("m", 97)] {
+            let arr = HamrDataArray::<f64>::from_slice(
+                name,
+                node.clone(),
+                &col(seed),
+                1,
+                alloc,
+                device,
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
+            table.set_column(arr.as_array_ref());
+        }
+        Particles { table, step: 0 }
+    }
+}
+
+impl DataAdaptor for Particles {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        Ok(MeshMetadata { name: "bodies".into(), arrays: vec![] })
+    }
+    fn mesh(&self, _name: &str) -> Result<DataObject> {
+        Ok(DataObject::Table(self.table.clone()))
+    }
+    fn time(&self) -> f64 {
+        self.step as f64 * 0.1
+    }
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+}
+
+/// Three coordinate systems, five ops each, prescribed bounds.
+fn specs() -> Vec<BinningSpec> {
+    [("x", "y"), ("x", "z"), ("y", "z")]
+        .iter()
+        .map(|(a, b)| {
+            let mut s = BinningSpec::new(
+                "bodies",
+                (*a, *b),
+                4,
+                vec![
+                    VarOp { var: String::new(), op: BinOp::Count },
+                    VarOp { var: "m".into(), op: BinOp::Sum },
+                    VarOp { var: "m".into(), op: BinOp::Min },
+                    VarOp { var: "m".into(), op: BinOp::Max },
+                    VarOp { var: "m".into(), op: BinOp::Average },
+                ],
+            );
+            s.bounds = Some(([-1.0, 1.0], [-1.0, 1.0]));
+            s
+        })
+        .collect()
+}
+
+fn run_suite(
+    ranks: usize,
+    device_spec: DeviceSpec,
+    steps: u64,
+    auto_bounds: bool,
+) -> (Vec<BinnedResult>, sensei::CounterSnapshot) {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    let snaps = World::new(ranks).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut specs = specs();
+        if auto_bounds {
+            for s in &mut specs {
+                s.bounds = None;
+            }
+        }
+        let suite = BinningSuite::new(specs)
+            .unwrap()
+            .with_sink(sink2.clone())
+            .with_controls(BackendControls { device: device_spec, ..Default::default() });
+        let counters = suite.counters().unwrap();
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(Box::new(suite), &comm).unwrap();
+        let device = match device_spec {
+            DeviceSpec::Host => None,
+            DeviceSpec::Explicit(d) => Some(d),
+            DeviceSpec::Auto => Some(comm.rank() % 2),
+        };
+        let mut sim = Particles::new(node, device, comm.rank());
+        for step in 0..steps {
+            sim.step = step;
+            bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+        counters.snapshot()
+    });
+    let results = sink.lock().clone();
+    (results, snaps[0])
+}
+
+fn run_per_op_reference(
+    ranks: usize,
+    device_spec: DeviceSpec,
+    steps: u64,
+    auto_bounds: bool,
+) -> Vec<Vec<BinnedResult>> {
+    let mut specs = specs();
+    if auto_bounds {
+        for s in &mut specs {
+            s.bounds = None;
+        }
+    }
+    let sinks: Vec<ResultSink> = specs.iter().map(|_| Arc::new(Mutex::new(Vec::new()))).collect();
+    let sinks2 = sinks.clone();
+    World::new(ranks).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        let mut bridge = Bridge::new(node.clone());
+        for (spec, sink) in specs.clone().into_iter().zip(&sinks2) {
+            let analysis = BinningAnalysis::new(spec)
+                .with_fused(false)
+                .with_sink(sink.clone())
+                .with_controls(BackendControls { device: device_spec, ..Default::default() });
+            bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+        }
+        let device = match device_spec {
+            DeviceSpec::Host => None,
+            DeviceSpec::Explicit(d) => Some(d),
+            DeviceSpec::Auto => Some(comm.rank() % 2),
+        };
+        let mut sim = Particles::new(node, device, comm.rank());
+        for step in 0..steps {
+            sim.step = step;
+            bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
+        }
+        bridge.finalize(&comm).unwrap();
+    });
+    sinks.iter().map(|s| s.lock().clone()).collect()
+}
+
+fn assert_bit_identical(suite: &[BinnedResult], reference: &[Vec<BinnedResult>], steps: usize) {
+    let num_specs = reference.len();
+    assert_eq!(suite.len(), num_specs * steps, "one suite result per spec per step");
+    for step in 0..steps {
+        for (si, per_spec) in reference.iter().enumerate() {
+            let s = &suite[step * num_specs + si];
+            let r = &per_spec[step];
+            assert_eq!(s.axes, r.axes);
+            assert_eq!(s.arrays.len(), r.arrays.len());
+            for ((sn, sv), (rn, rv)) in s.arrays.iter().zip(&r.arrays) {
+                assert_eq!(sn, rn);
+                assert_eq!(
+                    sv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    rv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "spec {si} step {step} array {sn}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn suite_matches_per_op_instances_on_host() {
+    let (suite, _) = run_suite(2, DeviceSpec::Host, 3, false);
+    let reference = run_per_op_reference(2, DeviceSpec::Host, 3, false);
+    assert_bit_identical(&suite, &reference, 3);
+}
+
+#[test]
+fn suite_matches_per_op_instances_on_device() {
+    let (suite, _) = run_suite(2, DeviceSpec::Explicit(0), 3, false);
+    let reference = run_per_op_reference(2, DeviceSpec::Explicit(0), 3, false);
+    assert_bit_identical(&suite, &reference, 3);
+}
+
+#[test]
+fn suite_matches_per_op_instances_with_auto_bounds() {
+    let (suite, _) = run_suite(2, DeviceSpec::Host, 2, true);
+    let reference = run_per_op_reference(2, DeviceSpec::Host, 2, true);
+    assert_bit_identical(&suite, &reference, 2);
+}
+
+#[test]
+fn suite_issues_one_allreduce_per_step() {
+    // Prescribed bounds: the only collective is the packed grid
+    // reduction — exactly one allreduce round per step for all 3 specs
+    // x 6 grids.
+    let steps = 4;
+    let (_, counters) = run_suite(2, DeviceSpec::Host, steps, false);
+    assert_eq!(counters.allreduces, steps, "one packed allreduce per step");
+}
+
+#[test]
+fn suite_launches_one_kernel_and_download_per_spec_per_step() {
+    let steps = 3;
+    let num_specs = 3;
+    let (_, counters) = run_suite(1, DeviceSpec::Explicit(0), steps, false);
+    // Prescribed bounds: no bounds kernels; one fused kernel and one
+    // packed download per (coordinate system, fetched block).
+    assert_eq!(counters.kernel_launches, num_specs * steps);
+    assert_eq!(counters.downloads, num_specs * steps);
+    assert_eq!(counters.allreduces, steps);
+}
+
+#[test]
+fn xml_configured_suite_runs_through_registry() {
+    const XML: &str = r#"
+      <sensei>
+        <analysis type="binning_suite" mode="lockstep" device="-1">
+          <instance>
+            <mesh name="bodies"/>
+            <axes>x,y</axes>
+            <operations>count(),sum(m)</operations>
+            <resolution x="2" y="2"/>
+            <bounds xlo="-1" xhi="1" ylo="-1" yhi="1"/>
+          </instance>
+          <instance>
+            <mesh name="bodies"/>
+            <axes>x,z</axes>
+            <operations>count(),max(m)</operations>
+            <resolution x="2" y="2"/>
+            <bounds xlo="-1" xhi="1" ylo="-1" yhi="1"/>
+          </instance>
+        </analysis>
+      </sensei>"#;
+    use sensei::{AnalysisRegistry, ConfigurableAnalysis, CreateContext};
+    World::new(2).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let mut registry = AnalysisRegistry::new();
+        binning::register_suite(&mut registry);
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
+        let backends = cfg.instantiate(&registry, &ctx).unwrap();
+        assert_eq!(backends.len(), 1, "two instances collapse into one suite back-end");
+
+        let mut bridge = Bridge::new(node.clone());
+        for b in backends {
+            bridge.add_analysis(b, &comm).unwrap();
+        }
+        let mut sim = Particles::new(node, None, comm.rank());
+        sim.step = 0;
+        assert!(bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap());
+        bridge.finalize(&comm).unwrap();
+    });
+}
+
+#[test]
+fn suite_fetches_union_once_per_step() {
+    let steps = 2;
+    let (_, counters) = run_suite(1, DeviceSpec::Host, steps, false);
+    // Union of variables across all specs: x, y, z, m — not the 9
+    // per-spec fetches (3 specs x 3 variables).
+    assert_eq!(counters.fetches, 4 * steps);
+}

@@ -35,6 +35,28 @@ impl KernelCost {
     }
 }
 
+impl std::ops::Add for KernelCost {
+    type Output = KernelCost;
+
+    /// Composite work: a fused kernel carrying the combined flops and bytes
+    /// of its constituent passes (but paying launch overhead only once).
+    fn add(self, rhs: KernelCost) -> KernelCost {
+        KernelCost { flops: self.flops + rhs.flops, bytes: self.bytes + rhs.bytes }
+    }
+}
+
+impl std::ops::AddAssign for KernelCost {
+    fn add_assign(&mut self, rhs: KernelCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for KernelCost {
+    fn sum<I: Iterator<Item = KernelCost>>(iter: I) -> KernelCost {
+        iter.fold(KernelCost::ZERO, |a, b| a + b)
+    }
+}
+
 /// Modeled characteristics of one simulated accelerator.
 #[derive(Debug, Clone, Copy)]
 pub struct DeviceParams {
@@ -210,6 +232,26 @@ mod tests {
         let full = kernel_duration(KernelCost::flops(1e12), &p, 1.0);
         let tenth = kernel_duration(KernelCost::flops(1e12), &p, 0.1);
         assert!((full.as_secs_f64() / tenth.as_secs_f64() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_costs_compose_additively() {
+        let fused: KernelCost =
+            [KernelCost::flops(3.0), KernelCost::bytes(8.0), KernelCost { flops: 1.0, bytes: 2.0 }]
+                .into_iter()
+                .sum();
+        assert_eq!(fused, KernelCost { flops: 4.0, bytes: 10.0 });
+        let mut acc = KernelCost::ZERO;
+        acc += fused;
+        acc += KernelCost::flops(6.0);
+        assert_eq!(acc, KernelCost { flops: 10.0, bytes: 10.0 });
+        // Fusing N passes pays launch overhead once instead of N times: the
+        // composed cost's duration is less than the sum of the parts'.
+        let p = DeviceParams::default();
+        let part = KernelCost { flops: 1e9, bytes: 1e9 };
+        let fused_d = kernel_duration(part + part, &p, 1.0);
+        let serial_d = kernel_duration(part, &p, 1.0) + kernel_duration(part, &p, 1.0);
+        assert!(fused_d < serial_d);
     }
 
     #[test]

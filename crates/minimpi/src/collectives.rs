@@ -13,6 +13,47 @@ const SLOT_DATA: u64 = 0;
 const SLOT_RESULT: u64 = 1;
 const SLOTS_PER_COLLECTIVE: u64 = 4;
 
+/// Element-wise merge semantics for one segment of a packed `f64`
+/// collective (see [`Comm::allreduce_packed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise minimum; NaN elements lose to any finite value.
+    Min,
+    /// Element-wise maximum; NaN elements lose to any finite value.
+    Max,
+}
+
+impl SegmentOp {
+    fn merge(self, a: f64, b: f64) -> f64 {
+        match self {
+            SegmentOp::Sum => a + b,
+            // `f64::min`/`max` are NaN-ignoring: if one side is NaN the
+            // other wins, which is what empty-bin Min/Max identities need.
+            SegmentOp::Min => a.min(b),
+            SegmentOp::Max => a.max(b),
+        }
+    }
+}
+
+/// One segment of a packed collective: `len` consecutive elements merged
+/// with `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Merge semantics for this segment's elements.
+    pub op: SegmentOp,
+    /// Number of consecutive elements the segment covers.
+    pub len: usize,
+}
+
+impl Segment {
+    /// Convenience constructor.
+    pub fn new(op: SegmentOp, len: usize) -> Self {
+        Segment { op, len }
+    }
+}
+
 impl Comm {
     /// Claim the tag slice for the next collective on this communicator.
     fn next_coll_tag(&self) -> u64 {
@@ -74,10 +115,38 @@ impl Comm {
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
     {
+        self.allreduce_rounds.set(self.allreduce_rounds.get() + 1);
         let reduced = self.reduce(0, value, op).expect("rank 0 is always valid");
         self.bcast(0, reduced)
             .expect("rank 0 is always valid")
             .expect("root always holds the reduced value")
+    }
+
+    /// One allreduce round over a packed `f64` buffer with per-segment
+    /// merge semantics: `segments[i]` describes the op applied element-wise
+    /// to the `i`-th run of consecutive elements. This is how N independent
+    /// grid reductions collapse into a single communication round — the
+    /// segment layout must be identical on every rank.
+    ///
+    /// Errors (before communicating) if the segment lengths do not sum to
+    /// `data.len()`.
+    pub fn allreduce_packed(&self, data: Vec<f64>, segments: &[Segment]) -> Result<Vec<f64>> {
+        let expected: usize = segments.iter().map(|s| s.len).sum();
+        if expected != data.len() {
+            return Err(Error::LengthMismatch { expected, got: data.len() });
+        }
+        let segments = segments.to_vec();
+        Ok(self.allreduce(data, move |mut a, b| {
+            debug_assert_eq!(a.len(), b.len(), "packed buffers must agree across ranks");
+            let mut base = 0;
+            for seg in &segments {
+                for i in base..base + seg.len {
+                    a[i] = seg.op.merge(a[i], b[i]);
+                }
+                base += seg.len;
+            }
+            a
+        }))
     }
 
     /// Gather every rank's `value` at `root`, in rank order.
@@ -207,7 +276,59 @@ impl Comm {
 
 #[cfg(test)]
 mod tests {
-    use crate::World;
+    use crate::{Segment, SegmentOp, World};
+
+    #[test]
+    fn allreduce_packed_merges_per_segment() {
+        let got = World::new(3).run(|c| {
+            let r = c.rank() as f64;
+            // [sum sum | min | max max]
+            let data = vec![r, 10.0 * r, r, r, 100.0 - r];
+            let segs = [
+                Segment::new(SegmentOp::Sum, 2),
+                Segment::new(SegmentOp::Min, 1),
+                Segment::new(SegmentOp::Max, 2),
+            ];
+            c.allreduce_packed(data, &segs).unwrap()
+        });
+        for v in got {
+            assert_eq!(v, vec![3.0, 30.0, 0.0, 2.0, 100.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_packed_min_max_ignore_nan() {
+        let got = World::new(2).run(|c| {
+            let data = if c.rank() == 0 { vec![f64::NAN, 5.0] } else { vec![2.0, f64::NAN] };
+            let segs = [Segment::new(SegmentOp::Min, 1), Segment::new(SegmentOp::Max, 1)];
+            c.allreduce_packed(data, &segs).unwrap()
+        });
+        for v in got {
+            assert_eq!(v, vec![2.0, 5.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_packed_rejects_bad_segment_layout() {
+        World::new(2).run(|c| {
+            let segs = [Segment::new(SegmentOp::Sum, 3)];
+            assert!(c.allreduce_packed(vec![1.0, 2.0], &segs).is_err());
+            // The error fires before any communication, so both ranks stay
+            // aligned without recovery.
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn allreduce_counter_counts_packed_as_one_round() {
+        let got = World::new(2).run(|c| {
+            c.allreduce(1u64, |a, b| a + b);
+            let segs = [Segment::new(SegmentOp::Sum, 2), Segment::new(SegmentOp::Min, 1)];
+            c.allreduce_packed(vec![0.0; 3], &segs).unwrap();
+            c.allreduce_count()
+        });
+        assert_eq!(got, vec![2, 2]);
+    }
 
     #[test]
     fn bcast_from_each_root() {

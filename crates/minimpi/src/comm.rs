@@ -58,6 +58,10 @@ pub struct Comm {
     /// Per-rank collective sequence number; advances identically on every
     /// rank because collectives must be called in the same order everywhere.
     pub(crate) coll_seq: Cell<u64>,
+    /// Allreduce rounds issued through this handle (packed or plain); the
+    /// observable a fused analysis path optimises, so callers can assert on
+    /// communication counts rather than trusting the implementation.
+    pub(crate) allreduce_rounds: Cell<u64>,
 }
 
 /// Tag space reserved for collectives; user tags must stay below this.
@@ -66,7 +70,21 @@ pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
 impl Comm {
     pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, size: usize) -> Self {
         let barrier = shared.barrier_for(comm_id, size);
-        Comm { shared, comm_id, rank, size, barrier, coll_seq: Cell::new(0) }
+        Comm {
+            shared,
+            comm_id,
+            rank,
+            size,
+            barrier,
+            coll_seq: Cell::new(0),
+            allreduce_rounds: Cell::new(0),
+        }
+    }
+
+    /// Number of allreduce rounds issued through this handle so far. A
+    /// packed allreduce counts as one round regardless of segment count.
+    pub fn allreduce_count(&self) -> u64 {
+        self.allreduce_rounds.get()
     }
 
     /// This rank's index within the communicator, in `0..size`.

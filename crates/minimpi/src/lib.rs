@@ -9,8 +9,9 @@
 //!
 //! * point-to-point: [`Comm::send`], [`Comm::recv`], [`Comm::sendrecv`]
 //! * collectives: [`Comm::barrier`], [`Comm::bcast`], [`Comm::reduce`],
-//!   [`Comm::allreduce`], [`Comm::gather`], [`Comm::allgather`],
-//!   [`Comm::alltoall`], [`Comm::alltoallv`], [`Comm::scan`]
+//!   [`Comm::allreduce`], [`Comm::allreduce_packed`], [`Comm::gather`],
+//!   [`Comm::allgather`], [`Comm::alltoall`], [`Comm::alltoallv`],
+//!   [`Comm::scan`]
 //! * communicator management: [`Comm::split`], [`Comm::dup`]
 //!
 //! # Semantics
@@ -41,6 +42,7 @@ mod mailbox;
 pub mod ops;
 mod world;
 
+pub use collectives::{Segment, SegmentOp};
 pub use comm::Comm;
 pub use error::{Error, Result};
 pub use world::World;

@@ -12,6 +12,7 @@ use minimpi::Comm;
 use svtk::{DataObject, FieldAssociation};
 
 use crate::controls::BackendControls;
+use crate::counters::AnalysisCounters;
 use crate::error::Result;
 use crate::requirements::DataRequirements;
 
@@ -101,6 +102,14 @@ pub trait AnalysisAdaptor: Send {
     /// it so snapshots copy (and hold) only what is used.
     fn required_arrays(&self) -> DataRequirements {
         DataRequirements::All
+    }
+
+    /// The back-end's work counters, if it keeps any. Back-ends that
+    /// return a handle here get their pass/launch/download/allreduce
+    /// totals recorded into the profiler at finalize, which is how fused
+    /// and per-op execution paths are compared quantitatively.
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        None
     }
 
     /// Process the simulation's current state. Returns `Ok(true)` to

@@ -144,6 +144,13 @@ impl Bridge {
                 first_err.get_or_insert(e);
             }
         }
+        // Work counters are read only after every engine has finalized
+        // (asynchronous workers joined), so the totals are exact.
+        for a in &self.engines {
+            if let Some(counters) = a.engine.counters() {
+                self.profiler.record_counters(a.label.as_str(), counters.snapshot());
+            }
+        }
         // Freeze the run's caching-pool counters into the profiler so the
         // harness can report hit rates alongside the timings.
         self.profiler.record_pool_stats("host", self.node.pool_stats(devsim::MemSpace::Host));

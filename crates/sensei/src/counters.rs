@@ -1,0 +1,142 @@
+//! Work counters for analysis back-ends: how many data passes, kernel
+//! launches, result downloads, and allreduce rounds a back-end actually
+//! performed.
+//!
+//! A fused execution path claims to collapse N per-op passes into one;
+//! these counters make that claim checkable. A back-end increments its
+//! [`AnalysisCounters`] as it works (they are shared atomics, so a worker
+//! thread owning the back-end and the simulation thread reading the totals
+//! never race), the owning engine exposes them, and the bridge snapshots
+//! them into the profiler at finalize so harnesses can assert on
+//! communication and launch counts instead of trusting the implementation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe work counters one analysis back-end increments.
+#[derive(Debug, Default)]
+pub struct AnalysisCounters {
+    table_passes: AtomicU64,
+    kernel_launches: AtomicU64,
+    downloads: AtomicU64,
+    allreduces: AtomicU64,
+    fetches: AtomicU64,
+}
+
+impl AnalysisCounters {
+    /// Fresh zeroed counters behind an `Arc` (the back-end keeps one
+    /// handle, the engine another).
+    pub fn new() -> Arc<Self> {
+        Arc::new(AnalysisCounters::default())
+    }
+
+    /// Count `n` full traversals of fetched rows (one per-op pass = 1;
+    /// one fused pass covering many ops = 1).
+    pub fn add_table_passes(&self, n: u64) {
+        self.table_passes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` device kernel launches.
+    pub fn add_kernel_launches(&self, n: u64) {
+        self.kernel_launches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` device-to-host result downloads (a packed download of
+    /// many grids = 1).
+    pub fn add_downloads(&self, n: u64) {
+        self.downloads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` allreduce rounds (a packed allreduce = 1).
+    pub fn add_allreduces(&self, n: u64) {
+        self.allreduces.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` per-variable fetch/move requests into the execution space.
+    pub fn add_fetches(&self, n: u64) {
+        self.fetches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough copy of the current totals (exact once the
+    /// back-end has been finalized).
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            table_passes: self.table_passes.load(Ordering::Relaxed),
+            kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
+            downloads: self.downloads.load(Ordering::Relaxed),
+            allreduces: self.allreduces.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`AnalysisCounters`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Full traversals of fetched rows.
+    pub table_passes: u64,
+    /// Device kernel launches.
+    pub kernel_launches: u64,
+    /// Device-to-host result downloads.
+    pub downloads: u64,
+    /// Allreduce rounds issued.
+    pub allreduces: u64,
+    /// Per-variable fetch/move requests.
+    pub fetches: u64,
+}
+
+impl CounterSnapshot {
+    /// Add `other`'s totals into `self` (for summing across back-ends or
+    /// ranks).
+    pub fn accumulate(&mut self, other: &CounterSnapshot) {
+        self.table_passes += other.table_passes;
+        self.kernel_launches += other.kernel_launches;
+        self.downloads += other.downloads;
+        self.allreduces += other.allreduces;
+        self.fetches += other.fetches;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = AnalysisCounters::new();
+        c.add_table_passes(2);
+        c.add_kernel_launches(9);
+        c.add_downloads(9);
+        c.add_allreduces(1);
+        c.add_fetches(11);
+        let s = c.snapshot();
+        assert_eq!(
+            s,
+            CounterSnapshot {
+                table_passes: 2,
+                kernel_launches: 9,
+                downloads: 9,
+                allreduces: 1,
+                fetches: 11,
+            }
+        );
+        let mut total = CounterSnapshot::default();
+        total.accumulate(&s);
+        total.accumulate(&s);
+        assert_eq!(total.allreduces, 2);
+        assert_eq!(total.kernel_launches, 18);
+    }
+
+    #[test]
+    fn counters_are_shared_across_threads() {
+        let c = AnalysisCounters::new();
+        let c2 = c.clone();
+        let h = std::thread::spawn(move || {
+            for _ in 0..100 {
+                c2.add_allreduces(1);
+            }
+        });
+        h.join().unwrap();
+        assert_eq!(c.snapshot().allreduces, 100);
+    }
+}

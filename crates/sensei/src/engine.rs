@@ -16,6 +16,7 @@ use minimpi::Comm;
 
 use crate::adaptor::{AnalysisAdaptor, DataAdaptor, ExecContext};
 use crate::controls::BackendControls;
+use crate::counters::AnalysisCounters;
 use crate::error::{Error, Result};
 use crate::queue::{bounded, BoundedSender, SendError};
 use crate::requirements::DataRequirements;
@@ -41,6 +42,13 @@ pub trait ExecutionEngine: Send {
     /// True when `dispatch` consumes a deep-copied snapshot instead of
     /// accessing the simulation's live data.
     fn needs_snapshot(&self) -> bool;
+
+    /// The owned back-end's work counters, if it keeps any. Engines that
+    /// move the back-end onto a worker thread must capture the handle
+    /// before the move so the bridge can still read the totals.
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        None
+    }
 
     /// Run (or hand off) one iteration. `snapshot` is `Some` iff
     /// [`needs_snapshot`](Self::needs_snapshot); it may contain the union
@@ -88,6 +96,10 @@ impl ExecutionEngine for InlineEngine {
         false
     }
 
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        self.adaptor.counters()
+    }
+
     fn dispatch(
         &mut self,
         data: &dyn DataAdaptor,
@@ -116,6 +128,7 @@ pub struct ThreadedEngine {
     name: String,
     controls: BackendControls,
     requirements: DataRequirements,
+    counters: Option<Arc<AnalysisCounters>>,
     tx: Option<BoundedSender<Arc<SnapshotAdaptor>>>,
     handle: Option<std::thread::JoinHandle<Result<()>>>,
 }
@@ -128,6 +141,9 @@ impl ThreadedEngine {
         let name = adaptor.name().to_string();
         let controls = *adaptor.controls();
         let requirements = adaptor.required_arrays();
+        // Captured before the adaptor moves to the worker: the counters
+        // are shared atomics, so the bridge reads live totals.
+        let counters = adaptor.counters();
         let (tx, rx) = bounded::<Arc<SnapshotAdaptor>>(controls.queue_depth, controls.overflow);
         let thread_name = format!("sensei-insitu-{name}");
         let handle = std::thread::Builder::new()
@@ -140,7 +156,14 @@ impl ThreadedEngine {
                 adaptor.finalize(&ctx)
             })
             .expect("spawn in situ worker");
-        ThreadedEngine { name, controls, requirements, tx: Some(tx), handle: Some(handle) }
+        ThreadedEngine {
+            name,
+            controls,
+            requirements,
+            counters,
+            tx: Some(tx),
+            handle: Some(handle),
+        }
     }
 
     /// Join the worker and translate its exit into a `Result` (used both
@@ -171,6 +194,10 @@ impl ExecutionEngine for ThreadedEngine {
 
     fn needs_snapshot(&self) -> bool {
         true
+    }
+
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        self.counters.clone()
     }
 
     fn dispatch(

@@ -46,6 +46,7 @@ mod adaptor;
 mod bridge;
 mod configurable;
 mod controls;
+mod counters;
 mod device_select;
 mod engine;
 mod error;
@@ -62,6 +63,7 @@ pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, Mesh
 pub use bridge::Bridge;
 pub use configurable::{BackendConfig, ConfigurableAnalysis};
 pub use controls::{BackendControls, DeviceSpec};
+pub use counters::{AnalysisCounters, CounterSnapshot};
 pub use device_select::{select_device, DeviceSelector};
 pub use engine::{
     EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine, ThreadedEngine,
@@ -70,7 +72,8 @@ pub use error::{Error, Result};
 pub use execution::ExecutionMethod;
 pub use placement::Placement;
 pub use profiler::{
-    BackendBreakdown, BackendSample, IterationRecord, PoolSample, ProfileSummary, Profiler,
+    BackendBreakdown, BackendSample, CounterSample, IterationRecord, PoolSample, ProfileSummary,
+    Profiler,
 };
 pub use queue::OverflowPolicy;
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};

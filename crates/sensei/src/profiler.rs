@@ -4,6 +4,8 @@ use std::time::{Duration, Instant};
 
 use devsim::PoolStats;
 
+use crate::counters::CounterSnapshot;
+
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IterationRecord {
@@ -56,6 +58,17 @@ pub struct BackendBreakdown {
     pub mean_apparent: Duration,
 }
 
+/// One back-end's work-counter totals at the end of a run — the data
+/// behind fused-vs-per-op comparisons (passes, launches, downloads, and
+/// allreduce rounds actually performed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Back-end instance name.
+    pub backend: String,
+    /// The back-end's counter totals.
+    pub counters: CounterSnapshot,
+}
+
 /// One memory space's caching-pool counters at the end of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSample {
@@ -71,6 +84,7 @@ pub struct Profiler {
     records: Vec<IterationRecord>,
     backend_samples: Vec<BackendSample>,
     pool_samples: Vec<PoolSample>,
+    counter_samples: Vec<CounterSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -88,6 +102,7 @@ impl Profiler {
             records: Vec::new(),
             backend_samples: Vec::new(),
             pool_samples: Vec::new(),
+            counter_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -144,6 +159,40 @@ impl Profiler {
     /// Every recorded per-space pool sample.
     pub fn pool_samples(&self) -> &[PoolSample] {
         &self.pool_samples
+    }
+
+    /// Record one back-end's work-counter totals (the bridge does this at
+    /// finalize for every back-end that keeps counters).
+    pub fn record_counters(&mut self, backend: impl Into<String>, counters: CounterSnapshot) {
+        self.counter_samples.push(CounterSample { backend: backend.into(), counters });
+    }
+
+    /// Every recorded per-backend counter sample.
+    pub fn counter_samples(&self) -> &[CounterSample] {
+        &self.counter_samples
+    }
+
+    /// Counter totals summed over every recorded back-end.
+    pub fn counters_total(&self) -> CounterSnapshot {
+        let mut total = CounterSnapshot::default();
+        for s in &self.counter_samples {
+            total.accumulate(&s.counters);
+        }
+        total
+    }
+
+    /// Dump the per-backend counter samples as CSV.
+    pub fn counters_csv(&self) -> String {
+        let mut out =
+            String::from("backend,table_passes,kernel_launches,downloads,allreduces,fetches\n");
+        for s in &self.counter_samples {
+            let c = &s.counters;
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                s.backend, c.table_passes, c.kernel_launches, c.downloads, c.allreduces, c.fetches,
+            ));
+        }
+        out
     }
 
     /// Pool counters summed over every recorded space.
@@ -307,6 +356,40 @@ mod tests {
         assert!(lines[0].starts_with("space,hits,misses,hit_rate"));
         assert!(lines[1].starts_with("host,3,1,0.7500,1536"));
         assert!(lines[2].starts_with("device0,5,5,0.5000"));
+    }
+
+    #[test]
+    fn counter_samples_aggregate_and_dump() {
+        let mut p = Profiler::new();
+        p.record_counters(
+            "binning_suite",
+            CounterSnapshot {
+                table_passes: 9,
+                kernel_launches: 9,
+                downloads: 9,
+                allreduces: 1,
+                fetches: 12,
+            },
+        );
+        p.record_counters(
+            "data_binning",
+            CounterSnapshot {
+                table_passes: 90,
+                kernel_launches: 90,
+                downloads: 90,
+                allreduces: 10,
+                fetches: 27,
+            },
+        );
+        let total = p.counters_total();
+        assert_eq!(total.table_passes, 99);
+        assert_eq!(total.allreduces, 11);
+        let csv = p.counters_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "backend,table_passes,kernel_launches,downloads,allreduces,fetches");
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12");
+        assert_eq!(lines[2], "data_binning,90,90,90,10,27");
     }
 
     #[test]
