@@ -27,4 +27,16 @@ echo "== harness binning smoke (fused apparent cost <= per-op)"
 cargo run --release -p bench --bin harness -- binning \
     --bodies 512 --steps 4 --resolution 32 --out /tmp/ci_binning
 
+echo "== harness chaos smoke (fault injection + recovery)"
+# The harness hard-asserts the recovery claims itself (retry recovers
+# every injected fault with bit-identical results, skip_step drops
+# exactly one step and finishes); the grep re-checks the written report
+# so a silently-empty JSON also fails CI.
+cargo run --release -p bench --bin harness -- chaos \
+    --seed 7 --out /tmp/ci_chaos
+grep -q '"arm": "retry".*"faults_recovered": 4.*"faults_aborted": 0.*"bit_identical_to_baseline": true' \
+    /tmp/ci_chaos/BENCH_chaos.json
+grep -q '"arm": "skip_step".*"faults_skipped": 1.*"faults_aborted": 0' \
+    /tmp/ci_chaos/BENCH_chaos.json
+
 echo "ci.sh: all checks passed"

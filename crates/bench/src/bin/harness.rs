@@ -4,6 +4,7 @@
 //! harness [table1|figure2|figure3|binning|all] [--bodies N] [--steps N]
 //!         [--resolution N] [--instances N] [--devices N] [--scale F]
 //!         [--pool on|off] [--fused on|off] [--out DIR]
+//! harness chaos [--seed N] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
@@ -13,6 +14,13 @@
 //! collective/kernel counters), prints both arms' work counters, writes
 //! `BENCH_binning.json` under `--out`, and exits non-zero if the fused
 //! arm's apparent cost is not at or below the per-op arm's.
+//!
+//! `chaos` runs the bounded fused binning workload under a deterministic
+//! fault schedule (see `bench::run_chaos`), hard-asserts the recovery
+//! counters — retry must recover every injected fault with results
+//! bit-identical to the fault-free baseline, skip_step must drop exactly
+//! one step while the solver runs to completion — and writes
+//! `BENCH_chaos.json` under `--out`.
 //!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
@@ -29,11 +37,12 @@ use std::time::Instant;
 use bench::{ascii_bars, ascii_stack, bench_node_config, run_case, AggregatedCase, CaseConfig};
 use sensei::{ExecutionMethod, Placement};
 
-fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
+fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
     let mut mode = "all".to_string();
     let mut cfg = CaseConfig::small(Placement::Host, ExecutionMethod::Lockstep);
     let mut out = PathBuf::from("results");
     let mut xml = None;
+    let mut chaos_seed = 7u64;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -42,7 +51,9 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
             args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
         };
         match args[i].as_str() {
-            "table1" | "figure2" | "figure3" | "binning" | "all" => mode = args[i].clone(),
+            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "all" => {
+                mode = args[i].clone()
+            }
             "run-config" => {
                 mode = "run-config".into();
                 xml = Some(PathBuf::from(next(&mut i)));
@@ -67,12 +78,13 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>) {
                     other => panic!("--fused takes 'on' or 'off', got '{other}'"),
                 }
             }
+            "--seed" => chaos_seed = next(&mut i).parse().expect("--seed"),
             "--out" => out = PathBuf::from(next(&mut i)),
             other => panic!("unknown argument '{other}'"),
         }
         i += 1;
     }
-    (mode, cfg, out, xml)
+    (mode, cfg, out, xml, chaos_seed)
 }
 
 /// Run Newton++ against a SENSEI XML configuration: back-end selection,
@@ -419,17 +431,150 @@ fn run_binning(base: &CaseConfig, out_dir: &Path) {
     println!("  PASS: fused apparent cost <= per-op apparent cost");
 }
 
+/// Machine-readable chaos report: one JSON object per arm with the
+/// recovery counters. Hand-rolled like `write_pool_json`.
+fn write_chaos_json(path: &Path, report: &bench::ChaosReport) {
+    let arms = [&report.baseline, &report.retry, &report.skip];
+    let mut json = String::from("[\n");
+    for (i, a) in arms.iter().enumerate() {
+        let f = &a.faults;
+        json.push_str(&format!(
+            "  {{\"arm\": \"{}\", \"policy\": \"{}\", \"seed\": {}, \"ranks\": {}, \
+             \"steps_completed\": {}, \"dispatch_errors\": {}, \"results\": {}, \
+             \"faults_injected\": {}, \"faults_retried\": {}, \"faults_recovered\": {}, \
+             \"faults_skipped\": {}, \"faults_aborted\": {}, \
+             \"injector_errors\": {}, \"injector_delays\": {}, \
+             \"bit_identical_to_baseline\": {}}}{}\n",
+            a.arm,
+            a.policy,
+            report.config.seed,
+            a.ranks,
+            a.steps_completed,
+            a.dispatch_errors,
+            a.results.len(),
+            f.injected,
+            f.retried,
+            f.recovered,
+            f.skipped,
+            f.aborted,
+            a.injector_errors,
+            a.injector_delays,
+            bench::results_bit_identical(&report.baseline.results, &a.results),
+            if i + 1 < arms.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The chaos smoke: run the three arms, print the recovery counters, and
+/// hard-assert the claims CI relies on — retry recovers every injected
+/// fault bit-identically, skip_step degrades gracefully, and the solver
+/// finishes every arm.
+fn run_chaos_mode(seed: u64, out_dir: &Path) {
+    let cfg = bench::ChaosConfig { seed, ..Default::default() };
+    println!(
+        "\nChaos: {} instances on {}^2 bins, {} steps, fault seed {}",
+        cfg.instances, cfg.resolution, cfg.steps, cfg.seed
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_chaos(&cfg);
+    eprintln!("three arms done in {:.2?}", t0.elapsed());
+
+    println!(
+        "\n  {:<10} {:<10} {:>5} {:>6} {:>8} {:>9} {:>8} {:>10} {:>8} {:>8}",
+        "arm",
+        "policy",
+        "ranks",
+        "steps",
+        "results",
+        "injected",
+        "retried",
+        "recovered",
+        "skipped",
+        "aborted"
+    );
+    for a in [&report.baseline, &report.retry, &report.skip] {
+        let f = &a.faults;
+        println!(
+            "  {:<10} {:<10} {:>5} {:>6} {:>8} {:>9} {:>8} {:>10} {:>8} {:>8}",
+            a.arm,
+            a.policy,
+            a.ranks,
+            a.steps_completed,
+            a.results.len(),
+            f.injected,
+            f.retried,
+            f.recovered,
+            f.skipped,
+            f.aborted,
+        );
+    }
+
+    let steps = cfg.steps;
+    let instances = cfg.instances;
+
+    let b = &report.baseline;
+    assert_eq!(b.faults, sensei::FaultSnapshot::default(), "baseline must inject nothing");
+    assert_eq!(b.dispatch_errors, 0, "baseline must not error");
+    assert_eq!(b.results.len(), steps as usize * instances, "baseline delivers every step");
+
+    // Retry: every rank's dispatch fails twice and recovers on the third
+    // attempt; the solver loop never sees an error and the recovered
+    // results match the fault-free run bit for bit.
+    let r = &report.retry;
+    let ranks = r.ranks as u64;
+    assert_eq!(r.steps_completed, steps, "retry arm solver must finish");
+    assert_eq!(r.dispatch_errors, 0, "recovery must hide injected faults from the solver");
+    assert_eq!(r.faults.injected, ranks, "one injected dispatch per rank");
+    assert_eq!(r.faults.retried, 2 * ranks, "two retry attempts per rank");
+    assert_eq!(r.faults.recovered, ranks, "every rank's dispatch recovers");
+    assert_eq!(r.faults.aborted, 0, "nothing aborts under retry");
+    assert!(r.injector_delays >= 1, "the slow-rank collective delay must fire");
+    if !report.retry_bit_identical() {
+        eprintln!("FAIL: retry arm results differ from the fault-free baseline");
+        std::process::exit(1);
+    }
+
+    // Skip: the worker drops exactly the faulted step and keeps going;
+    // the simulation still runs to completion.
+    let s = &report.skip;
+    assert_eq!(s.steps_completed, steps, "skip_step keeps the simulation running");
+    assert_eq!(s.dispatch_errors, 0, "skip_step surfaces no dispatch errors");
+    assert_eq!(s.faults.skipped, 1, "exactly one step is skipped");
+    assert_eq!(s.faults.aborted, 0, "skip_step never aborts");
+    assert_eq!(
+        s.results.len(),
+        (steps as usize - 1) * instances,
+        "exactly one step's results are missing"
+    );
+
+    write_chaos_json(&out_dir.join("BENCH_chaos.json"), &report);
+    println!(
+        "  PASS: retry recovered {} faulted dispatches bit-identically; \
+         skip_step dropped 1 of {} steps and finished",
+        r.faults.recovered, steps
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
 fn main() {
-    let (mode, base, out_dir, xml) = parse_args();
+    let (mode, base, out_dir, xml, chaos_seed) = parse_args();
     if mode == "run-config" {
         run_config(&xml.expect("run-config needs an XML path"), &base);
         return;
     }
     if mode == "binning" {
         run_binning(&base, &out_dir);
+        return;
+    }
+    if mode == "chaos" {
+        run_chaos_mode(chaos_seed, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -9,10 +9,12 @@
 //! compared against the paper's Figures 2 and 3.
 
 mod case;
+mod chaos;
 mod chart;
 mod workload;
 
 pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
+pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosReport};
 pub use chart::{ascii_bars, ascii_stack};
 pub use workload::{
     paper_binning_specs, paper_binning_specs_bounded, COORDINATE_SYSTEMS, VARIABLE_OPS,

@@ -5,6 +5,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use crate::error::Result;
+use crate::fault::FaultInjector;
 use crate::memory::{CellBuffer, MemSpace};
 use crate::pool::{MemoryPool, PoolStats, SpaceHooks};
 use crate::sem::Semaphore;
@@ -36,6 +37,7 @@ pub struct Device {
     core: Arc<DeviceCore>,
     stats: Arc<NodeStats>,
     pool: Arc<MemoryPool>,
+    fault: Arc<FaultInjector>,
     link: LinkParams,
     time_scale: f64,
     default_stream: Mutex<Option<Arc<Stream>>>,
@@ -47,6 +49,7 @@ impl Device {
         params: DeviceParams,
         stats: Arc<NodeStats>,
         pool: Arc<MemoryPool>,
+        fault: Arc<FaultInjector>,
         link: LinkParams,
         time_scale: f64,
     ) -> Device {
@@ -94,7 +97,7 @@ impl Device {
             MemSpace::Device(id),
             SpaceHooks { charge, try_charge, release, on_raw_alloc },
         );
-        Device { core, stats, pool, link, time_scale, default_stream: Mutex::new(None) }
+        Device { core, stats, pool, fault, link, time_scale, default_stream: Mutex::new(None) }
     }
 
     /// This device's id on the node.
@@ -173,14 +176,26 @@ impl Device {
 
     /// Create a new stream issuing to this device.
     pub fn create_stream(&self) -> Arc<Stream> {
-        Stream::spawn(self.core.clone(), self.stats.clone(), self.link, self.time_scale)
+        Stream::spawn(
+            self.core.clone(),
+            self.stats.clone(),
+            self.fault.clone(),
+            self.link,
+            self.time_scale,
+        )
     }
 
     /// The device's lazily created default stream (the "null stream").
     pub fn default_stream(&self) -> Arc<Stream> {
         let mut slot = self.default_stream.lock();
         slot.get_or_insert_with(|| {
-            Stream::spawn(self.core.clone(), self.stats.clone(), self.link, self.time_scale)
+            Stream::spawn(
+                self.core.clone(),
+                self.stats.clone(),
+                self.fault.clone(),
+                self.link,
+                self.time_scale,
+            )
         })
         .clone()
     }

@@ -42,6 +42,9 @@ pub enum Error {
     CopyLengthMismatch { src: usize, dst: usize },
     /// The stream's worker thread is gone (node shut down).
     StreamClosed,
+    /// A configured fault fired at the named injection site (see
+    /// [`crate::fault`]).
+    FaultInjected { site: String },
 }
 
 impl fmt::Display for Error {
@@ -83,6 +86,9 @@ impl fmt::Display for Error {
                 write!(f, "copy length mismatch: src has {src} cells, dst has {dst}")
             }
             Error::StreamClosed => write!(f, "stream worker has shut down"),
+            Error::FaultInjected { site } => {
+                write!(f, "injected fault at site '{site}'")
+            }
         }
     }
 }

@@ -1,0 +1,458 @@
+//! Deterministic, seedable fault injection for the simulated node.
+//!
+//! A production in situ stack must keep the solver alive when the analysis
+//! side fails — a kernel launch that errors, a device that runs out of
+//! memory, a straggling rank in a collective. This module makes those
+//! failures *reproducible*: a [`FaultInjector`] owned by the
+//! [`crate::SimNode`] evaluates a seeded schedule of [`FaultRule`]s at
+//! named injection sites ([`site`]) and either raises
+//! [`Error::FaultInjected`] or sleeps for a configured delay.
+//!
+//! Injection is **armed-thread only**: a site never fires unless the
+//! calling thread is inside an [`arm`] scope. The SENSEI engines arm the
+//! thread around each analysis execution, so faults target the in situ
+//! path and never corrupt the solver itself. Sampling is deterministic
+//! per `(seed, site, rank, occurrence)` — independent of thread
+//! interleaving — so a chaos run with a fixed seed injects the same
+//! faults at the same points every time, on every rank.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::error::{Error, Result};
+
+/// Named injection sites wired into the simulated runtime.
+pub mod site {
+    /// Transient allocation failure inside the caching pool (any space).
+    pub const POOL_ALLOC: &str = "pool.alloc";
+    /// Forced out-of-memory inside the caching pool: the allocation fails
+    /// with [`crate::Error::OutOfMemory`] carrying the real pool ledger.
+    pub const POOL_OOM: &str = "pool.oom";
+    /// Kernel-launch failure, raised at stream submission.
+    pub const STREAM_LAUNCH: &str = "stream.launch";
+    /// Copy failure, raised at stream submission.
+    pub const STREAM_COPY: &str = "stream.copy";
+    /// Slow-rank delay at the top of every `minimpi` collective. Only
+    /// [`super::FaultKind::Delay`] rules are meaningful here: erroring out
+    /// of a collective would desynchronize the communicator.
+    pub const MPI_COLLECTIVE: &str = "mpi.collective";
+}
+
+/// What a rule does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with [`Error::FaultInjected`] (or a forced
+    /// [`Error::OutOfMemory`] at [`site::POOL_OOM`]).
+    Error,
+    /// Stall the calling thread (slow-rank / straggler modeling).
+    Delay(Duration),
+}
+
+/// One entry of a fault schedule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// The injection site this rule applies to (see [`site`]).
+    pub site: String,
+    /// Error or delay.
+    pub kind: FaultKind,
+    /// Probability of firing per armed occurrence, in `[0, 1]`.
+    pub probability: f64,
+    /// Skip the first `after` armed occurrences at the site.
+    pub after: u64,
+    /// Stop firing after this many injections (`u64::MAX` = unlimited).
+    pub max_injections: u64,
+    /// Restrict to one rank (`None` = every rank).
+    pub rank: Option<usize>,
+}
+
+impl FaultRule {
+    /// An always-firing error rule at `site`.
+    pub fn error(site: &str) -> FaultRule {
+        FaultRule {
+            site: site.to_string(),
+            kind: FaultKind::Error,
+            probability: 1.0,
+            after: 0,
+            max_injections: u64::MAX,
+            rank: None,
+        }
+    }
+
+    /// An always-firing delay rule at `site`.
+    pub fn delay(site: &str, delay: Duration) -> FaultRule {
+        FaultRule { kind: FaultKind::Delay(delay), ..FaultRule::error(site) }
+    }
+
+    /// Fire with probability `p` per armed occurrence.
+    pub fn with_probability(mut self, p: f64) -> FaultRule {
+        self.probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Skip the first `n` armed occurrences.
+    pub fn with_after(mut self, n: u64) -> FaultRule {
+        self.after = n;
+        self
+    }
+
+    /// Cap total injections from this rule.
+    pub fn with_max_injections(mut self, n: u64) -> FaultRule {
+        self.max_injections = n;
+        self
+    }
+
+    /// Restrict the rule to `rank`.
+    pub fn for_rank(mut self, rank: usize) -> FaultRule {
+        self.rank = Some(rank);
+        self
+    }
+}
+
+/// A complete, seedable fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultConfig {
+    /// Seed mixed into every sampling decision.
+    pub seed: u64,
+    /// The rules, evaluated in order; the first firing rule wins.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultConfig {
+    /// A schedule with `seed` and no rules yet.
+    pub fn seeded(seed: u64) -> FaultConfig {
+        FaultConfig { seed, rules: Vec::new() }
+    }
+
+    /// Append `rule`.
+    pub fn with_rule(mut self, rule: FaultRule) -> FaultConfig {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// Injector-side counters (what was *injected*; recovery outcomes are
+/// counted by the consuming layer).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultInjectorStats {
+    /// Armed site evaluations while enabled.
+    pub checks: u64,
+    /// Error-kind injections performed.
+    pub injected_errors: u64,
+    /// Delay-kind injections performed.
+    pub injected_delays: u64,
+}
+
+thread_local! {
+    /// The rank this thread is armed for, `None` when unarmed.
+    static ARMED_RANK: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// RAII guard returned by [`arm`]; disarming restores the previous state,
+/// so nested arming is safe.
+pub struct ArmGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for ArmGuard {
+    fn drop(&mut self) {
+        ARMED_RANK.with(|a| a.set(self.prev));
+    }
+}
+
+/// Arm the calling thread for fault injection as `rank` until the guard
+/// drops. The engines arm around each analysis execution; solver code
+/// stays unarmed and therefore fault-free.
+pub fn arm(rank: usize) -> ArmGuard {
+    ARMED_RANK.with(|a| ArmGuard { prev: a.replace(Some(rank)) })
+}
+
+/// The rank the calling thread is armed for, if any.
+pub fn armed_rank() -> Option<usize> {
+    ARMED_RANK.with(|a| a.get())
+}
+
+struct RuleState {
+    rule: FaultRule,
+    injected: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    seed: u64,
+    rules: Vec<RuleState>,
+    /// Armed occurrence counters per `(site, rank)`; keying by rank makes
+    /// each rank's decision sequence independent of thread interleaving.
+    occurrences: HashMap<(String, usize), u64>,
+}
+
+/// The seeded fault injector owned by a [`crate::SimNode`].
+///
+/// Disabled (the default) it is a single relaxed atomic load per site —
+/// cheap enough to leave compiled into every hot path.
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    checks: AtomicU64,
+    injected_errors: AtomicU64,
+    injected_delays: AtomicU64,
+    inner: Mutex<Inner>,
+}
+
+impl FaultInjector {
+    /// A disabled injector.
+    pub fn new() -> Arc<FaultInjector> {
+        Arc::new(FaultInjector {
+            enabled: AtomicBool::new(false),
+            checks: AtomicU64::new(0),
+            injected_errors: AtomicU64::new(0),
+            injected_delays: AtomicU64::new(0),
+            inner: Mutex::new(Inner::default()),
+        })
+    }
+
+    /// Install `config`, resetting occurrence and injection counters.
+    /// An empty rule list disables the injector.
+    pub fn configure(&self, config: FaultConfig) {
+        let mut inner = self.inner.lock();
+        inner.seed = config.seed;
+        inner.occurrences.clear();
+        let enabled = !config.rules.is_empty();
+        inner.rules =
+            config.rules.into_iter().map(|rule| RuleState { rule, injected: 0 }).collect();
+        self.enabled.store(enabled, Ordering::Release);
+    }
+
+    /// Remove every rule and disable injection.
+    pub fn clear(&self) {
+        self.configure(FaultConfig::default());
+    }
+
+    /// True when at least one rule is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Injector-side counters.
+    pub fn stats(&self) -> FaultInjectorStats {
+        FaultInjectorStats {
+            checks: self.checks.load(Ordering::Relaxed),
+            injected_errors: self.injected_errors.load(Ordering::Relaxed),
+            injected_delays: self.injected_delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Evaluate `site` for the calling thread: `None` when nothing fires
+    /// (disabled, unarmed, or the sample missed).
+    pub fn sample(&self, site: &str) -> Option<FaultKind> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let rank = armed_rank()?;
+        self.checks.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock();
+        let occurrence = {
+            let counter = inner.occurrences.entry((site.to_string(), rank)).or_insert(0);
+            let o = *counter;
+            *counter += 1;
+            o
+        };
+        let seed = inner.seed;
+        for state in inner.rules.iter_mut() {
+            let r = &state.rule;
+            if r.site != site
+                || r.rank.is_some_and(|want| want != rank)
+                || occurrence < r.after
+                || state.injected >= r.max_injections
+            {
+                continue;
+            }
+            if unit_sample(seed, site, rank, occurrence) < r.probability {
+                state.injected += 1;
+                let kind = r.kind;
+                drop(inner);
+                match kind {
+                    FaultKind::Error => {
+                        self.injected_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    FaultKind::Delay(_) => {
+                        self.injected_delays.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Evaluate `site`; an error-kind hit returns
+    /// [`Error::FaultInjected`], a delay-kind hit sleeps then succeeds.
+    pub fn check(&self, site: &str) -> Result<()> {
+        match self.sample(site) {
+            Some(FaultKind::Error) => Err(Error::FaultInjected { site: site.to_string() }),
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// True when an error-kind rule fires at `site` (a delay-kind hit
+    /// still sleeps). Used by the pool for the forced-OOM site, which
+    /// builds its own diagnostic error.
+    pub fn fires(&self, site: &str) -> bool {
+        match self.sample(site) {
+            Some(FaultKind::Error) => true,
+            Some(FaultKind::Delay(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+/// SplitMix64 finalizer: the bit mixer behind the deterministic sampler.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the site name (stable across runs, unlike `DefaultHasher`).
+fn site_hash(site: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in site.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A uniform sample in `[0, 1)` fully determined by the tuple.
+fn unit_sample(seed: u64, site: &str, rank: usize, occurrence: u64) -> f64 {
+    let mixed = splitmix64(
+        seed ^ site_hash(site)
+            ^ (rank as u64).wrapping_mul(0xA24B_AED4_963E_E407)
+            ^ occurrence.wrapping_mul(0x9FB2_1C65_1E98_DF25),
+    );
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn injector_with(rules: Vec<FaultRule>) -> Arc<FaultInjector> {
+        let inj = FaultInjector::new();
+        inj.configure(FaultConfig { seed: 42, rules });
+        inj
+    }
+
+    #[test]
+    fn disabled_injector_never_fires() {
+        let inj = FaultInjector::new();
+        let _g = arm(0);
+        assert!(!inj.is_enabled());
+        for _ in 0..100 {
+            assert_eq!(inj.check(site::POOL_ALLOC), Ok(()));
+        }
+        assert_eq!(inj.stats(), FaultInjectorStats::default());
+    }
+
+    #[test]
+    fn unarmed_threads_are_exempt() {
+        let inj = injector_with(vec![FaultRule::error(site::POOL_ALLOC)]);
+        assert_eq!(armed_rank(), None);
+        assert_eq!(inj.check(site::POOL_ALLOC), Ok(()), "unarmed thread must not fault");
+        let _g = arm(3);
+        assert!(inj.check(site::POOL_ALLOC).is_err(), "armed thread faults");
+    }
+
+    #[test]
+    fn arm_guard_restores_previous_state() {
+        assert_eq!(armed_rank(), None);
+        {
+            let _outer = arm(1);
+            assert_eq!(armed_rank(), Some(1));
+            {
+                let _inner = arm(2);
+                assert_eq!(armed_rank(), Some(2));
+            }
+            assert_eq!(armed_rank(), Some(1));
+        }
+        assert_eq!(armed_rank(), None);
+    }
+
+    #[test]
+    fn deterministic_across_reconfigures() {
+        let rules = || vec![FaultRule::error(site::STREAM_LAUNCH).with_probability(0.3)];
+        let run = |inj: &FaultInjector| -> Vec<bool> {
+            let _g = arm(0);
+            (0..64).map(|_| inj.check(site::STREAM_LAUNCH).is_err()).collect()
+        };
+        let inj = injector_with(rules());
+        let first = run(&inj);
+        inj.configure(FaultConfig { seed: 42, rules: rules() });
+        assert_eq!(run(&inj), first, "same seed, same schedule");
+        inj.configure(FaultConfig { seed: 43, rules: rules() });
+        assert_ne!(run(&inj), first, "different seed, different schedule");
+        assert!(first.iter().any(|&b| b), "p=0.3 over 64 draws fires at least once");
+        assert!(!first.iter().all(|&b| b), "p=0.3 over 64 draws misses at least once");
+    }
+
+    #[test]
+    fn rank_filter_and_occurrence_counters_are_per_rank() {
+        let inj = injector_with(vec![FaultRule::error(site::POOL_ALLOC).for_rank(1)]);
+        {
+            let _g = arm(0);
+            assert_eq!(inj.check(site::POOL_ALLOC), Ok(()));
+        }
+        {
+            let _g = arm(1);
+            assert!(inj.check(site::POOL_ALLOC).is_err());
+        }
+    }
+
+    #[test]
+    fn after_and_max_injections_bound_the_rule() {
+        let inj = injector_with(vec![FaultRule::error(site::STREAM_COPY)
+            .with_after(2)
+            .with_max_injections(3)]);
+        let _g = arm(0);
+        let hits: Vec<bool> = (0..10).map(|_| inj.check(site::STREAM_COPY).is_err()).collect();
+        assert_eq!(hits, vec![false, false, true, true, true, false, false, false, false, false]);
+        assert_eq!(inj.stats().injected_errors, 3);
+    }
+
+    #[test]
+    fn delay_rules_sleep_instead_of_erroring() {
+        let inj =
+            injector_with(vec![FaultRule::delay(site::MPI_COLLECTIVE, Duration::from_millis(20))]);
+        let _g = arm(0);
+        let t0 = std::time::Instant::now();
+        assert_eq!(inj.check(site::MPI_COLLECTIVE), Ok(()));
+        assert!(t0.elapsed() >= Duration::from_millis(15), "delay rule stalls the caller");
+        assert_eq!(inj.stats().injected_delays, 1);
+        assert_eq!(inj.stats().injected_errors, 0);
+    }
+
+    #[test]
+    fn clear_disables_and_resets() {
+        let inj = injector_with(vec![FaultRule::error(site::POOL_ALLOC)]);
+        {
+            let _g = arm(0);
+            assert!(inj.check(site::POOL_ALLOC).is_err());
+        }
+        inj.clear();
+        assert!(!inj.is_enabled());
+        let _g = arm(0);
+        assert_eq!(inj.check(site::POOL_ALLOC), Ok(()));
+    }
+}

@@ -53,6 +53,7 @@
 mod device;
 mod error;
 mod event;
+pub mod fault;
 mod host;
 mod memory;
 mod node;
@@ -65,6 +66,7 @@ pub mod timemodel;
 pub use device::Device;
 pub use error::{Error, Result};
 pub use event::Event;
+pub use fault::{FaultConfig, FaultInjector, FaultInjectorStats, FaultKind, FaultRule};
 pub use host::HostExec;
 pub use memory::{CellBuffer, F64View, HostF64View, HostU64View, KernelScope, MemSpace, U64View};
 pub use node::{NodeConfig, SimNode};

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::device::Device;
 use crate::error::{Error, Result};
+use crate::fault::FaultInjector;
 use crate::host::HostExec;
 use crate::memory::{CellBuffer, MemSpace};
 use crate::pool::{MemoryPool, PoolConfig, PoolStats};
@@ -58,6 +59,7 @@ pub struct SimNode {
     host: HostExec,
     stats: Arc<NodeStats>,
     pool: Arc<MemoryPool>,
+    fault: Arc<FaultInjector>,
     config: NodeConfig,
 }
 
@@ -70,7 +72,8 @@ impl SimNode {
     pub fn new(config: NodeConfig) -> Arc<SimNode> {
         assert!(config.num_devices > 0, "a heterogeneous node needs at least one device");
         let stats = Arc::new(NodeStats::default());
-        let pool = MemoryPool::new(config.pool);
+        let fault = FaultInjector::new();
+        let pool = MemoryPool::new(config.pool, fault.clone());
         let devices = (0..config.num_devices)
             .map(|id| {
                 Device::new(
@@ -78,13 +81,14 @@ impl SimNode {
                     config.device,
                     stats.clone(),
                     pool.clone(),
+                    fault.clone(),
                     config.link,
                     config.time_scale,
                 )
             })
             .collect();
         let host = HostExec::new(config.host, stats.clone(), config.time_scale);
-        Arc::new(SimNode { devices, host, stats, pool, config })
+        Arc::new(SimNode { devices, host, stats, pool, fault, config })
     }
 
     /// Number of devices on the node (the paper's `n_a`).
@@ -105,12 +109,27 @@ impl SimNode {
     }
 
     /// Allocate `len` `f64` elements in host memory (pooled, uncapped).
+    ///
+    /// # Panics
+    /// Host memory is uncapped, so this only fails — and then panics —
+    /// when fault injection fires on an armed thread. Paths that run
+    /// under injection (the in situ engines) use
+    /// [`SimNode::try_host_alloc_f64`] and propagate the error.
     pub fn host_alloc_f64(&self, len: usize) -> CellBuffer {
-        let (buf, _raw) = self
-            .pool
-            .alloc(MemSpace::Host, len, None)
-            .expect("host memory is uncapped; allocation cannot fail");
-        buf
+        self.try_host_alloc_f64(len).expect("host allocation failed (injected fault?)")
+    }
+
+    /// Fallible host allocation: host memory is uncapped, but the
+    /// [`fault::POOL_ALLOC`](crate::fault::site::POOL_ALLOC) injection
+    /// site can fail it on armed threads.
+    pub fn try_host_alloc_f64(&self, len: usize) -> Result<CellBuffer> {
+        let (buf, _raw) = self.pool.alloc(MemSpace::Host, len, None)?;
+        Ok(buf)
+    }
+
+    /// The node's fault injector (disabled unless configured).
+    pub fn fault(&self) -> &Arc<FaultInjector> {
+        &self.fault
     }
 
     /// The node-wide caching memory pool (stats, trim, reconfigure).

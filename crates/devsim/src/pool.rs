@@ -35,6 +35,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
+use crate::fault::{self, FaultInjector};
 use crate::memory::{BufferGuard, CellBuffer, MemSpace};
 use crate::stream::StreamTimeline;
 
@@ -191,6 +192,7 @@ struct SpaceState {
 pub struct MemoryPool {
     config: Mutex<PoolConfig>,
     spaces: Mutex<HashMap<MemSpace, SpaceState>>,
+    fault: Arc<FaultInjector>,
 }
 
 /// Unified memory is homed on (and charged to) a device; pool it with
@@ -203,8 +205,12 @@ fn normalize(space: MemSpace) -> MemSpace {
 }
 
 impl MemoryPool {
-    pub(crate) fn new(config: PoolConfig) -> Arc<MemoryPool> {
-        Arc::new(MemoryPool { config: Mutex::new(config), spaces: Mutex::new(HashMap::new()) })
+    pub(crate) fn new(config: PoolConfig, fault: Arc<FaultInjector>) -> Arc<MemoryPool> {
+        Arc::new(MemoryPool {
+            config: Mutex::new(config),
+            spaces: Mutex::new(HashMap::new()),
+            fault,
+        })
     }
 
     pub(crate) fn register_space(&self, space: MemSpace, hooks: SpaceHooks) {
@@ -228,9 +234,28 @@ impl MemoryPool {
         let class = cfg.class_cells(len);
         let bytes = class * 8;
 
+        // Transient allocation failure: fails before any ledger movement,
+        // so a retried request sees the pool exactly as it was.
+        self.fault.check(fault::site::POOL_ALLOC)?;
+
         let mut spaces = self.spaces.lock();
         let state = spaces.entry(key).or_default();
         let SpaceState { classes, stats, hooks } = state;
+
+        // Forced OOM: reports the space's *real* ledger so diagnostics
+        // stay truthful even for injected failures.
+        if self.fault.fires(fault::site::POOL_OOM) {
+            return Err(Error::OutOfMemory {
+                device: key.device().unwrap_or(usize::MAX),
+                requested: bytes,
+                free: 0,
+                live_bytes: stats.live_bytes,
+                cached_bytes: stats.cached_bytes,
+                high_water_bytes: stats.high_water_bytes,
+                pool_hits: stats.hits,
+                pool_misses: stats.misses,
+            });
+        }
 
         let mut served: Option<Block> = None;
         if cfg.enabled {
@@ -437,9 +462,11 @@ fn trim_one(classes: &mut HashMap<usize, ClassList>, stats: &mut PoolStats) -> b
         .iter_mut()
         .filter(|(_, list)| !list.ready.is_empty())
         .max_by_key(|(class, _)| **class);
-    match victim {
-        Some((_, list)) => {
-            let block = list.ready.pop().expect("non-empty ready list");
+    // Checked pop: the filter above guarantees a non-empty ready list,
+    // but an OOM-path reclaim must degrade to "nothing trimmable" rather
+    // than panic if that invariant is ever violated.
+    match victim.and_then(|(_, list)| list.ready.pop()) {
+        Some(block) => {
             stats.cached_bytes -= block.bytes;
             stats.trims += 1;
             stats.trimmed_bytes += block.bytes as u64;

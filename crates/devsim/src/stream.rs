@@ -19,6 +19,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::device::DeviceCore;
 use crate::error::{Error, Result};
 use crate::event::Event;
+use crate::fault::{self, FaultInjector};
 use crate::memory::{CellBuffer, KernelScope, MemSpace};
 use crate::stats::NodeStats;
 use crate::timemodel::{self, KernelCost, LinkParams};
@@ -92,12 +93,14 @@ pub struct Stream {
     tx: Sender<Cmd>,
     shared: Arc<Shared>,
     timeline: Arc<StreamTimeline>,
+    fault: Arc<FaultInjector>,
 }
 
 impl Stream {
     pub(crate) fn spawn(
         device: Arc<DeviceCore>,
         stats: Arc<NodeStats>,
+        fault: Arc<FaultInjector>,
         link: LinkParams,
         time_scale: f64,
     ) -> Arc<Stream> {
@@ -140,7 +143,7 @@ impl Stream {
                 }
             })
             .expect("spawn stream worker");
-        Arc::new(Stream { id, device_id, tx, shared, timeline })
+        Arc::new(Stream { id, device_id, tx, shared, timeline, fault })
     }
 
     /// The device this stream issues to.
@@ -183,6 +186,9 @@ impl Stream {
     where
         F: FnOnce(&KernelScope) -> KernelResult + Send + 'static,
     {
+        // Injected launch failures surface at submission, like a failed
+        // `cudaLaunchKernel` return code (not an async stream error).
+        self.fault.check(fault::site::STREAM_LAUNCH)?;
         let shared = self.shared.clone();
         let name = name.to_string();
         let stream_use = self.use_token();
@@ -228,6 +234,7 @@ impl Stream {
         if src.len() != dst.len() {
             return Err(Error::CopyLengthMismatch { src: src.len(), dst: dst.len() });
         }
+        self.fault.check(fault::site::STREAM_COPY)?;
         // Both endpoints are used by this stream: their pooled blocks must
         // not be handed to another stream until this copy has completed.
         let (sid, timeline) = self.use_token();

@@ -63,7 +63,7 @@ impl<T: Element> HamrBuffer<T> {
                 // cudaMallocAsync-class allocators allocate *on the
                 // stream*: the pool may immediately recycle a block whose
                 // last use was on that same stream.
-                let s = stream.resolve(&node, d);
+                let s = stream.resolve(&node, d)?;
                 (node.device(d)?.alloc_cells_on_stream(len, &s)?, Some(d))
             }
             (true, Some(d)) => (node.device(d)?.alloc_cells(len)?, Some(d)),
@@ -73,7 +73,7 @@ impl<T: Element> HamrBuffer<T> {
                     wanted_device: false,
                 })
             }
-            (false, None) => (node.host_alloc_f64(len), None),
+            (false, None) => (node.try_host_alloc_f64(len)?, None),
             (false, Some(_)) => {
                 return Err(Error::PlacementMismatch {
                     allocator: allocator.name(),
@@ -130,12 +130,12 @@ impl<T: Element> HamrBuffer<T> {
                 }
                 Some(d) => {
                     // Stage on the host, then an ordered h2d copy.
-                    let staging = node.host_alloc_f64(data.len());
+                    let staging = node.try_host_alloc_f64(data.len())?;
                     let v = staging.host_u64()?;
                     for (i, x) in data.iter().enumerate() {
                         v.set(i, x.to_cell());
                     }
-                    let stream = buf.stream.resolve(&node, d);
+                    let stream = buf.stream.resolve(&node, d)?;
                     stream.copy(&staging, &state.cells)?;
                     if buf.mode == StreamMode::Sync {
                         stream.synchronize()?;
@@ -256,7 +256,7 @@ impl<T: Element> HamrBuffer<T> {
                 Ok(())
             }
             Some(d) => {
-                let stream = self.stream.resolve(&self.node, d);
+                let stream = self.stream.resolve(&self.node, d)?;
                 let cells = state.cells.clone();
                 let cell = value.to_cell();
                 stream.launch(
@@ -293,8 +293,8 @@ impl<T: Element> HamrBuffer<T> {
         match state.device {
             None => Ok(AccessView::new(state.cells.clone(), true, false)),
             Some(d) => {
-                let temp = self.node.host_alloc_f64(self.len);
-                let stream = self.stream.resolve(&self.node, d);
+                let temp = self.node.try_host_alloc_f64(self.len)?;
+                let stream = self.stream.resolve(&self.node, d)?;
                 stream.copy(&state.cells, &temp)?;
                 if self.mode == StreamMode::Sync {
                     stream.synchronize()?;
@@ -324,7 +324,7 @@ impl<T: Element> HamrBuffer<T> {
                 // Inter-device move, ordered on the source device's stream.
                 // The temporary is allocated on that stream too, so the
                 // pool can recycle a same-stream block without waiting.
-                let stream = self.stream.resolve(&self.node, d);
+                let stream = self.stream.resolve(&self.node, d)?;
                 let temp = self.node.device(device)?.alloc_cells_on_stream(self.len, &stream)?;
                 stream.copy(&state.cells, &temp)?;
                 if self.mode == StreamMode::Sync {
@@ -334,7 +334,7 @@ impl<T: Element> HamrBuffer<T> {
             }
             None => {
                 // Host-to-device move, ordered on the target's stream.
-                let stream = self.stream.resolve(&self.node, device);
+                let stream = self.stream.resolve(&self.node, device)?;
                 let temp = self.node.device(device)?.alloc_cells_on_stream(self.len, &stream)?;
                 stream.copy(&state.cells, &temp)?;
                 if self.mode == StreamMode::Sync {
@@ -378,11 +378,14 @@ impl<T: Element> HamrBuffer<T> {
         if state.device == target {
             return Ok(());
         }
-        // Order the move on a stream touching whichever device is involved.
-        let stream_dev = state.device.or(target).expect("host->host handled above");
-        let stream = self.stream.resolve(&self.node, stream_dev);
+        // Order the move on a stream touching whichever device is involved;
+        // both sides on the host means there is nothing to move.
+        let Some(stream_dev) = state.device.or(target) else {
+            return Ok(());
+        };
+        let stream = self.stream.resolve(&self.node, stream_dev)?;
         let new_cells = match target {
-            None => self.node.host_alloc_f64(self.len),
+            None => self.node.try_host_alloc_f64(self.len)?,
             Some(d) => self.node.device(d)?.alloc_cells_on_stream(self.len, &stream)?,
         };
         stream.copy(&state.cells, &new_cells)?;

@@ -50,14 +50,13 @@ impl HamrStream {
     }
 
     /// Resolve to a concrete stream for work on `device` (falling back to
-    /// that device's default stream), or for host-side ordering use the
-    /// stream of `fallback_device`.
-    pub fn resolve(&self, node: &SimNode, device: usize) -> Arc<Stream> {
+    /// that device's default stream). An out-of-range `device` is reported
+    /// as a typed error, not a panic: callers sit on analysis paths that a
+    /// recovery policy may want to retry or skip.
+    pub fn resolve(&self, node: &SimNode, device: usize) -> crate::Result<Arc<Stream>> {
         match &self.inner {
-            Some(s) => s.clone(),
-            None => {
-                node.device(device).expect("resolve called with a valid device").default_stream()
-            }
+            Some(s) => Ok(s.clone()),
+            None => Ok(node.device(device)?.default_stream()),
         }
     }
 
@@ -97,12 +96,14 @@ mod tests {
         let node = SimNode::new(NodeConfig::fast_test(2));
         let s = HamrStream::default_stream();
         assert!(s.is_default());
-        let r0 = s.resolve(&node, 0);
-        let r1 = s.resolve(&node, 1);
+        let r0 = s.resolve(&node, 0).unwrap();
+        let r1 = s.resolve(&node, 1).unwrap();
         assert_eq!(r0.device(), 0);
         assert_eq!(r1.device(), 1);
         // Resolving twice yields the same cached default stream.
-        assert!(Arc::ptr_eq(&r0, &s.resolve(&node, 0)));
+        assert!(Arc::ptr_eq(&r0, &s.resolve(&node, 0).unwrap()));
+        // An out-of-range device is a typed error, not a panic.
+        assert!(s.resolve(&node, 99).is_err());
     }
 
     #[test]
@@ -112,7 +113,7 @@ mod tests {
         let s: HamrStream = raw.clone().into();
         assert!(!s.is_default());
         assert!(Arc::ptr_eq(s.get().unwrap(), &raw));
-        assert!(Arc::ptr_eq(&s.resolve(&node, 0), &raw));
+        assert!(Arc::ptr_eq(&s.resolve(&node, 0).unwrap(), &raw));
     }
 
     #[test]

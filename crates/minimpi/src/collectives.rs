@@ -55,10 +55,12 @@ impl Segment {
 }
 
 impl Comm {
-    /// Claim the tag slice for the next collective on this communicator.
+    /// Claim the tag slice for the next collective on this communicator,
+    /// running the collective hook (slow-rank injection, tracing) first.
     fn next_coll_tag(&self) -> u64 {
         let seq = self.coll_seq.get();
         self.coll_seq.set(seq + 1);
+        self.notify_collective(seq);
         COLLECTIVE_TAG_BASE + seq * SLOTS_PER_COLLECTIVE
     }
 

@@ -1,6 +1,6 @@
 //! The communicator handle and point-to-point operations.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -62,10 +62,20 @@ pub struct Comm {
     /// observable a fused analysis path optimises, so callers can assert on
     /// communication counts rather than trusting the implementation.
     pub(crate) allreduce_rounds: Cell<u64>,
+    /// Collective observer (fault injection, tracing); see
+    /// [`CollectiveHook`].
+    coll_hook: RefCell<Option<CollectiveHook>>,
 }
 
 /// Tag space reserved for collectives; user tags must stay below this.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+/// Observer invoked at the top of every collective on a communicator
+/// (barrier excepted), with the collective's sequence number. Installed
+/// with [`Comm::set_collective_hook`] and inherited by communicators
+/// derived through `dup`/`split`; used for fault injection (slow-rank
+/// delays) and tracing without coupling this crate to the simulator.
+pub type CollectiveHook = Arc<dyn Fn(u64) + Send + Sync>;
 
 impl Comm {
     pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, size: usize) -> Self {
@@ -78,6 +88,28 @@ impl Comm {
             barrier,
             coll_seq: Cell::new(0),
             allreduce_rounds: Cell::new(0),
+            coll_hook: RefCell::new(None),
+        }
+    }
+
+    /// Install a [`CollectiveHook`] invoked at the top of every collective
+    /// on this handle; communicators later derived via `dup`/`split`
+    /// inherit it.
+    pub fn set_collective_hook(&self, hook: CollectiveHook) {
+        *self.coll_hook.borrow_mut() = Some(hook);
+    }
+
+    /// Remove the collective hook from this handle.
+    pub fn clear_collective_hook(&self) {
+        *self.coll_hook.borrow_mut() = None;
+    }
+
+    /// Internal: run the hook for collective number `seq`. The hook is
+    /// cloned out before the call so it may itself inspect the comm.
+    pub(crate) fn notify_collective(&self, seq: u64) {
+        let hook = self.coll_hook.borrow().clone();
+        if let Some(hook) = hook {
+            hook(seq);
         }
     }
 
@@ -183,8 +215,11 @@ impl Comm {
     }
 
     /// Internal: construct a sibling communicator handle (used by split/dup).
+    /// The child inherits this handle's collective hook.
     pub(crate) fn make(&self, comm_id: u64, rank: usize, size: usize) -> Comm {
-        Comm::new(self.shared.clone(), comm_id, rank, size)
+        let child = Comm::new(self.shared.clone(), comm_id, rank, size);
+        *child.coll_hook.borrow_mut() = self.coll_hook.borrow().clone();
+        child
     }
 }
 
@@ -288,6 +323,38 @@ mod tests {
                 assert_eq!(c.try_recv::<u8>(1, 2).unwrap(), None);
             }
         });
+    }
+
+    #[test]
+    fn collective_hook_fires_and_is_inherited() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let ok = World::new(2).run(|c| {
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            c.set_collective_hook(Arc::new(move |_seq| {
+                n2.fetch_add(1, Ordering::SeqCst);
+            }));
+            c.bcast(0, 7u8).unwrap();
+            let after_bcast = n.load(Ordering::SeqCst);
+
+            // dup's internal collectives run on the parent; the child
+            // inherits the hook for its own collectives.
+            let d = c.dup();
+            let after_dup = n.load(Ordering::SeqCst);
+            d.bcast(0, 9u8).unwrap();
+            let after_child = n.load(Ordering::SeqCst);
+
+            c.clear_collective_hook();
+            c.bcast(0, 1u8).unwrap();
+            let after_clear = n.load(Ordering::SeqCst);
+
+            after_bcast == 1
+                && after_dup > after_bcast
+                && after_child == after_dup + 1
+                && after_clear == after_child
+        });
+        assert!(ok.iter().all(|&b| b), "hook counts wrong on some rank: {ok:?}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod ops;
 mod world;
 
 pub use collectives::{Segment, SegmentOp};
-pub use comm::Comm;
+pub use comm::{CollectiveHook, Comm};
 pub use error::{Error, Result};
 pub use world::World;
 

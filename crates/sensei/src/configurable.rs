@@ -5,15 +5,21 @@
 //! sequential `data_binning` instances configured from one file. The
 //! execution-model extensions surface in the XML as the `mode`
 //! (lockstep/asynchronous), `device` / `n_use` / `stride` / `offset`,
-//! and `queue_depth` / `overflow` (asynchronous backpressure) attributes,
-//! available on *every* analysis element.
+//! `queue_depth` / `overflow` (asynchronous backpressure), and
+//! `on_error` / `max_retries` / `retry_backoff_ms` (failure recovery)
+//! attributes, available on *every* analysis element.
 //!
 //! ```xml
 //! <sensei>
 //!   <memory_pool enabled="1" granularity="64" trim_threshold="1048576"/>
+//!   <faults seed="7">
+//!     <fault site="stream.launch" probability="0.05" max="3"/>
+//!     <fault site="mpi.collective" delay_ms="5" rank="0"/>
+//!   </faults>
 //!   <analysis type="data_binning" enabled="1"
 //!             mode="asynchronous" device="-2" n_use="1" offset="3"
-//!             queue_depth="4" overflow="block">
+//!             queue_depth="4" overflow="block"
+//!             on_error="retry" max_retries="3" retry_backoff_ms="10">
 //!     ...back-end specific content...
 //!   </analysis>
 //! </sensei>
@@ -23,8 +29,18 @@
 //! caching allocator: `enabled` is the master switch, `granularity` the
 //! size-class width in 64-bit cells, and `trim_threshold` a per-space
 //! ceiling (bytes) on cached free-list memory (absent = unbounded).
+//!
+//! The optional `<faults>` element installs a deterministic fault
+//! schedule on the node's [`devsim::FaultInjector`] at instantiate time:
+//! `seed` fixes the sampling sequence; each `<fault>` child names an
+//! injection site (`site`), fires with `probability` per armed occurrence
+//! (default 1), optionally stalls for `delay_ms` instead of erroring,
+//! skips the first `after` occurrences, stops after `max` injections, and
+//! can be pinned to one `rank`.
 
-use devsim::PoolConfig;
+use std::time::Duration;
+
+use devsim::{FaultConfig, FaultKind, FaultRule, PoolConfig};
 use xmlcfg::Element;
 
 use crate::adaptor::AnalysisAdaptor;
@@ -33,6 +49,7 @@ use crate::device_select::DeviceSelector;
 use crate::error::{Error, Result};
 use crate::execution::ExecutionMethod;
 use crate::queue::OverflowPolicy;
+use crate::recovery::RecoveryPolicy;
 use crate::registry::{AnalysisRegistry, CreateContext};
 
 /// One `<analysis>` entry of a configuration.
@@ -72,6 +89,16 @@ impl BackendConfig {
         set(&mut el, "frequency", c.frequency.to_string());
         set(&mut el, "queue_depth", c.queue_depth.to_string());
         set(&mut el, "overflow", c.overflow.name().to_string());
+        set(&mut el, "on_error", c.recovery.name().to_string());
+        match c.recovery {
+            RecoveryPolicy::Retry { max_retries, backoff_ms } => {
+                set(&mut el, "max_retries", max_retries.to_string());
+                set(&mut el, "retry_backoff_ms", backoff_ms.to_string());
+            }
+            _ => {
+                el.attributes.retain(|(k, _)| k != "max_retries" && k != "retry_backoff_ms");
+            }
+        }
         el
     }
 }
@@ -80,6 +107,7 @@ impl BackendConfig {
 pub struct ConfigurableAnalysis {
     configs: Vec<BackendConfig>,
     pool: Option<PoolConfig>,
+    faults: Option<FaultConfig>,
 }
 
 impl ConfigurableAnalysis {
@@ -109,6 +137,34 @@ impl ConfigurableAnalysis {
                     .parse_attr_or::<usize>("trim_threshold", defaults.trim_threshold)
                     .map_err(Error::Xml)?;
                 Some(PoolConfig { enabled, granularity, trim_threshold })
+            }
+        };
+        let faults = match root.find_child("faults") {
+            None => None,
+            Some(el) => {
+                let seed = el.parse_attr_or::<u64>("seed", 0).map_err(Error::Xml)?;
+                let mut schedule = FaultConfig::seeded(seed);
+                for f in el.find_all("fault") {
+                    let site = f.req_attr("site").map_err(Error::Xml)?;
+                    let mut rule = match f.parse_attr::<u64>("delay_ms").map_err(Error::Xml)? {
+                        Some(ms) => FaultRule::delay(site, Duration::from_millis(ms)),
+                        None => FaultRule::error(site),
+                    };
+                    let p = f.parse_attr_or::<f64>("probability", 1.0).map_err(Error::Xml)?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(Error::Config(format!("fault probability {p} outside [0, 1]")));
+                    }
+                    rule = rule.with_probability(p);
+                    rule = rule.with_after(f.parse_attr_or::<u64>("after", 0).map_err(Error::Xml)?);
+                    if let Some(max) = f.parse_attr::<u64>("max").map_err(Error::Xml)? {
+                        rule = rule.with_max_injections(max);
+                    }
+                    if let Some(rank) = f.parse_attr::<usize>("rank").map_err(Error::Xml)? {
+                        rule = rule.for_rank(rank);
+                    }
+                    schedule = schedule.with_rule(rule);
+                }
+                Some(schedule)
             }
         };
         let mut configs = Vec::new();
@@ -141,6 +197,26 @@ impl ConfigurableAnalysis {
                 Some(s) => OverflowPolicy::parse(s)
                     .ok_or_else(|| Error::Config(format!("bad overflow policy '{s}'")))?,
             };
+            let recovery = match el.attr("on_error") {
+                None => defaults.recovery,
+                Some(s) => {
+                    let base = RecoveryPolicy::parse(s)
+                        .ok_or_else(|| Error::Config(format!("bad on_error policy '{s}'")))?;
+                    match base {
+                        RecoveryPolicy::Retry { max_retries, backoff_ms } => {
+                            RecoveryPolicy::Retry {
+                                max_retries: el
+                                    .parse_attr_or::<u32>("max_retries", max_retries)
+                                    .map_err(Error::Xml)?,
+                                backoff_ms: el
+                                    .parse_attr_or::<u64>("retry_backoff_ms", backoff_ms)
+                                    .map_err(Error::Xml)?,
+                            }
+                        }
+                        other => other,
+                    }
+                }
+            };
             configs.push(BackendConfig {
                 type_name,
                 enabled,
@@ -151,11 +227,12 @@ impl ConfigurableAnalysis {
                     frequency,
                     queue_depth,
                     overflow,
+                    recovery,
                 },
                 element: el.clone(),
             });
         }
-        Ok(ConfigurableAnalysis { configs, pool })
+        Ok(ConfigurableAnalysis { configs, pool, faults })
     }
 
     /// All entries (including disabled ones).
@@ -166,6 +243,11 @@ impl ConfigurableAnalysis {
     /// The `<memory_pool>` settings, if the document carries the element.
     pub fn pool_config(&self) -> Option<PoolConfig> {
         self.pool
+    }
+
+    /// The `<faults>` schedule, if the document carries the element.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.faults.as_ref()
     }
 
     /// Serialize back to XML text. Parsing the result yields the same
@@ -179,6 +261,29 @@ impl ConfigurableAnalysis {
             el.attributes.push(("granularity".to_string(), p.granularity.to_string()));
             if p.trim_threshold != usize::MAX {
                 el.attributes.push(("trim_threshold".to_string(), p.trim_threshold.to_string()));
+            }
+            root.children.push(xmlcfg::Node::Element(el));
+        }
+        if let Some(f) = &self.faults {
+            let mut el = Element::new("faults");
+            el.attributes.push(("seed".to_string(), f.seed.to_string()));
+            for r in &f.rules {
+                let mut fe = Element::new("fault");
+                fe.attributes.push(("site".to_string(), r.site.clone()));
+                if let FaultKind::Delay(d) = r.kind {
+                    fe.attributes.push(("delay_ms".to_string(), d.as_millis().to_string()));
+                }
+                fe.attributes.push(("probability".to_string(), r.probability.to_string()));
+                if r.after != 0 {
+                    fe.attributes.push(("after".to_string(), r.after.to_string()));
+                }
+                if r.max_injections != u64::MAX {
+                    fe.attributes.push(("max".to_string(), r.max_injections.to_string()));
+                }
+                if let Some(rank) = r.rank {
+                    fe.attributes.push(("rank".to_string(), rank.to_string()));
+                }
+                el.children.push(xmlcfg::Node::Element(fe));
             }
             root.children.push(xmlcfg::Node::Element(el));
         }
@@ -197,6 +302,9 @@ impl ConfigurableAnalysis {
     ) -> Result<Vec<Box<dyn AnalysisAdaptor>>> {
         if let Some(p) = self.pool {
             ctx.node.pool().configure(p);
+        }
+        if let Some(f) = &self.faults {
+            ctx.node.fault().configure(f.clone());
         }
         let mut backends = Vec::new();
         for cfg in self.configs.iter().filter(|c| c.enabled) {
@@ -217,13 +325,18 @@ mod tests {
     const XML: &str = r#"
         <sensei>
           <memory_pool enabled="1" granularity="128" trim_threshold="65536"/>
+          <faults seed="7">
+            <fault site="stream.launch" probability="0.25" after="2" max="3"/>
+            <fault site="mpi.collective" delay_ms="5" rank="1"/>
+          </faults>
           <analysis type="binning" mode="asynchronous" device="-2"
                     n_use="1" offset="3" stride="1"
-                    queue_depth="8" overflow="drop_oldest">
+                    queue_depth="8" overflow="drop_oldest"
+                    on_error="retry" max_retries="5" retry_backoff_ms="2">
             <axes>x,y</axes>
           </analysis>
           <analysis type="binning" enabled="0"/>
-          <analysis type="writer" device="-1" overflow="error"/>
+          <analysis type="writer" device="-1" overflow="error" on_error="skip_step"/>
           <analysis type="probe" device="2"/>
         </sensei>"#;
 
@@ -242,13 +355,79 @@ mod tests {
         assert_eq!(b.controls.overflow, OverflowPolicy::DropOldest);
         assert_eq!(b.element.find_child("axes").unwrap().text(), "x,y");
 
+        assert_eq!(b.controls.recovery, RecoveryPolicy::Retry { max_retries: 5, backoff_ms: 2 });
+
         assert!(!cfg.configs()[1].enabled);
         assert_eq!(cfg.configs()[1].controls.queue_depth, 4, "queue_depth defaults to 4");
+        assert_eq!(cfg.configs()[1].controls.recovery, RecoveryPolicy::Abort, "default");
         assert_eq!(cfg.configs()[2].controls.device, DeviceSpec::Host);
         assert_eq!(cfg.configs()[2].controls.overflow, OverflowPolicy::Error);
+        assert_eq!(cfg.configs()[2].controls.recovery, RecoveryPolicy::SkipStep);
         assert_eq!(cfg.configs()[3].controls.device, DeviceSpec::Explicit(2));
         assert_eq!(cfg.configs()[3].controls.execution, ExecutionMethod::Lockstep);
         assert_eq!(cfg.configs()[3].controls.overflow, OverflowPolicy::Block);
+    }
+
+    #[test]
+    fn faults_element_parses_and_round_trips() {
+        use devsim::FaultKind;
+
+        let cfg = ConfigurableAnalysis::from_xml(XML).unwrap();
+        let f = cfg.fault_config().expect("faults element present");
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.rules.len(), 2);
+        let r0 = &f.rules[0];
+        assert_eq!(r0.site, "stream.launch");
+        assert_eq!(r0.kind, FaultKind::Error);
+        assert_eq!(r0.probability, 0.25);
+        assert_eq!((r0.after, r0.max_injections, r0.rank), (2, 3, None));
+        let r1 = &f.rules[1];
+        assert_eq!(r1.kind, FaultKind::Delay(Duration::from_millis(5)));
+        assert_eq!(r1.rank, Some(1));
+
+        let text = cfg.to_xml();
+        let again = ConfigurableAnalysis::from_xml(&text).unwrap();
+        let g = again.fault_config().unwrap();
+        assert_eq!(g.seed, f.seed);
+        assert_eq!(g.rules.len(), 2);
+        assert_eq!(g.rules[0].probability, 0.25);
+        assert_eq!(g.rules[1].kind, FaultKind::Delay(Duration::from_millis(5)));
+
+        // Absent element -> no schedule.
+        assert!(ConfigurableAnalysis::from_xml("<sensei/>").unwrap().fault_config().is_none());
+    }
+
+    #[test]
+    fn bad_fault_and_recovery_values_are_rejected() {
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><faults><fault site="x" probability="1.5"/></faults></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><faults><fault/></faults></sensei>"#),
+            Err(Error::Xml(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><analysis type="x" on_error="explode"/></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
+    }
+
+    #[test]
+    fn instantiate_installs_the_fault_schedule() {
+        let cfg = ConfigurableAnalysis::from_xml(
+            r#"<sensei><faults seed="3"><fault site="pool.alloc"/></faults></sensei>"#,
+        )
+        .unwrap();
+        let reg = AnalysisRegistry::new();
+        let ctx = CreateContext { node: SimNode::new(NodeConfig::fast_test(1)), rank: 0, size: 1 };
+        assert!(!ctx.node.fault().is_enabled());
+        cfg.instantiate(&reg, &ctx).unwrap();
+        assert!(ctx.node.fault().is_enabled(), "schedule applied to the node's injector");
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::device_select::{select_device, DeviceSelector};
 use crate::execution::ExecutionMethod;
 use crate::queue::OverflowPolicy;
+use crate::recovery::RecoveryPolicy;
 
 /// Where an analysis should run, before rank-specific resolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -61,6 +62,9 @@ pub struct BackendControls {
     pub queue_depth: usize,
     /// What snapshot submission does when `queue_depth` is reached.
     pub overflow: OverflowPolicy,
+    /// What the owning engine does when one dispatch of this back-end
+    /// fails (abort / skip the step / retry with backoff).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for BackendControls {
@@ -72,6 +76,7 @@ impl Default for BackendControls {
             frequency: 1,
             queue_depth: 4,
             overflow: OverflowPolicy::default(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -142,6 +147,7 @@ mod tests {
         assert!(c.due_at(0) && c.due_at(1) && c.due_at(7));
         assert_eq!(c.queue_depth, 4);
         assert_eq!(c.overflow, OverflowPolicy::Block);
+        assert_eq!(c.recovery, RecoveryPolicy::Abort, "failures surface by default");
     }
 
     #[test]

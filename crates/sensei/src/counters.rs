@@ -21,6 +21,86 @@ pub struct AnalysisCounters {
     downloads: AtomicU64,
     allreduces: AtomicU64,
     fetches: AtomicU64,
+    faults: FaultCounters,
+}
+
+/// Failure/recovery outcome counters, kept by the execution engines as
+/// they apply a back-end's [`crate::RecoveryPolicy`]. Shared atomics like
+/// the work counters: the worker thread increments, the bridge and the
+/// harness read.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    injected: AtomicU64,
+    retried: AtomicU64,
+    recovered: AtomicU64,
+    skipped: AtomicU64,
+    aborted: AtomicU64,
+}
+
+impl FaultCounters {
+    /// Count `n` dispatches whose first attempt failed (an injected or
+    /// organic fault was observed).
+    pub fn add_injected(&self, n: u64) {
+        self.injected.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` retry attempts made under `RecoveryPolicy::Retry`.
+    pub fn add_retried(&self, n: u64) {
+        self.retried.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` failed dispatches that eventually succeeded on retry.
+    pub fn add_recovered(&self, n: u64) {
+        self.recovered.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` in situ iterations dropped by `RecoveryPolicy::SkipStep`.
+    pub fn add_skipped(&self, n: u64) {
+        self.skipped.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` failures propagated to the caller (policy `Abort`, or a
+    /// retry budget exhausted).
+    pub fn add_aborted(&self, n: u64) {
+        self.aborted.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the current totals.
+    pub fn snapshot(&self) -> FaultSnapshot {
+        FaultSnapshot {
+            injected: self.injected.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            recovered: self.recovered.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            aborted: self.aborted.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`FaultCounters`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultSnapshot {
+    /// Dispatches whose first attempt failed.
+    pub injected: u64,
+    /// Retry attempts made.
+    pub retried: u64,
+    /// Failures that recovered on retry.
+    pub recovered: u64,
+    /// Iterations dropped by skip-step degradation.
+    pub skipped: u64,
+    /// Failures propagated to the caller.
+    pub aborted: u64,
+}
+
+impl FaultSnapshot {
+    /// Add `other`'s totals into `self`.
+    pub fn accumulate(&mut self, other: &FaultSnapshot) {
+        self.injected += other.injected;
+        self.retried += other.retried;
+        self.recovered += other.recovered;
+        self.skipped += other.skipped;
+        self.aborted += other.aborted;
+    }
 }
 
 impl AnalysisCounters {
@@ -57,6 +137,11 @@ impl AnalysisCounters {
         self.fetches.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// The failure/recovery counters the owning engine updates.
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
     /// A consistent-enough copy of the current totals (exact once the
     /// back-end has been finalized).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -66,6 +151,7 @@ impl AnalysisCounters {
             downloads: self.downloads.load(Ordering::Relaxed),
             allreduces: self.allreduces.load(Ordering::Relaxed),
             fetches: self.fetches.load(Ordering::Relaxed),
+            faults: self.faults.snapshot(),
         }
     }
 }
@@ -83,6 +169,8 @@ pub struct CounterSnapshot {
     pub allreduces: u64,
     /// Per-variable fetch/move requests.
     pub fetches: u64,
+    /// Failure/recovery outcomes.
+    pub faults: FaultSnapshot,
 }
 
 impl CounterSnapshot {
@@ -94,6 +182,7 @@ impl CounterSnapshot {
         self.downloads += other.downloads;
         self.allreduces += other.allreduces;
         self.fetches += other.fetches;
+        self.faults.accumulate(&other.faults);
     }
 }
 
@@ -118,6 +207,7 @@ mod tests {
                 downloads: 9,
                 allreduces: 1,
                 fetches: 11,
+                faults: FaultSnapshot::default(),
             }
         );
         let mut total = CounterSnapshot::default();

@@ -9,6 +9,7 @@
 //! harness) can be plugged in without touching the bridge.
 
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 
 use devsim::SimNode;
@@ -19,8 +20,42 @@ use crate::controls::BackendControls;
 use crate::counters::AnalysisCounters;
 use crate::error::{Error, Result};
 use crate::queue::{bounded, BoundedSender, SendError};
+use crate::recovery::run_with_recovery;
 use crate::requirements::DataRequirements;
 use crate::snapshot::SnapshotAdaptor;
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One guarded attempt at running `adaptor.execute`: fault injection is
+/// armed for this rank for the duration of the call, and a panicking
+/// back-end is caught and converted to [`Error::Analysis`] so the engine's
+/// recovery policy gets to decide what happens, instead of the panic
+/// unwinding into the solver loop (or killing a worker thread silently).
+fn guarded_execute(
+    adaptor: &mut Box<dyn AnalysisAdaptor>,
+    name: &str,
+    rank: usize,
+    data: &dyn DataAdaptor,
+    ctx: &ExecContext<'_>,
+) -> Result<bool> {
+    let _armed = devsim::fault::arm(rank);
+    match std::panic::catch_unwind(AssertUnwindSafe(|| adaptor.execute(data, ctx))) {
+        Ok(result) => result,
+        Err(payload) => Err(Error::Analysis(format!(
+            "analysis '{name}' panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
 
 /// How a back-end's work is scheduled relative to the simulation.
 ///
@@ -68,14 +103,24 @@ pub trait ExecutionEngine: Send {
 
 /// Lockstep execution: the back-end runs inline on the simulation's
 /// thread, with zero-copy access to the live data (§3's lockstep method).
+///
+/// Each dispatch runs under the back-end's
+/// [`RecoveryPolicy`](crate::RecoveryPolicy) with fault injection armed
+/// for this rank, so injected device faults and analysis panics are
+/// retried, skipped, or surfaced per policy — and counted in the
+/// back-end's [`FaultCounters`](crate::FaultCounters).
 pub struct InlineEngine {
     adaptor: Box<dyn AnalysisAdaptor>,
+    /// The adaptor's counters, or engine-owned ones for back-ends without
+    /// any — recovery outcomes need somewhere to be recorded either way.
+    counters: Arc<AnalysisCounters>,
 }
 
 impl InlineEngine {
     /// Wrap `adaptor` for inline execution.
     pub fn new(adaptor: Box<dyn AnalysisAdaptor>) -> Self {
-        InlineEngine { adaptor }
+        let counters = adaptor.counters().unwrap_or_default();
+        InlineEngine { adaptor, counters }
     }
 }
 
@@ -97,7 +142,7 @@ impl ExecutionEngine for InlineEngine {
     }
 
     fn counters(&self) -> Option<Arc<AnalysisCounters>> {
-        self.adaptor.counters()
+        Some(self.counters.clone())
     }
 
     fn dispatch(
@@ -108,7 +153,14 @@ impl ExecutionEngine for InlineEngine {
         node: &Arc<SimNode>,
     ) -> Result<bool> {
         let ctx = ExecContext::new(comm, node);
-        self.adaptor.execute(data, &ctx)
+        let policy = self.adaptor.controls().recovery;
+        let rank = comm.rank();
+        let name = self.adaptor.name().to_string();
+        let counters = self.counters.clone();
+        let adaptor = &mut self.adaptor;
+        run_with_recovery(policy, &counters, &name, || {
+            guarded_execute(adaptor, &name, rank, data, &ctx)
+        })
     }
 
     fn finalize(&mut self, comm: &Comm, node: &Arc<SimNode>) -> Result<()> {
@@ -128,41 +180,74 @@ pub struct ThreadedEngine {
     name: String,
     controls: BackendControls,
     requirements: DataRequirements,
-    counters: Option<Arc<AnalysisCounters>>,
+    counters: Arc<AnalysisCounters>,
     tx: Option<BoundedSender<Arc<SnapshotAdaptor>>>,
     handle: Option<std::thread::JoinHandle<Result<()>>>,
+    /// A failure already observed (spawn failure, or a dead worker found
+    /// by an earlier dispatch): every later dispatch returns it, and
+    /// `finalize` surfaces it instead of silently reporting success.
+    failed: Option<Error>,
 }
 
 impl ThreadedEngine {
     /// Move `adaptor` onto a new worker thread. `comm` must be a
     /// dedicated duplicate (the worker owns it; analysis traffic must not
     /// interfere with the simulation's communicator).
+    ///
+    /// A failure to spawn the OS thread does not panic: the engine comes
+    /// back constructed-but-failed, the first `dispatch` and `finalize`
+    /// return the spawn error as [`Error::Analysis`].
     pub fn spawn(mut adaptor: Box<dyn AnalysisAdaptor>, comm: Comm, node: Arc<SimNode>) -> Self {
         let name = adaptor.name().to_string();
         let controls = *adaptor.controls();
         let requirements = adaptor.required_arrays();
         // Captured before the adaptor moves to the worker: the counters
-        // are shared atomics, so the bridge reads live totals.
-        let counters = adaptor.counters();
+        // are shared atomics, so the bridge reads live totals. Back-ends
+        // without counters get engine-owned ones so recovery outcomes are
+        // still recorded.
+        let counters = adaptor.counters().unwrap_or_default();
         let (tx, rx) = bounded::<Arc<SnapshotAdaptor>>(controls.queue_depth, controls.overflow);
         let thread_name = format!("sensei-insitu-{name}");
-        let handle = std::thread::Builder::new()
-            .name(thread_name)
-            .spawn(move || -> Result<()> {
-                let ctx = ExecContext::new(&comm, &node);
-                while let Some(snapshot) = rx.recv() {
-                    adaptor.execute(snapshot.as_ref(), &ctx)?;
+        let worker_name = name.clone();
+        let worker_counters = counters.clone();
+        let policy = controls.recovery;
+        let spawned = std::thread::Builder::new().name(thread_name).spawn(move || -> Result<()> {
+            let ctx = ExecContext::new(&comm, &node);
+            let rank = comm.rank();
+            while let Some(snapshot) = rx.recv() {
+                // Per-snapshot recovery: a fault in one iteration is
+                // retried or skipped per policy without killing the
+                // worker; only an abort (or exhausted retries) ends it.
+                run_with_recovery(policy, &worker_counters, &worker_name, || {
+                    guarded_execute(&mut adaptor, &worker_name, rank, snapshot.as_ref(), &ctx)
+                })?;
+            }
+            adaptor.finalize(&ctx)
+        });
+        match spawned {
+            Ok(handle) => ThreadedEngine {
+                name,
+                controls,
+                requirements,
+                counters,
+                tx: Some(tx),
+                handle: Some(handle),
+                failed: None,
+            },
+            Err(io) => {
+                let failed = Error::Analysis(format!(
+                    "failed to spawn in situ worker thread for '{name}': {io}"
+                ));
+                ThreadedEngine {
+                    name,
+                    controls,
+                    requirements,
+                    counters,
+                    tx: None,
+                    handle: None,
+                    failed: Some(failed),
                 }
-                adaptor.finalize(&ctx)
-            })
-            .expect("spawn in situ worker");
-        ThreadedEngine {
-            name,
-            controls,
-            requirements,
-            counters,
-            tx: Some(tx),
-            handle: Some(handle),
+            }
         }
     }
 
@@ -197,7 +282,7 @@ impl ExecutionEngine for ThreadedEngine {
     }
 
     fn counters(&self) -> Option<Arc<AnalysisCounters>> {
-        self.counters.clone()
+        Some(self.counters.clone())
     }
 
     fn dispatch(
@@ -207,7 +292,17 @@ impl ExecutionEngine for ThreadedEngine {
         _comm: &Comm,
         _node: &Arc<SimNode>,
     ) -> Result<bool> {
-        let snapshot = snapshot.expect("bridge captures a snapshot for snapshot engines");
+        if let Some(err) = &self.failed {
+            return Err(err.clone());
+        }
+        // A missing snapshot is a bridge-side contract violation; report
+        // it as an analysis error instead of panicking the solver thread.
+        let Some(snapshot) = snapshot else {
+            return Err(Error::Analysis(format!(
+                "in situ engine '{}' expected a snapshot but the bridge supplied none",
+                self.name
+            )));
+        };
         let tx = self.tx.as_ref().ok_or(Error::Finalized)?;
         match tx.send(snapshot.clone()) {
             Ok(_) => Ok(true),
@@ -216,18 +311,23 @@ impl ExecutionEngine for ThreadedEngine {
                  'error')",
                 self.name, self.controls.queue_depth
             ))),
+            Err(SendError::Closed) => {
+                Err(Error::Analysis(format!("in situ queue for '{}' is closed", self.name)))
+            }
             Err(SendError::Disconnected) => {
                 // The worker exited early — an analysis error or a panic.
                 // Joining it (non-blocking: the thread is gone) recovers
-                // the reason.
+                // the reason; stash it so finalize reports the failure
+                // even if the caller swallows this dispatch error.
                 self.tx = None;
-                match self.join_worker() {
-                    Ok(()) => Err(Error::Analysis(format!(
-                        "in situ worker '{}' terminated early",
-                        self.name
-                    ))),
-                    Err(e) => Err(e),
-                }
+                let err = match self.join_worker() {
+                    Ok(()) => {
+                        Error::Analysis(format!("in situ worker '{}' terminated early", self.name))
+                    }
+                    Err(e) => e,
+                };
+                self.failed = Some(err.clone());
+                Err(err)
             }
         }
     }
@@ -237,7 +337,13 @@ impl ExecutionEngine for ThreadedEngine {
             // Closing the queue ends the worker loop after it drains.
             tx.close();
         }
-        self.join_worker()
+        let join_result = self.join_worker();
+        // A stashed failure (spawn error, dead worker seen at dispatch)
+        // takes precedence: it is the root cause.
+        match self.failed.take() {
+            Some(err) => Err(err),
+            None => join_result,
+        }
     }
 }
 

@@ -55,6 +55,7 @@ pub mod intransit;
 mod placement;
 mod profiler;
 pub mod queue;
+mod recovery;
 mod registry;
 mod requirements;
 mod snapshot;
@@ -63,7 +64,7 @@ pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, Mesh
 pub use bridge::Bridge;
 pub use configurable::{BackendConfig, ConfigurableAnalysis};
 pub use controls::{BackendControls, DeviceSpec};
-pub use counters::{AnalysisCounters, CounterSnapshot};
+pub use counters::{AnalysisCounters, CounterSnapshot, FaultCounters, FaultSnapshot};
 pub use device_select::{select_device, DeviceSelector};
 pub use engine::{
     EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine, ThreadedEngine,
@@ -76,6 +77,7 @@ pub use profiler::{
     Profiler,
 };
 pub use queue::OverflowPolicy;
+pub use recovery::{run_with_recovery, RecoveryPolicy};
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
 pub use requirements::{ArraySelection, DataRequirements, MeshRequirements, ANY_MESH};
 pub use snapshot::SnapshotAdaptor;

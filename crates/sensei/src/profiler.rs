@@ -5,6 +5,8 @@ use std::time::{Duration, Instant};
 use devsim::PoolStats;
 
 use crate::counters::CounterSnapshot;
+#[cfg(test)]
+use crate::counters::FaultSnapshot;
 
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,15 +183,29 @@ impl Profiler {
         total
     }
 
-    /// Dump the per-backend counter samples as CSV.
+    /// Dump the per-backend counter samples as CSV, work counters followed
+    /// by the failure/recovery outcome counters.
     pub fn counters_csv(&self) -> String {
-        let mut out =
-            String::from("backend,table_passes,kernel_launches,downloads,allreduces,fetches\n");
+        let mut out = String::from(
+            "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
+             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted\n",
+        );
         for s in &self.counter_samples {
             let c = &s.counters;
+            let f = &c.faults;
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
-                s.backend, c.table_passes, c.kernel_launches, c.downloads, c.allreduces, c.fetches,
+                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                s.backend,
+                c.table_passes,
+                c.kernel_launches,
+                c.downloads,
+                c.allreduces,
+                c.fetches,
+                f.injected,
+                f.retried,
+                f.recovered,
+                f.skipped,
+                f.aborted,
             ));
         }
         out
@@ -369,6 +385,7 @@ mod tests {
                 downloads: 9,
                 allreduces: 1,
                 fetches: 12,
+                faults: FaultSnapshot::default(),
             },
         );
         p.record_counters(
@@ -379,17 +396,30 @@ mod tests {
                 downloads: 90,
                 allreduces: 10,
                 fetches: 27,
+                faults: FaultSnapshot {
+                    injected: 2,
+                    retried: 3,
+                    recovered: 2,
+                    skipped: 0,
+                    aborted: 0,
+                },
             },
         );
         let total = p.counters_total();
         assert_eq!(total.table_passes, 99);
         assert_eq!(total.allreduces, 11);
+        assert_eq!(total.faults.injected, 2);
+        assert_eq!(total.faults.recovered, 2);
         let csv = p.counters_csv();
         let lines: Vec<_> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[0], "backend,table_passes,kernel_launches,downloads,allreduces,fetches");
-        assert_eq!(lines[1], "binning_suite,9,9,9,1,12");
-        assert_eq!(lines[2], "data_binning,90,90,90,10,27");
+        assert_eq!(
+            lines[0],
+            "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
+             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted"
+        );
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0");
+        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0");
     }
 
     #[test]

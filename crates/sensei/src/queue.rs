@@ -55,6 +55,9 @@ pub enum SendError {
     Full,
     /// The receiver is gone (the worker exited or panicked).
     Disconnected,
+    /// The queue was closed (bridge finalize) — including out from under
+    /// a producer blocked under [`OverflowPolicy::Block`].
+    Closed,
 }
 
 /// A successful send.
@@ -83,9 +86,17 @@ struct Shared<T> {
     not_empty: Condvar,
 }
 
-/// Producer half of the queue.
+/// Producer half of the queue. Cloneable: a second handle can observe or
+/// close the queue (e.g. a finalizer) while another producer is blocked
+/// in [`BoundedSender::send`].
 pub struct BoundedSender<T> {
     shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BoundedSender<T> {
+    fn clone(&self) -> Self {
+        BoundedSender { shared: self.shared.clone() }
+    }
 }
 
 /// Consumer half of the queue. Dropping it (including by a panicking
@@ -122,6 +133,13 @@ impl<T> BoundedSender<T> {
             if st.receiver_dead {
                 return Err(SendError::Disconnected);
             }
+            // A closed queue rejects new items — critically, a producer
+            // parked in the Block arm below must re-check this on wake-up,
+            // or a close() racing a blocked send leaves the producer
+            // waiting on a condvar nobody will ever signal again.
+            if st.closed {
+                return Err(SendError::Closed);
+            }
             if st.buf.len() < self.shared.capacity {
                 st.buf.push_back(item);
                 self.shared.not_empty.notify_one();
@@ -142,10 +160,14 @@ impl<T> BoundedSender<T> {
     }
 
     /// Close the queue: the consumer drains what is buffered, then
-    /// `recv` returns `None`.
+    /// `recv` returns `None`. Future sends — and sends currently blocked
+    /// on a full queue — fail with [`SendError::Closed`].
     pub fn close(&self) {
         self.shared.state.lock().closed = true;
         self.shared.not_empty.notify_all();
+        // Producers blocked in send() wait on not_full; without this they
+        // would sleep through the close and hang bridge finalize.
+        self.shared.not_full.notify_all();
     }
 
     /// Items currently buffered.
@@ -256,6 +278,37 @@ mod tests {
         tx.close();
         let (first, second, _rx) = consumer.join().unwrap();
         assert_eq!((first, second), (Some(1), Some(2)));
+    }
+
+    #[test]
+    fn close_wakes_and_fails_a_blocked_send() {
+        // Regression: a producer parked in send() under Block used to
+        // sleep through close() (only not_empty was notified and only
+        // receiver_dead was re-checked), hanging bridge finalize.
+        let (tx, rx) = bounded(1, OverflowPolicy::Block);
+        tx.send(1).unwrap();
+        let closer = tx.clone();
+        let closer_thread = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            closer.close();
+        });
+        let t0 = std::time::Instant::now();
+        assert_eq!(tx.send(2), Err(SendError::Closed), "blocked send must wake on close");
+        assert!(t0.elapsed() >= Duration::from_millis(20), "send was actually blocked");
+        closer_thread.join().unwrap();
+        // The consumer still drains what was buffered before the close.
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_after_close_is_rejected() {
+        let (tx, rx) = bounded(4, OverflowPolicy::Block);
+        tx.send(1).unwrap();
+        tx.close();
+        assert_eq!(tx.send(2), Err(SendError::Closed), "closed queue takes no new items");
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), None);
     }
 
     #[test]

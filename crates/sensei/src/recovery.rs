@@ -1,0 +1,213 @@
+//! Failure-recovery policies for analysis back-ends.
+//!
+//! An in situ fault — an injected device error, a transient allocation
+//! failure, a panicking analysis — should not be forced to take the whole
+//! simulation down. Each back-end carries a [`RecoveryPolicy`] in its
+//! [`crate::BackendControls`] choosing what the owning execution engine
+//! does when one dispatch of that back-end fails:
+//!
+//! * [`RecoveryPolicy::Abort`] (the default) propagates the error, which
+//!   preserves the pre-existing contract that analysis failures surface at
+//!   `Bridge::finalize`.
+//! * [`RecoveryPolicy::SkipStep`] drops the failed iteration and keeps the
+//!   solver running — graceful degradation: the analysis output has a hole,
+//!   the simulation does not.
+//! * [`RecoveryPolicy::Retry`] re-runs the failed dispatch with capped
+//!   exponential backoff, falling back to abort once the budget is spent.
+//!
+//! Every outcome is recorded in the back-end's
+//! [`FaultCounters`](crate::FaultCounters) so harnesses can assert recovery
+//! behaviour instead of trusting it.
+
+use std::time::Duration;
+
+use crate::counters::AnalysisCounters;
+use crate::error::{Error, Result};
+
+/// Longest single backoff sleep `Retry` will take; keeps exhausted retry
+/// budgets from stalling the worker for seconds.
+const MAX_BACKOFF_MS: u64 = 250;
+
+/// What an execution engine does when one dispatch of a back-end fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Propagate the failure (surfaces at `Bridge::finalize`).
+    #[default]
+    Abort,
+    /// Drop the failed iteration and keep going.
+    SkipStep,
+    /// Re-run the dispatch up to `max_retries` times with capped
+    /// exponential backoff starting at `backoff_ms`.
+    Retry {
+        /// Additional attempts after the first failure.
+        max_retries: u32,
+        /// Initial backoff; doubles per attempt, capped at 250 ms.
+        backoff_ms: u64,
+    },
+}
+
+impl RecoveryPolicy {
+    /// The XML spelling used in run-time configuration.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Abort => "abort",
+            RecoveryPolicy::SkipStep => "skip_step",
+            RecoveryPolicy::Retry { .. } => "retry",
+        }
+    }
+
+    /// Parse the XML spelling (a few aliases accepted). `retry` gets a
+    /// default budget of 3 attempts / 10 ms; configuration attributes can
+    /// override the fields afterwards.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "abort" | "fail" => Some(RecoveryPolicy::Abort),
+            "skip_step" | "skip-step" | "skip" => Some(RecoveryPolicy::SkipStep),
+            "retry" => Some(RecoveryPolicy::Retry { max_retries: 3, backoff_ms: 10 }),
+            _ => None,
+        }
+    }
+}
+
+/// Run one dispatch attempt under `policy`, updating the fault counters on
+/// `counters` with every outcome.
+///
+/// `attempt` returns the back-end's `proceed` flag on success. The first
+/// failure counts as `injected`; what happens next depends on the policy —
+/// see the module docs. `SkipStep` reports `Ok(true)`: a dropped analysis
+/// iteration is not a reason to stop the simulation.
+pub fn run_with_recovery<F>(
+    policy: RecoveryPolicy,
+    counters: &AnalysisCounters,
+    backend: &str,
+    mut attempt: F,
+) -> Result<bool>
+where
+    F: FnMut() -> Result<bool>,
+{
+    let first_err = match attempt() {
+        Ok(proceed) => return Ok(proceed),
+        Err(err) => err,
+    };
+    counters.faults().add_injected(1);
+    match policy {
+        RecoveryPolicy::Abort => {
+            counters.faults().add_aborted(1);
+            Err(first_err)
+        }
+        RecoveryPolicy::SkipStep => {
+            counters.faults().add_skipped(1);
+            Ok(true)
+        }
+        RecoveryPolicy::Retry { max_retries, backoff_ms } => {
+            let mut last_err = first_err;
+            for attempt_no in 0..max_retries {
+                let delay =
+                    backoff_ms.saturating_mul(1u64 << attempt_no.min(16)).min(MAX_BACKOFF_MS);
+                if delay > 0 {
+                    std::thread::sleep(Duration::from_millis(delay));
+                }
+                counters.faults().add_retried(1);
+                match attempt() {
+                    Ok(proceed) => {
+                        counters.faults().add_recovered(1);
+                        return Ok(proceed);
+                    }
+                    Err(err) => last_err = err,
+                }
+            }
+            counters.faults().add_aborted(1);
+            Err(Error::Analysis(format!(
+                "analysis '{backend}' failed after {max_retries} retries: {last_err}"
+            )))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failing_n_times(n: u32) -> impl FnMut() -> Result<bool> {
+        let mut left = n;
+        move || {
+            if left > 0 {
+                left -= 1;
+                Err(Error::Analysis("boom".into()))
+            } else {
+                Ok(true)
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_and_aliases_parse() {
+        for p in [
+            RecoveryPolicy::Abort,
+            RecoveryPolicy::SkipStep,
+            RecoveryPolicy::Retry { max_retries: 3, backoff_ms: 10 },
+        ] {
+            assert_eq!(RecoveryPolicy::parse(p.name()).map(|q| q.name()), Some(p.name()));
+        }
+        assert_eq!(RecoveryPolicy::parse("skip"), Some(RecoveryPolicy::SkipStep));
+        assert_eq!(RecoveryPolicy::parse("nope"), None);
+    }
+
+    #[test]
+    fn success_touches_no_fault_counters() {
+        let c = AnalysisCounters::new();
+        let out = run_with_recovery(RecoveryPolicy::Abort, &c, "b", || Ok(false));
+        assert!(!out.unwrap());
+        assert_eq!(c.snapshot().faults, crate::FaultSnapshot::default());
+    }
+
+    #[test]
+    fn abort_counts_and_propagates() {
+        let c = AnalysisCounters::new();
+        let out = run_with_recovery(RecoveryPolicy::Abort, &c, "b", failing_n_times(1));
+        assert!(out.is_err());
+        let f = c.snapshot().faults;
+        assert_eq!((f.injected, f.aborted, f.retried, f.recovered, f.skipped), (1, 1, 0, 0, 0));
+    }
+
+    #[test]
+    fn skip_step_swallows_the_failure_and_proceeds() {
+        let c = AnalysisCounters::new();
+        let out = run_with_recovery(RecoveryPolicy::SkipStep, &c, "b", failing_n_times(5));
+        assert!(out.unwrap(), "skipped step still lets the solver continue");
+        let f = c.snapshot().faults;
+        assert_eq!((f.injected, f.skipped, f.aborted), (1, 1, 0));
+    }
+
+    #[test]
+    fn retry_recovers_within_budget() {
+        let c = AnalysisCounters::new();
+        let policy = RecoveryPolicy::Retry { max_retries: 3, backoff_ms: 0 };
+        let out = run_with_recovery(policy, &c, "b", failing_n_times(2));
+        assert!(out.unwrap());
+        let f = c.snapshot().faults;
+        assert_eq!((f.injected, f.retried, f.recovered, f.aborted), (1, 2, 1, 0));
+    }
+
+    #[test]
+    fn retry_exhaustion_aborts_with_context() {
+        let c = AnalysisCounters::new();
+        let policy = RecoveryPolicy::Retry { max_retries: 2, backoff_ms: 0 };
+        let err = run_with_recovery(policy, &c, "binning", failing_n_times(10)).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("binning") && msg.contains("2 retries"), "got: {msg}");
+        let f = c.snapshot().faults;
+        assert_eq!((f.injected, f.retried, f.recovered, f.aborted), (1, 2, 0, 1));
+    }
+
+    #[test]
+    fn backoff_is_capped() {
+        // 1 << 20 ms would sleep ~17 minutes if uncapped; with the cap the
+        // whole retry run stays well under a second.
+        let c = AnalysisCounters::new();
+        let policy = RecoveryPolicy::Retry { max_retries: 2, backoff_ms: 200 };
+        let t0 = std::time::Instant::now();
+        let _ = run_with_recovery(policy, &c, "b", failing_n_times(10));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+    }
+}

@@ -217,7 +217,7 @@ impl<T: Element> HamrDataArray<T> {
         let dst = copy.data();
         match device {
             Some(d) => {
-                let stream = self.buffer.stream().resolve(&node, d);
+                let stream = self.buffer.stream().resolve(&node, d)?;
                 stream.copy(&src, &dst)?;
             }
             None => {
