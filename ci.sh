@@ -39,4 +39,19 @@ grep -q '"arm": "retry".*"faults_recovered": 4.*"faults_aborted": 0.*"bit_identi
 grep -q '"arm": "skip_step".*"faults_skipped": 1.*"faults_aborted": 0' \
     /tmp/ci_chaos/BENCH_chaos.json
 
+echo "== harness snapshot smoke (CoW delta snapshots)"
+# The harness hard-asserts the snapshot claims itself (delta/cow results
+# bit-identical to the deep reference, cow copies >=70% fewer bytes);
+# the greps re-check the written report: deep never shares or faults,
+# cow shares every capture, eager-copies nothing, and stays
+# bit-identical.
+cargo run --release -p bench --bin harness -- snapshot \
+    --bodies 512 --steps 6 --out /tmp/ci_snapshot
+grep -Eq '"mode": "deep".*"arrays_shared": 0, .*"cow_faults": 0' \
+    /tmp/ci_snapshot/BENCH_snapshot.json
+grep -Eq '"mode": "delta".*"bit_identical_to_deep": true' \
+    /tmp/ci_snapshot/BENCH_snapshot.json
+grep -Eq '"mode": "cow".*"arrays_shared": [1-9][0-9]*, "arrays_copied": 0, .*"bit_identical_to_deep": true' \
+    /tmp/ci_snapshot/BENCH_snapshot.json
+
 echo "ci.sh: all checks passed"

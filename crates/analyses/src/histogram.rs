@@ -181,7 +181,7 @@ impl AnalysisAdaptor for Histogram {
                             "histogram",
                             KernelCost { flops: 5.0 * n as f64, bytes: 16.0 * n as f64 },
                             move |scope| {
-                                let v = cells.f64_view(scope)?;
+                                let v = cells.f64_view_ro(scope)?;
                                 let h = o.u64_view(scope)?;
                                 let span = hi - lo;
                                 for i in 0..v.len() {
@@ -198,7 +198,7 @@ impl AnalysisAdaptor for Histogram {
                     let host = ctx.node.host_alloc_f64(self.bins);
                     stream.copy(&out, &host).map_err(Error::Device)?;
                     stream.synchronize().map_err(Error::Device)?;
-                    host.host_u64().map_err(Error::Device)?.to_vec()
+                    host.host_u64_ro().map_err(Error::Device)?.to_vec()
                 }
             };
             for (a, b) in local.iter_mut().zip(part) {

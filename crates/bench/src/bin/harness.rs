@@ -5,6 +5,8 @@
 //!         [--resolution N] [--instances N] [--devices N] [--scale F]
 //!         [--pool on|off] [--fused on|off] [--out DIR]
 //! harness chaos [--seed N] [--out DIR]
+//! harness snapshot [--bodies N] [--steps N] [--resolution N]
+//!         [--instances N] [--scale F] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
@@ -21,6 +23,13 @@
 //! bit-identical to the fault-free baseline, skip_step must drop exactly
 //! one step while the solver runs to completion — and writes
 //! `BENCH_chaos.json` under `--out`.
+//!
+//! `snapshot` runs the deep-vs-delta-vs-cow snapshot A/B on the bounded
+//! fused binning workload (see `bench::run_snapshot_bench`), prints the
+//! snapshot-layer counters per arm, hard-asserts that the delta and cow
+//! arms' binned results are bit-identical to the deep reference and that
+//! the cow arm copies at least 70% fewer bytes per step, and writes
+//! `BENCH_snapshot.json` under `--out`.
 //!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
@@ -51,7 +60,7 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
             args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
         };
         match args[i].as_str() {
-            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "all" => {
+            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "all" => {
                 mode = args[i].clone()
             }
             "run-config" => {
@@ -141,6 +150,12 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
             Newton::new(node.clone(), &comm, comm.rank() % node.num_devices(), newton_cfg)
                 .expect("init simulation");
         let mut bridge = Bridge::new(node);
+        if let Some(mode) = config.snapshot_mode() {
+            if comm.rank() == 0 {
+                println!("snapshot mode: {}", mode.name());
+            }
+            bridge.set_snapshot_mode(mode);
+        }
         for b in backends {
             bridge.add_analysis(b, &comm).expect("attach");
         }
@@ -560,6 +575,127 @@ fn run_chaos_mode(seed: u64, out_dir: &Path) {
     );
 }
 
+/// Machine-readable snapshot report: one JSON object per arm with the
+/// snapshot-layer counters. Hand-rolled like `write_pool_json`.
+fn write_snapshot_json(path: &Path, report: &bench::SnapshotReport) {
+    let steps = report.config.steps;
+    let arms = report.arms();
+    let mut json = String::from("[\n");
+    for (i, a) in arms.iter().enumerate() {
+        let c = &a.counters;
+        json.push_str(&format!(
+            "  {{\"mode\": \"{}\", \"steps\": {}, \"instances\": {}, \"results\": {}, \
+             \"arrays_shared\": {}, \"arrays_copied\": {}, \"bytes_copied\": {}, \
+             \"bytes_per_step\": {:.1}, \"cow_faults\": {}, \"copy_overlap_ns\": {}, \
+             \"mean_insitu_s\": {:.9}, \"total_s\": {:.6}, \
+             \"bit_identical_to_deep\": {}}}{}\n",
+            a.mode.name(),
+            steps,
+            report.config.instances,
+            a.results.len(),
+            c.arrays_shared,
+            c.arrays_copied,
+            c.bytes_copied,
+            a.bytes_per_step(steps),
+            c.cow_faults,
+            c.copy_overlap_ns,
+            a.mean_insitu.as_secs_f64(),
+            a.total.as_secs_f64(),
+            report.bit_identical_to_deep(a),
+            if i + 1 < arms.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The snapshot A/B smoke: run the deep, delta, and cow arms, print the
+/// snapshot-layer counters, and hard-assert the claims CI relies on —
+/// every arm's binned results are bit-identical to the deep reference,
+/// and the cow arm copies at least 70% fewer bytes per step.
+fn run_snapshot_mode(base: &CaseConfig, out_dir: &Path) {
+    let cfg = bench::SnapshotBenchConfig {
+        bodies: base.bodies,
+        steps: base.steps,
+        resolution: base.resolution.min(32),
+        instances: base.instances,
+        time_scale: base.time_scale,
+    };
+    println!(
+        "\nSnapshot capture A/B: deep vs delta vs cow, {} bodies, {} steps, \
+         {} instances on {}^2 bins, async host-placed suite",
+        cfg.bodies, cfg.steps, cfg.instances, cfg.resolution
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_snapshot_bench(&cfg);
+    eprintln!("three arms done in {:.2?}", t0.elapsed());
+
+    println!(
+        "\n  {:<7} {:>8} {:>8} {:>12} {:>12} {:>7} {:>12} {:>12}",
+        "mode", "shared", "copied", "bytes", "bytes/step", "faults", "overlap_ms", "insitu/iter"
+    );
+    for a in report.arms() {
+        let c = &a.counters;
+        println!(
+            "  {:<7} {:>8} {:>8} {:>12} {:>12.0} {:>7} {:>12.3} {:>9.3} ms",
+            a.mode.name(),
+            c.arrays_shared,
+            c.arrays_copied,
+            c.bytes_copied,
+            a.bytes_per_step(cfg.steps),
+            c.cow_faults,
+            c.copy_overlap_ns as f64 / 1e6,
+            a.mean_insitu.as_secs_f64() * 1e3,
+        );
+    }
+
+    // The deep reference behaves like the pre-CoW bridge.
+    let d = &report.deep;
+    assert_eq!(d.results.len(), cfg.steps as usize * cfg.instances, "deep delivers every step");
+    assert_eq!(d.counters.arrays_shared, 0, "deep mode never shares");
+    assert_eq!(d.counters.cow_faults, 0, "deep mode never takes a CoW fault");
+    assert!(d.counters.bytes_copied > 0, "deep mode copies every capture");
+
+    // Correctness before savings: sharing must never leak post-capture
+    // writes into a capture.
+    for a in [&report.delta, &report.cow] {
+        assert_eq!(a.results.len(), d.results.len(), "{} delivers every step", a.mode.name());
+        if !report.bit_identical_to_deep(a) {
+            eprintln!("FAIL: {} arm results differ from the deep reference", a.mode.name());
+            std::process::exit(1);
+        }
+    }
+
+    // Delta savings are bounded (Newton++ rewrites all but mass each
+    // step) but must exist; cow sharing must dominate it.
+    assert!(report.delta.counters.arrays_shared > 0, "delta shares unmodified arrays");
+    assert!(report.delta.counters.bytes_copied < d.counters.bytes_copied);
+    assert!(report.cow.counters.arrays_shared > report.delta.counters.arrays_shared);
+
+    write_snapshot_json(&out_dir.join("BENCH_snapshot.json"), &report);
+
+    // The smoke assertion CI relies on: the cow arm's steady-state copy
+    // traffic must be at most 30% of the deep arm's.
+    let reduction = report.cow_bytes_reduction();
+    println!(
+        "  copy traffic: deep {:.0} B/step vs cow {:.0} B/step ({:.1}% reduction)",
+        d.bytes_per_step(cfg.steps),
+        report.cow.bytes_per_step(cfg.steps),
+        reduction * 100.0,
+    );
+    if reduction < 0.70 {
+        eprintln!("FAIL: cow arm must copy at least 70% fewer bytes than the deep reference");
+        std::process::exit(1);
+    }
+    println!(
+        "  PASS: all arms bit-identical; cow copied {:.1}% fewer bytes than deep",
+        reduction * 100.0
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
@@ -575,6 +711,10 @@ fn main() {
     }
     if mode == "chaos" {
         run_chaos_mode(chaos_seed, &out_dir);
+        return;
+    }
+    if mode == "snapshot" {
+        run_snapshot_mode(&base, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

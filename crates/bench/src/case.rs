@@ -7,7 +7,7 @@ use std::time::Duration;
 use devsim::{DeviceParams, HostParams, LinkParams, NodeConfig, SimNode};
 use minimpi::World;
 use newtonpp::{forces::Gravity, ic::UniformIc, IcKind, Newton, NewtonAdaptor, NewtonConfig};
-use sensei::{BackendControls, Bridge, ExecutionMethod, Placement};
+use sensei::{BackendControls, Bridge, ExecutionMethod, Placement, SnapshotMode};
 
 use binning::BinningAnalysis;
 
@@ -47,6 +47,10 @@ pub struct CaseConfig {
     /// bounds fixed no pre-binning bounds collective is needed, so the
     /// fused path's packed grid reduction is the step's only allreduce.
     pub bounded: bool,
+    /// How the bridge's snapshot layer captures solver state each step:
+    /// unconditional deep copies, generation-gated delta copies, or
+    /// copy-on-write shares (see `sensei::SnapshotMode`).
+    pub snapshot: SnapshotMode,
 }
 
 impl CaseConfig {
@@ -65,6 +69,7 @@ impl CaseConfig {
             pool: true,
             fused: false,
             bounded: false,
+            snapshot: SnapshotMode::Deep,
         }
     }
 
@@ -299,6 +304,7 @@ fn run_rank(node: Arc<SimNode>, comm: &minimpi::Comm, cfg: &CaseConfig) -> CaseO
     .collect();
 
     let mut bridge = Bridge::new(node.clone());
+    bridge.set_snapshot_mode(cfg.snapshot);
     if cfg.fused {
         // The fused arm: one suite shares each step's fetch across every
         // coordinate system, batches each system's ops into one kernel,
@@ -352,6 +358,7 @@ mod tests {
             pool: true,
             fused: false,
             bounded: false,
+            snapshot: SnapshotMode::Deep,
         }
     }
 

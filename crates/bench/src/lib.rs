@@ -11,11 +11,13 @@
 mod case;
 mod chaos;
 mod chart;
+mod snapshot;
 mod workload;
 
 pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
 pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosReport};
 pub use chart::{ascii_bars, ascii_stack};
+pub use snapshot::{run_snapshot_bench, SnapshotArm, SnapshotBenchConfig, SnapshotReport};
 pub use workload::{
     paper_binning_specs, paper_binning_specs_bounded, COORDINATE_SYSTEMS, VARIABLE_OPS,
 };

@@ -416,7 +416,7 @@ impl BinningAnalysis {
             for (packed, buffers) in staged_packed {
                 if packed {
                     let host = &buffers[0];
-                    let v = host.host_f64().map_err(Error::Device)?;
+                    let v = host.host_f64_ro().map_err(Error::Device)?;
                     for (seg, (vo, acc)) in results.iter_mut().enumerate() {
                         let part: Vec<f64> = (0..grid.num_bins())
                             .map(|b| v.get(seg * grid.num_bins() + b))
@@ -425,7 +425,7 @@ impl BinningAnalysis {
                     }
                 } else {
                     for ((vo, acc), host) in results.iter_mut().zip(buffers) {
-                        let part = host.host_f64().map_err(Error::Device)?.to_vec();
+                        let part = host.host_f64_ro().map_err(Error::Device)?.to_vec();
                         let merged = reduce::merge_grids(vo.op, std::mem::take(acc), part);
                         *acc = merged;
                     }
@@ -525,6 +525,21 @@ pub(crate) fn fetch_table(
     }
 }
 
+/// Release the snapshot's CoW shares once every fetched column has been
+/// materialized away from the snapshot's own allocations: host fetches
+/// always copy into plain vectors, and device fetches alias the
+/// snapshot only when access was granted in place. Releasing early lets
+/// the producer's subsequent writes skip the fault copy.
+pub(crate) fn release_if_materialized(data: &dyn DataAdaptor, fetched: &[Fetched]) {
+    let detached = fetched.iter().all(|f| match f {
+        Fetched::Host(_) => true,
+        Fetched::Device { views, .. } => views.values().all(|v| !v.is_direct()),
+    });
+    if detached {
+        data.release_shared();
+    }
+}
+
 impl AnalysisAdaptor for BinningAnalysis {
     fn name(&self) -> &str {
         "data_binning"
@@ -557,6 +572,7 @@ impl AnalysisAdaptor for BinningAnalysis {
         // Fetch every required column once per table, then bin locally.
         let fetched: Vec<Fetched> =
             tables.iter().map(|t| self.fetch(t, device, ctx)).collect::<Result<_>>()?;
+        release_if_materialized(data, &fetched);
         let (bx, by) = self.compute_bounds(&fetched, device, ctx)?;
         let grid = GridParams::new(
             self.spec.resolution.0,

@@ -89,9 +89,9 @@ pub fn bin_device(
     let out = bins.clone();
     stream
         .launch("bin_reduce", bin_cost(n), move |scope| {
-            let xv = xs.f64_view(scope)?;
-            let yv = ys.f64_view(scope)?;
-            let vv = values.as_ref().map(|v| v.f64_view(scope)).transpose()?;
+            let xv = xs.f64_view_ro(scope)?;
+            let yv = ys.f64_view_ro(scope)?;
+            let vv = values.as_ref().map(|v| v.f64_view_ro(scope)).transpose()?;
             let bv = out.f64_view(scope)?;
             for i in 0..xv.len() {
                 let Some(b) = grid.bin_index(xv.get(i), yv.get(i)) else { continue };
@@ -162,11 +162,11 @@ pub fn bin_all_device(
     let cost = fused_bin_cost(n, ops.len()) + KernelCost::bytes((ops.len() * num_bins * 8) as f64);
     stream
         .launch("bin_fused", cost, move |scope| {
-            let xv = xs.f64_view(scope)?;
-            let yv = ys.f64_view(scope)?;
+            let xv = xs.f64_view_ro(scope)?;
+            let yv = ys.f64_view_ro(scope)?;
             let views = ops_owned
                 .iter()
-                .map(|(_, v)| v.as_ref().map(|v| v.f64_view(scope)).transpose())
+                .map(|(_, v)| v.as_ref().map(|v| v.f64_view_ro(scope)).transpose())
                 .collect::<std::result::Result<Vec<_>, _>>()?;
             let bv = out.f64_view(scope)?;
             for (seg, (op, _)) in ops_owned.iter().enumerate() {
@@ -217,7 +217,7 @@ pub fn minmax_device(
             "minmax",
             KernelCost { flops: 2.0 * col.len() as f64, bytes: 8.0 * col.len() as f64 },
             move |scope| {
-                let c = col2.f64_view(scope)?;
+                let c = col2.f64_view_ro(scope)?;
                 let s = s2.f64_view(scope)?;
                 s.set(0, f64::INFINITY);
                 s.set(1, f64::NEG_INFINITY);
@@ -235,7 +235,7 @@ pub fn minmax_device(
     let host = node.host_alloc_f64(2);
     stream.copy(&scratch, &host).map_err(Error::Device)?;
     stream.synchronize().map_err(Error::Device)?;
-    let v = host.host_f64().map_err(Error::Device)?;
+    let v = host.host_f64_ro().map_err(Error::Device)?;
     Ok((v.get(0), v.get(1)))
 }
 
@@ -264,7 +264,7 @@ pub fn minmax_multi_device(
             move |scope| {
                 let s = s2.f64_view(scope)?;
                 for (k, col) in cols_owned.iter().enumerate() {
-                    let c = col.f64_view(scope)?;
+                    let c = col.f64_view_ro(scope)?;
                     s.set(2 * k, f64::INFINITY);
                     s.set(2 * k + 1, f64::NEG_INFINITY);
                     for i in 0..c.len() {
@@ -282,7 +282,7 @@ pub fn minmax_multi_device(
     let host = node.host_alloc_f64(2 * cols.len());
     stream.copy(&scratch, &host).map_err(Error::Device)?;
     stream.synchronize().map_err(Error::Device)?;
-    let v = host.host_f64().map_err(Error::Device)?;
+    let v = host.host_f64_ro().map_err(Error::Device)?;
     Ok((0..cols.len()).map(|k| (v.get(2 * k), v.get(2 * k + 1))).collect())
 }
 
@@ -309,7 +309,7 @@ mod tests {
         let host = node.host_alloc_f64(buf.len());
         stream.copy(buf, &host).unwrap();
         stream.synchronize().unwrap();
-        host.host_f64().unwrap().to_vec()
+        host.host_f64_ro().unwrap().to_vec()
     }
 
     #[test]

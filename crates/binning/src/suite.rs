@@ -359,7 +359,7 @@ impl BinningSuite {
                 stream.synchronize().map_err(Error::Device)?;
             }
             for (si, host) in staged {
-                let v = host.host_f64().map_err(Error::Device)?;
+                let v = host.host_f64_ro().map_err(Error::Device)?;
                 let (off, nb) = (layout.offsets[si], grids[si].num_bins());
                 for (k, vo) in layout.ops[si].iter().enumerate() {
                     let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
@@ -403,6 +403,7 @@ impl AnalysisAdaptor for BinningSuite {
         self.counters.add_fetches(vars.len() as u64 * tables.len() as u64);
         let fetched: Vec<Fetched> =
             tables.iter().map(|t| fetch_table(t, &vars, device)).collect::<Result<_>>()?;
+        crate::adaptor::release_if_materialized(data, &fetched);
 
         let grids = self.resolve_grids(&fetched, device, ctx)?;
         let layout = self.layout(&grids);

@@ -17,10 +17,13 @@
 //! Moving data between spaces requires a [`crate::Stream`] copy, exactly
 //! like a real accelerator.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
 
 use crate::error::{Error, Result};
+use crate::event::Event;
 use crate::stream::StreamTimeline;
 
 /// Where a buffer's cells live.
@@ -72,6 +75,111 @@ pub(crate) trait BufferGuard: Send + Sync {
     fn note_stream_use(&self, _stream_id: u64, _timeline: &Arc<StreamTimeline>) {}
 }
 
+/// Process-wide allocation identity allocator (ids are never reused), so
+/// the snapshot layer can tell "same name, different allocation" apart
+/// from "same allocation, unchanged contents".
+static NEXT_ALLOC_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Counters a copy-on-write fault reports into: how many lazy fault
+/// copies the write path performed on behalf of read-pinned snapshots,
+/// and how many bytes they materialized. Shared by reference so the
+/// memory layer stays decoupled from whoever aggregates the numbers.
+#[derive(Debug, Default)]
+pub struct PinStats {
+    faults: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl PinStats {
+    /// Fresh, zeroed counters behind an `Arc` (the shape `cow_pinned` takes).
+    pub fn new_shared() -> Arc<PinStats> {
+        Arc::new(PinStats::default())
+    }
+
+    /// Number of copy-on-write faults (lazy pre-write copies) performed.
+    pub fn faults(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+
+    /// Bytes materialized by those fault copies.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// What a registered pin protects.
+enum PinKind {
+    /// A copy-on-write read-pin: readers of the pinned clone see the
+    /// allocation's contents as of pin time. The first post-pin write
+    /// materializes those contents into `resolved` (the CoW fault).
+    Share { resolved: Mutex<Option<Arc<[AtomicU64]>>>, stats: Arc<PinStats> },
+    /// An in-flight asynchronous copy reading this allocation: a writer
+    /// must wait for `event` (recorded after the copy on its stream)
+    /// before mutating the cells the copy is still reading.
+    Fence { event: Event },
+}
+
+/// One pin registered on an allocation. Clones of the pinned buffer hold
+/// this `Arc`; the allocation's registry holds only a `Weak`, so a pin
+/// dies (and costs writers nothing) once every holder has dropped.
+struct PinSlot {
+    /// Cleared by `release_pin` when the holder promises it will not read
+    /// through the pin again (e.g. an analysis that has ingested its own
+    /// copy of the data); a deactivated pin never triggers a fault copy.
+    active: AtomicBool,
+    kind: PinKind,
+}
+
+/// Per-allocation tracking state shared by every clone of a buffer (it
+/// travels with [`CellBuffer::clone`], surviving re-adoption into new
+/// wrapper objects): a monotonically increasing write generation, the
+/// count of live read-only views, and the registered read-pins.
+struct Track {
+    id: u64,
+    generation: AtomicU64,
+    readers: AtomicU64,
+    pins: Mutex<Vec<Weak<PinSlot>>>,
+}
+
+impl Track {
+    fn fresh() -> Arc<Track> {
+        Arc::new(Track {
+            id: NEXT_ALLOC_ID.fetch_add(1, Ordering::Relaxed),
+            generation: AtomicU64::new(0),
+            readers: AtomicU64::new(0),
+            pins: Mutex::new(Vec::new()),
+        })
+    }
+}
+
+/// RAII registration of a live read-only view: a writer faulting on a
+/// still-pinned allocation drains registered readers before mutating, so
+/// a reader mid-iteration never observes post-pin writes.
+pub(crate) struct ReadGuard {
+    track: Arc<Track>,
+}
+
+impl ReadGuard {
+    fn register(track: &Arc<Track>) -> ReadGuard {
+        track.readers.fetch_add(1, Ordering::AcqRel);
+        ReadGuard { track: track.clone() }
+    }
+}
+
+impl Drop for ReadGuard {
+    fn drop(&mut self) {
+        self.track.readers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Keeps a [`CellBuffer::copy_fence`] registration alive: while held, a
+/// writer of the fenced allocation waits for the fence's event before
+/// mutating. Dropping the fence (e.g. with the snapshot that owns the
+/// copy's destination) retires the protection.
+pub struct CopyFence {
+    _slot: Arc<PinSlot>,
+}
+
 /// A buffer of 64-bit cells in some memory space.
 ///
 /// Cloning is shallow (the clones share the cells), which is how zero-copy
@@ -86,6 +194,12 @@ pub struct CellBuffer {
     len: usize,
     space: MemSpace,
     guard: Option<Arc<dyn BufferGuard>>,
+    /// Write-generation / read-pin state, shared by all clones.
+    track: Arc<Track>,
+    /// `Some` on clones produced by [`CellBuffer::cow_pinned`]: reads
+    /// through this clone route to the pin's resolved copy once the live
+    /// cells have been written.
+    pin: Option<Arc<PinSlot>>,
 }
 
 impl CellBuffer {
@@ -94,7 +208,7 @@ impl CellBuffer {
     #[cfg(test)]
     pub(crate) fn new(len: usize, space: MemSpace, guard: Option<Arc<dyn BufferGuard>>) -> Self {
         let cells: Arc<[AtomicU64]> = (0..len).map(|_| AtomicU64::new(0)).collect();
-        CellBuffer { cells, len, space, guard }
+        CellBuffer { cells, len, space, guard, track: Track::fresh(), pin: None }
     }
 
     /// Wrap an existing (possibly size-class-rounded) backing allocation.
@@ -105,7 +219,7 @@ impl CellBuffer {
         guard: Option<Arc<dyn BufferGuard>>,
     ) -> Self {
         debug_assert!(len <= cells.len(), "logical length exceeds backing allocation");
-        CellBuffer { cells, len, space, guard }
+        CellBuffer { cells, len, space, guard, track: Track::fresh(), pin: None }
     }
 
     /// Number of 64-bit cells.
@@ -136,30 +250,236 @@ impl CellBuffer {
         Arc::ptr_eq(&self.cells, &other.cells)
     }
 
-    /// Host-side `f64` view. Fails unless the buffer is host-resident.
+    /// Process-unique identity of the backing allocation (never reused;
+    /// pooled blocks get a fresh id each time they are handed out).
+    pub fn alloc_id(&self) -> u64 {
+        self.track.id
+    }
+
+    /// The allocation's write generation: bumped by every write-intent
+    /// view acquisition and by every stream copy landing in it. Clones
+    /// share the counter; it survives re-adoption into new wrappers.
+    pub fn generation(&self) -> u64 {
+        self.track.generation.load(Ordering::Acquire)
+    }
+
+    /// A zero-copy clone pinned to the allocation's *current* contents.
+    ///
+    /// Reads through the returned clone (and its clones — access views,
+    /// kernel captures) see the data as of pin time: if a writer touches
+    /// the live cells while the pin is held, the write path first
+    /// materializes a pre-write copy (the CoW fault, reported into
+    /// `stats`) and the pinned clone's reads route to it from then on.
+    /// The pin dies with the last clone holding it, or earlier via
+    /// [`CellBuffer::release_pin`].
+    pub fn cow_pinned(&self, stats: &Arc<PinStats>) -> CellBuffer {
+        let slot = Arc::new(PinSlot {
+            active: AtomicBool::new(true),
+            kind: PinKind::Share { resolved: Mutex::new(None), stats: stats.clone() },
+        });
+        self.track.pins.lock().push(Arc::downgrade(&slot));
+        CellBuffer { pin: Some(slot), ..self.clone() }
+    }
+
+    /// Deactivate this clone's read-pin: the holder promises not to read
+    /// through it again, so later writes skip the fault copy. No-op on
+    /// unpinned buffers.
+    pub fn release_pin(&self) {
+        if let Some(pin) = &self.pin {
+            pin.active.store(false, Ordering::Release);
+        }
+    }
+
+    /// True when this clone carries a live (unresolved, active) read-pin —
+    /// i.e. its reads still alias the live cells. Diagnostic.
+    pub fn is_cow_pinned(&self) -> bool {
+        match &self.pin {
+            Some(pin) => {
+                pin.active.load(Ordering::Acquire)
+                    && matches!(&pin.kind,
+                        PinKind::Share { resolved, .. } if resolved.lock().is_none())
+            }
+            None => false,
+        }
+    }
+
+    /// Register an in-flight-copy fence: while the returned handle is
+    /// held and `event` unsignaled, a writer of this allocation waits for
+    /// the event before mutating — protecting an asynchronous copy that
+    /// is still reading these cells on another stream.
+    pub fn copy_fence(&self, event: &Event) -> CopyFence {
+        let slot = Arc::new(PinSlot {
+            active: AtomicBool::new(true),
+            kind: PinKind::Fence { event: event.clone() },
+        });
+        self.track.pins.lock().push(Arc::downgrade(&slot));
+        CopyFence { _slot: slot }
+    }
+
+    /// The cells a *read* of this clone must target, plus a reader
+    /// registration when the read aliases live, still-pinned cells.
+    fn read_cells(&self) -> (Arc<[AtomicU64]>, Option<ReadGuard>) {
+        if let Some(pin) = &self.pin {
+            if let PinKind::Share { resolved, .. } = &pin.kind {
+                // Register *before* checking resolution: a faulting
+                // writer publishes the holder under this same mutex
+                // before draining readers, so it either sees this
+                // registration (and waits) or this check sees the
+                // holder — never a live read of post-pin writes.
+                let guard = ReadGuard::register(&self.track);
+                let snapshot = resolved.lock().clone();
+                if let Some(cells) = snapshot {
+                    // Faulted: the pre-write copy is the pinned contents.
+                    return (cells, None);
+                }
+                return (self.cells.clone(), Some(guard));
+            }
+        }
+        (self.cells.clone(), None)
+    }
+
+    /// Write-intent entry point: bump the generation and resolve every
+    /// live pin — share-pins get a lazy pre-write copy (the CoW fault),
+    /// fences are waited for — then drain registered readers so nobody
+    /// mid-read observes the caller's upcoming writes.
+    ///
+    /// Callers must not hold a read-only view of this same allocation
+    /// while acquiring a write view (the drain would wait on the caller).
+    pub(crate) fn begin_write(&self) {
+        self.track.generation.fetch_add(1, Ordering::Release);
+        let pins: Vec<Weak<PinSlot>> = {
+            let mut registry = self.track.pins.lock();
+            if registry.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *registry)
+        };
+        let mut holder: Option<Arc<[AtomicU64]>> = None;
+        let mut resolved_any = false;
+        for weak in pins {
+            let Some(pin) = weak.upgrade() else { continue };
+            if !pin.active.load(Ordering::Acquire) {
+                continue;
+            }
+            match &pin.kind {
+                PinKind::Fence { event } => {
+                    if !event.is_signaled() {
+                        event.wait();
+                    }
+                }
+                PinKind::Share { resolved, stats } => {
+                    let cells = holder.get_or_insert_with(|| {
+                        // The fault: materialize the pre-write contents
+                        // once; every outstanding pin shares the copy
+                        // (they all pinned the same post-last-write
+                        // state). Allocated raw — never pooled — because
+                        // faults fire on stream workers where a pool
+                        // round-trip could self-deadlock.
+                        stats.faults.fetch_add(1, Ordering::Relaxed);
+                        stats.bytes.fetch_add(self.len as u64 * 8, Ordering::Relaxed);
+                        self.cells
+                            .iter()
+                            .take(self.len)
+                            .map(|c| AtomicU64::new(c.load(Ordering::Relaxed)))
+                            .collect()
+                    });
+                    *resolved.lock() = Some(cells.clone());
+                    resolved_any = true;
+                }
+            }
+        }
+        if resolved_any {
+            // Stragglers that acquired a live-cell read view before the
+            // resolution above finish reading pre-write data first.
+            while self.track.readers.load(Ordering::Acquire) > 0 {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Host-side `f64` view with write intent (bumps the generation and
+    /// resolves read-pins). Fails unless the buffer is host-resident.
     pub fn host_f64(&self) -> Result<HostF64View> {
         self.require_host()?;
-        Ok(HostF64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
+        self.begin_write();
+        Ok(HostF64View {
+            cells: self.cells.clone(),
+            len: self.len,
+            _guard: self.guard.clone(),
+            _read: None,
+        })
     }
 
-    /// Host-side `u64` view. Fails unless the buffer is host-resident.
+    /// Host-side `u64` view with write intent. Fails unless host-resident.
     pub fn host_u64(&self) -> Result<HostU64View> {
         self.require_host()?;
-        Ok(HostU64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
+        self.begin_write();
+        Ok(HostU64View {
+            cells: self.cells.clone(),
+            len: self.len,
+            _guard: self.guard.clone(),
+            _read: None,
+        })
     }
 
-    /// Kernel-side `f64` view; `scope` proves execution on the right device.
+    /// Read-only host-side `f64` view: does not advance the generation,
+    /// and on a pinned clone routes to the pinned (pre-write) contents.
+    pub fn host_f64_ro(&self) -> Result<HostF64View> {
+        self.require_host()?;
+        let (cells, read) = self.read_cells();
+        Ok(HostF64View { cells, len: self.len, _guard: self.guard.clone(), _read: read })
+    }
+
+    /// Read-only host-side `u64` view (see [`CellBuffer::host_f64_ro`]).
+    pub fn host_u64_ro(&self) -> Result<HostU64View> {
+        self.require_host()?;
+        let (cells, read) = self.read_cells();
+        Ok(HostU64View { cells, len: self.len, _guard: self.guard.clone(), _read: read })
+    }
+
+    /// Kernel-side `f64` view with write intent; `scope` proves execution
+    /// on the right device.
     pub fn f64_view(&self, scope: &KernelScope) -> Result<F64View> {
         self.require_device(scope)?;
         self.note_scope_use(scope);
-        Ok(F64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
+        self.begin_write();
+        Ok(F64View {
+            cells: self.cells.clone(),
+            len: self.len,
+            _guard: self.guard.clone(),
+            _read: None,
+        })
     }
 
-    /// Kernel-side `u64` view; `scope` proves execution on the right device.
+    /// Kernel-side `u64` view with write intent; `scope` proves execution
+    /// on the right device.
     pub fn u64_view(&self, scope: &KernelScope) -> Result<U64View> {
         self.require_device(scope)?;
         self.note_scope_use(scope);
-        Ok(U64View { cells: self.cells.clone(), len: self.len, _guard: self.guard.clone() })
+        self.begin_write();
+        Ok(U64View {
+            cells: self.cells.clone(),
+            len: self.len,
+            _guard: self.guard.clone(),
+            _read: None,
+        })
+    }
+
+    /// Read-only kernel-side `f64` view: no generation bump; on a pinned
+    /// clone the view targets the pinned (pre-write) contents.
+    pub fn f64_view_ro(&self, scope: &KernelScope) -> Result<F64View> {
+        self.require_device(scope)?;
+        self.note_scope_use(scope);
+        let (cells, read) = self.read_cells();
+        Ok(F64View { cells, len: self.len, _guard: self.guard.clone(), _read: read })
+    }
+
+    /// Read-only kernel-side `u64` view (see [`CellBuffer::f64_view_ro`]).
+    pub fn u64_view_ro(&self, scope: &KernelScope) -> Result<U64View> {
+        self.require_device(scope)?;
+        self.note_scope_use(scope);
+        let (cells, read) = self.read_cells();
+        Ok(U64View { cells, len: self.len, _guard: self.guard.clone(), _read: read })
     }
 
     fn note_scope_use(&self, scope: &KernelScope) {
@@ -186,11 +506,19 @@ impl CellBuffer {
 
     /// Raw cell copy used by the transfer engine. Not public: user code
     /// must go through stream copies.
+    ///
+    /// Write-routed on the destination (generation bump, pin resolution)
+    /// and read-routed on the source (a pinned source clone copies its
+    /// pinned contents), so stream copies participate in CoW tracking.
     pub(crate) fn copy_cells_from(&self, src: &CellBuffer) -> Result<()> {
         if self.len != src.len {
             return Err(Error::CopyLengthMismatch { src: src.len, dst: self.len });
         }
-        for (d, s) in self.cells.iter().take(self.len).zip(src.cells.iter()) {
+        // Destination first: if src aliases dst (same allocation), the
+        // pin resolves here and the read below routes to the holder.
+        self.begin_write();
+        let (src_cells, _read) = src.read_cells();
+        for (d, s) in self.cells.iter().take(self.len).zip(src_cells.iter()) {
             d.store(s.load(Ordering::Relaxed), Ordering::Relaxed);
         }
         Ok(())
@@ -372,6 +700,9 @@ pub struct F64View {
     len: usize,
     /// Keeps the allocation out of the pool while the view is alive.
     _guard: Option<Arc<dyn BufferGuard>>,
+    /// `Some` on read-only views of a live-pinned clone: a faulting
+    /// writer drains this registration before mutating.
+    _read: Option<ReadGuard>,
 }
 
 impl std::fmt::Debug for F64View {
@@ -386,6 +717,7 @@ pub struct U64View {
     cells: Arc<[AtomicU64]>,
     len: usize,
     _guard: Option<Arc<dyn BufferGuard>>,
+    _read: Option<ReadGuard>,
 }
 
 impl std::fmt::Debug for U64View {
@@ -400,6 +732,7 @@ pub struct HostF64View {
     cells: Arc<[AtomicU64]>,
     len: usize,
     _guard: Option<Arc<dyn BufferGuard>>,
+    _read: Option<ReadGuard>,
 }
 
 impl std::fmt::Debug for HostF64View {
@@ -414,6 +747,7 @@ pub struct HostU64View {
     cells: Arc<[AtomicU64]>,
     len: usize,
     _guard: Option<Arc<dyn BufferGuard>>,
+    _read: Option<ReadGuard>,
 }
 
 impl std::fmt::Debug for HostU64View {
@@ -562,5 +896,176 @@ mod tests {
         assert_eq!(v.to_vec(), vec![9.0; 3]);
         v.copy_from_slice(&[1.0, 2.0, 3.0]);
         assert_eq!(v.to_vec(), vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn generation_bumps_on_write_intent_only() {
+        let b = host_buf(2);
+        let g0 = b.generation();
+        let _ = b.host_f64_ro().unwrap();
+        let _ = b.host_u64_ro().unwrap();
+        assert_eq!(b.generation(), g0, "read-only views must not advance the generation");
+        let _ = b.host_f64().unwrap();
+        assert_eq!(b.generation(), g0 + 1);
+        let _ = b.host_u64().unwrap();
+        assert_eq!(b.generation(), g0 + 2);
+        // Clones share the counter.
+        let c = b.clone();
+        let _ = c.host_f64().unwrap();
+        assert_eq!(b.generation(), g0 + 3);
+    }
+
+    #[test]
+    fn generation_tracks_stream_copy_destination() {
+        let a = host_buf(2);
+        let b = host_buf(2);
+        a.host_f64().unwrap().copy_from_slice(&[1.0, 2.0]);
+        let (ga, gb) = (a.generation(), b.generation());
+        b.copy_cells_from(&a).unwrap();
+        assert_eq!(a.generation(), ga, "copy source is a read");
+        assert_eq!(b.generation(), gb + 1, "copy destination is a write");
+        assert_eq!(b.host_f64_ro().unwrap().to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn alloc_ids_are_unique_and_shared_by_clones() {
+        let a = host_buf(1);
+        let b = host_buf(1);
+        assert_ne!(a.alloc_id(), b.alloc_id());
+        assert_eq!(a.alloc_id(), a.clone().alloc_id());
+    }
+
+    #[test]
+    fn cow_pin_preserves_pre_write_contents() {
+        let b = host_buf(3);
+        b.host_f64().unwrap().copy_from_slice(&[1.0, 2.0, 3.0]);
+        let stats = PinStats::new_shared();
+        let pinned = b.cow_pinned(&stats);
+        assert!(pinned.is_cow_pinned());
+        assert!(b.same_allocation(&pinned), "pin is zero-copy until a write lands");
+
+        // Solver writes through the live buffer → fault copies first.
+        b.host_f64().unwrap().copy_from_slice(&[9.0, 9.0, 9.0]);
+        assert_eq!(stats.faults(), 1);
+        assert_eq!(stats.bytes(), 3 * 8);
+        assert_eq!(pinned.host_f64_ro().unwrap().to_vec(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(b.host_f64_ro().unwrap().to_vec(), vec![9.0, 9.0, 9.0]);
+
+        // A second write does not fault again (pin already resolved).
+        b.host_f64().unwrap().set(0, 5.0);
+        assert_eq!(stats.faults(), 1);
+        assert_eq!(pinned.host_f64_ro().unwrap().get(0), 1.0);
+    }
+
+    #[test]
+    fn multiple_pins_share_one_fault_copy() {
+        let b = host_buf(4);
+        b.host_f64().unwrap().fill(2.0);
+        let stats = PinStats::new_shared();
+        let p1 = b.cow_pinned(&stats);
+        let p2 = b.cow_pinned(&stats);
+        b.host_f64().unwrap().fill(8.0);
+        assert_eq!(stats.faults(), 1, "both pins hold the same pre-write state");
+        assert_eq!(stats.bytes(), 4 * 8);
+        assert_eq!(p1.host_f64_ro().unwrap().to_vec(), vec![2.0; 4]);
+        assert!(p1
+            .host_f64_ro()
+            .unwrap()
+            .cells
+            .iter()
+            .zip(p2.host_f64_ro().unwrap().cells.iter())
+            .all(|(a, b)| std::ptr::eq(a, b)));
+    }
+
+    #[test]
+    fn released_and_dropped_pins_cost_nothing() {
+        let b = host_buf(2);
+        b.host_f64().unwrap().fill(1.0);
+        let stats = PinStats::new_shared();
+        let released = b.cow_pinned(&stats);
+        released.release_pin();
+        assert!(!released.is_cow_pinned());
+        let dropped = b.cow_pinned(&stats);
+        drop(dropped);
+        b.host_f64().unwrap().fill(7.0);
+        assert_eq!(stats.faults(), 0, "no live active pin → no fault copy");
+        // A released pin's reads follow the live cells.
+        assert_eq!(released.host_f64_ro().unwrap().to_vec(), vec![7.0; 2]);
+    }
+
+    #[test]
+    fn pinned_source_copy_reads_pinned_contents() {
+        let src = host_buf(2);
+        src.host_f64().unwrap().copy_from_slice(&[1.0, 2.0]);
+        let stats = PinStats::new_shared();
+        let pinned = src.cow_pinned(&stats);
+        src.host_f64().unwrap().copy_from_slice(&[8.0, 8.0]);
+        let dst = host_buf(2);
+        dst.copy_cells_from(&pinned).unwrap();
+        assert_eq!(dst.host_f64_ro().unwrap().to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn copy_fence_blocks_writer_until_signaled() {
+        let b = Arc::new(host_buf(1));
+        let event = Event::new();
+        let fence = b.copy_fence(&event);
+        let wrote = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (b, wrote) = (b.clone(), wrote.clone());
+            std::thread::spawn(move || {
+                b.host_f64().unwrap().set(0, 1.0);
+                wrote.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!wrote.load(Ordering::SeqCst), "writer must wait for the fence event");
+        event.signal();
+        writer.join().unwrap();
+        assert!(wrote.load(Ordering::SeqCst));
+        drop(fence);
+        // A signaled/retired fence no longer delays writers.
+        b.host_f64().unwrap().set(0, 2.0);
+    }
+
+    #[test]
+    fn dropped_fence_does_not_block() {
+        let b = host_buf(1);
+        let event = Event::new(); // never signaled
+        drop(b.copy_fence(&event));
+        b.host_f64().unwrap().set(0, 3.0); // must not hang
+        assert_eq!(b.host_f64_ro().unwrap().get(0), 3.0);
+    }
+
+    #[test]
+    fn fault_waits_for_registered_reader() {
+        let b = host_buf(1);
+        b.host_f64().unwrap().set(0, 1.0);
+        let stats = PinStats::new_shared();
+        let pinned = Arc::new(b.cow_pinned(&stats));
+        // Reader holds a live-cell view through the unresolved pin.
+        let view = pinned.host_f64_ro().unwrap();
+        let started = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(AtomicBool::new(false));
+        let writer = {
+            let (b, started, done) = (b.clone(), started.clone(), done.clone());
+            std::thread::spawn(move || {
+                started.store(true, Ordering::SeqCst);
+                b.host_f64().unwrap().set(0, 9.0);
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        while !started.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!done.load(Ordering::SeqCst), "writer must drain the registered reader");
+        assert_eq!(view.get(0), 1.0, "reader still sees pre-write data");
+        drop(view);
+        writer.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        // Post-fault reads through the pin route to the holder copy.
+        assert_eq!(pinned.host_f64_ro().unwrap().get(0), 1.0);
+        assert_eq!(b.host_f64_ro().unwrap().get(0), 9.0);
     }
 }

@@ -69,13 +69,13 @@ impl<T: Element> AccessView<T> {
         if i >= self.len() {
             return Err(Error::IndexOutOfBounds { index: i, len: self.len() });
         }
-        let v = self.cells.host_u64()?;
+        let v = self.cells.host_u64_ro()?;
         Ok(T::from_cell(v.get(i)))
     }
 
     /// Copy the elements out — host-resident views only.
     pub fn to_vec(&self) -> Result<Vec<T>> {
-        let v = self.cells.host_u64()?;
+        let v = self.cells.host_u64_ro()?;
         Ok((0..v.len()).map(|i| T::from_cell(v.get(i))).collect())
     }
 }

@@ -3,7 +3,7 @@
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-use devsim::{CellBuffer, KernelCost, SimNode};
+use devsim::{CellBuffer, KernelCost, PinStats, SimNode};
 use parking_lot::RwLock;
 
 use crate::access::AccessView;
@@ -224,6 +224,54 @@ impl<T: Element> HamrBuffer<T> {
     /// when the caller knows location and PM (Listing 3, line 24).
     pub fn data(&self) -> CellBuffer {
         self.state.read().cells.clone()
+    }
+
+    /// The write generation of the managed allocation: bumped by every
+    /// mutable access (host write views, kernel views, copies landing
+    /// here). The counter lives on the allocation itself, so it survives
+    /// adoption into new wrappers — re-adopting the same simulation
+    /// memory each step observes one continuous generation sequence.
+    pub fn write_generation(&self) -> u64 {
+        self.state.read().cells.generation()
+    }
+
+    /// Process-unique identity of the managed allocation. Together with
+    /// [`write_generation`](Self::write_generation) this lets a consumer
+    /// decide "same data I already copied" vs "new or modified data".
+    pub fn allocation_id(&self) -> u64 {
+        self.state.read().cells.alloc_id()
+    }
+
+    /// A zero-copy copy-on-write share of this buffer, pinned to its
+    /// current contents.
+    ///
+    /// The returned buffer aliases the same cells until the owner writes
+    /// again; the first such write lazily materializes a pre-write copy
+    /// (reported into `stats`) that the share's reads route to from then
+    /// on. The share's operations are ordered on `stream` — typically a
+    /// dedicated snapshot copy stream — so consumers fetching through it
+    /// never serialize on the owner's compute stream.
+    pub fn cow_share(&self, stats: &Arc<PinStats>, stream: HamrStream) -> HamrBuffer<T> {
+        let state = self.state.read();
+        HamrBuffer {
+            node: self.node.clone(),
+            state: RwLock::new(State {
+                cells: state.cells.cow_pinned(stats),
+                device: state.device,
+            }),
+            len: self.len,
+            allocator: self.allocator,
+            stream,
+            mode: self.mode,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Deactivate the CoW pin this buffer holds (if any): the holder
+    /// promises not to read through it again, so the owner's later writes
+    /// skip the lazy fault copy.
+    pub fn release_cow(&self) {
+        self.state.read().cells.release_pin();
     }
 
     /// Wait until all in-flight operations on this buffer's stream have

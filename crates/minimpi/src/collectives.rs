@@ -118,6 +118,15 @@ impl Comm {
         F: Fn(T, T) -> T,
     {
         self.allreduce_rounds.set(self.allreduce_rounds.get() + 1);
+        if self.size() == 1 {
+            // Single-rank communicators: the reduction of one value is the
+            // value itself, so skip the reduce + bcast mailbox round-trip.
+            // The round still counts (above) and still claims one
+            // collective slot, so the hook (slow-rank injection, tracing)
+            // observes it like any other collective.
+            let _ = self.next_coll_tag();
+            return value;
+        }
         let reduced = self.reduce(0, value, op).expect("rank 0 is always valid");
         self.bcast(0, reduced)
             .expect("rank 0 is always valid")
@@ -330,6 +339,38 @@ mod tests {
             c.allreduce_count()
         });
         assert_eq!(got, vec![2, 2]);
+    }
+
+    #[test]
+    fn single_rank_allreduce_short_circuits() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        World::new(1).run(|c| {
+            // The hook still observes exactly one collective per round,
+            // so sequencing/fault-injection semantics are preserved.
+            let fired = Arc::new(AtomicU64::new(0));
+            let f2 = fired.clone();
+            c.set_collective_hook(Arc::new(move |_| {
+                f2.fetch_add(1, Ordering::SeqCst);
+            }));
+
+            assert_eq!(c.allreduce(41i64, |a, b| a + b), 41);
+            assert_eq!(c.allreduce_count(), 1);
+            assert_eq!(fired.load(Ordering::SeqCst), 1);
+
+            // Non-commutative op: the lone value passes through untouched.
+            assert_eq!(c.allreduce("solo".to_string(), |a, b| a + &b), "solo");
+            assert_eq!(c.allreduce_count(), 2);
+
+            // Packed variant rides the same fast path — but validates the
+            // segment layout first, without counting a round.
+            let bad = [Segment::new(SegmentOp::Sum, 2)];
+            assert!(c.allreduce_packed(vec![1.0], &bad).is_err());
+            assert_eq!(c.allreduce_count(), 2);
+            let segs = [Segment::new(SegmentOp::Sum, 1), Segment::new(SegmentOp::Min, 1)];
+            assert_eq!(c.allreduce_packed(vec![3.0, 7.0], &segs).unwrap(), vec![3.0, 7.0]);
+            assert_eq!(c.allreduce_count(), 3);
+        });
     }
 
     #[test]

@@ -184,7 +184,7 @@ impl Newton {
             let host = self.node.host_alloc_f64(buf.len());
             self.stream.copy(buf, &host).map_err(Error::Device)?;
             self.stream.synchronize().map_err(Error::Device)?;
-            Ok(host.host_f64().map_err(Error::Device)?.to_vec())
+            Ok(host.host_f64_ro().map_err(Error::Device)?.to_vec())
         };
         Ok(BodySet {
             x: down(&self.state.x)?,
@@ -210,7 +210,7 @@ impl Newton {
                     let (vx, vy, vz) =
                         (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
                     let (ax, ay, az) =
-                        (ax.f64_view(scope)?, ay.f64_view(scope)?, az.f64_view(scope)?);
+                        (ax.f64_view_ro(scope)?, ay.f64_view_ro(scope)?, az.f64_view_ro(scope)?);
                     for i in 0..vx.len() {
                         vx.set(i, vx.get(i) + ax.get(i) * half_dt);
                         vy.set(i, vy.get(i) + ay.get(i) * half_dt);
@@ -234,7 +234,7 @@ impl Newton {
                 move |scope| {
                     let (x, y, z) = (x.f64_view(scope)?, y.f64_view(scope)?, z.f64_view(scope)?);
                     let (vx, vy, vz) =
-                        (vx.f64_view(scope)?, vy.f64_view(scope)?, vz.f64_view(scope)?);
+                        (vx.f64_view_ro(scope)?, vy.f64_view_ro(scope)?, vz.f64_view_ro(scope)?);
                     for i in 0..x.len() {
                         x.set(i, x.get(i) + vx.get(i) * dt);
                         y.set(i, y.get(i) + vy.get(i) * dt);
@@ -263,7 +263,7 @@ impl Newton {
         {
             self.stream.copy(buf, &pack).map_err(Error::Device)?;
             self.stream.synchronize().map_err(Error::Device)?;
-            let v = pack.host_f64().map_err(Error::Device)?;
+            let v = pack.host_f64_ro().map_err(Error::Device)?;
             for i in 0..n {
                 bundle[k * n + i] = v.get(i);
             }
@@ -327,13 +327,14 @@ impl Newton {
         };
         self.stream
             .launch("nbody_forces", cost, move |scope| {
-                let (x, y, z) = (x.f64_view(scope)?, y.f64_view(scope)?, z.f64_view(scope)?);
+                let (x, y, z) =
+                    (x.f64_view_ro(scope)?, y.f64_view_ro(scope)?, z.f64_view_ro(scope)?);
                 let (ax, ay, az) = (ax.f64_view(scope)?, ay.f64_view(scope)?, az.f64_view(scope)?);
                 let (sx, sy, sz, sm) = (
-                    dgx.f64_view(scope)?,
-                    dgy.f64_view(scope)?,
-                    dgz.f64_view(scope)?,
-                    dgm.f64_view(scope)?,
+                    dgx.f64_view_ro(scope)?,
+                    dgy.f64_view_ro(scope)?,
+                    dgz.f64_view_ro(scope)?,
+                    dgm.f64_view_ro(scope)?,
                 );
                 for i in 0..x.len() {
                     let (xi, yi, zi) = (x.get(i), y.get(i), z.get(i));
@@ -471,10 +472,10 @@ impl Newton {
                 KernelCost { flops: 10.0 * n as f64, bytes: 72.0 * n as f64 },
                 move |scope| {
                     let (vx, vy, vz, m) = (
-                        vx.f64_view(scope)?,
-                        vy.f64_view(scope)?,
-                        vz.f64_view(scope)?,
-                        m.f64_view(scope)?,
+                        vx.f64_view_ro(scope)?,
+                        vy.f64_view_ro(scope)?,
+                        vz.f64_view_ro(scope)?,
+                        m.f64_view_ro(scope)?,
                     );
                     let (px, py, pz, ke, speed) = (
                         px.f64_view(scope)?,
@@ -682,7 +683,7 @@ mod tests {
                 let host = node.host_alloc_f64(bufs[0].1.len());
                 sim.stream().copy(&bufs[0].1, &host).unwrap();
                 sim.stream().synchronize().unwrap();
-                host.host_f64().unwrap().to_vec()
+                host.host_f64_ro().unwrap().to_vec()
             };
             assert_eq!(x_view, after.x);
             assert_ne!(before.x, after.x, "bodies moved");

@@ -181,7 +181,7 @@ impl OscillatorsSim {
         let host = self.node.host_alloc_f64(self.field.len());
         self.stream.copy(&self.field, &host).map_err(Error::Device)?;
         self.stream.synchronize().map_err(Error::Device)?;
-        Ok(host.host_f64().map_err(Error::Device)?.to_vec())
+        Ok(host.host_f64_ro().map_err(Error::Device)?.to_vec())
     }
 
     /// The local block as `ImageData` with the field adopted zero-copy.

@@ -59,6 +59,13 @@ pub trait DataAdaptor: Send {
 
     /// Current time step.
     fn time_step(&self) -> u64;
+
+    /// Hint that the caller is done *reading* array data through this
+    /// adaptor. Snapshot adaptors holding copy-on-write shares release
+    /// their pins here so later producer writes skip the fault copy;
+    /// back-ends should call it as soon as they have materialized what
+    /// they need. The default does nothing.
+    fn release_shared(&self) {}
 }
 
 /// Per-invocation context handed to analysis back-ends.

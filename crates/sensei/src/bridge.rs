@@ -19,7 +19,7 @@ use crate::engine::{EngineContext, EngineRegistry, ExecutionEngine};
 use crate::error::{Error, Result};
 use crate::profiler::Profiler;
 use crate::requirements::DataRequirements;
-use crate::snapshot::SnapshotAdaptor;
+use crate::snapshot::{SnapshotMode, SnapshotPipeline};
 
 /// The SENSEI bridge: the single instrumentation point a simulation calls.
 ///
@@ -34,6 +34,7 @@ pub struct Bridge {
     engines: Vec<Attached>,
     registry: EngineRegistry,
     profiler: Profiler,
+    pipeline: SnapshotPipeline,
     finalized: bool,
 }
 
@@ -56,7 +57,26 @@ impl Bridge {
     /// the hook for replacing how a mode executes (or adding new modes)
     /// without changing the bridge.
     pub fn with_engines(node: Arc<SimNode>, registry: EngineRegistry) -> Self {
-        Bridge { node, engines: Vec::new(), registry, profiler: Profiler::new(), finalized: false }
+        Bridge {
+            node,
+            engines: Vec::new(),
+            registry,
+            profiler: Profiler::new(),
+            pipeline: SnapshotPipeline::new(SnapshotMode::Deep),
+            finalized: false,
+        }
+    }
+
+    /// Select how per-iteration snapshots are captured (deep copy,
+    /// generation-tracked delta, or copy-on-write). The default is the
+    /// paper's unconditional deep copy.
+    pub fn set_snapshot_mode(&mut self, mode: SnapshotMode) {
+        self.pipeline.set_mode(mode);
+    }
+
+    /// The active snapshot capture mode.
+    pub fn snapshot_mode(&self) -> SnapshotMode {
+        self.pipeline.mode()
     }
 
     /// Attach a back-end. Its [`crate::ExecutionMethod`]'s name selects
@@ -116,7 +136,7 @@ impl Bridge {
             }
         }
         let snapshot = match &requirements {
-            Some(req) => Some(Arc::new(SnapshotAdaptor::capture_with(data, req)?)),
+            Some(req) => Some(Arc::new(self.pipeline.capture(data, req, &self.node)?)),
             None => None,
         };
 
@@ -151,6 +171,13 @@ impl Bridge {
                 self.profiler.record_counters(a.label.as_str(), counters.snapshot());
             }
         }
+        // Snapshot-layer totals (shares vs copies, CoW faults, overlap)
+        // are exact now too: every worker that could fault a pinned
+        // array or wait a copy event has joined.
+        self.profiler.record_snapshot_counters(
+            self.pipeline.mode().name(),
+            self.pipeline.counters().snapshot(),
+        );
         // Freeze the run's caching-pool counters into the profiler so the
         // harness can report hit rates alongside the timings.
         self.profiler.record_pool_stats("host", self.node.pool_stats(devsim::MemSpace::Host));

@@ -51,6 +51,7 @@ use crate::execution::ExecutionMethod;
 use crate::queue::OverflowPolicy;
 use crate::recovery::RecoveryPolicy;
 use crate::registry::{AnalysisRegistry, CreateContext};
+use crate::snapshot::SnapshotMode;
 
 /// One `<analysis>` entry of a configuration.
 pub struct BackendConfig {
@@ -108,6 +109,7 @@ pub struct ConfigurableAnalysis {
     configs: Vec<BackendConfig>,
     pool: Option<PoolConfig>,
     faults: Option<FaultConfig>,
+    snapshot: Option<SnapshotMode>,
 }
 
 impl ConfigurableAnalysis {
@@ -165,6 +167,17 @@ impl ConfigurableAnalysis {
                     schedule = schedule.with_rule(rule);
                 }
                 Some(schedule)
+            }
+        };
+        let snapshot = match root.find_child("snapshot") {
+            None => None,
+            Some(el) => {
+                let mode = el.attr_or("mode", "deep");
+                Some(SnapshotMode::parse(mode).ok_or_else(|| {
+                    Error::Config(format!(
+                        "bad snapshot mode '{mode}' (expected deep, delta, or cow)"
+                    ))
+                })?)
             }
         };
         let mut configs = Vec::new();
@@ -232,7 +245,7 @@ impl ConfigurableAnalysis {
                 element: el.clone(),
             });
         }
-        Ok(ConfigurableAnalysis { configs, pool, faults })
+        Ok(ConfigurableAnalysis { configs, pool, faults, snapshot })
     }
 
     /// All entries (including disabled ones).
@@ -250,6 +263,14 @@ impl ConfigurableAnalysis {
         self.faults.as_ref()
     }
 
+    /// The `<snapshot mode="deep|delta|cow">` selection, if the document
+    /// carries the element. The caller applies it with
+    /// [`crate::Bridge::set_snapshot_mode`]; absent means the deep-copy
+    /// default.
+    pub fn snapshot_mode(&self) -> Option<SnapshotMode> {
+        self.snapshot
+    }
+
     /// Serialize back to XML text. Parsing the result yields the same
     /// entries and controls (attributes are normalized: defaults are
     /// written out explicitly).
@@ -262,6 +283,11 @@ impl ConfigurableAnalysis {
             if p.trim_threshold != usize::MAX {
                 el.attributes.push(("trim_threshold".to_string(), p.trim_threshold.to_string()));
             }
+            root.children.push(xmlcfg::Node::Element(el));
+        }
+        if let Some(mode) = self.snapshot {
+            let mut el = Element::new("snapshot");
+            el.attributes.push(("mode".to_string(), mode.name().to_string()));
             root.children.push(xmlcfg::Node::Element(el));
         }
         if let Some(f) = &self.faults {
@@ -476,6 +502,28 @@ mod tests {
         let applied = ctx.node.pool().config();
         assert!(!applied.enabled);
         assert_eq!(applied.granularity, 16);
+    }
+
+    #[test]
+    fn snapshot_element_parses_and_round_trips() {
+        let cfg =
+            ConfigurableAnalysis::from_xml(r#"<sensei><snapshot mode="cow"/></sensei>"#).unwrap();
+        assert_eq!(cfg.snapshot_mode(), Some(SnapshotMode::Cow));
+        let text = cfg.to_xml();
+        assert!(text.contains(r#"<snapshot mode="cow"/>"#));
+        let again = ConfigurableAnalysis::from_xml(&text).unwrap();
+        assert_eq!(again.snapshot_mode(), Some(SnapshotMode::Cow));
+
+        // A bare element means the deep default; an absent one means no
+        // override at all.
+        let bare = ConfigurableAnalysis::from_xml("<sensei><snapshot/></sensei>").unwrap();
+        assert_eq!(bare.snapshot_mode(), Some(SnapshotMode::Deep));
+        assert_eq!(ConfigurableAnalysis::from_xml("<sensei/>").unwrap().snapshot_mode(), None);
+
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(r#"<sensei><snapshot mode="shallow"/></sensei>"#),
+            Err(Error::Config(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use devsim::PinStats;
+
 /// Shared, thread-safe work counters one analysis back-end increments.
 #[derive(Debug, Default)]
 pub struct AnalysisCounters {
@@ -183,6 +185,107 @@ impl CounterSnapshot {
         self.allreduces += other.allreduces;
         self.fetches += other.fetches;
         self.faults.accumulate(&other.faults);
+    }
+}
+
+/// Counters for the copy-on-write delta snapshot layer: how many arrays
+/// each capture shared zero-copy vs copied, the bytes those copies (and
+/// any lazy CoW fault copies) materialized, and how long the issued
+/// asynchronous copies got to overlap the solver.
+///
+/// The fault half lives in a [`devsim::PinStats`] handle so the memory
+/// layer can report faults without knowing about sensei; `snapshot()`
+/// folds both halves into one plain-value view.
+#[derive(Debug)]
+pub struct SnapshotCounters {
+    arrays_shared: AtomicU64,
+    arrays_copied: AtomicU64,
+    /// Bytes materialized by *eager* capture-time copies (deep and delta
+    /// modes); lazy CoW fault bytes are tracked in `pin_stats`.
+    bytes_copied: AtomicU64,
+    copy_overlap_ns: AtomicU64,
+    pin_stats: Arc<PinStats>,
+}
+
+impl Default for SnapshotCounters {
+    fn default() -> Self {
+        SnapshotCounters {
+            arrays_shared: AtomicU64::new(0),
+            arrays_copied: AtomicU64::new(0),
+            bytes_copied: AtomicU64::new(0),
+            copy_overlap_ns: AtomicU64::new(0),
+            pin_stats: PinStats::new_shared(),
+        }
+    }
+}
+
+impl SnapshotCounters {
+    /// Fresh zeroed counters behind an `Arc` (the pipeline keeps one
+    /// handle, the bridge/profiler another).
+    pub fn new() -> Arc<Self> {
+        Arc::new(SnapshotCounters::default())
+    }
+
+    /// Count `n` arrays taken zero-copy (shared, possibly CoW-pinned).
+    pub fn add_shared(&self, n: u64) {
+        self.arrays_shared.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Count `n` arrays copied eagerly at capture time, totalling `bytes`.
+    pub fn add_copied(&self, n: u64, bytes: u64) {
+        self.arrays_copied.fetch_add(n, Ordering::Relaxed);
+        self.bytes_copied.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record `ns` nanoseconds an asynchronous capture's copies had to
+    /// overlap the solver before the consumer needed them.
+    pub fn add_overlap_ns(&self, ns: u64) {
+        self.copy_overlap_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// The fault-copy counters the devsim write path reports into when a
+    /// solver write hits a still-pinned array.
+    pub fn pin_stats(&self) -> &Arc<PinStats> {
+        &self.pin_stats
+    }
+
+    /// A plain-value copy of the totals, folding eager-copy and lazy
+    /// CoW-fault bytes together (`bytes_copied` is the honest total cost).
+    pub fn snapshot(&self) -> SnapshotCounterSnapshot {
+        SnapshotCounterSnapshot {
+            arrays_shared: self.arrays_shared.load(Ordering::Relaxed),
+            arrays_copied: self.arrays_copied.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed) + self.pin_stats.bytes(),
+            cow_faults: self.pin_stats.faults(),
+            copy_overlap_ns: self.copy_overlap_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A plain-value copy of [`SnapshotCounters`] at one point in time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotCounterSnapshot {
+    /// Arrays taken zero-copy across all captures.
+    pub arrays_shared: u64,
+    /// Arrays copied (eagerly at capture time).
+    pub arrays_copied: u64,
+    /// Total bytes materialized: eager capture copies plus lazy CoW
+    /// fault copies.
+    pub bytes_copied: u64,
+    /// Lazy pre-write copies triggered by solver writes to pinned arrays.
+    pub cow_faults: u64,
+    /// Nanoseconds asynchronous capture copies overlapped the solver.
+    pub copy_overlap_ns: u64,
+}
+
+impl SnapshotCounterSnapshot {
+    /// Add `other`'s totals into `self` (for summing across ranks).
+    pub fn accumulate(&mut self, other: &SnapshotCounterSnapshot) {
+        self.arrays_shared += other.arrays_shared;
+        self.arrays_copied += other.arrays_copied;
+        self.bytes_copied += other.bytes_copied;
+        self.cow_faults += other.cow_faults;
+        self.copy_overlap_ns += other.copy_overlap_ns;
     }
 }
 

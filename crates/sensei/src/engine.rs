@@ -215,6 +215,10 @@ impl ThreadedEngine {
             let ctx = ExecContext::new(&comm, &node);
             let rank = comm.rank();
             while let Some(snapshot) = rx.recv() {
+                // Delta snapshots arrive with copies possibly still in
+                // flight on the dedicated copy stream; the *worker* pays
+                // the wait (overlapped with the solver), not the solver.
+                snapshot.wait_copies();
                 // Per-snapshot recovery: a fault in one iteration is
                 // retried or skipped per policy without killing the
                 // worker; only an abort (or exhausted retries) ends it.
@@ -312,7 +316,13 @@ impl ExecutionEngine for ThreadedEngine {
                 self.name, self.controls.queue_depth
             ))),
             Err(SendError::Closed) => {
-                Err(Error::Analysis(format!("in situ queue for '{}' is closed", self.name)))
+                // Stash the error like the disconnect arm below: a
+                // dispatch into a closed queue drops the iteration, and
+                // finalize must surface that instead of silently
+                // reporting success when the caller swallows this error.
+                let err = Error::Analysis(format!("in situ queue for '{}' is closed", self.name));
+                self.failed = Some(err.clone());
+                Err(err)
             }
             Err(SendError::Disconnected) => {
                 // The worker exited early — an analysis error or a panic.
@@ -494,6 +504,57 @@ mod tests {
                 .expect("empty registry rejects");
             assert!(matches!(err, Error::Config(_)), "got {err:?}");
         });
+    }
+
+    /// A data adaptor publishing nothing (snapshots of it are empty).
+    struct EmptyData;
+
+    impl DataAdaptor for EmptyData {
+        fn num_meshes(&self) -> usize {
+            0
+        }
+        fn mesh_metadata(&self, _i: usize) -> Result<crate::adaptor::MeshMetadata> {
+            Err(Error::NoSuchMesh { name: "none".into() })
+        }
+        fn mesh(&self, name: &str) -> Result<svtk::DataObject> {
+            Err(Error::NoSuchMesh { name: name.into() })
+        }
+        fn time(&self) -> f64 {
+            0.0
+        }
+        fn time_step(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn closed_queue_dispatch_failure_surfaces_at_finalize() {
+        let executes = Arc::new(AtomicU64::new(0));
+        let e2 = executes.clone();
+        World::new(1).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let controls =
+                BackendControls { execution: ExecutionMethod::Asynchronous, ..Default::default() };
+            let adaptor = Box::new(Counting { controls, executes: e2.clone() });
+            let mut engine = ThreadedEngine::spawn(adaptor, comm.dup(), node.clone());
+            // Close the queue through a second sender handle, as a
+            // finalizer racing a dispatch on another thread would.
+            engine.tx.as_ref().unwrap().clone().close();
+
+            let data = EmptyData;
+            let snap = Arc::new(SnapshotAdaptor::capture(&data).unwrap());
+            let err = engine.dispatch(&data, Some(&snap), &comm, &node).unwrap_err();
+            assert!(matches!(err, Error::Analysis(_)), "got {err:?}");
+
+            // The dropped iteration must surface at finalize even though
+            // the caller swallowed the dispatch error.
+            let fin = engine.finalize(&comm, &node);
+            assert!(
+                matches!(fin, Err(Error::Analysis(ref m)) if m.contains("closed")),
+                "finalize must report the dropped dispatch, got {fin:?}"
+            );
+        });
+        assert_eq!(executes.load(Ordering::SeqCst), 0);
     }
 
     #[test]

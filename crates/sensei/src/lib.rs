@@ -64,7 +64,10 @@ pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, Mesh
 pub use bridge::Bridge;
 pub use configurable::{BackendConfig, ConfigurableAnalysis};
 pub use controls::{BackendControls, DeviceSpec};
-pub use counters::{AnalysisCounters, CounterSnapshot, FaultCounters, FaultSnapshot};
+pub use counters::{
+    AnalysisCounters, CounterSnapshot, FaultCounters, FaultSnapshot, SnapshotCounterSnapshot,
+    SnapshotCounters,
+};
 pub use device_select::{select_device, DeviceSelector};
 pub use engine::{
     EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine, ThreadedEngine,
@@ -74,10 +77,10 @@ pub use execution::ExecutionMethod;
 pub use placement::Placement;
 pub use profiler::{
     BackendBreakdown, BackendSample, CounterSample, IterationRecord, PoolSample, ProfileSummary,
-    Profiler,
+    Profiler, SnapshotSample,
 };
 pub use queue::OverflowPolicy;
 pub use recovery::{run_with_recovery, RecoveryPolicy};
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
 pub use requirements::{ArraySelection, DataRequirements, MeshRequirements, ANY_MESH};
-pub use snapshot::SnapshotAdaptor;
+pub use snapshot::{SnapshotAdaptor, SnapshotMode, SnapshotPipeline};

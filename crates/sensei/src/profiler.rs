@@ -4,9 +4,9 @@ use std::time::{Duration, Instant};
 
 use devsim::PoolStats;
 
-use crate::counters::CounterSnapshot;
 #[cfg(test)]
 use crate::counters::FaultSnapshot;
+use crate::counters::{CounterSnapshot, SnapshotCounterSnapshot};
 
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +71,17 @@ pub struct CounterSample {
     pub counters: CounterSnapshot,
 }
 
+/// The snapshot layer's totals at the end of a run: arrays shared vs
+/// copied, bytes moved, CoW faults, and copy/solver overlap, labeled
+/// with the capture mode so A/B harness runs identify their arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotSample {
+    /// Capture mode name (`deep`, `delta`, `cow`).
+    pub mode: String,
+    /// The snapshot-layer counter totals.
+    pub counters: SnapshotCounterSnapshot,
+}
+
 /// One memory space's caching-pool counters at the end of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSample {
@@ -87,6 +98,7 @@ pub struct Profiler {
     backend_samples: Vec<BackendSample>,
     pool_samples: Vec<PoolSample>,
     counter_samples: Vec<CounterSample>,
+    snapshot_samples: Vec<SnapshotSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -105,6 +117,7 @@ impl Profiler {
             backend_samples: Vec::new(),
             pool_samples: Vec::new(),
             counter_samples: Vec::new(),
+            snapshot_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -206,6 +219,41 @@ impl Profiler {
                 f.recovered,
                 f.skipped,
                 f.aborted,
+            ));
+        }
+        out
+    }
+
+    /// Record the snapshot layer's counter totals (the bridge does this
+    /// at finalize, labeled with the active capture mode).
+    pub fn record_snapshot_counters(
+        &mut self,
+        mode: impl Into<String>,
+        counters: SnapshotCounterSnapshot,
+    ) {
+        self.snapshot_samples.push(SnapshotSample { mode: mode.into(), counters });
+    }
+
+    /// Every recorded snapshot-layer sample.
+    pub fn snapshot_samples(&self) -> &[SnapshotSample] {
+        &self.snapshot_samples
+    }
+
+    /// Dump the snapshot-layer samples as CSV.
+    pub fn snapshot_csv(&self) -> String {
+        let mut out = String::from(
+            "mode,arrays_shared,arrays_copied,bytes_copied,cow_faults,copy_overlap_ns\n",
+        );
+        for s in &self.snapshot_samples {
+            let c = &s.counters;
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                s.mode,
+                c.arrays_shared,
+                c.arrays_copied,
+                c.bytes_copied,
+                c.cow_faults,
+                c.copy_overlap_ns,
             ));
         }
         out
@@ -420,6 +468,29 @@ mod tests {
         );
         assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0");
         assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0");
+    }
+
+    #[test]
+    fn snapshot_samples_dump_with_mode_label() {
+        let mut p = Profiler::new();
+        p.record_snapshot_counters(
+            "cow",
+            SnapshotCounterSnapshot {
+                arrays_shared: 1080,
+                arrays_copied: 0,
+                bytes_copied: 98304,
+                cow_faults: 3,
+                copy_overlap_ns: 12345,
+            },
+        );
+        assert_eq!(p.snapshot_samples().len(), 1);
+        let csv = p.snapshot_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(
+            lines[0],
+            "mode,arrays_shared,arrays_copied,bytes_copied,cow_faults,copy_overlap_ns"
+        );
+        assert_eq!(lines[1], "cow,1080,0,98304,3,12345");
     }
 
     #[test]

@@ -1,23 +1,293 @@
-//! Deep-copied simulation snapshots for asynchronous execution.
+//! Simulation snapshots for asynchronous execution: deep-copied,
+//! generation-tracked delta, or copy-on-write.
+//!
+//! The asynchronous execution method (§3/§4.3) "deep copies the relevant
+//! data, launches a thread for in situ processing, and returns
+//! immediately to the simulation". [`SnapshotAdaptor::capture`] is that
+//! deep copy. The [`SnapshotPipeline`] generalizes it into three
+//! strategies selected per bridge:
+//!
+//! * **deep** — the baseline: every selected array is deep-copied every
+//!   capture and the capture synchronizes before returning.
+//! * **delta** — arrays whose backing allocation's write generation has
+//!   not advanced since the previous capture are shared zero-copy
+//!   (CoW-pinned, so a later producer write faults a lazy copy); changed
+//!   arrays are copied asynchronously on a dedicated per-device copy
+//!   stream, double-buffered by a [`CopyFence`] that makes the producer's
+//!   *next* write wait for the in-flight copy instead of the producer
+//!   waiting at capture.
+//! * **cow** — nothing is copied at capture: every array is shared
+//!   zero-copy behind a CoW pin, and only the arrays the producer
+//!   actually overwrites while the snapshot is alive pay a fault copy.
+//!
+//! All three strategies capture the same stream-ordered contents a deep
+//! copy would (shares drain the producer stream before pinning), so the
+//! analysis results are bit-identical across modes; only the bytes moved
+//! and where the waiting happens differ.
 
-use svtk::{DataArray, DataObject, FieldAssociation, MultiBlock, TableData};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use devsim::{CopyFence, Event, SimNode, Stream};
+use hamr::HamrStream;
+use svtk::{ArrayRef, DataArray, DataObject, FieldAssociation, MultiBlock, TableData};
 
 use crate::adaptor::{ArrayMetadata, DataAdaptor, MeshMetadata};
+use crate::counters::SnapshotCounters;
 use crate::error::Result;
 use crate::requirements::{DataRequirements, MeshRequirements};
 
-/// A [`DataAdaptor`] over a deep copy of another adaptor's state.
-///
-/// The asynchronous execution method (§3/§4.3) "deep copies the relevant
-/// data, launches a thread for in situ processing, and returns
-/// immediately to the simulation". `SnapshotAdaptor::capture` is that
-/// deep copy: every array of every published mesh is copied into a fresh
-/// allocation with the same placement, so the simulation may overwrite
-/// its own arrays while the in situ thread works on the snapshot.
+/// How a bridge's snapshot layer captures the simulation's state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotMode {
+    /// Deep-copy every selected array on every capture (the baseline).
+    #[default]
+    Deep,
+    /// Copy generation-advanced arrays asynchronously on a dedicated
+    /// copy stream; share unchanged arrays zero-copy behind a CoW pin.
+    Delta,
+    /// Share every array zero-copy behind a CoW pin; copies happen
+    /// lazily, only when the producer overwrites a pinned array.
+    Cow,
+}
+
+impl SnapshotMode {
+    /// The XML attribute value for this mode.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SnapshotMode::Deep => "deep",
+            SnapshotMode::Delta => "delta",
+            SnapshotMode::Cow => "cow",
+        }
+    }
+
+    /// Parse an XML attribute value (`deep`, `delta`, `cow`).
+    pub fn parse(s: &str) -> Option<SnapshotMode> {
+        match s {
+            "deep" => Some(SnapshotMode::Deep),
+            "delta" => Some(SnapshotMode::Delta),
+            "cow" => Some(SnapshotMode::Cow),
+            _ => None,
+        }
+    }
+}
+
+/// The bridge-owned snapshot strategy: mode, counters, the generation
+/// table delta captures diff against, and the dedicated per-device copy
+/// streams asynchronous copies and CoW-share fetches ride.
+pub struct SnapshotPipeline {
+    mode: SnapshotMode,
+    counters: Arc<SnapshotCounters>,
+    /// Last captured `(allocation_id, write_generation)` per array key
+    /// (`mesh/block-path/association/name`).
+    last: HashMap<String, (u64, u64)>,
+    /// One dedicated copy stream per device, created lazily. Keeping
+    /// capture traffic off the producer's streams is what lets the
+    /// copies overlap the next solver step.
+    copy_streams: HashMap<usize, Arc<Stream>>,
+}
+
+impl SnapshotPipeline {
+    /// A pipeline capturing with `mode`.
+    pub fn new(mode: SnapshotMode) -> Self {
+        SnapshotPipeline {
+            mode,
+            counters: SnapshotCounters::new(),
+            last: HashMap::new(),
+            copy_streams: HashMap::new(),
+        }
+    }
+
+    /// The active capture mode.
+    pub fn mode(&self) -> SnapshotMode {
+        self.mode
+    }
+
+    /// Switch capture modes. The generation table is cleared so the next
+    /// delta capture conservatively copies everything once.
+    pub fn set_mode(&mut self, mode: SnapshotMode) {
+        if mode != self.mode {
+            self.last.clear();
+        }
+        self.mode = mode;
+    }
+
+    /// The pipeline's snapshot counters (shared with every capture).
+    pub fn counters(&self) -> &Arc<SnapshotCounters> {
+        &self.counters
+    }
+
+    fn copy_stream(&mut self, node: &Arc<SimNode>, device: usize) -> Result<Arc<Stream>> {
+        if let Some(s) = self.copy_streams.get(&device) {
+            return Ok(s.clone());
+        }
+        let s = node.device(device)?.create_stream();
+        self.copy_streams.insert(device, s.clone());
+        Ok(s)
+    }
+
+    /// Capture the state `requirements` selects from `src` under the
+    /// active mode. Deep captures synchronize before returning; delta
+    /// captures return with copies still in flight (the consumer calls
+    /// [`SnapshotAdaptor::wait_copies`]); cow captures move no data.
+    pub fn capture(
+        &mut self,
+        src: &dyn DataAdaptor,
+        requirements: &DataRequirements,
+        node: &Arc<SimNode>,
+    ) -> Result<SnapshotAdaptor> {
+        let captured_at = Instant::now();
+        let mut shared = Vec::new();
+        let mut fences = Vec::new();
+        let mut pending: HashMap<usize, (Arc<Stream>, Event)> = HashMap::new();
+
+        let mut meshes = Vec::with_capacity(src.num_meshes());
+        for i in 0..src.num_meshes() {
+            let md = src.mesh_metadata(i)?;
+            let Some(mesh_req) = requirements.mesh_requirements(&md.name) else {
+                continue;
+            };
+            let obj = src.mesh(&md.name)?;
+            let copied = partial_copy(&obj, &mesh_req, &md.name, &mut |key, arr| {
+                self.capture_array(key, arr, node, &mut shared, &mut fences, &mut pending)
+            })?;
+            meshes.push((md.name, copied));
+        }
+
+        // Record one event per copy stream used: stream execution is
+        // FIFO, so each event signals once all of this capture's copies
+        // on that stream have landed.
+        let mut copy_events = Vec::with_capacity(pending.len());
+        for (stream, event) in pending.into_values() {
+            stream.record(&event)?;
+            copy_events.push(event);
+        }
+
+        if self.mode == SnapshotMode::Deep {
+            for (_, obj) in &meshes {
+                synchronize_object(obj)?;
+            }
+        }
+
+        Ok(SnapshotAdaptor {
+            meshes,
+            time: src.time(),
+            step: src.time_step(),
+            shared,
+            _fences: fences,
+            copy_events,
+            captured_at: Some(captured_at),
+            counters: Some(self.counters.clone()),
+        })
+    }
+
+    fn capture_array(
+        &mut self,
+        key: String,
+        arr: &ArrayRef,
+        node: &Arc<SimNode>,
+        shared: &mut Vec<ArrayRef>,
+        fences: &mut Vec<CopyFence>,
+        pending: &mut HashMap<usize, (Arc<Stream>, Event)>,
+    ) -> Result<ArrayRef> {
+        let identity = arr.generation_erased();
+        // Untracked arrays have no generation to diff: treat as changed.
+        let changed = match identity {
+            Some(id) => self.last.get(&key) != Some(&id),
+            None => true,
+        };
+        if let Some(id) = identity {
+            self.last.insert(key, id);
+        }
+        let bytes = (arr.len() * 8) as u64;
+        match self.mode {
+            SnapshotMode::Deep => {
+                self.counters.add_copied(1, bytes);
+                Ok(arr.deep_copy_erased()?)
+            }
+            SnapshotMode::Cow => self.share_or_copy(arr, node, shared, bytes),
+            SnapshotMode::Delta if !changed => self.share_or_copy(arr, node, shared, bytes),
+            SnapshotMode::Delta => {
+                let Some(device) = arr.device() else {
+                    // Host arrays copy synchronously; there is no stream
+                    // to pipeline the transfer on.
+                    self.counters.add_copied(1, bytes);
+                    return Ok(arr.deep_copy_erased()?);
+                };
+                // Drain the producer stream so the copy-stream transfer
+                // reads the same stream-ordered contents a deep copy
+                // enqueued behind the producer's kernels would.
+                arr.synchronize_erased()?;
+                let copy_stream = self.copy_stream(node, device)?;
+                let (stream, event) = match pending.entry(device) {
+                    Entry::Occupied(e) => e.into_mut(),
+                    Entry::Vacant(v) => v.insert((copy_stream, Event::new())),
+                };
+                let copy = arr.deep_copy_async_erased(stream)?;
+                // Double-buffering: the producer's *next* write to this
+                // array waits on the fence (i.e. on the in-flight copy),
+                // not the producer at capture time.
+                if let Some(cells) = arr.cells_erased() {
+                    fences.push(cells.copy_fence(event));
+                }
+                self.counters.add_copied(1, bytes);
+                Ok(copy)
+            }
+        }
+    }
+
+    fn share_or_copy(
+        &mut self,
+        arr: &ArrayRef,
+        node: &Arc<SimNode>,
+        shared: &mut Vec<ArrayRef>,
+        bytes: u64,
+    ) -> Result<ArrayRef> {
+        // The pin freezes the array's current cells, so in-flight
+        // producer kernel writes must land first for the share to hold
+        // the same stream-ordered contents a deep copy would capture.
+        arr.synchronize_erased()?;
+        let stream = match arr.device() {
+            Some(d) => HamrStream::new(self.copy_stream(node, d)?),
+            None => HamrStream::default_stream(),
+        };
+        match arr.cow_share_erased(self.counters.pin_stats(), stream) {
+            Some(share) => {
+                self.counters.add_shared(1);
+                shared.push(share.clone());
+                Ok(share)
+            }
+            None => {
+                // Array type without CoW support: fall back to an eager
+                // stream-ordered deep copy (already synchronized above).
+                self.counters.add_copied(1, bytes);
+                Ok(arr.deep_copy_erased()?)
+            }
+        }
+    }
+}
+
+/// A [`DataAdaptor`] over a captured copy (deep, delta, or CoW-shared)
+/// of another adaptor's state, safe to hand to an in situ thread while
+/// the simulation overwrites its own arrays.
 pub struct SnapshotAdaptor {
     meshes: Vec<(String, DataObject)>,
     time: f64,
     step: u64,
+    /// CoW-shared arrays; released (unpinned) via
+    /// [`DataAdaptor::release_shared`] once the consumer is done
+    /// reading, so later producer writes skip the fault copy.
+    shared: Vec<ArrayRef>,
+    /// Fences keeping the producer's next write to a delta-copied array
+    /// behind the in-flight asynchronous copy. Held only for ownership:
+    /// dropping the snapshot releases them.
+    _fences: Vec<CopyFence>,
+    /// One event per copy stream carrying this capture's async copies.
+    copy_events: Vec<Event>,
+    captured_at: Option<Instant>,
+    counters: Option<Arc<SnapshotCounters>>,
 }
 
 impl SnapshotAdaptor {
@@ -44,12 +314,44 @@ impl SnapshotAdaptor {
                 continue;
             };
             let obj = src.mesh(&md.name)?;
-            meshes.push((md.name, partial_copy(&obj, &mesh_req)?));
+            let copied =
+                partial_copy(&obj, &mesh_req, &md.name, &mut |_, arr| Ok(arr.deep_copy_erased()?))?;
+            meshes.push((md.name, copied));
         }
         for (_, obj) in &meshes {
             synchronize_object(obj)?;
         }
-        Ok(SnapshotAdaptor { meshes, time: src.time(), step: src.time_step() })
+        Ok(SnapshotAdaptor {
+            meshes,
+            time: src.time(),
+            step: src.time_step(),
+            shared: Vec::new(),
+            _fences: Vec::new(),
+            copy_events: Vec::new(),
+            captured_at: None,
+            counters: None,
+        })
+    }
+
+    /// Block until this capture's asynchronous copies have landed. The
+    /// consuming engine calls this before the first analysis touches the
+    /// snapshot; the elapsed time since capture — the window the copies
+    /// had to overlap the producer — is recorded into the counters.
+    pub fn wait_copies(&self) {
+        if self.copy_events.is_empty() {
+            return;
+        }
+        if let (Some(at), Some(counters)) = (self.captured_at, &self.counters) {
+            counters.add_overlap_ns(at.elapsed().as_nanos() as u64);
+        }
+        for event in &self.copy_events {
+            event.wait();
+        }
+    }
+
+    /// Number of arrays this capture holds as CoW shares.
+    pub fn num_shared(&self) -> usize {
+        self.shared.len()
     }
 
     fn metadata_of(&self, name: &str, obj: &DataObject) -> MeshMetadata {
@@ -77,16 +379,31 @@ impl SnapshotAdaptor {
     }
 }
 
-/// Deep-copy the arrays of `obj` that `req` selects, preserving the
-/// dataset structure (copies are enqueued stream-ordered; the caller
-/// synchronizes once at the end). Table columns count as point data.
-fn partial_copy(obj: &DataObject, req: &MeshRequirements) -> Result<DataObject> {
+fn assoc_key(assoc: FieldAssociation) -> &'static str {
+    match assoc {
+        FieldAssociation::Point => "point",
+        FieldAssociation::Cell => "cell",
+        FieldAssociation::Field => "field",
+    }
+}
+
+/// Capture the arrays of `obj` that `req` selects, preserving the
+/// dataset structure. Each selected array is passed to `capture` along
+/// with a stable key (`mesh/block-path/association/name`) the delta
+/// strategy diffs generations against. Table columns count as point
+/// data.
+fn partial_copy(
+    obj: &DataObject,
+    req: &MeshRequirements,
+    path: &str,
+    capture: &mut dyn FnMut(String, &ArrayRef) -> Result<ArrayRef>,
+) -> Result<DataObject> {
     match obj {
         DataObject::Table(t) => {
             let mut copy = TableData::new();
             for col in t.columns() {
                 if req.wants(FieldAssociation::Point, col.name()) {
-                    copy.set_column(col.deep_copy_erased()?);
+                    copy.set_column(capture(format!("{path}/point/{}", col.name()), col)?);
                 }
             }
             Ok(DataObject::Table(copy))
@@ -96,7 +413,8 @@ fn partial_copy(obj: &DataObject, req: &MeshRequirements) -> Result<DataObject> 
             for assoc in [FieldAssociation::Point, FieldAssociation::Cell] {
                 for arr in img.data(assoc).arrays() {
                     if req.wants(assoc, arr.name()) {
-                        copy.data_mut(assoc).set_array(arr.deep_copy_erased()?);
+                        let key = format!("{path}/{}/{}", assoc_key(assoc), arr.name());
+                        copy.data_mut(assoc).set_array(capture(key, arr)?);
                     }
                 }
             }
@@ -105,7 +423,7 @@ fn partial_copy(obj: &DataObject, req: &MeshRequirements) -> Result<DataObject> 
         DataObject::Multi(mb) => {
             let mut copy = MultiBlock::new(mb.num_blocks());
             for (i, block) in mb.local_blocks() {
-                copy.set_block(i, partial_copy(block, req)?);
+                copy.set_block(i, partial_copy(block, req, &format!("{path}/{i}"), capture)?);
             }
             Ok(DataObject::Multi(copy))
         }
@@ -173,6 +491,12 @@ impl DataAdaptor for SnapshotAdaptor {
     fn time_step(&self) -> u64 {
         self.step
     }
+
+    fn release_shared(&self) {
+        for arr in &self.shared {
+            arr.release_cow_erased();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -190,14 +514,20 @@ mod tests {
 
     impl ToySim {
         fn new(node: Arc<SimNode>) -> Self {
+            Self::on(node, Some(0))
+        }
+
+        /// `device: None` places the column on the host (writable from
+        /// the test thread via host views); `Some(d)` on device `d`.
+        fn on(node: Arc<SimNode>, device: Option<usize>) -> Self {
             let mut table = TableData::new();
             let x = HamrDataArray::<f64>::from_slice(
                 "x",
                 node.clone(),
                 &[1.0, 2.0, 3.0],
                 1,
-                Allocator::Cuda,
-                Some(0),
+                if device.is_some() { Allocator::Cuda } else { Allocator::Malloc },
+                device,
                 HamrStream::default_stream(),
                 StreamMode::Sync,
             )
@@ -205,6 +535,31 @@ mod tests {
             table.set_column(x.as_array_ref());
             ToySim { table, step: 7 }
         }
+
+        fn column(&self) -> ArrayRef {
+            self.table.column("x").unwrap().clone()
+        }
+
+        /// Overwrite every element of the (host-resident) column.
+        fn write_all(&self, v: f64) {
+            let cells = svtk::downcast::<f64>(self.table.column("x").unwrap()).unwrap().data();
+            let view = cells.host_f64().unwrap();
+            for i in 0..view.len() {
+                view.set(i, v);
+            }
+        }
+    }
+
+    fn values(arr: &ArrayRef) -> Vec<f64> {
+        svtk::downcast::<f64>(arr).unwrap().to_vec().unwrap()
+    }
+
+    fn cells(arr: &ArrayRef) -> devsim::CellBuffer {
+        svtk::downcast::<f64>(arr).unwrap().data()
+    }
+
+    fn snapshot_column(snap: &SnapshotAdaptor) -> ArrayRef {
+        snap.mesh("bodies").unwrap().as_table().unwrap().column("x").unwrap().clone()
     }
 
     impl DataAdaptor for ToySim {
@@ -246,14 +601,10 @@ mod tests {
         assert_eq!(snap.time(), 0.5);
         assert_eq!(snap.time_step(), 7);
 
-        let orig = sim.mesh("bodies").unwrap();
-        let copy = snap.mesh("bodies").unwrap();
-        let oc = orig.as_table().unwrap().column("x").unwrap().clone();
-        let cc = copy.as_table().unwrap().column("x").unwrap().clone();
-        let oh = svtk::downcast::<f64>(&oc).unwrap();
-        let ch = svtk::downcast::<f64>(&cc).unwrap();
-        assert!(!oh.data().same_allocation(&ch.data()), "snapshot must not alias");
-        assert_eq!(ch.to_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        let oh = sim.column();
+        let ch = snapshot_column(&snap);
+        assert!(!cells(&oh).same_allocation(&cells(&ch)), "snapshot must not alias");
+        assert_eq!(values(&ch), vec![1.0, 2.0, 3.0]);
         // Placement preserved: copy stays on the same device.
         assert_eq!(ch.device(), Some(0));
     }
@@ -293,10 +644,7 @@ mod tests {
         // The requested column is a real deep copy.
         let x_only = DataRequirements::none().with_arrays("bodies", FieldAssociation::Point, ["x"]);
         let snap = SnapshotAdaptor::capture_with(&sim, &x_only).unwrap();
-        let copy = snap.mesh("bodies").unwrap();
-        let cc = copy.as_table().unwrap().column("x").unwrap().clone();
-        let ch = svtk::downcast::<f64>(&cc).unwrap();
-        assert_eq!(ch.to_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(values(&snapshot_column(&snap)), vec![1.0, 2.0, 3.0]);
     }
 
     #[test]
@@ -304,5 +652,150 @@ mod tests {
         let node = SimNode::new(NodeConfig::fast_test(1));
         let snap = SnapshotAdaptor::capture(&ToySim::new(node)).unwrap();
         assert!(matches!(snap.mesh("nope"), Err(crate::Error::NoSuchMesh { .. })));
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in [SnapshotMode::Deep, SnapshotMode::Delta, SnapshotMode::Cow] {
+            assert_eq!(SnapshotMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(SnapshotMode::parse("shallow"), None);
+        assert_eq!(SnapshotMode::default(), SnapshotMode::Deep);
+    }
+
+    #[test]
+    fn cow_capture_shares_then_faults_on_producer_write() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Cow);
+        let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+
+        let oh = sim.column();
+        let ch = snapshot_column(&snap);
+        assert!(cells(&oh).same_allocation(&cells(&ch)), "cow share must alias");
+        assert_eq!(snap.num_shared(), 1);
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied, c.cow_faults), (1, 0, 0));
+        assert_eq!(c.bytes_copied, 0, "a cow capture moves no bytes");
+
+        // Producer overwrites the pinned array: lazy fault copy, the
+        // snapshot keeps reading the pinned contents.
+        sim.write_all(9.0);
+        assert_eq!(values(&ch), vec![1.0, 2.0, 3.0]);
+        assert_eq!(values(&oh), vec![9.0, 9.0, 9.0]);
+        let c = pipeline.counters().snapshot();
+        assert_eq!(c.cow_faults, 1);
+        assert_eq!(c.bytes_copied, 24, "the fault copied one 3-element array");
+    }
+
+    #[test]
+    fn released_cow_share_skips_the_fault_copy() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Cow);
+        let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap.release_shared();
+        sim.write_all(9.0);
+        assert_eq!(pipeline.counters().snapshot().cow_faults, 0);
+    }
+
+    #[test]
+    fn delta_capture_copies_changed_then_shares_unchanged() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Delta);
+
+        // First sight of the allocation: copied.
+        let snap1 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap1.wait_copies();
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (0, 1));
+        assert_eq!(c.bytes_copied, 24);
+        let ch = snapshot_column(&snap1);
+        assert!(!cells(&sim.column()).same_allocation(&cells(&ch)));
+        assert_eq!(values(&ch), vec![1.0, 2.0, 3.0]);
+
+        // Generation unchanged: the second capture shares zero-copy.
+        let snap2 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap2.wait_copies();
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (1, 1));
+        assert_eq!(c.bytes_copied, 24, "no new bytes for the shared capture");
+        assert!(cells(&sim.column()).same_allocation(&cells(&snapshot_column(&snap2))));
+
+        // Producer writes: the next capture copies again.
+        drop(snap2);
+        sim.write_all(4.0);
+        let snap3 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap3.wait_copies();
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (1, 2));
+        assert_eq!(values(&snapshot_column(&snap3)), vec![4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn delta_device_copy_rides_the_copy_stream() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::new(node.clone());
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Delta);
+
+        // Device-resident changed array: copied asynchronously on the
+        // dedicated copy stream, completed by wait_copies.
+        let snap1 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap1.wait_copies();
+        let ch = snapshot_column(&snap1);
+        assert!(!cells(&sim.column()).same_allocation(&cells(&ch)));
+        assert_eq!(values(&ch), vec![1.0, 2.0, 3.0]);
+        assert_eq!(ch.device(), Some(0), "placement preserved");
+
+        // Overwrite the device array through a stream copy (a write
+        // intent on its cells), then capture again: copied again, and
+        // the snapshot sees the new stream-ordered contents.
+        let nine = HamrDataArray::<f64>::from_slice(
+            "nine",
+            node.clone(),
+            &[9.0, 9.0, 9.0],
+            1,
+            Allocator::Cuda,
+            Some(0),
+            HamrStream::default_stream(),
+            StreamMode::Sync,
+        )
+        .unwrap();
+        let stream = node.device(0).unwrap().default_stream();
+        stream.copy(&nine.data(), &cells(&sim.column())).unwrap();
+        let snap2 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap2.wait_copies();
+        assert_eq!(values(&snapshot_column(&snap2)), vec![9.0, 9.0, 9.0]);
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (0, 2));
+        assert!(c.copy_overlap_ns > 0, "overlap window recorded");
+    }
+
+    #[test]
+    fn deep_pipeline_counts_every_copy() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::new(node.clone());
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Deep);
+        for _ in 0..3 {
+            let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+            assert_eq!(values(&snapshot_column(&snap)), vec![1.0, 2.0, 3.0]);
+        }
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (0, 3));
+        assert_eq!(c.bytes_copied, 72);
+    }
+
+    #[test]
+    fn set_mode_clears_the_generation_table() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Delta);
+        pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        pipeline.set_mode(SnapshotMode::Deep);
+        pipeline.set_mode(SnapshotMode::Delta);
+        // After the round-trip the next delta capture copies again.
+        pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        assert_eq!(pipeline.counters().snapshot().arrays_copied, 2);
     }
 }

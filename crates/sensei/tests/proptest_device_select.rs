@@ -1,0 +1,106 @@
+//! Property tests pinning automatic device selection to Eq. (1) of the
+//! paper: `d = (r mod n_u * s + d_0) mod n_a`.
+
+use proptest::prelude::*;
+use sensei::{select_device, DeviceSelector};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The selected device is a valid index for every admissible
+    /// parameter combination — including offsets and strides far past
+    /// `n_avail`, where the outer `mod n_a` must wrap.
+    #[test]
+    fn selection_is_always_in_range(
+        rank in 0usize..10_000,
+        n_avail in 1usize..64,
+        n_use in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..10_000,
+    ) {
+        let sel = DeviceSelector { n_use: Some(n_use), stride, offset };
+        prop_assert!(select_device(rank, n_avail, &sel) < n_avail);
+    }
+
+    /// Exact pin against the closed form, with C precedence:
+    /// `r mod n_u * s` is `(r mod n_u) * s`.
+    #[test]
+    fn selection_matches_eq_1(
+        rank in 0usize..10_000,
+        n_avail in 1usize..64,
+        n_use in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..10_000,
+    ) {
+        let sel = DeviceSelector { n_use: Some(n_use), stride, offset };
+        prop_assert_eq!(
+            select_device(rank, n_avail, &sel),
+            (rank % n_use * stride + offset) % n_avail
+        );
+    }
+
+    /// `n_use: None` means "use every available device" — identical to
+    /// writing `Some(n_avail)` explicitly.
+    #[test]
+    fn default_n_use_is_all_available(
+        rank in 0usize..10_000,
+        n_avail in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..10_000,
+    ) {
+        let all = DeviceSelector { n_use: None, stride, offset };
+        let explicit = DeviceSelector { n_use: Some(n_avail), stride, offset };
+        prop_assert_eq!(
+            select_device(rank, n_avail, &all),
+            select_device(rank, n_avail, &explicit)
+        );
+    }
+
+    /// A single-device node absorbs every configuration: the answer is
+    /// always device 0.
+    #[test]
+    fn single_device_always_selects_zero(
+        rank in 0usize..10_000,
+        n_use in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..10_000,
+    ) {
+        let sel = DeviceSelector { n_use: Some(n_use), stride, offset };
+        prop_assert_eq!(select_device(rank, 1, &sel), 0);
+    }
+
+    /// Offsets at or past `n_avail` wrap: shifting the offset by exactly
+    /// `n_avail` never changes the assignment.
+    #[test]
+    fn offset_wraps_modulo_n_avail(
+        rank in 0usize..10_000,
+        n_avail in 1usize..64,
+        n_use in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..1_000,
+    ) {
+        let base = DeviceSelector { n_use: Some(n_use), stride, offset };
+        let wrapped = DeviceSelector { n_use: Some(n_use), stride, offset: offset + n_avail };
+        prop_assert_eq!(
+            select_device(rank, n_avail, &base),
+            select_device(rank, n_avail, &wrapped)
+        );
+    }
+
+    /// Ranks congruent modulo `n_use` land on the same device — the
+    /// round-robin the paper relies on for multi-rank nodes.
+    #[test]
+    fn assignment_is_periodic_in_rank(
+        rank in 0usize..10_000,
+        n_avail in 1usize..64,
+        n_use in 1usize..64,
+        stride in 1usize..64,
+        offset in 0usize..1_000,
+    ) {
+        let sel = DeviceSelector { n_use: Some(n_use), stride, offset };
+        prop_assert_eq!(
+            select_device(rank, n_avail, &sel),
+            select_device(rank + n_use, n_avail, &sel)
+        );
+    }
+}

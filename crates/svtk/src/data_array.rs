@@ -3,6 +3,9 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use devsim::{CellBuffer, PinStats, Stream};
+use hamr::HamrStream;
+
 /// Shared handle to a type-erased data array.
 pub type ArrayRef = Arc<dyn DataArray>;
 
@@ -39,6 +42,42 @@ pub trait DataArray: Send + Sync {
 
     /// Wait for in-flight operations on this array's stream.
     fn synchronize_erased(&self) -> hamr::Result<()>;
+
+    /// Generation identity of the backing allocation as
+    /// `(allocation_id, write_generation)`, or `None` for array types
+    /// without generation tracking — consumers must treat those as
+    /// modified every time (always copy).
+    fn generation_erased(&self) -> Option<(u64, u64)> {
+        None
+    }
+
+    /// A zero-copy copy-on-write share pinned to the array's current
+    /// contents, ordered on `stream` (a snapshot layer's dedicated copy
+    /// stream). `None` when the array type cannot share — the caller
+    /// falls back to a deep copy.
+    fn cow_share_erased(&self, _stats: &Arc<PinStats>, _stream: HamrStream) -> Option<ArrayRef> {
+        None
+    }
+
+    /// Deep-copy the array with the transfer enqueued on an explicit
+    /// `stream` instead of the array's own (the delta-snapshot path: all
+    /// needed copies ride one dedicated copy stream so the data producer
+    /// resumes immediately). Defaults to the array-stream-ordered
+    /// [`deep_copy_erased`](Self::deep_copy_erased).
+    fn deep_copy_async_erased(&self, _stream: &Arc<Stream>) -> hamr::Result<ArrayRef> {
+        self.deep_copy_erased()
+    }
+
+    /// The backing cells, for fence registration against in-flight
+    /// asynchronous copies. `None` for array types not backed by cells.
+    fn cells_erased(&self) -> Option<CellBuffer> {
+        None
+    }
+
+    /// Deactivate a CoW pin held by this array (no-op on unpinned or
+    /// untracked arrays): the holder promises not to read through this
+    /// array again, so the producer's later writes skip the fault copy.
+    fn release_cow_erased(&self) {}
 
     /// Total scalar element count (`tuples * components`).
     fn len(&self) -> usize {

@@ -203,26 +203,55 @@ impl<T: Element> HamrDataArray<T> {
     /// is what keeps the asynchronous execution method's apparent cost
     /// small.
     pub fn deep_copy(&self, name: impl Into<String>) -> hamr::Result<Arc<Self>> {
+        self.deep_copy_impl(name, None)
+    }
+
+    /// Deep-copy with the transfer enqueued on an explicit `stream` — the
+    /// delta-snapshot path, where all per-step copies ride one dedicated
+    /// copy stream so the producer's compute stream is never occupied.
+    /// The copy's buffer is ordered on that stream too, so synchronizing
+    /// it (or waiting an event recorded after the copies) completes it.
+    pub fn deep_copy_on(
+        &self,
+        name: impl Into<String>,
+        stream: &Arc<devsim::Stream>,
+    ) -> hamr::Result<Arc<Self>> {
+        self.deep_copy_impl(name, Some(stream))
+    }
+
+    fn deep_copy_impl(
+        &self,
+        name: impl Into<String>,
+        copy_stream: Option<&Arc<devsim::Stream>>,
+    ) -> hamr::Result<Arc<Self>> {
         let node = self.buffer.node().clone();
         let device = self.buffer.device();
+        let (buf_stream, mode) = match copy_stream {
+            Some(s) => (HamrStream::new(s.clone()), StreamMode::Async),
+            None => (self.buffer.stream().clone(), self.buffer.mode()),
+        };
         let copy = HamrBuffer::<T>::new(
             node.clone(),
             self.buffer.len(),
             self.allocator(),
             device,
-            self.buffer.stream().clone(),
-            self.buffer.mode(),
+            buf_stream,
+            mode,
         )?;
         let src = self.buffer.data();
         let dst = copy.data();
         match device {
             Some(d) => {
-                let stream = self.buffer.stream().resolve(&node, d)?;
+                let stream = match copy_stream {
+                    Some(s) => s.clone(),
+                    None => self.buffer.stream().resolve(&node, d)?,
+                };
                 stream.copy(&src, &dst)?;
             }
             None => {
-                // Host-to-host: copy through host views.
-                let s = src.host_u64()?;
+                // Host-to-host: copy through host views (read-only on the
+                // source so a pinned source yields its pinned contents).
+                let s = src.host_u64_ro()?;
                 let d = dst.host_u64()?;
                 for i in 0..s.len() {
                     d.set(i, s.get(i));
@@ -234,6 +263,27 @@ impl<T: Element> HamrDataArray<T> {
             components: self.components,
             buffer: Arc::new(copy),
         }))
+    }
+
+    /// A zero-copy copy-on-write share of this array pinned to its
+    /// current contents (see [`HamrBuffer::cow_share`]); its operations
+    /// are ordered on `stream`.
+    pub fn cow_share(
+        self: &Arc<Self>,
+        stats: &Arc<devsim::PinStats>,
+        stream: hamr::HamrStream,
+    ) -> Arc<Self> {
+        Arc::new(HamrDataArray {
+            name: self.name.clone(),
+            components: self.components,
+            buffer: Arc::new(self.buffer.cow_share(stats, stream)),
+        })
+    }
+
+    /// The backing allocation's write generation (see
+    /// [`HamrBuffer::write_generation`]).
+    pub fn write_generation(&self) -> u64 {
+        self.buffer.write_generation()
     }
 
     /// Type-erase into an [`ArrayRef`].
@@ -273,6 +323,34 @@ impl<T: Element> DataArray for HamrDataArray<T> {
 
     fn synchronize_erased(&self) -> hamr::Result<()> {
         self.synchronize()
+    }
+
+    fn generation_erased(&self) -> Option<(u64, u64)> {
+        Some((self.buffer.allocation_id(), self.buffer.write_generation()))
+    }
+
+    fn cow_share_erased(
+        &self,
+        stats: &Arc<devsim::PinStats>,
+        stream: HamrStream,
+    ) -> Option<ArrayRef> {
+        Some(Arc::new(HamrDataArray {
+            name: self.name.clone(),
+            components: self.components,
+            buffer: Arc::new(self.buffer.cow_share(stats, stream)),
+        }) as ArrayRef)
+    }
+
+    fn deep_copy_async_erased(&self, stream: &Arc<devsim::Stream>) -> hamr::Result<ArrayRef> {
+        Ok(self.deep_copy_on(self.name.clone(), stream)? as ArrayRef)
+    }
+
+    fn cells_erased(&self) -> Option<devsim::CellBuffer> {
+        Some(self.buffer.data())
+    }
+
+    fn release_cow_erased(&self) {
+        self.buffer.release_cow();
     }
 }
 
