@@ -525,11 +525,14 @@ pub(crate) fn fetch_table(
     }
 }
 
-/// Release the snapshot's CoW shares once every fetched column has been
-/// materialized away from the snapshot's own allocations: host fetches
-/// always copy into plain vectors, and device fetches alias the
-/// snapshot only when access was granted in place. Releasing early lets
-/// the producer's subsequent writes skip the fault copy.
+/// Hint that the snapshot's CoW shares may be released: every fetched
+/// column has been materialized away from the snapshot's own
+/// allocations (host fetches always copy into plain vectors, and device
+/// fetches alias the snapshot only when access was granted in place).
+/// Releasing early lets the producer's subsequent writes skip the fault
+/// copy. The snapshot honors the hint only when this analysis is its
+/// sole remaining consumer — other engines reading the same shared
+/// snapshot keep their pins until the last one finishes.
 pub(crate) fn release_if_materialized(data: &dyn DataAdaptor, fetched: &[Fetched]) {
     let detached = fetched.iter().all(|f| match f {
         Fetched::Host(_) => true,

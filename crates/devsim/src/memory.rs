@@ -139,6 +139,11 @@ struct Track {
     generation: AtomicU64,
     readers: AtomicU64,
     pins: Mutex<Vec<Weak<PinSlot>>>,
+    /// Serializes [`CellBuffer::begin_write`] per allocation: pin
+    /// resolution (fault copies, fence waits, reader drains) must look
+    /// atomic to other writers, or a second writer could observe the
+    /// drained registry and mutate cells a fence still protects.
+    write_serial: Mutex<()>,
 }
 
 impl Track {
@@ -148,6 +153,7 @@ impl Track {
             generation: AtomicU64::new(0),
             readers: AtomicU64::new(0),
             pins: Mutex::new(Vec::new()),
+            write_serial: Mutex::new(()),
         })
     }
 }
@@ -347,6 +353,12 @@ impl CellBuffer {
     /// while acquiring a write view (the drain would wait on the caller).
     pub(crate) fn begin_write(&self) {
         self.track.generation.fetch_add(1, Ordering::Release);
+        // One writer resolves pins at a time, and the registry drain is
+        // only decisive while this lock is held: a concurrent writer
+        // must not see the emptied registry and mutate while the first
+        // is still waiting on a fence event or materializing the fault
+        // copy (it would tear the async copy / fault holder).
+        let _serial = self.track.write_serial.lock();
         let pins: Vec<Weak<PinSlot>> = {
             let mut registry = self.track.pins.lock();
             if registry.is_empty() {
@@ -1003,6 +1015,35 @@ mod tests {
         let dst = host_buf(2);
         dst.copy_cells_from(&pinned).unwrap();
         assert_eq!(dst.host_f64_ro().unwrap().to_vec(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn concurrent_writers_both_wait_on_one_fence() {
+        // The first writer drains the pin registry and blocks on the
+        // fence event; a second writer arriving meanwhile must not slip
+        // past the (now empty) registry and mutate while the fence is
+        // still unsignaled.
+        let b = Arc::new(host_buf(1));
+        let event = Event::new();
+        let fence = b.copy_fence(&event);
+        let wrote = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let writers: Vec<_> = (0..2)
+            .map(|_| {
+                let (b, wrote) = (b.clone(), wrote.clone());
+                std::thread::spawn(move || {
+                    b.host_f64().unwrap().set(0, 1.0);
+                    wrote.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert_eq!(wrote.load(Ordering::SeqCst), 0, "no writer may pass the unsignaled fence");
+        event.signal();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(wrote.load(Ordering::SeqCst), 2);
+        drop(fence);
     }
 
     #[test]

@@ -126,8 +126,10 @@ impl Bridge {
         // the relevant data" — once, not once per back-end), containing
         // the union of their declared requirements and nothing else.
         let mut requirements: Option<DataRequirements> = None;
+        let mut consumers = 0;
         for a in &self.engines {
             if a.engine.needs_snapshot() && a.engine.controls().due_at(step) {
+                consumers += 1;
                 let req = a.engine.requirements();
                 match &mut requirements {
                     Some(union) => union.union_with(&req),
@@ -136,7 +138,15 @@ impl Bridge {
             }
         }
         let snapshot = match &requirements {
-            Some(req) => Some(Arc::new(self.pipeline.capture(data, req, &self.node)?)),
+            Some(req) => {
+                let snap = self.pipeline.capture(data, req, &self.node)?;
+                // Every due engine gets the same snapshot: CoW pins may
+                // only drop once the *last* of them has released, or an
+                // early releaser would expose the rest to post-capture
+                // producer writes.
+                snap.expect_consumers(consumers);
+                Some(Arc::new(snap))
+            }
             None => None,
         };
 

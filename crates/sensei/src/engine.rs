@@ -222,9 +222,14 @@ impl ThreadedEngine {
                 // Per-snapshot recovery: a fault in one iteration is
                 // retried or skipped per policy without killing the
                 // worker; only an abort (or exhausted retries) ends it.
-                run_with_recovery(policy, &worker_counters, &worker_name, || {
+                let outcome = run_with_recovery(policy, &worker_counters, &worker_name, || {
                     guarded_execute(&mut adaptor, &worker_name, rank, snapshot.as_ref(), &ctx)
-                })?;
+                });
+                // This worker is done with the snapshot either way; the
+                // last consumer's finish drops the CoW pins so later
+                // producer writes skip the fault copy.
+                snapshot.consumer_finished();
+                outcome?;
             }
             adaptor.finalize(&ctx)
         });

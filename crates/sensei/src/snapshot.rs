@@ -27,6 +27,7 @@
 
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -176,6 +177,7 @@ impl SnapshotPipeline {
             time: src.time(),
             step: src.time_step(),
             shared,
+            consumers: AtomicUsize::new(0),
             _fences: fences,
             copy_events,
             captured_at: Some(captured_at),
@@ -192,15 +194,6 @@ impl SnapshotPipeline {
         fences: &mut Vec<CopyFence>,
         pending: &mut HashMap<usize, (Arc<Stream>, Event)>,
     ) -> Result<ArrayRef> {
-        let identity = arr.generation_erased();
-        // Untracked arrays have no generation to diff: treat as changed.
-        let changed = match identity {
-            Some(id) => self.last.get(&key) != Some(&id),
-            None => true,
-        };
-        if let Some(id) = identity {
-            self.last.insert(key, id);
-        }
         let bytes = (arr.len() * 8) as u64;
         match self.mode {
             SnapshotMode::Deep => {
@@ -208,18 +201,35 @@ impl SnapshotPipeline {
                 Ok(arr.deep_copy_erased()?)
             }
             SnapshotMode::Cow => self.share_or_copy(arr, node, shared, bytes),
-            SnapshotMode::Delta if !changed => self.share_or_copy(arr, node, shared, bytes),
             SnapshotMode::Delta => {
+                // Drain the producer stream *before* sampling the write
+                // generation: a producer kernel still queued here bumps
+                // the generation only when it executes, so sampling
+                // first would record a stale value into `last` and the
+                // next capture would re-copy the untouched array. The
+                // drain also guarantees any copy below reads the same
+                // stream-ordered contents a deep copy enqueued behind
+                // the producer's kernels would.
+                arr.synchronize_erased()?;
+                let identity = arr.generation_erased();
+                // Untracked arrays have no generation to diff: treat as
+                // changed.
+                let changed = match identity {
+                    Some(id) => self.last.get(&key) != Some(&id),
+                    None => true,
+                };
+                if let Some(id) = identity {
+                    self.last.insert(key, id);
+                }
+                if !changed {
+                    return self.share_or_copy(arr, node, shared, bytes);
+                }
                 let Some(device) = arr.device() else {
                     // Host arrays copy synchronously; there is no stream
                     // to pipeline the transfer on.
                     self.counters.add_copied(1, bytes);
                     return Ok(arr.deep_copy_erased()?);
                 };
-                // Drain the producer stream so the copy-stream transfer
-                // reads the same stream-ordered contents a deep copy
-                // enqueued behind the producer's kernels would.
-                arr.synchronize_erased()?;
                 let copy_stream = self.copy_stream(node, device)?;
                 let (stream, event) = match pending.entry(device) {
                     Entry::Occupied(e) => e.into_mut(),
@@ -276,10 +286,15 @@ pub struct SnapshotAdaptor {
     meshes: Vec<(String, DataObject)>,
     time: f64,
     step: u64,
-    /// CoW-shared arrays; released (unpinned) via
-    /// [`DataAdaptor::release_shared`] once the consumer is done
-    /// reading, so later producer writes skip the fault copy.
+    /// CoW-shared arrays; unpinned by the last consumer's
+    /// [`SnapshotAdaptor::consumer_finished`] (or by a sole consumer's
+    /// early [`DataAdaptor::release_shared`] hint), so later producer
+    /// writes skip the fault copy.
     shared: Vec<ArrayRef>,
+    /// Number of consumers (engines) still expected to read this
+    /// snapshot; see [`SnapshotAdaptor::expect_consumers`]. Zero means
+    /// no registration: a lone `release_shared` call unpins directly.
+    consumers: AtomicUsize,
     /// Fences keeping the producer's next write to a delta-copied array
     /// behind the in-flight asynchronous copy. Held only for ownership:
     /// dropping the snapshot releases them.
@@ -326,6 +341,7 @@ impl SnapshotAdaptor {
             time: src.time(),
             step: src.time_step(),
             shared: Vec::new(),
+            consumers: AtomicUsize::new(0),
             _fences: Vec::new(),
             copy_events: Vec::new(),
             captured_at: None,
@@ -352,6 +368,49 @@ impl SnapshotAdaptor {
     /// Number of arrays this capture holds as CoW shares.
     pub fn num_shared(&self) -> usize {
         self.shared.len()
+    }
+
+    /// Declare that `n` consumers (engines) will read this snapshot.
+    /// The bridge calls this with the number of due snapshot-consuming
+    /// engines before handing the snapshot out; each engine then calls
+    /// [`SnapshotAdaptor::consumer_finished`] exactly once when it is
+    /// done, and the *last* one drops the CoW pins. While more than one
+    /// registered consumer remains, [`DataAdaptor::release_shared`] is
+    /// ignored — an engine that materializes its fetches early must not
+    /// expose the other engines sharing this snapshot to post-capture
+    /// producer writes.
+    pub fn expect_consumers(&self, n: usize) {
+        self.consumers.store(n, Ordering::Release);
+    }
+
+    /// One registered consumer is done with this snapshot (its analysis
+    /// ran, retries included, or failed terminally). The last consumer
+    /// to finish releases the CoW pins so later producer writes skip
+    /// the fault copy.
+    pub fn consumer_finished(&self) {
+        let mut remaining = self.consumers.load(Ordering::Acquire);
+        while remaining > 0 {
+            match self.consumers.compare_exchange_weak(
+                remaining,
+                remaining - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if remaining == 1 {
+                        self.release_pins();
+                    }
+                    return;
+                }
+                Err(seen) => remaining = seen,
+            }
+        }
+    }
+
+    fn release_pins(&self) {
+        for arr in &self.shared {
+            arr.release_cow_erased();
+        }
     }
 
     fn metadata_of(&self, name: &str, obj: &DataObject) -> MeshMetadata {
@@ -493,8 +552,15 @@ impl DataAdaptor for SnapshotAdaptor {
     }
 
     fn release_shared(&self) {
-        for arr in &self.shared {
-            arr.release_cow_erased();
+        // An early-release *hint* from an analysis that has materialized
+        // all of its reads. Honored only when this consumer is the
+        // snapshot's sole remaining reader (or the snapshot was never
+        // registered with the bridge): with other consumers outstanding,
+        // unpinning here would silently route their still-pending reads
+        // to the live, possibly overwritten cells. Ignored hints cost
+        // nothing — the pins drop with the last `consumer_finished`.
+        if self.consumers.load(Ordering::Acquire) <= 1 {
+            self.release_pins();
         }
     }
 }
@@ -689,6 +755,54 @@ mod tests {
     }
 
     #[test]
+    fn shared_snapshot_stays_pinned_until_last_consumer_releases() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Cow);
+        let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap.expect_consumers(2);
+        let ch = snapshot_column(&snap);
+
+        // The first consumer's early-release hint must be ignored and
+        // its finish must keep the pins: a producer write still takes
+        // the fault copy, and the second consumer keeps reading the
+        // pinned (pre-write) contents.
+        snap.release_shared();
+        snap.consumer_finished();
+        sim.write_all(9.0);
+        assert_eq!(values(&ch), vec![1.0, 2.0, 3.0], "second consumer sees the pinned state");
+        assert_eq!(pipeline.counters().snapshot().cow_faults, 1);
+    }
+
+    #[test]
+    fn shared_snapshot_unpins_after_every_consumer_finishes() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Cow);
+        let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap.expect_consumers(2);
+        snap.consumer_finished();
+        snap.consumer_finished();
+        sim.write_all(9.0);
+        assert_eq!(pipeline.counters().snapshot().cow_faults, 0, "fully released: no fault");
+    }
+
+    #[test]
+    fn sole_consumer_early_release_still_skips_the_fault() {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let sim = ToySim::on(node.clone(), None);
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Cow);
+        let snap = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap.expect_consumers(1);
+        // With a single registered consumer the hint is safe and keeps
+        // the benchmark's steady-state fault set small.
+        snap.release_shared();
+        sim.write_all(9.0);
+        assert_eq!(pipeline.counters().snapshot().cow_faults, 0);
+        snap.consumer_finished();
+    }
+
+    #[test]
     fn released_cow_share_skips_the_fault_copy() {
         let node = SimNode::new(NodeConfig::fast_test(1));
         let sim = ToySim::on(node.clone(), None);
@@ -770,6 +884,54 @@ mod tests {
         let c = pipeline.counters().snapshot();
         assert_eq!((c.arrays_shared, c.arrays_copied), (0, 2));
         assert!(c.copy_overlap_ns > 0, "overlap window recorded");
+    }
+
+    #[test]
+    fn delta_settles_queued_writes_before_sampling_generation() {
+        use std::time::Duration;
+
+        // Real modeled time with a long launch overhead, so a queued
+        // kernel is reliably still pending when the capture starts.
+        let cfg = devsim::NodeConfig {
+            num_devices: 1,
+            time_scale: 1.0,
+            device: devsim::DeviceParams {
+                launch_overhead: Duration::from_millis(30),
+                ..devsim::DeviceParams::default()
+            },
+            ..devsim::NodeConfig::default()
+        };
+        let node = SimNode::new(cfg);
+        let sim = ToySim::new(node.clone());
+        let mut pipeline = SnapshotPipeline::new(SnapshotMode::Delta);
+
+        // First sight of the allocation: copied.
+        pipeline.capture(&sim, &DataRequirements::All, &node).unwrap().wait_copies();
+
+        // Queue a stall, then a producer write behind it: the write is
+        // still pending when the next capture begins, so its generation
+        // bump only happens during the capture's drain. Sampling before
+        // the drain would store a stale generation into `last`.
+        let stream = node.device(0).unwrap().default_stream();
+        stream.launch("stall", devsim::KernelCost::ZERO, |_| Ok(())).unwrap();
+        let target = cells(&sim.column());
+        stream
+            .launch("write", devsim::KernelCost::ZERO, move |scope| {
+                target.f64_view(scope)?.fill(9.0);
+                Ok(())
+            })
+            .unwrap();
+
+        let snap2 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap2.wait_copies();
+        assert_eq!(values(&snapshot_column(&snap2)), vec![9.0, 9.0, 9.0]);
+
+        // Nothing written since: the third capture must share, not
+        // re-copy — the second capture recorded the settled generation.
+        let snap3 = pipeline.capture(&sim, &DataRequirements::All, &node).unwrap();
+        snap3.wait_copies();
+        let c = pipeline.counters().snapshot();
+        assert_eq!((c.arrays_shared, c.arrays_copied), (1, 2), "no spurious re-copy");
     }
 
     #[test]
