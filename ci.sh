@@ -55,4 +55,15 @@ grep -Eq '"mode": "delta".*"bit_identical_to_deep": true' \
 grep -Eq '"mode": "cow".*"arrays_shared": [1-9][0-9]*, "arrays_copied": 0, .*"bit_identical_to_deep": true' \
     /tmp/ci_snapshot/BENCH_snapshot.json
 
+echo "== harness dag smoke (work-stealing dataflow execution)"
+# The harness hard-asserts the dag claims itself (every arm bit-identical
+# to the inline engine, the dag arm beating the async-fused arm on both
+# total wall time and apparent cost); the grep re-checks the written
+# report for the scheduler evidence — a nonzero steal count and zero
+# aborted tasks on the dag arm.
+cargo run --release -p bench --bin harness -- dag \
+    --steps 6 --out /tmp/ci_dag
+grep -Eq '"arm": "dag/deep".*"steals": [1-9][0-9]*.*"faults_aborted": 0.*"bit_identical_to_inline": true' \
+    /tmp/ci_dag/BENCH_dag.json
+
 echo "ci.sh: all checks passed"

@@ -5,6 +5,7 @@
 //!         [--resolution N] [--instances N] [--devices N] [--scale F]
 //!         [--pool on|off] [--fused on|off] [--out DIR]
 //! harness chaos [--seed N] [--out DIR]
+//! harness dag [--steps N] [--devices N] [--scale F] [--out DIR]
 //! harness snapshot [--bodies N] [--steps N] [--resolution N]
 //!         [--instances N] [--scale F] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
@@ -23,6 +24,18 @@
 //! bit-identical to the fault-free baseline, skip_step must drop exactly
 //! one step while the solver runs to completion — and writes
 //! `BENCH_chaos.json` under `--out`.
+//!
+//! `dag` runs the dataflow-vs-threaded execution A/B on a skewed
+//! mixed-cost binning workload (see `bench::run_dag_bench`): heavy
+//! multi-op instances interleaved with count-only ones, a shallow
+//! snapshot queue, and the dag arms' work-stealing scheduler spreading
+//! kernel tasks across every device. Hard-asserts that every arm's
+//! results are bit-identical to the inline reference, that the dag
+//! stole at least one task without aborting any, and that the
+//! deep-snapshot dag arm beats the threaded arm on both apparent in
+//! situ cost and total wall time; writes `BENCH_dag.json` under
+//! `--out`. The workload's rows/resolution/instance mix are fixed by
+//! the A/B; `--steps`, `--devices`, and `--scale` apply.
 //!
 //! `snapshot` runs the deep-vs-delta-vs-cow snapshot A/B on the bounded
 //! fused binning workload (see `bench::run_snapshot_bench`), prints the
@@ -60,7 +73,7 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
             args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
         };
         match args[i].as_str() {
-            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "all" => {
+            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "dag" | "all" => {
                 mode = args[i].clone()
             }
             "run-config" => {
@@ -716,6 +729,147 @@ fn run_snapshot_mode(base: &CaseConfig, out_dir: &Path) {
     );
 }
 
+/// Machine-readable dag A/B report: one JSON object per arm with the
+/// timings, work counters, and scheduler counters. Hand-rolled like
+/// `write_pool_json`.
+fn write_dag_json(path: &Path, report: &bench::DagBenchReport) {
+    let arms = report.arms();
+    let mut json = String::from("[\n");
+    for (i, a) in arms.iter().enumerate() {
+        let s = &a.sched;
+        let c = &a.counters;
+        json.push_str(&format!(
+            "  {{\"arm\": \"{}\", \"execution\": \"{}\", \"snapshot\": \"{}\", \
+             \"steps\": {}, \"instances\": {}, \"total_s\": {:.6}, \
+             \"mean_insitu_s\": {:.9}, \"tasks\": {}, \"steals\": {}, \
+             \"idle_ns\": {}, \"critical_path_ns\": {}, \"kernel_launches\": {}, \
+             \"downloads\": {}, \"allreduces\": {}, \"faults_aborted\": {}, \
+             \"bit_identical_to_inline\": {}}}{}\n",
+            a.arm,
+            a.execution.name(),
+            a.snapshot.name(),
+            report.config.steps,
+            report.config.instances(),
+            a.total.as_secs_f64(),
+            a.mean_insitu.as_secs_f64(),
+            s.tasks,
+            s.steals,
+            s.idle_ns,
+            s.critical_path_ns,
+            c.kernel_launches,
+            c.downloads,
+            c.allreduces,
+            c.faults.aborted,
+            report.bit_identical_to_inline(a),
+            if i + 1 < arms.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("]\n");
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The dag smoke: run the five arms on the skewed mixed-cost workload,
+/// print the timings and scheduler counters, and hard-assert the claims
+/// CI relies on — every arm bit-identical to the inline reference, the
+/// dag stealing at least one task and aborting none, and the
+/// deep-snapshot dag arm beating the threaded arm on both apparent cost
+/// and total wall time.
+fn run_dag_mode(base: &CaseConfig, out_dir: &Path) {
+    let cfg = bench::DagBenchConfig {
+        steps: base.steps,
+        num_devices: base.num_devices.max(2),
+        // `--scale` multiplies the dag workload's own (deliberately
+        // high) default time scale; the A/B must stay kernel-bound in
+        // modeled time for device overlap to be measurable.
+        time_scale: base.time_scale * bench::DagBenchConfig::default().time_scale,
+        ..Default::default()
+    };
+    println!(
+        "\nDag vs threaded A/B: {} heavy (13-op) + {} light (1-op) instances over {} rows \
+         on {}^2 bins, {} devices, queue depth {}",
+        cfg.heavy_instances,
+        cfg.light_instances,
+        cfg.rows,
+        cfg.resolution,
+        cfg.num_devices,
+        cfg.queue_depth
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_dag_bench(&cfg);
+    eprintln!("five arms done in {:.2?}", t0.elapsed());
+
+    println!(
+        "\n  {:<12} {:<9} {:>9} {:>12} {:>7} {:>7} {:>10} {:>13}",
+        "arm", "snapshot", "total", "insitu/iter", "tasks", "steals", "idle_ms", "crit_path_ms"
+    );
+    for a in report.arms() {
+        println!(
+            "  {:<12} {:<9} {:>8.2?} {:>9.3} ms {:>7} {:>7} {:>10.3} {:>13.3}",
+            a.arm,
+            a.snapshot.name(),
+            a.total,
+            a.mean_insitu.as_secs_f64() * 1e3,
+            a.sched.tasks,
+            a.sched.steals,
+            a.sched.idle_ns as f64 / 1e6,
+            a.sched.critical_path_ns as f64 / 1e6,
+        );
+    }
+
+    // Correctness before speed: stealing across devices must not perturb
+    // a single bit of any arm's published grids.
+    for a in report.arms() {
+        if !report.bit_identical_to_inline(a) {
+            eprintln!("FAIL: {} arm results differ from the inline reference", a.arm);
+            std::process::exit(1);
+        }
+    }
+    for a in &report.dag {
+        assert!(a.sched.tasks > 0, "{} must run through the dataflow path", a.arm);
+        assert_eq!(a.counters.faults.aborted, 0, "{} must abort nothing", a.arm);
+    }
+
+    // The structural claims: with every kernel task homed on the primary
+    // device and multi-millisecond modeled kernels, the other device
+    // workers must steal; and the stolen parallelism plus by-construction
+    // download overlap must beat the single-device threaded worker on
+    // both throughput measures.
+    let dag = report.dag_deep();
+    let threaded = &report.threaded;
+    assert!(dag.sched.steals > 0, "idle device workers must steal ready kernel tasks");
+    println!(
+        "\n  dag/deep: {} tasks, {} steals, critical path {:.3} ms",
+        dag.sched.tasks,
+        dag.sched.steals,
+        dag.sched.critical_path_ns as f64 / 1e6
+    );
+    println!(
+        "  total: dag {:.2?} vs threaded {:.2?}; apparent/iter: dag {:.3} ms vs threaded {:.3} ms",
+        dag.total,
+        threaded.total,
+        dag.mean_insitu.as_secs_f64() * 1e3,
+        threaded.mean_insitu.as_secs_f64() * 1e3,
+    );
+
+    write_dag_json(&out_dir.join("BENCH_dag.json"), &report);
+
+    if dag.total >= threaded.total {
+        eprintln!("FAIL: dag total wall time does not beat the threaded arm");
+        std::process::exit(1);
+    }
+    if dag.mean_insitu >= threaded.mean_insitu {
+        eprintln!("FAIL: dag apparent in situ cost does not beat the threaded arm");
+        std::process::exit(1);
+    }
+    println!(
+        "  PASS: all arms bit-identical; dag beat threaded with {} steals and 0 aborts",
+        dag.sched.steals
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
@@ -735,6 +889,10 @@ fn main() {
     }
     if mode == "snapshot" {
         run_snapshot_mode(&base, &out_dir);
+        return;
+    }
+    if mode == "dag" {
+        run_dag_mode(&base, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -11,12 +11,16 @@
 mod case;
 mod chaos;
 mod chart;
+mod dag;
 mod snapshot;
 mod workload;
 
 pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
 pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosReport};
 pub use chart::{ascii_bars, ascii_stack};
+pub use dag::{
+    run_dag_arm, run_dag_bench, skewed_binning_specs, DagArm, DagBenchConfig, DagBenchReport,
+};
 pub use snapshot::{run_snapshot_bench, SnapshotArm, SnapshotBenchConfig, SnapshotReport};
 pub use workload::{
     paper_binning_specs, paper_binning_specs_bounded, COORDINATE_SYSTEMS, VARIABLE_OPS,

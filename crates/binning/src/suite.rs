@@ -13,8 +13,10 @@
 //! * the union of every spec's required variables is fetched/moved
 //!   **once per table per step** and shared across all specs;
 //! * on a device, each spec's fused multi-op kernel and packed download
-//!   are dispatched round-robin across a small pool of streams, so the
-//!   coordinate systems overlap instead of serializing on one stream;
+//!   are routed to the least-loaded of a small pool of streams (by
+//!   accumulated modeled kernel cost), so the coordinate systems overlap
+//!   instead of serializing on one stream and skewed specs don't pile up
+//!   the way position-based round-robin lets them;
 //! * auto-computed axis bounds for **all** specs share one fused min/max
 //!   pass per table and one packed bounds allreduce;
 //! * every spec's grids (counts + ops) are packed into a single segmented
@@ -24,10 +26,12 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use devsim::{CellBuffer, Event};
 use minimpi::Segment;
+use parking_lot::Mutex;
 use sensei::{
-    AnalysisAdaptor, AnalysisCounters, AnalysisRegistry, BackendControls, DataAdaptor,
-    DataRequirements, Error, ExecContext, Result,
+    AnalysisAdaptor, AnalysisCounters, AnalysisRegistry, BackendControls, DagOutcome, DagScheduler,
+    DataAdaptor, DataRequirements, Error, ExecContext, Result, TaskGraph, TaskKind, TaskSite,
 };
 use svtk::FieldAssociation;
 
@@ -40,8 +44,23 @@ use crate::reduce;
 use crate::spec::{BinOp, BinningSpec, VarOp};
 
 /// Streams the suite spreads device work across; more specs than this
-/// share streams round-robin.
+/// share streams, routed least-loaded by accumulated kernel cost.
 const MAX_STREAMS: usize = 4;
+
+/// Index of the stream with the smallest accumulated relative kernel
+/// cost. Ties break to the lowest index, so a uniform-cost spec set
+/// degenerates to the old round-robin rotation — the policies only
+/// diverge when costs are skewed, which is exactly when round-robin
+/// piles heavy kernels onto one stream.
+pub(crate) fn least_loaded_stream(loads: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, load) in loads.iter().enumerate().skip(1) {
+        if *load < loads[best] {
+            best = i;
+        }
+    }
+    best
+}
 
 /// Layout of a step's flat accumulation buffer: every spec's grids
 /// (counts first) laid back to back. The flat buffer doubles as the
@@ -76,6 +95,76 @@ fn merge_segment_from_view(op: BinOp, acc: &mut [f64], v: &devsim::HostF64View, 
                 *a = a.max(v.get(base + j));
             }
         }
+    }
+}
+
+/// Where one (table, spec) kernel's partial grids live between the
+/// kernel, download and reduce nodes of the step's task graph.
+enum StagedPart {
+    /// Host placement: the per-op grids of one fused host table pass.
+    Host(Vec<Vec<f64>>),
+    /// Device kernel enqueued on `device`: the packed grids plus the
+    /// event its compute stream records after the launch (the download
+    /// node's cross-stream ordering point).
+    Device { device: usize, packed: CellBuffer, ready: Event },
+    /// Download enqueued: the packed host buffer, valid once the download
+    /// node's event fires.
+    Downloaded(CellBuffer),
+}
+
+/// Shared mutable state of one step's task graph. Worker-task bodies may
+/// only capture `Send` state, so everything the fetch node produces and
+/// the kernel/download/reduce nodes consume crosses through here.
+struct DagState {
+    /// Resolved grid of every spec (fetch node output).
+    grids: Mutex<Vec<GridParams>>,
+    /// Host placement: per table, the union columns as plain vectors.
+    #[allow(clippy::type_complexity)]
+    host_tables: Mutex<Vec<Arc<HashMap<String, Vec<f64>>>>>,
+    /// Device placement: `(table, device)` -> resident union columns.
+    /// Seeded on the primary device by the fetch node; stolen kernels
+    /// replicate a table's columns to their own device on first use.
+    #[allow(clippy::type_complexity)]
+    dev_cols: Mutex<HashMap<(usize, usize), Arc<HashMap<String, CellBuffer>>>>,
+    /// One slot per `(table, spec)`, indexed `table * nspecs + spec`.
+    staged: Vec<Mutex<Option<StagedPart>>>,
+    /// Globally reduced flat buffer (reduce node output).
+    merged: Mutex<Option<Vec<f64>>>,
+    /// Finished step results (publish node output).
+    results: Mutex<Vec<BinnedResult>>,
+}
+
+impl DagState {
+    /// The union columns of table `ti` resident on device `dw`,
+    /// replicating from the primary copy on first use. The replication
+    /// copies are enqueued on `stream` (the thief's compute stream), so
+    /// the kernel launched right after them is stream-ordered behind the
+    /// data with no blocking synchronize.
+    fn cols_on(
+        &self,
+        node: &Arc<devsim::SimNode>,
+        ti: usize,
+        dw: usize,
+        primary: usize,
+        stream: &Arc<devsim::Stream>,
+    ) -> Result<Arc<HashMap<String, CellBuffer>>> {
+        let mut cache = self.dev_cols.lock();
+        if let Some(cols) = cache.get(&(ti, dw)) {
+            return Ok(cols.clone());
+        }
+        let src = cache
+            .get(&(ti, primary))
+            .cloned()
+            .ok_or_else(|| Error::Analysis(format!("dag kernel: table {ti} was not fetched")))?;
+        let mut out = HashMap::with_capacity(src.len());
+        for (name, buf) in src.iter() {
+            let dst = node.device(dw)?.alloc_cells_on_stream(buf.len(), stream.as_ref())?;
+            stream.copy(buf, &dst).map_err(Error::Device)?;
+            out.insert(name.clone(), dst);
+        }
+        let cols = Arc::new(out);
+        cache.insert((ti, dw), cols.clone());
+        Ok(cols)
     }
 }
 
@@ -271,9 +360,10 @@ impl BinningSuite {
 
     /// Local fused binning of every spec over every fetched table,
     /// accumulated into one flat buffer laid out by `layout` — the exact
-    /// payload of the step's packed allreduce. Device work is spread
-    /// round-robin across the stream pool and synchronized once at the
-    /// end, then merged straight from the downloaded views.
+    /// payload of the step's packed allreduce. Each device kernel goes to
+    /// the stream with the least accumulated modeled cost; all streams
+    /// are synchronized once at the end, then merged straight from the
+    /// downloaded views.
     fn bin_all_specs(
         &mut self,
         fetched: &[Fetched],
@@ -292,6 +382,10 @@ impl BinningSuite {
         // (spec index, packed host buffer) downloads awaiting the sync.
         let mut staged: Vec<(usize, devsim::CellBuffer)> = Vec::new();
         let mut used_streams = false;
+        // Accumulated relative cost routed to each stream this step (the
+        // streams drain fully at the step's closing synchronize, so loads
+        // reset per call).
+        let mut stream_loads: Vec<f64> = Vec::new();
 
         for f in fetched {
             match f {
@@ -329,8 +423,10 @@ impl BinningSuite {
                         self.streams = (0..n).map(|_| dev.create_stream()).collect();
                     }
                     used_streams = true;
+                    if stream_loads.len() != self.streams.len() {
+                        stream_loads = vec![0.0; self.streams.len()];
+                    }
                     for (si, (spec, grid)) in self.specs.iter().zip(grids).enumerate() {
-                        let stream = &self.streams[si % self.streams.len()];
                         let xs = views[spec.axes.0.as_str()].cells();
                         let ys = views[spec.axes.1.as_str()].cells();
                         let all_ops = &layout.ops[si];
@@ -342,6 +438,10 @@ impl BinningSuite {
                                 (vo.op, vals)
                             })
                             .collect();
+                        let kc = device_impl::fused_bin_cost(xs.len(), all_ops.len());
+                        let sidx = least_loaded_stream(&stream_loads);
+                        stream_loads[sidx] += kc.flops + kc.bytes;
+                        let stream = &self.streams[sidx];
                         let packed =
                             device_impl::bin_all_device(ctx.node, d, stream, xs, ys, &ops, *grid)?;
                         let host = ctx.node.host_alloc_f64(packed.len());
@@ -451,6 +551,362 @@ impl AnalysisAdaptor for BinningSuite {
         Ok(true)
     }
 
+    fn supports_dag(&self) -> bool {
+        true
+    }
+
+    /// The step as a task graph: one coordinator `Fetch` node (data
+    /// movement, fused bounds, the bounds collective), one `Kernel` and
+    /// one `Download` node per `(table, spec)` — stealable across device
+    /// workers, with downloads on per-device copy streams ordered by
+    /// events — one coordinator `Reduce` node merging every partial in
+    /// the inline engine's exact order before the single packed
+    /// allreduce, and one `Publish` node. Results are bit-identical to
+    /// [`BinningSuite::execute`]: the merge order is fixed table-major
+    /// and the same kernels run whatever worker executes them.
+    fn execute_dag(
+        &mut self,
+        data: &dyn DataAdaptor,
+        ctx: &ExecContext<'_>,
+        sched: &mut DagScheduler,
+    ) -> Result<bool> {
+        let allreduces_before = ctx.comm.allreduce_count();
+        let mesh = data.mesh(&self.mesh)?;
+        let tables = local_tables(&mesh)?;
+        let device = self.controls.resolve_device(ctx.comm.rank(), ctx.node.num_devices());
+        let policy = self.controls.recovery;
+        let nspecs = self.specs.len();
+        let ntables = tables.len();
+        let row_counts: Vec<usize> = tables.iter().map(|t| t.num_rows()).collect();
+
+        let state = Arc::new(DagState {
+            grids: Mutex::new(Vec::new()),
+            host_tables: Mutex::new(Vec::new()),
+            dev_cols: Mutex::new(HashMap::new()),
+            staged: (0..ntables * nspecs).map(|_| Mutex::new(None)).collect(),
+            merged: Mutex::new(None),
+            results: Mutex::new(Vec::new()),
+        });
+        let this = &*self;
+        let node = ctx.node.clone();
+
+        let mut g = TaskGraph::new(this.name(), this.counters.clone(), policy);
+
+        // Fetch: the union of every spec's variables, once per table, plus
+        // the fused bounds pass and its packed collective — coordinator
+        // because of the collective and the data-adaptor borrow.
+        let fetch = {
+            let state = state.clone();
+            let vars: Vec<&str> = this.union_variables();
+            g.add_coordinator_task(TaskKind::Fetch, "tables+bounds", move |_| {
+                // Idempotent under retry: the step's staging is rebuilt
+                // from scratch on every attempt.
+                state.host_tables.lock().clear();
+                state.dev_cols.lock().clear();
+                this.counters.add_fetches(vars.len() as u64 * tables.len() as u64);
+                let fetched: Vec<Fetched> =
+                    tables.iter().map(|t| fetch_table(t, &vars, device)).collect::<Result<_>>()?;
+                crate::adaptor::release_if_materialized(data, &fetched);
+                *state.grids.lock() = this.resolve_grids(&fetched, device, ctx)?;
+                for (ti, f) in fetched.into_iter().enumerate() {
+                    match f {
+                        Fetched::Host(cols) => state.host_tables.lock().push(Arc::new(cols)),
+                        Fetched::Device { views, .. } => {
+                            let p = device.expect("device fetch implies device placement");
+                            let cols: HashMap<String, CellBuffer> =
+                                views.iter().map(|(k, v)| (k.clone(), v.cells().clone())).collect();
+                            state.dev_cols.lock().insert((ti, p), Arc::new(cols));
+                        }
+                    }
+                }
+                Ok(())
+            })
+        };
+
+        // One kernel + download pair per (table, spec). Kernel tasks are
+        // homed on the resolved device but stealable by any idle device
+        // worker; the download node enqueues the packed D2H copy on the
+        // copy stream of whichever device actually ran the kernel.
+        let mut download_events = Vec::with_capacity(ntables * nspecs);
+        let mut downloads = Vec::with_capacity(ntables * nspecs);
+        for (ti, &rows) in row_counts.iter().enumerate() {
+            for (si, spec) in this.specs.iter().enumerate() {
+                let idx = ti * nspecs + si;
+                let all_ops = Self::spec_ops(spec);
+                let nbins = spec.resolution.0 * spec.resolution.1;
+                let kc = device_impl::fused_bin_cost(rows, all_ops.len());
+                let dl_event = Event::new();
+
+                let kernel = match device {
+                    Some(primary) => {
+                        let state = state.clone();
+                        let node = node.clone();
+                        let counters = this.counters.clone();
+                        let axes = spec.axes.clone();
+                        let ops = all_ops.clone();
+                        let k = g.add_worker_task(
+                            TaskKind::Kernel,
+                            format!("t{ti}s{si}"),
+                            TaskSite::AnyDevice,
+                            move |tctx| {
+                                let dw = tctx.device().ok_or_else(|| {
+                                    Error::Analysis("binning kernel needs a device worker".into())
+                                })?;
+                                let stream = tctx
+                                    .stream()
+                                    .ok_or_else(|| {
+                                        Error::Analysis(format!("no compute stream on device {dw}"))
+                                    })?
+                                    .clone();
+                                let grid = state.grids.lock()[si];
+                                let cols = state.cols_on(&node, ti, dw, primary, &stream)?;
+                                let xs = &cols[axes.0.as_str()];
+                                let ys = &cols[axes.1.as_str()];
+                                let kops: Vec<(BinOp, Option<&CellBuffer>)> = ops
+                                    .iter()
+                                    .map(|vo| {
+                                        let vals =
+                                            (vo.op != BinOp::Count).then(|| &cols[vo.var.as_str()]);
+                                        (vo.op, vals)
+                                    })
+                                    .collect();
+                                let packed = device_impl::bin_all_device(
+                                    &node, dw, &stream, xs, ys, &kops, grid,
+                                )?;
+                                counters.add_kernel_launches(1);
+                                let ready = Event::new();
+                                stream.record(&ready).map_err(Error::Device)?;
+                                *state.staged[idx].lock() =
+                                    Some(StagedPart::Device { device: dw, packed, ready });
+                                Ok(())
+                            },
+                        );
+                        g.set_home(k, primary);
+                        k
+                    }
+                    None => {
+                        let state = state.clone();
+                        let node = node.clone();
+                        let counters = this.counters.clone();
+                        let axes = spec.axes.clone();
+                        let ops = all_ops.clone();
+                        g.add_worker_task(
+                            TaskKind::Kernel,
+                            format!("t{ti}s{si}"),
+                            TaskSite::Host,
+                            move |_| {
+                                let grid = state.grids.lock()[si];
+                                let cols = state.host_tables.lock()[ti].clone();
+                                counters.add_table_passes(1);
+                                let parts = node.host().run(
+                                    "bin_fused_host",
+                                    device_impl::fused_bin_cost(
+                                        cols[axes.0.as_str()].len(),
+                                        ops.len(),
+                                    ),
+                                    || {
+                                        let hops: Vec<(BinOp, Option<&[f64]>)> = ops
+                                            .iter()
+                                            .map(|vo| {
+                                                let vals = (vo.op != BinOp::Count)
+                                                    .then(|| cols[vo.var.as_str()].as_slice());
+                                                (vo.op, vals)
+                                            })
+                                            .collect();
+                                        host_impl::bin_all_host(
+                                            &cols[axes.0.as_str()],
+                                            &cols[axes.1.as_str()],
+                                            &hops,
+                                            &grid,
+                                        )
+                                    },
+                                );
+                                *state.staged[idx].lock() = Some(StagedPart::Host(parts));
+                                Ok(())
+                            },
+                        )
+                    }
+                };
+                g.set_cost(kernel, kc.flops + kc.bytes);
+                g.add_dep(kernel, fetch);
+
+                let download = match device {
+                    Some(primary) => {
+                        let state = state.clone();
+                        let node = node.clone();
+                        let counters = this.counters.clone();
+                        let ev = dl_event.clone();
+                        let d = g.add_worker_task(
+                            TaskKind::Download,
+                            format!("t{ti}s{si}"),
+                            TaskSite::AnyDevice,
+                            move |tctx| {
+                                let part = match state.staged[idx].lock().as_ref() {
+                                    Some(StagedPart::Device { device, packed, ready }) => {
+                                        Some((*device, packed.clone(), ready.clone()))
+                                    }
+                                    // A retried submission already landed.
+                                    Some(StagedPart::Downloaded(_)) => None,
+                                    _ => {
+                                        return Err(Error::Analysis(format!(
+                                            "dag download: kernel partial {idx} missing"
+                                        )))
+                                    }
+                                };
+                                if let Some((dev, packed, ready)) = part {
+                                    let cp = tctx
+                                        .copy_stream(dev)
+                                        .ok_or_else(|| {
+                                            Error::Analysis(format!(
+                                                "no copy stream on device {dev}"
+                                            ))
+                                        })?
+                                        .clone();
+                                    let host = node.host_alloc_f64(packed.len());
+                                    cp.wait_event(&ready).map_err(Error::Device)?;
+                                    cp.copy(&packed, &host).map_err(Error::Device)?;
+                                    cp.record(&ev).map_err(Error::Device)?;
+                                    counters.add_downloads(1);
+                                    *state.staged[idx].lock() = Some(StagedPart::Downloaded(host));
+                                }
+                                Ok(())
+                            },
+                        );
+                        g.set_home(d, primary);
+                        g.set_cost(d, (all_ops.len() * nbins * 8) as f64);
+                        d
+                    }
+                    None => {
+                        // Host partials are already in place; the node
+                        // exists to keep the graph shape uniform and to
+                        // release the reduce gate.
+                        let ev = dl_event.clone();
+                        g.add_worker_task(
+                            TaskKind::Download,
+                            format!("t{ti}s{si}"),
+                            TaskSite::Host,
+                            move |_| {
+                                ev.signal();
+                                Ok(())
+                            },
+                        )
+                    }
+                };
+                g.add_dep(download, kernel);
+                download_events.push(dl_event);
+                downloads.push(download);
+            }
+        }
+
+        // Reduce: merge every staged partial into the flat accumulator in
+        // ascending (table, spec) order — exactly the inline engine's
+        // merge order, so the grids stay bit-identical — then the step's
+        // single packed allreduce. Gated on the download events so the
+        // host buffers are complete without any blocking synchronize.
+        let reduce = {
+            let state = state.clone();
+            g.add_coordinator_task(TaskKind::Reduce, "packed-allreduce", move |_| {
+                let grids = state.grids.lock().clone();
+                let layout = this.layout(&grids);
+                let mut flat = Vec::with_capacity(layout.total);
+                for (spec_ops, grid) in layout.ops.iter().zip(&grids) {
+                    for vo in spec_ops {
+                        flat.resize(flat.len() + grid.num_bins(), host_impl::identity(vo.op));
+                    }
+                }
+                for (idx, slot) in state.staged.iter().enumerate() {
+                    let si = idx % grids.len().max(1);
+                    let (off, nb) = (layout.offsets[si], grids[si].num_bins());
+                    match slot.lock().as_ref() {
+                        Some(StagedPart::Host(parts)) => {
+                            for (k, vo) in layout.ops[si].iter().enumerate() {
+                                let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
+                                reduce::merge_into(vo.op, seg, &parts[k]);
+                            }
+                        }
+                        Some(StagedPart::Downloaded(host)) => {
+                            let v = host.host_f64_ro().map_err(Error::Device)?;
+                            for (k, vo) in layout.ops[si].iter().enumerate() {
+                                let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
+                                merge_segment_from_view(vo.op, seg, &v, k * nb);
+                            }
+                        }
+                        _ => {
+                            return Err(Error::Analysis(format!(
+                                "dag reduce: partial {idx} missing"
+                            )))
+                        }
+                    }
+                }
+                let merged = ctx
+                    .comm
+                    .allreduce_packed(flat, &layout.segments)
+                    .map_err(|e| Error::Analysis(format!("packed grid allreduce: {e}")))?;
+                *state.merged.lock() = Some(merged);
+                Ok(())
+            })
+        };
+        for d in downloads {
+            g.add_dep(reduce, d);
+        }
+        for ev in download_events {
+            g.gate_on_event(reduce, ev);
+        }
+
+        // Publish: unpack the reduced buffer into per-spec results.
+        let publish = {
+            let state = state.clone();
+            g.add_coordinator_task(TaskKind::Publish, "results", move |_| {
+                let merged =
+                    state.merged.lock().take().ok_or_else(|| {
+                        Error::Analysis("dag publish: reduced grids missing".into())
+                    })?;
+                let grids = state.grids.lock().clone();
+                let layout = this.layout(&grids);
+                let mut step_results = Vec::with_capacity(this.specs.len());
+                for (si, (spec, grid)) in this.specs.iter().zip(&grids).enumerate() {
+                    let (off, nb) = (layout.offsets[si], grid.num_bins());
+                    let counts = merged[off..off + nb].to_vec();
+                    let mut arrays = Vec::with_capacity(spec.ops.len());
+                    for (k, vo) in layout.ops[si].iter().enumerate().skip(1) {
+                        let values = if vo.op == BinOp::Count {
+                            counts.clone()
+                        } else {
+                            let mut global = merged[off + k * nb..off + (k + 1) * nb].to_vec();
+                            host_impl::finalize(vo.op, &mut global, &counts);
+                            global
+                        };
+                        arrays.push((vo.output_name(), values));
+                    }
+                    step_results.push(BinnedResult {
+                        step: data.time_step(),
+                        time: data.time(),
+                        axes: spec.axes.clone(),
+                        grid: *grid,
+                        arrays,
+                    });
+                }
+                if let Some(sink) = &this.sink {
+                    if ctx.comm.rank() == 0 {
+                        sink.lock().extend(step_results.iter().cloned());
+                    }
+                }
+                *state.results.lock() = step_results;
+                Ok(())
+            })
+        };
+        g.add_dep(publish, reduce);
+
+        let outcome = sched.run(g)?;
+        self.counters.add_allreduces(ctx.comm.allreduce_count() - allreduces_before);
+        if outcome == DagOutcome::Skipped {
+            return Ok(true);
+        }
+        self.last = std::mem::take(&mut *state.results.lock());
+        self.executes += 1;
+        Ok(true)
+    }
+
     fn finalize(&mut self, ctx: &ExecContext<'_>) -> Result<()> {
         if let Some(dir) = &self.output_dir {
             if ctx.comm.rank() == 0 {
@@ -481,4 +937,50 @@ pub fn register_suite(registry: &mut AnalysisRegistry) {
         }
         Ok(Box::new(suite))
     });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulate routing a sequence of kernel costs over `n` streams and
+    /// return each kernel's stream index.
+    fn route(costs: &[f64], n: usize) -> Vec<usize> {
+        let mut loads = vec![0.0; n];
+        costs
+            .iter()
+            .map(|c| {
+                let i = least_loaded_stream(&loads);
+                loads[i] += c;
+                i
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skewed_costs_split_heavy_kernels_across_streams() {
+        // Heavy/light alternation over two streams: round-robin by
+        // position would put both heavy kernels on stream 0; least-loaded
+        // routing pairs each heavy kernel with a light one.
+        let (heavy, light) = (1000.0, 1.0);
+        let picks = route(&[heavy, light, heavy, light], 2);
+        assert_eq!(picks, vec![0, 1, 1, 0]);
+        let mut per_stream = [0.0f64; 2];
+        for (pick, cost) in picks.iter().zip([heavy, light, heavy, light]) {
+            per_stream[*pick] += cost;
+        }
+        assert_eq!(per_stream[0], per_stream[1], "loads must balance");
+    }
+
+    #[test]
+    fn uniform_costs_degenerate_to_round_robin() {
+        let picks = route(&[5.0; 8], 4);
+        assert_eq!(picks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_index() {
+        assert_eq!(least_loaded_stream(&[2.0, 1.0, 1.0]), 1);
+        assert_eq!(least_loaded_stream(&[0.0]), 0);
+    }
 }

@@ -1,0 +1,291 @@
+//! DAG-engine equivalence: running the [`binning::BinningSuite`] through
+//! the dataflow task-graph engine (`ExecutionMethod::Dag`) must produce
+//! results bit-identical to the inline lockstep engine — across spec
+//! sets, device placements, snapshot modes, and under injected
+//! `stream.launch` faults recovered per task node by the retry policy.
+
+use std::sync::Arc;
+
+use devsim::fault::{site, FaultConfig, FaultRule};
+use devsim::{NodeConfig, SimNode};
+use minimpi::World;
+use parking_lot::Mutex;
+use proptest::prelude::*;
+use proptest::sample;
+use sensei::{
+    AnalysisAdaptor, BackendControls, Bridge, DeviceSpec, ExecutionMethod, MeshMetadata,
+    RecoveryPolicy, Result, SnapshotMode,
+};
+use svtk::{Allocator, DataObject, HamrDataArray, HamrStream, StreamMode, TableData};
+
+use binning::{BinOp, BinnedResult, BinningSpec, BinningSuite, ResultSink, VarOp};
+
+/// Particle table with four columns; each rank owns a deterministic
+/// pseudo-random slice (same fixture as the fused-suite tests).
+struct Particles {
+    table: TableData,
+    step: u64,
+}
+
+impl Particles {
+    fn new(node: Arc<SimNode>, device: Option<usize>, rank: usize) -> Self {
+        let n = 200;
+        let col = |seed: usize| -> Vec<f64> {
+            (0..n).map(|i| (((i * seed + rank * 7919) % 1000) as f64) / 500.0 - 1.0).collect()
+        };
+        let alloc = if device.is_some() { Allocator::OpenMp } else { Allocator::Malloc };
+        let mut table = TableData::new();
+        for (name, seed) in [("x", 37), ("y", 53), ("z", 71), ("m", 97)] {
+            let arr = HamrDataArray::<f64>::from_slice(
+                name,
+                node.clone(),
+                &col(seed),
+                1,
+                alloc,
+                device,
+                HamrStream::default_stream(),
+                StreamMode::Sync,
+            )
+            .unwrap();
+            table.set_column(arr.as_array_ref());
+        }
+        Particles { table, step: 0 }
+    }
+}
+
+impl sensei::DataAdaptor for Particles {
+    fn num_meshes(&self) -> usize {
+        1
+    }
+    fn mesh_metadata(&self, _i: usize) -> Result<MeshMetadata> {
+        Ok(MeshMetadata { name: "bodies".into(), arrays: vec![] })
+    }
+    fn mesh(&self, _name: &str) -> Result<DataObject> {
+        Ok(DataObject::Table(self.table.clone()))
+    }
+    fn time(&self) -> f64 {
+        self.step as f64 * 0.1
+    }
+    fn time_step(&self) -> u64 {
+        self.step
+    }
+}
+
+/// Up to four coordinate systems, five ops each, optionally auto-bounded.
+fn spec_set(nspecs: usize, resolution: usize, auto_bounds: bool) -> Vec<BinningSpec> {
+    [("x", "y"), ("x", "z"), ("y", "z"), ("y", "m")]
+        .iter()
+        .take(nspecs)
+        .map(|(a, b)| {
+            let mut s = BinningSpec::new(
+                "bodies",
+                (*a, *b),
+                resolution,
+                vec![
+                    VarOp { var: String::new(), op: BinOp::Count },
+                    VarOp { var: "m".into(), op: BinOp::Sum },
+                    VarOp { var: "x".into(), op: BinOp::Min },
+                    VarOp { var: "z".into(), op: BinOp::Max },
+                    VarOp { var: "m".into(), op: BinOp::Average },
+                ],
+            );
+            if !auto_bounds {
+                s.bounds = Some(([-1.0, 1.0], [-1.0, 1.0]));
+            }
+            s
+        })
+        .collect()
+}
+
+#[derive(Clone, Copy)]
+struct Run {
+    ranks: usize,
+    device: DeviceSpec,
+    execution: ExecutionMethod,
+    snapshot: SnapshotMode,
+    recovery: RecoveryPolicy,
+    steps: u64,
+}
+
+/// Drive a bridge-hosted suite and return the published results plus the
+/// run's scheduler totals and work/fault counters.
+fn run_binning(
+    cfg: Run,
+    specs: Vec<BinningSpec>,
+    fault: Option<FaultConfig>,
+) -> (Vec<BinnedResult>, sensei::SchedulerSnapshot, sensei::CounterSnapshot) {
+    let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+    let sink2 = sink.clone();
+    let out = World::new(cfg.ranks).run(move |comm| {
+        let node = SimNode::new(NodeConfig::fast_test(2));
+        if let Some(f) = &fault {
+            node.fault().configure(f.clone());
+        }
+        let suite = BinningSuite::new(specs.clone())
+            .unwrap()
+            .with_sink(sink2.clone())
+            .with_controls(BackendControls {
+                execution: cfg.execution,
+                device: cfg.device,
+                recovery: cfg.recovery,
+                ..Default::default()
+            });
+        let counters = suite.counters().unwrap();
+        let mut bridge = Bridge::new(node.clone());
+        bridge.set_snapshot_mode(cfg.snapshot);
+        bridge.add_analysis(Box::new(suite), &comm).unwrap();
+        let device = match cfg.device {
+            DeviceSpec::Host => None,
+            DeviceSpec::Explicit(d) => Some(d),
+            DeviceSpec::Auto => Some(comm.rank() % 2),
+        };
+        let mut sim = Particles::new(node.clone(), device, comm.rank());
+        for step in 0..cfg.steps {
+            sim.step = step;
+            bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
+        }
+        let profiler = bridge.finalize(&comm).unwrap();
+        node.fault().clear();
+        (profiler.scheduler_total(), counters.snapshot())
+    });
+    let results = sink.lock().clone();
+    let (sched, counters) = out.into_iter().next().unwrap();
+    (results, sched, counters)
+}
+
+fn inline_run(ranks: usize, device: DeviceSpec, steps: u64) -> Run {
+    Run {
+        ranks,
+        device,
+        execution: ExecutionMethod::Lockstep,
+        snapshot: SnapshotMode::Deep,
+        recovery: RecoveryPolicy::Abort,
+        steps,
+    }
+}
+
+fn dag_run(ranks: usize, device: DeviceSpec, snapshot: SnapshotMode, steps: u64) -> Run {
+    Run { execution: ExecutionMethod::Dag, snapshot, ..inline_run(ranks, device, steps) }
+}
+
+fn assert_results_bit_identical(dag: &[BinnedResult], inline: &[BinnedResult], what: &str) {
+    assert_eq!(dag.len(), inline.len(), "{what}: published result count");
+    for (i, (d, r)) in dag.iter().zip(inline).enumerate() {
+        assert_eq!(d.step, r.step, "{what}: result {i} step");
+        assert_eq!(d.axes, r.axes, "{what}: result {i} axes");
+        assert_eq!(d.arrays.len(), r.arrays.len(), "{what}: result {i} array count");
+        for ((dn, dv), (rn, rv)) in d.arrays.iter().zip(&r.arrays) {
+            assert_eq!(dn, rn, "{what}: result {i} array name");
+            assert_eq!(
+                dv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                rv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "{what}: result {i} array {dn}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dag_matches_inline_on_host() {
+    let specs = spec_set(3, 4, false);
+    let (dag, sched, _) =
+        run_binning(dag_run(2, DeviceSpec::Host, SnapshotMode::Deep, 3), specs.clone(), None);
+    let (inline, _, _) = run_binning(inline_run(2, DeviceSpec::Host, 3), specs, None);
+    assert!(sched.tasks > 0, "dataflow path must actually run");
+    assert_results_bit_identical(&dag, &inline, "host placement");
+}
+
+#[test]
+fn dag_matches_inline_on_device() {
+    let specs = spec_set(3, 4, false);
+    let (dag, sched, counters) = run_binning(
+        dag_run(2, DeviceSpec::Explicit(0), SnapshotMode::Deep, 3),
+        specs.clone(),
+        None,
+    );
+    let (inline, _, _) = run_binning(inline_run(2, DeviceSpec::Explicit(0), 3), specs, None);
+    assert!(sched.tasks > 0, "dataflow path must actually run");
+    assert!(sched.critical_path_ns > 0, "critical path is measured");
+    assert_eq!(counters.kernel_launches, 3 * 3, "one fused kernel per spec per step");
+    assert_results_bit_identical(&dag, &inline, "device placement");
+}
+
+#[test]
+fn dag_matches_inline_with_auto_bounds_across_snapshot_modes() {
+    for mode in [SnapshotMode::Deep, SnapshotMode::Delta, SnapshotMode::Cow] {
+        let specs = spec_set(3, 4, true);
+        let (dag, sched, _) =
+            run_binning(dag_run(2, DeviceSpec::Auto, mode, 2), specs.clone(), None);
+        let (inline, _, _) = run_binning(inline_run(2, DeviceSpec::Auto, 2), specs, None);
+        assert!(sched.tasks > 0, "dataflow path must actually run ({})", mode.name());
+        assert_results_bit_identical(&dag, &inline, mode.name());
+    }
+}
+
+#[test]
+fn dag_retry_recovers_injected_launch_faults_bit_identically() {
+    let specs = spec_set(3, 4, false);
+    let fault = FaultConfig::seeded(11)
+        .with_rule(FaultRule::error(site::STREAM_LAUNCH).with_max_injections(2).for_rank(0));
+    let mut cfg = dag_run(1, DeviceSpec::Explicit(0), SnapshotMode::Deep, 3);
+    cfg.recovery = RecoveryPolicy::Retry { max_retries: 4, backoff_ms: 0 };
+    let (dag, _, counters) = run_binning(cfg, specs.clone(), Some(fault));
+    let (inline, _, _) = run_binning(inline_run(1, DeviceSpec::Explicit(0), 3), specs, None);
+    assert!(counters.faults.injected >= 1, "faults were actually injected");
+    assert!(counters.faults.recovered >= 1, "retry recovered the failed task nodes");
+    assert_eq!(counters.faults.aborted, 0, "nothing escaped to abort");
+    assert_results_bit_identical(&dag, &inline, "fault-injected retry");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random spec sets, placements, snapshot modes, rank counts: the
+    /// task-graph execution is always bit-identical to the inline engine.
+    #[test]
+    fn dag_is_bit_identical_to_inline_across_random_configs(
+        placement in sample::select(vec![
+            DeviceSpec::Host,
+            DeviceSpec::Explicit(0),
+            DeviceSpec::Explicit(1),
+            DeviceSpec::Auto,
+        ]),
+        mode in sample::select(vec![SnapshotMode::Deep, SnapshotMode::Delta, SnapshotMode::Cow]),
+        nspecs in 1usize..5,
+        resolution in 2usize..5,
+        steps in 1u64..3,
+        ranks in 1usize..3,
+        auto_bounds in any::<bool>(),
+    ) {
+        let specs = spec_set(nspecs, resolution, auto_bounds);
+        let (dag, sched, _) = run_binning(dag_run(ranks, placement, mode, steps), specs.clone(), None);
+        let (inline, _, _) = run_binning(inline_run(ranks, placement, steps), specs, None);
+        prop_assert!(sched.tasks > 0, "dataflow path must actually run");
+        assert_results_bit_identical(&dag, &inline, "random config");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fault-injected arm: injected `stream.launch` failures recovered by
+    /// the per-task retry policy must not perturb a single bit of the
+    /// published grids relative to a clean inline run.
+    #[test]
+    fn dag_retry_under_random_fault_seeds_stays_bit_identical(
+        seed in 1u64..1024,
+        injections in 1u64..3,
+        nspecs in 1usize..4,
+    ) {
+        let specs = spec_set(nspecs, 4, false);
+        let fault = FaultConfig::seeded(seed).with_rule(
+            FaultRule::error(site::STREAM_LAUNCH).with_max_injections(injections).for_rank(0),
+        );
+        let mut cfg = dag_run(1, DeviceSpec::Explicit(0), SnapshotMode::Deep, 2);
+        cfg.recovery = RecoveryPolicy::Retry { max_retries: 4, backoff_ms: 0 };
+        let (dag, _, counters) = run_binning(cfg, specs.clone(), Some(fault));
+        let (inline, _, _) = run_binning(inline_run(1, DeviceSpec::Explicit(0), 2), specs, None);
+        prop_assert!(counters.faults.aborted == 0, "nothing escaped to abort");
+        assert_results_bit_identical(&dag, &inline, "fault-injected random seed");
+    }
+}

@@ -317,6 +317,18 @@ impl Stream {
     pub fn is_idle(&self) -> bool {
         *self.shared.pending.lock() == 0
     }
+
+    /// Non-blocking completion query, mirroring `cudaStreamQuery`:
+    /// `Ok(true)` when every submitted command has completed, `Ok(false)`
+    /// while work is still outstanding. A sticky asynchronous error is
+    /// taken (and cleared) instead, exactly as [`Stream::synchronize`]
+    /// would report it — pollers harvest stream failures without blocking.
+    pub fn query(&self) -> Result<bool> {
+        if let Some(e) = self.shared.error.lock().take() {
+            return Err(e);
+        }
+        Ok(*self.shared.pending.lock() == 0)
+    }
 }
 
 /// Result type kernels return; `Err` surfaces at the next synchronize.

@@ -82,6 +82,32 @@ fn event_reset_supports_iteration_reuse() {
 }
 
 #[test]
+fn stream_query_polls_without_blocking() {
+    let node = SimNode::new(NodeConfig::fast_test(1));
+    let stream = node.device(0).unwrap().create_stream();
+    let gate = Event::new();
+    stream.wait_event(&gate).unwrap();
+    // The stream is parked on the un-signaled event: query must report
+    // outstanding work without blocking the caller.
+    assert!(!stream.query().unwrap());
+    gate.signal();
+    stream.synchronize().unwrap();
+    assert!(stream.query().unwrap());
+}
+
+#[test]
+fn stream_query_takes_sticky_errors() {
+    let node = SimNode::new(NodeConfig::fast_test(1));
+    let stream = node.device(0).unwrap().create_stream();
+    stream.launch("fail", KernelCost::ZERO, |_| Err(devsim::Error::StreamClosed)).unwrap();
+    while !stream.is_idle() {
+        std::thread::yield_now();
+    }
+    assert!(stream.query().is_err(), "query surfaces the async kernel error");
+    assert!(stream.query().unwrap(), "the sticky error is cleared once taken");
+}
+
+#[test]
 fn unified_memory_is_visible_everywhere() {
     let node = SimNode::new(NodeConfig::fast_test(2));
     let d0 = node.device(0).unwrap();

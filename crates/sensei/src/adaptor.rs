@@ -123,6 +123,29 @@ pub trait AnalysisAdaptor: Send {
     /// continue, `Ok(false)` to request the simulation stop.
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool>;
 
+    /// True when this back-end can plan its step as a task graph for
+    /// [`execute_dag`](Self::execute_dag). The `dag` execution engine
+    /// falls back to plain [`execute`](Self::execute) dispatch otherwise.
+    fn supports_dag(&self) -> bool {
+        false
+    }
+
+    /// Dataflow variant of [`execute`](Self::execute): plan the step as a
+    /// [`crate::TaskGraph`] and hand it to `sched` (typically via
+    /// [`crate::DagScheduler::run`]). Recovery applies per task node
+    /// inside the scheduler, so the engine does not re-wrap this call in
+    /// [`crate::run_with_recovery`]. The default ignores the scheduler
+    /// and delegates to the monolithic path.
+    fn execute_dag(
+        &mut self,
+        data: &dyn DataAdaptor,
+        ctx: &ExecContext<'_>,
+        sched: &mut crate::scheduler::DagScheduler,
+    ) -> Result<bool> {
+        let _ = sched;
+        self.execute(data, ctx)
+    }
+
     /// Called once after the last `execute`; flush outputs here.
     fn finalize(&mut self, _ctx: &ExecContext<'_>) -> Result<()> {
         Ok(())

@@ -166,7 +166,26 @@ impl Bridge {
 
     /// Finalize every back-end (draining asynchronous queues) and return
     /// the run's profiler.
-    pub fn finalize(mut self, comm: &Comm) -> Result<Profiler> {
+    ///
+    /// On failure the profiler — with every counter merged up to the
+    /// failure — is discarded with the bridge; callers that want the
+    /// partial counters alongside the typed error use
+    /// [`Bridge::finalize_partial`].
+    pub fn finalize(self, comm: &Comm) -> Result<Profiler> {
+        let (profiler, err) = self.finalize_partial(comm);
+        match err {
+            Some(e) => Err(e),
+            None => Ok(profiler),
+        }
+    }
+
+    /// Like [`Bridge::finalize`], but always returns the profiler.
+    ///
+    /// A worker that fails at step N still did the work of steps 0..N;
+    /// its counters are shared atomics, so they are merged into the
+    /// profiler *before* the typed error is surfaced — partial totals are
+    /// data, not collateral of the failure.
+    pub fn finalize_partial(mut self, comm: &Comm) -> (Profiler, Option<Error>) {
         self.finalized = true;
         let mut first_err = None;
         for a in &mut self.engines {
@@ -175,10 +194,16 @@ impl Bridge {
             }
         }
         // Work counters are read only after every engine has finalized
-        // (asynchronous workers joined), so the totals are exact.
+        // (asynchronous workers joined), so the totals are exact — and
+        // they are read even when an engine failed: a worker that aborted
+        // at step N still completed steps 0..N and those counts (plus the
+        // fault counters describing the failure itself) must survive.
         for a in &self.engines {
             if let Some(counters) = a.engine.counters() {
                 self.profiler.record_counters(a.label.as_str(), counters.snapshot());
+            }
+            if let Some(sched) = a.engine.scheduler_counters() {
+                self.profiler.record_scheduler_counters(a.label.as_str(), sched.snapshot());
             }
         }
         // Snapshot-layer totals (shares vs copies, CoW faults, overlap)
@@ -198,9 +223,6 @@ impl Bridge {
             );
         }
         self.profiler.stop();
-        match first_err {
-            Some(e) => Err(e),
-            None => Ok(std::mem::take(&mut self.profiler)),
-        }
+        (std::mem::take(&mut self.profiler), first_err)
     }
 }

@@ -22,6 +22,7 @@ use crate::error::{Error, Result};
 use crate::queue::{bounded, BoundedSender, SendError};
 use crate::recovery::run_with_recovery;
 use crate::requirements::DataRequirements;
+use crate::scheduler::{DagScheduler, SchedulerCounters};
 use crate::snapshot::SnapshotAdaptor;
 
 /// Best-effort text of a caught panic payload.
@@ -82,6 +83,13 @@ pub trait ExecutionEngine: Send {
     /// move the back-end onto a worker thread must capture the handle
     /// before the move so the bridge can still read the totals.
     fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        None
+    }
+
+    /// Work-stealing scheduler counters, for engines that execute steps
+    /// as task graphs ([`DagEngine`]); the bridge records them into the
+    /// profiler at finalize.
+    fn scheduler_counters(&self) -> Option<Arc<SchedulerCounters>> {
         None
     }
 
@@ -362,6 +370,198 @@ impl ExecutionEngine for ThreadedEngine {
     }
 }
 
+/// Dataflow execution: like [`ThreadedEngine`], a persistent worker
+/// thread owns the back-end and consumes deep-copied snapshots from a
+/// bounded queue — but each step runs as a task graph under a
+/// work-stealing [`DagScheduler`] spanning every device slot and stream
+/// of the node (DESIGN.md §13).
+///
+/// Back-ends that plan task graphs
+/// ([`AnalysisAdaptor::supports_dag`]) get per-task-node recovery inside
+/// the scheduler; back-ends that do not are dispatched exactly like
+/// [`ThreadedEngine`] does (per-snapshot recovery around a monolithic
+/// `execute`), which is what lets this engine subsume the threaded path:
+/// `asynchronous` remains selectable for one more release, after which it
+/// becomes an alias for `dag`.
+pub struct DagEngine {
+    name: String,
+    controls: BackendControls,
+    requirements: DataRequirements,
+    counters: Arc<AnalysisCounters>,
+    scheduler_counters: Arc<SchedulerCounters>,
+    tx: Option<BoundedSender<Arc<SnapshotAdaptor>>>,
+    handle: Option<std::thread::JoinHandle<Result<()>>>,
+    failed: Option<Error>,
+}
+
+impl DagEngine {
+    /// Move `adaptor` onto a new worker thread owning a [`DagScheduler`].
+    /// `comm` must be a dedicated duplicate, exactly as for
+    /// [`ThreadedEngine::spawn`].
+    pub fn spawn(mut adaptor: Box<dyn AnalysisAdaptor>, comm: Comm, node: Arc<SimNode>) -> Self {
+        let name = adaptor.name().to_string();
+        let controls = *adaptor.controls();
+        let requirements = adaptor.required_arrays();
+        let counters = adaptor.counters().unwrap_or_default();
+        let scheduler_counters = SchedulerCounters::new();
+        let (tx, rx) = bounded::<Arc<SnapshotAdaptor>>(controls.queue_depth, controls.overflow);
+        let thread_name = format!("sensei-dag-{name}");
+        let worker_name = name.clone();
+        let worker_counters = counters.clone();
+        let worker_sched_counters = scheduler_counters.clone();
+        let policy = controls.recovery;
+        let spawned = std::thread::Builder::new().name(thread_name).spawn(move || -> Result<()> {
+            let rank = comm.rank();
+            let mut sched = DagScheduler::new(node.clone(), rank, worker_sched_counters);
+            let ctx = ExecContext::new(&comm, &node);
+            let dataflow = adaptor.supports_dag();
+            while let Some(snapshot) = rx.recv() {
+                snapshot.wait_copies();
+                let outcome = if dataflow {
+                    // Recovery applies per task node inside the scheduler;
+                    // wrapping the whole step again would double-count
+                    // faults and re-run collectives. Panics (plan-time or
+                    // escaping a scoped worker) are still contained here.
+                    let _armed = devsim::fault::arm(rank);
+                    match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        adaptor.execute_dag(snapshot.as_ref(), &ctx, &mut sched)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => Err(Error::Analysis(format!(
+                            "analysis '{worker_name}' panicked: {}",
+                            panic_message(payload.as_ref())
+                        ))),
+                    }
+                } else {
+                    run_with_recovery(policy, &worker_counters, &worker_name, || {
+                        guarded_execute(&mut adaptor, &worker_name, rank, snapshot.as_ref(), &ctx)
+                    })
+                };
+                snapshot.consumer_finished();
+                outcome?;
+            }
+            adaptor.finalize(&ctx)
+        });
+        match spawned {
+            Ok(handle) => DagEngine {
+                name,
+                controls,
+                requirements,
+                counters,
+                scheduler_counters,
+                tx: Some(tx),
+                handle: Some(handle),
+                failed: None,
+            },
+            Err(io) => {
+                let failed = Error::Analysis(format!(
+                    "failed to spawn dag worker thread for '{name}': {io}"
+                ));
+                DagEngine {
+                    name,
+                    controls,
+                    requirements,
+                    counters,
+                    scheduler_counters,
+                    tx: None,
+                    handle: None,
+                    failed: Some(failed),
+                }
+            }
+        }
+    }
+
+    fn join_worker(&mut self) -> Result<()> {
+        match self.handle.take() {
+            Some(h) => match h.join() {
+                Ok(result) => result,
+                Err(_) => Err(Error::Analysis(format!("dag worker '{}' panicked", self.name))),
+            },
+            None => Ok(()),
+        }
+    }
+}
+
+impl ExecutionEngine for DagEngine {
+    fn backend_name(&self) -> &str {
+        &self.name
+    }
+
+    fn controls(&self) -> &BackendControls {
+        &self.controls
+    }
+
+    fn requirements(&self) -> DataRequirements {
+        self.requirements.clone()
+    }
+
+    fn needs_snapshot(&self) -> bool {
+        true
+    }
+
+    fn counters(&self) -> Option<Arc<AnalysisCounters>> {
+        Some(self.counters.clone())
+    }
+
+    fn scheduler_counters(&self) -> Option<Arc<SchedulerCounters>> {
+        Some(self.scheduler_counters.clone())
+    }
+
+    fn dispatch(
+        &mut self,
+        _data: &dyn DataAdaptor,
+        snapshot: Option<&Arc<SnapshotAdaptor>>,
+        _comm: &Comm,
+        _node: &Arc<SimNode>,
+    ) -> Result<bool> {
+        if let Some(err) = &self.failed {
+            return Err(err.clone());
+        }
+        let Some(snapshot) = snapshot else {
+            return Err(Error::Analysis(format!(
+                "dag engine '{}' expected a snapshot but the bridge supplied none",
+                self.name
+            )));
+        };
+        let tx = self.tx.as_ref().ok_or(Error::Finalized)?;
+        match tx.send(snapshot.clone()) {
+            Ok(_) => Ok(true),
+            Err(SendError::Full) => Err(Error::Analysis(format!(
+                "in situ queue for '{}' is full ({} snapshots in flight, overflow policy \
+                 'error')",
+                self.name, self.controls.queue_depth
+            ))),
+            Err(SendError::Closed) => {
+                let err = Error::Analysis(format!("in situ queue for '{}' is closed", self.name));
+                self.failed = Some(err.clone());
+                Err(err)
+            }
+            Err(SendError::Disconnected) => {
+                self.tx = None;
+                let err = match self.join_worker() {
+                    Ok(()) => {
+                        Error::Analysis(format!("dag worker '{}' terminated early", self.name))
+                    }
+                    Err(e) => e,
+                };
+                self.failed = Some(err.clone());
+                Err(err)
+            }
+        }
+    }
+
+    fn finalize(&mut self, _comm: &Comm, _node: &Arc<SimNode>) -> Result<()> {
+        if let Some(tx) = self.tx.take() {
+            tx.close();
+        }
+        let join_result = self.join_worker();
+        match self.failed.take() {
+            Some(err) => Err(err),
+            None => join_result,
+        }
+    }
+}
+
 /// Context an [`EngineFactory`] builds an engine in.
 pub struct EngineContext<'a> {
     /// The simulation's communicator. Engines needing their own duplicate
@@ -394,7 +594,8 @@ impl EngineRegistry {
     }
 
     /// The built-in engines: `lockstep` → [`InlineEngine`],
-    /// `asynchronous` → [`ThreadedEngine`].
+    /// `asynchronous` → [`ThreadedEngine`] (deprecated; one more release
+    /// before it aliases to `dag`), `dag` → [`DagEngine`].
     pub fn with_defaults() -> Self {
         let mut reg = EngineRegistry::empty();
         reg.register("lockstep", |adaptor, _ctx| {
@@ -402,6 +603,10 @@ impl EngineRegistry {
         });
         reg.register("asynchronous", |adaptor, ctx| {
             Ok(Box::new(ThreadedEngine::spawn(adaptor, ctx.comm.dup(), ctx.node.clone()))
+                as Box<dyn ExecutionEngine>)
+        });
+        reg.register("dag", |adaptor, ctx| {
+            Ok(Box::new(DagEngine::spawn(adaptor, ctx.comm.dup(), ctx.node.clone()))
                 as Box<dyn ExecutionEngine>)
         });
         reg
@@ -485,12 +690,12 @@ mod tests {
     }
 
     #[test]
-    fn default_registry_has_both_paper_modes() {
+    fn default_registry_has_all_builtin_modes() {
         let reg = EngineRegistry::with_defaults();
-        for m in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+        for m in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous, ExecutionMethod::Dag] {
             assert!(reg.contains(m.name()), "missing engine for {}", m.name());
         }
-        assert_eq!(reg.mode_names(), vec!["asynchronous", "lockstep"]);
+        assert_eq!(reg.mode_names(), vec!["asynchronous", "dag", "lockstep"]);
         assert!(!reg.contains("warp"));
     }
 
@@ -560,6 +765,34 @@ mod tests {
             );
         });
         assert_eq!(executes.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn dag_engine_falls_back_to_monolithic_dispatch() {
+        // A back-end without `supports_dag` runs through the DagEngine
+        // exactly like the threaded path: the step executes once per
+        // snapshot on the worker thread and finalize drains cleanly.
+        let executes = Arc::new(AtomicU64::new(0));
+        let e2 = executes.clone();
+        World::new(1).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let controls =
+                BackendControls { execution: ExecutionMethod::Dag, ..Default::default() };
+            let adaptor = Box::new(Counting { controls, executes: e2.clone() });
+            let reg = EngineRegistry::with_defaults();
+            let mut engine =
+                reg.create("dag", adaptor, &EngineContext { comm: &comm, node: &node }).unwrap();
+            assert!(engine.needs_snapshot());
+            let sc = engine.scheduler_counters().expect("dag engine exposes counters");
+            let data = EmptyData;
+            for _ in 0..3 {
+                let snap = Arc::new(SnapshotAdaptor::capture(&data).unwrap());
+                assert!(engine.dispatch(&data, Some(&snap), &comm, &node).unwrap());
+            }
+            engine.finalize(&comm, &node).unwrap();
+            assert_eq!(sc.snapshot().tasks, 0, "fallback path plans no task graph");
+        });
+        assert_eq!(executes.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -13,6 +13,12 @@ pub enum ExecutionMethod {
     /// separate thread, and the call returns immediately; simulation and
     /// analysis proceed concurrently.
     Asynchronous,
+    /// Asynchronous, but each step executes as a dataflow task graph
+    /// (`Fetch → Kernel → Download → Reduce → Publish`) under a
+    /// work-stealing scheduler spanning every device slot and stream.
+    /// Back-ends that do not plan task graphs fall back to the plain
+    /// asynchronous dispatch on the same engine.
+    Dag,
 }
 
 impl ExecutionMethod {
@@ -21,6 +27,7 @@ impl ExecutionMethod {
         match self {
             ExecutionMethod::Lockstep => "lockstep",
             ExecutionMethod::Asynchronous => "asynchronous",
+            ExecutionMethod::Dag => "dag",
         }
     }
 
@@ -29,6 +36,7 @@ impl ExecutionMethod {
         match s.trim().to_ascii_lowercase().as_str() {
             "lockstep" | "sync" | "synchronous" => Some(ExecutionMethod::Lockstep),
             "asynchronous" | "async" | "threaded" => Some(ExecutionMethod::Asynchronous),
+            "dag" | "dataflow" => Some(ExecutionMethod::Dag),
             _ => None,
         }
     }
@@ -40,7 +48,7 @@ mod tests {
 
     #[test]
     fn names_roundtrip() {
-        for m in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous] {
+        for m in [ExecutionMethod::Lockstep, ExecutionMethod::Asynchronous, ExecutionMethod::Dag] {
             assert_eq!(ExecutionMethod::parse(m.name()), Some(m));
         }
     }
@@ -49,6 +57,7 @@ mod tests {
     fn aliases_parse() {
         assert_eq!(ExecutionMethod::parse("ASYNC"), Some(ExecutionMethod::Asynchronous));
         assert_eq!(ExecutionMethod::parse("sync"), Some(ExecutionMethod::Lockstep));
+        assert_eq!(ExecutionMethod::parse("dataflow"), Some(ExecutionMethod::Dag));
         assert_eq!(ExecutionMethod::parse("bogus"), None);
     }
 }

@@ -47,6 +47,7 @@ mod bridge;
 mod configurable;
 mod controls;
 mod counters;
+mod dag;
 mod device_select;
 mod engine;
 mod error;
@@ -58,6 +59,7 @@ pub mod queue;
 mod recovery;
 mod registry;
 mod requirements;
+mod scheduler;
 mod snapshot;
 
 pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
@@ -68,19 +70,22 @@ pub use counters::{
     AnalysisCounters, CounterSnapshot, FaultCounters, FaultSnapshot, SnapshotCounterSnapshot,
     SnapshotCounters,
 };
+pub use dag::{DeviceStreams, TaskCtx, TaskGraph, TaskId, TaskKind, TaskSite};
 pub use device_select::{select_device, DeviceSelector};
 pub use engine::{
-    EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine, ThreadedEngine,
+    DagEngine, EngineContext, EngineFactory, EngineRegistry, ExecutionEngine, InlineEngine,
+    ThreadedEngine,
 };
 pub use error::{Error, Result};
 pub use execution::ExecutionMethod;
 pub use placement::Placement;
 pub use profiler::{
     BackendBreakdown, BackendSample, CounterSample, IterationRecord, PoolSample, ProfileSummary,
-    Profiler, SnapshotSample,
+    Profiler, SchedulerSample, SnapshotSample,
 };
 pub use queue::OverflowPolicy;
 pub use recovery::{run_with_recovery, RecoveryPolicy};
 pub use registry::{AnalysisFactory, AnalysisRegistry, CreateContext};
 pub use requirements::{ArraySelection, DataRequirements, MeshRequirements, ANY_MESH};
+pub use scheduler::{DagOutcome, DagScheduler, SchedulerCounters, SchedulerSnapshot};
 pub use snapshot::{SnapshotAdaptor, SnapshotMode, SnapshotPipeline};

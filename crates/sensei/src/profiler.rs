@@ -7,6 +7,7 @@ use devsim::PoolStats;
 #[cfg(test)]
 use crate::counters::FaultSnapshot;
 use crate::counters::{CounterSnapshot, SnapshotCounterSnapshot};
+use crate::scheduler::SchedulerSnapshot;
 
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -82,6 +83,17 @@ pub struct SnapshotSample {
     pub counters: SnapshotCounterSnapshot,
 }
 
+/// One back-end's work-stealing scheduler totals at the end of a run
+/// (dag execution only): tasks executed, cross-worker steals, worker idle
+/// time, and the accumulated critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulerSample {
+    /// Back-end instance name.
+    pub backend: String,
+    /// The scheduler counter totals.
+    pub counters: SchedulerSnapshot,
+}
+
 /// One memory space's caching-pool counters at the end of a run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolSample {
@@ -99,6 +111,7 @@ pub struct Profiler {
     pool_samples: Vec<PoolSample>,
     counter_samples: Vec<CounterSample>,
     snapshot_samples: Vec<SnapshotSample>,
+    scheduler_samples: Vec<SchedulerSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -118,6 +131,7 @@ impl Profiler {
             pool_samples: Vec::new(),
             counter_samples: Vec::new(),
             snapshot_samples: Vec::new(),
+            scheduler_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -254,6 +268,43 @@ impl Profiler {
                 c.bytes_copied,
                 c.cow_faults,
                 c.copy_overlap_ns,
+            ));
+        }
+        out
+    }
+
+    /// Record one back-end's scheduler counter totals (the bridge does
+    /// this at finalize for every engine that executes task graphs).
+    pub fn record_scheduler_counters(
+        &mut self,
+        backend: impl Into<String>,
+        counters: SchedulerSnapshot,
+    ) {
+        self.scheduler_samples.push(SchedulerSample { backend: backend.into(), counters });
+    }
+
+    /// Every recorded scheduler sample.
+    pub fn scheduler_samples(&self) -> &[SchedulerSample] {
+        &self.scheduler_samples
+    }
+
+    /// Scheduler counters summed over every recorded back-end.
+    pub fn scheduler_total(&self) -> SchedulerSnapshot {
+        let mut total = SchedulerSnapshot::default();
+        for s in &self.scheduler_samples {
+            total.accumulate(&s.counters);
+        }
+        total
+    }
+
+    /// Dump the per-backend scheduler samples as CSV.
+    pub fn scheduler_csv(&self) -> String {
+        let mut out = String::from("backend,tasks,steals,idle_ns,critical_path_ns\n");
+        for s in &self.scheduler_samples {
+            let c = &s.counters;
+            out.push_str(&format!(
+                "{},{},{},{},{}\n",
+                s.backend, c.tasks, c.steals, c.idle_ns, c.critical_path_ns,
             ));
         }
         out
@@ -491,6 +542,27 @@ mod tests {
             "mode,arrays_shared,arrays_copied,bytes_copied,cow_faults,copy_overlap_ns"
         );
         assert_eq!(lines[1], "cow,1080,0,98304,3,12345");
+    }
+
+    #[test]
+    fn scheduler_samples_aggregate_and_dump() {
+        let mut p = Profiler::new();
+        p.record_scheduler_counters(
+            "binning_suite",
+            SchedulerSnapshot { tasks: 40, steals: 7, idle_ns: 1200, critical_path_ns: 900 },
+        );
+        p.record_scheduler_counters(
+            "histogram",
+            SchedulerSnapshot { tasks: 10, steals: 0, idle_ns: 300, critical_path_ns: 100 },
+        );
+        let total = p.scheduler_total();
+        assert_eq!((total.tasks, total.steals), (50, 7));
+        assert_eq!((total.idle_ns, total.critical_path_ns), (1500, 1000));
+        let csv = p.scheduler_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "backend,tasks,steals,idle_ns,critical_path_ns");
+        assert_eq!(lines[1], "binning_suite,40,7,1200,900");
+        assert_eq!(lines[2], "histogram,10,0,300,100");
     }
 
     #[test]

@@ -123,6 +123,7 @@ impl AnalysisAdaptor for Flaky {
             .map_err(sensei::Error::Hamr)?
             .iter()
             .sum();
+        self.counters.add_table_passes(1);
         self.successes.fetch_add(1, Ordering::SeqCst);
         Ok(true)
     }
@@ -182,6 +183,45 @@ fn erroring_async_worker_surfaces_at_finalize_under_each_policy() {
             );
         });
     }
+}
+
+#[test]
+fn failed_worker_partial_counters_survive_finalize() {
+    // Regression: a worker that aborts at step N still completed steps
+    // 0..N; `Bridge::finalize` used to drop the profiler (and with it the
+    // merged counter samples) when surfacing the typed error, losing
+    // those partial totals. `finalize_partial` returns both.
+    World::new(1).run(|comm| {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let (adaptor, counters, _attempts, successes) = Flaky::boxed(
+            ExecutionMethod::Asynchronous,
+            OverflowPolicy::Block,
+            RecoveryPolicy::Abort,
+            vec![2],
+            false,
+        );
+        let mut bridge = Bridge::new(node.clone());
+        bridge.add_analysis(adaptor, &comm).unwrap();
+        let mut sim = Sim { node: node.clone(), values: vec![1.0, 2.0], step: 0 };
+        run_tolerant(&mut bridge, &mut sim, &comm, 6);
+        let (profiler, err) = bridge.finalize_partial(&comm);
+        let err = err.expect("the aborted worker must surface its typed error");
+        assert!(matches!(err, sensei::Error::Analysis(_)), "got {err:?}");
+        assert_eq!(successes.load(Ordering::SeqCst), 2, "two steps completed before the abort");
+
+        // The partial totals from the completed steps were merged into the
+        // profiler before the error surfaced.
+        let sample = profiler
+            .counter_samples()
+            .iter()
+            .find(|s| s.backend == "flaky")
+            .expect("failed worker's counters are still recorded");
+        assert_eq!(sample.counters.table_passes, 2, "partial work counters survive");
+        assert_eq!((sample.counters.faults.injected, sample.counters.faults.aborted), (1, 1));
+        assert_eq!(sample.counters, counters.snapshot());
+        // And the CSV surface carries them too.
+        assert!(profiler.counters_csv().contains("flaky,2,"), "csv row for the failed worker");
+    });
 }
 
 #[test]
