@@ -66,4 +66,21 @@ cargo run --release -p bench --bin harness -- dag \
 grep -Eq '"arm": "dag/deep".*"steals": [1-9][0-9]*.*"faults_aborted": 0.*"bit_identical_to_inline": true' \
     /tmp/ci_dag/BENCH_dag.json
 
+echo "== harness scale smoke (hierarchical vs flat collectives)"
+# The harness hard-asserts the scale claims itself (bit identity at
+# every rank count, fewer inter-node messages on every multi-node
+# point, a modeled-total win at the largest count, and the fused
+# suite's 1-allreduce-per-step invariant on the tiered path); the greps
+# re-check the written report — every point bit-identical, the 16-rank
+# multi-node points beating flat on inter-node traffic, and the check
+# arm's counters populated.
+cargo run --release -p bench --bin harness -- scale \
+    --rank-counts 4,16 --out /tmp/ci_scale
+grep -q '"bit_identical": true' /tmp/ci_scale/BENCH_scale.json
+! grep -q '"bit_identical": false' /tmp/ci_scale/BENCH_scale.json
+grep -Eq '"ranks": 16.*"hier_fewer_inter_messages": true' \
+    /tmp/ci_scale/BENCH_scale.json
+grep -q '"fused_one_allreduce_per_step": true, "tier_counters_populated": true' \
+    /tmp/ci_scale/BENCH_scale.json
+
 echo "ci.sh: all checks passed"

@@ -8,6 +8,7 @@
 //! harness dag [--steps N] [--devices N] [--scale F] [--out DIR]
 //! harness snapshot [--bodies N] [--steps N] [--resolution N]
 //!         [--instances N] [--scale F] [--out DIR]
+//! harness scale [--rank-counts N,N,...] [--steps N] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
@@ -44,10 +45,19 @@
 //! the cow arm copies at least 70% fewer bytes per step, and writes
 //! `BENCH_snapshot.json` under `--out`.
 //!
+//! `scale` sweeps the hierarchical-vs-flat collective A/B over a list of
+//! rank counts (default 4, 64, 512 — the paper's Perlmutter span) in
+//! weak- and strong-scaling configurations (see `bench::run_scale_bench`).
+//! Hard-asserts bit identity at every count, fewer inter-node messages
+//! on every multi-node point, a modeled-total win at the largest count,
+//! and the fused suite's 1-allreduce-per-step invariant on the tiered
+//! path; writes `BENCH_scale.json` under `--out`.
+//!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
 //! and execution method all controlled by the XML, as in the paper's
-//! appendix.
+//! appendix. An optional `<topology>` element groups the ranks into
+//! simulated nodes and routes collectives hierarchically.
 //!
 //! `figure2`/`figure3` run the full 8-case matrix (4 placements × 2
 //! execution methods) and print the paper-shaped bar charts plus CSV
@@ -59,12 +69,13 @@ use std::time::Instant;
 use bench::{ascii_bars, ascii_stack, bench_node_config, run_case, AggregatedCase, CaseConfig};
 use sensei::{ExecutionMethod, Placement};
 
-fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
+fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize>) {
     let mut mode = "all".to_string();
     let mut cfg = CaseConfig::small(Placement::Host, ExecutionMethod::Lockstep);
     let mut out = PathBuf::from("results");
     let mut xml = None;
     let mut chaos_seed = 7u64;
+    let mut rank_counts = vec![4, 64, 512];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -73,9 +84,8 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
             args.get(*i).unwrap_or_else(|| panic!("missing value after {}", args[*i - 1])).clone()
         };
         match args[i].as_str() {
-            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "dag" | "all" => {
-                mode = args[i].clone()
-            }
+            "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "dag"
+            | "scale" | "all" => mode = args[i].clone(),
             "run-config" => {
                 mode = "run-config".into();
                 xml = Some(PathBuf::from(next(&mut i)));
@@ -101,12 +111,19 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64) {
                 }
             }
             "--seed" => chaos_seed = next(&mut i).parse().expect("--seed"),
+            "--rank-counts" => {
+                rank_counts = next(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--rank-counts takes a comma list"))
+                    .collect();
+                assert!(!rank_counts.is_empty(), "--rank-counts needs at least one count");
+            }
             "--out" => out = PathBuf::from(next(&mut i)),
             other => panic!("unknown argument '{other}'"),
         }
         i += 1;
     }
-    (mode, cfg, out, xml, chaos_seed)
+    (mode, cfg, out, xml, chaos_seed, rank_counts)
 }
 
 /// Run Newton++ against a SENSEI XML configuration: back-end selection,
@@ -124,7 +141,23 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
     let (bodies, steps, seed) = (base.bodies, base.steps, base.seed);
     println!("running {} on {ranks} ranks, {bodies} bodies, {steps} steps", xml_path.display());
 
-    let summaries = World::new(ranks).run(move |comm| {
+    // An optional <topology> element groups the ranks into simulated
+    // nodes, selects the collective routing, and sets the two-tier
+    // network cost model the world charges messages against.
+    let mut world = World::new(ranks);
+    if let Some(t) = ConfigurableAnalysis::from_xml(&xml).expect("parse XML").topology_config() {
+        let topo = t.topology(ranks);
+        println!(
+            "topology: {} ranks on {} nodes ({} per node), {:?} collectives",
+            ranks,
+            topo.num_nodes(),
+            t.ranks_per_node,
+            t.mode
+        );
+        world = world.with_topology(topo).with_collective_mode(t.mode).with_net(t.net, 1.0);
+    }
+
+    let summaries = world.run(move |comm| {
         let node = node.clone();
         let mut registry = AnalysisRegistry::new();
         binning::register(&mut registry);
@@ -870,11 +903,181 @@ fn run_dag_mode(base: &CaseConfig, out_dir: &Path) {
     );
 }
 
+/// Machine-readable scale report: one JSON object per (sweep, rank
+/// count) with both arms' tier counters and modeled totals, plus the
+/// fused-suite check. Hand-rolled like `write_pool_json`; the boolean
+/// fields are what CI greps.
+fn write_scale_json(path: &Path, report: &bench::ScaleReport) {
+    let points = report.points();
+    let mut json = String::from("{\n  \"sweeps\": [\n");
+    for (i, (kind, p)) in points.iter().enumerate() {
+        let arm = |a: &bench::ScaleArm| {
+            format!(
+                "{{\"intra_messages\": {}, \"intra_bytes\": {}, \"inter_messages\": {}, \
+                 \"inter_bytes\": {}, \"comm_modeled_s\": {:.9}, \"compute_modeled_s\": {:.9}, \
+                 \"modeled_total_s\": {:.9}}}",
+                a.comm.intra_messages,
+                a.comm.intra_bytes,
+                a.comm.inter_messages,
+                a.comm.inter_bytes,
+                a.comm.modeled().as_secs_f64(),
+                a.compute.as_secs_f64(),
+                a.modeled_total().as_secs_f64(),
+            )
+        };
+        json.push_str(&format!(
+            "    {{\"sweep\": \"{}\", \"ranks\": {}, \"nodes\": {}, \"ranks_per_node\": {}, \
+             \"rows_per_rank\": {}, \"steps\": {}, \"payload_doubles\": {}, \
+             \"flat\": {}, \"hier\": {}, \
+             \"speedup_modeled\": {:.4}, \"bit_identical\": {}, \
+             \"hier_fewer_inter_messages\": {}}}{}\n",
+            kind,
+            p.ranks,
+            p.nodes,
+            report.config.ranks_per_node,
+            p.rows_per_rank,
+            report.config.steps,
+            report.config.payload_len(),
+            arm(&p.flat),
+            arm(&p.hier),
+            p.speedup(),
+            p.bit_identical,
+            p.hier_fewer_inter_messages(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    let c = &report.check;
+    let mut check_comm = minimpi::TierSnapshot::default();
+    for r in &c.per_rank {
+        check_comm.accumulate(&r.comm);
+    }
+    json.push_str(&format!(
+        "  ],\n  \"check\": {{\"ranks\": {}, \"ranks_per_node\": {}, \"steps\": {}, \
+         \"fused_one_allreduce_per_step\": {}, \"tier_counters_populated\": {}, \
+         \"intra_messages\": {}, \"inter_messages\": {}}}\n}}\n",
+        c.ranks,
+        c.ranks_per_node,
+        c.steps,
+        c.one_allreduce_per_step(),
+        c.tier_counters_populated(),
+        check_comm.intra_messages,
+        check_comm.inter_messages,
+    ));
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The scale smoke: sweep the rank counts in weak- and strong-scaling
+/// configurations, print both arms' tier traffic and modeled totals,
+/// and hard-assert the claims CI relies on — bit identity at every
+/// count, fewer inter-node messages on every multi-node point, a
+/// modeled win at the largest count, and the fused suite's
+/// 1-allreduce-per-step invariant on the tiered path.
+fn run_scale_mode(base: &CaseConfig, rank_counts: &[usize], out_dir: &Path) {
+    let cfg = bench::ScaleBenchConfig {
+        rank_counts: rank_counts.to_vec(),
+        steps: base.steps.max(2),
+        ..Default::default()
+    };
+    println!(
+        "\nHierarchical vs flat collective scaling: ranks {:?}, {} per node, \
+         {} packed doubles x {} steps",
+        cfg.rank_counts,
+        cfg.ranks_per_node,
+        cfg.payload_len(),
+        cfg.steps
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_scale_bench(&cfg);
+    eprintln!("both sweeps done in {:.2?}", t0.elapsed());
+
+    println!(
+        "\n  {:<7} {:>6} {:>6} {:>11} {:>11} {:>12} {:>12} {:>8} {:>5}",
+        "sweep",
+        "ranks",
+        "nodes",
+        "flat inter",
+        "hier inter",
+        "flat tot ms",
+        "hier tot ms",
+        "speedup",
+        "bits"
+    );
+    for (kind, p) in report.points() {
+        println!(
+            "  {:<7} {:>6} {:>6} {:>11} {:>11} {:>12.3} {:>12.3} {:>7.2}x {:>5}",
+            kind,
+            p.ranks,
+            p.nodes,
+            p.flat.comm.inter_messages,
+            p.hier.comm.inter_messages,
+            p.flat.modeled_total().as_secs_f64() * 1e3,
+            p.hier.modeled_total().as_secs_f64() * 1e3,
+            p.speedup(),
+            if p.bit_identical { "ok" } else { "DIFF" },
+        );
+    }
+
+    // Correctness before speed: the tiered path must never perturb a bit.
+    for (kind, p) in report.points() {
+        if !p.bit_identical {
+            eprintln!("FAIL: {kind} sweep at {} ranks is not bit-identical", p.ranks);
+            std::process::exit(1);
+        }
+        if p.nodes > 1 && !p.hier_fewer_inter_messages() {
+            eprintln!(
+                "FAIL: {kind} sweep at {} ranks: hierarchical issued {} inter-node messages \
+                 vs flat's {}",
+                p.ranks, p.hier.comm.inter_messages, p.flat.comm.inter_messages
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // The headline: the tiered path must win on modeled total time at
+    // the largest count of both sweeps.
+    for sweep in [&report.weak, &report.strong] {
+        let last = sweep.points.last().expect("at least one rank count");
+        if last.nodes > 1 && last.hier.modeled_total() >= last.flat.modeled_total() {
+            eprintln!(
+                "FAIL: {} sweep at {} ranks: hierarchical modeled total {:.3} ms does not \
+                 beat flat's {:.3} ms",
+                sweep.kind,
+                last.ranks,
+                last.hier.modeled_total().as_secs_f64() * 1e3,
+                last.flat.modeled_total().as_secs_f64() * 1e3
+            );
+            std::process::exit(1);
+        }
+    }
+
+    // The fused-suite invariant on the tiered path.
+    let c = &report.check;
+    assert!(
+        c.one_allreduce_per_step(),
+        "fused suite must issue exactly one packed allreduce per step on the tiered path"
+    );
+    assert!(c.tier_counters_populated(), "suite tier counters must reach the profiler");
+
+    write_scale_json(&out_dir.join("BENCH_scale.json"), &report);
+
+    let last = report.weak.points.last().expect("at least one point");
+    println!(
+        "  PASS: bit-identical at every count; {}-rank hierarchical beat flat x{:.2} on \
+         modeled total time; fused suite kept 1 allreduce/step across {} ranks",
+        last.ranks,
+        last.speedup(),
+        c.ranks
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
 fn main() {
-    let (mode, base, out_dir, xml, chaos_seed) = parse_args();
+    let (mode, base, out_dir, xml, chaos_seed, rank_counts) = parse_args();
     if mode == "run-config" {
         run_config(&xml.expect("run-config needs an XML path"), &base);
         return;
@@ -893,6 +1096,10 @@ fn main() {
     }
     if mode == "dag" {
         run_dag_mode(&base, &out_dir);
+        return;
+    }
+    if mode == "scale" {
+        run_scale_mode(&base, &rank_counts, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -148,13 +148,14 @@ pub fn skewed_binning_specs(cfg: &DagBenchConfig) -> Vec<BinningSpec> {
 
 /// Static particle table with four device-resident columns; the solver
 /// is a no-op, so total wall time is the in situ pipeline's throughput.
-struct SkewTable {
+/// Shared with the scale harness's fused-suite check arm.
+pub(crate) struct SkewTable {
     table: TableData,
-    step: u64,
+    pub(crate) step: u64,
 }
 
 impl SkewTable {
-    fn new(node: Arc<SimNode>, rank: usize, rows: usize) -> Self {
+    pub(crate) fn new(node: Arc<SimNode>, rank: usize, rows: usize) -> Self {
         let col = |seed: usize| -> Vec<f64> {
             (0..rows).map(|i| (((i * seed + rank * 7919) % 1000) as f64) / 500.0 - 1.0).collect()
         };

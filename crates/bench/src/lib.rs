@@ -12,6 +12,7 @@ mod case;
 mod chaos;
 mod chart;
 mod dag;
+mod scale;
 mod snapshot;
 mod workload;
 
@@ -20,6 +21,9 @@ pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosRe
 pub use chart::{ascii_bars, ascii_stack};
 pub use dag::{
     run_dag_arm, run_dag_bench, skewed_binning_specs, DagArm, DagBenchConfig, DagBenchReport,
+};
+pub use scale::{
+    run_scale_bench, ScaleArm, ScaleBenchConfig, ScaleCheck, ScalePoint, ScaleReport, ScaleSweep,
 };
 pub use snapshot::{run_snapshot_bench, SnapshotArm, SnapshotBenchConfig, SnapshotReport};
 pub use workload::{

@@ -494,6 +494,7 @@ impl AnalysisAdaptor for BinningSuite {
 
     fn execute(&mut self, data: &dyn DataAdaptor, ctx: &ExecContext<'_>) -> Result<bool> {
         let allreduces_before = ctx.comm.allreduce_count();
+        let tiers_before = ctx.comm.tier_stats();
         let mesh = data.mesh(&self.mesh)?;
         let tables = local_tables(&mesh)?;
         let device = self.controls.resolve_device(ctx.comm.rank(), ctx.node.num_devices());
@@ -540,6 +541,7 @@ impl AnalysisAdaptor for BinningSuite {
             });
         }
         self.counters.add_allreduces(ctx.comm.allreduce_count() - allreduces_before);
+        self.counters.add_comm(&ctx.comm.tier_stats().delta_since(&tiers_before));
 
         if let Some(sink) = &self.sink {
             if ctx.comm.rank() == 0 {
@@ -571,6 +573,7 @@ impl AnalysisAdaptor for BinningSuite {
         sched: &mut DagScheduler,
     ) -> Result<bool> {
         let allreduces_before = ctx.comm.allreduce_count();
+        let tiers_before = ctx.comm.tier_stats();
         let mesh = data.mesh(&self.mesh)?;
         let tables = local_tables(&mesh)?;
         let device = self.controls.resolve_device(ctx.comm.rank(), ctx.node.num_devices());
@@ -899,6 +902,7 @@ impl AnalysisAdaptor for BinningSuite {
 
         let outcome = sched.run(g)?;
         self.counters.add_allreduces(ctx.comm.allreduce_count() - allreduces_before);
+        self.counters.add_comm(&ctx.comm.tier_stats().delta_since(&tiers_before));
         if outcome == DagOutcome::Skipped {
             return Ok(true);
         }

@@ -76,7 +76,9 @@ pub use node::{NodeConfig, SimNode};
 pub use pool::{MemoryPool, PoolConfig, PoolStats};
 pub use stats::{NodeStats, StatsSnapshot};
 pub use stream::Stream;
-pub use timemodel::{DeviceParams, HostParams, KernelCost, LinkParams};
+pub use timemodel::{
+    message_duration, DeviceParams, HostParams, KernelCost, LinkParams, NetworkParams,
+};
 
 /// Pseudo-device id used for the host in placement decisions.
 pub const HOST_DEVICE: i32 = -1;

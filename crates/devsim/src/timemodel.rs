@@ -143,6 +143,39 @@ impl Default for LinkParams {
     }
 }
 
+/// Modeled characteristics of the simulated cluster network, split into
+/// the two tiers a node topology distinguishes: *intra-node* traffic
+/// (ranks on the same node exchange through shared memory / NVLink-class
+/// fabric) and *inter-node* traffic (ranks on different nodes cross the
+/// cluster interconnect). minimpi charges every message against one tier
+/// or the other, which is what makes hierarchical collectives — that
+/// deliberately trade inter-node messages for intra-node ones — win on
+/// modeled time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkParams {
+    /// Same-node bandwidth (shared-memory/NVLink class).
+    pub intra_bytes_per_sec: f64,
+    /// Cross-node bandwidth (Slingshot/InfiniBand NIC class).
+    pub inter_bytes_per_sec: f64,
+    /// Per-message latency between ranks on the same node.
+    pub intra_latency: Duration,
+    /// Per-message latency between ranks on different nodes.
+    pub inter_latency: Duration,
+}
+
+impl Default for NetworkParams {
+    /// Loosely Perlmutter-shaped: ~200 GB/s NVLink-class on-node fabric at
+    /// 1 µs, one ~25 GB/s Slingshot NIC per node at 5 µs.
+    fn default() -> Self {
+        NetworkParams {
+            intra_bytes_per_sec: 200e9,
+            inter_bytes_per_sec: 25e9,
+            intra_latency: Duration::from_micros(1),
+            inter_latency: Duration::from_micros(5),
+        }
+    }
+}
+
 /// Convert a kernel cost to a modeled duration on a device.
 pub fn kernel_duration(cost: KernelCost, p: &DeviceParams, time_scale: f64) -> Duration {
     if time_scale == 0.0 {
@@ -173,6 +206,21 @@ pub fn transfer_duration(
     }
     let bw = if host_involved { p.h2d_bytes_per_sec } else { p.d2d_bytes_per_sec };
     scale(p.latency, bytes as f64 / bw, time_scale)
+}
+
+/// Modeled duration of one point-to-point message on the cluster network,
+/// on the intra-node tier (`inter == false`) or the inter-node tier
+/// (`inter == true`).
+pub fn message_duration(bytes: usize, inter: bool, p: &NetworkParams, time_scale: f64) -> Duration {
+    if time_scale == 0.0 {
+        return Duration::ZERO;
+    }
+    let (latency, bw) = if inter {
+        (p.inter_latency, p.inter_bytes_per_sec)
+    } else {
+        (p.intra_latency, p.intra_bytes_per_sec)
+    };
+    scale(latency, bytes as f64 / bw, time_scale)
 }
 
 /// Modeled duration of a raw (pool-miss) device allocation.
@@ -252,6 +300,19 @@ mod tests {
         let fused_d = kernel_duration(part + part, &p, 1.0);
         let serial_d = kernel_duration(part, &p, 1.0) + kernel_duration(part, &p, 1.0);
         assert!(fused_d < serial_d);
+    }
+
+    #[test]
+    fn inter_node_messages_cost_more_than_intra() {
+        let net = NetworkParams::default();
+        let intra = message_duration(1 << 20, false, &net, 1.0);
+        let inter = message_duration(1 << 20, true, &net, 1.0);
+        assert!(inter > intra);
+        // Latency is a floor even for empty messages, per tier.
+        assert_eq!(message_duration(0, false, &net, 1.0), net.intra_latency);
+        assert_eq!(message_duration(0, true, &net, 1.0), net.inter_latency);
+        // And a zero time scale disables the model entirely.
+        assert_eq!(message_duration(1 << 20, true, &net, 0.0), Duration::ZERO);
     }
 
     #[test]

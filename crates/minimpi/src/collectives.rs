@@ -7,11 +7,57 @@
 
 use crate::comm::{Comm, COLLECTIVE_TAG_BASE};
 use crate::error::{Error, Result};
+use crate::topology::Topology;
 
 /// Sub-tags within one collective's tag slice.
 const SLOT_DATA: u64 = 0;
 const SLOT_RESULT: u64 = 1;
 const SLOTS_PER_COLLECTIVE: u64 = 4;
+
+/// Fold rank-ordered per-rank contributions in the topology's *canonical
+/// merge order*: each node's members left-to-right in rank order, then the
+/// node partials combined pairwise along a binomial tree over node indices
+/// (`gap = 1, 2, 4, …`; at each gap, partial `i` absorbs partial
+/// `i + gap`). `None` entries act as absent contributions.
+///
+/// This one parenthesisation is realised *physically* by the hierarchical
+/// path (node-local reduce → leader binomial tree) and *arithmetically* by
+/// the flat path's root, which is what keeps the two bit-identical for
+/// non-associative ops such as `f64` sums. With a single-node topology it
+/// degenerates to a plain left fold in rank order — the historical flat
+/// semantics.
+fn canonical_combine<T, F>(mut parts: Vec<Option<T>>, topology: &Topology, op: &F) -> Option<T>
+where
+    F: Fn(T, T) -> T,
+{
+    debug_assert_eq!(parts.len(), topology.size());
+    let merge = |a: Option<T>, b: Option<T>| match (a, b) {
+        (Some(a), Some(b)) => Some(op(a, b)),
+        (a, None) => a,
+        (None, b) => b,
+    };
+    let mut partials: Vec<Option<T>> = Vec::with_capacity(topology.num_nodes());
+    for node in 0..topology.num_nodes() {
+        let mut acc: Option<T> = None;
+        for &rank in topology.members(node) {
+            acc = merge(acc, parts[rank].take());
+        }
+        partials.push(acc);
+    }
+    let m = partials.len();
+    let mut gap = 1;
+    while gap < m {
+        let mut i = 0;
+        while i + gap < m {
+            let b = partials[i + gap].take();
+            let a = partials[i].take();
+            partials[i] = merge(a, b);
+            i += 2 * gap;
+        }
+        gap *= 2;
+    }
+    partials.into_iter().next().flatten()
+}
 
 /// Element-wise merge semantics for one segment of a packed `f64`
 /// collective (see [`Comm::allreduce_packed`]).
@@ -66,12 +112,32 @@ impl Comm {
 
     /// Broadcast `value` from `root` to every rank. Non-root ranks pass
     /// their own (ignored) `value`; all ranks return the root's value.
+    ///
+    /// Single-rank communicators short-circuit (the slot is still claimed
+    /// so the hook observes the collective); on a multi-node topology the
+    /// broadcast is tiered — root to the other nodes' leaders over the
+    /// interconnect, then node-local fan-out.
     pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: T) -> Result<T> {
+        self.bcast_metered(root, value, std::mem::size_of::<T>())
+    }
+
+    pub(crate) fn bcast_metered<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: usize,
+    ) -> Result<T> {
         let tag = self.next_coll_tag();
+        if self.size() == 1 {
+            return Ok(value);
+        }
+        if self.hierarchical() {
+            return self.bcast_hier(root, value, bytes, tag);
+        }
         if self.rank() == root {
             for dst in 0..self.size() {
                 if dst != root {
-                    self.coll_send(dst, tag + SLOT_DATA, value.clone());
+                    self.coll_send_metered(dst, tag + SLOT_DATA, value.clone(), bytes);
                 }
             }
             Ok(value)
@@ -80,10 +146,73 @@ impl Comm {
         }
     }
 
+    /// Tiered broadcast: `root` hands the value to every other node's
+    /// leader (inter-node tier, on this comm's tag), then each node fans
+    /// out locally on the node sub-communicator. The value is cloned
+    /// verbatim, so flat and hierarchical broadcasts agree trivially.
+    fn bcast_hier<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: usize,
+        tag: u64,
+    ) -> Result<T> {
+        self.with_hier(|h| {
+            let topo = self.topology();
+            let root_node = topo.node_of(root);
+            // Within root's node the original root is the local source;
+            // elsewhere the node leader is (it receives from root first).
+            let src = if h.node_index == root_node { root } else { topo.leader(h.node_index) };
+            let node_tag = h.node.next_coll_tag();
+            if self.rank() == src {
+                let v = if self.rank() == root {
+                    for node in 0..topo.num_nodes() {
+                        if node != root_node {
+                            self.coll_send_metered(
+                                topo.leader(node),
+                                tag + SLOT_DATA,
+                                value.clone(),
+                                bytes,
+                            );
+                        }
+                    }
+                    value
+                } else {
+                    self.coll_recv(root, tag + SLOT_DATA)?
+                };
+                for nr in 0..h.node.size() {
+                    if nr != h.node.rank() {
+                        h.node.coll_send_metered(nr, node_tag + SLOT_DATA, v.clone(), bytes);
+                    }
+                }
+                Ok(v)
+            } else {
+                h.node.coll_recv(topo.node_rank(src), node_tag + SLOT_DATA)
+            }
+        })
+    }
+
     /// Reduce every rank's `value` with `op` at `root`. Returns
-    /// `Some(result)` on the root and `None` elsewhere. The fold is applied
-    /// in rank order, so non-commutative `op`s behave deterministically.
+    /// `Some(result)` on the root and `None` elsewhere. The fold follows
+    /// the topology's canonical merge order — plain rank order on the
+    /// default single-node topology — so non-commutative `op`s behave
+    /// deterministically and flat results match the hierarchical path
+    /// bit-for-bit.
     pub fn reduce<T, F>(&self, root: usize, value: T, op: F) -> Result<Option<T>>
+    where
+        T: Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.reduce_metered(root, value, &op, std::mem::size_of::<T>())
+    }
+
+    pub(crate) fn reduce_metered<T, F>(
+        &self,
+        root: usize,
+        value: T,
+        op: &F,
+        bytes: usize,
+    ) -> Result<Option<T>>
     where
         T: Send + 'static,
         F: Fn(T, T) -> T,
@@ -97,22 +226,28 @@ impl Comm {
                     *part = Some(self.coll_recv(src, tag + SLOT_DATA)?);
                 }
             }
-            let mut acc: Option<T> = None;
-            for part in parts.into_iter().flatten() {
-                acc = Some(match acc {
-                    None => part,
-                    Some(a) => op(a, part),
-                });
-            }
-            Ok(acc)
+            Ok(canonical_combine(parts, self.topology(), op))
         } else {
-            self.coll_send(root, tag + SLOT_DATA, value);
+            self.coll_send_metered(root, tag + SLOT_DATA, value, bytes);
             Ok(None)
         }
     }
 
     /// Reduce with `op` and distribute the result to every rank.
+    ///
+    /// On a multi-node topology this is tiered: node-local reduce to each
+    /// node's leader, a binomial tree among leaders over the inter-node
+    /// tier, then node-local broadcast — the same canonical merge order
+    /// the flat path applies, so results are bit-identical either way.
     pub fn allreduce<T, F>(&self, value: T, op: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        self.allreduce_metered(value, &op, std::mem::size_of::<T>())
+    }
+
+    pub(crate) fn allreduce_metered<T, F>(&self, value: T, op: &F, bytes: usize) -> T
     where
         T: Clone + Send + 'static,
         F: Fn(T, T) -> T,
@@ -127,17 +262,55 @@ impl Comm {
             let _ = self.next_coll_tag();
             return value;
         }
-        let reduced = self.reduce(0, value, op).expect("rank 0 is always valid");
-        self.bcast(0, reduced)
+        if self.hierarchical() {
+            return self.allreduce_hier(value, op, bytes);
+        }
+        let reduced = self.reduce_metered(0, value, op, bytes).expect("rank 0 is always valid");
+        self.bcast_metered(0, reduced, bytes)
             .expect("rank 0 is always valid")
             .expect("root always holds the reduced value")
+    }
+
+    /// The tiered allreduce. One collective slot is claimed on the parent
+    /// (the hook observes the logical allreduce), then each tier's
+    /// collective claims its own slot on its sub-communicator — so a hook
+    /// such as the `mpi.collective` fault site fires on every tier.
+    fn allreduce_hier<T, F>(&self, value: T, op: &F, bytes: usize) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let _ = self.next_coll_tag();
+        self.with_hier(|h| {
+            // Tier 1 (intra-node): reduce to the node leader, folding
+            // members left-to-right in rank order.
+            let partial = h.node.reduce_metered(0, value, op, bytes).expect("node rank 0 valid");
+            // Tier 2 (inter-node): binomial-tree allreduce among leaders.
+            let result = h.leader.as_ref().map(|l| {
+                leader_allreduce(l, partial.expect("leader holds its node partial"), op, bytes)
+            });
+            // Tier 3 (intra-node): node-local broadcast of the result.
+            let node_tag = h.node.next_coll_tag();
+            if h.node.rank() == 0 {
+                let v = result.expect("node leader ran the leader tier");
+                for nr in 1..h.node.size() {
+                    h.node.coll_send_metered(nr, node_tag + SLOT_DATA, v.clone(), bytes);
+                }
+                v
+            } else {
+                h.node.coll_recv(0, node_tag + SLOT_DATA).expect("node leader broadcasts")
+            }
+        })
     }
 
     /// One allreduce round over a packed `f64` buffer with per-segment
     /// merge semantics: `segments[i]` describes the op applied element-wise
     /// to the `i`-th run of consecutive elements. This is how N independent
     /// grid reductions collapse into a single communication round — the
-    /// segment layout must be identical on every rank.
+    /// segment layout must be identical on every rank. On a multi-node
+    /// topology the round is tiered like [`Comm::allreduce`] but still
+    /// counts as one round, so the 1-packed-allreduce-per-step property of
+    /// fused analyses survives the hierarchy.
     ///
     /// Errors (before communicating) if the segment lengths do not sum to
     /// `data.len()`.
@@ -146,8 +319,9 @@ impl Comm {
         if expected != data.len() {
             return Err(Error::LengthMismatch { expected, got: data.len() });
         }
+        let bytes = data.len() * std::mem::size_of::<f64>();
         let segments = segments.to_vec();
-        Ok(self.allreduce(data, move |mut a, b| {
+        let op = move |mut a: Vec<f64>, b: Vec<f64>| {
             debug_assert_eq!(a.len(), b.len(), "packed buffers must agree across ranks");
             let mut base = 0;
             for seg in &segments {
@@ -157,7 +331,8 @@ impl Comm {
                 base += seg.len;
             }
             a
-        }))
+        };
+        Ok(self.allreduce_metered(data, &op, bytes))
     }
 
     /// Gather every rank's `value` at `root`, in rank order.
@@ -273,21 +448,108 @@ impl Comm {
         };
         let assignment = self.bcast(0, assignment).expect("rank 0 is always valid");
         let (id, new_rank, new_size) = assignment[self.rank()];
-        self.make(id, new_rank, new_size)
+        // Every rank sees the full assignment vector, so each can derive
+        // its group's parent-rank list (ordered by new rank) and induce
+        // the child topology — node membership survives the split.
+        let mut members: Vec<(usize, usize)> = assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.0 == id)
+            .map(|(parent_rank, a)| (a.1, parent_rank))
+            .collect();
+        members.sort_unstable();
+        let parent_ranks: Vec<usize> = members.into_iter().map(|(_, p)| p).collect();
+        let topology = self.topology().subset(&parent_ranks);
+        self.make(id, new_rank, new_size, topology)
     }
 
-    /// Duplicate the communicator: same group, fresh id and tag space.
-    /// Collective.
+    /// Duplicate the communicator: same group, topology, and mode; fresh
+    /// id and tag space. Collective.
     pub fn dup(&self) -> Comm {
         let id = if self.rank() == 0 { self.shared().reserve_comm_ids(1) } else { 0 };
         let id = self.bcast(0, id).expect("rank 0 is always valid");
-        self.make(id, self.rank(), self.size())
+        self.make(id, self.rank(), self.size(), self.topology().clone())
     }
+
+    /// Split into node-local sub-communicators: ranks sharing a simulated
+    /// node form one communicator each (single-node topology, parent rank
+    /// order). Collective over the parent.
+    pub fn split_node(&self) -> Comm {
+        self.split(self.topology().node_of(self.rank()) as u64, self.rank() as u64)
+    }
+
+    /// Split into the leader sub-communicator and per-node remainders:
+    /// node leaders land in one communicator (one rank per node), every
+    /// other rank in a communicator of its node's non-leaders. Returns the
+    /// communicator this rank landed in and whether it is a leader.
+    /// Collective over the parent.
+    pub fn split_leaders(&self) -> (Comm, bool) {
+        let topo = self.topology();
+        let is_leader = topo.is_leader(self.rank());
+        let color = if is_leader { 0 } else { 1 + topo.node_of(self.rank()) as u64 };
+        (self.split(color, self.rank() as u64), is_leader)
+    }
+}
+
+/// Binomial-tree allreduce among node leaders (the inter-node tier).
+/// Reduction walks `gap = 1, 2, 4, …`: at each gap, the leader at index
+/// `i + gap` sends its partial to leader `i` (a multiple of `2·gap`),
+/// which folds it on the right — exactly the parenthesisation
+/// [`canonical_combine`] applies to node partials. The result then walks
+/// the mirrored tree back down. One collective slot on the leader comm
+/// covers both sweeps, so hooks (fault sites) observe one leader-tier
+/// collective per allreduce.
+fn leader_allreduce<T, F>(l: &Comm, mine: T, op: &F, bytes: usize) -> T
+where
+    T: Clone + Send + 'static,
+    F: Fn(T, T) -> T,
+{
+    let tag = l.next_coll_tag();
+    let m = l.size();
+    let i = l.rank();
+    let mut acc = Some(mine);
+    let mut gap = 1;
+    while gap < m {
+        if i % (2 * gap) == gap {
+            l.coll_send_metered(
+                i - gap,
+                tag + SLOT_DATA,
+                acc.take().expect("unsent partial"),
+                bytes,
+            );
+            break;
+        }
+        debug_assert_eq!(i % (2 * gap), 0, "non-senders are merge targets at every gap");
+        if i + gap < m {
+            let other: T = l.coll_recv(i + gap, tag + SLOT_DATA).expect("tree peer sends");
+            acc = Some(op(acc.take().expect("merge target holds a partial"), other));
+        }
+        gap *= 2;
+    }
+    // Broadcast back down: highest power of two first, receivers become
+    // senders at the smaller gaps below them.
+    let mut top = 1;
+    while top < m {
+        top *= 2;
+    }
+    let mut gap = top / 2;
+    while gap >= 1 {
+        if i.is_multiple_of(2 * gap) {
+            if i + gap < m {
+                let v = acc.clone().expect("holders forward the result");
+                l.coll_send_metered(i + gap, tag + SLOT_RESULT, v, bytes);
+            }
+        } else if i % (2 * gap) == gap {
+            acc = Some(l.coll_recv(i - gap, tag + SLOT_RESULT).expect("tree parent sends"));
+        }
+        gap /= 2;
+    }
+    acc.expect("every leader ends with the result")
 }
 
 #[cfg(test)]
 mod tests {
-    use crate::{Segment, SegmentOp, World};
+    use crate::{CollectiveMode, Segment, SegmentOp, Topology, World};
 
     #[test]
     fn allreduce_packed_merges_per_segment() {
@@ -526,6 +788,193 @@ mod tests {
             assert_eq!(b, 40);
             assert_eq!(g, vec![0, 1, 2, 3]);
         }
+    }
+
+    fn sweep(mode: CollectiveMode, ranks_per_node: usize) -> Vec<Vec<f64>> {
+        World::new(8).with_ranks_per_node(ranks_per_node).with_collective_mode(mode).run(|c| {
+            // Values whose f64 sums are order-sensitive, so any
+            // re-parenthesisation of the merge shows up in the bits.
+            let r = c.rank() as f64;
+            let data = vec![0.1 + r * 1e-3, 1e16 * if c.rank() % 2 == 0 { 1.0 } else { -1.0 }, r];
+            let segs = [Segment::new(SegmentOp::Sum, 2), Segment::new(SegmentOp::Max, 1)];
+            c.allreduce_packed(data, &segs).unwrap()
+        })
+    }
+
+    #[test]
+    fn hierarchical_allreduce_is_bit_identical_to_flat() {
+        for ranks_per_node in [1, 2, 3, 4, 8] {
+            let flat = sweep(CollectiveMode::Flat, ranks_per_node);
+            let hier = sweep(CollectiveMode::Hierarchical, ranks_per_node);
+            for (f, h) in flat.iter().zip(&hier) {
+                let fb: Vec<u64> = f.iter().map(|v| v.to_bits()).collect();
+                let hb: Vec<u64> = h.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fb, hb, "modes diverge at {ranks_per_node} ranks/node");
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_allreduce_cuts_inter_node_traffic() {
+        let run = |mode| {
+            World::new(8).with_ranks_per_node(2).with_collective_mode(mode).run(|c| {
+                c.allreduce(c.rank() as u64, |a, b| a + b);
+                c.tier_stats()
+            })
+        };
+        let total = |stats: Vec<crate::TierSnapshot>| {
+            let mut sum = crate::TierSnapshot::default();
+            for s in &stats {
+                sum.accumulate(s);
+            }
+            sum
+        };
+        let flat = total(run(CollectiveMode::Flat));
+        let hier = total(run(CollectiveMode::Hierarchical));
+        // Flat: 7 sends to root + 7 bcasts, 6 ranks off rank 0's node
+        // each way -> 12 inter messages. Hierarchical: only the 4-leader
+        // binomial tree crosses nodes -> 3 up + 3 down.
+        assert_eq!(flat.inter_messages, 12);
+        assert_eq!(hier.inter_messages, 6);
+        assert!(hier.inter_messages < flat.inter_messages);
+        // The node tiers trade that for cheap intra-node messages.
+        assert!(hier.intra_messages > 0);
+    }
+
+    #[test]
+    fn single_node_topology_skips_inter_tier() {
+        // All ranks on one node: the hierarchical mode must behave exactly
+        // like flat — no inter-node traffic, identical results.
+        let got = World::new(4).with_ranks_per_node(4).run(|c| {
+            let v = c.allreduce(c.rank() as f64 + 0.5, |a, b| a + b);
+            let b = c.bcast(2, c.rank()).unwrap();
+            c.barrier();
+            (v, b, c.tier_stats())
+        });
+        for (v, b, t) in got {
+            assert_eq!(v, 0.5 + 1.5 + 2.5 + 3.5);
+            assert_eq!(b, 2);
+            assert_eq!(t.inter_messages, 0);
+            assert_eq!(t.inter_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn hierarchical_bcast_from_non_leader_root() {
+        for root in 0..6 {
+            let got = World::new(6).with_ranks_per_node(2).run(move |c| {
+                let v = if c.rank() == root { 42 + root } else { 0 };
+                c.bcast(root, v).unwrap()
+            });
+            assert_eq!(got, vec![42 + root; 6], "root {root}");
+        }
+    }
+
+    #[test]
+    fn hierarchical_barrier_synchronises_all_ranks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let arrived = AtomicUsize::new(0);
+        World::new(6).with_ranks_per_node(2).run(|c| {
+            arrived.fetch_add(1, Ordering::SeqCst);
+            c.barrier();
+            // After the tiered barrier every rank must have arrived.
+            assert_eq!(arrived.load(Ordering::SeqCst), 6);
+            c.barrier();
+        });
+    }
+
+    #[test]
+    fn single_rank_barrier_and_bcast_short_circuit() {
+        World::new(1).run(|c| {
+            // Neither may touch the mailbox or block.
+            c.barrier();
+            assert_eq!(c.bcast(0, 9u8).unwrap(), 9);
+            let t = c.tier_stats();
+            assert_eq!(t.messages(), 0);
+        });
+    }
+
+    #[test]
+    fn split_preserves_node_membership() {
+        let got = World::new(8).with_ranks_per_node(2).run(|c| {
+            // Evens: parent ranks 0,2,4,6 from nodes 0,1,2,3; odds same.
+            let sub = c.split((c.rank() % 2) as u64, c.rank() as u64);
+            let nodes = sub.topology().num_nodes();
+            let v = sub.allreduce(c.rank() as f64 * 1e15 + 0.1, |a, b| a + b);
+            (nodes, v, sub.tier_stats().inter_messages > 0)
+        });
+        for (nodes, _, crossed) in &got {
+            assert_eq!(*nodes, 4, "each split child spans all four nodes");
+            assert!(crossed, "split children charge the inter tier");
+        }
+        // And both children agree internally.
+        assert_eq!(got[0].1, got[2].1);
+        assert_eq!(got[1].1, got[3].1);
+    }
+
+    #[test]
+    fn split_node_and_split_leaders() {
+        let got = World::new(6).with_ranks_per_node(3).run(|c| {
+            let node = c.split_node();
+            let node_sum = node.allreduce(c.rank(), |a, b| a + b);
+            let (tier, is_leader) = c.split_leaders();
+            let tier_info = (tier.size(), tier.allreduce(c.rank(), |a, b| a + b));
+            (node.size(), node_sum, is_leader, tier_info)
+        });
+        // Nodes are {0,1,2} and {3,4,5}.
+        assert_eq!(got[0], (3, 3, true, (2, 3))); // leaders 0 and 3
+        assert_eq!(got[3], (3, 12, true, (2, 3)));
+        assert_eq!(got[1], (3, 3, false, (2, 3))); // followers 1, 2
+        assert_eq!(got[4], (3, 12, false, (2, 9))); // followers 4, 5
+        let node_topo_flat = World::new(4).with_ranks_per_node(2).run(|c| {
+            let node = c.split_node();
+            node.topology().is_single_node()
+        });
+        assert!(node_topo_flat.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hook_fires_on_every_tier() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let got = World::new(4).with_ranks_per_node(2).run(|c| {
+            // Build the hierarchy first, then install the hook: it must
+            // still reach the cached node/leader sub-communicators.
+            c.allreduce(1u64, |a, b| a + b);
+            let n = Arc::new(AtomicU64::new(0));
+            let n2 = n.clone();
+            c.set_collective_hook(Arc::new(move |_| {
+                n2.fetch_add(1, Ordering::SeqCst);
+            }));
+            c.allreduce(1u64, |a, b| a + b);
+            let fired = n.load(Ordering::SeqCst);
+            c.clear_collective_hook();
+            c.allreduce(1u64, |a, b| a + b);
+            (fired, n.load(Ordering::SeqCst))
+        });
+        for (rank, (fired, after_clear)) in got.iter().enumerate() {
+            // Parent slot + node reduce + node bcast = 3 on every rank;
+            // leaders also observe the leader-tier collective.
+            let expect = if rank % 2 == 0 { 4 } else { 3 };
+            assert_eq!(*fired, expect, "rank {rank}");
+            assert_eq!(after_clear, fired, "clear must reach the tiers on rank {rank}");
+        }
+    }
+
+    #[test]
+    fn explicit_topology_groups_arbitrarily() {
+        // Interleaved nodes: ranks 0,2 on node A, ranks 1,3 on node B.
+        let topo = Topology::from_nodes(vec![0, 1, 0, 1]);
+        let flat = World::new(4)
+            .with_topology(topo.clone())
+            .with_collective_mode(CollectiveMode::Flat)
+            .run(|c| c.allreduce(0.1 * (c.rank() as f64 + 1.0), |a, b| a + b));
+        let hier = World::new(4)
+            .with_topology(topo)
+            .run(|c| c.allreduce(0.1 * (c.rank() as f64 + 1.0), |a, b| a + b));
+        let fb: Vec<u64> = flat.iter().map(|v| v.to_bits()).collect();
+        let hb: Vec<u64> = hier.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(fb, hb);
     }
 
     #[test]

@@ -6,11 +6,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use devsim::NetworkParams;
 use parking_lot::Mutex;
 
 use crate::barrier::Barrier;
 use crate::error::{Error, Result};
 use crate::mailbox::{Key, Mailbox};
+use crate::topology::{CollectiveMode, TierCounters, TierSnapshot, Topology};
 use crate::ANY_SOURCE;
 
 /// State shared by every rank of a [`crate::World`].
@@ -20,14 +22,22 @@ pub(crate) struct WorldShared {
     barriers: Mutex<HashMap<u64, Arc<Barrier>>>,
     /// Source of fresh communicator ids (the world communicator is id 0).
     next_comm_id: AtomicU64,
+    /// Cost model for the simulated cluster network; every message is
+    /// charged against its intra- or inter-node tier.
+    pub net: NetworkParams,
+    /// Multiplier on modeled message durations (0 disables modeled time
+    /// but keeps message/byte counts).
+    pub time_scale: f64,
 }
 
 impl WorldShared {
-    pub fn new() -> Self {
+    pub fn new(net: NetworkParams, time_scale: f64) -> Self {
         WorldShared {
             mailbox: Mailbox::new(),
             barriers: Mutex::new(HashMap::new()),
             next_comm_id: AtomicU64::new(1),
+            net,
+            time_scale,
         }
     }
 
@@ -65,10 +75,43 @@ pub struct Comm {
     /// Collective observer (fault injection, tracing); see
     /// [`CollectiveHook`].
     coll_hook: RefCell<Option<CollectiveHook>>,
+    /// The node grouping of this communicator's ranks.
+    topology: Arc<Topology>,
+    /// Whether collectives take the tiered or the flat path.
+    mode: CollectiveMode,
+    /// Per-tier traffic charged through this handle. Shared with the
+    /// internal node/leader sub-communicators (see [`Hier`]) so a handle's
+    /// stats cover its whole tiered exchange.
+    tiers: Arc<TierCounters>,
+    /// Lazily built node-local/leader sub-communicators for the
+    /// hierarchical collective path.
+    hier: RefCell<Option<Box<Hier>>>,
+}
+
+/// The internal sub-communicators one rank uses on the tiered path.
+pub(crate) struct Hier {
+    /// This rank's node-local sub-communicator (single-node topology, so
+    /// its own collectives stay flat). Node rank 0 is the node leader.
+    pub node: Comm,
+    /// The inter-node leader sub-communicator; `Some` only on leaders.
+    /// Its topology places each leader on its own node, so every message
+    /// on it is charged to the inter-node tier.
+    pub leader: Option<Comm>,
+    /// The node index this rank lives on.
+    pub node_index: usize,
 }
 
 /// Tag space reserved for collectives; user tags must stay below this.
 pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
+
+/// Id space reserved for the internal hierarchical sub-communicators.
+/// Ids are derived from the parent's id rather than negotiated, so
+/// building the hierarchy costs no communication and cannot perturb the
+/// parent's collective sequence: the leader comm of parent `p` is
+/// `HIER_ID_BASE + p * HIER_ID_STRIDE`, and node `k`'s comm is that plus
+/// `1 + k`.
+const HIER_ID_BASE: u64 = 1 << 62;
+const HIER_ID_STRIDE: u64 = 4096;
 
 /// Observer invoked at the top of every collective on a communicator
 /// (barrier excepted), with the collective's sequence number. Installed
@@ -78,7 +121,27 @@ pub(crate) const COLLECTIVE_TAG_BASE: u64 = 1 << 63;
 pub type CollectiveHook = Arc<dyn Fn(u64) + Send + Sync>;
 
 impl Comm {
-    pub(crate) fn new(shared: Arc<WorldShared>, comm_id: u64, rank: usize, size: usize) -> Self {
+    pub(crate) fn new(
+        shared: Arc<WorldShared>,
+        comm_id: u64,
+        rank: usize,
+        size: usize,
+        topology: Arc<Topology>,
+        mode: CollectiveMode,
+    ) -> Self {
+        Comm::with_parts(shared, comm_id, rank, size, topology, mode, Arc::default())
+    }
+
+    fn with_parts(
+        shared: Arc<WorldShared>,
+        comm_id: u64,
+        rank: usize,
+        size: usize,
+        topology: Arc<Topology>,
+        mode: CollectiveMode,
+        tiers: Arc<TierCounters>,
+    ) -> Self {
+        debug_assert_eq!(topology.size(), size, "topology must cover every rank");
         let barrier = shared.barrier_for(comm_id, size);
         Comm {
             shared,
@@ -89,18 +152,38 @@ impl Comm {
             coll_seq: Cell::new(0),
             allreduce_rounds: Cell::new(0),
             coll_hook: RefCell::new(None),
+            topology,
+            mode,
+            tiers,
+            hier: RefCell::new(None),
         }
     }
 
     /// Install a [`CollectiveHook`] invoked at the top of every collective
     /// on this handle; communicators later derived via `dup`/`split`
-    /// inherit it.
+    /// inherit it, as do the internal node-local/leader sub-communicators
+    /// the hierarchical path creates (so fault sites fire on every tier).
+    /// Must not be called from inside a hook.
     pub fn set_collective_hook(&self, hook: CollectiveHook) {
+        if let Some(h) = self.hier.borrow().as_deref() {
+            h.node.set_collective_hook(hook.clone());
+            if let Some(l) = &h.leader {
+                l.set_collective_hook(hook.clone());
+            }
+        }
         *self.coll_hook.borrow_mut() = Some(hook);
     }
 
-    /// Remove the collective hook from this handle.
+    /// Remove the collective hook from this handle (and from the internal
+    /// tier sub-communicators, if built). Must not be called from inside a
+    /// hook.
     pub fn clear_collective_hook(&self) {
+        if let Some(h) = self.hier.borrow().as_deref() {
+            h.node.clear_collective_hook();
+            if let Some(l) = &h.leader {
+                l.clear_collective_hook();
+            }
+        }
         *self.coll_hook.borrow_mut() = None;
     }
 
@@ -117,6 +200,18 @@ impl Comm {
     /// packed allreduce counts as one round regardless of segment count.
     pub fn allreduce_count(&self) -> u64 {
         self.allreduce_rounds.get()
+    }
+
+    /// The node grouping of this communicator's ranks.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Per-tier traffic charged through this handle so far, including the
+    /// internal tier sub-communicators of hierarchical collectives.
+    /// Handles derived via `dup`/`split` account separately.
+    pub fn tier_stats(&self) -> TierSnapshot {
+        self.tiers.snapshot()
     }
 
     /// This rank's index within the communicator, in `0..size`.
@@ -141,10 +236,23 @@ impl Comm {
         Key { comm: self.comm_id, src, dst, tag }
     }
 
+    /// Charge one message to `dst` against its network tier: counts, bytes,
+    /// and the modeled duration under the world's [`NetworkParams`].
+    pub(crate) fn charge_message(&self, dst: usize, bytes: usize) {
+        let inter = !self.topology.same_node(self.rank, dst);
+        let d = devsim::message_duration(bytes, inter, &self.shared.net, self.shared.time_scale);
+        self.tiers.record(inter, bytes as u64, d.as_nanos() as u64);
+    }
+
     /// Send `value` to `dst` with matching `tag`. Buffered: never blocks.
+    ///
+    /// Payloads are moved, not serialised, so tier accounting charges the
+    /// shallow `size_of::<T>()`; collectives with known payload sizes
+    /// charge exact byte counts instead.
     pub fn send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) -> Result<()> {
         self.check_rank(dst)?;
         debug_assert!(tag < COLLECTIVE_TAG_BASE, "user tags must be < 2^63");
+        self.charge_message(dst, std::mem::size_of::<T>());
         self.shared.mailbox.post(self.key(self.rank, dst, tag), Box::new(value));
         Ok(())
     }
@@ -196,16 +304,47 @@ impl Comm {
     }
 
     /// Wait until every rank of the communicator has reached the barrier.
+    ///
+    /// Single-rank communicators return immediately; on a multi-node
+    /// topology the wait is tiered (node barrier → leader barrier → node
+    /// barrier) so only node leaders synchronise across the interconnect.
     pub fn barrier(&self) {
-        self.barrier.wait();
+        if self.size == 1 {
+            return;
+        }
+        if self.hierarchical() {
+            self.with_hier(|h| {
+                h.node.barrier();
+                if let Some(l) = &h.leader {
+                    l.barrier();
+                }
+                h.node.barrier();
+            });
+        } else {
+            self.barrier.wait();
+        }
     }
 
     pub(crate) fn shared(&self) -> &Arc<WorldShared> {
         &self.shared
     }
 
-    /// Internal: send on the reserved collective tag space.
+    /// Internal: send on the reserved collective tag space, charging the
+    /// shallow payload size.
     pub(crate) fn coll_send<T: Send + 'static>(&self, dst: usize, tag: u64, value: T) {
+        self.coll_send_metered(dst, tag, value, std::mem::size_of::<T>());
+    }
+
+    /// Internal: collective-tag send charging an exact payload size (used
+    /// where the wire size is known, e.g. packed `f64` buffers).
+    pub(crate) fn coll_send_metered<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        value: T,
+        bytes: usize,
+    ) {
+        self.charge_message(dst, bytes);
         self.shared.mailbox.post(self.key(self.rank, dst, tag), Box::new(value));
     }
 
@@ -215,11 +354,77 @@ impl Comm {
     }
 
     /// Internal: construct a sibling communicator handle (used by split/dup).
-    /// The child inherits this handle's collective hook.
-    pub(crate) fn make(&self, comm_id: u64, rank: usize, size: usize) -> Comm {
-        let child = Comm::new(self.shared.clone(), comm_id, rank, size);
+    /// The child inherits this handle's collective hook and mode.
+    pub(crate) fn make(&self, comm_id: u64, rank: usize, size: usize, topology: Topology) -> Comm {
+        let child =
+            Comm::new(self.shared.clone(), comm_id, rank, size, Arc::new(topology), self.mode);
         *child.coll_hook.borrow_mut() = self.coll_hook.borrow().clone();
         child
+    }
+
+    /// Whether collectives on this handle take the tiered path: the mode
+    /// allows it, the topology actually spans nodes (single-node worlds —
+    /// the default — skip the inter-node tier entirely), and the id leaves
+    /// room in the derived-id space (internal sub-comms never recurse).
+    pub(crate) fn hierarchical(&self) -> bool {
+        self.mode == CollectiveMode::Hierarchical
+            && !self.topology.is_single_node()
+            && self.comm_id < HIER_ID_BASE / HIER_ID_STRIDE
+    }
+
+    /// Run `f` with this rank's tier sub-communicators, building and
+    /// caching them on first use. Construction is pure derivation — no
+    /// messages, no collective slots — so it cannot perturb the parent's
+    /// sequence numbers. Only meaningful when [`Comm::hierarchical`].
+    pub(crate) fn with_hier<R>(&self, f: impl FnOnce(&Hier) -> R) -> R {
+        debug_assert!(self.hierarchical());
+        if self.hier.borrow().is_none() {
+            *self.hier.borrow_mut() = Some(Box::new(self.build_hier()));
+        }
+        let guard = self.hier.borrow();
+        f(guard.as_deref().expect("hierarchy built above"))
+    }
+
+    fn build_hier(&self) -> Hier {
+        let topo = &self.topology;
+        let num_nodes = topo.num_nodes();
+        assert!(
+            (num_nodes as u64) < HIER_ID_STRIDE,
+            "derived-id space supports at most {} nodes",
+            HIER_ID_STRIDE - 1
+        );
+        let node_index = topo.node_of(self.rank);
+        let members = topo.members(node_index);
+        let hook = self.coll_hook.borrow().clone();
+
+        let node_id = HIER_ID_BASE + self.comm_id * HIER_ID_STRIDE + 1 + node_index as u64;
+        let node = Comm::with_parts(
+            self.shared.clone(),
+            node_id,
+            topo.node_rank(self.rank),
+            members.len(),
+            Arc::new(Topology::single_node(members.len())),
+            self.mode,
+            self.tiers.clone(),
+        );
+        *node.coll_hook.borrow_mut() = hook.clone();
+
+        let leader = (topo.leader(node_index) == self.rank).then(|| {
+            let leader_id = HIER_ID_BASE + self.comm_id * HIER_ID_STRIDE;
+            // One node per leader: every leader-tier message is inter-node.
+            let l = Comm::with_parts(
+                self.shared.clone(),
+                leader_id,
+                node_index,
+                num_nodes,
+                Arc::new(Topology::from_nodes((0..num_nodes).collect())),
+                self.mode,
+                self.tiers.clone(),
+            );
+            *l.coll_hook.borrow_mut() = hook.clone();
+            l
+        });
+        Hier { node, leader, node_index }
     }
 }
 

@@ -12,7 +12,21 @@
 //!   [`Comm::allreduce`], [`Comm::allreduce_packed`], [`Comm::gather`],
 //!   [`Comm::allgather`], [`Comm::alltoall`], [`Comm::alltoallv`],
 //!   [`Comm::scan`]
-//! * communicator management: [`Comm::split`], [`Comm::dup`]
+//! * communicator management: [`Comm::split`], [`Comm::dup`],
+//!   [`Comm::split_node`], [`Comm::split_leaders`]
+//!
+//! # Topology
+//!
+//! Ranks can be grouped into simulated *nodes* ([`Topology`], configured
+//! through [`World::with_ranks_per_node`] / [`World::with_topology`]).
+//! Every message is then charged against the intra- or inter-node tier of
+//! a [`devsim::NetworkParams`] cost model, and `allreduce` /
+//! `allreduce_packed` / `bcast` / `barrier` take a tiered path: node-local
+//! reduce, a binomial tree among node leaders across the interconnect,
+//! node-local broadcast. Results are bit-identical to the flat algorithms
+//! ([`CollectiveMode::Flat`]) because both realise the topology's
+//! canonical merge order. The default world is a single node, which keeps
+//! the historical flat behaviour.
 //!
 //! # Semantics
 //!
@@ -40,11 +54,13 @@ mod comm;
 mod error;
 mod mailbox;
 pub mod ops;
+mod topology;
 mod world;
 
 pub use collectives::{Segment, SegmentOp};
 pub use comm::{CollectiveHook, Comm};
 pub use error::{Error, Result};
+pub use topology::{CollectiveMode, TierSnapshot, Topology};
 pub use world::World;
 
 /// Wildcard source for [`Comm::recv_any`]: match a message from any rank.

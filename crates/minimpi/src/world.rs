@@ -2,25 +2,78 @@
 
 use std::sync::Arc;
 
+use devsim::NetworkParams;
+
 use crate::comm::{Comm, WorldShared};
+use crate::topology::{CollectiveMode, Topology};
 
 /// A fixed-size group of ranks, each run on its own OS thread.
 ///
 /// This replaces `mpirun -n <N>`: [`World::run`] spawns `N` scoped threads,
 /// passes each a rank-`i` [`Comm`] over the world communicator, and returns
 /// the per-rank results in rank order.
+///
+/// By default all ranks share one simulated node (the historical flat
+/// behaviour). [`World::with_ranks_per_node`] / [`World::with_topology`]
+/// group ranks into nodes, after which collectives take the tiered
+/// hierarchical path and every message is charged against the intra- or
+/// inter-node tier of [`NetworkParams`].
 pub struct World {
     n: usize,
+    topology: Topology,
+    net: NetworkParams,
+    time_scale: f64,
+    mode: CollectiveMode,
 }
 
 impl World {
-    /// Create a world of `n` ranks.
+    /// Create a world of `n` ranks on a single simulated node.
     ///
     /// # Panics
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "a world needs at least one rank");
-        World { n }
+        World {
+            n,
+            topology: Topology::single_node(n),
+            net: NetworkParams::default(),
+            time_scale: 0.0,
+            mode: CollectiveMode::default(),
+        }
+    }
+
+    /// Group consecutive ranks into simulated nodes of `ranks_per_node`
+    /// (the last node may be partial), as `mpirun` fills nodes.
+    pub fn with_ranks_per_node(mut self, ranks_per_node: usize) -> Self {
+        self.topology = Topology::grouped(self.n, ranks_per_node);
+        self
+    }
+
+    /// Use an explicit rank → node assignment.
+    ///
+    /// # Panics
+    /// Panics if the topology does not cover exactly `n` ranks.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        assert_eq!(topology.size(), self.n, "topology must cover every rank");
+        self.topology = topology;
+        self
+    }
+
+    /// Set the network cost model and the time scale applied to modeled
+    /// message durations (`0.0`, the default, records message/byte counts
+    /// but no modeled time — what unit tests want).
+    pub fn with_net(mut self, net: NetworkParams, time_scale: f64) -> Self {
+        self.net = net;
+        self.time_scale = time_scale;
+        self
+    }
+
+    /// Choose how collectives route traffic; the default is
+    /// [`CollectiveMode::Hierarchical`]. [`CollectiveMode::Flat`] keeps the
+    /// all-to-root algorithms as a bit-identical A/B baseline.
+    pub fn with_collective_mode(mut self, mode: CollectiveMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Number of ranks this world will spawn.
@@ -39,14 +92,17 @@ impl World {
         R: Send,
         F: Fn(Comm) -> R + Send + Sync,
     {
-        let shared = Arc::new(WorldShared::new());
+        let shared = Arc::new(WorldShared::new(self.net, self.time_scale));
+        let topology = Arc::new(self.topology.clone());
         let f = &f;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..self.n)
                 .map(|rank| {
                     let shared = shared.clone();
+                    let topology = topology.clone();
                     let n = self.n;
-                    scope.spawn(move || f(Comm::new(shared, 0, rank, n)))
+                    let mode = self.mode;
+                    scope.spawn(move || f(Comm::new(shared, 0, rank, n, topology, mode)))
                 })
                 .collect();
             let mut results = Vec::with_capacity(self.n);
@@ -119,5 +175,27 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn default_world_is_single_node() {
+        World::new(4).run(|c| {
+            assert!(c.topology().is_single_node());
+            assert_eq!(c.topology().num_nodes(), 1);
+        });
+    }
+
+    #[test]
+    fn grouped_world_exposes_its_topology() {
+        let got = World::new(6)
+            .with_ranks_per_node(2)
+            .run(|c| (c.topology().node_of(c.rank()), c.topology().is_leader(c.rank())));
+        assert_eq!(got, vec![(0, true), (0, false), (1, true), (1, false), (2, true), (2, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every rank")]
+    fn mismatched_topology_rejected() {
+        let _ = World::new(4).with_topology(Topology::single_node(3));
     }
 }

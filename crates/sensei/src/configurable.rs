@@ -40,7 +40,8 @@
 
 use std::time::Duration;
 
-use devsim::{FaultConfig, FaultKind, FaultRule, PoolConfig};
+use devsim::{FaultConfig, FaultKind, FaultRule, NetworkParams, PoolConfig};
+use minimpi::{CollectiveMode, Topology};
 use xmlcfg::Element;
 
 use crate::adaptor::AnalysisAdaptor;
@@ -104,12 +105,52 @@ impl BackendConfig {
     }
 }
 
+/// Parsed `<topology>` element: how ranks group into simulated nodes and
+/// the two-tier network cost model their messages are charged against.
+///
+/// ```xml
+/// <topology ranks_per_node="4" mode="hierarchical"
+///           intra_gbps="200" inter_gbps="25"
+///           intra_latency_ns="1000" inter_latency_ns="5000"/>
+/// ```
+///
+/// `mode="flat"` keeps the node grouping and cost model but routes
+/// collectives over the all-to-root algorithms — the A/B baseline the
+/// scale harness compares against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyConfig {
+    /// Ranks per simulated node (consecutive fill, last node partial).
+    pub ranks_per_node: usize,
+    /// How collectives route their traffic.
+    pub mode: CollectiveMode,
+    /// The intra-/inter-node cost model.
+    pub net: NetworkParams,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        TopologyConfig {
+            ranks_per_node: 4,
+            mode: CollectiveMode::default(),
+            net: NetworkParams::default(),
+        }
+    }
+}
+
+impl TopologyConfig {
+    /// The rank → node grouping for a world of `n` ranks.
+    pub fn topology(&self, n: usize) -> Topology {
+        Topology::grouped(n, self.ranks_per_node)
+    }
+}
+
 /// A parsed SENSEI run-time configuration.
 pub struct ConfigurableAnalysis {
     configs: Vec<BackendConfig>,
     pool: Option<PoolConfig>,
     faults: Option<FaultConfig>,
     snapshot: Option<SnapshotMode>,
+    topology: Option<TopologyConfig>,
 }
 
 impl ConfigurableAnalysis {
@@ -180,6 +221,47 @@ impl ConfigurableAnalysis {
                 })?)
             }
         };
+        let topology = match root.find_child("topology") {
+            None => None,
+            Some(el) => {
+                let d = TopologyConfig::default();
+                let ranks_per_node = el
+                    .parse_attr_or::<usize>("ranks_per_node", d.ranks_per_node)
+                    .map_err(Error::Xml)?;
+                if ranks_per_node == 0 {
+                    return Err(Error::Config("topology ranks_per_node must be at least 1".into()));
+                }
+                let mode = match el.attr_or("mode", "hierarchical") {
+                    "hierarchical" => CollectiveMode::Hierarchical,
+                    "flat" => CollectiveMode::Flat,
+                    s => {
+                        return Err(Error::Config(format!(
+                            "bad topology mode '{s}' (expected hierarchical or flat)"
+                        )))
+                    }
+                };
+                let gbps = |attr: &str, default: f64| -> Result<f64> {
+                    let v = el.parse_attr_or::<f64>(attr, default / 1e9).map_err(Error::Xml)? * 1e9;
+                    if v <= 0.0 {
+                        return Err(Error::Config(format!("topology {attr} must be positive")));
+                    }
+                    Ok(v)
+                };
+                let latency = |attr: &str, default: Duration| -> Result<Duration> {
+                    let ns = el
+                        .parse_attr_or::<u64>(attr, default.as_nanos() as u64)
+                        .map_err(Error::Xml)?;
+                    Ok(Duration::from_nanos(ns))
+                };
+                let net = NetworkParams {
+                    intra_bytes_per_sec: gbps("intra_gbps", d.net.intra_bytes_per_sec)?,
+                    inter_bytes_per_sec: gbps("inter_gbps", d.net.inter_bytes_per_sec)?,
+                    intra_latency: latency("intra_latency_ns", d.net.intra_latency)?,
+                    inter_latency: latency("inter_latency_ns", d.net.inter_latency)?,
+                };
+                Some(TopologyConfig { ranks_per_node, mode, net })
+            }
+        };
         let mut configs = Vec::new();
         for el in root.find_all("analysis") {
             let type_name = el.req_attr("type").map_err(Error::Xml)?.to_string();
@@ -245,7 +327,7 @@ impl ConfigurableAnalysis {
                 element: el.clone(),
             });
         }
-        Ok(ConfigurableAnalysis { configs, pool, faults, snapshot })
+        Ok(ConfigurableAnalysis { configs, pool, faults, snapshot, topology })
     }
 
     /// All entries (including disabled ones).
@@ -271,6 +353,14 @@ impl ConfigurableAnalysis {
         self.snapshot
     }
 
+    /// The `<topology>` settings, if the document carries the element.
+    /// The harness applies them when it builds the [`minimpi::World`]
+    /// (node grouping, collective mode, and network cost model); absent
+    /// means the single-node default.
+    pub fn topology_config(&self) -> Option<TopologyConfig> {
+        self.topology
+    }
+
     /// Serialize back to XML text. Parsing the result yields the same
     /// entries and controls (attributes are normalized: defaults are
     /// written out explicitly).
@@ -288,6 +378,24 @@ impl ConfigurableAnalysis {
         if let Some(mode) = self.snapshot {
             let mut el = Element::new("snapshot");
             el.attributes.push(("mode".to_string(), mode.name().to_string()));
+            root.children.push(xmlcfg::Node::Element(el));
+        }
+        if let Some(t) = self.topology {
+            let mut el = Element::new("topology");
+            let mode = match t.mode {
+                CollectiveMode::Hierarchical => "hierarchical",
+                CollectiveMode::Flat => "flat",
+            };
+            el.attributes.push(("ranks_per_node".to_string(), t.ranks_per_node.to_string()));
+            el.attributes.push(("mode".to_string(), mode.to_string()));
+            el.attributes
+                .push(("intra_gbps".to_string(), (t.net.intra_bytes_per_sec / 1e9).to_string()));
+            el.attributes
+                .push(("inter_gbps".to_string(), (t.net.inter_bytes_per_sec / 1e9).to_string()));
+            el.attributes
+                .push(("intra_latency_ns".to_string(), t.net.intra_latency.as_nanos().to_string()));
+            el.attributes
+                .push(("inter_latency_ns".to_string(), t.net.inter_latency.as_nanos().to_string()));
             root.children.push(xmlcfg::Node::Element(el));
         }
         if let Some(f) = &self.faults {
@@ -524,6 +632,49 @@ mod tests {
             ConfigurableAnalysis::from_xml(r#"<sensei><snapshot mode="shallow"/></sensei>"#),
             Err(Error::Config(_))
         ));
+    }
+
+    #[test]
+    fn topology_element_parses_and_round_trips() {
+        let cfg = ConfigurableAnalysis::from_xml(
+            r#"<sensei>
+                 <topology ranks_per_node="8" mode="flat"
+                           intra_gbps="100" inter_gbps="12.5"
+                           intra_latency_ns="500" inter_latency_ns="7000"/>
+               </sensei>"#,
+        )
+        .unwrap();
+        let t = cfg.topology_config().expect("topology element present");
+        assert_eq!(t.ranks_per_node, 8);
+        assert_eq!(t.mode, CollectiveMode::Flat);
+        assert_eq!(t.net.intra_bytes_per_sec, 100e9);
+        assert_eq!(t.net.inter_bytes_per_sec, 12.5e9);
+        assert_eq!(t.net.intra_latency, Duration::from_nanos(500));
+        assert_eq!(t.net.inter_latency, Duration::from_micros(7));
+        let topo = t.topology(10);
+        assert_eq!(topo.num_nodes(), 2);
+        assert!(topo.same_node(0, 7) && !topo.same_node(7, 8));
+
+        let again = ConfigurableAnalysis::from_xml(&cfg.to_xml()).unwrap();
+        assert_eq!(again.topology_config(), Some(t));
+
+        // A bare element means the defaults (hierarchical, 4 per node,
+        // Perlmutter-shaped network); an absent one means single-node.
+        let bare = ConfigurableAnalysis::from_xml("<sensei><topology/></sensei>").unwrap();
+        assert_eq!(bare.topology_config(), Some(TopologyConfig::default()));
+        assert_eq!(bare.topology_config().unwrap().mode, CollectiveMode::Hierarchical);
+        assert_eq!(ConfigurableAnalysis::from_xml("<sensei/>").unwrap().topology_config(), None);
+    }
+
+    #[test]
+    fn bad_topology_values_are_rejected() {
+        for xml in [
+            r#"<sensei><topology ranks_per_node="0"/></sensei>"#,
+            r#"<sensei><topology mode="diagonal"/></sensei>"#,
+            r#"<sensei><topology inter_gbps="-3"/></sensei>"#,
+        ] {
+            assert!(matches!(ConfigurableAnalysis::from_xml(xml), Err(Error::Config(_))), "{xml}");
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use devsim::PinStats;
+use minimpi::TierSnapshot;
 
 /// Shared, thread-safe work counters one analysis back-end increments.
 #[derive(Debug, Default)]
@@ -24,6 +25,44 @@ pub struct AnalysisCounters {
     allreduces: AtomicU64,
     fetches: AtomicU64,
     faults: FaultCounters,
+    comm: CommCounters,
+}
+
+/// Per-tier communication counters: traffic the back-end's collectives put
+/// on the intra-node fabric vs the inter-node interconnect, captured as
+/// [`minimpi::Comm::tier_stats`] deltas around each collective phase.
+#[derive(Debug, Default)]
+pub struct CommCounters {
+    intra_messages: AtomicU64,
+    intra_bytes: AtomicU64,
+    intra_modeled_ns: AtomicU64,
+    inter_messages: AtomicU64,
+    inter_bytes: AtomicU64,
+    inter_modeled_ns: AtomicU64,
+}
+
+impl CommCounters {
+    /// Fold a tier-counter delta into the totals.
+    pub fn add(&self, d: &TierSnapshot) {
+        self.intra_messages.fetch_add(d.intra_messages, Ordering::Relaxed);
+        self.intra_bytes.fetch_add(d.intra_bytes, Ordering::Relaxed);
+        self.intra_modeled_ns.fetch_add(d.intra_modeled_ns, Ordering::Relaxed);
+        self.inter_messages.fetch_add(d.inter_messages, Ordering::Relaxed);
+        self.inter_bytes.fetch_add(d.inter_bytes, Ordering::Relaxed);
+        self.inter_modeled_ns.fetch_add(d.inter_modeled_ns, Ordering::Relaxed);
+    }
+
+    /// A plain-value copy of the current totals.
+    pub fn snapshot(&self) -> TierSnapshot {
+        TierSnapshot {
+            intra_messages: self.intra_messages.load(Ordering::Relaxed),
+            intra_bytes: self.intra_bytes.load(Ordering::Relaxed),
+            intra_modeled_ns: self.intra_modeled_ns.load(Ordering::Relaxed),
+            inter_messages: self.inter_messages.load(Ordering::Relaxed),
+            inter_bytes: self.inter_bytes.load(Ordering::Relaxed),
+            inter_modeled_ns: self.inter_modeled_ns.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Failure/recovery outcome counters, kept by the execution engines as
@@ -144,6 +183,13 @@ impl AnalysisCounters {
         &self.faults
     }
 
+    /// Fold a per-tier communication delta into the comm counters (the
+    /// engine captures [`minimpi::Comm::tier_stats`] around a collective
+    /// phase and reports the difference here).
+    pub fn add_comm(&self, delta: &TierSnapshot) {
+        self.comm.add(delta);
+    }
+
     /// A consistent-enough copy of the current totals (exact once the
     /// back-end has been finalized).
     pub fn snapshot(&self) -> CounterSnapshot {
@@ -154,6 +200,7 @@ impl AnalysisCounters {
             allreduces: self.allreduces.load(Ordering::Relaxed),
             fetches: self.fetches.load(Ordering::Relaxed),
             faults: self.faults.snapshot(),
+            comm: self.comm.snapshot(),
         }
     }
 }
@@ -173,6 +220,8 @@ pub struct CounterSnapshot {
     pub fetches: u64,
     /// Failure/recovery outcomes.
     pub faults: FaultSnapshot,
+    /// Per-tier communication traffic (intra- vs inter-node).
+    pub comm: TierSnapshot,
 }
 
 impl CounterSnapshot {
@@ -185,6 +234,7 @@ impl CounterSnapshot {
         self.allreduces += other.allreduces;
         self.fetches += other.fetches;
         self.faults.accumulate(&other.faults);
+        self.comm.accumulate(&other.comm);
     }
 }
 
@@ -311,6 +361,7 @@ mod tests {
                 allreduces: 1,
                 fetches: 11,
                 faults: FaultSnapshot::default(),
+                comm: TierSnapshot::default(),
             }
         );
         let mut total = CounterSnapshot::default();
@@ -318,6 +369,25 @@ mod tests {
         total.accumulate(&s);
         assert_eq!(total.allreduces, 2);
         assert_eq!(total.kernel_launches, 18);
+    }
+
+    #[test]
+    fn comm_deltas_fold_into_tier_totals() {
+        let c = AnalysisCounters::new();
+        c.add_comm(&TierSnapshot {
+            intra_messages: 3,
+            intra_bytes: 96,
+            intra_modeled_ns: 10,
+            inter_messages: 1,
+            inter_bytes: 32,
+            inter_modeled_ns: 40,
+        });
+        c.add_comm(&TierSnapshot { intra_messages: 1, intra_bytes: 8, ..Default::default() });
+        let s = c.snapshot().comm;
+        assert_eq!((s.intra_messages, s.intra_bytes), (4, 104));
+        assert_eq!((s.inter_messages, s.inter_bytes), (1, 32));
+        assert_eq!(s.messages(), 5);
+        assert_eq!(s.bytes(), 136);
     }
 
     #[test]

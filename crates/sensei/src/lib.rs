@@ -64,11 +64,11 @@ mod snapshot;
 
 pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
 pub use bridge::Bridge;
-pub use configurable::{BackendConfig, ConfigurableAnalysis};
+pub use configurable::{BackendConfig, ConfigurableAnalysis, TopologyConfig};
 pub use controls::{BackendControls, DeviceSpec};
 pub use counters::{
-    AnalysisCounters, CounterSnapshot, FaultCounters, FaultSnapshot, SnapshotCounterSnapshot,
-    SnapshotCounters,
+    AnalysisCounters, CommCounters, CounterSnapshot, FaultCounters, FaultSnapshot,
+    SnapshotCounterSnapshot, SnapshotCounters,
 };
 pub use dag::{DeviceStreams, TaskCtx, TaskGraph, TaskId, TaskKind, TaskSite};
 pub use device_select::{select_device, DeviceSelector};

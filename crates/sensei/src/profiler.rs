@@ -210,18 +210,21 @@ impl Profiler {
         total
     }
 
-    /// Dump the per-backend counter samples as CSV, work counters followed
-    /// by the failure/recovery outcome counters.
+    /// Dump the per-backend counter samples as CSV: work counters, the
+    /// failure/recovery outcome counters, then the per-tier communication
+    /// traffic (intra- vs inter-node messages and bytes).
     pub fn counters_csv(&self) -> String {
         let mut out = String::from(
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
-             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted\n",
+             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
+             intra_messages,intra_bytes,inter_messages,inter_bytes\n",
         );
         for s in &self.counter_samples {
             let c = &s.counters;
             let f = &c.faults;
+            let m = &c.comm;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.backend,
                 c.table_passes,
                 c.kernel_launches,
@@ -233,6 +236,10 @@ impl Profiler {
                 f.recovered,
                 f.skipped,
                 f.aborted,
+                m.intra_messages,
+                m.intra_bytes,
+                m.inter_messages,
+                m.inter_bytes,
             ));
         }
         out
@@ -485,6 +492,7 @@ mod tests {
                 allreduces: 1,
                 fetches: 12,
                 faults: FaultSnapshot::default(),
+                comm: minimpi::TierSnapshot::default(),
             },
         );
         p.record_counters(
@@ -502,6 +510,13 @@ mod tests {
                     skipped: 0,
                     aborted: 0,
                 },
+                comm: minimpi::TierSnapshot {
+                    intra_messages: 18,
+                    intra_bytes: 1440,
+                    inter_messages: 6,
+                    inter_bytes: 480,
+                    ..Default::default()
+                },
             },
         );
         let total = p.counters_total();
@@ -515,10 +530,12 @@ mod tests {
         assert_eq!(
             lines[0],
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
-             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted"
+             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
+             intra_messages,intra_bytes,inter_messages,inter_bytes"
         );
-        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0");
-        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0");
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0");
+        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,6,480");
+        assert_eq!(p.counters_total().comm.inter_bytes, 480);
     }
 
     #[test]
