@@ -135,8 +135,13 @@ impl AnalysisAdaptor for Histogram {
                 let mut lo = f64::INFINITY;
                 let mut hi = f64::NEG_INFINITY;
                 for a in &arrays {
-                    let vals = array_host(a)?;
-                    for v in vals {
+                    // Stride-aware iteration: columns of a layout-grouped
+                    // table are walked through their map without
+                    // materializing a dense copy.
+                    let typed = as_f64(a)?;
+                    let view = typed.host_accessible()?;
+                    typed.synchronize()?;
+                    for v in view.iter()? {
                         if v.is_finite() {
                             lo = lo.min(v);
                             hi = hi.max(v);

@@ -51,6 +51,11 @@ pub struct CaseConfig {
     /// unconditional deep copies, generation-gated delta copies, or
     /// copy-on-write shares (see `sensei::SnapshotMode`).
     pub snapshot: SnapshotMode,
+    /// The physical layout label threaded into the back-end controls
+    /// (tags the profiler's counter rows; see `hamr::Layout`). Newton++
+    /// publishes dense device columns, so this stays [`Layout::Scalar`]
+    /// for the paper matrix — the layout A/B lives in `bench::layout`.
+    pub layout: hamr::Layout,
 }
 
 impl CaseConfig {
@@ -70,6 +75,7 @@ impl CaseConfig {
             fused: false,
             bounded: false,
             snapshot: SnapshotMode::Deep,
+            layout: hamr::Layout::Scalar,
         }
     }
 
@@ -291,6 +297,7 @@ fn run_rank(node: Arc<SimNode>, comm: &minimpi::Comm, cfg: &CaseConfig) -> CaseO
         device: device_spec,
         selector,
         queue_depth: cfg.steps.max(1) as usize,
+        layout: cfg.layout,
         ..Default::default()
     };
 
@@ -359,6 +366,7 @@ mod tests {
             fused: false,
             bounded: false,
             snapshot: SnapshotMode::Deep,
+            layout: hamr::Layout::Scalar,
         }
     }
 

@@ -12,6 +12,7 @@ mod case;
 mod chaos;
 mod chart;
 mod dag;
+mod layout;
 mod scale;
 mod snapshot;
 mod workload;
@@ -21,6 +22,10 @@ pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosRe
 pub use chart::{ascii_bars, ascii_stack};
 pub use dag::{
     run_dag_arm, run_dag_bench, skewed_binning_specs, DagArm, DagBenchConfig, DagBenchReport,
+};
+pub use layout::{
+    run_layout_arm, run_layout_bench, LayoutArm, LayoutBenchConfig, LayoutReport, PlacementSweep,
+    CANDIDATE_LAYOUTS,
 };
 pub use scale::{
     run_scale_bench, ScaleArm, ScaleBenchConfig, ScaleCheck, ScalePoint, ScaleReport, ScaleSweep,

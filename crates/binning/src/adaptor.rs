@@ -186,11 +186,11 @@ impl BinningAnalysis {
         &self,
         table: &TableData,
         device: Option<usize>,
-        _ctx: &ExecContext<'_>,
+        ctx: &ExecContext<'_>,
     ) -> Result<Fetched> {
         let vars = self.spec.required_variables();
         self.counters.add_fetches(vars.len() as u64);
-        fetch_table(table, &vars, device)
+        fetch_table(table, &vars, device, ctx.node, &self.counters, true)
     }
 
     /// Global axis bounds: manual, or min/max computed where the data is.
@@ -220,6 +220,16 @@ impl BinningAnalysis {
                             "bin_bounds_fused",
                             devsim::KernelCost::bytes(((xs.len() + ys.len()) * 8) as f64),
                             || bounds::minmax_multi_host(&[xs, ys]),
+                        )
+                    }
+                    Fetched::HostMapped { cols, layout, .. } => {
+                        let xs = &cols[self.spec.axes.0.as_str()];
+                        let ys = &cols[self.spec.axes.1.as_str()];
+                        self.counters.add_table_passes(1);
+                        ctx.node.host().run(
+                            "bin_bounds_fused",
+                            device_impl::fused_bounds_cost(xs.len() + ys.len(), *layout),
+                            || bounds::minmax_multi_mapped(&[xs, ys]),
                         )
                     }
                     Fetched::Device { views, .. } => {
@@ -261,6 +271,15 @@ impl BinningAnalysis {
                             "bin_bounds",
                             devsim::KernelCost::bytes((vals.len() * 8) as f64),
                             || bounds::minmax_host(vals),
+                        )
+                    }
+                    Fetched::HostMapped { cols, layout, .. } => {
+                        let col = &cols[name.as_str()];
+                        self.counters.add_table_passes(1);
+                        ctx.node.host().run(
+                            "bin_bounds",
+                            device_impl::fused_bounds_cost(col.len(), *layout),
+                            || bounds::minmax_mapped(col),
                         )
                     }
                     Fetched::Device { views, .. } => {
@@ -359,6 +378,47 @@ impl BinningAnalysis {
                         }
                     }
                 }
+                Fetched::HostMapped { cols, layout, n } => {
+                    let xs = &cols[self.spec.axes.0.as_str()];
+                    let ys = &cols[self.spec.axes.1.as_str()];
+                    if self.fused {
+                        let ops: Vec<(BinOp, Option<&host_impl::MappedCol>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals = if vo.op == BinOp::Count {
+                                    None
+                                } else {
+                                    Some(&cols[vo.var.as_str()])
+                                };
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        self.counters.add_table_passes(1);
+                        let parts = ctx.node.host().run(
+                            "bin_fused_host_lanes",
+                            device_impl::fused_bin_cost_layout(*n, ops.len(), *layout),
+                            || host_impl::bin_all_host_lanes(xs, ys, &ops, &grid),
+                        );
+                        for ((vo, acc), part) in results.iter_mut().zip(parts) {
+                            *acc = reduce::merge_grids(vo.op, std::mem::take(acc), part);
+                        }
+                    } else {
+                        for (vo, acc) in results.iter_mut() {
+                            let vals = if vo.op == BinOp::Count {
+                                None
+                            } else {
+                                Some(&cols[vo.var.as_str()])
+                            };
+                            self.counters.add_table_passes(1);
+                            let part =
+                                ctx.node.host().run("bin_host", device_impl::bin_cost(*n), || {
+                                    host_impl::bin_host_mapped(xs, ys, vals, vo.op, &grid)
+                                });
+                            let merged = reduce::merge_grids(vo.op, std::mem::take(acc), part);
+                            *acc = merged;
+                        }
+                    }
+                }
                 Fetched::Device { views, .. } => {
                     let d = device.expect("device fetch implies device placement");
                     let stream = ctx.node.device(d)?.default_stream();
@@ -440,6 +500,16 @@ impl BinningAnalysis {
 pub(crate) enum Fetched {
     /// Host placement: plain vectors.
     Host(std::collections::HashMap<String, Vec<f64>>),
+    /// Host placement over a layout-grouped table: zero-copy mapped
+    /// columns over the shared interleaved block, consumed by the
+    /// lane-blocked host kernels.
+    HostMapped {
+        cols: std::collections::HashMap<String, host_impl::MappedCol>,
+        /// The group's physical layout (drives the lane cost model).
+        layout: hamr::Layout,
+        /// Logical row count.
+        n: usize,
+    },
     /// Device placement: access views (zero-copy when already resident).
     Device {
         views: std::collections::HashMap<String, hamr::AccessView<f64>>,
@@ -487,10 +557,24 @@ pub(crate) fn column<'t>(table: &'t TableData, name: &str) -> Result<&'t HamrDat
 /// Move `vars` of `table` into the execution space (host vectors or
 /// device views) with one batched synchronization: all moves are enqueued
 /// first and waited for once. Data already in place is granted zero-copy.
+///
+/// Layout handling is data-driven: a grouped table (columns sharing an
+/// interleaved AoS/SoA/AoSoA block) is consumed zero-copy on the host
+/// through [`Fetched::HostMapped`] when `mapped` is true, or gathered
+/// into dense vectors (a charged relayout, counted in `counters`) when
+/// the caller needs plain slices — the DAG engine pins itself to the
+/// dense path so stolen kernels keep their plain-column contract. On a
+/// device, `hamr` packs grouped blocks dense in flight during upload;
+/// the cells the pack moved are charged by the buffer layer and counted
+/// into `counters` here, and downstream device code sees ordinary dense
+/// views either way.
 pub(crate) fn fetch_table(
     table: &TableData,
     vars: &[&str],
     device: Option<usize>,
+    node: &Arc<devsim::SimNode>,
+    counters: &AnalysisCounters,
+    mapped: bool,
 ) -> Result<Fetched> {
     match device {
         None => {
@@ -503,10 +587,54 @@ pub(crate) fn fetch_table(
             for (_, col, _) in &views {
                 col.synchronize()?;
             }
-            let mut data = std::collections::HashMap::new();
-            for (name, _, view) in views {
-                data.insert(name, view.to_vec()?);
+            let grouped = views.iter().any(|(_, _, v)| v.layout_map().is_some());
+            if mapped && grouped {
+                // Zero-copy: lane kernels read straight through the maps.
+                let mut cols = std::collections::HashMap::new();
+                let mut layout = hamr::Layout::Scalar;
+                for (name, col, view) in views {
+                    let mc = match view.layout_map() {
+                        Some(m) => {
+                            if m.layout() != hamr::Layout::Scalar {
+                                layout = m.layout();
+                            }
+                            let v = col.data().host_f64_ro().map_err(Error::Device)?;
+                            host_impl::MappedCol::new(v, m)
+                        }
+                        None => {
+                            let len = view.len();
+                            let v = view.cells().host_f64_ro().map_err(Error::Device)?;
+                            host_impl::MappedCol::dense(v, len)
+                        }
+                    };
+                    cols.insert(name, mc);
+                }
+                return Ok(Fetched::HostMapped { cols, layout, n: table.num_rows() });
             }
+            // Dense path; gathering out of a grouped block is an honest
+            // relayout (read mapped + write dense), charged like a pack.
+            let gather_cells: usize = views
+                .iter()
+                .filter(|(_, _, v)| v.layout_map().is_some())
+                .map(|(_, _, v)| v.len())
+                .sum();
+            let build = move || -> Result<std::collections::HashMap<String, Vec<f64>>> {
+                let mut data = std::collections::HashMap::new();
+                for (name, _, view) in views {
+                    data.insert(name, view.to_vec()?);
+                }
+                Ok(data)
+            };
+            let data = if gather_cells > 0 {
+                counters.add_relayout_bytes((2 * gather_cells * 8) as u64);
+                node.host().run(
+                    "bin_relayout_gather",
+                    devsim::KernelCost::bytes((2 * gather_cells * 8) as f64),
+                    build,
+                )?
+            } else {
+                build()?
+            };
             Ok(Fetched::Host(data))
         }
         Some(d) => {
@@ -517,6 +645,12 @@ pub(crate) fn fetch_table(
             }
             for name in vars {
                 column(table, name)?.synchronize()?;
+            }
+            // Grouped columns were packed dense in flight during upload;
+            // surface the relayout traffic the buffer layer charged.
+            let relayout_cells: usize = views.values().map(|(v, ())| v.relayout_cells()).sum();
+            if relayout_cells > 0 {
+                counters.add_relayout_bytes((2 * relayout_cells * 8) as u64);
             }
             let n = table.num_rows();
             let views = views.into_iter().map(|(k, (v, ()))| (k, v)).collect();
@@ -536,6 +670,9 @@ pub(crate) fn fetch_table(
 pub(crate) fn release_if_materialized(data: &dyn DataAdaptor, fetched: &[Fetched]) {
     let detached = fetched.iter().all(|f| match f {
         Fetched::Host(_) => true,
+        // Mapped columns alias the snapshot's own grouped block — the
+        // zero-copy read is exactly what forbids an early release.
+        Fetched::HostMapped { .. } => false,
         Fetched::Device { views, .. } => views.values().all(|v| !v.is_direct()),
     });
     if detached {

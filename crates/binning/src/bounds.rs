@@ -43,6 +43,49 @@ pub fn minmax_multi_host(cols: &[&[f64]]) -> Vec<(f64, f64)> {
     out
 }
 
+/// [`minmax_host`] over a layout-mapped column (the per-op reference
+/// path for grouped tables).
+pub fn minmax_mapped(col: &crate::host_impl::MappedCol) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for i in 0..col.len() {
+        let v = col.get(i);
+        if v.is_finite() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+    }
+    (lo, hi)
+}
+
+/// Fused min/max over several layout-mapped columns with a lane-blocked
+/// inner loop: each lane block of every column is reduced before moving
+/// on (for an AoSoA group the block's values are contiguous, which is
+/// what the simulated vector units reward). Min/max folds commute over
+/// finite values and non-finite rows are skipped exactly like
+/// [`minmax_host`], so the result equals [`minmax_multi_host`] over the
+/// same logical values bit for bit.
+pub fn minmax_multi_mapped(cols: &[&crate::host_impl::MappedCol]) -> Vec<(f64, f64)> {
+    let mut out = vec![(f64::INFINITY, f64::NEG_INFINITY); cols.len()];
+    let lane = cols.iter().map(|c| c.map().layout().lane_width().max(1)).max().unwrap_or(1);
+    for (k, col) in cols.iter().enumerate() {
+        let n = col.len();
+        let mut start = 0;
+        while start < n {
+            let m = lane.min(n - start);
+            for l in 0..m {
+                let v = col.get(start + l);
+                if v.is_finite() {
+                    out[k].0 = out[k].0.min(v);
+                    out[k].1 = out[k].1.max(v);
+                }
+            }
+            start += m;
+        }
+    }
+    out
+}
+
 /// Combine per-rank `(lo, hi)` pairs for **several** axes in a single
 /// packed allreduce (alternating min/max segments), instead of one
 /// allreduce per axis.

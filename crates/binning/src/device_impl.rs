@@ -34,6 +34,36 @@ pub fn fused_bin_cost(n: usize, num_ops: usize) -> KernelCost {
     KernelCost { flops: (12.0 + 8.0 * k) * n, bytes: (16.0 + 24.0 * k) * n }
 }
 
+/// Layout-aware cost of the fused host pass. Scalar, AoS, and SoA run
+/// the plain row loop and cost exactly [`fused_bin_cost`] — AoS strides
+/// defeat the vector units and SoA is what the scalar columns already
+/// are. An AoSoA group feeds the lane-blocked kernel whole contiguous
+/// lanes: index arithmetic and accumulation vectorize across the lane
+/// (flops divided by the effective lane width, capped at the simulated
+/// 8-wide vector unit) and the streaming lane loads halve the effective
+/// byte cost versus gathered column traversals.
+pub fn fused_bin_cost_layout(n: usize, num_ops: usize, layout: hamr::Layout) -> KernelCost {
+    let base = fused_bin_cost(n, num_ops);
+    match layout {
+        hamr::Layout::AoSoA { lane_width } => {
+            let w = lane_width.clamp(1, 8) as f64;
+            KernelCost { flops: base.flops / w, bytes: base.bytes / 2.0 }
+        }
+        _ => base,
+    }
+}
+
+/// Layout-aware cost of the fused host bounds pass over `total` cells
+/// (the sum of the traversed columns' lengths): byte-bound either way,
+/// with AoSoA lane streaming halving the effective traffic.
+pub fn fused_bounds_cost(total: usize, layout: hamr::Layout) -> KernelCost {
+    let bytes = (total * 8) as f64;
+    match layout {
+        hamr::Layout::AoSoA { .. } => KernelCost::bytes(bytes / 2.0),
+        _ => KernelCost::bytes(bytes),
+    }
+}
+
 /// Bin one variable on `device`: allocates the per-bin accumulation
 /// buffer on the device, initializes it to the reduction's identity, and
 /// runs the binning kernel on `stream`. Returns the device-resident

@@ -1,7 +1,51 @@
 //! The host (CPU) binning implementation.
 
+use hamr::{LayoutMap, Mapping};
+
 use crate::grid::GridParams;
 use crate::spec::BinOp;
+
+/// A column for the layout-polymorphic host kernels: a shared backing
+/// block read through a [`LayoutMap`] (identity-mapped for plain dense
+/// columns). Reads go through the host view's atomic cells, so a kernel
+/// can consume a layout group's interleaved block zero-copy.
+pub struct MappedCol {
+    view: devsim::HostF64View,
+    map: LayoutMap,
+}
+
+impl MappedCol {
+    /// A column over `view` read through `map`.
+    pub fn new(view: devsim::HostF64View, map: LayoutMap) -> Self {
+        MappedCol { view, map }
+    }
+
+    /// A plain dense column of `len` elements (identity mapping).
+    pub fn dense(view: devsim::HostF64View, len: usize) -> Self {
+        MappedCol { view, map: LayoutMap::new(hamr::Layout::Scalar, len, 1, 0) }
+    }
+
+    /// The layout mapping the column reads through.
+    pub fn map(&self) -> &LayoutMap {
+        &self.map
+    }
+
+    /// Logical element `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.view.get(self.map.index(i))
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
 
 /// Initial value for a reduction's accumulation buffer.
 pub fn identity(op: BinOp) -> f64 {
@@ -85,6 +129,102 @@ pub fn bin_all_host(
             };
             bins[b] = accumulate(*op, bins[b], v);
         }
+    }
+    grids
+}
+
+/// [`bin_host`] over layout-mapped columns: the per-op reference kernel
+/// for grouped tables. Row order (and therefore every accumulation) is
+/// identical to the dense kernel, so the result is bit-identical to
+/// [`bin_host`] over the same logical values.
+///
+/// # Panics
+/// Panics when the coordinate columns' lengths differ, or a non-count
+/// reduction's value column length differs from the coordinates.
+pub fn bin_host_mapped(
+    xs: &MappedCol,
+    ys: &MappedCol,
+    values: Option<&MappedCol>,
+    op: BinOp,
+    grid: &GridParams,
+) -> Vec<f64> {
+    assert_eq!(xs.len(), ys.len(), "coordinate columns must be co-occurring");
+    if op != BinOp::Count {
+        let v = values.unwrap_or_else(|| panic!("operation {} needs a value column", op.name()));
+        assert_eq!(v.len(), xs.len(), "value column must be co-occurring");
+    }
+    let mut bins = vec![identity(op); grid.num_bins()];
+    for i in 0..xs.len() {
+        if let Some(b) = grid.bin_index(xs.get(i), ys.get(i)) {
+            let v = match values {
+                Some(values) if op != BinOp::Count => values.get(i),
+                _ => 0.0,
+            };
+            bins[b] = accumulate(op, bins[b], v);
+        }
+    }
+    bins
+}
+
+/// Fused single-pass binning over layout-mapped columns with an explicit
+/// lane-blocked inner loop — the vectorized path for AoSoA groups.
+///
+/// Rows are processed in lane-width blocks: one lane pass computes the
+/// block's bin indices (the vectorizable part — for an AoSoA group the
+/// lane's coordinates are contiguous in the backing block), then each
+/// op scatters the block's rows in ascending order. Because every
+/// `(op, bin)` accumulator still sees its rows in ascending global row
+/// order, each returned grid is **bit-identical** to [`bin_all_host`]
+/// over the same logical values — including the ragged final block when
+/// the row count is not a lane multiple. The lane width comes from the
+/// coordinate column's layout (1 for scalar/AoS/SoA, i.e. a plain loop).
+///
+/// # Panics
+/// Panics when the coordinate columns' lengths differ, a non-count
+/// reduction's value column is missing, or its length differs from the
+/// coordinates.
+pub fn bin_all_host_lanes(
+    xs: &MappedCol,
+    ys: &MappedCol,
+    ops: &[(BinOp, Option<&MappedCol>)],
+    grid: &GridParams,
+) -> Vec<Vec<f64>> {
+    assert_eq!(xs.len(), ys.len(), "coordinate columns must be co-occurring");
+    for (op, values) in ops {
+        if *op != BinOp::Count {
+            let v =
+                values.unwrap_or_else(|| panic!("operation {} needs a value column", op.name()));
+            assert_eq!(v.len(), xs.len(), "value column must be co-occurring");
+        }
+    }
+    let n = xs.len();
+    let lane = xs.map().layout().lane_width().max(1);
+    let mut grids: Vec<Vec<f64>> =
+        ops.iter().map(|(op, _)| vec![identity(*op); grid.num_bins()]).collect();
+    // Per-lane scratch: the block's bin indices, None for dropped rows.
+    let mut bidx: Vec<Option<usize>> = vec![None; lane];
+    let mut start = 0;
+    while start < n {
+        let m = lane.min(n - start);
+        // Lane pass 1: bin indices for the whole block.
+        for (l, slot) in bidx.iter_mut().take(m).enumerate() {
+            let i = start + l;
+            *slot = grid.bin_index(xs.get(i), ys.get(i));
+        }
+        // Lane pass 2: per op, scatter the block's rows in ascending
+        // order (each (op, bin) accumulator folds rows in global row
+        // order, which is what keeps the grids bit-identical).
+        for ((op, values), bins) in ops.iter().zip(grids.iter_mut()) {
+            for (l, slot) in bidx.iter().take(m).enumerate() {
+                let Some(b) = *slot else { continue };
+                let v = match values {
+                    Some(values) if *op != BinOp::Count => values.get(start + l),
+                    _ => 0.0,
+                };
+                bins[b] = accumulate(*op, bins[b], v);
+            }
+        }
+        start += m;
     }
     grids
 }
@@ -233,5 +373,121 @@ mod tests {
     #[should_panic(expected = "needs a value column")]
     fn fused_pass_rejects_missing_value_column() {
         bin_all_host(&XS, &YS, &[(BinOp::Sum, None)], &grid2x2());
+    }
+
+    /// Pack `fields` (all the same length) into one backing block laid
+    /// out by `layout`, returning one mapped column per field.
+    fn group(
+        node: &std::sync::Arc<devsim::SimNode>,
+        layout: hamr::Layout,
+        fields: &[&[f64]],
+    ) -> Vec<MappedCol> {
+        let n = fields[0].len();
+        let block = node.host_alloc_f64(layout.block_cells(n, fields.len()));
+        let view = block.host_f64().unwrap();
+        let mut cols = Vec::with_capacity(fields.len());
+        for (f, vals) in fields.iter().enumerate() {
+            let map = LayoutMap::new(layout, n, fields.len(), f);
+            for (i, &v) in vals.iter().enumerate() {
+                view.set(map.index(i), v);
+            }
+            cols.push(MappedCol::new(block.host_f64().unwrap(), map));
+        }
+        cols
+    }
+
+    #[test]
+    fn lane_kernel_is_bit_identical_to_scalar_across_layouts() {
+        let node = devsim::SimNode::new(devsim::NodeConfig::fast_test(1));
+        // n = 7: not a multiple of lane 4 or 8, forcing a ragged tail.
+        let xs: Vec<f64> = vec![0.5, 1.5, 0.5, 1.5, 0.5, 10.0, f64::NAN];
+        let ys: Vec<f64> = vec![0.5, 0.5, 1.5, 1.5, 0.7, 0.5, 0.5];
+        let vs: Vec<f64> = vec![10.0, 20.0, 30.0, -40.0, 5.5, 7.0, 8.0];
+        let g = grid2x2();
+        let ops: Vec<(BinOp, Option<&[f64]>)> = vec![
+            (BinOp::Count, None),
+            (BinOp::Sum, Some(&vs)),
+            (BinOp::Min, Some(&vs)),
+            (BinOp::Max, Some(&vs)),
+            (BinOp::Average, Some(&vs)),
+        ];
+        let reference = bin_all_host(&xs, &ys, &ops, &g);
+
+        // Scalar is exercised through the dense (identity-mapped) path;
+        // a multi-field group needs an interleaving layout.
+        let dense_cols: Vec<MappedCol> = [&xs, &ys, &vs]
+            .iter()
+            .map(|vals| {
+                let buf = node.host_alloc_f64(vals.len());
+                let view = buf.host_f64().unwrap();
+                for (i, &v) in vals.iter().enumerate() {
+                    view.set(i, v);
+                }
+                MappedCol::dense(buf.host_f64().unwrap(), vals.len())
+            })
+            .collect();
+        let dense_ops: Vec<(BinOp, Option<&MappedCol>)> =
+            ops.iter().map(|(op, v)| (*op, v.map(|_| &dense_cols[2]))).collect();
+        let dense = bin_all_host_lanes(&dense_cols[0], &dense_cols[1], &dense_ops, &g);
+        for (lane_grid, ref_grid) in dense.iter().zip(&reference) {
+            assert_eq!(
+                lane_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                ref_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "dense identity mapping"
+            );
+        }
+
+        for layout in [
+            hamr::Layout::AoS,
+            hamr::Layout::SoA,
+            hamr::Layout::AoSoA { lane_width: 1 },
+            hamr::Layout::AoSoA { lane_width: 4 },
+            hamr::Layout::AoSoA { lane_width: 8 },
+        ] {
+            let cols = group(&node, layout, &[&xs, &ys, &vs]);
+            let mops: Vec<(BinOp, Option<&MappedCol>)> =
+                ops.iter().map(|(op, v)| (*op, v.map(|_| &cols[2]))).collect();
+            let lanes = bin_all_host_lanes(&cols[0], &cols[1], &mops, &g);
+            for ((op, _), (lane_grid, ref_grid)) in ops.iter().zip(lanes.iter().zip(&reference)) {
+                assert_eq!(
+                    lane_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    ref_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} under {}",
+                    op.name(),
+                    layout.name()
+                );
+                // The per-op mapped reference agrees too.
+                let per_op = bin_host_mapped(
+                    &cols[0],
+                    &cols[1],
+                    (*op != BinOp::Count).then_some(&cols[2]),
+                    *op,
+                    &g,
+                );
+                assert_eq!(
+                    per_op.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    ref_grid.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "per-op {} under {}",
+                    op.name(),
+                    layout.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mapped_bounds_match_dense_bounds_bitwise() {
+        let node = devsim::SimNode::new(devsim::NodeConfig::fast_test(1));
+        let a: Vec<f64> = vec![1.0, f64::NAN, -2.0, 3.0, 0.25, -7.5, 9.0];
+        let b: Vec<f64> = vec![9.0, -9.0, 0.0, f64::INFINITY, 1.0, 2.0, 3.0];
+        let dense = crate::bounds::minmax_multi_host(&[&a, &b]);
+        for layout in [hamr::Layout::AoS, hamr::Layout::SoA, hamr::Layout::AoSoA { lane_width: 4 }]
+        {
+            let cols = group(&node, layout, &[&a, &b]);
+            let mapped = crate::bounds::minmax_multi_mapped(&[&cols[0], &cols[1]]);
+            assert_eq!(mapped, dense, "bounds under {}", layout.name());
+            assert_eq!(crate::bounds::minmax_mapped(&cols[0]), dense[0]);
+            assert_eq!(crate::bounds::minmax_mapped(&cols[1]), dense[1]);
+        }
     }
 }

@@ -288,6 +288,17 @@ impl BinningSuite {
                             || bounds::minmax_multi_host(&cols),
                         )
                     }
+                    Fetched::HostMapped { cols, layout, .. } => {
+                        let cols: Vec<&host_impl::MappedCol> =
+                            auto_cols.iter().map(|c| &cols[*c]).collect();
+                        let total: usize = cols.iter().map(|c| c.len()).sum();
+                        self.counters.add_table_passes(1);
+                        ctx.node.host().run(
+                            "bin_bounds_fused",
+                            device_impl::fused_bounds_cost(total, *layout),
+                            || bounds::minmax_multi_mapped(&cols),
+                        )
+                    }
                     Fetched::Device { views, .. } => {
                         let d = device.expect("device fetch implies device placement");
                         let stream = ctx.node.device(d)?.default_stream();
@@ -415,6 +426,31 @@ impl BinningSuite {
                         }
                     }
                 }
+                Fetched::HostMapped { cols, layout: blk_layout, n } => {
+                    for (si, (spec, grid)) in self.specs.iter().zip(grids).enumerate() {
+                        let xs = &cols[spec.axes.0.as_str()];
+                        let ys = &cols[spec.axes.1.as_str()];
+                        let all_ops = &layout.ops[si];
+                        let ops: Vec<(BinOp, Option<&host_impl::MappedCol>)> = all_ops
+                            .iter()
+                            .map(|vo| {
+                                let vals = (vo.op != BinOp::Count).then(|| &cols[vo.var.as_str()]);
+                                (vo.op, vals)
+                            })
+                            .collect();
+                        self.counters.add_table_passes(1);
+                        let parts = ctx.node.host().run(
+                            "bin_fused_host_lanes",
+                            device_impl::fused_bin_cost_layout(*n, ops.len(), *blk_layout),
+                            || host_impl::bin_all_host_lanes(xs, ys, &ops, grid),
+                        );
+                        let (off, nb) = (layout.offsets[si], grid.num_bins());
+                        for ((k, vo), part) in all_ops.iter().enumerate().zip(parts) {
+                            let seg = &mut flat[off + k * nb..off + (k + 1) * nb];
+                            reduce::merge_into(vo.op, seg, &part);
+                        }
+                    }
+                }
                 Fetched::Device { views, .. } => {
                     let d = device.expect("device fetch implies device placement");
                     if self.streams.is_empty() {
@@ -502,8 +538,10 @@ impl AnalysisAdaptor for BinningSuite {
         // One fetch of the union of every spec's variables per table.
         let vars = self.union_variables();
         self.counters.add_fetches(vars.len() as u64 * tables.len() as u64);
-        let fetched: Vec<Fetched> =
-            tables.iter().map(|t| fetch_table(t, &vars, device)).collect::<Result<_>>()?;
+        let fetched: Vec<Fetched> = tables
+            .iter()
+            .map(|t| fetch_table(t, &vars, device, ctx.node, &self.counters, true))
+            .collect::<Result<_>>()?;
         crate::adaptor::release_if_materialized(data, &fetched);
 
         let grids = self.resolve_grids(&fetched, device, ctx)?;
@@ -607,13 +645,21 @@ impl AnalysisAdaptor for BinningSuite {
                 state.host_tables.lock().clear();
                 state.dev_cols.lock().clear();
                 this.counters.add_fetches(vars.len() as u64 * tables.len() as u64);
-                let fetched: Vec<Fetched> =
-                    tables.iter().map(|t| fetch_table(t, &vars, device)).collect::<Result<_>>()?;
+                // The DAG engine keeps its plain-column contract: grouped
+                // tables are gathered dense here (a charged relayout), so
+                // stolen kernels never see a mapped block.
+                let fetched: Vec<Fetched> = tables
+                    .iter()
+                    .map(|t| fetch_table(t, &vars, device, ctx.node, &this.counters, false))
+                    .collect::<Result<_>>()?;
                 crate::adaptor::release_if_materialized(data, &fetched);
                 *state.grids.lock() = this.resolve_grids(&fetched, device, ctx)?;
                 for (ti, f) in fetched.into_iter().enumerate() {
                     match f {
                         Fetched::Host(cols) => state.host_tables.lock().push(Arc::new(cols)),
+                        Fetched::HostMapped { .. } => {
+                            return Err(Error::Analysis("dag fetch expects dense columns".into()))
+                        }
                         Fetched::Device { views, .. } => {
                             let p = device.expect("device fetch implies device placement");
                             let cols: HashMap<String, CellBuffer> =

@@ -349,3 +349,69 @@ fn multiblock_tables_are_binned_per_block() {
         assert_eq!(r.array("sum_mass").unwrap().iter().sum::<f64>(), 9.0);
     });
 }
+
+/// Read an image's cell arrays back through the accessor path: every
+/// array is materialized with `to_vec` (host-accessible view), whatever
+/// its placement, and keyed by name.
+fn image_cell_arrays(img: &svtk::ImageData) -> Vec<(String, Vec<u64>)> {
+    img.data(svtk::FieldAssociation::Cell)
+        .arrays()
+        .iter()
+        .map(|a| {
+            let vals = svtk::downcast::<f64>(a).unwrap().to_vec().unwrap();
+            (a.name().to_string(), vals.iter().map(|v| v.to_bits()).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn to_image_is_layout_agnostic() {
+    // `BinnedResult::to_image` publication must be independent of the
+    // physical layout of the source table: results flow to it through
+    // the accessor path, so a grouped AoS/SoA/AoSoA backing (including a
+    // ragged AoSoA tail — 13 rows is not a lane multiple) produces
+    // images bit-identical to the scalar-column reference, for both the
+    // host and the device publication paths.
+    let n = 13;
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % 2.0).collect();
+    let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.73) % 2.0).collect();
+    let ms: Vec<f64> = (0..n).map(|i| 1.0 + i as f64).collect();
+
+    type Published = (Vec<(String, Vec<u64>)>, Vec<(String, Vec<u64>)>);
+    let publish = |layout: hamr::Layout| -> Published {
+        let (xs, ys, ms) = (xs.clone(), ys.clone(), ms.clone());
+        let out: Arc<Mutex<Published>> = Arc::new(Mutex::new((Vec::new(), Vec::new())));
+        let out2 = out.clone();
+        World::new(1).run(move |comm| {
+            let node = SimNode::new(NodeConfig::fast_test(1));
+            let sink: ResultSink = Arc::new(Mutex::new(Vec::new()));
+            let analysis = BinningAnalysis::new(spec()).with_sink(sink.clone());
+            let mut bridge = Bridge::new(node.clone());
+            bridge.add_analysis(Box::new(analysis), &comm).unwrap();
+            let mut sim = Particles::new(node.clone(), None, xs.clone(), ys.clone(), ms.clone());
+            sim.table.group_columns(&["x", "y", "mass"], layout, &node).unwrap();
+            bridge.execute(&sim, &comm, std::time::Duration::ZERO).unwrap();
+            bridge.finalize(&comm).unwrap();
+            let result = sink.lock().last().cloned().unwrap();
+            let host_img = result.to_image(&node).unwrap();
+            let dev_img = result.to_image_on(&node, Some(0)).unwrap();
+            *out2.lock() = (image_cell_arrays(&host_img), image_cell_arrays(&dev_img));
+        });
+        let guard = out.lock();
+        guard.clone()
+    };
+
+    let (ref_host, ref_dev) = publish(hamr::Layout::Scalar);
+    assert_eq!(ref_host.len(), 3, "count, sum_mass, avg_mass");
+    assert_eq!(ref_host, ref_dev, "device publication reads back identical to host");
+    for layout in [
+        hamr::Layout::AoS,
+        hamr::Layout::SoA,
+        hamr::Layout::AoSoA { lane_width: 4 },
+        hamr::Layout::AoSoA { lane_width: 8 },
+    ] {
+        let (host, dev) = publish(layout);
+        assert_eq!(host, ref_host, "{} host image differs from scalar", layout.name());
+        assert_eq!(dev, ref_dev, "{} device image differs from scalar", layout.name());
+    }
+}

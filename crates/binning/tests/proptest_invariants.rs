@@ -3,8 +3,9 @@
 
 use std::sync::Arc;
 
-use binning::{device_impl, host_impl, reduce, BinOp, GridParams};
+use binning::{bounds, device_impl, host_impl, reduce, BinOp, GridParams};
 use devsim::{CellBuffer, NodeConfig, SimNode, Stream};
+use hamr::{Layout, LayoutMap, Mapping};
 use proptest::prelude::*;
 
 fn rows() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
@@ -123,6 +124,95 @@ proptest! {
             let merged = reduce::merge_grids(op, pa, pb);
             for (m, w) in merged.iter().zip(&whole) {
                 prop_assert!((m - w).abs() < 1e-9 || (m.is_infinite() && w.is_infinite()));
+            }
+        }
+    }
+}
+
+/// Scatter `fields` into one interleaved backing block arranged as
+/// `layout` and wrap each field as a map-translated column — the shape
+/// a grouped table's columns reach the binning kernels in.
+fn group(
+    node: &Arc<SimNode>,
+    layout: Layout,
+    fields: &[&[f64]],
+) -> (CellBuffer, Vec<host_impl::MappedCol>) {
+    let n = fields[0].len();
+    let block = node.host_alloc_f64(layout.block_cells(n, fields.len()));
+    let view = block.host_f64().unwrap();
+    let mut cols = Vec::with_capacity(fields.len());
+    for (f, vals) in fields.iter().enumerate() {
+        let map = LayoutMap::new(layout, n, fields.len(), f);
+        for (i, &v) in vals.iter().enumerate() {
+            view.set(map.index(i), v);
+        }
+        cols.push(host_impl::MappedCol::new(block.host_f64().unwrap(), map));
+    }
+    (block, cols)
+}
+
+proptest! {
+    // Each case builds small node-backed buffers; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The lane-vectorized kernels over every grouped layout — AoS, SoA,
+    /// and AoSoA at lane widths 1, 4, and 8 (arbitrary row counts, so
+    /// ragged tails are routine) — are bit-identical to the dense scalar
+    /// baseline for **every** operation, and so are the map-translated
+    /// per-op and bounds paths.
+    #[test]
+    fn grouped_layouts_are_bit_identical_to_scalar(data in rows()) {
+        let node = SimNode::new(NodeConfig::fast_test(1));
+        let g = grid();
+        let (xs, ys, vs) = split3(&data);
+
+        // Dense scalar references.
+        let all = [BinOp::Count, BinOp::Sum, BinOp::Min, BinOp::Max, BinOp::Average];
+        let dense_ops: Vec<(BinOp, Option<&[f64]>)> =
+            all.iter().map(|&op| (op, (op != BinOp::Count).then_some(&vs[..]))).collect();
+        let reference = host_impl::bin_all_host(&xs, &ys, &dense_ops, &g);
+        let ref_bounds = bounds::minmax_multi_host(&[&xs, &ys]);
+
+        for layout in [
+            Layout::AoS,
+            Layout::SoA,
+            Layout::AoSoA { lane_width: 1 },
+            Layout::AoSoA { lane_width: 4 },
+            Layout::AoSoA { lane_width: 8 },
+        ] {
+            let (_block, cols) = group(&node, layout, &[&xs, &ys, &vs]);
+            let (cx, cy, cv) = (&cols[0], &cols[1], &cols[2]);
+
+            let ops: Vec<(BinOp, Option<&host_impl::MappedCol>)> =
+                all.iter().map(|&op| (op, (op != BinOp::Count).then_some(cv))).collect();
+            let fused = host_impl::bin_all_host_lanes(cx, cy, &ops, &g);
+            for ((op, _), (got, want)) in all.iter().zip(&ops).zip(fused.iter().zip(&reference)) {
+                prop_assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} fused op {:?}", layout.name(), op
+                );
+            }
+
+            for &op in &all {
+                let vals = (op != BinOp::Count).then_some(cv);
+                let per_op = host_impl::bin_host_mapped(cx, cy, vals, op, &g);
+                let want = host_impl::bin_host(
+                    &xs, &ys, if op == BinOp::Count { &[] } else { &vs }, op, &g,
+                );
+                prop_assert_eq!(
+                    per_op.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{} per-op {:?}", layout.name(), op
+                );
+            }
+
+            let mapped_bounds = bounds::minmax_multi_mapped(&[cx, cy]);
+            for (axis, ((lo, hi), (rlo, rhi))) in
+                mapped_bounds.iter().zip(&ref_bounds).enumerate()
+            {
+                prop_assert_eq!(lo.to_bits(), rlo.to_bits(), "{} axis {axis} lo", layout.name());
+                prop_assert_eq!(hi.to_bits(), rhi.to_bits(), "{} axis {axis} hi", layout.name());
             }
         }
     }

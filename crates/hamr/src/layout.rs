@@ -1,0 +1,277 @@
+//! Layout-polymorphic element mappings (LLAMA-style).
+//!
+//! A [`Layout`] names a physical arrangement of a *group* of same-length
+//! fields inside one backing allocation; a [`LayoutMap`] is the concrete
+//! [`Mapping`] from a field's logical element index to the cell index in
+//! that allocation. Access code addresses elements logically through
+//! [`crate::AccessView`] and never sees the physical arrangement, so the
+//! layout can be chosen per (table, placement) — the central claim of the
+//! LLAMA papers — while analyses stay unchanged.
+//!
+//! Supported mappings for a group of `fields` columns of `n` elements:
+//!
+//! * [`Layout::Scalar`] — the degenerate one-field-per-allocation layout
+//!   every buffer had before grouping existed: `index(i) = i`.
+//! * [`Layout::AoS`] — array of structures, rows contiguous:
+//!   `index(i) = i * fields + field`.
+//! * [`Layout::SoA`] — structure of arrays, fields contiguous:
+//!   `index(i) = field * n + i`.
+//! * [`Layout::AoSoA`] — array of structures of arrays with `lane_width`
+//!   elements per lane block: `index(i) = (i / L) * (fields * L) +
+//!   field * L + (i % L)`. The block count is padded up to a whole number
+//!   of lanes so a ragged tail still has a home; padding cells are never
+//!   addressed by any in-range index.
+
+use std::fmt;
+
+/// A physical data layout for a group of equal-length fields.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// One dense allocation per field (the pre-grouping default).
+    #[default]
+    Scalar,
+    /// Array of structures: all fields of element `i` are adjacent.
+    AoS,
+    /// Structure of arrays: each field is a dense run inside the block.
+    SoA,
+    /// Array of structures of arrays: `lane_width`-element lanes per
+    /// field, interleaved block by block — the vectorization-friendly
+    /// middle ground.
+    AoSoA {
+        /// Elements per lane; must be at least 1.
+        lane_width: usize,
+    },
+}
+
+impl Layout {
+    /// Canonical short name: `scalar`, `aos`, `soa`, `aosoa<L>`.
+    pub fn name(&self) -> String {
+        match self {
+            Layout::Scalar => "scalar".into(),
+            Layout::AoS => "aos".into(),
+            Layout::SoA => "soa".into(),
+            Layout::AoSoA { lane_width } => format!("aosoa{lane_width}"),
+        }
+    }
+
+    /// Parse a name produced by [`Layout::name`] (also accepts a bare
+    /// `aosoa`, defaulting the lane width to 8).
+    pub fn parse(s: &str) -> Option<Layout> {
+        match s {
+            "scalar" => Some(Layout::Scalar),
+            "aos" => Some(Layout::AoS),
+            "soa" => Some(Layout::SoA),
+            "aosoa" => Some(Layout::AoSoA { lane_width: 8 }),
+            other => {
+                let lanes = other.strip_prefix("aosoa")?;
+                let lane_width: usize = lanes.parse().ok()?;
+                (lane_width >= 1).then_some(Layout::AoSoA { lane_width })
+            }
+        }
+    }
+
+    /// The lane width the layout vectorizes over (1 when it does not).
+    pub fn lane_width(&self) -> usize {
+        match self {
+            Layout::AoSoA { lane_width } => (*lane_width).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Total cells one backing block needs for `fields` columns of `n`
+    /// elements — including AoSoA lane padding.
+    pub fn block_cells(&self, n: usize, fields: usize) -> usize {
+        match self {
+            Layout::Scalar => n * fields,
+            Layout::AoS | Layout::SoA => n * fields,
+            Layout::AoSoA { lane_width } => {
+                let lanes = (*lane_width).max(1);
+                n.div_ceil(lanes) * lanes * fields
+            }
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A mapping from a logical element index to a physical cell index.
+pub trait Mapping {
+    /// Physical cell index of logical element `i`. `i` must be less than
+    /// [`Mapping::len`].
+    fn index(&self, i: usize) -> usize;
+    /// Number of logical elements addressed by the mapping.
+    fn len(&self) -> usize;
+    /// True when the mapping addresses no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The concrete mapping of one field of a grouped block: which layout,
+/// how many elements and fields the group has, and which field this map
+/// addresses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LayoutMap {
+    layout: Layout,
+    n: usize,
+    fields: usize,
+    field: usize,
+}
+
+impl LayoutMap {
+    /// The map of field `field` in a group of `fields` columns of `n`
+    /// elements arranged as `layout`.
+    ///
+    /// # Panics
+    /// When `field >= fields` or an AoSoA lane width is zero.
+    pub fn new(layout: Layout, n: usize, fields: usize, field: usize) -> Self {
+        assert!(field < fields, "field {field} out of range for {fields}-field group");
+        if let Layout::AoSoA { lane_width } = layout {
+            assert!(lane_width >= 1, "AoSoA lane width must be at least 1");
+        }
+        LayoutMap { layout, n, fields, field }
+    }
+
+    /// The group's layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Number of fields in the group.
+    pub fn fields(&self) -> usize {
+        self.fields
+    }
+
+    /// This map's field index inside the group.
+    pub fn field(&self) -> usize {
+        self.field
+    }
+
+    /// Total cells of the group's backing block (with padding).
+    pub fn block_cells(&self) -> usize {
+        self.layout.block_cells(self.n, self.fields)
+    }
+
+    /// True when logical indices are physical indices (`index(i) == i`),
+    /// i.e. the field is a dense prefix-aligned run.
+    pub fn is_identity(&self) -> bool {
+        match self.layout {
+            Layout::Scalar => true,
+            Layout::SoA => self.field == 0,
+            Layout::AoS | Layout::AoSoA { .. } => self.fields == 1 && self.layout.lane_width() <= 1,
+        }
+    }
+}
+
+impl Mapping for LayoutMap {
+    #[inline]
+    fn index(&self, i: usize) -> usize {
+        debug_assert!(i < self.n, "element {i} out of range for {}-element map", self.n);
+        match self.layout {
+            Layout::Scalar => i,
+            Layout::AoS => i * self.fields + self.field,
+            Layout::SoA => self.field * self.n + i,
+            Layout::AoSoA { lane_width } => {
+                let lanes = lane_width.max(1);
+                (i / lanes) * (self.fields * lanes) + self.field * lanes + (i % lanes)
+            }
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addresses(map: &LayoutMap) -> Vec<usize> {
+        (0..map.len()).map(|i| map.index(i)).collect()
+    }
+
+    #[test]
+    fn scalar_is_identity() {
+        let m = LayoutMap::new(Layout::Scalar, 5, 1, 0);
+        assert_eq!(addresses(&m), vec![0, 1, 2, 3, 4]);
+        assert!(m.is_identity());
+        assert_eq!(m.block_cells(), 5);
+    }
+
+    #[test]
+    fn aos_interleaves_rows() {
+        // 3 elements × 2 fields: [x0 y0 x1 y1 x2 y2]
+        let x = LayoutMap::new(Layout::AoS, 3, 2, 0);
+        let y = LayoutMap::new(Layout::AoS, 3, 2, 1);
+        assert_eq!(addresses(&x), vec![0, 2, 4]);
+        assert_eq!(addresses(&y), vec![1, 3, 5]);
+        assert_eq!(x.block_cells(), 6);
+    }
+
+    #[test]
+    fn soa_runs_fields_densely() {
+        // 3 elements × 2 fields: [x0 x1 x2 y0 y1 y2]
+        let x = LayoutMap::new(Layout::SoA, 3, 2, 0);
+        let y = LayoutMap::new(Layout::SoA, 3, 2, 1);
+        assert_eq!(addresses(&x), vec![0, 1, 2]);
+        assert_eq!(addresses(&y), vec![3, 4, 5]);
+        assert!(x.is_identity());
+        assert!(!y.is_identity());
+    }
+
+    #[test]
+    fn aosoa_blocks_lanes_with_ragged_tail() {
+        // 5 elements × 2 fields × lane 2:
+        // block 0: [x0 x1 y0 y1]  block 1: [x2 x3 y2 y3]  block 2: [x4 _ y4 _]
+        let lay = Layout::AoSoA { lane_width: 2 };
+        let x = LayoutMap::new(lay, 5, 2, 0);
+        let y = LayoutMap::new(lay, 5, 2, 1);
+        assert_eq!(addresses(&x), vec![0, 1, 4, 5, 8]);
+        assert_eq!(addresses(&y), vec![2, 3, 6, 7, 10]);
+        assert_eq!(x.block_cells(), 12, "padded to a whole lane");
+    }
+
+    #[test]
+    fn mapped_addresses_are_unique_and_in_bounds() {
+        for layout in [
+            Layout::AoS,
+            Layout::SoA,
+            Layout::AoSoA { lane_width: 4 },
+            Layout::AoSoA { lane_width: 8 },
+        ] {
+            let (n, fields) = (13, 3); // non-divisible count forces a ragged tail
+            let mut seen = std::collections::HashSet::new();
+            for f in 0..fields {
+                let m = LayoutMap::new(layout, n, fields, f);
+                for i in 0..n {
+                    let a = m.index(i);
+                    assert!(a < m.block_cells(), "{layout:?} addressed past the block");
+                    assert!(seen.insert(a), "{layout:?} aliased cell {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for layout in [
+            Layout::Scalar,
+            Layout::AoS,
+            Layout::SoA,
+            Layout::AoSoA { lane_width: 1 },
+            Layout::AoSoA { lane_width: 4 },
+            Layout::AoSoA { lane_width: 8 },
+        ] {
+            assert_eq!(Layout::parse(&layout.name()), Some(layout));
+        }
+        assert_eq!(Layout::parse("aosoa"), Some(Layout::AoSoA { lane_width: 8 }));
+        assert_eq!(Layout::parse("nope"), None);
+        assert_eq!(Layout::parse("aosoa0"), None);
+    }
+}

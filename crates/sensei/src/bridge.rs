@@ -200,7 +200,11 @@ impl Bridge {
         // fault counters describing the failure itself) must survive.
         for a in &self.engines {
             if let Some(counters) = a.engine.counters() {
-                self.profiler.record_counters(a.label.as_str(), counters.snapshot());
+                self.profiler.record_counters_labeled(
+                    a.label.as_str(),
+                    a.engine.controls().layout.name(),
+                    counters.snapshot(),
+                );
             }
             if let Some(sched) = a.engine.scheduler_counters() {
                 self.profiler.record_scheduler_counters(a.label.as_str(), sched.snapshot());

@@ -101,6 +101,14 @@ impl BackendConfig {
                 el.attributes.retain(|(k, _)| k != "max_retries" && k != "retry_backoff_ms");
             }
         }
+        // The layout rides as a child element, not an attribute; replace
+        // any source <layout> child with the normalized form and omit the
+        // scalar default entirely.
+        el.children.retain(|n| !matches!(n, xmlcfg::Node::Element(ce) if ce.name == "layout"));
+        if c.layout != hamr::Layout::Scalar {
+            el.children
+                .push(xmlcfg::Node::Element(Element::new("layout").with_text(c.layout.name())));
+        }
         el
     }
 }
@@ -292,6 +300,27 @@ impl ConfigurableAnalysis {
                 Some(s) => OverflowPolicy::parse(s)
                     .ok_or_else(|| Error::Config(format!("bad overflow policy '{s}'")))?,
             };
+            let layout = match el.find_child("layout") {
+                None => defaults.layout,
+                Some(le) => {
+                    let text = le.text();
+                    let name = if text.is_empty() { "scalar" } else { text.as_str() };
+                    let mut layout = hamr::Layout::parse(name).ok_or_else(|| {
+                        Error::Config(format!(
+                            "bad layout '{name}' (expected scalar, aos, soa, or aosoa<N>)"
+                        ))
+                    })?;
+                    if let Some(lanes) = le.parse_attr::<usize>("lanes").map_err(Error::Xml)? {
+                        if lanes == 0 {
+                            return Err(Error::Config("layout lanes must be at least 1".into()));
+                        }
+                        if let hamr::Layout::AoSoA { .. } = layout {
+                            layout = hamr::Layout::AoSoA { lane_width: lanes };
+                        }
+                    }
+                    layout
+                }
+            };
             let recovery = match el.attr("on_error") {
                 None => defaults.recovery,
                 Some(s) => {
@@ -323,6 +352,7 @@ impl ConfigurableAnalysis {
                     queue_depth,
                     overflow,
                     recovery,
+                    layout,
                 },
                 element: el.clone(),
             });
@@ -675,6 +705,44 @@ mod tests {
         ] {
             assert!(matches!(ConfigurableAnalysis::from_xml(xml), Err(Error::Config(_))), "{xml}");
         }
+    }
+
+    #[test]
+    fn layout_element_parses_and_round_trips() {
+        let cfg = ConfigurableAnalysis::from_xml(
+            r#"<sensei>
+                 <analysis type="binning"><layout>aosoa4</layout></analysis>
+                 <analysis type="binning"><layout lanes="16">aosoa</layout></analysis>
+                 <analysis type="binning"><layout>soa</layout></analysis>
+                 <analysis type="binning"/>
+               </sensei>"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.configs()[0].controls.layout, hamr::Layout::AoSoA { lane_width: 4 });
+        assert_eq!(cfg.configs()[1].controls.layout, hamr::Layout::AoSoA { lane_width: 16 });
+        assert_eq!(cfg.configs()[2].controls.layout, hamr::Layout::SoA);
+        assert_eq!(cfg.configs()[3].controls.layout, hamr::Layout::Scalar, "default");
+
+        let text = cfg.to_xml();
+        assert!(text.contains("<layout>aosoa4</layout>"));
+        assert!(text.contains("<layout>aosoa16</layout>"), "lanes attr normalized into the name");
+        let again = ConfigurableAnalysis::from_xml(&text).unwrap();
+        for (a, b) in cfg.configs().iter().zip(again.configs()) {
+            assert_eq!(a.controls.layout, b.controls.layout);
+        }
+
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><analysis type="x"><layout>diagonal</layout></analysis></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            ConfigurableAnalysis::from_xml(
+                r#"<sensei><analysis type="x"><layout lanes="0">aosoa</layout></analysis></sensei>"#
+            ),
+            Err(Error::Config(_))
+        ));
     }
 
     #[test]

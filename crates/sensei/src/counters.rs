@@ -24,6 +24,7 @@ pub struct AnalysisCounters {
     downloads: AtomicU64,
     allreduces: AtomicU64,
     fetches: AtomicU64,
+    relayout_bytes: AtomicU64,
     faults: FaultCounters,
     comm: CommCounters,
 }
@@ -178,6 +179,13 @@ impl AnalysisCounters {
         self.fetches.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Count `n` bytes moved by in-flight layout changes (AoS/SoA/AoSoA
+    /// packing on placement moves or fetch-side gathers). Reads and
+    /// writes both count, matching the modeled kernel cost.
+    pub fn add_relayout_bytes(&self, n: u64) {
+        self.relayout_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// The failure/recovery counters the owning engine updates.
     pub fn faults(&self) -> &FaultCounters {
         &self.faults
@@ -199,6 +207,7 @@ impl AnalysisCounters {
             downloads: self.downloads.load(Ordering::Relaxed),
             allreduces: self.allreduces.load(Ordering::Relaxed),
             fetches: self.fetches.load(Ordering::Relaxed),
+            relayout_bytes: self.relayout_bytes.load(Ordering::Relaxed),
             faults: self.faults.snapshot(),
             comm: self.comm.snapshot(),
         }
@@ -218,6 +227,8 @@ pub struct CounterSnapshot {
     pub allreduces: u64,
     /// Per-variable fetch/move requests.
     pub fetches: u64,
+    /// Bytes moved by in-flight layout changes (relayout packs/gathers).
+    pub relayout_bytes: u64,
     /// Failure/recovery outcomes.
     pub faults: FaultSnapshot,
     /// Per-tier communication traffic (intra- vs inter-node).
@@ -233,6 +244,7 @@ impl CounterSnapshot {
         self.downloads += other.downloads;
         self.allreduces += other.allreduces;
         self.fetches += other.fetches;
+        self.relayout_bytes += other.relayout_bytes;
         self.faults.accumulate(&other.faults);
         self.comm.accumulate(&other.comm);
     }
@@ -351,6 +363,7 @@ mod tests {
         c.add_downloads(9);
         c.add_allreduces(1);
         c.add_fetches(11);
+        c.add_relayout_bytes(640);
         let s = c.snapshot();
         assert_eq!(
             s,
@@ -360,6 +373,7 @@ mod tests {
                 downloads: 9,
                 allreduces: 1,
                 fetches: 11,
+                relayout_bytes: 640,
                 faults: FaultSnapshot::default(),
                 comm: TierSnapshot::default(),
             }

@@ -70,6 +70,9 @@ pub struct CounterSample {
     pub backend: String,
     /// The back-end's counter totals.
     pub counters: CounterSnapshot,
+    /// Physical data layout the back-end ran with (a [`hamr::Layout`]
+    /// name; "scalar" unless the run configured a layout group).
+    pub layout: String,
 }
 
 /// The snapshot layer's totals at the end of a run: arrays shared vs
@@ -193,7 +196,22 @@ impl Profiler {
     /// Record one back-end's work-counter totals (the bridge does this at
     /// finalize for every back-end that keeps counters).
     pub fn record_counters(&mut self, backend: impl Into<String>, counters: CounterSnapshot) {
-        self.counter_samples.push(CounterSample { backend: backend.into(), counters });
+        self.record_counters_labeled(backend, "scalar", counters);
+    }
+
+    /// Like [`Profiler::record_counters`], labeling the sample with the
+    /// data layout the back-end ran with (a [`hamr::Layout`] name).
+    pub fn record_counters_labeled(
+        &mut self,
+        backend: impl Into<String>,
+        layout: impl Into<String>,
+        counters: CounterSnapshot,
+    ) {
+        self.counter_samples.push(CounterSample {
+            backend: backend.into(),
+            counters,
+            layout: layout.into(),
+        });
     }
 
     /// Every recorded per-backend counter sample.
@@ -217,14 +235,14 @@ impl Profiler {
         let mut out = String::from(
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
-             intra_messages,intra_bytes,inter_messages,inter_bytes\n",
+             intra_messages,intra_bytes,inter_messages,inter_bytes,relayout_bytes,layout\n",
         );
         for s in &self.counter_samples {
             let c = &s.counters;
             let f = &c.faults;
             let m = &c.comm;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.backend,
                 c.table_passes,
                 c.kernel_launches,
@@ -240,6 +258,8 @@ impl Profiler {
                 m.intra_bytes,
                 m.inter_messages,
                 m.inter_bytes,
+                c.relayout_bytes,
+                s.layout,
             ));
         }
         out
@@ -491,18 +511,21 @@ mod tests {
                 downloads: 9,
                 allreduces: 1,
                 fetches: 12,
+                relayout_bytes: 0,
                 faults: FaultSnapshot::default(),
                 comm: minimpi::TierSnapshot::default(),
             },
         );
-        p.record_counters(
+        p.record_counters_labeled(
             "data_binning",
+            "aosoa8",
             CounterSnapshot {
                 table_passes: 90,
                 kernel_launches: 90,
                 downloads: 90,
                 allreduces: 10,
                 fetches: 27,
+                relayout_bytes: 4096,
                 faults: FaultSnapshot {
                     injected: 2,
                     retried: 3,
@@ -531,11 +554,12 @@ mod tests {
             lines[0],
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
-             intra_messages,intra_bytes,inter_messages,inter_bytes"
+             intra_messages,intra_bytes,inter_messages,inter_bytes,relayout_bytes,layout"
         );
-        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0");
-        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,6,480");
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0,0,scalar");
+        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,6,480,4096,aosoa8");
         assert_eq!(p.counters_total().comm.inter_bytes, 480);
+        assert_eq!(p.counters_total().relayout_bytes, 4096);
     }
 
     #[test]
