@@ -101,4 +101,31 @@ grep -Eq '"placement": "host", "layout": "aosoa8", .*"relayout_bytes": 0' \
 grep -Eq '"placement": "device0", "layout": "aos", .*"relayout_bytes": [1-9][0-9]*' \
     /tmp/ci_layout/BENCH_layout.json
 
+echo "== harness adaptive smoke (closed-loop placement & autotuning)"
+# The harness hard-asserts the adaptive claims itself (the steady
+# adaptive arm starts from the worst static configuration and settles
+# within the step bound at a steady-state apparent cost within 10% of
+# the best static arm; the drift adaptive arm beats every static arm
+# end-to-end; every arm bit-identical; zero aborted dispatches); the
+# greps re-check the written report so a silently-empty JSON also
+# fails CI.
+cargo run --release -p bench --bin harness -- adaptive \
+    --out /tmp/ci_adaptive
+grep -q '"converged_within_tolerance": true' /tmp/ci_adaptive/BENCH_adaptive.json
+grep -q '"drift_adaptive_beats_all_statics": true' /tmp/ci_adaptive/BENCH_adaptive.json
+grep -q '"all_bit_identical": true' /tmp/ci_adaptive/BENCH_adaptive.json
+grep -q '"zero_aborts": true' /tmp/ci_adaptive/BENCH_adaptive.json
+! grep -q '"aborted": [1-9]' /tmp/ci_adaptive/BENCH_adaptive.json
+
+echo "== documented results present"
+# Every BENCH_*.json a doc references must exist in results/ — a
+# documented experiment whose committed report is missing is a doc bug
+# (this is how BENCH_binning/BENCH_snapshot/BENCH_chaos went missing).
+for f in $(grep -ohE 'BENCH_[a-z0-9_]+\.json' EXPERIMENTS.md README.md | sort -u); do
+    if [ ! -f "results/$f" ]; then
+        echo "FAIL: $f is referenced by the docs but missing from results/"
+        exit 1
+    fi
+done
+
 echo "ci.sh: all checks passed"

@@ -65,6 +65,15 @@
 //! autopick landing within 5% of the best static layout; writes
 //! `BENCH_layout.json` under `--out`.
 //!
+//! `adaptive` closes the profiler loop: static (placement, layout)
+//! grids plus bridge-resident `AdaptiveController` arms over a steady
+//! and a drifting cost surface. Hard-asserts that the adaptive arm,
+//! started from the *worst* static configuration, settles within the
+//! step bound at a steady-state apparent cost within 10% of the best
+//! static arm; that under drift it beats *every* static arm end-to-end;
+//! that every arm is bit-identical to the static reference; and that no
+//! dispatch aborted. Writes `BENCH_adaptive.json` under `--out`.
+//!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
 //! and execution method all controlled by the XML, as in the paper's
@@ -97,7 +106,7 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize
         };
         match args[i].as_str() {
             "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "dag"
-            | "scale" | "layout" | "all" => mode = args[i].clone(),
+            | "scale" | "layout" | "adaptive" | "all" => mode = args[i].clone(),
             "run-config" => {
                 mode = "run-config".into();
                 xml = Some(PathBuf::from(next(&mut i)));
@@ -175,11 +184,25 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
         binning::register(&mut registry);
         binning::register_suite(&mut registry);
         analyses::register_all(&mut registry);
+        let registry = std::sync::Arc::new(registry);
         let config = ConfigurableAnalysis::from_xml(&xml).expect("parse XML");
         let ctx = CreateContext { node: node.clone(), rank: comm.rank(), size: comm.size() };
-        let backends = config.instantiate(&registry, &ctx).expect("instantiate");
+        // An <adaptive> element hands the run-time knobs to the online
+        // controller; its probes rebuild back-ends mid-run, so attach
+        // them with factories instead of fixed adaptors.
+        let adaptive = config.adaptive_config();
+        let backends = if adaptive.is_some() {
+            Vec::new()
+        } else {
+            config.instantiate(&registry, &ctx).expect("instantiate")
+        };
+        let reconfigurable = if adaptive.is_some() {
+            config.instantiate_reconfigurable(&registry, &ctx).expect("instantiate")
+        } else {
+            Vec::new()
+        };
         if comm.rank() == 0 {
-            println!("instantiated {} back-ends", backends.len());
+            println!("instantiated {} back-ends", backends.len() + reconfigurable.len());
             for b in &backends {
                 println!(
                     "  {}: {} on {:?}",
@@ -187,6 +210,9 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
                     b.controls().execution.name(),
                     b.controls().device
                 );
+            }
+            for (c, _) in &reconfigurable {
+                println!("  (reconfigurable): {} on {:?}", c.execution.name(), c.device);
             }
         }
 
@@ -216,6 +242,20 @@ fn run_config(xml_path: &PathBuf, base: &CaseConfig) {
         }
         for b in backends {
             bridge.add_analysis(b, &comm).expect("attach");
+        }
+        for (controls, factory) in reconfigurable {
+            bridge.add_reconfigurable_analysis(controls, factory, &comm).expect("attach");
+        }
+        if let Some(a) = adaptive {
+            if comm.rank() == 0 {
+                println!(
+                    "adaptive: window {} hysteresis {:.0}% probe budget {}",
+                    a.window,
+                    a.hysteresis * 100.0,
+                    a.probe_budget
+                );
+            }
+            bridge.enable_adaptive(a);
         }
         for _ in 0..steps {
             let solver = sim.step(&comm).expect("step");
@@ -1260,6 +1300,135 @@ fn run_layout_mode(base: &CaseConfig, out_dir: &Path) {
     );
 }
 
+/// Machine-readable adaptive report: one JSON object per arm in both
+/// sweeps plus the headline booleans CI greps. Hand-rolled like
+/// `write_layout_json`.
+fn write_adaptive_json(path: &Path, report: &bench::AdaptiveBenchReport) {
+    let mut json = String::from("{\n  \"arms\": [\n");
+    let sweeps = [("steady", &report.steady), ("drift", &report.drift)];
+    for (si, (wname, sweep)) in sweeps.iter().enumerate() {
+        let reference = &sweep.statics[0].results;
+        let arms: Vec<&bench::AdaptiveArm> =
+            sweep.statics.iter().chain(std::iter::once(&sweep.adaptive)).collect();
+        for (ai, a) in arms.iter().enumerate() {
+            json.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"arm\": \"{}\", \"start\": \"{}\", \
+                 \"final\": \"{}\", \"steps\": {}, \"results\": {}, \
+                 \"total_apparent_s\": {:.9}, \"steady_mean_s\": {:.9}, \
+                 \"converged_by_step\": {}, \"decisions\": {}, \"probes_used\": {}, \
+                 \"aborted\": {}, \"bit_identical_to_reference\": {}}}{}\n",
+                wname,
+                a.label,
+                bench::controls_label(&a.start),
+                bench::controls_label(&a.final_controls),
+                a.apparent_s.len(),
+                a.results.len(),
+                a.total_apparent(),
+                a.steady_mean(),
+                a.converged_by.map_or("null".to_string(), |s| s.to_string()),
+                a.decisions,
+                a.probes_used,
+                a.aborted,
+                bench::results_bit_identical(reference, &a.results),
+                if si + 1 < sweeps.len() || ai + 1 < arms.len() { "," } else { "" },
+            ));
+        }
+    }
+    json.push_str(&format!(
+        "  ],\n  \"tolerance\": {:.2},\n  \"converge_within_steps\": {},\n  \
+         \"converged_within_tolerance\": {},\n  \"drift_adaptive_beats_all_statics\": {},\n  \
+         \"all_bit_identical\": {},\n  \"zero_aborts\": {}\n}}\n",
+        bench::ADAPTIVE_TOLERANCE,
+        report.config.converge_within,
+        report.converged_within(bench::ADAPTIVE_TOLERANCE),
+        report.drift_adaptive_wins(),
+        report.all_bit_identical(),
+        report.zero_aborts(),
+    ));
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The adaptive smoke: static (placement, layout) grids plus the
+/// closed-loop arms over the steady and drifting workloads, with the
+/// issue's acceptance bars hard-asserted — the steady adaptive arm
+/// starts from the worst static configuration and must settle within
+/// the step bound at a steady-state apparent cost within 10% of the
+/// best static arm; the drift adaptive arm must beat every static arm
+/// end-to-end; every arm bit-identical; zero aborted dispatches.
+fn run_adaptive_mode(base: &CaseConfig, out_dir: &Path) {
+    let cfg =
+        bench::AdaptiveBenchConfig { num_devices: base.num_devices.max(1), ..Default::default() };
+    println!(
+        "\nAdaptive autotuning: {} static arms/workload over {} rows, steady {} steps, \
+         drift {} steps (surface inverts at {}), closed loop from the worst static corner",
+        bench::STATIC_ARMS.len(),
+        cfg.rows,
+        cfg.steady_steps,
+        cfg.drift_steps,
+        cfg.drift_at,
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_adaptive_bench(&cfg);
+    eprintln!("both sweeps done in {:.2?}", t0.elapsed());
+
+    for (wname, sweep) in [("steady", &report.steady), ("drift", &report.drift)] {
+        println!("\n  {:<28} {:>12} {:>14} {:>10}", wname, "total", "steady/iter", "converged");
+        for a in sweep.statics.iter().chain(std::iter::once(&sweep.adaptive)) {
+            println!(
+                "  {:<28} {:>9.3} ms {:>11.3} ms {:>10}",
+                a.label,
+                a.total_apparent() * 1e3,
+                a.steady_mean() * 1e3,
+                a.converged_by.map_or("-".to_string(), |s| format!("step {s}")),
+            );
+        }
+    }
+
+    write_adaptive_json(&out_dir.join("BENCH_adaptive.json"), &report);
+
+    if !report.all_bit_identical() {
+        eprintln!("FAIL: an arm's results differ from the static reference");
+        std::process::exit(1);
+    }
+    if !report.zero_aborts() {
+        eprintln!("FAIL: an arm aborted a dispatch");
+        std::process::exit(1);
+    }
+    if !report.converged_within(bench::ADAPTIVE_TOLERANCE) {
+        eprintln!(
+            "FAIL: steady adaptive arm (from {}) did not settle within {} steps at <= {:.0}% \
+             over the best static arm ({}: {:.3} ms/iter)",
+            bench::controls_label(&report.steady.adaptive.start),
+            report.config.converge_within,
+            bench::ADAPTIVE_TOLERANCE * 100.0,
+            report.steady.best_static().label,
+            report.steady.best_static().steady_mean() * 1e3,
+        );
+        std::process::exit(1);
+    }
+    if !report.drift_adaptive_wins() {
+        eprintln!(
+            "FAIL: drift adaptive arm ({:.3} ms) lost to a static arm (best {}: {:.3} ms)",
+            report.drift.adaptive.total_apparent() * 1e3,
+            report.drift.best_static().label,
+            report.drift.best_static().total_apparent() * 1e3,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  PASS: steady adaptive settled by step {} within {:.0}% of best static; drift \
+         adaptive ({:.1} ms) beat every static arm (best {:.1} ms); all arms bit-identical, \
+         zero aborts",
+        report.steady.adaptive.converged_by.unwrap_or(0),
+        bench::ADAPTIVE_TOLERANCE * 100.0,
+        report.drift.adaptive.total_apparent() * 1e3,
+        report.drift.best_static().total_apparent() * 1e3,
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
@@ -1291,6 +1460,10 @@ fn main() {
     }
     if mode == "layout" {
         run_layout_mode(&base, &out_dir);
+        return;
+    }
+    if mode == "adaptive" {
+        run_adaptive_mode(&base, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -8,6 +8,7 @@
 //! are configurable so the *shapes* — who wins, by what factor — can be
 //! compared against the paper's Figures 2 and 3.
 
+mod adaptive;
 mod case;
 mod chaos;
 mod chart;
@@ -17,6 +18,10 @@ mod scale;
 mod snapshot;
 mod workload;
 
+pub use adaptive::{
+    controls_label, run_adaptive_arm, run_adaptive_bench, AdaptiveArm, AdaptiveBenchConfig,
+    AdaptiveBenchReport, AdaptiveSweep, Workload, ADAPTIVE_TOLERANCE, STATIC_ARMS,
+};
 pub use case::{bench_node_config, run_case, AggregatedCase, CaseConfig, CaseOutcome};
 pub use chaos::{results_bit_identical, run_chaos, ChaosArm, ChaosConfig, ChaosReport};
 pub use chart::{ascii_bars, ascii_stack};

@@ -7,6 +7,11 @@
 //! capture is requirements-driven: per iteration the bridge unions the
 //! [`crate::DataRequirements`] of the due snapshot-consuming engines and
 //! deep-copies exactly that.
+//!
+//! Back-ends attached with [`Bridge::add_reconfigurable_analysis`] can be
+//! rebuilt mid-run under new [`BackendControls`] — the hook the
+//! [`AdaptiveController`] applies its decisions through (and callers can
+//! drive directly for externally-steered placement changes).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -14,12 +19,28 @@ use std::time::{Duration, Instant};
 use devsim::SimNode;
 use minimpi::Comm;
 
+use crate::adaptive::{
+    AdaptiveAction, AdaptiveConfig, AdaptiveController, AdaptiveDecision, AdaptiveEnv,
+    BackendObservation, StepObservation,
+};
 use crate::adaptor::{AnalysisAdaptor, DataAdaptor};
+use crate::controls::BackendControls;
+use crate::counters::{FaultSnapshot, SnapshotCounterSnapshot};
 use crate::engine::{EngineContext, EngineRegistry, ExecutionEngine};
 use crate::error::{Error, Result};
 use crate::profiler::Profiler;
 use crate::requirements::DataRequirements;
 use crate::snapshot::{SnapshotMode, SnapshotPipeline};
+
+/// Builds a fresh back-end instance under the given controls, so the
+/// bridge can retire an engine and rebuild it mid-run (engines consume
+/// their adaptor — a worker thread owns it — so reconfiguration needs a
+/// new one). The factory must honor `controls` (the built adaptor's
+/// [`crate::AnalysisAdaptor::controls`] should return them) and build
+/// back-ends whose per-step results are position-independent (e.g.
+/// streaming into a shared sink), so a rebuild changes *when* work runs,
+/// never *what* it computes.
+pub type AdaptorFactory = Box<dyn Fn(&BackendControls) -> Result<Box<dyn AnalysisAdaptor>> + Send>;
 
 /// The SENSEI bridge: the single instrumentation point a simulation calls.
 ///
@@ -35,6 +56,7 @@ pub struct Bridge {
     registry: EngineRegistry,
     profiler: Profiler,
     pipeline: SnapshotPipeline,
+    adaptive: Option<AdaptiveState>,
     finalized: bool,
 }
 
@@ -44,6 +66,20 @@ pub struct Bridge {
 struct Attached {
     label: String,
     engine: Box<dyn ExecutionEngine>,
+    /// Present for reconfigurable back-ends: rebuilds the adaptor when
+    /// the engine is retired and recreated under new controls.
+    factory: Option<AdaptorFactory>,
+    /// Fault totals already observed, so each step's retried/recovered
+    /// delta can taint that step's apparent-cost sample (retry backoff
+    /// sleeps inside dispatch and would otherwise look like real cost).
+    faults_seen: FaultSnapshot,
+}
+
+/// Controller plus the last-seen counter totals it diffs per step.
+struct AdaptiveState {
+    controller: AdaptiveController,
+    snap_seen: SnapshotCounterSnapshot,
+    relayout_seen: u64,
 }
 
 impl Bridge {
@@ -63,6 +99,7 @@ impl Bridge {
             registry,
             profiler: Profiler::new(),
             pipeline: SnapshotPipeline::new(SnapshotMode::Deep),
+            adaptive: None,
             finalized: false,
         }
     }
@@ -79,6 +116,26 @@ impl Bridge {
         self.pipeline.mode()
     }
 
+    /// Close the profiler loop: from the next step on, an
+    /// [`AdaptiveController`] with `config`'s knobs observes each step and
+    /// re-places / re-tunes reconfigurable back-ends through
+    /// [`Bridge::reconfigure_backend`]. On multi-rank communicators rank 0
+    /// decides and broadcasts, so every rank reconfigures identically
+    /// (engine rebuilds are collective).
+    pub fn enable_adaptive(&mut self, config: AdaptiveConfig) {
+        self.adaptive = Some(AdaptiveState {
+            controller: AdaptiveController::new(config),
+            snap_seen: SnapshotCounterSnapshot::default(),
+            relayout_seen: 0,
+        });
+    }
+
+    /// The adaptive controller, when [`Bridge::enable_adaptive`] was
+    /// called (harnesses read convergence state off it).
+    pub fn adaptive_controller(&self) -> Option<&AdaptiveController> {
+        self.adaptive.as_ref().map(|s| &s.controller)
+    }
+
     /// Attach a back-end. Its [`crate::ExecutionMethod`]'s name selects
     /// the engine from the registry: lockstep back-ends run inline;
     /// asynchronous back-ends get a persistent worker thread with a
@@ -86,6 +143,28 @@ impl Bridge {
     /// (collective: every rank must attach the same back-ends in the same
     /// order).
     pub fn add_analysis(&mut self, adaptor: Box<dyn AnalysisAdaptor>, comm: &Comm) -> Result<()> {
+        self.attach(adaptor, None, comm)
+    }
+
+    /// Attach a back-end the bridge can rebuild mid-run: `factory`
+    /// constructs the initial instance under `initial` and every later
+    /// instance under whatever controls a reconfiguration applies.
+    pub fn add_reconfigurable_analysis(
+        &mut self,
+        initial: BackendControls,
+        factory: AdaptorFactory,
+        comm: &Comm,
+    ) -> Result<()> {
+        let adaptor = factory(&initial)?;
+        self.attach(adaptor, Some(factory), comm)
+    }
+
+    fn attach(
+        &mut self,
+        adaptor: Box<dyn AnalysisAdaptor>,
+        factory: Option<AdaptorFactory>,
+        comm: &Comm,
+    ) -> Result<()> {
         if self.finalized {
             return Err(Error::Finalized);
         }
@@ -95,13 +174,76 @@ impl Bridge {
         let engine = self.registry.create(mode, adaptor, &ctx)?;
         let copies = self.engines.iter().filter(|a| a.engine.backend_name() == name).count();
         let label = if copies == 0 { name } else { format!("{}#{}", name, copies + 1) };
-        self.engines.push(Attached { label, engine });
+        self.engines.push(Attached {
+            label,
+            engine,
+            factory,
+            faults_seen: FaultSnapshot::default(),
+        });
         Ok(())
     }
 
     /// Number of attached back-ends.
     pub fn num_backends(&self) -> usize {
         self.engines.len()
+    }
+
+    /// The controls back-end `idx` (attach order) currently runs under.
+    /// Producers consult this each step so layout re-picks take effect on
+    /// the data they publish next.
+    pub fn backend_controls(&self, idx: usize) -> Option<BackendControls> {
+        self.engines.get(idx).map(|a| *a.engine.controls())
+    }
+
+    /// Retire back-end `idx`'s engine (draining its queue) and rebuild it
+    /// under `controls` — the mid-run reconfiguration path. The retired
+    /// engine's lifetime counters are merged into the profiler first, so
+    /// no work goes missing; counter rows accumulate per label. Fails for
+    /// back-ends attached without a factory. Collective on multi-rank
+    /// communicators: every rank must reconfigure identically.
+    pub fn reconfigure_backend(
+        &mut self,
+        idx: usize,
+        controls: BackendControls,
+        comm: &Comm,
+    ) -> Result<()> {
+        if self.finalized {
+            return Err(Error::Finalized);
+        }
+        let n = self.engines.len();
+        if idx >= n {
+            return Err(Error::Config(format!("no back-end #{idx} to reconfigure (have {n})")));
+        }
+        if self.engines[idx].factory.is_none() {
+            return Err(Error::Config(format!(
+                "back-end '{}' was not attached reconfigurable",
+                self.engines[idx].label
+            )));
+        }
+        self.engines[idx].engine.finalize(comm, &self.node)?;
+        self.retire_counters(idx);
+        let adaptor = (self.engines[idx].factory.as_ref().expect("checked above"))(&controls)?;
+        let ctx = EngineContext { comm, node: &self.node };
+        let engine = self.registry.create(controls.execution.name(), adaptor, &ctx)?;
+        self.engines[idx].engine = engine;
+        self.engines[idx].faults_seen = FaultSnapshot::default();
+        Ok(())
+    }
+
+    /// Merge back-end `idx`'s counter totals into the profiler (used at
+    /// engine retirement; finalize does the same for live engines).
+    fn retire_counters(&mut self, idx: usize) {
+        let a = &self.engines[idx];
+        if let Some(c) = a.engine.counters() {
+            self.profiler.record_counters_labeled(
+                a.label.as_str(),
+                a.engine.controls().layout.name(),
+                c.snapshot(),
+            );
+        }
+        if let Some(s) = a.engine.scheduler_counters() {
+            self.profiler.record_scheduler_counters(a.label.as_str(), s.snapshot());
+        }
     }
 
     /// Process the simulation's current state through every back-end.
@@ -151,17 +293,137 @@ impl Bridge {
         };
 
         let mut proceed = true;
+        let mut backend_obs = Vec::with_capacity(self.engines.len());
         for a in &mut self.engines {
-            if !a.engine.controls().due_at(step) {
-                continue;
+            let due = a.engine.controls().due_at(step);
+            let mut apparent = Duration::ZERO;
+            if due {
+                let te0 = Instant::now();
+                proceed &= a.engine.dispatch(data, snapshot.as_ref(), comm, &self.node)?;
+                apparent = te0.elapsed();
             }
-            let te0 = Instant::now();
-            proceed &= a.engine.dispatch(data, snapshot.as_ref(), comm, &self.node)?;
-            self.profiler.record_backend(step, a.label.as_str(), te0.elapsed());
+            // Retry recovery sleeps its backoff (capped 250 ms) inside
+            // dispatch, so a step whose retried/recovered counters moved
+            // carries that wall clock in its apparent sample: taint it so
+            // the adaptive window skips it instead of re-placing the
+            // back-end off one injected fault. Asynchronous engines bump
+            // the counters on their worker, so the taint may land a step
+            // late there — but there the backoff never polluted the
+            // dispatch timing in the first place.
+            let faults = a.engine.counters().map(|c| c.snapshot().faults).unwrap_or_default();
+            let tainted = faults.retried > a.faults_seen.retried
+                || faults.recovered > a.faults_seen.recovered;
+            a.faults_seen = faults;
+            if due {
+                self.profiler.record_backend_tainted(step, a.label.as_str(), apparent, tainted);
+            }
+            backend_obs.push(BackendObservation {
+                apparent_s: apparent.as_secs_f64(),
+                // A not-due back-end contributed no sample this step;
+                // taint the placeholder so no window ingests the zero.
+                tainted: tainted || !due,
+                queue_occupancy: a.engine.queue_occupancy(),
+            });
         }
         let apparent = t0.elapsed();
         self.profiler.record(step, solver_time, apparent);
+        if self.adaptive.is_some() {
+            self.adaptive_step(step, apparent, &backend_obs, comm)?;
+        }
         Ok(proceed)
+    }
+
+    /// One controller round: assemble the step's observations, let rank 0
+    /// decide, broadcast, and apply the decisions at this step boundary.
+    fn adaptive_step(
+        &mut self,
+        step: u64,
+        apparent: Duration,
+        backend_obs: &[BackendObservation],
+        comm: &Comm,
+    ) -> Result<()> {
+        let snap = self.pipeline.counters().snapshot();
+        let relayout_total: u64 = self
+            .engines
+            .iter()
+            .filter_map(|a| a.engine.counters())
+            .map(|c| c.snapshot().relayout_bytes)
+            .sum();
+        let controls: Vec<BackendControls> =
+            self.engines.iter().map(|a| *a.engine.controls()).collect();
+        let reconfigurable: Vec<bool> = self.engines.iter().map(|a| a.factory.is_some()).collect();
+        let modes = self.registry.mode_names();
+        let snapshot_consumers = self.engines.iter().any(|a| a.engine.needs_snapshot());
+
+        let state = self.adaptive.as_mut().expect("caller checked");
+        let obs = StepObservation {
+            step,
+            insitu_s: apparent.as_secs_f64(),
+            written_fraction: self.pipeline.written_fraction(),
+            snapshot_bytes: snap.bytes_copied.saturating_sub(state.snap_seen.bytes_copied),
+            cow_faults: snap.cow_faults.saturating_sub(state.snap_seen.cow_faults),
+            relayout_bytes: relayout_total.saturating_sub(state.relayout_seen),
+            pool_hit_rate: self.node.pool_stats(devsim::MemSpace::Host).hit_rate(),
+        };
+        state.snap_seen = snap;
+        state.relayout_seen = relayout_total;
+        let env = AdaptiveEnv {
+            num_devices: self.node.num_devices(),
+            controls: &controls,
+            reconfigurable: &reconfigurable,
+            snapshot_mode: self.pipeline.mode(),
+            snapshot_consumers,
+            available_modes: &modes,
+        };
+        let decisions: Vec<AdaptiveDecision> = if comm.size() > 1 {
+            // Timings are rank-local and would diverge; engine rebuilds
+            // are collective (Comm::dup). Rank 0 decides for everyone.
+            let local = if comm.rank() == 0 {
+                state.controller.observe_and_decide(&env, &obs, backend_obs)
+            } else {
+                Vec::new()
+            };
+            comm.bcast(0, local).map_err(|e| Error::Analysis(format!("adaptive bcast: {e}")))?
+        } else {
+            state.controller.observe_and_decide(&env, &obs, backend_obs)
+        };
+        for d in &decisions {
+            self.apply_decision(d, comm)?;
+        }
+        Ok(())
+    }
+
+    /// Log and apply one controller decision.
+    fn apply_decision(&mut self, d: &AdaptiveDecision, comm: &Comm) -> Result<()> {
+        match &d.action {
+            AdaptiveAction::Reconfigure { backend, controls } => {
+                let label = self.engines.get(*backend).map(|a| a.label.clone()).unwrap_or_default();
+                self.profiler.record_adaptive(
+                    d.step,
+                    label,
+                    d.cause,
+                    format!(
+                        "mode={} device={} layout={} snapshot={} queue={}",
+                        controls.execution.name(),
+                        controls.device.code(),
+                        controls.layout.name(),
+                        self.pipeline.mode().name(),
+                        controls.queue_depth,
+                    ),
+                );
+                self.reconfigure_backend(*backend, *controls, comm)
+            }
+            AdaptiveAction::SetSnapshotMode { mode } => {
+                self.profiler.record_adaptive(
+                    d.step,
+                    "bridge",
+                    d.cause,
+                    format!("snapshot={}", mode.name()),
+                );
+                self.pipeline.set_mode(*mode);
+                Ok(())
+            }
+        }
     }
 
     /// Finalize every back-end (draining asynchronous queues) and return
@@ -206,9 +468,11 @@ impl Bridge {
                     counters.snapshot(),
                 );
             }
-            if let Some(sched) = a.engine.scheduler_counters() {
-                self.profiler.record_scheduler_counters(a.label.as_str(), sched.snapshot());
-            }
+            // Every back-end gets a scheduler row — explicit zeros for
+            // engines without a task-graph scheduler — so scheduler_csv
+            // stays rectangular whatever mix of modes a run used.
+            let sched = a.engine.scheduler_counters().map(|s| s.snapshot()).unwrap_or_default();
+            self.profiler.record_scheduler_counters(a.label.as_str(), sched);
         }
         // Snapshot-layer totals (shares vs copies, CoW faults, overlap)
         // are exact now too: every worker that could fault a pinned

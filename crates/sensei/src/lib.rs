@@ -42,6 +42,7 @@
 //!   per-backend apparent-cost breakdown (the data behind the paper's
 //!   Figures 2 and 3).
 
+mod adaptive;
 mod adaptor;
 mod bridge;
 mod configurable;
@@ -62,8 +63,12 @@ mod requirements;
 mod scheduler;
 mod snapshot;
 
+pub use adaptive::{
+    AdaptiveAction, AdaptiveConfig, AdaptiveController, AdaptiveDecision, AdaptiveEnv,
+    BackendObservation, StepObservation,
+};
 pub use adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
-pub use bridge::Bridge;
+pub use bridge::{AdaptorFactory, Bridge};
 pub use configurable::{BackendConfig, ConfigurableAnalysis, TopologyConfig};
 pub use controls::{BackendControls, DeviceSpec};
 pub use counters::{
@@ -80,8 +85,8 @@ pub use error::{Error, Result};
 pub use execution::ExecutionMethod;
 pub use placement::Placement;
 pub use profiler::{
-    BackendBreakdown, BackendSample, CounterSample, IterationRecord, PoolSample, ProfileSummary,
-    Profiler, SchedulerSample, SnapshotSample,
+    AdaptiveSample, BackendBreakdown, BackendSample, CounterSample, IterationRecord, PoolSample,
+    ProfileSummary, Profiler, SchedulerSample, SnapshotSample,
 };
 pub use queue::OverflowPolicy;
 pub use recovery::{run_with_recovery, RecoveryPolicy};

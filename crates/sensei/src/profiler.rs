@@ -46,6 +46,28 @@ pub struct BackendSample {
     pub backend: String,
     /// Apparent cost of dispatching this back-end.
     pub apparent: Duration,
+    /// True when this step's dispatch retried or recovered from an
+    /// injected fault: the retry backoff's wall clock (capped at 250 ms)
+    /// is charged into `apparent`, so the sample measures the recovery
+    /// machinery, not the configuration. Consumers comparing
+    /// configurations (the adaptive controller's sliding window) must
+    /// skip tainted samples.
+    pub tainted: bool,
+}
+
+/// One adaptive-controller action: a probe, commit, or revert of a
+/// back-end's controls (or of the bridge's snapshot mode), recorded so
+/// a run's reconfiguration history is data alongside its timings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveSample {
+    /// Simulation time step the decision was applied at.
+    pub step: u64,
+    /// Back-end instance name, or `bridge` for snapshot-mode decisions.
+    pub backend: String,
+    /// What kind of decision (`probe`, `commit`, `revert`).
+    pub action: String,
+    /// Human-readable description of the configuration applied.
+    pub detail: String,
 }
 
 /// One back-end's aggregate apparent cost over a run.
@@ -115,6 +137,7 @@ pub struct Profiler {
     counter_samples: Vec<CounterSample>,
     snapshot_samples: Vec<SnapshotSample>,
     scheduler_samples: Vec<SchedulerSample>,
+    adaptive_samples: Vec<AdaptiveSample>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -135,6 +158,7 @@ impl Profiler {
             counter_samples: Vec::new(),
             snapshot_samples: Vec::new(),
             scheduler_samples: Vec::new(),
+            adaptive_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -147,7 +171,55 @@ impl Profiler {
 
     /// Record one back-end's apparent cost at `step`.
     pub fn record_backend(&mut self, step: u64, backend: impl Into<String>, apparent: Duration) {
-        self.backend_samples.push(BackendSample { step, backend: backend.into(), apparent });
+        self.record_backend_tainted(step, backend, apparent, false);
+    }
+
+    /// Like [`Profiler::record_backend`], marking the sample tainted when
+    /// the step's dispatch retried or recovered from a fault (the retry
+    /// backoff's wall clock is inside `apparent`).
+    pub fn record_backend_tainted(
+        &mut self,
+        step: u64,
+        backend: impl Into<String>,
+        apparent: Duration,
+        tainted: bool,
+    ) {
+        self.backend_samples.push(BackendSample {
+            step,
+            backend: backend.into(),
+            apparent,
+            tainted,
+        });
+    }
+
+    /// Record one adaptive-controller decision.
+    pub fn record_adaptive(
+        &mut self,
+        step: u64,
+        backend: impl Into<String>,
+        action: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
+        self.adaptive_samples.push(AdaptiveSample {
+            step,
+            backend: backend.into(),
+            action: action.into(),
+            detail: detail.into(),
+        });
+    }
+
+    /// Every recorded adaptive decision, in application order.
+    pub fn adaptive_samples(&self) -> &[AdaptiveSample] {
+        &self.adaptive_samples
+    }
+
+    /// Dump the adaptive decision log as CSV.
+    pub fn adaptive_csv(&self) -> String {
+        let mut out = String::from("step,backend,action,detail\n");
+        for s in &self.adaptive_samples {
+            out.push_str(&format!("{},{},{},{}\n", s.step, s.backend, s.action, s.detail));
+        }
+        out
     }
 
     /// Every recorded per-backend sample, in dispatch order.
@@ -230,19 +302,26 @@ impl Profiler {
 
     /// Dump the per-backend counter samples as CSV: work counters, the
     /// failure/recovery outcome counters, then the per-tier communication
-    /// traffic (intra- vs inter-node messages and bytes).
+    /// traffic (intra- vs inter-node messages, bytes, and modeled time).
+    ///
+    /// The schema is fixed: every column is emitted for every row, with
+    /// explicit zeros for features a run never exercised (no ragged or
+    /// blank rows), so window-parsing consumers — the adaptive
+    /// controller's offline analysis included — can rely on column
+    /// positions. The full header is pinned by `csv_headers_are_pinned`.
     pub fn counters_csv(&self) -> String {
         let mut out = String::from(
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
-             intra_messages,intra_bytes,inter_messages,inter_bytes,relayout_bytes,layout\n",
+             intra_messages,intra_bytes,intra_modeled_ns,\
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout\n",
         );
         for s in &self.counter_samples {
             let c = &s.counters;
             let f = &c.faults;
             let m = &c.comm;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.backend,
                 c.table_passes,
                 c.kernel_launches,
@@ -256,8 +335,10 @@ impl Profiler {
                 f.aborted,
                 m.intra_messages,
                 m.intra_bytes,
+                m.intra_modeled_ns,
                 m.inter_messages,
                 m.inter_bytes,
+                m.inter_modeled_ns,
                 c.relayout_bytes,
                 s.layout,
             ));
@@ -386,11 +467,18 @@ impl Profiler {
         out
     }
 
-    /// Dump the per-backend samples as CSV (`step,backend,apparent_s`).
+    /// Dump the per-backend samples as CSV
+    /// (`step,backend,apparent_s,tainted`).
     pub fn backend_csv(&self) -> String {
-        let mut out = String::from("step,backend,apparent_s\n");
+        let mut out = String::from("step,backend,apparent_s,tainted\n");
         for s in &self.backend_samples {
-            out.push_str(&format!("{},{},{:.9}\n", s.step, s.backend, s.apparent.as_secs_f64()));
+            out.push_str(&format!(
+                "{},{},{:.9},{}\n",
+                s.step,
+                s.backend,
+                s.apparent.as_secs_f64(),
+                s.tainted as u8
+            ));
         }
         out
     }
@@ -473,9 +561,67 @@ mod tests {
 
         let csv = p.backend_csv();
         let lines: Vec<_> = csv.lines().collect();
-        assert_eq!(lines[0], "step,backend,apparent_s");
+        assert_eq!(lines[0], "step,backend,apparent_s,tainted");
         assert_eq!(lines.len(), 4);
         assert!(lines[1].starts_with("0,binning,0.004"));
+        assert!(lines[1].ends_with(",0"), "untainted samples dump a 0 flag");
+    }
+
+    #[test]
+    fn tainted_backend_samples_carry_the_flag_through_the_csv() {
+        let mut p = Profiler::new();
+        p.record_backend(0, "binning", Duration::from_millis(4));
+        p.record_backend_tainted(1, "binning", Duration::from_millis(254), true);
+        assert!(!p.backend_samples()[0].tainted);
+        assert!(p.backend_samples()[1].tainted);
+        let lines: Vec<_> = p.backend_csv().lines().map(String::from).collect();
+        assert!(lines[1].ends_with(",0"));
+        assert!(lines[2].ends_with(",1"));
+        // Taint excludes a sample from comparisons, not from the
+        // aggregate: the breakdown still counts every dispatch.
+        assert_eq!(p.backend_breakdown()[0].dispatches, 2);
+    }
+
+    #[test]
+    fn adaptive_samples_record_and_dump() {
+        let mut p = Profiler::new();
+        p.record_adaptive(4, "binning_suite", "probe", "device=0 layout=scalar");
+        p.record_adaptive(8, "binning_suite", "commit", "device=-1 layout=aosoa8");
+        p.record_adaptive(8, "bridge", "commit", "snapshot=delta");
+        assert_eq!(p.adaptive_samples().len(), 3);
+        let lines: Vec<_> = p.adaptive_csv().lines().map(String::from).collect();
+        assert_eq!(lines[0], "step,backend,action,detail");
+        assert_eq!(lines[1], "4,binning_suite,probe,device=0 layout=scalar");
+        assert_eq!(lines[3], "8,bridge,commit,snapshot=delta");
+    }
+
+    /// Every CSV the profiler emits has a fixed schema: the full headers
+    /// are pinned here so a column appended without updating every
+    /// consumer (the adaptive controller's window parsing included) fails
+    /// loudly instead of silently misaligning.
+    #[test]
+    fn csv_headers_are_pinned() {
+        let p = Profiler::new();
+        assert_eq!(p.to_csv(), "step,solver_s,insitu_s\n");
+        assert_eq!(p.backend_csv(), "step,backend,apparent_s,tainted\n");
+        assert_eq!(
+            p.counters_csv(),
+            "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
+             faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
+             intra_messages,intra_bytes,intra_modeled_ns,\
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout\n"
+        );
+        assert_eq!(
+            p.snapshot_csv(),
+            "mode,arrays_shared,arrays_copied,bytes_copied,cow_faults,copy_overlap_ns\n"
+        );
+        assert_eq!(p.scheduler_csv(), "backend,tasks,steals,idle_ns,critical_path_ns\n");
+        assert_eq!(
+            p.pool_csv(),
+            "space,hits,misses,hit_rate,bytes_from_cache,raw_allocs,raw_alloc_bytes,\
+             high_water_bytes,reclaims,trims\n"
+        );
+        assert_eq!(p.adaptive_csv(), "step,backend,action,detail\n");
     }
 
     #[test]
@@ -536,9 +682,10 @@ mod tests {
                 comm: minimpi::TierSnapshot {
                     intra_messages: 18,
                     intra_bytes: 1440,
+                    intra_modeled_ns: 90,
                     inter_messages: 6,
                     inter_bytes: 480,
-                    ..Default::default()
+                    inter_modeled_ns: 210,
                 },
             },
         );
@@ -554,10 +701,16 @@ mod tests {
             lines[0],
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
-             intra_messages,intra_bytes,inter_messages,inter_bytes,relayout_bytes,layout"
+             intra_messages,intra_bytes,intra_modeled_ns,\
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout"
         );
-        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0,0,scalar");
-        assert_eq!(lines[2], "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,6,480,4096,aosoa8");
+        // A run without faults or tiered communication dumps explicit
+        // zeros in every column — never a ragged row.
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0,0,0,0,scalar");
+        assert_eq!(
+            lines[2],
+            "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,90,6,480,210,4096,aosoa8"
+        );
         assert_eq!(p.counters_total().comm.inter_bytes, 480);
         assert_eq!(p.counters_total().relayout_bytes, 4096);
     }

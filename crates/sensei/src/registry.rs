@@ -15,6 +15,7 @@ use crate::adaptor::AnalysisAdaptor;
 use crate::error::{Error, Result};
 
 /// Context available to back-end factories.
+#[derive(Clone)]
 pub struct CreateContext {
     /// The heterogeneous node the rank runs on.
     pub node: Arc<SimNode>,

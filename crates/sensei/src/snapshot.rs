@@ -82,8 +82,16 @@ pub struct SnapshotPipeline {
     mode: SnapshotMode,
     counters: Arc<SnapshotCounters>,
     /// Last captured `(allocation_id, write_generation)` per array key
-    /// (`mesh/block-path/association/name`).
+    /// (`mesh/block-path/association/name`). Sampled under *every* mode
+    /// (delta uses it to skip copies; deep and cow sample it purely as a
+    /// write-rate observation), so the adaptive controller can read the
+    /// workload's write rate regardless of the active mode.
     last: HashMap<String, (u64, u64)>,
+    /// Arrays written / arrays seen at the capture in progress.
+    cap_written: u64,
+    cap_seen: u64,
+    /// Arrays written / arrays seen at the last completed capture.
+    last_written: (u64, u64),
     /// One dedicated copy stream per device, created lazily. Keeping
     /// capture traffic off the producer's streams is what lets the
     /// copies overlap the next solver step.
@@ -97,6 +105,9 @@ impl SnapshotPipeline {
             mode,
             counters: SnapshotCounters::new(),
             last: HashMap::new(),
+            cap_written: 0,
+            cap_seen: 0,
+            last_written: (0, 0),
             copy_streams: HashMap::new(),
         }
     }
@@ -120,6 +131,38 @@ impl SnapshotPipeline {
         &self.counters
     }
 
+    /// The share of arrays whose write generation advanced at the last
+    /// capture, observed from the per-array generations the pipeline
+    /// samples under every mode. `1.0` when nothing has been captured
+    /// yet or no generations were visible (conservative: assume every
+    /// array is rewritten every step). The first capture after a
+    /// [`SnapshotPipeline::set_mode`] also reads `1.0` — the generation
+    /// table is cleared on a mode switch.
+    pub fn written_fraction(&self) -> f64 {
+        let (w, n) = self.last_written;
+        if n == 0 {
+            1.0
+        } else {
+            w as f64 / n as f64
+        }
+    }
+
+    /// Diff `identity` against the generation table, updating it, and
+    /// count the array into the capture's write-rate observation.
+    /// Untracked arrays (no generation) are conservatively "written".
+    fn note_generation(&mut self, key: String, identity: Option<(u64, u64)>) -> bool {
+        let changed = match identity {
+            Some(id) => self.last.get(&key) != Some(&id),
+            None => true,
+        };
+        if let Some(id) = identity {
+            self.last.insert(key, id);
+        }
+        self.cap_seen += 1;
+        self.cap_written += changed as u64;
+        changed
+    }
+
     fn copy_stream(&mut self, node: &Arc<SimNode>, device: usize) -> Result<Arc<Stream>> {
         if let Some(s) = self.copy_streams.get(&device) {
             return Ok(s.clone());
@@ -140,6 +183,8 @@ impl SnapshotPipeline {
         node: &Arc<SimNode>,
     ) -> Result<SnapshotAdaptor> {
         let captured_at = Instant::now();
+        self.cap_written = 0;
+        self.cap_seen = 0;
         let mut shared = Vec::new();
         let mut fences = Vec::new();
         let mut pending: HashMap<usize, (Arc<Stream>, Event)> = HashMap::new();
@@ -171,6 +216,7 @@ impl SnapshotPipeline {
                 synchronize_object(obj)?;
             }
         }
+        self.last_written = (self.cap_written, self.cap_seen);
 
         Ok(SnapshotAdaptor {
             meshes,
@@ -197,10 +243,18 @@ impl SnapshotPipeline {
         let bytes = (arr.len() * 8) as u64;
         match self.mode {
             SnapshotMode::Deep => {
+                // The generation sample is a pure observation here (the
+                // copy is unconditional): no drain first, so an enqueued
+                // producer kernel may read one step stale — acceptable
+                // for a write-rate signal, free for the capture.
+                self.note_generation(key, arr.generation_erased());
                 self.counters.add_copied(1, bytes);
                 Ok(arr.deep_copy_erased()?)
             }
-            SnapshotMode::Cow => self.share_or_copy(arr, node, shared, bytes),
+            SnapshotMode::Cow => {
+                self.note_generation(key, arr.generation_erased());
+                self.share_or_copy(arr, node, shared, bytes)
+            }
             SnapshotMode::Delta => {
                 // Drain the producer stream *before* sampling the write
                 // generation: a producer kernel still queued here bumps
@@ -211,16 +265,7 @@ impl SnapshotPipeline {
                 // stream-ordered contents a deep copy enqueued behind
                 // the producer's kernels would.
                 arr.synchronize_erased()?;
-                let identity = arr.generation_erased();
-                // Untracked arrays have no generation to diff: treat as
-                // changed.
-                let changed = match identity {
-                    Some(id) => self.last.get(&key) != Some(&id),
-                    None => true,
-                };
-                if let Some(id) = identity {
-                    self.last.insert(key, id);
-                }
+                let changed = self.note_generation(key, arr.generation_erased());
                 if !changed {
                     return self.share_or_copy(arr, node, shared, bytes);
                 }
