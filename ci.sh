@@ -117,6 +117,21 @@ grep -q '"all_bit_identical": true' /tmp/ci_adaptive/BENCH_adaptive.json
 grep -q '"zero_aborts": true' /tmp/ci_adaptive/BENCH_adaptive.json
 ! grep -q '"aborted": [1-9]' /tmp/ci_adaptive/BENCH_adaptive.json
 
+echo "== harness serve smoke (zero-copy fan-out + steering)"
+# The harness hard-asserts the serving claims itself (bytes serialized
+# per step identical across session counts, zero missed frames for
+# block-policy fast clients, binned results independent of the
+# audience, steered run bit-identical to its direct-reconfiguration
+# replay); the greps re-check the written report so a silently-empty
+# JSON also fails CI.
+cargo run --release -p bench --bin harness -- serve \
+    --sessions 16,64 --out /tmp/ci_serve
+grep -q '"flat_bytes_across_sessions": true' /tmp/ci_serve/BENCH_serve.json
+grep -q '"zero_fast_drops": true' /tmp/ci_serve/BENCH_serve.json
+grep -q '"results_identical_across_arms": true' /tmp/ci_serve/BENCH_serve.json
+grep -q '"steering_bit_identical": true' /tmp/ci_serve/BENCH_serve.json
+grep -Eq '"steers_applied": [1-9]' /tmp/ci_serve/BENCH_serve.json
+
 echo "== documented results present"
 # Every BENCH_*.json a doc references must exist in results/ — a
 # documented experiment whose committed report is missing is a doc bug

@@ -10,6 +10,7 @@
 //!         [--instances N] [--scale F] [--out DIR]
 //! harness scale [--rank-counts N,N,...] [--steps N] [--out DIR]
 //! harness layout [--steps N] [--resolution N] [--scale F] [--out DIR]
+//! harness serve [--sessions N,N,...] [--out DIR]
 //! harness run-config <sensei.xml> [--bodies N] [--steps N] [--devices N]
 //!         [--scale F]
 //! ```
@@ -74,6 +75,20 @@
 //! that every arm is bit-identical to the static reference; and that no
 //! dispatch aborted. Writes `BENCH_adaptive.json` under `--out`.
 //!
+//! `serve` runs the live result-serving sweep (see
+//! `bench::run_serve_bench`): N concurrent client sessions — mixed fast
+//! block-policy, slow drop-oldest, and continuously churning —
+//! subscribe by (variable × coordinate system) while the fused binning
+//! suite runs asynchronously under CoW snapshots, with each step's
+//! results serialized once per coordinate system and fanned out as
+//! refcounted views. Sweeps the session counts (default 64, 512, 4096),
+//! hard-asserts that bytes serialized per step are *flat* across the
+//! sweep, that no block-policy fast client missed a frame, that the
+//! binned results are bit-identical whatever the audience, and that a
+//! session-steered two-rank run (frequency, resolution, pause, resume)
+//! matches a direct-reconfiguration replay bit for bit. Writes
+//! `BENCH_serve.json` under `--out`.
+//!
 //! `run-config` runs Newton++ against a SENSEI XML configuration (the
 //! files under `configs/sensei_xml/`), with back-end selection, placement,
 //! and execution method all controlled by the XML, as in the paper's
@@ -90,13 +105,14 @@ use std::time::Instant;
 use bench::{ascii_bars, ascii_stack, bench_node_config, run_case, AggregatedCase, CaseConfig};
 use sensei::{ExecutionMethod, Placement};
 
-fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize>) {
+fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize>, Vec<usize>) {
     let mut mode = "all".to_string();
     let mut cfg = CaseConfig::small(Placement::Host, ExecutionMethod::Lockstep);
     let mut out = PathBuf::from("results");
     let mut xml = None;
     let mut chaos_seed = 7u64;
     let mut rank_counts = vec![4, 64, 512];
+    let mut session_counts = vec![64, 512, 4096];
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -106,7 +122,7 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize
         };
         match args[i].as_str() {
             "table1" | "figure2" | "figure3" | "binning" | "chaos" | "snapshot" | "dag"
-            | "scale" | "layout" | "adaptive" | "all" => mode = args[i].clone(),
+            | "scale" | "layout" | "adaptive" | "serve" | "all" => mode = args[i].clone(),
             "run-config" => {
                 mode = "run-config".into();
                 xml = Some(PathBuf::from(next(&mut i)));
@@ -139,12 +155,19 @@ fn parse_args() -> (String, CaseConfig, PathBuf, Option<PathBuf>, u64, Vec<usize
                     .collect();
                 assert!(!rank_counts.is_empty(), "--rank-counts needs at least one count");
             }
+            "--sessions" => {
+                session_counts = next(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--sessions takes a comma list"))
+                    .collect();
+                assert!(!session_counts.is_empty(), "--sessions needs at least one count");
+            }
             "--out" => out = PathBuf::from(next(&mut i)),
             other => panic!("unknown argument '{other}'"),
         }
         i += 1;
     }
-    (mode, cfg, out, xml, chaos_seed, rank_counts)
+    (mode, cfg, out, xml, chaos_seed, rank_counts, session_counts)
 }
 
 /// Run Newton++ against a SENSEI XML configuration: back-end selection,
@@ -1429,11 +1452,127 @@ fn run_adaptive_mode(base: &CaseConfig, out_dir: &Path) {
     );
 }
 
+/// Machine-readable serving report: one JSON object per fan-out arm
+/// plus the steering outcome and the headline booleans CI greps.
+/// Hand-rolled like `write_adaptive_json`.
+fn write_serve_json(path: &Path, report: &bench::ServeBenchReport) {
+    let mut json = String::from("{\n  \"arms\": [\n");
+    for (i, a) in report.arms.iter().enumerate() {
+        let bytes: Vec<String> = a.bytes_per_step.iter().map(|b| b.to_string()).collect();
+        json.push_str(&format!(
+            "    {{\"sessions\": {}, \"fast\": {}, \"slow\": {}, \"churned\": {}, \
+             \"delivered\": {}, \"dropped\": {}, \"fast_missing\": {}, \
+             \"p50_ns\": {}, \"p99_ns\": {}, \"bytes_per_step\": [{}], \
+             \"wall_s\": {:.6}}}{}\n",
+            a.sessions,
+            a.fast,
+            a.slow,
+            a.churned,
+            a.delivered,
+            a.dropped,
+            a.fast_missing,
+            a.p50_ns,
+            a.p99_ns,
+            bytes.join(", "),
+            a.wall.as_secs_f64(),
+            if i + 1 < report.arms.len() { "," } else { "" },
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"steering\": {{\"steers_applied\": {}, \"steered_results\": {}, \
+         \"replayed_results\": {}, \"bit_identical\": {}}},\n  \
+         \"flat_bytes_across_sessions\": {},\n  \"zero_fast_drops\": {},\n  \
+         \"results_identical_across_arms\": {},\n  \"steering_bit_identical\": {}\n}}\n",
+        report.steering.steers_applied,
+        report.steering.steered.len(),
+        report.steering.replayed.len(),
+        report.steering.bit_identical(),
+        report.flat_bytes(),
+        report.zero_fast_drops(),
+        report.results_identical_across_arms(),
+        report.steering_bit_identical(),
+    ));
+    std::fs::create_dir_all(path.parent().unwrap_or(&PathBuf::from("."))).ok();
+    std::fs::write(path, json).expect("write JSON");
+    println!("wrote {}", path.display());
+}
+
+/// The serving smoke: the fan-out sweep over the session counts plus
+/// the two-rank steering pair, with the issue's acceptance bars
+/// hard-asserted — bytes serialized per step flat across session
+/// counts, zero missed frames for block-policy fast clients, binned
+/// results independent of the audience, and steered == replayed bit
+/// for bit.
+fn run_serve_mode(session_counts: &[usize], out_dir: &Path) {
+    let cfg =
+        bench::ServeBenchConfig { session_counts: session_counts.to_vec(), ..Default::default() };
+    println!(
+        "\nLive result serving: {} bodies, {} steps, {} instances on {}^2 bins, \
+         sessions {:?} (~80% fast block / ~15% slow drop-oldest / rest churning)",
+        cfg.bodies, cfg.steps, cfg.instances, cfg.resolution, cfg.session_counts,
+    );
+
+    let t0 = Instant::now();
+    let report = bench::run_serve_bench(&cfg);
+    eprintln!("sweep + steering pair done in {:.2?}", t0.elapsed());
+
+    println!(
+        "\n  {:>9} {:>10} {:>9} {:>9} {:>11} {:>11} {:>13}",
+        "sessions", "delivered", "dropped", "churned", "p50", "p99", "bytes/step"
+    );
+    for a in &report.arms {
+        println!(
+            "  {:>9} {:>10} {:>9} {:>9} {:>8.2} us {:>8.2} us {:>13}",
+            a.sessions,
+            a.delivered,
+            a.dropped,
+            a.churned,
+            a.p50_ns as f64 / 1e3,
+            a.p99_ns as f64 / 1e3,
+            a.bytes_per_step.first().copied().unwrap_or(0),
+        );
+    }
+    println!(
+        "  steering: {} commands applied, {} results steered vs {} replayed",
+        report.steering.steers_applied,
+        report.steering.steered.len(),
+        report.steering.replayed.len(),
+    );
+
+    write_serve_json(&out_dir.join("BENCH_serve.json"), &report);
+
+    if !report.flat_bytes() {
+        eprintln!(
+            "FAIL: bytes serialized per step scale with the session count: {:?}",
+            report.arms.iter().map(|a| (a.sessions, a.bytes_per_step.clone())).collect::<Vec<_>>(),
+        );
+        std::process::exit(1);
+    }
+    if !report.zero_fast_drops() {
+        eprintln!("FAIL: a block-policy fast client missed a frame");
+        std::process::exit(1);
+    }
+    if !report.results_identical_across_arms() {
+        eprintln!("FAIL: binned results changed with the session count");
+        std::process::exit(1);
+    }
+    if !report.steering_bit_identical() {
+        eprintln!("FAIL: the steered run diverged from the direct-reconfiguration replay");
+        std::process::exit(1);
+    }
+    println!(
+        "  PASS: bytes/step flat across {:?} sessions, zero fast-client losses, results \
+         audience-independent, steering bit-identical to its replay ({} commands)",
+        report.arms.iter().map(|a| a.sessions).collect::<Vec<_>>(),
+        report.steering.steers_applied,
+    );
+}
+
 /// Ops per binning instance in the paper workload (10: count + 9 more).
 const VARIABLE_OPS_PER_INSTANCE: usize = bench::VARIABLE_OPS.len();
 
 fn main() {
-    let (mode, base, out_dir, xml, chaos_seed, rank_counts) = parse_args();
+    let (mode, base, out_dir, xml, chaos_seed, rank_counts, session_counts) = parse_args();
     if mode == "run-config" {
         run_config(&xml.expect("run-config needs an XML path"), &base);
         return;
@@ -1464,6 +1603,10 @@ fn main() {
     }
     if mode == "adaptive" {
         run_adaptive_mode(&base, &out_dir);
+        return;
+    }
+    if mode == "serve" {
+        run_serve_mode(&session_counts, &out_dir);
         return;
     }
     let node_cfg = bench_node_config(base.num_devices, base.time_scale);

@@ -15,6 +15,7 @@ mod chart;
 mod dag;
 mod layout;
 mod scale;
+mod serve;
 mod snapshot;
 mod workload;
 
@@ -34,6 +35,10 @@ pub use layout::{
 };
 pub use scale::{
     run_scale_bench, ScaleArm, ScaleBenchConfig, ScaleCheck, ScalePoint, ScaleReport, ScaleSweep,
+};
+pub use serve::{
+    run_serve_arm, run_serve_bench, run_steering_pair, ServeArm, ServeBenchConfig,
+    ServeBenchReport, SteeringOutcome,
 };
 pub use snapshot::{run_snapshot_bench, SnapshotArm, SnapshotBenchConfig, SnapshotReport};
 pub use workload::{

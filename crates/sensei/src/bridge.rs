@@ -25,11 +25,12 @@ use crate::adaptive::{
 };
 use crate::adaptor::{AnalysisAdaptor, DataAdaptor};
 use crate::controls::BackendControls;
-use crate::counters::{FaultSnapshot, SnapshotCounterSnapshot};
+use crate::counters::{CounterSnapshot, FaultSnapshot, SnapshotCounterSnapshot};
 use crate::engine::{EngineContext, EngineRegistry, ExecutionEngine};
 use crate::error::{Error, Result};
 use crate::profiler::Profiler;
 use crate::requirements::DataRequirements;
+use crate::serve::{ServeHub, Steer, SteeringCommand};
 use crate::snapshot::{SnapshotMode, SnapshotPipeline};
 
 /// Builds a fresh back-end instance under the given controls, so the
@@ -57,6 +58,7 @@ pub struct Bridge {
     profiler: Profiler,
     pipeline: SnapshotPipeline,
     adaptive: Option<AdaptiveState>,
+    serve: Option<Arc<ServeHub>>,
     finalized: bool,
 }
 
@@ -73,6 +75,8 @@ struct Attached {
     /// delta can taint that step's apparent-cost sample (retry backoff
     /// sleeps inside dispatch and would otherwise look like real cost).
     faults_seen: FaultSnapshot,
+    /// The frequency a steering Pause saved, restored by Resume.
+    paused_from: Option<u64>,
 }
 
 /// Controller plus the last-seen counter totals it diffs per step.
@@ -100,6 +104,7 @@ impl Bridge {
             profiler: Profiler::new(),
             pipeline: SnapshotPipeline::new(SnapshotMode::Deep),
             adaptive: None,
+            serve: None,
             finalized: false,
         }
     }
@@ -134,6 +139,21 @@ impl Bridge {
     /// called (harnesses read convergence state off it).
     pub fn adaptive_controller(&self) -> Option<&AdaptiveController> {
         self.adaptive.as_ref().map(|s| &s.controller)
+    }
+
+    /// Attach a live-serving hub ([`crate::serve`]): from the next step
+    /// on, the session pool counts as one consumer of each captured
+    /// snapshot (the hub pins it until the last session's frame drops),
+    /// and — when the hub accepts steering — queued session commands are
+    /// drained at every step boundary, rank-0-decided, broadcast, and
+    /// applied through the mid-run reconfiguration path.
+    pub fn attach_serve(&mut self, hub: Arc<ServeHub>) {
+        self.serve = Some(hub);
+    }
+
+    /// The attached serving hub, if any.
+    pub fn serve_hub(&self) -> Option<&Arc<ServeHub>> {
+        self.serve.as_ref()
     }
 
     /// Attach a back-end. Its [`crate::ExecutionMethod`]'s name selects
@@ -179,6 +199,7 @@ impl Bridge {
             engine,
             factory,
             faults_seen: FaultSnapshot::default(),
+            paused_from: None,
         });
         Ok(())
     }
@@ -261,6 +282,13 @@ impl Bridge {
             return Err(Error::Finalized);
         }
         let step = data.time_step();
+
+        // Steering is applied strictly at step boundaries: whatever the
+        // sessions queued since the last step is drained now, before any
+        // engine sees this step's data, so a reconfiguration never splits
+        // a step. Rank 0 decides, everyone applies the broadcast copy.
+        self.apply_steering(step, comm)?;
+
         let t0 = Instant::now();
 
         // One deep-copied snapshot per iteration, shared by every due
@@ -279,6 +307,15 @@ impl Bridge {
                 }
             }
         }
+        // The session pool is one more consumer of the step's snapshot:
+        // the hub pins it (StepPin) until the last session's frame for
+        // this step drops, so a slow viewer can keep reading the step's
+        // arrays zero-copy while the solver has long moved on.
+        let hub_consumes =
+            requirements.is_some() && self.serve.as_ref().is_some_and(|h| h.has_sessions());
+        if hub_consumes {
+            consumers += 1;
+        }
         let snapshot = match &requirements {
             Some(req) => {
                 let snap = self.pipeline.capture(data, req, &self.node)?;
@@ -287,7 +324,11 @@ impl Bridge {
                 // early releaser would expose the rest to post-capture
                 // producer writes.
                 snap.expect_consumers(consumers);
-                Some(Arc::new(snap))
+                let snap = Arc::new(snap);
+                if hub_consumes {
+                    self.serve.as_ref().expect("hub_consumes").offer_snapshot(&snap);
+                }
+                Some(snap)
             }
             None => None,
         };
@@ -426,6 +467,72 @@ impl Bridge {
         }
     }
 
+    /// The frequency a paused back-end runs at: due only at step 0, i.e.
+    /// never again mid-run (the pre-pause frequency is saved for Resume).
+    const PAUSED_FREQUENCY: u64 = u64::MAX;
+
+    /// Drain the sessions' queued steering commands and apply them at
+    /// this step boundary. On multi-rank communicators only rank 0's
+    /// queue is consulted and the command list is broadcast, so every
+    /// rank applies the identical schedule (engine rebuilds are
+    /// collective) and results stay bit-identical across ranks.
+    fn apply_steering(&mut self, step: u64, comm: &Comm) -> Result<()> {
+        let Some(hub) = self.serve.clone() else { return Ok(()) };
+        if !hub.steering_enabled() {
+            return Ok(());
+        }
+        let commands: Vec<Steer> = if comm.size() > 1 {
+            let local = if comm.rank() == 0 { hub.drain_steering() } else { Vec::new() };
+            comm.bcast(0, local).map_err(|e| Error::Analysis(format!("steering bcast: {e}")))?
+        } else {
+            hub.drain_steering()
+        };
+        for s in commands {
+            self.apply_steer(step, &hub, s, comm)?;
+            hub.note_steers_applied(1);
+        }
+        Ok(())
+    }
+
+    /// Apply one steering command: adjust the target back-end's controls
+    /// (or the shared [`crate::serve::ServeKnobs`]) and rebuild it through
+    /// the ordinary mid-run reconfiguration path.
+    fn apply_steer(&mut self, step: u64, hub: &ServeHub, s: Steer, comm: &Comm) -> Result<()> {
+        let n = self.engines.len();
+        let Some(a) = self.engines.get_mut(s.backend) else {
+            return Err(Error::Config(format!(
+                "steering targets back-end #{} (have {n})",
+                s.backend
+            )));
+        };
+        let label = a.label.clone();
+        let mut controls = *a.engine.controls();
+        let detail = match s.command {
+            SteeringCommand::SetResolution(r) => {
+                hub.knobs().set_resolution(r);
+                format!("resolution={r}")
+            }
+            SteeringCommand::SetFrequency(f) => {
+                controls.frequency = f.max(1);
+                a.paused_from = None;
+                format!("frequency={}", controls.frequency)
+            }
+            SteeringCommand::Pause => {
+                if a.paused_from.is_none() {
+                    a.paused_from = Some(controls.frequency);
+                }
+                controls.frequency = Self::PAUSED_FREQUENCY;
+                "pause".to_string()
+            }
+            SteeringCommand::Resume => {
+                controls.frequency = a.paused_from.take().unwrap_or(1);
+                "resume".to_string()
+            }
+        };
+        self.profiler.record_adaptive(step, label, "steer", detail);
+        self.reconfigure_backend(s.backend, controls, comm)
+    }
+
     /// Finalize every back-end (draining asynchronous queues) and return
     /// the run's profiler.
     ///
@@ -481,6 +588,21 @@ impl Bridge {
             self.pipeline.mode().name(),
             self.pipeline.counters().snapshot(),
         );
+        // Serving totals: close every session queue (clients drain what
+        // is buffered, then see end-of-stream), fold the per-step
+        // delivery stats into serve_csv, and record the hub's lifetime
+        // counters as a bridge-wide "serve" row.
+        if let Some(hub) = &self.serve {
+            hub.shutdown();
+            for s in hub.drain_step_stats() {
+                self.profiler.record_serve(s);
+            }
+            self.profiler.record_counters_labeled(
+                "serve",
+                "-",
+                CounterSnapshot { serve: hub.counter_snapshot(), ..Default::default() },
+            );
+        }
         // Freeze the run's caching-pool counters into the profiler so the
         // harness can report hit rates alongside the timings.
         self.profiler.record_pool_stats("host", self.node.pool_stats(devsim::MemSpace::Host));

@@ -24,11 +24,12 @@ use std::sync::Arc;
 
 use devsim::SimNode;
 use minimpi::Comm;
-use svtk::{DataObject, MultiBlock, TableData};
+use svtk::{DataObject, MultiBlock};
 
 use crate::adaptor::{AnalysisAdaptor, ArrayMetadata, DataAdaptor, ExecContext, MeshMetadata};
 use crate::controls::BackendControls;
 use crate::error::{Error, Result};
+use crate::payload::StepPayload;
 
 /// Message tag reserved for in-transit traffic.
 const TRANSIT_TAG: u64 = 0x5e4e5e1;
@@ -72,16 +73,8 @@ pub fn producers_of(consumer: usize, sim_ranks: usize, analysis_ranks: usize) ->
     (0..sim_ranks).filter(|&p| consumer_of(p, sim_ranks, analysis_ranks) == consumer).collect()
 }
 
-/// A serialized mesh in flight (host representation of the columns).
-#[derive(Debug, Clone)]
-struct Payload {
-    step: u64,
-    time: f64,
-    columns: Vec<(String, Vec<f64>)>,
-}
-
 enum TransitMsg {
-    Step(Payload),
+    Step(StepPayload),
     Done,
 }
 
@@ -109,41 +102,9 @@ impl TransitSender {
         TransitSender { controls: BackendControls::default(), world, mesh: mesh.into(), consumer }
     }
 
-    fn serialize(&self, data: &dyn DataAdaptor) -> Result<Payload> {
-        let mesh = data.mesh(&self.mesh)?;
-        let mut columns = Vec::new();
-        collect_columns(&mesh, &mut columns)?;
-        Ok(Payload { step: data.time_step(), time: data.time(), columns })
+    fn serialize(&self, data: &dyn DataAdaptor) -> Result<StepPayload> {
+        StepPayload::from_data(data, &self.mesh)
     }
-}
-
-fn collect_columns(obj: &DataObject, out: &mut Vec<(String, Vec<f64>)>) -> Result<()> {
-    match obj {
-        DataObject::Table(t) => {
-            for col in t.columns() {
-                let typed = svtk::downcast::<f64>(col).ok_or_else(|| {
-                    Error::Analysis(format!(
-                        "in transit supports double columns; '{}' is {}",
-                        col.name(),
-                        col.type_name()
-                    ))
-                })?;
-                out.push((col.name().to_string(), typed.to_vec()?));
-            }
-        }
-        DataObject::Multi(mb) => {
-            for (_, block) in mb.local_blocks() {
-                collect_columns(block, out)?;
-            }
-        }
-        other => {
-            return Err(Error::Analysis(format!(
-                "in transit currently forwards tabular data, got {}",
-                other.class_name()
-            )))
-        }
-    }
-    Ok(())
 }
 
 impl AnalysisAdaptor for TransitSender {
@@ -250,7 +211,7 @@ pub fn serve_analysis(
     let total_blocks = sim_ranks;
 
     // step -> (producer world-rank -> payload)
-    let mut pending: BTreeMap<u64, BTreeMap<usize, Payload>> = BTreeMap::new();
+    let mut pending: BTreeMap<u64, BTreeMap<usize, StepPayload>> = BTreeMap::new();
     let mut live = producers.len();
     let mut steps_done = 0u64;
     let ctx_comm = analysis_comm;
@@ -270,20 +231,7 @@ pub fn serve_analysis(
                     let time = parts.values().next().expect("nonempty").time;
                     let mut blocks = MultiBlock::new(total_blocks);
                     for (producer, payload) in parts {
-                        let mut table = TableData::new();
-                        for (name, values) in payload.columns {
-                            let arr = svtk::HamrDataArray::<f64>::from_slice(
-                                name,
-                                node.clone(),
-                                &values,
-                                1,
-                                svtk::Allocator::Malloc,
-                                None,
-                                svtk::HamrStream::default_stream(),
-                                svtk::StreamMode::Sync,
-                            )?;
-                            table.set_column(arr.as_array_ref());
-                        }
+                        let table = payload.to_table(node)?;
                         blocks.set_block(producer, DataObject::Table(table));
                     }
                     let adaptor = ReceivedAdaptor { mesh: mesh.clone(), blocks, step, time };

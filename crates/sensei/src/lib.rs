@@ -54,6 +54,7 @@ mod engine;
 mod error;
 mod execution;
 pub mod intransit;
+mod payload;
 mod placement;
 mod profiler;
 pub mod queue;
@@ -61,7 +62,14 @@ mod recovery;
 mod registry;
 mod requirements;
 mod scheduler;
+pub mod serve;
 mod snapshot;
+
+pub use payload::{collect_columns, StepPayload};
+pub use serve::{
+    Frame, PublishStats, ServeConfig, ServeHub, ServeKnobs, ServeStepStats, SessionConfig,
+    SessionHandle, Steer, SteeringCommand, StepPin, Topic,
+};
 
 pub use adaptive::{
     AdaptiveAction, AdaptiveConfig, AdaptiveController, AdaptiveDecision, AdaptiveEnv,
@@ -72,8 +80,8 @@ pub use bridge::{AdaptorFactory, Bridge};
 pub use configurable::{BackendConfig, ConfigurableAnalysis, TopologyConfig};
 pub use controls::{BackendControls, DeviceSpec};
 pub use counters::{
-    AnalysisCounters, CommCounters, CounterSnapshot, FaultCounters, FaultSnapshot,
-    SnapshotCounterSnapshot, SnapshotCounters,
+    AnalysisCounters, CommCounters, CounterSnapshot, FaultCounters, FaultSnapshot, ServeCounters,
+    ServeSnapshot, SnapshotCounterSnapshot, SnapshotCounters,
 };
 pub use dag::{DeviceStreams, TaskCtx, TaskGraph, TaskId, TaskKind, TaskSite};
 pub use device_select::{select_device, DeviceSelector};

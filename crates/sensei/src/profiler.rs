@@ -4,10 +4,11 @@ use std::time::{Duration, Instant};
 
 use devsim::PoolStats;
 
-#[cfg(test)]
-use crate::counters::FaultSnapshot;
 use crate::counters::{CounterSnapshot, SnapshotCounterSnapshot};
+#[cfg(test)]
+use crate::counters::{FaultSnapshot, ServeSnapshot};
 use crate::scheduler::SchedulerSnapshot;
+use crate::serve::ServeStepStats;
 
 /// Timings for one simulation iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -138,6 +139,7 @@ pub struct Profiler {
     snapshot_samples: Vec<SnapshotSample>,
     scheduler_samples: Vec<SchedulerSample>,
     adaptive_samples: Vec<AdaptiveSample>,
+    serve_samples: Vec<ServeStepStats>,
     started: Instant,
     total: Option<Duration>,
 }
@@ -159,6 +161,7 @@ impl Profiler {
             snapshot_samples: Vec::new(),
             scheduler_samples: Vec::new(),
             adaptive_samples: Vec::new(),
+            serve_samples: Vec::new(),
             started: Instant::now(),
             total: None,
         }
@@ -314,14 +317,16 @@ impl Profiler {
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
              intra_messages,intra_bytes,intra_modeled_ns,\
-             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout\n",
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,\
+             serve_delivered,serve_dropped,serve_bytes,layout\n",
         );
         for s in &self.counter_samples {
             let c = &s.counters;
             let f = &c.faults;
             let m = &c.comm;
+            let v = &c.serve;
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 s.backend,
                 c.table_passes,
                 c.kernel_launches,
@@ -340,6 +345,9 @@ impl Profiler {
                 m.inter_bytes,
                 m.inter_modeled_ns,
                 c.relayout_bytes,
+                v.delivered,
+                v.dropped,
+                v.payload_bytes,
                 s.layout,
             ));
         }
@@ -413,6 +421,32 @@ impl Profiler {
             out.push_str(&format!(
                 "{},{},{},{},{}\n",
                 s.backend, c.tasks, c.steals, c.idle_ns, c.critical_path_ns,
+            ));
+        }
+        out
+    }
+
+    /// Record one step's live-serving aggregates (the bridge drains the
+    /// hub's per-step stats into these at finalize).
+    pub fn record_serve(&mut self, stats: ServeStepStats) {
+        self.serve_samples.push(stats);
+    }
+
+    /// Every recorded per-step serving sample, in step order.
+    pub fn serve_samples(&self) -> &[ServeStepStats] {
+        &self.serve_samples
+    }
+
+    /// Dump the per-step serving samples as CSV: sessions registered,
+    /// frames delivered/dropped, client-observed delivery-latency
+    /// percentiles, and the bytes publication serialized (once per step,
+    /// independent of session count).
+    pub fn serve_csv(&self) -> String {
+        let mut out = String::from("step,sessions,delivered,dropped,p50_ns,p99_ns,bytes_copied\n");
+        for s in &self.serve_samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                s.step, s.sessions, s.delivered, s.dropped, s.p50_ns, s.p99_ns, s.bytes_copied,
             ));
         }
         out
@@ -609,7 +643,8 @@ mod tests {
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
              intra_messages,intra_bytes,intra_modeled_ns,\
-             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout\n"
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,\
+             serve_delivered,serve_dropped,serve_bytes,layout\n"
         );
         assert_eq!(
             p.snapshot_csv(),
@@ -622,6 +657,7 @@ mod tests {
              high_water_bytes,reclaims,trims\n"
         );
         assert_eq!(p.adaptive_csv(), "step,backend,action,detail\n");
+        assert_eq!(p.serve_csv(), "step,sessions,delivered,dropped,p50_ns,p99_ns,bytes_copied\n");
     }
 
     #[test]
@@ -660,6 +696,7 @@ mod tests {
                 relayout_bytes: 0,
                 faults: FaultSnapshot::default(),
                 comm: minimpi::TierSnapshot::default(),
+                serve: ServeSnapshot::default(),
             },
         );
         p.record_counters_labeled(
@@ -687,6 +724,12 @@ mod tests {
                     inter_bytes: 480,
                     inter_modeled_ns: 210,
                 },
+                serve: ServeSnapshot {
+                    delivered: 7,
+                    dropped: 1,
+                    payload_bytes: 640,
+                    ..Default::default()
+                },
             },
         );
         let total = p.counters_total();
@@ -702,14 +745,15 @@ mod tests {
             "backend,table_passes,kernel_launches,downloads,allreduces,fetches,\
              faults_injected,faults_retried,faults_recovered,faults_skipped,faults_aborted,\
              intra_messages,intra_bytes,intra_modeled_ns,\
-             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,layout"
+             inter_messages,inter_bytes,inter_modeled_ns,relayout_bytes,\
+             serve_delivered,serve_dropped,serve_bytes,layout"
         );
-        // A run without faults or tiered communication dumps explicit
-        // zeros in every column — never a ragged row.
-        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0,0,0,0,scalar");
+        // A run without faults, tiered communication, or serving dumps
+        // explicit zeros in every column — never a ragged row.
+        assert_eq!(lines[1], "binning_suite,9,9,9,1,12,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,scalar");
         assert_eq!(
             lines[2],
-            "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,90,6,480,210,4096,aosoa8"
+            "data_binning,90,90,90,10,27,2,3,2,0,0,18,1440,90,6,480,210,4096,7,1,640,aosoa8"
         );
         assert_eq!(p.counters_total().comm.inter_bytes, 480);
         assert_eq!(p.counters_total().relayout_bytes, 4096);
@@ -757,6 +801,24 @@ mod tests {
         assert_eq!(lines[0], "backend,tasks,steals,idle_ns,critical_path_ns");
         assert_eq!(lines[1], "binning_suite,40,7,1200,900");
         assert_eq!(lines[2], "histogram,10,0,300,100");
+    }
+
+    #[test]
+    fn serve_samples_record_and_dump() {
+        let mut p = Profiler::new();
+        p.record_serve(ServeStepStats {
+            step: 2,
+            sessions: 512,
+            delivered: 1024,
+            dropped: 3,
+            p50_ns: 42_000,
+            p99_ns: 910_000,
+            bytes_copied: 8192,
+        });
+        assert_eq!(p.serve_samples().len(), 1);
+        let lines: Vec<_> = p.serve_csv().lines().map(String::from).collect();
+        assert_eq!(lines[0], "step,sessions,delivered,dropped,p50_ns,p99_ns,bytes_copied");
+        assert_eq!(lines[1], "2,512,1024,3,42000,910000,8192");
     }
 
     #[test]

@@ -202,6 +202,27 @@ impl<T> BoundedReceiver<T> {
             self.shared.not_empty.wait(&mut st);
         }
     }
+
+    /// Dequeue the next item without blocking: `Some(item)` when one is
+    /// buffered, `None` when the queue is currently empty (open *or*
+    /// closed — poll loops should stop on [`BoundedReceiver::is_closed`]).
+    /// Lets one thread multiplex many queues (e.g. the serve layer's
+    /// client pool polling thousands of sessions).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock();
+        let item = st.buf.pop_front();
+        if item.is_some() {
+            self.shared.not_full.notify_one();
+        }
+        item
+    }
+
+    /// True once the queue is closed *and* fully drained — the poll-loop
+    /// termination condition matching `recv() == None`.
+    pub fn is_closed(&self) -> bool {
+        let st = self.shared.state.lock();
+        st.closed && st.buf.is_empty()
+    }
 }
 
 impl<T> Drop for BoundedReceiver<T> {
@@ -299,6 +320,24 @@ mod tests {
         // The consumer still drains what was buffered before the close.
         assert_eq!(rx.recv(), Some(1));
         assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn try_recv_never_blocks_and_tracks_close() {
+        let (tx, rx) = bounded(2, OverflowPolicy::Block);
+        assert_eq!(rx.try_recv(), None, "empty queue returns immediately");
+        assert!(!rx.is_closed(), "open queue is not closed");
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_recv(), Some(1));
+        // try_recv frees a slot: a Block producer no longer waits.
+        tx.send(3).unwrap();
+        tx.close();
+        assert!(!rx.is_closed(), "closed but not yet drained");
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.try_recv(), Some(3));
+        assert_eq!(rx.try_recv(), None);
+        assert!(rx.is_closed(), "closed and drained");
     }
 
     #[test]
